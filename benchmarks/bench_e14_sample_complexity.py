@@ -1,0 +1,88 @@
+"""E14 — Theorems 1.7/1.10 as measured sample complexities.
+
+For a Gaussian the mean estimator needs ``n = ~O(sigma^2/alpha^2 + sigma/(eps
+alpha))`` samples to reach error ``alpha``; the variance estimator needs
+``~O(sigma^4/alpha^2 + sigma^2/(eps alpha))``.  For each target alpha we
+measure the empirical sample complexity of the universal estimator and of the
+non-private baseline (which needs only the first, sampling term), so the gap
+between the two columns isolates the price of privacy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import empirical_sample_complexity
+from repro.baselines import SampleMean, SampleVariance
+from repro.bench import format_table, render_experiment_header
+from repro.core import estimate_mean, estimate_variance
+from repro.distributions import Gaussian
+
+EPSILON = 0.5
+# The mean is deliberately not a multiple of any power of two so that the
+# degenerate small-n behaviour (range collapsing onto a grid point) cannot
+# coincide with the truth and fake an early success.
+DIST = Gaussian(0.37, 1.0)
+TRIALS = 10
+MAX_N = 262_144
+
+
+def test_e14_mean_sample_complexity(run_once, reporter):
+    def run():
+        rows = []
+        for alpha in (0.2, 0.1, 0.05):
+            private = empirical_sample_complexity(
+                lambda d, g: estimate_mean(d, EPSILON, 0.1, g).mean,
+                DIST, "mean", alpha, trials=TRIALS, min_n=64, max_n=MAX_N,
+                rng=np.random.default_rng(int(1 / alpha)),
+            )
+            nonprivate = empirical_sample_complexity(
+                lambda d, g: SampleMean().estimate(d),
+                DIST, "mean", alpha, trials=TRIALS, min_n=16, max_n=MAX_N,
+                rng=np.random.default_rng(int(1 / alpha) + 1),
+            )
+            theory = DIST.variance / alpha**2 + DIST.std / (EPSILON * alpha)
+            rows.append([alpha, private.n_star, nonprivate.n_star, int(theory)])
+        return rows
+
+    rows = run_once(run)
+    table = format_table(
+        ["target alpha", "universal n*", "non-private n*", "theory shape sigma^2/a^2 + sigma/(eps a)"],
+        rows,
+    )
+    reporter("E14a", render_experiment_header("E14a", "Gaussian mean sample complexity (Thm 1.7)") + "\n" + table)
+
+    # Sample complexity grows as alpha shrinks, and the private overhead over
+    # the non-private complexity is bounded by a moderate factor.
+    assert all(row[1] is not None for row in rows)
+    assert rows[-1][1] > rows[0][1]
+    for row in rows:
+        assert row[1] <= 64 * max(row[2], 16)
+
+
+def test_e14_variance_sample_complexity(run_once, reporter):
+    def run():
+        rows = []
+        for alpha in (0.4, 0.2):
+            private = empirical_sample_complexity(
+                lambda d, g: estimate_variance(d, EPSILON, 0.1, g).variance,
+                DIST, "variance", alpha, trials=TRIALS, min_n=64, max_n=MAX_N,
+                rng=np.random.default_rng(int(10 / alpha)),
+            )
+            nonprivate = empirical_sample_complexity(
+                lambda d, g: SampleVariance().estimate(d),
+                DIST, "variance", alpha, trials=TRIALS, min_n=16, max_n=MAX_N,
+                rng=np.random.default_rng(int(10 / alpha) + 1),
+            )
+            theory = DIST.variance**2 / alpha**2 + DIST.variance / (EPSILON * alpha)
+            rows.append([alpha, private.n_star, nonprivate.n_star, int(theory)])
+        return rows
+
+    rows = run_once(run)
+    table = format_table(
+        ["target alpha", "universal n*", "non-private n*", "theory shape sigma^4/a^2 + sigma^2/(eps a)"],
+        rows,
+    )
+    reporter("E14b", render_experiment_header("E14b", "Gaussian variance sample complexity (Thm 1.10)") + "\n" + table)
+    assert all(row[1] is not None for row in rows)
+    assert rows[-1][1] >= rows[0][1]

@@ -1,0 +1,70 @@
+"""E15 — privacy/accuracy frontier: error vs epsilon for all three estimators.
+
+At a fixed sample size, sweeping epsilon from 0.05 to 1.0 traces the
+privacy/accuracy trade-off.  The paper's rates predict the privacy component
+of the error to scale like ``1/eps`` for all three parameters, flattening out
+once the sampling error dominates ("privacy is free" in the low-privacy
+regime, the phenomenon discussed in the introduction).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import run_statistical_trials
+from repro.baselines import SampleIQR, SampleMean, SampleVariance
+from repro.bench import format_table, render_experiment_header
+from repro.core import estimate_iqr, estimate_mean, estimate_variance
+from repro.distributions import Gaussian
+
+N = 20_000
+TRIALS = 8
+DIST = Gaussian(1.0, 2.0)
+EPSILONS = [0.05, 0.1, 0.2, 0.5, 1.0]
+
+
+def test_e15_epsilon_sweep(run_once, reporter):
+    def run():
+        rows = []
+        for epsilon in EPSILONS:
+            mean_res = run_statistical_trials(
+                lambda d, g, e=epsilon: estimate_mean(d, e, 0.1, g).mean,
+                DIST, "mean", N, TRIALS, np.random.default_rng(int(epsilon * 1000)),
+            )
+            var_res = run_statistical_trials(
+                lambda d, g, e=epsilon: estimate_variance(d, e, 0.1, g).variance,
+                DIST, "variance", N, TRIALS, np.random.default_rng(int(epsilon * 1000) + 1),
+            )
+            iqr_res = run_statistical_trials(
+                lambda d, g, e=epsilon: estimate_iqr(d, e, 0.1, g).iqr,
+                DIST, "iqr", N, TRIALS, np.random.default_rng(int(epsilon * 1000) + 2),
+            )
+            rows.append([epsilon, mean_res.summary.q90, var_res.summary.q90, iqr_res.summary.q90])
+
+        # Non-private floors for reference (epsilon-independent).
+        floor_mean = run_statistical_trials(
+            lambda d, g: SampleMean().estimate(d), DIST, "mean", N, TRIALS, np.random.default_rng(3)
+        ).summary.q90
+        floor_var = run_statistical_trials(
+            lambda d, g: SampleVariance().estimate(d), DIST, "variance", N, TRIALS, np.random.default_rng(4)
+        ).summary.q90
+        floor_iqr = run_statistical_trials(
+            lambda d, g: SampleIQR().estimate(d), DIST, "iqr", N, TRIALS, np.random.default_rng(5)
+        ).summary.q90
+        rows.append(["non-private floor", floor_mean, floor_var, floor_iqr])
+        return rows
+
+    rows = run_once(run)
+    table = format_table(
+        ["epsilon", "mean q90 error", "variance q90 error", "IQR q90 error"], rows
+    )
+    reporter("E15", render_experiment_header("E15", "Privacy/accuracy frontier at n=20k (all estimators)") + "\n" + table)
+
+    numeric = [row for row in rows if isinstance(row[0], float)]
+    # Errors should not increase as epsilon grows (allowing small Monte-Carlo slack).
+    for column in (1, 2, 3):
+        assert numeric[-1][column] <= numeric[0][column] * 1.5
+    # At the loosest epsilon the error should approach the non-private floor
+    # within an order of magnitude.
+    floor = rows[-1]
+    assert numeric[-1][1] <= 10.0 * floor[1] + 0.05

@@ -1,0 +1,57 @@
+"""E1 — Theorem 3.1/3.6: private radius quality.
+
+For datasets whose radius spans seven orders of magnitude, the privatized
+radius must stay within ``2 * rad(D) + 3b`` while leaving only
+``O(log log(rad)/eps)`` points uncovered.  The series below reports, per true
+radius, the median ratio ``rad_hat / rad`` and the median number of uncovered
+points across trials; the paper's prediction is a ratio <= 2 and an uncovered
+count that grows only doubly-logarithmically in the radius.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.theory import loglog
+from repro.bench import format_table, render_experiment_header, uniform_integer_dataset
+from repro.empirical import estimate_radius
+
+EPSILON = 1.0
+TRIALS = 10
+N = 4000
+RADII = [10**2, 10**3, 10**4, 10**6, 10**9]
+
+
+def test_e1_radius_scaling(run_once, reporter):
+    def run():
+        rows = []
+        for radius in RADII:
+            ratios, uncovered = [], []
+            for seed in range(TRIALS):
+                gen = np.random.default_rng(seed)
+                data = uniform_integer_dataset(N, width=2 * radius, center=0, rng=gen)
+                true_radius = float(np.max(np.abs(data)))
+                result = estimate_radius(data, EPSILON, 0.1, gen)
+                ratios.append(result.radius / true_radius)
+                uncovered.append(result.uncovered_count)
+            rows.append(
+                [
+                    radius,
+                    float(np.median(ratios)),
+                    float(np.max(ratios)),
+                    float(np.median(uncovered)),
+                    loglog(float(radius)) / EPSILON,
+                ]
+            )
+        return rows
+
+    rows = run_once(run)
+    table = format_table(
+        ["true radius", "median ratio", "max ratio", "median uncovered", "loglog(rad)/eps"],
+        rows,
+    )
+    reporter("E1", render_experiment_header("E1", "Private radius vs true radius (Thm 3.1)") + "\n" + table)
+
+    for row in rows:
+        assert row[2] <= 2.0 + 1e-9, "privatized radius exceeded 2x the true radius"
+        assert row[3] <= 30.0 * row[4], "too many points left uncovered"

@@ -1,0 +1,72 @@
+"""E3 — Theorem 3.3/3.8: empirical mean error scaling.
+
+The instance-optimal bound is ``O(gamma(D) loglog(gamma(D)) / (eps n))``.  Two
+sweeps verify the two key dependencies:
+
+* fixed ``n`` and ``eps``, sweeping the dataset width ``gamma`` — the error
+  should grow (sub-)linearly in ``gamma``;
+* fixed ``gamma``, sweeping ``n`` — the error should decay like ``1/n``.
+
+Each row reports the measured q90 error next to the theory curve (without its
+universal constant) so the shapes can be compared.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import summarize_errors
+from repro.analysis.theory import empirical_mean_error_bound
+from repro.bench import format_table, render_experiment_header, wide_spread_dataset
+from repro.empirical import estimate_empirical_mean
+
+EPSILON = 0.5
+TRIALS = 12
+
+
+def _q90_error(n: int, width: int) -> float:
+    errors = []
+    for seed in range(TRIALS):
+        gen = np.random.default_rng(seed)
+        data = wide_spread_dataset(n, width=width, rng=gen)
+        result = estimate_empirical_mean(data, EPSILON, 0.1, gen)
+        errors.append(result.absolute_error)
+    return summarize_errors(errors).q90
+
+
+def test_e3_error_vs_width(run_once, reporter):
+    def run():
+        n = 4000
+        rows = []
+        for width in (100, 1_000, 10_000, 100_000):
+            measured = _q90_error(n, width)
+            theory = empirical_mean_error_bound(float(width), n, EPSILON, 0.1)
+            rows.append([width, measured, theory, measured / theory])
+        return rows
+
+    rows = run_once(run)
+    table = format_table(["gamma(D)", "measured q90 error", "theory bound", "ratio"], rows)
+    reporter("E3a", render_experiment_header("E3a", "Empirical mean error vs dataset width (Thm 3.3)") + "\n" + table)
+
+    # Error grows with gamma but stays within a constant multiple of the bound.
+    assert rows[-1][1] > rows[0][1]
+    assert all(row[3] <= 10.0 for row in rows)
+
+
+def test_e3_error_vs_n(run_once, reporter):
+    def run():
+        width = 10_000
+        rows = []
+        for n in (1_000, 4_000, 16_000, 64_000):
+            measured = _q90_error(n, width)
+            theory = empirical_mean_error_bound(float(width), n, EPSILON, 0.1)
+            rows.append([n, measured, theory, measured / theory])
+        return rows
+
+    rows = run_once(run)
+    table = format_table(["n", "measured q90 error", "theory bound", "ratio"], rows)
+    reporter("E3b", render_experiment_header("E3b", "Empirical mean error vs n (Thm 3.3)") + "\n" + table)
+
+    # 64x more data should buy at least ~8x less error (theory predicts 64x).
+    assert rows[-1][1] < rows[0][1] / 8.0
+    assert all(row[3] <= 10.0 for row in rows)

@@ -1,0 +1,65 @@
+"""E5 — Theorem 3.5/3.9: empirical quantile rank error.
+
+The rank error of the private quantile should scale like ``log(gamma(D))/eps``
+— logarithmic in the width and inversely proportional to epsilon — and be
+essentially flat in the requested rank ``tau``.  Two sweeps check both
+dependencies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import summarize_errors
+from repro.analysis.theory import quantile_rank_error_bound
+from repro.bench import format_table, render_experiment_header, uniform_integer_dataset
+from repro.empirical import estimate_empirical_quantile
+
+N = 4000
+TRIALS = 10
+
+
+def _q90_rank_error(width: int, epsilon: float, tau: int) -> float:
+    errors = []
+    for seed in range(TRIALS):
+        gen = np.random.default_rng(seed)
+        data = uniform_integer_dataset(N, width=width, rng=gen)
+        result = estimate_empirical_quantile(data, tau, epsilon, 0.1, gen)
+        errors.append(float(result.rank_error))
+    return summarize_errors(errors).q90
+
+
+def test_e5_rank_error_vs_width(run_once, reporter):
+    def run():
+        rows = []
+        for width in (100, 10_000, 1_000_000):
+            measured = _q90_rank_error(width, epsilon=1.0, tau=N // 2)
+            theory = quantile_rank_error_bound(float(width), 1.0, 0.1)
+            rows.append([width, measured, theory, measured / theory])
+        return rows
+
+    rows = run_once(run)
+    table = format_table(["gamma(D)", "measured q90 rank error", "theory bound", "ratio"], rows)
+    reporter("E5a", render_experiment_header("E5a", "Quantile rank error vs width (Thm 3.5)") + "\n" + table)
+
+    # Rank error grows far slower than the width (logarithmically): a 10,000x
+    # wider dataset costs at most a small constant factor in rank error.
+    assert rows[-1][1] <= max(rows[0][1], 1.0) * 20.0
+    assert all(row[3] <= 12.0 for row in rows)
+
+
+def test_e5_rank_error_vs_epsilon(run_once, reporter):
+    def run():
+        rows = []
+        for epsilon in (0.25, 0.5, 1.0, 2.0):
+            measured = _q90_rank_error(width=100_000, epsilon=epsilon, tau=N // 2)
+            theory = quantile_rank_error_bound(100_000.0, epsilon, 0.1)
+            rows.append([epsilon, measured, theory, measured / theory])
+        return rows
+
+    rows = run_once(run)
+    table = format_table(["epsilon", "measured q90 rank error", "theory bound", "ratio"], rows)
+    reporter("E5b", render_experiment_header("E5b", "Quantile rank error vs epsilon (Thm 3.5)") + "\n" + table)
+
+    assert rows[0][1] >= rows[-1][1], "rank error should shrink as epsilon grows"
+    assert all(row[3] <= 12.0 for row in rows)

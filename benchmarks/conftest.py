@@ -1,0 +1,56 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one experiment from the DESIGN.md index and emits
+a plain-text table/series (the analogue of a paper table or figure).  Reports
+are written both to ``benchmarks/results/<experiment>.txt`` and to the real
+stdout (bypassing pytest capture) so that ``pytest benchmarks/
+--benchmark-only | tee bench_output.txt`` leaves a readable record.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(20230401)
+
+
+@pytest.fixture
+def reporter(capfd):
+    """Emit an experiment report to stdout (uncaptured) and to a results file.
+
+    pytest captures output at the file-descriptor level, so the report is
+    printed inside ``capfd.disabled()`` to reach the real stdout (and hence
+    ``bench_output.txt`` when the run is piped through ``tee``).
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def emit(experiment_id: str, text: str) -> None:
+        out_path = RESULTS_DIR / f"{experiment_id.lower()}.txt"
+        out_path.write_text(text + "\n")
+        with capfd.disabled():
+            print(text, flush=True)
+
+    return emit
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run the experiment body exactly once under pytest-benchmark timing."""
+
+    def runner(func):
+        return benchmark.pedantic(func, rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,72 @@
+"""Scenario: choosing epsilon — the privacy/accuracy frontier for a release.
+
+A data custodian deciding how much budget to spend on a statistic wants the
+error as a function of epsilon.  This example sweeps epsilon for all three
+universal estimators on a fixed dataset-generating process and prints the
+frontier table (the script equivalent of benchmark E15), together with the
+non-private sampling error floor so the custodian can see where extra budget
+stops buying accuracy.
+
+Run as::
+
+    python examples/privacy_accuracy_frontier.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import estimate_iqr, estimate_mean, estimate_variance
+from repro.analysis import run_statistical_trials
+from repro.bench import format_table
+from repro.distributions import Gaussian
+
+
+def main() -> None:
+    dist = Gaussian(mu=120.0, sigma=15.0)  # e.g. systolic blood pressure
+    n = 20_000
+    trials = 6
+    epsilons = [0.05, 0.1, 0.25, 0.5, 1.0]
+
+    print("=== Privacy/accuracy frontier (n = 20,000, blood-pressure-like data) ===\n")
+
+    rows = []
+    for epsilon in epsilons:
+        mean_res = run_statistical_trials(
+            lambda d, g, e=epsilon: estimate_mean(d, e, 0.1, g).mean,
+            dist, "mean", n, trials, np.random.default_rng(int(epsilon * 1000)),
+        )
+        var_res = run_statistical_trials(
+            lambda d, g, e=epsilon: estimate_variance(d, e, 0.1, g).variance,
+            dist, "variance", n, trials, np.random.default_rng(int(epsilon * 1000) + 1),
+        )
+        iqr_res = run_statistical_trials(
+            lambda d, g, e=epsilon: estimate_iqr(d, e, 0.1, g).iqr,
+            dist, "iqr", n, trials, np.random.default_rng(int(epsilon * 1000) + 2),
+        )
+        rows.append(
+            [epsilon, mean_res.summary.q90, var_res.summary.q90, iqr_res.summary.q90]
+        )
+
+    floor_mean = run_statistical_trials(
+        lambda d, g: float(np.mean(d)), dist, "mean", n, trials, np.random.default_rng(99)
+    ).summary.q90
+    floor_var = run_statistical_trials(
+        lambda d, g: float(np.var(d)), dist, "variance", n, trials, np.random.default_rng(98)
+    ).summary.q90
+    floor_iqr = run_statistical_trials(
+        lambda d, g: float(np.quantile(d, 0.75) - np.quantile(d, 0.25)),
+        dist, "iqr", n, trials, np.random.default_rng(97),
+    ).summary.q90
+    rows.append(["(non-private)", floor_mean, floor_var, floor_iqr])
+
+    print(format_table(["epsilon", "mean q90 error", "variance q90 error", "IQR q90 error"], rows))
+    print(
+        "\nReading the table: once the privacy error drops below the sampling floor\n"
+        "(bottom row), increasing epsilon further buys essentially nothing — the\n"
+        "'privacy is free' regime discussed in the paper's introduction."
+    )
+
+
+if __name__ == "__main__":
+    main()

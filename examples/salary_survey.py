@@ -1,0 +1,70 @@
+"""Scenario: releasing salary statistics from a skewed, heavy-tailed survey.
+
+Income data is the classic case where boundedness assumptions bite: salaries
+are highly skewed, a handful of extreme earners dominate the tail, and nobody
+knows a tight a-priori upper bound.  This example compares three releases of
+the mean salary at the same privacy budget:
+
+1. the **universal estimator** of this library (no assumptions),
+2. a naive **bounded-Laplace** release with a cautious (i.e. loose) cap of
+   $100M — the kind of "safe" bound an analyst would pick without better
+   information, and
+3. the same bounded-Laplace release with an overly tight $100k cap, showing
+   the opposite failure mode (clipping bias).
+
+It also releases the IQR — the robust scale statistic the paper studies —
+which is far more informative than the variance for skewed pay data.
+
+Run as::
+
+    python examples/salary_survey.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import estimate_iqr, estimate_mean
+from repro.baselines import BoundedLaplaceMean
+from repro.distributions import LogNormal
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+
+    # Salaries: log-normal body (median ~$58k) plus a sprinkle of executives.
+    body = LogNormal(mu_log=11.0, sigma_log=0.55).sample(80_000, rng)
+    executives = LogNormal(mu_log=14.5, sigma_log=0.8).sample(400, rng)
+    salaries = np.concatenate([body, executives])
+    rng.shuffle(salaries)
+
+    epsilon = 0.5
+    true_mean = float(np.mean(salaries))
+    sorted_salaries = np.sort(salaries)
+    n = salaries.size
+    true_iqr = float(sorted_salaries[3 * n // 4 - 1] - sorted_salaries[n // 4 - 1])
+
+    print("=== Salary survey: private mean release (epsilon = 0.5) ===")
+    print(f"records: {n},  exact sample mean: ${true_mean:,.0f}\n")
+
+    universal = estimate_mean(salaries, epsilon, rng=rng)
+    print(f"universal estimator (no assumptions) : ${universal.mean:,.0f}"
+          f"   error ${abs(universal.mean - true_mean):,.0f}")
+
+    loose = BoundedLaplaceMean(radius=100_000_000.0).estimate(salaries, epsilon, rng)
+    print(f"bounded Laplace, cap $100M (loose A1) : ${loose:,.0f}"
+          f"   error ${abs(loose - true_mean):,.0f}")
+
+    tight = BoundedLaplaceMean(radius=100_000.0).estimate(salaries, epsilon, rng)
+    print(f"bounded Laplace, cap $100k (tight A1) : ${tight:,.0f}"
+          f"   error ${abs(tight - true_mean):,.0f}  (biased by clipping)")
+
+    print("\n=== Salary spread: private IQR release (epsilon = 0.5) ===")
+    iqr = estimate_iqr(salaries, epsilon, rng=rng)
+    print(f"exact sample IQR  : ${true_iqr:,.0f}")
+    print(f"private IQR       : ${iqr.iqr:,.0f}   error ${abs(iqr.iqr - true_iqr):,.0f}")
+    print(f"(bucket size chosen privately: ${iqr.bucket_size:,.2f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,111 @@
+"""repro — Universal Private Estimators (Dong & Yi, PODS 2023).
+
+Pure ε-differentially private estimators for the statistical mean, variance
+and interquartile range of an *arbitrary, unknown* continuous distribution
+over R, with no a-priori boundedness assumptions, together with the
+instance-optimal empirical mean/quantile estimators over the unbounded integer
+domain they are built on.
+
+Quick start
+-----------
+>>> import numpy as np
+>>> from repro import estimate_mean
+>>> rng = np.random.default_rng(0)
+>>> data = rng.normal(loc=170.0, scale=8.0, size=20_000)
+>>> result = estimate_mean(data, epsilon=1.0, rng=rng)
+>>> abs(result.mean - 170.0) < 1.0
+True
+
+The public API is organised as:
+
+* ``repro.core`` — the universal statistical estimators (Algorithms 7-10);
+* ``repro.empirical`` — the empirical estimators over Z (Algorithms 3-6);
+* ``repro.mechanisms`` — DP primitives (Laplace, SVT, inverse sensitivity,
+  clipped mean, sub-sampling amplification);
+* ``repro.distributions`` — synthetic distribution substrate with analytic
+  parameters used by the benchmark harness;
+* ``repro.baselines`` — re-implementations of prior estimators for the
+  comparison benchmarks;
+* ``repro.analysis`` / ``repro.bench`` — experiment harness.
+"""
+
+from repro.accounting import PrivacyBudget, PrivacyLedger
+from repro.core import (
+    IQRLowerBoundResult,
+    IQRResult,
+    MeanResult,
+    QuantilesResult,
+    VarianceResult,
+    estimate_iqr,
+    estimate_iqr_lower_bound,
+    estimate_mean,
+    estimate_quantiles,
+    estimate_variance,
+)
+from repro.multivariate import (
+    DiagonalCovarianceResult,
+    MultivariateMeanResult,
+    estimate_mean_multivariate,
+    estimate_variance_diagonal,
+)
+from repro.empirical import (
+    EmpiricalMeanResult,
+    EmpiricalQuantileResult,
+    RadiusResult,
+    RangeResult,
+    estimate_empirical_mean,
+    estimate_empirical_quantile,
+    estimate_radius,
+    estimate_range,
+)
+from repro.exceptions import (
+    AssumptionRequiredError,
+    BudgetExceededError,
+    DomainError,
+    InsufficientDataError,
+    MechanismError,
+    PrivacyParameterError,
+    ReproError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # Universal statistical estimators (the paper's headline contribution).
+    "estimate_mean",
+    "estimate_variance",
+    "estimate_iqr",
+    "estimate_quantiles",
+    "estimate_iqr_lower_bound",
+    "MeanResult",
+    "VarianceResult",
+    "IQRResult",
+    "QuantilesResult",
+    "IQRLowerBoundResult",
+    # Multivariate extensions (Section 1.2).
+    "estimate_mean_multivariate",
+    "estimate_variance_diagonal",
+    "MultivariateMeanResult",
+    "DiagonalCovarianceResult",
+    # Empirical estimators over the unbounded integer domain.
+    "estimate_radius",
+    "estimate_range",
+    "estimate_empirical_mean",
+    "estimate_empirical_quantile",
+    "RadiusResult",
+    "RangeResult",
+    "EmpiricalMeanResult",
+    "EmpiricalQuantileResult",
+    # Accounting.
+    "PrivacyBudget",
+    "PrivacyLedger",
+    # Exceptions.
+    "ReproError",
+    "PrivacyParameterError",
+    "BudgetExceededError",
+    "MechanismError",
+    "InsufficientDataError",
+    "DomainError",
+    "AssumptionRequiredError",
+]

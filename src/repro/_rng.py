@@ -1,0 +1,52 @@
+"""Random-number-generator plumbing shared across the library.
+
+All stochastic code paths accept an optional ``rng`` argument and route it
+through :func:`resolve_rng`.  This keeps experiments reproducible (pass a
+seeded :class:`numpy.random.Generator`) while staying convenient for casual
+use (pass nothing and a fresh generator is created).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+__all__ = ["RngLike", "resolve_rng", "spawn_rngs"]
+
+#: Anything acceptable as a source of randomness.
+RngLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+
+def resolve_rng(rng: RngLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``rng``.
+
+    Parameters
+    ----------
+    rng:
+        ``None`` (create a fresh unseeded generator), an integer seed, a
+        :class:`numpy.random.SeedSequence`, or an existing generator (returned
+        unchanged).
+    """
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, (int, np.integer, np.random.SeedSequence)):
+        return np.random.default_rng(rng)
+    raise TypeError(
+        f"rng must be None, an int seed, a SeedSequence or a numpy Generator; "
+        f"got {type(rng).__name__}"
+    )
+
+
+def spawn_rngs(rng: RngLike, count: int) -> list[np.random.Generator]:
+    """Split ``rng`` into ``count`` independent child generators.
+
+    Used by the trial runner so that parallel trials do not share streams.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    base = resolve_rng(rng)
+    seeds = base.integers(0, 2**63 - 1, size=count, dtype=np.int64)
+    return [np.random.default_rng(int(seed)) for seed in seeds]

@@ -1,0 +1,16 @@
+"""Privacy accounting: parameter validation, budgets and spend ledgers."""
+
+from repro.accounting.budget import (
+    PrivacyBudget,
+    validate_beta,
+    validate_epsilon,
+)
+from repro.accounting.ledger import BudgetSpend, PrivacyLedger
+
+__all__ = [
+    "PrivacyBudget",
+    "PrivacyLedger",
+    "BudgetSpend",
+    "validate_epsilon",
+    "validate_beta",
+]

@@ -1,0 +1,95 @@
+"""Privacy budget objects and parameter validation.
+
+The composite algorithms in the paper (Algorithms 4, 5, 6, 8, 9, 10) split a
+single ``epsilon`` across their sub-mechanisms using fixed fractions given in
+the pseudo-code.  :class:`PrivacyBudget` makes those splits explicit and
+verifiable: a budget can be divided into parts whose total never exceeds the
+parent, which is exactly the guarantee basic composition (Lemma 2.2) needs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.exceptions import PrivacyParameterError
+
+__all__ = ["validate_epsilon", "validate_beta", "PrivacyBudget"]
+
+
+def validate_epsilon(epsilon: float, *, name: str = "epsilon") -> float:
+    """Validate a pure-DP privacy parameter and return it as a float.
+
+    The paper works in the regime ``0 < epsilon < 1`` but nothing in the
+    algorithms breaks for larger finite epsilon, so only positivity and
+    finiteness are enforced.
+    """
+    value = float(epsilon)
+    if not math.isfinite(value) or value <= 0.0:
+        raise PrivacyParameterError(f"{name} must be a positive finite number, got {epsilon!r}")
+    return value
+
+
+def validate_beta(beta: float, *, name: str = "beta") -> float:
+    """Validate a failure-probability parameter ``beta`` in (0, 1)."""
+    value = float(beta)
+    if not math.isfinite(value) or not 0.0 < value < 1.0:
+        raise PrivacyParameterError(f"{name} must lie strictly between 0 and 1, got {beta!r}")
+    return value
+
+
+@dataclass(frozen=True)
+class PrivacyBudget:
+    """A pure-DP privacy budget with an associated failure probability.
+
+    Attributes
+    ----------
+    epsilon:
+        The ε of ε-differential privacy that the holder may spend in total.
+    beta:
+        The failure probability allotted to utility statements (this is *not*
+        the δ of approximate DP; all estimators in this library satisfy pure
+        ε-DP with δ = 0).
+    """
+
+    epsilon: float
+    beta: float = 1.0 / 3.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "epsilon", validate_epsilon(self.epsilon))
+        object.__setattr__(self, "beta", validate_beta(self.beta))
+
+    def split(self, *fractions: float) -> tuple["PrivacyBudget", ...]:
+        """Split the epsilon budget into parts proportional to ``fractions``.
+
+        The fractions must be positive and sum to at most 1 (up to floating
+        point slack); each part inherits the full ``beta`` because the paper's
+        analyses already union-bound the failure events of sub-mechanisms
+        against explicitly chosen beta fractions.
+        """
+        if not fractions:
+            raise ValueError("at least one fraction is required")
+        if any(f <= 0 for f in fractions):
+            raise PrivacyParameterError(f"fractions must be positive, got {fractions}")
+        total = sum(fractions)
+        if total > 1.0 + 1e-9:
+            raise PrivacyParameterError(
+                f"fractions sum to {total}, which exceeds the available budget"
+            )
+        return tuple(PrivacyBudget(self.epsilon * f, self.beta) for f in fractions)
+
+    def scaled(self, factor: float) -> "PrivacyBudget":
+        """Return a budget with epsilon scaled by ``factor`` (0 < factor <= 1)."""
+        if not 0.0 < factor <= 1.0 + 1e-12:
+            raise PrivacyParameterError(f"scale factor must lie in (0, 1], got {factor}")
+        return PrivacyBudget(self.epsilon * factor, self.beta)
+
+    @staticmethod
+    def compose(parts: Sequence["PrivacyBudget"]) -> "PrivacyBudget":
+        """Basic composition (Lemma 2.2): epsilons add, betas add (capped below 1)."""
+        if not parts:
+            raise ValueError("cannot compose an empty sequence of budgets")
+        epsilon = sum(p.epsilon for p in parts)
+        beta = min(sum(p.beta for p in parts), 1.0 - 1e-12)
+        return PrivacyBudget(epsilon, beta)

@@ -1,0 +1,102 @@
+"""A ledger recording the privacy budget spent by each sub-mechanism.
+
+Every composite estimator accepts an optional :class:`PrivacyLedger`.  When
+one is provided, each primitive mechanism records the epsilon it consumed
+(together with a human-readable label), which lets tests and benchmarks verify
+that the total spend of, say, ``EstimateMean`` never exceeds the epsilon the
+caller asked for — the executable counterpart of basic composition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+from repro.accounting.budget import validate_epsilon
+from repro.exceptions import BudgetExceededError
+
+__all__ = ["BudgetSpend", "PrivacyLedger"]
+
+
+@dataclass(frozen=True)
+class BudgetSpend:
+    """A single privacy expenditure."""
+
+    label: str
+    epsilon: float
+    #: Epsilon charged against the dataset the caller holds.  For mechanisms
+    #: run on a sub-sample this is the amplified (smaller) value; ``epsilon``
+    #: then records the budget given to the inner mechanism.
+    charged_epsilon: Optional[float] = None
+
+    @property
+    def effective_epsilon(self) -> float:
+        """The epsilon that counts toward the caller-visible total."""
+        return self.charged_epsilon if self.charged_epsilon is not None else self.epsilon
+
+
+@dataclass
+class PrivacyLedger:
+    """Accumulates :class:`BudgetSpend` records under an optional cap.
+
+    Parameters
+    ----------
+    capacity:
+        When given, :meth:`charge` raises :class:`BudgetExceededError` if the
+        running total would exceed this epsilon (a small relative tolerance is
+        allowed for floating-point round-off in the paper's fractional splits).
+    """
+
+    capacity: Optional[float] = None
+    spends: List[BudgetSpend] = field(default_factory=list)
+    _tolerance: float = 1e-9
+
+    def __post_init__(self) -> None:
+        if self.capacity is not None:
+            self.capacity = validate_epsilon(self.capacity, name="capacity")
+
+    def charge(
+        self,
+        label: str,
+        epsilon: float,
+        *,
+        charged_epsilon: Optional[float] = None,
+    ) -> BudgetSpend:
+        """Record a spend of ``epsilon`` attributed to ``label``."""
+        epsilon = validate_epsilon(epsilon)
+        if charged_epsilon is not None:
+            charged_epsilon = validate_epsilon(charged_epsilon, name="charged_epsilon")
+        spend = BudgetSpend(label=label, epsilon=epsilon, charged_epsilon=charged_epsilon)
+        new_total = self.total_epsilon + spend.effective_epsilon
+        if self.capacity is not None and new_total > self.capacity * (1.0 + self._tolerance):
+            raise BudgetExceededError(
+                f"charging {spend.effective_epsilon:.6g} for {label!r} would bring the total "
+                f"to {new_total:.6g}, exceeding the capacity {self.capacity:.6g}"
+            )
+        self.spends.append(spend)
+        return spend
+
+    @property
+    def total_epsilon(self) -> float:
+        """Total effective epsilon recorded so far."""
+        return sum(s.effective_epsilon for s in self.spends)
+
+    @property
+    def remaining(self) -> Optional[float]:
+        """Remaining budget under the cap, or ``None`` when uncapped."""
+        if self.capacity is None:
+            return None
+        return max(self.capacity - self.total_epsilon, 0.0)
+
+    def __iter__(self) -> Iterator[BudgetSpend]:
+        return iter(self.spends)
+
+    def __len__(self) -> int:
+        return len(self.spends)
+
+    def summary(self) -> str:
+        """Return a short human-readable description of all spends."""
+        lines = [f"PrivacyLedger(total={self.total_epsilon:.6g}, capacity={self.capacity})"]
+        for spend in self.spends:
+            lines.append(f"  - {spend.label}: {spend.effective_epsilon:.6g}")
+        return "\n".join(lines)

@@ -1,0 +1,42 @@
+"""Analysis harness: error metrics, trial runner, theory curves and lower bounds."""
+
+from repro.analysis.lower_bounds import PackingInstance, build_packing_instance, packing_lower_bound
+from repro.analysis.metrics import ErrorSummary, absolute_error, relative_error, summarize_errors
+from repro.analysis.sample_complexity import (
+    SampleComplexityResult,
+    empirical_sample_complexity,
+)
+from repro.analysis.theory import (
+    empirical_mean_error_bound,
+    gaussian_mean_error_bound,
+    gaussian_variance_error_bound,
+    heavy_tailed_mean_error_bound,
+    heavy_tailed_variance_error_bound,
+    iqr_error_bound,
+    loglog,
+    quantile_rank_error_bound,
+)
+from repro.analysis.trials import TrialResult, run_statistical_trials, run_trials
+
+__all__ = [
+    "absolute_error",
+    "relative_error",
+    "ErrorSummary",
+    "summarize_errors",
+    "TrialResult",
+    "run_trials",
+    "run_statistical_trials",
+    "loglog",
+    "empirical_mean_error_bound",
+    "quantile_rank_error_bound",
+    "gaussian_mean_error_bound",
+    "heavy_tailed_mean_error_bound",
+    "gaussian_variance_error_bound",
+    "heavy_tailed_variance_error_bound",
+    "iqr_error_bound",
+    "PackingInstance",
+    "build_packing_instance",
+    "packing_lower_bound",
+    "SampleComplexityResult",
+    "empirical_sample_complexity",
+]

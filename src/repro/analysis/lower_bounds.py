@@ -1,0 +1,121 @@
+"""The packing lower-bound construction of Theorem 3.4.
+
+Theorem 3.4 shows that the ``loglog N / eps`` optimality ratio of the
+empirical mean estimator cannot be avoided: for any ε-DP mechanism over the
+finite domain ``[N]`` there is a dataset among the packing family
+``D(0), D(1), ..., D(log2 N)`` on which the error is at least
+``gamma(D) / (3 eps n) * log(log2 N)``.  ``D(0)`` is all zeros and ``D(i)``
+changes ``log(log2 N) / eps`` of those zeros to ``2^i``.
+
+The construction is exposed so the E4 benchmark can measure the error of the
+implemented estimators *on these hardest instances* and report the achieved
+optimality ratio next to the theoretical floor.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.analysis.theory import packing_lower_bound_value
+from repro.exceptions import DomainError
+
+__all__ = ["PackingInstance", "build_packing_instance", "packing_lower_bound"]
+
+
+@dataclass(frozen=True)
+class PackingInstance:
+    """The family of packing datasets for one ``(N, n, eps)`` configuration.
+
+    Attributes
+    ----------
+    domain_size:
+        The finite domain bound ``N``.
+    n:
+        Number of records per dataset.
+    epsilon:
+        Privacy parameter the family is built for.
+    changed_per_level:
+        Number of records changed from 0 in each non-trivial dataset,
+        ``ceil(log(log2 N) / eps)``.
+    datasets:
+        ``log2(N) + 1`` datasets; ``datasets[0]`` is all zeros and
+        ``datasets[i]`` has ``changed_per_level`` entries equal to ``2^i``.
+    """
+
+    domain_size: int
+    n: int
+    epsilon: float
+    changed_per_level: int
+    datasets: List[np.ndarray]
+
+    @property
+    def levels(self) -> int:
+        """Number of non-trivial datasets (``log2 N``)."""
+        return len(self.datasets) - 1
+
+    def true_means(self) -> List[float]:
+        """Exact empirical means of every dataset in the family."""
+        return [float(np.mean(d)) for d in self.datasets]
+
+    def widths(self) -> List[float]:
+        """Exact widths ``gamma(D)`` of every dataset in the family."""
+        return [float(np.max(d) - np.min(d)) for d in self.datasets]
+
+
+def build_packing_instance(domain_size: int, n: int, epsilon: float) -> PackingInstance:
+    """Construct the Theorem 3.4 packing family for domain ``[0, N]``.
+
+    Parameters
+    ----------
+    domain_size:
+        The domain bound ``N`` (must be at least 2).
+    n:
+        Records per dataset; must exceed ``log(log2 N) / eps`` so the changed
+        block fits.
+    epsilon:
+        Privacy parameter.
+    """
+    if domain_size < 2:
+        raise DomainError(f"domain_size must be at least 2, got {domain_size}")
+    if epsilon <= 0:
+        raise DomainError(f"epsilon must be positive, got {epsilon}")
+    levels = int(math.floor(math.log2(domain_size)))
+    changed = max(1, int(math.ceil(math.log(max(math.log2(domain_size), 2.0)) / epsilon)))
+    if n <= changed:
+        raise DomainError(
+            f"n must exceed log(log2 N)/eps = {changed} for the packing construction, got {n}"
+        )
+
+    datasets: List[np.ndarray] = [np.zeros(n)]
+    for i in range(1, levels + 1):
+        level_value = float(2**i)
+        if level_value > domain_size:
+            break
+        data = np.zeros(n)
+        data[:changed] = level_value
+        datasets.append(data)
+    return PackingInstance(
+        domain_size=int(domain_size),
+        n=int(n),
+        epsilon=float(epsilon),
+        changed_per_level=changed,
+        datasets=datasets,
+    )
+
+
+def packing_lower_bound(instance: PackingInstance, level: int) -> float:
+    """The Theorem 3.4 error floor ``gamma(D(level)) / (3 eps n) * log(log2 N)``."""
+    if not 0 <= level < len(instance.datasets):
+        raise DomainError(
+            f"level must lie in [0, {len(instance.datasets) - 1}], got {level}"
+        )
+    if level == 0:
+        return 0.0
+    gamma = float(2**level)
+    return packing_lower_bound_value(
+        gamma, instance.n, instance.epsilon, instance.domain_size
+    )

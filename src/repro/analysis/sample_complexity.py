@@ -1,0 +1,132 @@
+"""Empirical sample-complexity measurement.
+
+The paper states most statistical results as sample complexities: the number
+of samples ``n*(alpha)`` needed to achieve error ``alpha`` with constant
+probability.  :func:`empirical_sample_complexity` measures that quantity for
+any estimator by doubling ``n`` until the target accuracy is hit and then
+bisecting, mirroring how the E14 benchmark compares measured complexities with
+Theorems 1.7 and 1.10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro._rng import RngLike, resolve_rng
+from repro.analysis.trials import EstimatorFn, run_statistical_trials
+from repro.distributions.base import Distribution
+from repro.exceptions import DomainError
+
+__all__ = ["SampleComplexityResult", "empirical_sample_complexity"]
+
+
+@dataclass(frozen=True)
+class SampleComplexityResult:
+    """Outcome of an empirical sample-complexity search.
+
+    Attributes
+    ----------
+    alpha:
+        Target absolute error.
+    n_star:
+        Smallest tested sample size at which the success criterion was met
+        (``None`` if the search hit ``max_n`` without succeeding).
+    tested:
+        All ``(n, success_rate)`` pairs probed during the search.
+    """
+
+    alpha: float
+    n_star: Optional[int]
+    tested: Tuple[Tuple[int, float], ...]
+
+
+def _success_rate(
+    estimator: EstimatorFn,
+    distribution: Distribution,
+    parameter: str,
+    n: int,
+    alpha: float,
+    trials: int,
+    rng: np.random.Generator,
+) -> float:
+    result = run_statistical_trials(estimator, distribution, parameter, n, trials, rng)
+    return float(np.mean(result.errors <= alpha))
+
+
+def empirical_sample_complexity(
+    estimator: EstimatorFn,
+    distribution: Distribution,
+    parameter: str,
+    alpha: float,
+    *,
+    success_probability: float = 2.0 / 3.0,
+    trials: int = 20,
+    min_n: int = 32,
+    max_n: int = 1_048_576,
+    rng: RngLike = None,
+) -> SampleComplexityResult:
+    """Measure the sample size needed to reach error ``alpha`` with the given probability.
+
+    The search doubles ``n`` from ``min_n`` until the success criterion holds,
+    then bisects between the last failing and first succeeding sizes.  The
+    returned ``n_star`` is a measurement (subject to Monte-Carlo noise in the
+    success rate), not a certified bound.
+
+    Parameters
+    ----------
+    estimator:
+        Callable mapping ``(data, rng)`` to a point estimate.
+    distribution:
+        Source distribution (supplies samples and the ground truth).
+    parameter:
+        ``"mean"``, ``"variance"`` or ``"iqr"``.
+    alpha:
+        Target absolute error.
+    success_probability:
+        Fraction of trials that must achieve the target error.
+    trials:
+        Trials per probed sample size.
+    min_n, max_n:
+        Search range for the sample size.
+    """
+    if alpha <= 0:
+        raise DomainError(f"alpha must be positive, got {alpha}")
+    if not 0.0 < success_probability < 1.0:
+        raise DomainError(
+            f"success_probability must lie in (0, 1), got {success_probability}"
+        )
+    if min_n < 8 or max_n < min_n:
+        raise DomainError(f"invalid search range [{min_n}, {max_n}]")
+    generator = resolve_rng(rng)
+
+    tested: List[Tuple[int, float]] = []
+
+    # Phase 1: exponential search for a succeeding n.
+    n = min_n
+    succeeded_at: Optional[int] = None
+    last_failure = min_n
+    while n <= max_n:
+        rate = _success_rate(estimator, distribution, parameter, n, alpha, trials, generator)
+        tested.append((n, rate))
+        if rate >= success_probability:
+            succeeded_at = n
+            break
+        last_failure = n
+        n *= 2
+    if succeeded_at is None:
+        return SampleComplexityResult(alpha=alpha, n_star=None, tested=tuple(tested))
+
+    # Phase 2: bisection between the last failure and the first success.
+    low, high = last_failure, succeeded_at
+    while high - low > max(low // 4, 8):
+        mid = (low + high) // 2
+        rate = _success_rate(estimator, distribution, parameter, mid, alpha, trials, generator)
+        tested.append((mid, rate))
+        if rate >= success_probability:
+            high = mid
+        else:
+            low = mid
+    return SampleComplexityResult(alpha=alpha, n_star=high, tested=tuple(tested))

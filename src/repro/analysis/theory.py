@@ -1,0 +1,126 @@
+"""Theoretical error bounds from the paper, as evaluable curves.
+
+The benchmark harness plots/compares measured errors against the shapes the
+theorems predict.  Constants are not specified by the theorems (they hide
+universal constants), so every function here returns the bound *without* a
+leading constant; benchmarks compare shapes (scaling in ``n``, ``eps``,
+``gamma``, ``k``) rather than absolute values.
+
+Following the paper's convention (footnote 3), ``log x`` is defined to be 1
+for ``x <= e``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import DomainError
+
+__all__ = [
+    "paper_log",
+    "loglog",
+    "empirical_mean_error_bound",
+    "quantile_rank_error_bound",
+    "packing_lower_bound_value",
+    "gaussian_mean_error_bound",
+    "heavy_tailed_mean_error_bound",
+    "gaussian_variance_error_bound",
+    "heavy_tailed_variance_error_bound",
+    "iqr_error_bound",
+]
+
+
+def paper_log(x: float) -> float:
+    """Natural log with the paper's convention ``log(x) = 1`` for ``x <= e``."""
+    if x <= math.e:
+        return 1.0
+    return math.log(x)
+
+
+def loglog(x: float) -> float:
+    """``log(log(x))`` under the paper's log convention (always >= 1)."""
+    return paper_log(paper_log(x))
+
+
+def _check_positive(**kwargs: float) -> None:
+    for name, value in kwargs.items():
+        if value <= 0 or not math.isfinite(value):
+            raise DomainError(f"{name} must be positive and finite, got {value}")
+
+
+def empirical_mean_error_bound(gamma: float, n: int, epsilon: float, beta: float = 1.0 / 3.0) -> float:
+    """Theorem 3.3: ``(gamma(D) / (eps n)) * log(log(gamma(D)) / beta)``."""
+    _check_positive(gamma=gamma, n=n, epsilon=epsilon, beta=beta)
+    return (gamma / (epsilon * n)) * paper_log(paper_log(gamma) / beta)
+
+
+def quantile_rank_error_bound(gamma: float, epsilon: float, beta: float = 1.0 / 3.0) -> float:
+    """Theorem 3.5: rank error ``(1 / eps) * log(gamma(D) / beta)``."""
+    _check_positive(gamma=gamma, epsilon=epsilon, beta=beta)
+    return (1.0 / epsilon) * paper_log(gamma / beta)
+
+
+def packing_lower_bound_value(gamma: float, n: int, epsilon: float, domain_size: float) -> float:
+    """Theorem 3.4: ``gamma(D) / (3 eps n) * log(log2(N))`` for the packing instance."""
+    _check_positive(gamma=gamma, n=n, epsilon=epsilon, domain_size=domain_size)
+    log2_n_domain = max(math.log2(domain_size), 2.0)
+    return gamma / (3.0 * epsilon * n) * max(math.log(log2_n_domain), 1.0)
+
+
+def gaussian_mean_error_bound(n: int, epsilon: float, sigma: float) -> float:
+    """Theorem 4.6 error shape: ``sigma/sqrt(n) + (sigma/(eps n)) loglog(...) sqrt(log(eps n))``."""
+    _check_positive(n=n, epsilon=epsilon, sigma=sigma)
+    eps_n = max(epsilon * n, 2.0)
+    privacy = (sigma / (epsilon * n)) * loglog(eps_n) * math.sqrt(paper_log(eps_n))
+    sampling = sigma / math.sqrt(n)
+    return sampling + privacy
+
+
+def heavy_tailed_mean_error_bound(
+    n: int, epsilon: float, sigma: float, k: float, mu_k: float, phi: float
+) -> float:
+    """Theorem 4.9 error shape for a finite k-th central moment ``mu_k``."""
+    _check_positive(n=n, epsilon=epsilon, sigma=sigma, k=k, mu_k=mu_k, phi=phi)
+    eps_n = max(epsilon * n, 2.0)
+    privacy = (mu_k ** (1.0 / k)) / (eps_n ** (1.0 - 1.0 / k))
+    privacy *= loglog((eps_n * mu_k) ** (1.0 / k) / phi)
+    sampling = sigma / math.sqrt(n)
+    return sampling + privacy
+
+
+def gaussian_variance_error_bound(n: int, epsilon: float, sigma: float) -> float:
+    """Theorem 5.3 error shape: ``sigma^2/sqrt(n) + (sigma^2/(eps n)) logloglog(...) log(eps n)``."""
+    _check_positive(n=n, epsilon=epsilon, sigma=sigma)
+    eps_n = max(epsilon * n, 2.0)
+    privacy = (sigma**2 / (epsilon * n)) * paper_log(loglog(eps_n)) * paper_log(eps_n)
+    sampling = sigma**2 / math.sqrt(n)
+    return sampling + privacy
+
+
+def heavy_tailed_variance_error_bound(
+    n: int, epsilon: float, mu_4: float, k: float, mu_k: float, phi: float
+) -> float:
+    """Theorem 5.5 error shape for a finite k-th central moment (``k >= 4``)."""
+    _check_positive(n=n, epsilon=epsilon, mu_4=mu_4, k=k, mu_k=mu_k, phi=phi)
+    if k < 4:
+        raise DomainError(f"Theorem 5.5 requires k >= 4, got {k}")
+    eps_n = max(epsilon * n, 2.0)
+    privacy = (mu_k ** (2.0 / k)) / (eps_n ** (1.0 - 2.0 / k))
+    privacy *= loglog((eps_n * mu_k) ** (1.0 / k) / phi)
+    sampling = math.sqrt(mu_4 / n)
+    return sampling + privacy
+
+
+def iqr_error_bound(n: int, epsilon: float, iqr: float, theta: float) -> float:
+    """Theorem 6.2 error shape, inverted to an error for a given ``n``.
+
+    The theorem states the sample complexity
+    ``n ≳ 1/(eps alpha theta) + 1/(alpha theta)^2 + IQR/alpha``; solving each
+    term for ``alpha`` and taking the maximum gives the predicted error shape
+    ``alpha(n) ≈ max(1/(eps n theta), 1/(theta sqrt(n)), IQR/n)``.
+    """
+    _check_positive(n=n, epsilon=epsilon, iqr=iqr, theta=theta)
+    privacy = 1.0 / (epsilon * n * theta)
+    sampling = 1.0 / (theta * math.sqrt(n))
+    discretization = iqr / n
+    return max(privacy, sampling, discretization)

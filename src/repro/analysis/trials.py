@@ -1,0 +1,150 @@
+"""Trial runner: repeat a randomized estimator and summarise its error.
+
+Two entry points are provided:
+
+* :func:`run_trials` — fully generic: the caller supplies a data generator and
+  an estimator callable; used by the empirical-setting benchmarks where the
+  dataset is fixed or adversarial.
+* :func:`run_statistical_trials` — the common statistical-setting loop: draw a
+  fresh i.i.d. sample from a :class:`~repro.distributions.Distribution` each
+  trial, run the estimator, and compare against the distribution's true
+  parameter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro._rng import RngLike, resolve_rng
+from repro.analysis.metrics import ErrorSummary, summarize_errors
+from repro.distributions.base import Distribution
+from repro.exceptions import DomainError, MechanismError
+
+__all__ = ["TrialResult", "run_trials", "run_statistical_trials"]
+
+#: Signature of an estimator under test: (data, rng) -> point estimate.
+EstimatorFn = Callable[[np.ndarray, np.random.Generator], float]
+#: Signature of a data generator: (rng) -> dataset.
+DataFn = Callable[[np.random.Generator], np.ndarray]
+
+
+@dataclass(frozen=True)
+class TrialResult:
+    """Per-trial estimates and their error summary."""
+
+    estimates: np.ndarray
+    errors: np.ndarray
+    truth: float
+    summary: ErrorSummary
+    failures: int = 0
+
+    @property
+    def mean_estimate(self) -> float:
+        """Average of the per-trial estimates."""
+        return float(np.mean(self.estimates)) if self.estimates.size else float("nan")
+
+
+def run_trials(
+    estimator: EstimatorFn,
+    data_generator: DataFn,
+    truth: float,
+    trials: int,
+    rng: RngLike = None,
+    *,
+    allow_failures: bool = False,
+) -> TrialResult:
+    """Run ``trials`` independent (data, estimate) repetitions.
+
+    Parameters
+    ----------
+    estimator:
+        Callable mapping ``(data, rng)`` to a point estimate.
+    data_generator:
+        Callable mapping ``rng`` to a dataset; called once per trial.
+    truth:
+        Ground-truth value the estimates are compared against.
+    trials:
+        Number of repetitions.
+    allow_failures:
+        When ``True``, :class:`MechanismError` raised by the estimator (e.g. a
+        failed propose-test-release test) is counted instead of propagated,
+        and the failed trial contributes no estimate.
+    """
+    if trials < 1:
+        raise DomainError(f"trials must be at least 1, got {trials}")
+    generator = resolve_rng(rng)
+
+    estimates = []
+    failures = 0
+    for _ in range(trials):
+        data = data_generator(generator)
+        try:
+            estimates.append(float(estimator(data, generator)))
+        except MechanismError:
+            if not allow_failures:
+                raise
+            failures += 1
+    if not estimates:
+        raise MechanismError(f"all {trials} trials failed")
+    estimates_arr = np.asarray(estimates, dtype=float)
+    errors = np.abs(estimates_arr - truth)
+    return TrialResult(
+        estimates=estimates_arr,
+        errors=errors,
+        truth=float(truth),
+        summary=summarize_errors(errors),
+        failures=failures,
+    )
+
+
+def run_statistical_trials(
+    estimator: EstimatorFn,
+    distribution: Distribution,
+    parameter: str,
+    n: int,
+    trials: int,
+    rng: RngLike = None,
+    *,
+    allow_failures: bool = False,
+) -> TrialResult:
+    """Statistical-setting trials: fresh i.i.d. samples from ``distribution``.
+
+    Parameters
+    ----------
+    estimator:
+        Callable mapping ``(data, rng)`` to a point estimate.
+    distribution:
+        Source distribution; also supplies the ground truth.
+    parameter:
+        ``"mean"``, ``"variance"`` or ``"iqr"`` — which true parameter to
+        compare against.
+    n:
+        Sample size per trial.
+    trials:
+        Number of repetitions.
+    """
+    truth_lookup = {
+        "mean": lambda: distribution.mean,
+        "variance": lambda: distribution.variance,
+        "iqr": lambda: distribution.iqr,
+    }
+    if parameter not in truth_lookup:
+        raise DomainError(
+            f"parameter must be one of {sorted(truth_lookup)}, got {parameter!r}"
+        )
+    truth = float(truth_lookup[parameter]())
+
+    def generate(generator: np.random.Generator) -> np.ndarray:
+        return distribution.sample(n, generator)
+
+    return run_trials(
+        estimator,
+        generate,
+        truth,
+        trials,
+        rng,
+        allow_failures=allow_failures,
+    )

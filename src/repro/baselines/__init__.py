@@ -1,0 +1,47 @@
+"""Baseline estimators from prior work, re-implemented for comparison benches.
+
+Each baseline declares the assumptions it needs (A1: bounded mean range,
+A2: bounded variance range / moment bound, A3: distribution family) and the
+privacy model it satisfies, so the Table-1 capability benchmark can verify
+programmatically that only the universal estimators of this paper run without
+any of them.
+"""
+
+from repro.baselines.base import BaselineEstimator, describe_baselines
+from repro.baselines.bounded_laplace import BoundedLaplaceMean, BoundedLaplaceVariance
+from repro.baselines.coinpress import CoinPressMean
+from repro.baselines.dwork_lei_iqr import DworkLeiIQR
+from repro.baselines.finite_domain import FiniteDomainLaplaceMean
+from repro.baselines.karwa_vadhan import KarwaVadhanGaussianMean, KarwaVadhanGaussianVariance
+from repro.baselines.ksu_heavy_tailed import KSUHeavyTailedMean
+from repro.baselines.nonprivate import (
+    MidRangeMean,
+    SampleIQR,
+    SampleMean,
+    SampleVariance,
+)
+from repro.baselines.universal_adapters import (
+    UniversalIQR,
+    UniversalMean,
+    UniversalVariance,
+)
+
+__all__ = [
+    "BaselineEstimator",
+    "describe_baselines",
+    "SampleMean",
+    "SampleVariance",
+    "SampleIQR",
+    "MidRangeMean",
+    "BoundedLaplaceMean",
+    "BoundedLaplaceVariance",
+    "FiniteDomainLaplaceMean",
+    "KarwaVadhanGaussianMean",
+    "KarwaVadhanGaussianVariance",
+    "CoinPressMean",
+    "KSUHeavyTailedMean",
+    "DworkLeiIQR",
+    "UniversalMean",
+    "UniversalVariance",
+    "UniversalIQR",
+]

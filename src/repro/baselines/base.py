@@ -1,0 +1,77 @@
+"""Common interface for baseline estimators.
+
+A baseline is a single-parameter point estimator with an explicit declaration
+of the prior-knowledge assumptions it consumes:
+
+* ``A1`` — a bound ``R`` on the magnitude of the mean;
+* ``A2`` — bounds on the variance (``sigma_min``/``sigma_max``) or a moment
+  bound ``mu_k_bound``;
+* ``A3`` — a distribution-family assumption needed for its utility analysis.
+
+The universal estimators of the paper are wrapped by the adapters in
+``repro.baselines.universal_adapters`` with an empty assumption set, which is
+what the Table-1 capability benchmark checks.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro._rng import RngLike
+
+__all__ = ["BaselineEstimator", "BaselineDescription", "describe_baselines"]
+
+
+@dataclass(frozen=True)
+class BaselineDescription:
+    """Static description of a baseline for capability tables."""
+
+    name: str
+    target: str
+    assumptions: FrozenSet[str]
+    privacy: str
+    reference: str
+
+
+class BaselineEstimator(abc.ABC):
+    """A (possibly private) point estimator for a single statistical parameter."""
+
+    #: Short name used in benchmark tables.
+    name: str = "baseline"
+    #: Which parameter this estimates: ``"mean"``, ``"variance"`` or ``"iqr"``.
+    target: str = "mean"
+    #: Subset of {"A1", "A2", "A3"} this estimator requires.
+    assumptions: FrozenSet[str] = frozenset()
+    #: ``"pure"`` (ε-DP), ``"approx"`` ((ε, δ)-DP) or ``"none"`` (non-private).
+    privacy: str = "none"
+    #: Citation key of the work this baseline reproduces.
+    reference: str = ""
+
+    @abc.abstractmethod
+    def estimate(self, values: Sequence[float], epsilon: float, rng: RngLike = None) -> float:
+        """Return the estimate computed from ``values`` under budget ``epsilon``.
+
+        Non-private baselines ignore ``epsilon``.
+        """
+
+    def describe(self) -> BaselineDescription:
+        """Return the static capability description of this estimator."""
+        return BaselineDescription(
+            name=self.name,
+            target=self.target,
+            assumptions=self.assumptions,
+            privacy=self.privacy,
+            reference=self.reference,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r}, target={self.target!r})"
+
+
+def describe_baselines(estimators: Iterable[BaselineEstimator]) -> List[BaselineDescription]:
+    """Collect the capability descriptions of a set of estimators."""
+    return [est.describe() for est in estimators]

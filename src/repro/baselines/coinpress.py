@@ -1,0 +1,85 @@
+"""CoinPress-style iterative mean estimation, adapted to pure DP ([BDKU20]).
+
+CoinPress iteratively shrinks a confidence interval for the mean: each round
+clips the data to the current interval (padded by ``O(sigma_max sqrt(log n))``),
+releases a noisy clipped mean with a share of the budget, and re-centres the
+interval around it.  The original uses zCDP and Gaussian noise; since this
+library's comparisons are under pure ε-DP, each round here uses the Laplace
+mechanism and the budget is split evenly across rounds (basic composition).
+
+Requires assumptions A1 (initial interval ``[-R, R]``) and A2 (``sigma_max``);
+its analysis assumes (sub-)Gaussian data (A3).  The benefit over the one-shot
+bounded Laplace baseline is that a very loose ``R`` only hurts for the first
+round or two; the remaining dependence on ``sigma_max`` is what the universal
+estimator removes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro._rng import RngLike, resolve_rng
+from repro.accounting import validate_epsilon
+from repro.baselines.base import BaselineEstimator
+from repro.exceptions import AssumptionRequiredError, InsufficientDataError
+
+__all__ = ["CoinPressMean"]
+
+
+class CoinPressMean(BaselineEstimator):
+    """Iterative interval-refinement mean estimator (pure-DP CoinPress adaptation)."""
+
+    name = "coinpress_mean"
+    target = "mean"
+    assumptions = frozenset({"A1", "A2", "A3"})
+    privacy = "pure"
+    reference = "BDKU20 (CoinPress), Laplace-noise adaptation"
+
+    def __init__(
+        self,
+        radius: Optional[float] = None,
+        sigma_max: Optional[float] = None,
+        rounds: int = 3,
+    ) -> None:
+        if radius is None or sigma_max is None:
+            raise AssumptionRequiredError(
+                "CoinPressMean requires the mean range R (A1) and sigma_max (A2)"
+            )
+        if radius <= 0 or sigma_max <= 0:
+            raise AssumptionRequiredError("R and sigma_max must be positive")
+        if rounds < 1:
+            raise AssumptionRequiredError(f"rounds must be at least 1, got {rounds}")
+        self.radius = float(radius)
+        self.sigma_max = float(sigma_max)
+        self.rounds = int(rounds)
+
+    def estimate(self, values: Sequence[float], epsilon: float, rng: RngLike = None) -> float:
+        epsilon = validate_epsilon(epsilon)
+        data = np.asarray(values, dtype=float)
+        if data.size < 8:
+            raise InsufficientDataError("need at least 8 samples")
+        generator = resolve_rng(rng)
+        n = data.size
+
+        eps_round = epsilon / self.rounds
+        padding = 2.0 * self.sigma_max * math.sqrt(2.0 * math.log(max(2 * n, 3)))
+        low, high = -self.radius, self.radius
+        estimate = 0.0
+        for _ in range(self.rounds):
+            clip_low = low - padding
+            clip_high = high + padding
+            clipped = np.clip(data, clip_low, clip_high)
+            sensitivity = (clip_high - clip_low) / n
+            noise_scale = sensitivity / eps_round
+            estimate = float(np.mean(clipped) + generator.laplace(scale=noise_scale))
+            # Shrink the interval: sampling error + a high-probability bound on
+            # the Laplace noise of this round.
+            half_width = (
+                2.0 * self.sigma_max / math.sqrt(n)
+                + noise_scale * math.log(2.0 * n)
+            )
+            low, high = estimate - half_width, estimate + half_width
+        return estimate

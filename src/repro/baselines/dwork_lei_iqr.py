@@ -1,0 +1,92 @@
+"""Dwork-Lei propose-test-release IQR estimator ([DL09], approximate DP only).
+
+Before this paper, the only universal (assumption-free) private scale
+estimator was the propose-test-release (PTR) algorithm of Dwork and Lei.  PTR
+fundamentally cannot give pure DP: with probability ``delta`` the stability
+test passes even though the instance is unstable, so the guarantee is
+``(eps, delta)``-DP.  The utility side (equation (13) of the paper) has a
+privacy term whose convergence rate is only ``alpha ∝ IQR / (eps log n)``
+because the released value is resolved on a grid whose resolution is a fixed
+fraction of the (log-discretized) scale, rather than shrinking like ``1/n``.
+
+This implementation follows the standard simplified PTR recipe:
+
+1. compute the empirical IQR and its dyadic scale ``s = 2^{ceil(log2 IQR)}``;
+2. compute the *distance to instability* — the number of records that must
+   change before the dyadic scale changes;
+3. add Laplace(1/eps) noise to that distance and compare against
+   ``log(1/delta)/eps``; if the test fails, refuse to answer;
+4. otherwise release the empirical IQR plus Laplace noise at scale
+   ``s / (eps * log2(n))``, i.e. resolution proportional to the scale over
+   ``log n`` — matching the convergence-rate shape quoted in the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro._rng import RngLike, resolve_rng
+from repro.accounting import validate_epsilon
+from repro.baselines.base import BaselineEstimator
+from repro.exceptions import InsufficientDataError, MechanismError, PrivacyParameterError
+
+__all__ = ["DworkLeiIQR"]
+
+
+class DworkLeiIQR(BaselineEstimator):
+    """Propose-test-release IQR estimator; universal but only (eps, delta)-DP."""
+
+    name = "dwork_lei_iqr"
+    target = "iqr"
+    assumptions = frozenset()
+    privacy = "approx"
+    reference = "DL09"
+
+    def __init__(self, delta: float = 1e-6) -> None:
+        if not 0.0 < delta < 1.0:
+            raise PrivacyParameterError(f"delta must lie in (0, 1), got {delta}")
+        self.delta = float(delta)
+
+    @staticmethod
+    def _empirical_iqr(sorted_data: np.ndarray, shift_low: int = 0, shift_high: int = 0) -> float:
+        n = sorted_data.size
+        low_rank = int(np.clip(n // 4 - 1 + shift_low, 0, n - 1))
+        high_rank = int(np.clip((3 * n) // 4 - 1 + shift_high, 0, n - 1))
+        return float(sorted_data[high_rank] - sorted_data[low_rank])
+
+    def _distance_to_instability(self, sorted_data: np.ndarray, scale: float) -> int:
+        """Smallest t such that moving the quartile ranks by t changes the dyadic scale."""
+        n = sorted_data.size
+        for t in range(1, n // 4):
+            widened = self._empirical_iqr(sorted_data, shift_low=-t, shift_high=t)
+            narrowed = self._empirical_iqr(sorted_data, shift_low=t, shift_high=-t)
+            if widened > 2.0 * scale or narrowed <= 0.5 * scale * 0.5:
+                return t - 1
+        return n // 4
+
+    def estimate(self, values: Sequence[float], epsilon: float, rng: RngLike = None) -> float:
+        """Release the IQR or raise :class:`MechanismError` if the PTR test fails."""
+        epsilon = validate_epsilon(epsilon)
+        data = np.sort(np.asarray(values, dtype=float))
+        if data.size < 8:
+            raise InsufficientDataError("need at least 8 samples")
+        generator = resolve_rng(rng)
+        n = data.size
+
+        sample_iqr = self._empirical_iqr(data)
+        if sample_iqr <= 0:
+            raise MechanismError("empirical IQR is zero; PTR cannot certify stability")
+        scale = 2.0 ** math.ceil(math.log2(sample_iqr))
+
+        distance = self._distance_to_instability(data, scale)
+        noisy_distance = distance + generator.laplace(scale=1.0 / (epsilon / 2.0))
+        if noisy_distance < math.log(1.0 / self.delta) / (epsilon / 2.0):
+            raise MechanismError(
+                "propose-test-release stability test failed; no answer released"
+            )
+
+        noise_scale = scale / ((epsilon / 2.0) * math.log2(max(n, 4)))
+        return float(sample_iqr + generator.laplace(scale=noise_scale))

@@ -1,0 +1,58 @@
+"""Finite-domain ``[0, N]`` mean baseline.
+
+Prior empirical mean estimators ([NRS07, AD20, HLY21]) assume the data live
+in a known finite domain ``[N] = {0, ..., N}``.  The simplest worst-case
+optimal instance of that family is the Laplace mechanism with sensitivity
+``N / n``.  Its error is proportional to ``N``, whereas the paper's
+``InfiniteDomainMean`` pays only ``gamma(D) * loglog(gamma(D))`` — an
+exponential improvement in the optimality ratio (``loglog N`` vs ``log N``)
+and the comparison measured by benchmark E4.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro._rng import RngLike, resolve_rng
+from repro.accounting import validate_epsilon
+from repro.baselines.base import BaselineEstimator
+from repro.exceptions import AssumptionRequiredError, InsufficientDataError
+
+__all__ = ["FiniteDomainLaplaceMean"]
+
+
+class FiniteDomainLaplaceMean(BaselineEstimator):
+    """Empirical mean over a known finite domain ``[0, N]`` via the Laplace mechanism.
+
+    Requires the domain bound ``N`` (a form of assumption A1).  Values outside
+    ``[0, N]`` are clipped into the domain before averaging, as any
+    finite-domain mechanism must.
+    """
+
+    name = "finite_domain_laplace_mean"
+    target = "mean"
+    assumptions = frozenset({"A1"})
+    privacy = "pure"
+    reference = "NRS07 / AD20 / HLY21 (finite-domain setting)"
+
+    def __init__(self, domain_size: Optional[int] = None) -> None:
+        if domain_size is None:
+            raise AssumptionRequiredError(
+                "FiniteDomainLaplaceMean requires the domain bound N"
+            )
+        if domain_size <= 0:
+            raise AssumptionRequiredError(f"domain size must be positive, got {domain_size}")
+        self.domain_size = int(domain_size)
+
+    def estimate(self, values: Sequence[float], epsilon: float, rng: RngLike = None) -> float:
+        epsilon = validate_epsilon(epsilon)
+        data = np.asarray(values, dtype=float)
+        if data.size == 0:
+            raise InsufficientDataError("dataset is empty")
+        generator = resolve_rng(rng)
+        clipped = np.clip(data, 0.0, float(self.domain_size))
+        sensitivity = self.domain_size / data.size
+        return float(np.mean(clipped) + generator.laplace(scale=sensitivity / epsilon))

@@ -1,0 +1,143 @@
+"""Karwa-Vadhan style Gaussian estimators under assumptions A1/A2/A3 ([KV18]).
+
+[KV18] estimate a Gaussian mean under pure DP in two stages:
+
+1. **Coarse localisation** — partition the assumed range ``[-R, R]`` into bins
+   of width ``sigma_max`` (``2 sigma`` in the original; ``sigma_max`` when only
+   a range for sigma is known), privately pick the heaviest bin with a noisy
+   histogram, which localises the mean to within a couple of bins.
+2. **Fine estimation** — clip the data to the located bin padded by
+   ``O(sigma_max * sqrt(log n))`` and release the clipped mean with Laplace
+   noise.
+
+Their variance estimator similarly localises ``log sigma`` with a noisy
+histogram over ``[log sigma_min, log sigma_max]`` built from paired squared
+differences, then releases a clipped mean of those differences.
+
+Both estimators *require* A1/A2/A3 — their error degrades linearly with the
+looseness of ``R`` (through the number of bins in the first stage, which
+inflates the required sample size ``n ≳ (1/eps) log(R / sigma_min)``), which
+is precisely the dependence the universal estimators remove.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro._rng import RngLike, resolve_rng
+from repro.accounting import validate_epsilon
+from repro.baselines.base import BaselineEstimator
+from repro.exceptions import AssumptionRequiredError, InsufficientDataError
+from repro.mechanisms.noisy_max import report_noisy_max
+
+__all__ = ["KarwaVadhanGaussianMean", "KarwaVadhanGaussianVariance"]
+
+
+class KarwaVadhanGaussianMean(BaselineEstimator):
+    """[KV18]-style pure-DP Gaussian mean estimator (assumptions A1, A2, A3)."""
+
+    name = "karwa_vadhan_mean"
+    target = "mean"
+    assumptions = frozenset({"A1", "A2", "A3"})
+    privacy = "pure"
+    reference = "KV18"
+
+    def __init__(
+        self,
+        radius: Optional[float] = None,
+        sigma_min: Optional[float] = None,
+        sigma_max: Optional[float] = None,
+    ) -> None:
+        if radius is None or sigma_max is None:
+            raise AssumptionRequiredError(
+                "KarwaVadhanGaussianMean requires the mean range R (A1) and sigma bounds (A2)"
+            )
+        if radius <= 0 or sigma_max <= 0:
+            raise AssumptionRequiredError("R and sigma_max must be positive")
+        self.radius = float(radius)
+        self.sigma_max = float(sigma_max)
+        self.sigma_min = float(sigma_min) if sigma_min is not None else float(sigma_max)
+
+    def estimate(self, values: Sequence[float], epsilon: float, rng: RngLike = None) -> float:
+        epsilon = validate_epsilon(epsilon)
+        data = np.asarray(values, dtype=float)
+        if data.size < 8:
+            raise InsufficientDataError("need at least 8 samples")
+        generator = resolve_rng(rng)
+        n = data.size
+
+        # Stage 1 (eps/2): locate the mean with a noisy histogram over [-R, R].
+        bin_width = self.sigma_max
+        edges = np.arange(-self.radius, self.radius + bin_width, bin_width)
+        if edges.size < 2:
+            edges = np.array([-self.radius, self.radius])
+        counts, _ = np.histogram(np.clip(data, -self.radius, self.radius), bins=edges)
+        best = report_noisy_max(counts, epsilon / 2.0, generator)
+        center = 0.5 * (edges[best] + edges[best + 1])
+
+        # Stage 2 (eps/2): clipped mean around the located bin.
+        padding = 4.0 * self.sigma_max * math.sqrt(math.log(max(n, 3)))
+        low, high = center - padding, center + padding
+        clipped = np.clip(data, low, high)
+        sensitivity = (high - low) / n
+        return float(np.mean(clipped) + generator.laplace(scale=2.0 * sensitivity / epsilon))
+
+
+class KarwaVadhanGaussianVariance(BaselineEstimator):
+    """[KV18]-style pure-DP Gaussian variance estimator (assumptions A1, A2, A3)."""
+
+    name = "karwa_vadhan_variance"
+    target = "variance"
+    assumptions = frozenset({"A2", "A3"})
+    privacy = "pure"
+    reference = "KV18"
+
+    def __init__(
+        self, sigma_min: Optional[float] = None, sigma_max: Optional[float] = None
+    ) -> None:
+        if sigma_min is None or sigma_max is None:
+            raise AssumptionRequiredError(
+                "KarwaVadhanGaussianVariance requires sigma_min and sigma_max (assumption A2)"
+            )
+        if not 0 < sigma_min <= sigma_max:
+            raise AssumptionRequiredError(
+                f"need 0 < sigma_min <= sigma_max, got {sigma_min}, {sigma_max}"
+            )
+        self.sigma_min = float(sigma_min)
+        self.sigma_max = float(sigma_max)
+
+    def estimate(self, values: Sequence[float], epsilon: float, rng: RngLike = None) -> float:
+        epsilon = validate_epsilon(epsilon)
+        data = np.asarray(values, dtype=float)
+        if data.size < 8:
+            raise InsufficientDataError("need at least 8 samples")
+        generator = resolve_rng(rng)
+        n = data.size
+
+        permuted = generator.permutation(data)
+        n_pairs = permuted.size // 2
+        paired = 0.5 * (permuted[: 2 * n_pairs : 2] - permuted[1 : 2 * n_pairs : 2]) ** 2
+
+        # Stage 1 (eps/2): locate log2(sigma^2) with a noisy histogram over
+        # [2 log2 sigma_min, 2 log2 sigma_max].
+        log_low = 2.0 * math.log2(self.sigma_min)
+        log_high = 2.0 * math.log2(self.sigma_max) + 1.0
+        edges = np.arange(log_low, log_high + 1.0, 1.0)
+        if edges.size < 2:
+            edges = np.array([log_low, log_high])
+        positive = paired[paired > 0]
+        if positive.size == 0:
+            positive = np.array([self.sigma_min**2])
+        logs = np.clip(np.log2(positive), log_low, log_high - 1e-9)
+        counts, _ = np.histogram(logs, bins=edges)
+        best = report_noisy_max(counts, epsilon / 2.0, generator)
+        sigma2_guess = 2.0 ** (0.5 * (edges[best] + edges[best + 1]))
+
+        # Stage 2 (eps/2): clipped mean of the paired statistic.
+        ceiling = 4.0 * sigma2_guess * math.log(max(n, 3))
+        clipped = np.clip(paired, 0.0, ceiling)
+        sensitivity = ceiling / n_pairs
+        return float(np.mean(clipped) + generator.laplace(scale=2.0 * sensitivity / epsilon))

@@ -1,0 +1,89 @@
+"""Non-private reference estimators (the classical sample statistics).
+
+These provide the sampling-error floor against which all private estimators
+are compared: no private estimator can beat the empirical estimator on
+expectation, and the paper's headline claim is that its universal private
+estimators add only a ~``1/(eps n)`` term on top of this floor.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro._rng import RngLike
+from repro.baselines.base import BaselineEstimator
+from repro.exceptions import InsufficientDataError
+
+__all__ = ["SampleMean", "SampleVariance", "SampleIQR", "MidRangeMean"]
+
+
+def _as_array(values: Sequence[float]) -> np.ndarray:
+    data = np.asarray(values, dtype=float)
+    if data.size == 0:
+        raise InsufficientDataError("dataset is empty")
+    return data
+
+
+class SampleMean(BaselineEstimator):
+    """The empirical mean ``(1/n) sum X_i`` (non-private)."""
+
+    name = "sample_mean"
+    target = "mean"
+    assumptions = frozenset()
+    privacy = "none"
+    reference = "classical"
+
+    def estimate(self, values: Sequence[float], epsilon: float = 0.0, rng: RngLike = None) -> float:
+        return float(np.mean(_as_array(values)))
+
+
+class SampleVariance(BaselineEstimator):
+    """The empirical variance ``(1/n) sum (X_i - mean)^2`` (non-private)."""
+
+    name = "sample_variance"
+    target = "variance"
+    assumptions = frozenset()
+    privacy = "none"
+    reference = "classical"
+
+    def estimate(self, values: Sequence[float], epsilon: float = 0.0, rng: RngLike = None) -> float:
+        return float(np.var(_as_array(values)))
+
+
+class SampleIQR(BaselineEstimator):
+    """The empirical interquartile range ``X_{3n/4} - X_{n/4}`` (non-private)."""
+
+    name = "sample_iqr"
+    target = "iqr"
+    assumptions = frozenset()
+    privacy = "none"
+    reference = "classical"
+
+    def estimate(self, values: Sequence[float], epsilon: float = 0.0, rng: RngLike = None) -> float:
+        data = np.sort(_as_array(values))
+        n = data.size
+        low = data[max(n // 4 - 1, 0)]
+        high = data[min((3 * n) // 4 - 1, n - 1)]
+        return float(high - low)
+
+
+class MidRangeMean(BaselineEstimator):
+    """The mid-range ``(X_1 + X_n) / 2`` (non-private).
+
+    The paper's introduction uses this as the canonical example of a
+    distribution-specific estimator: it converges at rate ``O(1/n)`` for the
+    uniform distribution but fails badly for Gaussians, motivating universal
+    estimators.
+    """
+
+    name = "mid_range"
+    target = "mean"
+    assumptions = frozenset({"A3"})
+    privacy = "none"
+    reference = "classical (uniform-specific)"
+
+    def estimate(self, values: Sequence[float], epsilon: float = 0.0, rng: RngLike = None) -> float:
+        data = _as_array(values)
+        return float(0.5 * (np.min(data) + np.max(data)))

@@ -1,0 +1,25 @@
+"""Benchmark harness: workload generators, capability matrix and reporting."""
+
+from repro.bench.capability import CapabilityRow, capability_matrix, default_estimator_suite
+from repro.bench.reporting import format_series, format_table, render_experiment_header
+from repro.bench.workloads import (
+    adversarial_outlier_dataset,
+    clustered_integer_dataset,
+    packing_level_dataset,
+    uniform_integer_dataset,
+    wide_spread_dataset,
+)
+
+__all__ = [
+    "format_table",
+    "format_series",
+    "render_experiment_header",
+    "CapabilityRow",
+    "capability_matrix",
+    "default_estimator_suite",
+    "uniform_integer_dataset",
+    "clustered_integer_dataset",
+    "adversarial_outlier_dataset",
+    "wide_spread_dataset",
+    "packing_level_dataset",
+]

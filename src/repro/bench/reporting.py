@@ -1,0 +1,65 @@
+"""Plain-text reporting helpers used by every benchmark.
+
+Benchmarks print the same rows/series a paper table or figure would contain.
+These helpers keep the formatting consistent (aligned columns, stable float
+formatting) so the outputs in ``bench_output.txt`` are easy to diff against
+``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence, Union
+
+__all__ = ["format_table", "format_series", "render_experiment_header"]
+
+Cell = Union[str, int, float]
+
+
+def _format_cell(value: Cell) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e5 or magnitude < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[Cell]]) -> str:
+    """Render an aligned plain-text table."""
+    header_cells = [str(h) for h in headers]
+    body = [[_format_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in header_cells]
+    for row in body:
+        for i, cell in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(cell))
+            else:
+                widths.append(len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = [render_row(header_cells), render_row(["-" * w for w in widths])]
+    lines.extend(render_row(row) for row in body)
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: Sequence[Cell], ys: Sequence[Cell]) -> str:
+    """Render a named (x, y) series as two aligned columns."""
+    rows = list(zip(xs, ys))
+    return f"series: {name}\n" + format_table(["x", "y"], rows)
+
+
+def render_experiment_header(experiment_id: str, description: str) -> str:
+    """A banner separating experiments in the combined benchmark output."""
+    bar = "=" * 78
+    return f"\n{bar}\n[{experiment_id}] {description}\n{bar}"
+
+
+def print_table(headers: Sequence[str], rows: Iterable[Sequence[Cell]]) -> None:
+    """Convenience wrapper printing :func:`format_table` output."""
+    print(format_table(headers, rows))

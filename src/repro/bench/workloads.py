@@ -1,0 +1,98 @@
+"""Workload generators for the empirical-setting benchmarks (E1-E5).
+
+The statistical benchmarks draw their data directly from
+``repro.distributions``; the empirical benchmarks instead need *datasets with
+controlled geometry* — a known width ``gamma(D)``, radius ``rad(D)``, outlier
+structure, or the packing structure of the lower bound — so the measured
+errors can be compared against the instance-specific bounds of Section 3.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._rng import RngLike, resolve_rng
+from repro.exceptions import DomainError
+
+__all__ = [
+    "uniform_integer_dataset",
+    "clustered_integer_dataset",
+    "adversarial_outlier_dataset",
+    "wide_spread_dataset",
+    "packing_level_dataset",
+]
+
+
+def uniform_integer_dataset(
+    n: int, width: int, center: int = 0, rng: RngLike = None
+) -> np.ndarray:
+    """``n`` integers uniform on ``[center - width/2, center + width/2]``.
+
+    The dataset's width is (approximately) ``width`` and its radius is
+    ``|center| + width/2``, so radius and width can be controlled separately.
+    """
+    if n < 1 or width < 0:
+        raise DomainError(f"need n >= 1 and width >= 0, got n={n}, width={width}")
+    generator = resolve_rng(rng)
+    half = width // 2
+    return generator.integers(center - half, center + half + 1, size=n).astype(float)
+
+
+def clustered_integer_dataset(
+    n: int, cluster_value: int, spread: int = 1, rng: RngLike = None
+) -> np.ndarray:
+    """A tight cluster of ``n`` integers around ``cluster_value``.
+
+    Used to verify that the private radius/range adapt to the data's location:
+    a cluster far from the origin has ``rad(D) >> gamma(D)``.
+    """
+    if n < 1 or spread < 0:
+        raise DomainError(f"need n >= 1 and spread >= 0, got n={n}, spread={spread}")
+    generator = resolve_rng(rng)
+    return (cluster_value + generator.integers(-spread, spread + 1, size=n)).astype(float)
+
+
+def adversarial_outlier_dataset(
+    n: int, bulk_width: int, outliers: int, outlier_value: int, rng: RngLike = None
+) -> np.ndarray:
+    """A bulk of ``n - outliers`` integers in ``[-bulk_width/2, bulk_width/2]`` plus far outliers.
+
+    This is the workload where clipping decisions matter: a good private range
+    should cover the bulk and sacrifice the ``outliers`` points at
+    ``outlier_value``, paying ``outliers * gamma / n`` bias rather than
+    inflating the range (and hence the noise) to cover them.
+    """
+    if outliers < 0 or outliers > n:
+        raise DomainError(f"outliers must lie in [0, n], got {outliers}")
+    generator = resolve_rng(rng)
+    bulk = uniform_integer_dataset(n - outliers, bulk_width, 0, generator)
+    tail = np.full(outliers, float(outlier_value))
+    data = np.concatenate([bulk, tail])
+    generator.shuffle(data)
+    return data
+
+
+def wide_spread_dataset(n: int, width: int, rng: RngLike = None) -> np.ndarray:
+    """Integers spread evenly (deterministic grid plus jitter) across ``width``.
+
+    Guarantees the dataset width is exactly ``width`` (the extreme points are
+    pinned), which the E3 benchmark uses to sweep ``gamma(D)`` precisely.
+    """
+    if n < 2 or width < 1:
+        raise DomainError(f"need n >= 2 and width >= 1, got n={n}, width={width}")
+    generator = resolve_rng(rng)
+    grid = np.linspace(-width / 2.0, width / 2.0, n)
+    jitter = generator.integers(-1, 2, size=n)
+    data = np.rint(grid) + jitter
+    data[0] = -width // 2
+    data[-1] = width // 2
+    return data.astype(float)
+
+
+def packing_level_dataset(n: int, level_value: int, changed: int) -> np.ndarray:
+    """One dataset of the Theorem 3.4 packing family: ``changed`` copies of ``level_value``, rest zeros."""
+    if changed < 0 or changed > n:
+        raise DomainError(f"changed must lie in [0, n], got {changed}")
+    data = np.zeros(n)
+    data[:changed] = float(level_value)
+    return data

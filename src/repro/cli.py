@@ -1,0 +1,158 @@
+"""Command-line interface: DP statistics over a CSV column with no domain bounds.
+
+Usage (also available as ``python -m repro``)::
+
+    python -m repro mean      data.csv --column salary --epsilon 0.5
+    python -m repro variance  data.csv --column salary --epsilon 0.5
+    python -m repro iqr       data.csv --column salary --epsilon 0.5
+    python -m repro quantiles data.csv --column latency_us --levels 0.5 0.95 0.99
+
+The CLI is a thin wrapper around the universal estimators: it never asks for a
+range, a sigma bound or a distribution family — only the data, a privacy
+budget, and (optionally) a seed for reproducibility.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro import (
+    PrivacyLedger,
+    estimate_iqr,
+    estimate_mean,
+    estimate_quantiles,
+    estimate_variance,
+)
+from repro.exceptions import DomainError, ReproError
+
+__all__ = ["build_parser", "load_column", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Universal pure-DP estimators for mean, variance, IQR and quantiles.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("csv_path", type=Path, help="Path to the input CSV file")
+        sub.add_argument(
+            "--column", required=True, help="Column name (header) or 0-based index to analyse"
+        )
+        sub.add_argument("--epsilon", type=float, default=1.0, help="Privacy budget (default 1.0)")
+        sub.add_argument("--beta", type=float, default=1.0 / 3.0, help="Failure probability")
+        sub.add_argument("--seed", type=int, default=None, help="Seed for reproducible noise")
+        sub.add_argument(
+            "--show-ledger", action="store_true", help="Print the per-mechanism budget spends"
+        )
+
+    for name, help_text in (
+        ("mean", "estimate the statistical mean"),
+        ("variance", "estimate the statistical variance"),
+        ("iqr", "estimate the interquartile range"),
+    ):
+        add_common(subparsers.add_parser(name, help=help_text))
+
+    quantiles = subparsers.add_parser("quantiles", help="estimate one or more quantiles")
+    add_common(quantiles)
+    quantiles.add_argument(
+        "--levels",
+        type=float,
+        nargs="+",
+        default=[0.5],
+        help="Quantile levels in (0, 1), e.g. --levels 0.5 0.95 0.99",
+    )
+    return parser
+
+
+def load_column(csv_path: Path, column: str) -> np.ndarray:
+    """Load one numeric column from a CSV file (by header name or 0-based index)."""
+    if not csv_path.exists():
+        raise DomainError(f"input file not found: {csv_path}")
+    with open(csv_path, newline="") as handle:
+        reader = csv.reader(handle)
+        rows = [row for row in reader if row]
+    if not rows:
+        raise DomainError(f"input file is empty: {csv_path}")
+
+    header = rows[0]
+    if column in header:
+        index = header.index(column)
+        body = rows[1:]
+    else:
+        try:
+            index = int(column)
+        except ValueError as exc:
+            raise DomainError(
+                f"column {column!r} is neither a header of {header} nor an integer index"
+            ) from exc
+        # Heuristic: if the first row's target cell is not numeric, treat it as a header.
+        body = rows
+        try:
+            float(rows[0][index])
+        except (ValueError, IndexError):
+            body = rows[1:]
+
+    values: List[float] = []
+    for row_number, row in enumerate(body, start=1):
+        if index >= len(row) or row[index].strip() == "":
+            continue
+        try:
+            values.append(float(row[index]))
+        except ValueError as exc:
+            raise DomainError(
+                f"non-numeric value {row[index]!r} in row {row_number} of column {column!r}"
+            ) from exc
+    if not values:
+        raise DomainError(f"no numeric values found in column {column!r}")
+    return np.asarray(values, dtype=float)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    try:
+        data = load_column(args.csv_path, args.column)
+        rng = np.random.default_rng(args.seed)
+        ledger = PrivacyLedger()
+
+        if args.command == "mean":
+            result = estimate_mean(data, args.epsilon, args.beta, rng, ledger=ledger)
+            print(f"dp_mean={result.mean:.6g}")
+        elif args.command == "variance":
+            result = estimate_variance(data, args.epsilon, args.beta, rng, ledger=ledger)
+            print(f"dp_variance={result.variance:.6g}")
+        elif args.command == "iqr":
+            result = estimate_iqr(data, args.epsilon, args.beta, rng, ledger=ledger)
+            print(f"dp_iqr={result.iqr:.6g}")
+        elif args.command == "quantiles":
+            result = estimate_quantiles(
+                data, args.levels, args.epsilon, args.beta, rng, ledger=ledger
+            )
+            for level, value in result.as_dict().items():
+                print(f"dp_q{level:g}={value:.6g}")
+        else:  # pragma: no cover - argparse enforces the choices
+            parser.error(f"unknown command {args.command!r}")
+
+        print(f"records={data.size}")
+        print(f"epsilon_spent={ledger.total_epsilon:.6g}")
+        if args.show_ledger:
+            print(ledger.summary())
+        return 0
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,30 @@
+"""The paper's primary contribution: universal ε-DP statistical estimators.
+
+* :func:`estimate_iqr_lower_bound` — ``EstimateIQRLowerBound`` (Algorithm 7),
+  the private bucket-size search that removes assumption A2;
+* :func:`estimate_mean` — ``EstimateMean`` (Algorithm 8, Theorems 4.5-4.9);
+* :func:`estimate_variance` — ``EstimateVariance`` (Algorithm 9, Theorems 5.2-5.5);
+* :func:`estimate_iqr` — ``EstimateIQR`` (Algorithm 10, Theorem 6.2).
+
+All of them work for an arbitrary, unknown continuous distribution P with no
+boundedness assumptions on its mean or variance.
+"""
+
+from repro.core.iqr import IQRResult, estimate_iqr
+from repro.core.iqr_lower_bound import IQRLowerBoundResult, estimate_iqr_lower_bound
+from repro.core.mean import MeanResult, estimate_mean
+from repro.core.quantiles import QuantilesResult, estimate_quantiles
+from repro.core.variance import VarianceResult, estimate_variance
+
+__all__ = [
+    "IQRLowerBoundResult",
+    "estimate_iqr_lower_bound",
+    "MeanResult",
+    "estimate_mean",
+    "VarianceResult",
+    "estimate_variance",
+    "IQRResult",
+    "estimate_iqr",
+    "QuantilesResult",
+    "estimate_quantiles",
+]

@@ -1,0 +1,158 @@
+"""Universal private estimation of arbitrary quantiles.
+
+Algorithm 10 estimates the IQR by releasing the two quartiles; nothing in it
+is specific to ranks ``n/4`` and ``3n/4``.  This module generalises it to any
+set of quantile levels: the private IQR lower bound fixes a bucket size once,
+and each requested quantile is released with ``InfiniteDomainQuantile`` under
+an equal share of the remaining budget.  The per-quantile rank error follows
+Theorem 3.9 with ``epsilon`` replaced by its share, and the discretization
+error is at most one bucket.
+
+This is the estimator a data platform would expose for DP ``PERCENTILE``-style
+queries (p50/p95/p99 dashboards) without any domain bounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro._rng import RngLike, resolve_rng
+from repro.accounting import PrivacyLedger, validate_beta, validate_epsilon
+from repro.core.iqr_lower_bound import IQRLowerBoundResult, estimate_iqr_lower_bound
+from repro.empirical.quantile import EmpiricalQuantileResult, estimate_empirical_quantile
+from repro.exceptions import DomainError, InsufficientDataError
+
+__all__ = ["QuantilesResult", "estimate_quantiles"]
+
+#: Fraction of the budget reserved for the bucket-size search, mirroring the
+#: eps/3 split of Algorithm 10.
+_BUCKET_BUDGET_FRACTION = 1.0 / 3.0
+
+
+@dataclass(frozen=True)
+class QuantilesResult:
+    """Universal private estimates for a set of quantile levels.
+
+    Attributes
+    ----------
+    levels:
+        The requested quantile levels, in the order given by the caller.
+    values:
+        The private estimates, aligned with ``levels``.
+    per_quantile:
+        The full :class:`EmpiricalQuantileResult` for each level (diagnostics).
+    iqr_lower_bound:
+        Result of the private bucket-size search.
+    bucket_size:
+        Discretization bucket used for every quantile release.
+    epsilon_per_quantile:
+        Budget spent on each individual quantile release.
+    """
+
+    levels: Tuple[float, ...]
+    values: Tuple[float, ...]
+    per_quantile: Tuple[EmpiricalQuantileResult, ...]
+    iqr_lower_bound: IQRLowerBoundResult
+    bucket_size: float
+    epsilon_per_quantile: float
+
+    def as_dict(self) -> dict:
+        """Mapping from quantile level to private estimate."""
+        return dict(zip(self.levels, self.values))
+
+
+def estimate_quantiles(
+    values: Sequence[float],
+    levels: Sequence[float],
+    epsilon: float,
+    beta: float = 1.0 / 3.0,
+    rng: RngLike = None,
+    *,
+    bucket_size: Optional[float] = None,
+    ledger: Optional[PrivacyLedger] = None,
+    label: str = "quantiles",
+) -> QuantilesResult:
+    """Universal ε-DP estimator for multiple quantiles of an unknown distribution.
+
+    Parameters
+    ----------
+    values:
+        An i.i.d. sample from an arbitrary continuous distribution over R.
+    levels:
+        Quantile levels in (0, 1), e.g. ``[0.5, 0.95, 0.99]``.  Duplicates are
+        allowed and each level is charged separately.
+    epsilon, beta:
+        Total privacy budget and failure probability.  One third of the budget
+        finds the bucket size (skipped when ``bucket_size`` is given); the rest
+        is split evenly across the quantile releases.
+    bucket_size:
+        Optional explicit discretization bucket (simulating a known scale).
+    """
+    epsilon = validate_epsilon(epsilon)
+    beta = validate_beta(beta)
+    data = np.asarray(values, dtype=float)
+    if data.size < 8:
+        raise InsufficientDataError(
+            f"estimate_quantiles needs at least 8 samples, got {data.size}"
+        )
+    levels = tuple(float(q) for q in levels)
+    if not levels:
+        raise DomainError("at least one quantile level is required")
+    for q in levels:
+        if not 0.0 < q < 1.0:
+            raise DomainError(f"quantile levels must lie strictly in (0, 1), got {q}")
+    generator = resolve_rng(rng)
+    n = data.size
+
+    if bucket_size is None:
+        iqr_lb = estimate_iqr_lower_bound(
+            data,
+            epsilon * _BUCKET_BUDGET_FRACTION,
+            beta / (len(levels) + 1),
+            generator,
+            ledger=ledger,
+            label=f"{label}.iqr_lower_bound",
+        )
+        bucket = iqr_lb.value / n
+        remaining = epsilon * (1.0 - _BUCKET_BUDGET_FRACTION)
+    else:
+        iqr_lb = IQRLowerBoundResult(
+            value=float(bucket_size) * n,
+            branch="given",
+            up_index=None,
+            down_index=None,
+            pair_count=0,
+        )
+        bucket = float(bucket_size)
+        remaining = epsilon
+
+    epsilon_each = remaining / len(levels)
+    beta_each = beta / (len(levels) + 1)
+
+    results = []
+    for index, q in enumerate(levels):
+        tau = int(min(max(round(q * n), 1), n))
+        results.append(
+            estimate_empirical_quantile(
+                data,
+                tau,
+                epsilon_each,
+                beta_each,
+                generator,
+                bucket_size=bucket,
+                ledger=ledger,
+                label=f"{label}.q{index}",
+            )
+        )
+
+    return QuantilesResult(
+        levels=levels,
+        values=tuple(r.value for r in results),
+        per_quantile=tuple(results),
+        iqr_lower_bound=iqr_lb,
+        bucket_size=bucket,
+        epsilon_per_quantile=epsilon_each,
+    )

@@ -1,0 +1,47 @@
+"""Synthetic distribution substrate.
+
+The paper's guarantees are stated in terms of distribution parameters —
+``mu``, ``sigma^2``, ``IQR``, central moments ``mu_k``, the highest-density
+width ``phi(beta)``, the quartile density ``theta(kappa)`` and the statistical
+width ``gamma(m, beta)`` (Section 2.1).  Each distribution class here exposes
+all of them (analytically where closed forms exist, numerically otherwise) so
+the benchmark harness can compare measured errors against the theory, and the
+example/benchmark workloads can be generated reproducibly.
+"""
+
+from repro.distributions.base import Distribution, ScipyDistribution
+from repro.distributions.continuous import (
+    Exponential,
+    Gaussian,
+    GaussianMixture,
+    LaplaceDistribution,
+    LogNormal,
+    Pareto,
+    SpikeMixture,
+    StudentT,
+    Uniform,
+)
+from repro.distributions.registry import (
+    DistributionSpec,
+    available_distributions,
+    make_distribution,
+    standard_suite,
+)
+
+__all__ = [
+    "Distribution",
+    "ScipyDistribution",
+    "Gaussian",
+    "Uniform",
+    "LaplaceDistribution",
+    "Exponential",
+    "LogNormal",
+    "StudentT",
+    "Pareto",
+    "GaussianMixture",
+    "SpikeMixture",
+    "DistributionSpec",
+    "make_distribution",
+    "available_distributions",
+    "standard_suite",
+]

@@ -1,0 +1,226 @@
+"""Abstract distribution interface and numeric fallbacks (Section 2.1 quantities).
+
+Concrete distributions need only provide sampling, the CDF/PDF/quantile
+functions and (where closed forms exist) the moments; the base class supplies
+numerically robust defaults for everything else:
+
+* ``central_moment(k)`` — numerical integration of ``|x - mu|^k f(x)``;
+* ``phi(beta)`` — the width of the narrowest interval carrying probability
+  mass ``beta``, found by minimising ``F^{-1}(p + beta) - F^{-1}(p)``;
+* ``theta(kappa)`` — the smallest average density over the four width-``kappa``
+  windows adjacent to the two quartiles;
+* ``statistical_width(m, beta)`` — an upper bound on the ``(m, beta)``-
+  statistical width ``gamma(m, beta)`` via a per-sample union bound, plus a
+  Monte-Carlo estimator for benchmarks that want the exact quantity.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Optional
+
+import numpy as np
+from scipy import integrate, optimize
+
+from repro._rng import RngLike, resolve_rng
+from repro.exceptions import DomainError
+
+__all__ = ["Distribution", "ScipyDistribution"]
+
+
+class Distribution(abc.ABC):
+    """A continuous probability distribution over R with analytic parameters."""
+
+    #: Human-readable name used in benchmark tables.
+    name: str = "distribution"
+
+    # ------------------------------------------------------------------ #
+    # Sampling and basic functions                                        #
+    # ------------------------------------------------------------------ #
+
+    @abc.abstractmethod
+    def sample(self, n: int, rng: RngLike = None) -> np.ndarray:
+        """Draw ``n`` i.i.d. values."""
+
+    @abc.abstractmethod
+    def pdf(self, x: np.ndarray) -> np.ndarray:
+        """Probability density function."""
+
+    @abc.abstractmethod
+    def cdf(self, x: np.ndarray) -> np.ndarray:
+        """Cumulative distribution function."""
+
+    @abc.abstractmethod
+    def quantile(self, q: np.ndarray) -> np.ndarray:
+        """Quantile (inverse CDF) function."""
+
+    # ------------------------------------------------------------------ #
+    # First/second order parameters                                       #
+    # ------------------------------------------------------------------ #
+
+    @property
+    @abc.abstractmethod
+    def mean(self) -> float:
+        """The statistical mean ``mu_P``."""
+
+    @property
+    @abc.abstractmethod
+    def variance(self) -> float:
+        """The statistical variance ``sigma_P^2``."""
+
+    @property
+    def std(self) -> float:
+        """The standard deviation ``sigma_P``."""
+        return math.sqrt(self.variance)
+
+    @property
+    def iqr(self) -> float:
+        """The interquartile range ``F^{-1}(3/4) - F^{-1}(1/4)``."""
+        return float(self.quantile(0.75) - self.quantile(0.25))
+
+    # ------------------------------------------------------------------ #
+    # Higher-order / shape parameters                                     #
+    # ------------------------------------------------------------------ #
+
+    def central_moment(self, k: int) -> float:
+        """The absolute central moment ``mu_k = E[|X - mu|^k]``.
+
+        The default implementation integrates numerically over the quantile
+        range ``[F^{-1}(1e-9), F^{-1}(1 - 1e-9)]``; subclasses override it
+        when a closed form exists (or when the moment is infinite).
+        """
+        if k < 1:
+            raise DomainError(f"central moment order must be >= 1, got {k}")
+        mu = self.mean
+        low = float(self.quantile(1e-9))
+        high = float(self.quantile(1.0 - 1e-9))
+        value, _ = integrate.quad(
+            lambda x: np.abs(x - mu) ** k * self.pdf(x), low, high, limit=200
+        )
+        return float(value)
+
+    def phi(self, beta: float) -> float:
+        """Width of the narrowest interval with probability mass ``beta``.
+
+        ``phi(beta) = inf { a2 - a1 : integral_{a1}^{a2} f >= beta }``.  For a
+        unimodal density this is achieved around the mode; the default
+        implementation minimises ``F^{-1}(p + beta) - F^{-1}(p)`` over ``p``
+        with a coarse grid followed by a local refinement, which is accurate
+        for all the (piecewise-)unimodal families shipped with the library.
+        """
+        if not 0.0 < beta < 1.0:
+            raise DomainError(f"beta must lie in (0, 1), got {beta}")
+
+        def width(p: float) -> float:
+            return float(self.quantile(p + beta) - self.quantile(p))
+
+        grid = np.linspace(1e-9, 1.0 - beta - 1e-9, 512)
+        widths = np.array([width(p) for p in grid])
+        best = int(np.argmin(widths))
+        lo = grid[max(best - 1, 0)]
+        hi = grid[min(best + 1, grid.size - 1)]
+        if hi <= lo:
+            return float(widths[best])
+        result = optimize.minimize_scalar(width, bounds=(lo, hi), method="bounded")
+        return float(min(result.fun, widths[best]))
+
+    def theta(self, kappa: float) -> float:
+        """Smallest average density over the four quartile-adjacent windows (Section 6).
+
+        ``theta(kappa) = (1/kappa) * min_i integral_{B_i(kappa)} f`` where the
+        ``B_i`` are the width-``kappa`` intervals immediately left/right of
+        ``F^{-1}(1/4)`` and ``F^{-1}(3/4)``.
+        """
+        if kappa <= 0:
+            raise DomainError(f"kappa must be positive, got {kappa}")
+        q1 = float(self.quantile(0.25))
+        q3 = float(self.quantile(0.75))
+        masses = [
+            self.cdf(q1) - self.cdf(q1 - kappa),
+            self.cdf(q1 + kappa) - self.cdf(q1),
+            self.cdf(q3) - self.cdf(q3 - kappa),
+            self.cdf(q3 + kappa) - self.cdf(q3),
+        ]
+        return float(min(masses) / kappa)
+
+    def statistical_width(self, m: int, beta: float) -> float:
+        """Upper bound on the ``(m, beta)``-statistical width ``gamma(m, beta)``.
+
+        ``gamma(m, beta)`` is the smallest ``lambda`` such that an i.i.d.
+        sample of size ``m`` has width at least ``lambda`` with probability at
+        most ``beta``.  The union bound
+        ``gamma(m, beta) <= F^{-1}(1 - beta/(2m)) - F^{-1}(beta/(2m))``
+        is what the paper's simplified theorems use, so it is the default.
+        """
+        if m < 1:
+            raise DomainError(f"m must be at least 1, got {m}")
+        if not 0.0 < beta < 1.0:
+            raise DomainError(f"beta must lie in (0, 1), got {beta}")
+        tail = beta / (2.0 * m)
+        return float(self.quantile(1.0 - tail) - self.quantile(tail))
+
+    def statistical_width_monte_carlo(
+        self, m: int, beta: float, trials: int = 400, rng: RngLike = None
+    ) -> float:
+        """Monte-Carlo estimate of ``gamma(m, beta)`` (the exact quantile of the sample width)."""
+        if m < 1:
+            raise DomainError(f"m must be at least 1, got {m}")
+        generator = resolve_rng(rng)
+        widths = np.empty(trials)
+        for t in range(trials):
+            draw = self.sample(m, generator)
+            widths[t] = float(np.max(draw) - np.min(draw))
+        return float(np.quantile(widths, 1.0 - beta))
+
+    # ------------------------------------------------------------------ #
+    # Convenience                                                         #
+    # ------------------------------------------------------------------ #
+
+    def describe(self) -> dict:
+        """A dictionary of the headline parameters, for reports and logs."""
+        return {
+            "name": self.name,
+            "mean": self.mean,
+            "std": self.std,
+            "variance": self.variance,
+            "iqr": self.iqr,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class ScipyDistribution(Distribution):
+    """Adapter exposing a frozen ``scipy.stats`` distribution through :class:`Distribution`.
+
+    Subclasses set :attr:`_frozen` (a frozen scipy distribution) in their
+    constructor and may override the analytic parameters when scipy's generic
+    machinery would be slower or less accurate.
+    """
+
+    def __init__(self, frozen, name: Optional[str] = None) -> None:
+        self._frozen = frozen
+        if name is not None:
+            self.name = name
+
+    def sample(self, n: int, rng: RngLike = None) -> np.ndarray:
+        generator = resolve_rng(rng)
+        return np.asarray(self._frozen.rvs(size=n, random_state=generator), dtype=float)
+
+    def pdf(self, x):
+        return self._frozen.pdf(x)
+
+    def cdf(self, x):
+        return self._frozen.cdf(x)
+
+    def quantile(self, q):
+        return self._frozen.ppf(q)
+
+    @property
+    def mean(self) -> float:
+        return float(self._frozen.mean())
+
+    @property
+    def variance(self) -> float:
+        return float(self._frozen.var())

@@ -1,0 +1,434 @@
+"""Concrete distribution families used by the examples, tests and benchmarks.
+
+The families mirror those the paper compares against prior work on:
+
+* **Gaussian** — the canonical well-behaved case (Theorems 1.7, 1.10);
+* **Uniform, Laplace, Exponential** — other light-tailed families for sanity
+  checks (the mid-range discussion in the introduction uses the uniform);
+* **LogNormal** — a skewed, moderately heavy-tailed family;
+* **StudentT, Pareto** — heavy-tailed families with finitely many moments
+  (Theorems 1.8, 1.11);
+* **GaussianMixture** — bimodal data (location is ambiguous, scale is not);
+* **SpikeMixture** — the "ill-behaved" adversarial family whose highest-density
+  width ``phi(1/16)`` is made arbitrarily small by a narrow spike, exactly the
+  regime the paper's log-log dependence on ``1/phi(1/16)`` is about.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+from scipy import stats
+
+from repro._rng import RngLike, resolve_rng
+from repro.distributions.base import Distribution, ScipyDistribution
+from repro.exceptions import DomainError
+
+__all__ = [
+    "Gaussian",
+    "Uniform",
+    "LaplaceDistribution",
+    "Exponential",
+    "LogNormal",
+    "StudentT",
+    "Pareto",
+    "GaussianMixture",
+    "SpikeMixture",
+]
+
+#: Standard-normal IQR constant: Phi^{-1}(3/4) - Phi^{-1}(1/4).
+_GAUSSIAN_IQR_FACTOR = 1.3489795003921634
+
+
+class Gaussian(ScipyDistribution):
+    """Normal distribution ``N(mu, sigma^2)``."""
+
+    def __init__(self, mu: float = 0.0, sigma: float = 1.0) -> None:
+        if sigma <= 0:
+            raise DomainError(f"sigma must be positive, got {sigma}")
+        super().__init__(stats.norm(loc=mu, scale=sigma), name=f"gaussian(mu={mu:g}, sigma={sigma:g})")
+        self.mu = float(mu)
+        self.sigma = float(sigma)
+
+    def sample(self, n: int, rng: RngLike = None) -> np.ndarray:
+        generator = resolve_rng(rng)
+        return generator.normal(self.mu, self.sigma, size=n)
+
+    @property
+    def mean(self) -> float:
+        return self.mu
+
+    @property
+    def variance(self) -> float:
+        return self.sigma**2
+
+    @property
+    def iqr(self) -> float:
+        return _GAUSSIAN_IQR_FACTOR * self.sigma
+
+    def central_moment(self, k: int) -> float:
+        """``E[|X - mu|^k] = sigma^k * 2^{k/2} * Gamma((k+1)/2) / sqrt(pi)``."""
+        if k < 1:
+            raise DomainError(f"central moment order must be >= 1, got {k}")
+        return float(
+            self.sigma**k * 2.0 ** (k / 2.0) * math.gamma((k + 1) / 2.0) / math.sqrt(math.pi)
+        )
+
+    def phi(self, beta: float) -> float:
+        """The narrowest ``beta``-mass interval is centred at the mean."""
+        if not 0.0 < beta < 1.0:
+            raise DomainError(f"beta must lie in (0, 1), got {beta}")
+        half = stats.norm.ppf(0.5 + beta / 2.0)
+        return float(2.0 * half * self.sigma)
+
+
+class Uniform(ScipyDistribution):
+    """Uniform distribution on ``[low, high]``."""
+
+    def __init__(self, low: float = 0.0, high: float = 1.0) -> None:
+        if high <= low:
+            raise DomainError(f"need high > low, got [{low}, {high}]")
+        super().__init__(
+            stats.uniform(loc=low, scale=high - low), name=f"uniform({low:g}, {high:g})"
+        )
+        self.low = float(low)
+        self.high = float(high)
+
+    def sample(self, n: int, rng: RngLike = None) -> np.ndarray:
+        generator = resolve_rng(rng)
+        return generator.uniform(self.low, self.high, size=n)
+
+    @property
+    def mean(self) -> float:
+        return 0.5 * (self.low + self.high)
+
+    @property
+    def variance(self) -> float:
+        return (self.high - self.low) ** 2 / 12.0
+
+    @property
+    def iqr(self) -> float:
+        return 0.5 * (self.high - self.low)
+
+    def phi(self, beta: float) -> float:
+        if not 0.0 < beta < 1.0:
+            raise DomainError(f"beta must lie in (0, 1), got {beta}")
+        return beta * (self.high - self.low)
+
+    def central_moment(self, k: int) -> float:
+        if k < 1:
+            raise DomainError(f"central moment order must be >= 1, got {k}")
+        half = 0.5 * (self.high - self.low)
+        return float(half**k / (k + 1))
+
+
+class LaplaceDistribution(ScipyDistribution):
+    """Laplace (double exponential) distribution with location ``mu`` and scale ``b``."""
+
+    def __init__(self, mu: float = 0.0, scale: float = 1.0) -> None:
+        if scale <= 0:
+            raise DomainError(f"scale must be positive, got {scale}")
+        super().__init__(
+            stats.laplace(loc=mu, scale=scale), name=f"laplace(mu={mu:g}, b={scale:g})"
+        )
+        self.mu = float(mu)
+        self.scale = float(scale)
+
+    def sample(self, n: int, rng: RngLike = None) -> np.ndarray:
+        generator = resolve_rng(rng)
+        return generator.laplace(self.mu, self.scale, size=n)
+
+    @property
+    def mean(self) -> float:
+        return self.mu
+
+    @property
+    def variance(self) -> float:
+        return 2.0 * self.scale**2
+
+    @property
+    def iqr(self) -> float:
+        return 2.0 * self.scale * math.log(2.0)
+
+    def central_moment(self, k: int) -> float:
+        """``E[|X - mu|^k] = k! * b^k``."""
+        if k < 1:
+            raise DomainError(f"central moment order must be >= 1, got {k}")
+        return float(math.factorial(k) * self.scale**k)
+
+
+class Exponential(ScipyDistribution):
+    """Exponential distribution with rate ``1/scale``, shifted by ``shift``."""
+
+    def __init__(self, scale: float = 1.0, shift: float = 0.0) -> None:
+        if scale <= 0:
+            raise DomainError(f"scale must be positive, got {scale}")
+        super().__init__(
+            stats.expon(loc=shift, scale=scale), name=f"exponential(scale={scale:g})"
+        )
+        self.scale = float(scale)
+        self.shift = float(shift)
+
+    def sample(self, n: int, rng: RngLike = None) -> np.ndarray:
+        generator = resolve_rng(rng)
+        return self.shift + generator.exponential(self.scale, size=n)
+
+    @property
+    def mean(self) -> float:
+        return self.shift + self.scale
+
+    @property
+    def variance(self) -> float:
+        return self.scale**2
+
+
+class LogNormal(ScipyDistribution):
+    """Log-normal distribution: ``exp(N(mu_log, sigma_log^2))``."""
+
+    def __init__(self, mu_log: float = 0.0, sigma_log: float = 1.0) -> None:
+        if sigma_log <= 0:
+            raise DomainError(f"sigma_log must be positive, got {sigma_log}")
+        super().__init__(
+            stats.lognorm(s=sigma_log, scale=math.exp(mu_log)),
+            name=f"lognormal(mu={mu_log:g}, sigma={sigma_log:g})",
+        )
+        self.mu_log = float(mu_log)
+        self.sigma_log = float(sigma_log)
+
+    def sample(self, n: int, rng: RngLike = None) -> np.ndarray:
+        generator = resolve_rng(rng)
+        return np.exp(generator.normal(self.mu_log, self.sigma_log, size=n))
+
+    @property
+    def mean(self) -> float:
+        return math.exp(self.mu_log + self.sigma_log**2 / 2.0)
+
+    @property
+    def variance(self) -> float:
+        s2 = self.sigma_log**2
+        return (math.exp(s2) - 1.0) * math.exp(2.0 * self.mu_log + s2)
+
+
+class StudentT(ScipyDistribution):
+    """Student-t distribution with ``df`` degrees of freedom, location and scale.
+
+    The k-th central moment is finite only for ``k < df``, which makes this the
+    canonical heavy-tailed family for Theorem 1.8: choosing ``df = k + 1``
+    yields a distribution with a finite k-th but infinite (k+1)-th moment.
+    """
+
+    def __init__(self, df: float = 3.0, loc: float = 0.0, scale: float = 1.0) -> None:
+        if df <= 2:
+            raise DomainError(
+                f"df must exceed 2 so the variance is finite, got {df}"
+            )
+        if scale <= 0:
+            raise DomainError(f"scale must be positive, got {scale}")
+        super().__init__(
+            stats.t(df=df, loc=loc, scale=scale),
+            name=f"student_t(df={df:g}, loc={loc:g}, scale={scale:g})",
+        )
+        self.df = float(df)
+        self.loc = float(loc)
+        self.scale = float(scale)
+
+    def sample(self, n: int, rng: RngLike = None) -> np.ndarray:
+        generator = resolve_rng(rng)
+        return self.loc + self.scale * generator.standard_t(self.df, size=n)
+
+    @property
+    def mean(self) -> float:
+        return self.loc
+
+    @property
+    def variance(self) -> float:
+        return self.scale**2 * self.df / (self.df - 2.0)
+
+    def central_moment(self, k: int) -> float:
+        if k < 1:
+            raise DomainError(f"central moment order must be >= 1, got {k}")
+        if k >= self.df:
+            return float("inf")
+        return super().central_moment(k)
+
+
+class Pareto(ScipyDistribution):
+    """Pareto (power-law) distribution with tail index ``alpha`` and scale ``x_m``.
+
+    Values are supported on ``[x_m, inf)``; moments of order ``k`` exist only
+    for ``k < alpha``.
+    """
+
+    def __init__(self, alpha: float = 3.0, x_m: float = 1.0) -> None:
+        if alpha <= 2:
+            raise DomainError(f"alpha must exceed 2 so the variance is finite, got {alpha}")
+        if x_m <= 0:
+            raise DomainError(f"x_m must be positive, got {x_m}")
+        super().__init__(
+            stats.pareto(b=alpha, scale=x_m), name=f"pareto(alpha={alpha:g}, x_m={x_m:g})"
+        )
+        self.alpha = float(alpha)
+        self.x_m = float(x_m)
+
+    def sample(self, n: int, rng: RngLike = None) -> np.ndarray:
+        generator = resolve_rng(rng)
+        return self.x_m * (1.0 + generator.pareto(self.alpha, size=n))
+
+    @property
+    def mean(self) -> float:
+        return self.alpha * self.x_m / (self.alpha - 1.0)
+
+    @property
+    def variance(self) -> float:
+        a = self.alpha
+        return self.x_m**2 * a / ((a - 1.0) ** 2 * (a - 2.0))
+
+    def central_moment(self, k: int) -> float:
+        if k < 1:
+            raise DomainError(f"central moment order must be >= 1, got {k}")
+        if k >= self.alpha:
+            return float("inf")
+        return super().central_moment(k)
+
+
+class _MixtureBase(Distribution):
+    """Shared machinery for finite mixtures of scipy-frozen components."""
+
+    def __init__(self, components, weights: Sequence[float], name: str) -> None:
+        weights = np.asarray(weights, dtype=float)
+        if weights.size != len(components):
+            raise DomainError("number of weights must match number of components")
+        if np.any(weights <= 0):
+            raise DomainError("mixture weights must be positive")
+        self._components = list(components)
+        self._weights = weights / weights.sum()
+        self.name = name
+
+    def sample(self, n: int, rng: RngLike = None) -> np.ndarray:
+        generator = resolve_rng(rng)
+        counts = generator.multinomial(n, self._weights)
+        parts = [
+            np.asarray(comp.rvs(size=count, random_state=generator), dtype=float)
+            for comp, count in zip(self._components, counts)
+            if count > 0
+        ]
+        data = np.concatenate(parts) if parts else np.empty(0)
+        generator.shuffle(data)
+        return data
+
+    def pdf(self, x):
+        x = np.asarray(x, dtype=float)
+        return sum(w * comp.pdf(x) for w, comp in zip(self._weights, self._components))
+
+    def cdf(self, x):
+        x = np.asarray(x, dtype=float)
+        return sum(w * comp.cdf(x) for w, comp in zip(self._weights, self._components))
+
+    def quantile(self, q):
+        q_arr = np.atleast_1d(np.asarray(q, dtype=float))
+        lows = [comp.ppf(1e-12) for comp in self._components]
+        highs = [comp.ppf(1.0 - 1e-12) for comp in self._components]
+        lo, hi = min(lows), max(highs)
+        out = np.empty_like(q_arr)
+        for i, target in enumerate(q_arr):
+            a, b = lo, hi
+            for _ in range(200):
+                mid = 0.5 * (a + b)
+                if self.cdf(mid) < target:
+                    a = mid
+                else:
+                    b = mid
+            out[i] = 0.5 * (a + b)
+        return out if np.ndim(q) else float(out[0])
+
+    @property
+    def mean(self) -> float:
+        return float(
+            sum(w * comp.mean() for w, comp in zip(self._weights, self._components))
+        )
+
+    @property
+    def variance(self) -> float:
+        mu = self.mean
+        second = sum(
+            w * (comp.var() + comp.mean() ** 2)
+            for w, comp in zip(self._weights, self._components)
+        )
+        return float(second - mu**2)
+
+
+class GaussianMixture(_MixtureBase):
+    """Finite mixture of Gaussians.
+
+    Parameters
+    ----------
+    locs, scales, weights:
+        Component means, standard deviations and (unnormalised) weights.
+    """
+
+    def __init__(
+        self,
+        locs: Sequence[float],
+        scales: Sequence[float],
+        weights: Sequence[float],
+    ) -> None:
+        if not (len(locs) == len(scales) == len(weights)):
+            raise DomainError("locs, scales and weights must have equal length")
+        if any(s <= 0 for s in scales):
+            raise DomainError("all component scales must be positive")
+        components = [stats.norm(loc=m, scale=s) for m, s in zip(locs, scales)]
+        label = ", ".join(f"N({m:g},{s:g})" for m, s in zip(locs, scales))
+        super().__init__(components, weights, name=f"mixture[{label}]")
+        self.locs = [float(m) for m in locs]
+        self.scales = [float(s) for s in scales]
+
+
+class SpikeMixture(GaussianMixture):
+    """The "ill-behaved" family: a broad Gaussian plus a very narrow spike.
+
+    A fraction ``spike_mass`` of the probability sits in a Gaussian of width
+    ``spike_width`` centred at ``spike_location``; the rest is a Gaussian of
+    width ``bulk_sigma``.  As ``spike_width -> 0`` the highest-density width
+    ``phi(1/16)`` collapses while sigma and the IQR stay essentially fixed,
+    which is exactly the regime where the paper's bounds pick up their
+    ``log log(1 / phi(1/16))`` dependence.
+    """
+
+    def __init__(
+        self,
+        bulk_sigma: float = 1.0,
+        spike_width: float = 1e-4,
+        spike_mass: float = 0.1,
+        spike_location: float = 0.0,
+        bulk_location: float = 0.0,
+    ) -> None:
+        if not 0.0 < spike_mass < 1.0:
+            raise DomainError(f"spike_mass must lie in (0, 1), got {spike_mass}")
+        if spike_width <= 0 or bulk_sigma <= 0:
+            raise DomainError("spike_width and bulk_sigma must be positive")
+        super().__init__(
+            locs=[bulk_location, spike_location],
+            scales=[bulk_sigma, spike_width],
+            weights=[1.0 - spike_mass, spike_mass],
+        )
+        self.name = (
+            f"spike(bulk_sigma={bulk_sigma:g}, spike_width={spike_width:g}, "
+            f"spike_mass={spike_mass:g})"
+        )
+        self.spike_width = float(spike_width)
+        self.spike_mass = float(spike_mass)
+        self.bulk_sigma = float(bulk_sigma)
+
+    def phi(self, beta: float) -> float:
+        """For ``beta <= spike_mass`` the narrowest interval sits inside the spike."""
+        if not 0.0 < beta < 1.0:
+            raise DomainError(f"beta must lie in (0, 1), got {beta}")
+        if beta < self.spike_mass * 0.9:
+            # Mass beta of the spike component alone covers the interval, so
+            # phi is of the order of the spike width.
+            inner = min(beta / self.spike_mass, 1.0 - 1e-9)
+            half = stats.norm.ppf(0.5 + inner / 2.0)
+            return float(2.0 * half * self.spike_width)
+        return super().phi(beta)

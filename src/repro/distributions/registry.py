@@ -1,0 +1,160 @@
+"""A small registry of named distribution configurations.
+
+Benchmarks and examples refer to distributions by name (e.g. ``"gaussian"``,
+``"student_t_3"``) so that workloads are described declaratively and the
+experiment index in ``DESIGN.md`` can name them unambiguously.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+from repro.distributions.base import Distribution
+from repro.distributions.continuous import (
+    Exponential,
+    Gaussian,
+    GaussianMixture,
+    LaplaceDistribution,
+    LogNormal,
+    Pareto,
+    SpikeMixture,
+    StudentT,
+    Uniform,
+)
+from repro.exceptions import DomainError
+
+__all__ = ["DistributionSpec", "make_distribution", "available_distributions", "standard_suite"]
+
+
+@dataclass(frozen=True)
+class DistributionSpec:
+    """A named, parameterised distribution recipe."""
+
+    key: str
+    description: str
+    factory: Callable[..., Distribution]
+    defaults: dict = field(default_factory=dict)
+
+    def build(self, **overrides) -> Distribution:
+        """Instantiate the distribution with defaults merged with ``overrides``."""
+        params = dict(self.defaults)
+        params.update(overrides)
+        return self.factory(**params)
+
+
+_REGISTRY: Dict[str, DistributionSpec] = {}
+
+
+def _register(spec: DistributionSpec) -> None:
+    _REGISTRY[spec.key] = spec
+
+
+_register(
+    DistributionSpec(
+        key="gaussian",
+        description="Standard well-behaved Gaussian N(mu, sigma^2)",
+        factory=Gaussian,
+        defaults={"mu": 0.0, "sigma": 1.0},
+    )
+)
+_register(
+    DistributionSpec(
+        key="gaussian_shifted",
+        description="Gaussian with a large unknown mean (tests removal of assumption A1)",
+        factory=Gaussian,
+        defaults={"mu": 1.0e6, "sigma": 1.0},
+    )
+)
+_register(
+    DistributionSpec(
+        key="uniform",
+        description="Uniform distribution on an interval",
+        factory=Uniform,
+        defaults={"low": -1.0, "high": 1.0},
+    )
+)
+_register(
+    DistributionSpec(
+        key="laplace",
+        description="Laplace (double exponential) distribution",
+        factory=LaplaceDistribution,
+        defaults={"mu": 0.0, "scale": 1.0},
+    )
+)
+_register(
+    DistributionSpec(
+        key="exponential",
+        description="Exponential distribution (skewed, light tail)",
+        factory=Exponential,
+        defaults={"scale": 1.0},
+    )
+)
+_register(
+    DistributionSpec(
+        key="lognormal",
+        description="Log-normal distribution (skewed, moderately heavy tail)",
+        factory=LogNormal,
+        defaults={"mu_log": 0.0, "sigma_log": 1.0},
+    )
+)
+_register(
+    DistributionSpec(
+        key="student_t_3",
+        description="Student-t with 3 degrees of freedom (finite 2nd, infinite 3rd moment)",
+        factory=StudentT,
+        defaults={"df": 3.0},
+    )
+)
+_register(
+    DistributionSpec(
+        key="student_t_5",
+        description="Student-t with 5 degrees of freedom (finite 4th moment)",
+        factory=StudentT,
+        defaults={"df": 5.0},
+    )
+)
+_register(
+    DistributionSpec(
+        key="pareto_3",
+        description="Pareto with tail index 3 (heavy right tail)",
+        factory=Pareto,
+        defaults={"alpha": 3.0, "x_m": 1.0},
+    )
+)
+_register(
+    DistributionSpec(
+        key="mixture_bimodal",
+        description="Bimodal Gaussian mixture",
+        factory=GaussianMixture,
+        defaults={"locs": [-5.0, 5.0], "scales": [1.0, 1.0], "weights": [0.5, 0.5]},
+    )
+)
+_register(
+    DistributionSpec(
+        key="spike",
+        description="Ill-behaved spike mixture (tiny phi(1/16))",
+        factory=SpikeMixture,
+        defaults={"bulk_sigma": 1.0, "spike_width": 1e-4, "spike_mass": 0.1},
+    )
+)
+
+
+def make_distribution(key: str, **overrides) -> Distribution:
+    """Instantiate a registered distribution by name."""
+    if key not in _REGISTRY:
+        raise DomainError(
+            f"unknown distribution {key!r}; available: {sorted(_REGISTRY)}"
+        )
+    return _REGISTRY[key].build(**overrides)
+
+
+def available_distributions() -> List[DistributionSpec]:
+    """All registered distribution specs, sorted by key."""
+    return [_REGISTRY[k] for k in sorted(_REGISTRY)]
+
+
+def standard_suite() -> List[Distribution]:
+    """The default suite used by cross-distribution benchmarks."""
+    keys = ["gaussian", "uniform", "laplace", "lognormal", "student_t_5", "mixture_bimodal"]
+    return [make_distribution(k) for k in keys]

@@ -1,0 +1,12 @@
+"""Domain handling: discretization of R onto an integer grid and dataset helpers."""
+
+from repro.domain.dataset import dataset_radius, dataset_range, dataset_width, sort_values
+from repro.domain.discretization import Grid
+
+__all__ = [
+    "Grid",
+    "sort_values",
+    "dataset_radius",
+    "dataset_width",
+    "dataset_range",
+]

@@ -1,0 +1,49 @@
+"""Small non-private dataset helpers (Section 2.1 notation).
+
+These compute the exact quantities ``rad(D)``, ``gamma(D)`` and ``R(D)`` used
+throughout the paper.  They are *not* differentially private; they exist for
+the internal bookkeeping of the mechanisms (which privatize them before
+release) and for the analysis/benchmark code that measures utility.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import InsufficientDataError
+
+__all__ = ["sort_values", "dataset_radius", "dataset_width", "dataset_range"]
+
+
+def sort_values(values: Sequence[float]) -> np.ndarray:
+    """Return ``values`` as a sorted float array, rejecting empty input."""
+    data = np.sort(np.asarray(values, dtype=float))
+    if data.size == 0:
+        raise InsufficientDataError("dataset is empty")
+    return data
+
+
+def dataset_radius(values: Sequence[float]) -> float:
+    """``rad(D) = max_i |X_i|``."""
+    data = np.asarray(values, dtype=float)
+    if data.size == 0:
+        raise InsufficientDataError("dataset is empty")
+    return float(np.max(np.abs(data)))
+
+
+def dataset_width(values: Sequence[float]) -> float:
+    """``gamma(D) = X_n - X_1`` (the width of the dataset)."""
+    data = np.asarray(values, dtype=float)
+    if data.size == 0:
+        raise InsufficientDataError("dataset is empty")
+    return float(np.max(data) - np.min(data))
+
+
+def dataset_range(values: Sequence[float]) -> Tuple[float, float]:
+    """``R(D) = [X_1, X_n]`` as a ``(low, high)`` tuple."""
+    data = np.asarray(values, dtype=float)
+    if data.size == 0:
+        raise InsufficientDataError("dataset is empty")
+    return float(np.min(data)), float(np.max(data))

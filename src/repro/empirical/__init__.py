@@ -1,0 +1,28 @@
+"""Empirical (per-dataset) estimators over the unbounded integer domain.
+
+These implement Section 3 of the paper:
+
+* :func:`estimate_radius` — ``InfiniteDomainRadius`` (Algorithm 3),
+* :func:`estimate_range` — ``InfiniteDomainRange`` (Algorithm 4),
+* :func:`estimate_empirical_mean` — ``InfiniteDomainMean`` (Algorithm 5),
+* :func:`estimate_empirical_quantile` — ``InfiniteDomainQuantile`` (Algorithm 6),
+
+each of which also accepts real-valued data together with a bucket size,
+implementing the discretized variants of Section 3.5 (Theorems 3.6-3.9).
+"""
+
+from repro.empirical.mean import EmpiricalMeanResult, estimate_empirical_mean
+from repro.empirical.quantile import EmpiricalQuantileResult, estimate_empirical_quantile
+from repro.empirical.radius import RadiusResult, estimate_radius
+from repro.empirical.range_finder import RangeResult, estimate_range
+
+__all__ = [
+    "RadiusResult",
+    "estimate_radius",
+    "RangeResult",
+    "estimate_range",
+    "EmpiricalMeanResult",
+    "estimate_empirical_mean",
+    "EmpiricalQuantileResult",
+    "estimate_empirical_quantile",
+]

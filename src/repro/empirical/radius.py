@@ -1,0 +1,149 @@
+"""``InfiniteDomainRadius`` — Algorithm 3, Theorems 3.1 and 3.6.
+
+The radius ``rad(D) = max_i |X_i|`` is the smallest ``x`` with
+``Count(D, x) = |D ∩ [-x, x]| = n``.  Feeding the counting queries
+``Count(D, 0), Count(D, 2^0), Count(D, 2^1), ...`` to the Sparse Vector
+Technique with the *lowered* threshold ``T = n - (6/eps) log(2/beta)`` makes
+SVT stop (Lemma 2.6) at a scale that is at most ``2 * rad(D)`` while still
+covering all but ``O(log log(rad(D)) / eps)`` elements of ``D``.
+
+Real-valued data is handled by discretizing with a bucket size ``b``
+(Theorem 3.6), which relaxes the guarantees to ``rad <= 2 rad(D) + 3b``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence
+
+import numpy as np
+
+from repro._rng import RngLike, resolve_rng
+from repro.accounting import PrivacyLedger, validate_beta, validate_epsilon
+from repro.domain import Grid
+from repro.exceptions import InsufficientDataError
+from repro.mechanisms.sparse_vector import DEFAULT_MAX_QUERIES, sparse_vector
+
+__all__ = ["RadiusResult", "estimate_radius"]
+
+
+@dataclass(frozen=True)
+class RadiusResult:
+    """Private radius estimate together with analysis-only diagnostics.
+
+    Attributes
+    ----------
+    radius:
+        The privatized radius in the original (real) units.  The interval
+        ``[-radius, radius]`` is safe to release: it is a post-processing of
+        the SVT output.
+    grid_radius:
+        The radius expressed in grid units (an integer power of two or zero).
+    svt_index:
+        The 1-based index at which SVT stopped.
+    bucket_size:
+        Bucket size used for discretization (1.0 for integer data).
+    covered_count, uncovered_count:
+        *Non-private diagnostics*: how many data points fall inside/outside
+        ``[-radius, radius]``.  They are computed from the raw data for
+        utility measurement and must not be released alongside the estimate.
+    """
+
+    radius: float
+    grid_radius: int
+    svt_index: int
+    bucket_size: float
+    covered_count: int
+    uncovered_count: int
+
+
+def _doubling_count_queries(abs_grid_values: np.ndarray) -> Iterator:
+    """Yield the counting queries Count(D, 0), Count(D, 2^0), Count(D, 2^1), ...
+
+    ``abs_grid_values`` must be the sorted absolute values of the discretized
+    dataset, so each count is a single ``searchsorted``.
+    """
+
+    def make_query(limit: float):
+        def query() -> float:
+            return float(np.searchsorted(abs_grid_values, limit, side="right"))
+
+        return query
+
+    yield make_query(0.0)
+    scale = 1.0
+    while True:
+        yield make_query(scale)
+        scale *= 2.0
+
+
+def estimate_radius(
+    values: Sequence[float],
+    epsilon: float,
+    beta: float,
+    rng: RngLike = None,
+    *,
+    bucket_size: float = 1.0,
+    ledger: Optional[PrivacyLedger] = None,
+    max_queries: int = DEFAULT_MAX_QUERIES,
+    label: str = "radius",
+) -> RadiusResult:
+    """Privately estimate ``rad(D)`` over the (discretized) unbounded domain.
+
+    Parameters
+    ----------
+    values:
+        The dataset ``D`` (integers, or reals when ``bucket_size`` is set).
+    epsilon, beta:
+        Privacy budget and failure probability for this call.
+    bucket_size:
+        Discretization bucket ``b``; use 1.0 for integer data.
+    ledger:
+        Optional ledger that records a spend of ``epsilon``.
+
+    Returns
+    -------
+    RadiusResult
+        ``radius <= 2 * rad(D) + 3 * bucket_size`` and all but
+        ``O(log(log(rad(D) / b) / beta) / eps)`` points of ``D`` lie inside
+        ``[-radius, radius]``, each with probability at least ``1 - beta``.
+    """
+    epsilon = validate_epsilon(epsilon)
+    beta = validate_beta(beta)
+    data = np.asarray(values, dtype=float)
+    if data.size == 0:
+        raise InsufficientDataError("cannot estimate the radius of an empty dataset")
+    generator = resolve_rng(rng)
+
+    grid = Grid(bucket_size)
+    grid_values = grid.to_grid(data)
+    abs_sorted = np.sort(np.abs(grid_values).astype(float))
+    n = data.size
+
+    threshold = n - (6.0 / epsilon) * math.log(2.0 / beta)
+    result = sparse_vector(
+        threshold,
+        epsilon,
+        _doubling_count_queries(abs_sorted),
+        generator,
+        max_queries=max_queries,
+        ledger=ledger,
+        label=label,
+    )
+
+    if result.index == 1:
+        grid_radius = 0
+    else:
+        grid_radius = 2 ** (result.index - 2)
+    radius = grid.from_grid_scalar(grid_radius)
+
+    covered = int(np.count_nonzero(np.abs(grid_values) <= grid_radius))
+    return RadiusResult(
+        radius=radius,
+        grid_radius=int(grid_radius),
+        svt_index=result.index,
+        bucket_size=grid.bucket_size,
+        covered_count=covered,
+        uncovered_count=n - covered,
+    )

@@ -1,0 +1,58 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error deliberately raised by the library derives from
+:class:`ReproError` so that callers can catch library failures with a single
+``except`` clause while letting programming errors (``TypeError`` and friends)
+propagate unchanged.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "PrivacyParameterError",
+    "BudgetExceededError",
+    "MechanismError",
+    "InsufficientDataError",
+    "DomainError",
+    "AssumptionRequiredError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class PrivacyParameterError(ReproError, ValueError):
+    """An ``epsilon``, ``delta`` or ``beta`` parameter is outside its valid range."""
+
+
+class BudgetExceededError(ReproError):
+    """A mechanism attempted to spend more privacy budget than is available."""
+
+
+class MechanismError(ReproError):
+    """A mechanism could not produce an output.
+
+    Raised, for example, when the Sparse Vector Technique exhausts its safety
+    cap without any query crossing the threshold, which means the input is
+    outside the regime for which the algorithm has a utility guarantee.
+    """
+
+
+class InsufficientDataError(ReproError, ValueError):
+    """The dataset is too small for the requested estimator."""
+
+
+class DomainError(ReproError, ValueError):
+    """A value, bucket size or domain description is invalid."""
+
+
+class AssumptionRequiredError(ReproError, ValueError):
+    """A baseline estimator was invoked without the a-priori bound it requires.
+
+    The universal estimators of the paper never raise this; it exists so the
+    Table-1 capability benchmark can demonstrate which estimators depend on
+    assumptions A1 (mean range), A2 (variance range) or A3 (distribution
+    family).
+    """

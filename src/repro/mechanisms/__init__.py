@@ -1,0 +1,30 @@
+"""Differentially private primitive mechanisms used throughout the library."""
+
+from repro.mechanisms.clipped_mean import clip_values, clipped_mean, clipped_mean_mechanism
+from repro.mechanisms.exponential import (
+    exponential_mechanism_over_intervals,
+    finite_domain_quantile,
+    inverse_sensitivity_quantile,
+)
+from repro.mechanisms.laplace import laplace_mechanism, laplace_noise, laplace_tail_bound
+from repro.mechanisms.noisy_max import report_noisy_max
+from repro.mechanisms.sparse_vector import SVTResult, sparse_vector
+from repro.mechanisms.subsample import amplified_epsilon, inner_epsilon_for_target, subsample
+
+__all__ = [
+    "laplace_noise",
+    "laplace_mechanism",
+    "laplace_tail_bound",
+    "report_noisy_max",
+    "sparse_vector",
+    "SVTResult",
+    "finite_domain_quantile",
+    "inverse_sensitivity_quantile",
+    "exponential_mechanism_over_intervals",
+    "clip_values",
+    "clipped_mean",
+    "clipped_mean_mechanism",
+    "subsample",
+    "amplified_epsilon",
+    "inner_epsilon_for_target",
+]

@@ -1,0 +1,80 @@
+"""The clipped mean estimator (Section 2.6).
+
+Clipping every value into a public interval ``[l, r]`` bounds the global
+sensitivity of the empirical mean by ``(r - l) / n``, so releasing
+``ClippedMean(D, [l, r]) + Lap((r - l) / (eps * n))`` satisfies ε-DP.  The
+composite estimators in this library choose ``[l, r]`` privately first and
+then invoke these helpers.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro._rng import RngLike
+from repro.accounting import PrivacyLedger, validate_epsilon
+from repro.exceptions import DomainError, InsufficientDataError
+from repro.mechanisms.laplace import laplace_mechanism
+
+__all__ = ["clip_values", "clipped_mean", "clipped_mean_mechanism", "count_outside"]
+
+
+def _validate_interval(low: float, high: float) -> Tuple[float, float]:
+    low = float(low)
+    high = float(high)
+    if not (math.isfinite(low) and math.isfinite(high)):
+        raise DomainError(f"clipping interval must be finite, got [{low}, {high}]")
+    if high < low:
+        raise DomainError(f"clipping interval is empty: [{low}, {high}]")
+    return low, high
+
+
+def clip_values(values: Sequence[float], low: float, high: float) -> np.ndarray:
+    """Return ``values`` clipped into ``[low, high]`` as a new array."""
+    low, high = _validate_interval(low, high)
+    return np.clip(np.asarray(values, dtype=float), low, high)
+
+
+def count_outside(values: Sequence[float], low: float, high: float) -> int:
+    """Number of values strictly outside ``[low, high]`` (the clipped outliers)."""
+    low, high = _validate_interval(low, high)
+    data = np.asarray(values, dtype=float)
+    return int(np.count_nonzero((data < low) | (data > high)))
+
+
+def clipped_mean(values: Sequence[float], low: float, high: float) -> float:
+    """The (non-private) mean of ``values`` after clipping into ``[low, high]``."""
+    data = np.asarray(values, dtype=float)
+    if data.size == 0:
+        raise InsufficientDataError("cannot take the mean of an empty dataset")
+    return float(np.mean(clip_values(data, low, high)))
+
+
+def clipped_mean_mechanism(
+    values: Sequence[float],
+    low: float,
+    high: float,
+    epsilon: float,
+    rng: RngLike = None,
+    *,
+    ledger: Optional[PrivacyLedger] = None,
+    label: str = "clipped_mean",
+) -> float:
+    """Release the clipped mean under ε-DP via the Laplace mechanism.
+
+    The sensitivity of the clipped mean over the (fixed, public) interval
+    ``[low, high]`` is ``(high - low) / n``.
+    """
+    epsilon = validate_epsilon(epsilon)
+    data = np.asarray(values, dtype=float)
+    if data.size == 0:
+        raise InsufficientDataError("cannot take the mean of an empty dataset")
+    low, high = _validate_interval(low, high)
+    exact = clipped_mean(data, low, high)
+    sensitivity = (high - low) / data.size
+    return laplace_mechanism(
+        exact, sensitivity, epsilon, rng, ledger=ledger, label=label
+    )

@@ -1,0 +1,260 @@
+"""Inverse-sensitivity quantile release (Section 2.5, Algorithm 2).
+
+The inverse sensitivity mechanism (INV) instantiates the exponential mechanism
+with the *path length* score ``len(Q, D, y)`` — the minimum number of records
+of ``D`` that must change for ``y`` to become the exact query answer.  For a
+quantile query over a finite ordered domain, the path length of a candidate
+``y`` is the number of data points separating ``y`` from the target order
+statistic, so the score is piecewise constant between consecutive data values.
+This lets us sample from the exponential mechanism in ``O(n log n)`` time by
+working over at most ``2n + 1`` integer intervals instead of enumerating the
+(potentially astronomically large) output domain.
+
+:func:`finite_domain_quantile` implements Algorithm 2 including the rank
+clamping near 1 and ``n`` and enjoys the rank-error guarantee of Lemma 2.8:
+with probability ``1 - beta`` the returned value lies between the order
+statistics of ranks ``tau ± (4/eps) log(|X| / beta)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro._rng import RngLike, resolve_rng
+from repro.accounting import PrivacyLedger, validate_beta, validate_epsilon
+from repro.exceptions import DomainError, InsufficientDataError
+
+__all__ = [
+    "QuantileInterval",
+    "build_quantile_intervals",
+    "exponential_mechanism_over_intervals",
+    "inverse_sensitivity_quantile",
+    "finite_domain_quantile",
+    "rank_clamp_width",
+]
+
+
+@dataclass(frozen=True)
+class QuantileInterval:
+    """A maximal run of integer candidates sharing one path-length score.
+
+    Attributes
+    ----------
+    low, high:
+        Inclusive integer endpoints of the run (``low <= high``).
+    score:
+        The path length ``len(Q, D, y)`` shared by every ``y`` in the run.
+    """
+
+    low: int
+    high: int
+    score: int
+
+    @property
+    def size(self) -> int:
+        """Number of integer candidates contained in the run."""
+        return self.high - self.low + 1
+
+
+def _path_length(count_below: int, count_above: int, n: int, tau: int) -> int:
+    """Minimum number of record changes for a candidate to become the tau-quantile.
+
+    ``count_below`` is the number of data points strictly below the candidate
+    and ``count_above`` the number strictly above it.  To make the candidate
+    the ``tau``-th smallest value we may need to push down points from below
+    (when more than ``tau - 1`` lie below) or pull up points from above (when
+    fewer than ``tau`` lie at or below it).
+    """
+    deficit_low = count_below - (tau - 1)
+    deficit_high = tau - (n - count_above)
+    return max(0, deficit_low, deficit_high)
+
+
+def build_quantile_intervals(
+    sorted_values: Sequence[int],
+    tau: int,
+    domain_low: int,
+    domain_high: int,
+) -> list[QuantileInterval]:
+    """Partition ``[domain_low, domain_high]`` into constant-score integer runs.
+
+    Parameters
+    ----------
+    sorted_values:
+        Data values sorted ascending; every value must already lie inside the
+        domain.
+    tau:
+        Target rank (1-based).
+    domain_low, domain_high:
+        Inclusive integer bounds of the output domain.
+    """
+    if domain_high < domain_low:
+        raise DomainError(
+            f"empty candidate domain: [{domain_low}, {domain_high}]"
+        )
+    values = np.sort(np.asarray(sorted_values, dtype=np.int64))
+    n = int(values.size)
+    if n and (int(values[0]) < domain_low or int(values[-1]) > domain_high):
+        raise DomainError(
+            f"data values [{int(values[0])}, {int(values[-1])}] lie outside the "
+            f"candidate domain [{domain_low}, {domain_high}]"
+        )
+    unique = np.unique(values)
+
+    # Candidate segments: for each distinct data value v, the gap of integers
+    # strictly before it and the singleton {v}; finally the gap after the last
+    # value.  All boundary ranks are obtained with two vectorised searches.
+    segment_lows: list[int] = []
+    segment_highs: list[int] = []
+    cursor = int(domain_low)
+    for v in unique.tolist():
+        if cursor <= v - 1:
+            segment_lows.append(cursor)
+            segment_highs.append(v - 1)
+        segment_lows.append(v)
+        segment_highs.append(v)
+        cursor = v + 1
+    if cursor <= domain_high:
+        segment_lows.append(cursor)
+        segment_highs.append(int(domain_high))
+
+    lows = np.asarray(segment_lows, dtype=np.int64)
+    highs = np.asarray(segment_highs, dtype=np.int64)
+    counts_below = np.searchsorted(values, lows, side="left")
+    counts_above = n - np.searchsorted(values, highs, side="right")
+    scores = np.maximum(
+        0, np.maximum(counts_below - (tau - 1), tau - (n - counts_above))
+    )
+
+    return [
+        QuantileInterval(low=int(lo), high=int(hi), score=int(sc))
+        for lo, hi, sc in zip(segment_lows, segment_highs, scores.tolist())
+    ]
+
+
+def exponential_mechanism_over_intervals(
+    intervals: Sequence[QuantileInterval],
+    epsilon: float,
+    rng: RngLike = None,
+) -> int:
+    """Sample an integer with probability proportional to ``size * exp(-eps * score / 2)``.
+
+    This is the exponential mechanism with utility ``-score`` (sensitivity 1)
+    over the union of the intervals, using the standard two-stage sampling:
+    first pick an interval by its total weight, then a uniform integer inside
+    it.  Weights are handled in log-space so that very long intervals and very
+    large scores cannot overflow or underflow.
+    """
+    if not intervals:
+        raise DomainError("cannot run the exponential mechanism over zero intervals")
+    epsilon = validate_epsilon(epsilon)
+    generator = resolve_rng(rng)
+
+    log_weights = np.array(
+        [math.log(iv.size) - 0.5 * epsilon * iv.score for iv in intervals],
+        dtype=float,
+    )
+    log_weights -= log_weights.max()
+    weights = np.exp(log_weights)
+    probabilities = weights / weights.sum()
+    index = int(generator.choice(len(intervals), p=probabilities))
+    chosen = intervals[index]
+    if chosen.size == 1:
+        return chosen.low
+    # The run length fits comfortably in a Python int; sample uniformly in it.
+    offset = int(generator.integers(0, chosen.size))
+    return chosen.low + offset
+
+
+def rank_clamp_width(domain_size: int, epsilon: float, beta: float) -> float:
+    """The rank clamp ``(2 / eps) * log(|X| / beta)`` used by Algorithm 2."""
+    epsilon = validate_epsilon(epsilon)
+    beta = validate_beta(beta)
+    if domain_size < 1:
+        raise DomainError(f"domain size must be at least 1, got {domain_size}")
+    # Compute log(|X| / beta) as log|X| - log(beta) so that astronomically
+    # large integer domains (the radius can be a huge power of two) never
+    # overflow an intermediate float division.
+    return (2.0 / epsilon) * (math.log(domain_size) - math.log(beta))
+
+
+def inverse_sensitivity_quantile(
+    sorted_values: Sequence[int],
+    tau: int,
+    domain_low: int,
+    domain_high: int,
+    epsilon: float,
+    rng: RngLike = None,
+) -> int:
+    """Run INV for the ``tau``-th order statistic over an integer domain.
+
+    This is the raw mechanism without Algorithm 2's rank clamping; callers
+    that need the Lemma 2.8 guarantee should use :func:`finite_domain_quantile`.
+    """
+    intervals = build_quantile_intervals(sorted_values, tau, domain_low, domain_high)
+    return exponential_mechanism_over_intervals(intervals, epsilon, rng)
+
+
+def finite_domain_quantile(
+    values: Sequence[float],
+    tau: int,
+    domain_low: int,
+    domain_high: int,
+    epsilon: float,
+    beta: float,
+    rng: RngLike = None,
+    *,
+    ledger: Optional[PrivacyLedger] = None,
+    label: str = "finite_domain_quantile",
+) -> int:
+    """Algorithm 2: privately estimate the ``tau``-th smallest value of ``values``.
+
+    Parameters
+    ----------
+    values:
+        Integer data (need not be sorted); every value must lie inside
+        ``[domain_low, domain_high]``.
+    tau:
+        Requested rank, ``1 <= tau <= n``.  Ranks too close to the extremes
+        are clamped to ``(2/eps) log(|X|/beta)`` away from them exactly as in
+        Algorithm 2, because INV can behave arbitrarily badly there.
+    domain_low, domain_high:
+        Inclusive bounds of the finite ordered domain ``X``.
+    epsilon, beta:
+        Privacy budget and failure probability.
+
+    Returns
+    -------
+    int
+        A domain element within rank error ``(4/eps) log(|X|/beta)`` of the
+        true ``tau``-th smallest value, with probability at least ``1 - beta``.
+    """
+    epsilon = validate_epsilon(epsilon)
+    beta = validate_beta(beta)
+    data = np.sort(np.asarray(values, dtype=float))
+    n = data.size
+    if n == 0:
+        raise InsufficientDataError("cannot estimate a quantile of an empty dataset")
+    if not 1 <= tau <= n:
+        raise DomainError(f"tau must lie in [1, {n}], got {tau}")
+
+    domain_size = int(domain_high) - int(domain_low) + 1
+    clamp = rank_clamp_width(domain_size, epsilon, beta)
+    tau_prime = float(tau)
+    if tau_prime <= clamp:
+        tau_prime = clamp
+    elif tau_prime >= n - clamp:
+        tau_prime = n - clamp
+    tau_prime = int(min(max(round(tau_prime), 1), n))
+
+    if ledger is not None:
+        ledger.charge(label, epsilon)
+
+    sorted_ints = np.rint(data).astype(np.int64)
+    return inverse_sensitivity_quantile(
+        sorted_ints, tau_prime, int(domain_low), int(domain_high), epsilon, rng
+    )

@@ -1,0 +1,91 @@
+"""The Laplace mechanism (Lemma 2.3) and its tail bound.
+
+The Laplace mechanism adds noise drawn from ``Lap(GS/epsilon)`` to a query
+with global sensitivity ``GS``; the result satisfies pure ε-DP.  The tail
+bound ``Pr[|Lap(s)| > s * log(1/beta)] <= beta`` is used repeatedly in the
+paper's utility proofs and is exposed here so that analysis code and tests can
+reference a single implementation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro._rng import RngLike, resolve_rng
+from repro.accounting import PrivacyLedger, validate_epsilon
+from repro.exceptions import PrivacyParameterError
+
+__all__ = ["laplace_noise", "laplace_mechanism", "laplace_tail_bound"]
+
+
+def laplace_noise(scale: float, rng: RngLike = None, size: Optional[int] = None):
+    """Draw Laplace noise with the given ``scale`` (mean zero).
+
+    Parameters
+    ----------
+    scale:
+        The Laplace scale parameter ``b`` (standard deviation ``b * sqrt(2)``).
+        A scale of exactly zero returns zero noise, which is convenient for
+        "infinite epsilon" sanity checks in tests.
+    rng:
+        Seed or generator; see :func:`repro._rng.resolve_rng`.
+    size:
+        When given, return an array of that many i.i.d. draws.
+    """
+    if scale < 0 or not math.isfinite(scale):
+        raise PrivacyParameterError(f"Laplace scale must be finite and non-negative, got {scale}")
+    if scale == 0.0:
+        return 0.0 if size is None else np.zeros(size)
+    generator = resolve_rng(rng)
+    return generator.laplace(loc=0.0, scale=scale, size=size)
+
+
+def laplace_mechanism(
+    value: float,
+    sensitivity: float,
+    epsilon: float,
+    rng: RngLike = None,
+    *,
+    ledger: Optional[PrivacyLedger] = None,
+    label: str = "laplace",
+) -> float:
+    """Release ``value`` under ε-DP by adding ``Lap(sensitivity / epsilon)`` noise.
+
+    Parameters
+    ----------
+    value:
+        The exact (non-private) query answer.
+    sensitivity:
+        Global sensitivity of the query over neighbouring datasets.
+    epsilon:
+        Privacy budget spent by this single release.
+    ledger:
+        Optional :class:`PrivacyLedger` to record the spend.
+    label:
+        Label stored in the ledger entry.
+    """
+    epsilon = validate_epsilon(epsilon)
+    if sensitivity < 0 or not math.isfinite(sensitivity):
+        raise PrivacyParameterError(
+            f"sensitivity must be finite and non-negative, got {sensitivity}"
+        )
+    if ledger is not None:
+        ledger.charge(label, epsilon)
+    noise = laplace_noise(sensitivity / epsilon, rng)
+    return float(value) + float(noise)
+
+
+def laplace_tail_bound(scale: float, beta: float) -> float:
+    """Return ``t`` such that ``Pr[|Lap(scale)| > t] <= beta``.
+
+    For the Laplace distribution the exact tail is
+    ``Pr[|Lap(s)| > t] = exp(-t / s)``, so ``t = s * log(1 / beta)``.
+    """
+    if not 0.0 < beta < 1.0:
+        raise PrivacyParameterError(f"beta must lie in (0, 1), got {beta}")
+    if scale < 0:
+        raise PrivacyParameterError(f"scale must be non-negative, got {scale}")
+    return scale * math.log(1.0 / beta)

@@ -1,0 +1,117 @@
+"""The Sparse Vector Technique (Algorithm 1 of the paper).
+
+Given a (possibly infinite) stream of sensitivity-1 queries ``Q_1, Q_2, ...``
+and a threshold ``T``, SVT privately returns the index of the first query
+whose (noisy) answer exceeds the (noisy) threshold, spending ``epsilon``
+regardless of how many queries were inspected.  The paper relies on two
+complementary utility statements:
+
+* Lemma 2.5 ("will not stop too early"): if the first ``k1`` queries are at
+  most ``T - (8/eps) log(2 k1 / beta)``, SVT passes them all w.p. ``1 - beta``.
+* Lemma 2.6 ("will stop in time"): if some query ``k2`` reaches
+  ``T + (6/eps) log(2/beta)``, SVT stops by ``k2`` and the returned query is
+  at least ``T - (6/eps) log(2 k2 / beta)`` w.p. ``1 - beta``.
+
+The query stream is supplied as an *iterable of callables* evaluated lazily so
+that the doubling-scale counting queries used by the radius estimator never
+materialise more queries than SVT actually inspects.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional
+
+from repro._rng import RngLike, resolve_rng
+from repro.accounting import PrivacyLedger, validate_epsilon
+from repro.exceptions import MechanismError
+
+__all__ = ["SVTResult", "sparse_vector"]
+
+#: Default safety cap on the number of queries SVT inspects.  The counting
+#: query streams used in this library grow their scale geometrically, so 4096
+#: queries already cover scales up to 2**4094 — far beyond any float input.
+DEFAULT_MAX_QUERIES = 4096
+
+
+@dataclass(frozen=True)
+class SVTResult:
+    """Outcome of a Sparse Vector run.
+
+    Attributes
+    ----------
+    index:
+        1-based index of the first query whose noisy answer exceeded the noisy
+        threshold.
+    noisy_threshold:
+        The privatized threshold actually used for all comparisons.
+    queries_evaluated:
+        How many queries were evaluated before stopping (equals ``index``).
+    """
+
+    index: int
+    noisy_threshold: float
+    queries_evaluated: int
+
+
+def sparse_vector(
+    threshold: float,
+    epsilon: float,
+    queries: Iterable[Callable[[], float]],
+    rng: RngLike = None,
+    *,
+    max_queries: int = DEFAULT_MAX_QUERIES,
+    ledger: Optional[PrivacyLedger] = None,
+    label: str = "sparse_vector",
+) -> SVTResult:
+    """Run Algorithm 1 (SVT) over a lazy stream of sensitivity-1 queries.
+
+    Parameters
+    ----------
+    threshold:
+        The public threshold ``T``.
+    epsilon:
+        Total privacy budget of the run; the threshold receives ``Lap(2/eps)``
+        noise and each query receives ``Lap(4/eps)`` noise as in Algorithm 1.
+    queries:
+        Iterable of zero-argument callables; ``queries[i]()`` must return the
+        exact answer of the ``(i+1)``-th sensitivity-1 query.
+    max_queries:
+        Safety cap; exceeding it raises :class:`MechanismError` because the
+        stream was expected to cross the threshold long before.
+    ledger:
+        Optional ledger that records a single spend of ``epsilon``.
+
+    Returns
+    -------
+    SVTResult
+        The (1-based) stopping index together with diagnostics.
+    """
+    epsilon = validate_epsilon(epsilon)
+    if not math.isfinite(threshold):
+        raise MechanismError(f"threshold must be finite, got {threshold}")
+    if max_queries < 1:
+        raise ValueError(f"max_queries must be at least 1, got {max_queries}")
+    generator = resolve_rng(rng)
+    if ledger is not None:
+        ledger.charge(label, epsilon)
+
+    noisy_threshold = threshold + generator.laplace(scale=2.0 / epsilon)
+    evaluated = 0
+    for index, query in enumerate(queries, start=1):
+        if index > max_queries:
+            break
+        evaluated = index
+        answer = float(query())
+        noisy_answer = answer + generator.laplace(scale=4.0 / epsilon)
+        if noisy_answer > noisy_threshold:
+            return SVTResult(
+                index=index,
+                noisy_threshold=noisy_threshold,
+                queries_evaluated=evaluated,
+            )
+    raise MechanismError(
+        f"SVT did not stop within {min(evaluated, max_queries)} queries; the query stream "
+        "never crossed the threshold (the input is outside the supported regime)"
+    )

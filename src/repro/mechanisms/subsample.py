@@ -1,0 +1,68 @@
+"""Privacy amplification by sub-sampling (Theorem 2.4, [BBG18]).
+
+Running an ``eps_inner``-DP mechanism on a uniformly random subset containing
+an ``eta`` fraction of the records satisfies
+``log(1 + eta * (exp(eps_inner) - 1))``-DP with respect to the full dataset.
+``EstimateMean`` and ``EstimateVariance`` use the inverse direction: given the
+target budget for the full dataset, compute the (larger) budget the inner
+mechanism may spend on the sub-sample.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro._rng import RngLike, resolve_rng
+from repro.accounting import validate_epsilon
+from repro.exceptions import PrivacyParameterError
+
+__all__ = ["subsample", "amplified_epsilon", "inner_epsilon_for_target"]
+
+
+def _validate_rate(eta: float) -> float:
+    eta = float(eta)
+    if not 0.0 < eta <= 1.0:
+        raise PrivacyParameterError(f"sampling rate eta must lie in (0, 1], got {eta}")
+    return eta
+
+
+def amplified_epsilon(inner_epsilon: float, eta: float) -> float:
+    """Effective epsilon of an ``inner_epsilon``-DP mechanism run on an ``eta`` sub-sample."""
+    inner_epsilon = validate_epsilon(inner_epsilon, name="inner_epsilon")
+    eta = _validate_rate(eta)
+    return math.log(1.0 + eta * (math.exp(inner_epsilon) - 1.0))
+
+
+def inner_epsilon_for_target(target_epsilon: float, eta: float) -> float:
+    """Largest inner epsilon whose amplified value is exactly ``target_epsilon``.
+
+    Inverts :func:`amplified_epsilon`:
+    ``inner = log((exp(target) - 1) / eta + 1)``.  For ``eta = target_epsilon``
+    (the paper's choice of sub-sample size ``m = eps * n``) this reproduces the
+    expression ``eps' = log((e^eps - 1) / eps + 1)`` from Algorithms 8 and 9.
+    """
+    target_epsilon = validate_epsilon(target_epsilon, name="target_epsilon")
+    eta = _validate_rate(eta)
+    return math.log((math.exp(target_epsilon) - 1.0) / eta + 1.0)
+
+
+def subsample(
+    values: Sequence[float],
+    size: int,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """Draw ``size`` values from ``values`` uniformly without replacement.
+
+    The sub-sample size is clamped to ``[1, len(values)]`` so the amplification
+    bookkeeping of the callers stays valid even for tiny datasets.
+    """
+    data = np.asarray(values, dtype=float)
+    if data.size == 0:
+        raise PrivacyParameterError("cannot sub-sample an empty dataset")
+    size = int(min(max(size, 1), data.size))
+    generator = resolve_rng(rng)
+    indices = generator.choice(data.size, size=size, replace=False)
+    return data[indices]

@@ -1,0 +1,21 @@
+"""Multivariate extensions (Section 1.2 of the paper).
+
+The paper notes that the univariate pure-DP estimators extend to d dimensions
+by running them coordinate-wise with the Laplace mechanism (the approach of
+[HLY21] with Gaussian noise replaced by Laplace noise), at the cost of a
+``d/(eps n)`` rather than the conjectured-optimal ``sqrt(d)``-type privacy
+term — achieving the optimal d-dependence under pure DP is left open.  This
+subpackage implements that coordinate-wise construction for the mean and the
+diagonal of the covariance, so downstream users get a working multivariate API
+and the E16 benchmark can measure the d-dependence explicitly.
+"""
+
+from repro.multivariate.mean import MultivariateMeanResult, estimate_mean_multivariate
+from repro.multivariate.scale import DiagonalCovarianceResult, estimate_variance_diagonal
+
+__all__ = [
+    "MultivariateMeanResult",
+    "estimate_mean_multivariate",
+    "DiagonalCovarianceResult",
+    "estimate_variance_diagonal",
+]

@@ -1,0 +1,99 @@
+"""Tests for privacy budgets and parameter validation."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.accounting import PrivacyBudget, validate_beta, validate_epsilon
+from repro.exceptions import PrivacyParameterError
+
+
+class TestValidateEpsilon:
+    @pytest.mark.parametrize("value", [0.1, 1.0, 0.001, 10.0])
+    def test_valid_values_pass_through(self, value):
+        assert validate_epsilon(value) == pytest.approx(value)
+
+    @pytest.mark.parametrize("value", [0.0, -1.0, float("inf"), float("nan")])
+    def test_invalid_values_raise(self, value):
+        with pytest.raises(PrivacyParameterError):
+            validate_epsilon(value)
+
+    def test_custom_name_in_message(self):
+        with pytest.raises(PrivacyParameterError, match="inner_eps"):
+            validate_epsilon(-1.0, name="inner_eps")
+
+
+class TestValidateBeta:
+    @pytest.mark.parametrize("value", [0.01, 0.5, 0.99])
+    def test_valid_values_pass_through(self, value):
+        assert validate_beta(value) == pytest.approx(value)
+
+    @pytest.mark.parametrize("value", [0.0, 1.0, -0.5, 2.0, float("nan")])
+    def test_invalid_values_raise(self, value):
+        with pytest.raises(PrivacyParameterError):
+            validate_beta(value)
+
+
+class TestPrivacyBudget:
+    def test_construction_and_defaults(self):
+        budget = PrivacyBudget(0.5)
+        assert budget.epsilon == pytest.approx(0.5)
+        assert 0.0 < budget.beta < 1.0
+
+    def test_invalid_epsilon_rejected(self):
+        with pytest.raises(PrivacyParameterError):
+            PrivacyBudget(-0.5)
+
+    def test_invalid_beta_rejected(self):
+        with pytest.raises(PrivacyParameterError):
+            PrivacyBudget(0.5, beta=1.5)
+
+    def test_split_preserves_total(self):
+        budget = PrivacyBudget(1.0)
+        parts = budget.split(0.125, 0.75, 0.125)
+        assert sum(p.epsilon for p in parts) == pytest.approx(1.0)
+
+    def test_split_rejects_overspend(self):
+        with pytest.raises(PrivacyParameterError):
+            PrivacyBudget(1.0).split(0.6, 0.6)
+
+    def test_split_rejects_nonpositive_fraction(self):
+        with pytest.raises(PrivacyParameterError):
+            PrivacyBudget(1.0).split(0.5, -0.1)
+
+    def test_split_requires_at_least_one_fraction(self):
+        with pytest.raises(ValueError):
+            PrivacyBudget(1.0).split()
+
+    def test_scaled(self):
+        assert PrivacyBudget(2.0).scaled(0.25).epsilon == pytest.approx(0.5)
+
+    def test_scaled_rejects_out_of_range(self):
+        with pytest.raises(PrivacyParameterError):
+            PrivacyBudget(2.0).scaled(1.5)
+
+    def test_compose_adds_epsilons(self):
+        composed = PrivacyBudget.compose([PrivacyBudget(0.25, 0.1), PrivacyBudget(0.5, 0.1)])
+        assert composed.epsilon == pytest.approx(0.75)
+        assert composed.beta == pytest.approx(0.2)
+
+    def test_compose_caps_beta_below_one(self):
+        composed = PrivacyBudget.compose([PrivacyBudget(0.1, 0.6), PrivacyBudget(0.1, 0.6)])
+        assert composed.beta < 1.0
+
+    def test_compose_empty_raises(self):
+        with pytest.raises(ValueError):
+            PrivacyBudget.compose([])
+
+    @given(
+        epsilon=st.floats(min_value=1e-3, max_value=10.0),
+        fractions=st.lists(st.floats(min_value=0.01, max_value=0.3), min_size=1, max_size=3),
+    )
+    def test_split_never_exceeds_parent(self, epsilon, fractions):
+        if sum(fractions) > 1.0:
+            fractions = [f / (sum(fractions) + 1e-9) for f in fractions]
+        parts = PrivacyBudget(epsilon).split(*fractions)
+        assert sum(p.epsilon for p in parts) <= epsilon * (1 + 1e-9)

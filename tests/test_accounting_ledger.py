@@ -1,0 +1,78 @@
+"""Tests for the privacy spend ledger."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.accounting import BudgetSpend, PrivacyLedger
+from repro.exceptions import BudgetExceededError, PrivacyParameterError
+
+
+class TestBudgetSpend:
+    def test_effective_epsilon_defaults_to_epsilon(self):
+        spend = BudgetSpend(label="x", epsilon=0.5)
+        assert spend.effective_epsilon == pytest.approx(0.5)
+
+    def test_effective_epsilon_uses_charged_value(self):
+        spend = BudgetSpend(label="x", epsilon=2.0, charged_epsilon=0.3)
+        assert spend.effective_epsilon == pytest.approx(0.3)
+
+
+class TestPrivacyLedger:
+    def test_empty_ledger(self):
+        ledger = PrivacyLedger()
+        assert ledger.total_epsilon == 0.0
+        assert len(ledger) == 0
+        assert ledger.remaining is None
+
+    def test_charges_accumulate(self):
+        ledger = PrivacyLedger()
+        ledger.charge("a", 0.25)
+        ledger.charge("b", 0.5)
+        assert ledger.total_epsilon == pytest.approx(0.75)
+        assert [s.label for s in ledger] == ["a", "b"]
+
+    def test_charged_epsilon_counts_amplified_value(self):
+        ledger = PrivacyLedger()
+        ledger.charge("range", 2.0, charged_epsilon=0.4)
+        assert ledger.total_epsilon == pytest.approx(0.4)
+
+    def test_capacity_enforced(self):
+        ledger = PrivacyLedger(capacity=1.0)
+        ledger.charge("a", 0.8)
+        with pytest.raises(BudgetExceededError):
+            ledger.charge("b", 0.5)
+
+    def test_capacity_allows_exact_fill(self):
+        ledger = PrivacyLedger(capacity=1.0)
+        ledger.charge("a", 0.5)
+        ledger.charge("b", 0.5)
+        assert ledger.remaining == pytest.approx(0.0)
+
+    def test_remaining_tracks_capacity(self):
+        ledger = PrivacyLedger(capacity=2.0)
+        ledger.charge("a", 0.5)
+        assert ledger.remaining == pytest.approx(1.5)
+
+    def test_invalid_epsilon_rejected(self):
+        with pytest.raises(PrivacyParameterError):
+            PrivacyLedger().charge("a", -0.1)
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(PrivacyParameterError):
+            PrivacyLedger(capacity=0.0)
+
+    def test_summary_mentions_labels(self):
+        ledger = PrivacyLedger()
+        ledger.charge("laplace_noise", 0.125)
+        text = ledger.summary()
+        assert "laplace_noise" in text
+        assert "0.125" in text
+
+    def test_failed_charge_not_recorded(self):
+        ledger = PrivacyLedger(capacity=0.5)
+        ledger.charge("ok", 0.4)
+        with pytest.raises(BudgetExceededError):
+            ledger.charge("too_much", 0.2)
+        assert len(ledger) == 1
+        assert ledger.total_epsilon == pytest.approx(0.4)

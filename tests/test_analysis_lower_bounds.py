@@ -1,0 +1,60 @@
+"""Tests for the Theorem 3.4 packing construction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import build_packing_instance, packing_lower_bound
+from repro.exceptions import DomainError
+
+
+class TestPackingInstance:
+    def test_number_of_datasets(self):
+        instance = build_packing_instance(domain_size=2**8, n=500, epsilon=0.5)
+        assert instance.levels == 8
+        assert len(instance.datasets) == 9
+
+    def test_base_dataset_is_all_zeros(self):
+        instance = build_packing_instance(2**6, 300, 1.0)
+        assert np.all(instance.datasets[0] == 0.0)
+
+    def test_level_datasets_have_expected_structure(self):
+        instance = build_packing_instance(2**6, 300, 1.0)
+        for level in range(1, instance.levels + 1):
+            data = instance.datasets[level]
+            changed = np.count_nonzero(data)
+            assert changed == instance.changed_per_level
+            assert np.max(data) == 2.0**level
+
+    def test_true_means_match_theorem(self):
+        instance = build_packing_instance(2**6, 500, 0.5)
+        means = instance.true_means()
+        assert means[0] == 0.0
+        for level in range(1, instance.levels + 1):
+            expected = 2.0**level * instance.changed_per_level / instance.n
+            assert means[level] == pytest.approx(expected)
+
+    def test_widths(self):
+        instance = build_packing_instance(2**5, 300, 1.0)
+        widths = instance.widths()
+        assert widths[0] == 0.0
+        assert widths[3] == 8.0
+
+    def test_lower_bound_grows_with_level(self):
+        instance = build_packing_instance(2**10, 500, 0.5)
+        assert packing_lower_bound(instance, 8) > packing_lower_bound(instance, 2)
+        assert packing_lower_bound(instance, 0) == 0.0
+
+    def test_invalid_level_rejected(self):
+        instance = build_packing_instance(2**4, 200, 1.0)
+        with pytest.raises(DomainError):
+            packing_lower_bound(instance, 99)
+
+    def test_small_n_rejected(self):
+        with pytest.raises(DomainError):
+            build_packing_instance(2**20, n=2, epsilon=0.01)
+
+    def test_invalid_domain_rejected(self):
+        with pytest.raises(DomainError):
+            build_packing_instance(1, 100, 1.0)

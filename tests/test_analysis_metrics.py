@@ -1,0 +1,63 @@
+"""Tests for error metrics and summaries."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import ErrorSummary, absolute_error, relative_error, summarize_errors
+from repro.exceptions import DomainError
+
+
+class TestPointMetrics:
+    def test_absolute_error(self):
+        assert absolute_error(3.0, 5.0) == 2.0
+        assert absolute_error(5.0, 3.0) == 2.0
+
+    def test_relative_error(self):
+        assert relative_error(11.0, 10.0) == pytest.approx(0.1)
+
+    def test_relative_error_zero_truth(self):
+        assert relative_error(0.0, 0.0) == 0.0
+        assert math.isinf(relative_error(1.0, 0.0))
+
+    @given(a=st.floats(-1e6, 1e6), b=st.floats(-1e6, 1e6))
+    @settings(max_examples=60, deadline=None)
+    def test_property_symmetry_and_nonnegativity(self, a, b):
+        assert absolute_error(a, b) == absolute_error(b, a)
+        assert absolute_error(a, b) >= 0.0
+
+
+class TestSummarizeErrors:
+    def test_summary_fields(self):
+        errors = np.abs(np.random.default_rng(0).normal(size=1000))
+        summary = summarize_errors(errors)
+        assert isinstance(summary, ErrorSummary)
+        assert summary.trials == 1000
+        assert summary.median <= summary.q90 <= summary.q95 <= summary.max
+        assert summary.mean > 0
+
+    def test_single_value(self):
+        summary = summarize_errors([2.5])
+        assert summary.mean == summary.median == summary.max == 2.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(DomainError):
+            summarize_errors([])
+
+    def test_as_row(self):
+        row = summarize_errors([1.0, 2.0, 3.0]).as_row()
+        assert row["trials"] == 3
+        assert row["mean_err"] == pytest.approx(2.0)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_property_order_of_quantiles(self, errors):
+        summary = summarize_errors(errors)
+        assert summary.median <= summary.q90 + 1e-9
+        assert summary.q90 <= summary.q95 + 1e-9
+        assert summary.q95 <= summary.max + 1e-9
+        assert min(errors) - 1e-9 <= summary.mean <= max(errors) + 1e-9

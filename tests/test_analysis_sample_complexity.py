@@ -1,0 +1,95 @@
+"""Tests for the empirical sample-complexity search."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import empirical_sample_complexity
+from repro.distributions import Gaussian
+from repro.exceptions import DomainError
+
+
+def sample_mean_estimator(data, gen):
+    return float(np.mean(data))
+
+
+class TestEmpiricalSampleComplexity:
+    def test_finds_reasonable_n_for_sample_mean(self, rng):
+        # For alpha = 0.25 and sigma = 1, n ~ sigma^2/alpha^2 = 16 suffices;
+        # the search starts at 32 so it should succeed immediately.
+        result = empirical_sample_complexity(
+            sample_mean_estimator,
+            Gaussian(0.0, 1.0),
+            "mean",
+            alpha=0.25,
+            trials=15,
+            min_n=32,
+            max_n=8192,
+            rng=rng,
+        )
+        assert result.n_star is not None
+        assert result.n_star <= 256
+
+    def test_harder_target_needs_more_samples(self, rng):
+        easy = empirical_sample_complexity(
+            sample_mean_estimator,
+            Gaussian(0.0, 1.0),
+            "mean",
+            alpha=0.5,
+            trials=12,
+            min_n=16,
+            max_n=65536,
+            rng=np.random.default_rng(0),
+        )
+        hard = empirical_sample_complexity(
+            sample_mean_estimator,
+            Gaussian(0.0, 1.0),
+            "mean",
+            alpha=0.02,
+            trials=12,
+            min_n=16,
+            max_n=65536,
+            rng=np.random.default_rng(0),
+        )
+        assert easy.n_star is not None and hard.n_star is not None
+        assert hard.n_star > easy.n_star
+
+    def test_unreachable_target_returns_none(self, rng):
+        result = empirical_sample_complexity(
+            lambda data, gen: float(np.mean(data) + 100.0),  # hopelessly biased
+            Gaussian(0.0, 1.0),
+            "mean",
+            alpha=0.1,
+            trials=5,
+            min_n=16,
+            max_n=64,
+            rng=rng,
+        )
+        assert result.n_star is None
+        assert len(result.tested) >= 2
+
+    def test_tested_pairs_recorded(self, rng):
+        result = empirical_sample_complexity(
+            sample_mean_estimator,
+            Gaussian(0.0, 1.0),
+            "mean",
+            alpha=0.3,
+            trials=8,
+            min_n=16,
+            max_n=1024,
+            rng=rng,
+        )
+        assert all(isinstance(n, int) and 0.0 <= rate <= 1.0 for n, rate in result.tested)
+
+    def test_invalid_alpha_rejected(self, rng):
+        with pytest.raises(DomainError):
+            empirical_sample_complexity(
+                sample_mean_estimator, Gaussian(), "mean", alpha=0.0, rng=rng
+            )
+
+    def test_invalid_range_rejected(self, rng):
+        with pytest.raises(DomainError):
+            empirical_sample_complexity(
+                sample_mean_estimator, Gaussian(), "mean", alpha=0.1, min_n=4, max_n=2, rng=rng
+            )

@@ -1,0 +1,116 @@
+"""Tests for the theoretical bound curves."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import (
+    empirical_mean_error_bound,
+    gaussian_mean_error_bound,
+    gaussian_variance_error_bound,
+    heavy_tailed_mean_error_bound,
+    heavy_tailed_variance_error_bound,
+    iqr_error_bound,
+    loglog,
+    quantile_rank_error_bound,
+)
+from repro.analysis.theory import packing_lower_bound_value, paper_log
+from repro.exceptions import DomainError
+
+
+class TestPaperLog:
+    def test_small_arguments_clamp_to_one(self):
+        assert paper_log(0.5) == 1.0
+        assert paper_log(math.e) == 1.0
+
+    def test_large_arguments_are_natural_log(self):
+        assert paper_log(math.e**3) == pytest.approx(3.0)
+
+    def test_loglog_always_at_least_one(self):
+        for x in (0.1, 1.0, 10.0, 1e6, 1e30):
+            assert loglog(x) >= 1.0
+
+    def test_loglog_grows_extremely_slowly(self):
+        assert loglog(1e100) < 6.0
+
+
+class TestEmpiricalBounds:
+    def test_mean_bound_scales_inversely_with_n_and_eps(self):
+        assert empirical_mean_error_bound(100, 1000, 1.0) > empirical_mean_error_bound(
+            100, 10_000, 1.0
+        )
+        assert empirical_mean_error_bound(100, 1000, 0.1) > empirical_mean_error_bound(
+            100, 1000, 1.0
+        )
+
+    def test_mean_bound_scales_with_gamma(self):
+        assert empirical_mean_error_bound(10_000, 1000, 1.0) > empirical_mean_error_bound(
+            100, 1000, 1.0
+        )
+
+    def test_quantile_bound_logarithmic_in_gamma(self):
+        ratio = quantile_rank_error_bound(10.0**9, 1.0) / quantile_rank_error_bound(10.0**3, 1.0)
+        assert ratio < 5.0
+
+    def test_packing_lower_bound_positive(self):
+        assert packing_lower_bound_value(2.0**5, 200, 0.5, 2**10) > 0.0
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(DomainError):
+            empirical_mean_error_bound(-1.0, 100, 1.0)
+        with pytest.raises(DomainError):
+            quantile_rank_error_bound(10.0, 0.0)
+
+
+class TestStatisticalBounds:
+    def test_gaussian_mean_bound_dominated_by_sampling_for_large_eps_n(self):
+        bound = gaussian_mean_error_bound(10**6, 1.0, 1.0)
+        assert bound == pytest.approx(1.0 / 1000.0, rel=0.5)
+
+    def test_gaussian_mean_bound_decreasing_in_n(self):
+        values = [gaussian_mean_error_bound(n, 0.5, 2.0) for n in (10**3, 10**4, 10**5)]
+        assert values[0] > values[1] > values[2]
+
+    def test_gaussian_variance_bound_scales_with_sigma_squared(self):
+        assert gaussian_variance_error_bound(10**4, 0.5, 2.0) > gaussian_variance_error_bound(
+            10**4, 0.5, 1.0
+        )
+
+    def test_heavy_tailed_bound_worsens_for_smaller_k(self):
+        common = dict(n=10**4, epsilon=0.5, sigma=1.0, phi=1.0)
+        k2 = heavy_tailed_mean_error_bound(mu_k=1.0, k=2, **common)
+        k4 = heavy_tailed_mean_error_bound(mu_k=1.0, k=4, **common)
+        assert k2 > k4
+
+    def test_heavy_tailed_variance_requires_k_at_least_4(self):
+        with pytest.raises(DomainError):
+            heavy_tailed_variance_error_bound(1000, 0.5, 3.0, 3, 10.0, 1.0)
+
+    def test_heavy_tailed_variance_bound_positive(self):
+        assert heavy_tailed_variance_error_bound(10**4, 0.5, 3.0, 4, 10.0, 1.0) > 0
+
+    def test_iqr_bound_max_of_three_regimes(self):
+        # Privacy-dominated regime: tiny epsilon.
+        privacy_dominated = iqr_error_bound(10**4, 1e-4, 1.0, 1.0)
+        assert privacy_dominated == pytest.approx(1.0 / (1e-4 * 10**4 * 1.0))
+        # Sampling-dominated regime: huge epsilon.
+        sampling_dominated = iqr_error_bound(10**4, 100.0, 1.0, 1.0)
+        assert sampling_dominated == pytest.approx(1.0 / (1.0 * 100.0))
+
+    @given(
+        n=st.integers(min_value=100, max_value=10**6),
+        epsilon=st.floats(min_value=0.01, max_value=2.0),
+        sigma=st.floats(min_value=1e-3, max_value=1e3),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_bounds_positive_and_finite(self, n, epsilon, sigma):
+        for bound in (
+            gaussian_mean_error_bound(n, epsilon, sigma),
+            gaussian_variance_error_bound(n, epsilon, sigma),
+            iqr_error_bound(n, epsilon, sigma, 1.0 / sigma),
+        ):
+            assert bound > 0.0
+            assert math.isfinite(bound)

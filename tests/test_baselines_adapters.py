@@ -1,0 +1,34 @@
+"""Tests for the universal-estimator adapters exposed through the baseline interface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import UniversalIQR, UniversalMean, UniversalVariance, describe_baselines
+from repro.distributions import Gaussian
+
+
+class TestUniversalAdapters:
+    def test_no_assumptions_declared(self):
+        for adapter in (UniversalMean(), UniversalVariance(), UniversalIQR()):
+            assert adapter.assumptions == frozenset()
+            assert adapter.privacy == "pure"
+
+    def test_mean_adapter_matches_core_accuracy(self, rng):
+        data = Gaussian(10.0, 1.0).sample(20_000, rng)
+        assert UniversalMean().estimate(data, 0.5, rng) == pytest.approx(10.0, abs=0.3)
+
+    def test_variance_adapter(self, rng):
+        data = Gaussian(0.0, 2.0).sample(20_000, rng)
+        assert UniversalVariance().estimate(data, 0.5, rng) == pytest.approx(4.0, rel=0.25)
+
+    def test_iqr_adapter(self, rng):
+        dist = Gaussian(0.0, 3.0)
+        data = dist.sample(10_000, rng)
+        assert UniversalIQR().estimate(data, 1.0, rng) == pytest.approx(dist.iqr, rel=0.2)
+
+    def test_describe_baselines_collects_metadata(self):
+        descriptions = describe_baselines([UniversalMean(), UniversalIQR()])
+        assert [d.target for d in descriptions] == ["mean", "iqr"]
+        assert all(d.assumptions == frozenset() for d in descriptions)

@@ -1,0 +1,70 @@
+"""Tests for the Dwork-Lei propose-test-release IQR baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import DworkLeiIQR
+from repro.distributions import Gaussian
+from repro.exceptions import InsufficientDataError, MechanismError, PrivacyParameterError
+
+
+class TestDworkLeiIQR:
+    def test_metadata(self):
+        est = DworkLeiIQR()
+        assert est.privacy == "approx"
+        assert est.assumptions == frozenset()
+        assert est.target == "iqr"
+
+    def test_invalid_delta_rejected(self):
+        with pytest.raises(PrivacyParameterError):
+            DworkLeiIQR(delta=0.0)
+
+    def test_accuracy_on_large_gaussian_sample(self, rng):
+        dist = Gaussian(0.0, 2.0)
+        data = dist.sample(50_000, rng)
+        est = DworkLeiIQR(delta=1e-6).estimate(data, 1.0, rng)
+        assert est == pytest.approx(dist.iqr, rel=0.5)
+
+    def test_small_sample_rejected(self, rng):
+        with pytest.raises(InsufficientDataError):
+            DworkLeiIQR().estimate([1.0, 2.0, 3.0], 1.0, rng)
+
+    def test_degenerate_data_fails_ptr(self, rng):
+        data = np.zeros(1000)
+        with pytest.raises(MechanismError):
+            DworkLeiIQR().estimate(data, 1.0, rng)
+
+    def test_unstable_instance_fails_ptr_often(self):
+        """A dataset whose IQR sits on a dyadic boundary and flips with few changes
+        should frequently fail the stability test at small epsilon."""
+        data = np.concatenate([np.zeros(100), np.full(100, 1.0)])
+        failures = 0
+        for seed in range(20):
+            try:
+                DworkLeiIQR(delta=1e-10).estimate(data, 0.1, np.random.default_rng(seed))
+            except MechanismError:
+                failures += 1
+        assert failures >= 10
+
+    def test_convergence_is_slow_in_n(self):
+        """The privacy noise scale shrinks only like 1/log(n), so going from
+        n=2,000 to n=64,000 barely helps — the behaviour the paper contrasts
+        against its own 1/(eps n) rate (E11 measures this quantitatively)."""
+        dist = Gaussian(0.0, 1.0)
+        errors = {}
+        for n in (2_000, 64_000):
+            per_trial = []
+            for seed in range(15):
+                gen = np.random.default_rng(seed)
+                data = dist.sample(n, gen)
+                try:
+                    est = DworkLeiIQR().estimate(data, 0.3, gen)
+                    per_trial.append(abs(est - dist.iqr))
+                except MechanismError:
+                    continue
+            errors[n] = np.median(per_trial)
+        # Improvement should be visible but far less than the 32x sample increase.
+        assert errors[64_000] < errors[2_000] * 1.5
+        assert errors[64_000] > errors[2_000] / 32.0

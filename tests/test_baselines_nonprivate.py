@@ -1,0 +1,61 @@
+"""Tests for the non-private reference estimators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import MidRangeMean, SampleIQR, SampleMean, SampleVariance
+from repro.distributions import Gaussian, Uniform
+from repro.exceptions import InsufficientDataError
+
+
+class TestSampleStatistics:
+    def test_sample_mean_exact(self):
+        assert SampleMean().estimate([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+
+    def test_sample_variance_exact(self):
+        assert SampleVariance().estimate([1.0, 3.0]) == pytest.approx(1.0)
+
+    def test_sample_iqr_on_sorted_grid(self):
+        data = np.arange(1, 101, dtype=float)
+        assert SampleIQR().estimate(data) == pytest.approx(50.0)
+
+    def test_empty_rejected(self):
+        for estimator in (SampleMean(), SampleVariance(), SampleIQR(), MidRangeMean()):
+            with pytest.raises(InsufficientDataError):
+                estimator.estimate([])
+
+    def test_epsilon_ignored(self, rng):
+        data = Gaussian().sample(100, rng)
+        assert SampleMean().estimate(data, 0.1) == SampleMean().estimate(data, 100.0)
+
+    def test_metadata(self):
+        assert SampleMean().privacy == "none"
+        assert SampleMean().assumptions == frozenset()
+        assert SampleIQR().target == "iqr"
+
+
+class TestMidRange:
+    def test_exact_on_two_points(self):
+        assert MidRangeMean().estimate([0.0, 10.0]) == pytest.approx(5.0)
+
+    def test_good_for_uniform_bad_for_gaussian(self):
+        """The introduction's motivating example: mid-range beats the sample mean
+        on uniform data but is far worse on Gaussian data."""
+        uniform = Uniform(-1.0, 1.0)
+        gaussian = Gaussian(0.0, 1.0)
+        mid_uniform, mean_uniform, mid_gauss, mean_gauss = [], [], [], []
+        for seed in range(40):
+            gen = np.random.default_rng(seed)
+            u = uniform.sample(2000, gen)
+            g = gaussian.sample(2000, gen)
+            mid_uniform.append(abs(MidRangeMean().estimate(u)))
+            mean_uniform.append(abs(SampleMean().estimate(u)))
+            mid_gauss.append(abs(MidRangeMean().estimate(g)))
+            mean_gauss.append(abs(SampleMean().estimate(g)))
+        assert np.median(mid_uniform) < np.median(mean_uniform)
+        assert np.median(mid_gauss) > np.median(mean_gauss)
+
+    def test_declares_family_assumption(self):
+        assert "A3" in MidRangeMean().assumptions

@@ -1,0 +1,163 @@
+"""Tests for the assumption-dependent private baselines (A1/A2/A3 estimators)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BoundedLaplaceMean,
+    BoundedLaplaceVariance,
+    CoinPressMean,
+    FiniteDomainLaplaceMean,
+    KarwaVadhanGaussianMean,
+    KarwaVadhanGaussianVariance,
+    KSUHeavyTailedMean,
+)
+from repro.distributions import Gaussian, StudentT
+from repro.exceptions import AssumptionRequiredError, InsufficientDataError
+
+
+class TestAssumptionEnforcement:
+    """Every assumption-dependent baseline must refuse to run bare (Table 1)."""
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            BoundedLaplaceMean,
+            BoundedLaplaceVariance,
+            FiniteDomainLaplaceMean,
+            KarwaVadhanGaussianMean,
+            KarwaVadhanGaussianVariance,
+            CoinPressMean,
+            KSUHeavyTailedMean,
+        ],
+    )
+    def test_bare_construction_raises(self, factory):
+        with pytest.raises(AssumptionRequiredError):
+            factory()
+
+    def test_invalid_assumption_values_rejected(self):
+        with pytest.raises(AssumptionRequiredError):
+            BoundedLaplaceMean(radius=-1.0)
+        with pytest.raises(AssumptionRequiredError):
+            KarwaVadhanGaussianVariance(sigma_min=2.0, sigma_max=1.0)
+        with pytest.raises(AssumptionRequiredError):
+            KSUHeavyTailedMean(radius=10.0, moment_order=1, moment_bound=1.0)
+
+
+class TestBoundedLaplace:
+    def test_mean_accuracy_with_tight_bound(self, rng):
+        data = Gaussian(5.0, 1.0).sample(20_000, rng)
+        est = BoundedLaplaceMean(radius=10.0).estimate(data, 1.0, rng)
+        assert est == pytest.approx(5.0, abs=0.2)
+
+    def test_mean_error_grows_with_loose_bound(self):
+        tight_errors, loose_errors = [], []
+        for seed in range(15):
+            gen = np.random.default_rng(seed)
+            data = Gaussian(0.0, 1.0).sample(2000, gen)
+            tight_errors.append(abs(BoundedLaplaceMean(radius=10.0).estimate(data, 0.5, gen)))
+            loose_errors.append(abs(BoundedLaplaceMean(radius=1e6).estimate(data, 0.5, gen)))
+        assert np.median(loose_errors) > np.median(tight_errors)
+
+    def test_variance_accuracy(self, rng):
+        data = Gaussian(0.0, 2.0).sample(40_000, rng)
+        est = BoundedLaplaceVariance(sigma_max=5.0).estimate(data, 1.0, rng)
+        assert est == pytest.approx(4.0, rel=0.3)
+
+    def test_clipping_bias_with_wrong_bound(self, rng):
+        """If sigma_max is an underestimate, the variance is badly biased down."""
+        data = Gaussian(0.0, 10.0).sample(40_000, rng)
+        est = BoundedLaplaceVariance(sigma_max=1.0).estimate(data, 1.0, rng)
+        assert est < 50.0
+
+
+class TestFiniteDomain:
+    def test_accuracy_inside_domain(self, rng):
+        data = rng.uniform(400, 600, size=10_000)
+        est = FiniteDomainLaplaceMean(domain_size=1000).estimate(data, 1.0, rng)
+        assert est == pytest.approx(float(np.mean(data)), abs=5.0)
+
+    def test_noise_grows_with_domain(self):
+        small, large = [], []
+        for seed in range(20):
+            gen = np.random.default_rng(seed)
+            data = np.full(500, 10.0)
+            small.append(FiniteDomainLaplaceMean(domain_size=100).estimate(data, 0.5, gen))
+            large.append(FiniteDomainLaplaceMean(domain_size=10**6).estimate(data, 0.5, gen))
+        assert np.std(large) > np.std(small)
+
+
+class TestKarwaVadhan:
+    def test_mean_accuracy(self, rng):
+        data = Gaussian(42.0, 2.0).sample(20_000, rng)
+        est = KarwaVadhanGaussianMean(radius=1000.0, sigma_min=0.5, sigma_max=5.0).estimate(
+            data, 1.0, rng
+        )
+        assert est == pytest.approx(42.0, abs=0.5)
+
+    def test_mean_with_far_location(self, rng):
+        data = Gaussian(-800.0, 2.0).sample(20_000, rng)
+        est = KarwaVadhanGaussianMean(radius=1000.0, sigma_min=0.5, sigma_max=5.0).estimate(
+            data, 1.0, rng
+        )
+        assert est == pytest.approx(-800.0, abs=1.0)
+
+    def test_variance_accuracy(self, rng):
+        data = Gaussian(0.0, 3.0).sample(40_000, rng)
+        est = KarwaVadhanGaussianVariance(sigma_min=0.1, sigma_max=100.0).estimate(data, 1.0, rng)
+        assert est == pytest.approx(9.0, rel=0.4)
+
+    def test_small_sample_rejected(self, rng):
+        with pytest.raises(InsufficientDataError):
+            KarwaVadhanGaussianMean(radius=10.0, sigma_max=1.0).estimate([1.0] * 4, 1.0, rng)
+
+
+class TestCoinPress:
+    def test_accuracy_with_loose_initial_range(self, rng):
+        data = Gaussian(77.0, 1.0).sample(20_000, rng)
+        est = CoinPressMean(radius=1e5, sigma_max=2.0).estimate(data, 1.0, rng)
+        assert est == pytest.approx(77.0, abs=1.0)
+
+    def test_more_rounds_tolerate_looser_range(self):
+        one_round_errors, three_round_errors = [], []
+        for seed in range(12):
+            gen = np.random.default_rng(seed)
+            data = Gaussian(5.0, 1.0).sample(5_000, gen)
+            one = CoinPressMean(radius=1e6, sigma_max=2.0, rounds=1).estimate(data, 0.5, gen)
+            three = CoinPressMean(radius=1e6, sigma_max=2.0, rounds=3).estimate(data, 0.5, gen)
+            one_round_errors.append(abs(one - 5.0))
+            three_round_errors.append(abs(three - 5.0))
+        assert np.median(three_round_errors) < np.median(one_round_errors)
+
+
+class TestKSUHeavyTailed:
+    def test_accuracy_on_student_t(self, rng):
+        dist = StudentT(df=3.0, loc=10.0)
+        data = dist.sample(40_000, rng)
+        est = KSUHeavyTailedMean(radius=100.0, moment_order=2, moment_bound=5.0).estimate(
+            data, 1.0, rng
+        )
+        assert est == pytest.approx(10.0, abs=1.0)
+
+    def test_loose_moment_bound_hurts(self):
+        tight, loose = [], []
+        for seed in range(12):
+            gen = np.random.default_rng(seed)
+            data = StudentT(df=3.0).sample(5_000, gen)
+            tight.append(
+                abs(
+                    KSUHeavyTailedMean(radius=100.0, moment_order=2, moment_bound=3.0).estimate(
+                        data, 0.5, gen
+                    )
+                )
+            )
+            loose.append(
+                abs(
+                    KSUHeavyTailedMean(
+                        radius=100.0, moment_order=2, moment_bound=3000.0
+                    ).estimate(data, 0.5, gen)
+                )
+            )
+        assert np.median(loose) > np.median(tight)

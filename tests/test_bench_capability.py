@@ -1,0 +1,64 @@
+"""Tests for the Table-1 capability matrix."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import capability_matrix, default_estimator_suite
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return capability_matrix(epsilon=1.0, sample_size=2048, rng=7)
+
+
+class TestCapabilityMatrix:
+    def test_contains_all_estimator_families(self, matrix):
+        names = {row.name for row in matrix}
+        assert {"universal_mean", "universal_variance", "universal_iqr"} <= names
+        assert {"karwa_vadhan_mean", "coinpress_mean", "ksu_heavy_tailed_mean"} <= names
+        assert "dwork_lei_iqr" in names
+
+    def test_universal_estimators_need_no_assumptions(self, matrix):
+        for row in matrix:
+            if row.name.startswith("universal"):
+                assert not row.needs_a1 and not row.needs_a2 and not row.needs_a3
+                assert row.runs_without_assumptions
+                assert row.privacy == "pure"
+
+    def test_prior_pure_dp_estimators_need_assumptions(self, matrix):
+        """Table 1: every prior pure-DP estimator relies on A1/A2/A3."""
+        for row in matrix:
+            prior_pure = (
+                row.privacy == "pure"
+                and not row.name.startswith("universal")
+                and not row.name.startswith("sample")
+            )
+            if prior_pure:
+                assert row.needs_a1 or row.needs_a2 or row.needs_a3
+                assert not row.runs_without_assumptions
+
+    def test_dl09_is_universal_but_approximate(self, matrix):
+        row = next(r for r in matrix if r.name == "dwork_lei_iqr")
+        assert row.privacy == "approx"
+        assert not (row.needs_a1 or row.needs_a2 or row.needs_a3)
+
+    def test_rows_render_to_cells(self, matrix):
+        for row in matrix:
+            cells = row.as_cells()
+            assert len(cells) == 8
+            assert all(isinstance(c, str) for c in cells)
+
+
+class TestDefaultSuite:
+    def test_all_estimators_runnable(self, rng):
+        import numpy as np
+
+        data = np.random.default_rng(0).normal(5.0, 2.0, size=4096)
+        for estimator in default_estimator_suite():
+            value = estimator.estimate(data, 1.0, rng)
+            assert isinstance(value, float)
+
+    def test_suite_covers_all_targets(self):
+        targets = {est.target for est in default_estimator_suite()}
+        assert targets == {"mean", "variance", "iqr"}

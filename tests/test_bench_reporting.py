@@ -1,0 +1,45 @@
+"""Tests for the plain-text reporting helpers."""
+
+from __future__ import annotations
+
+from repro.bench import format_series, format_table, render_experiment_header
+
+
+class TestFormatTable:
+    def test_contains_headers_and_values(self):
+        text = format_table(["n", "error"], [[100, 0.5], [1000, 0.05]])
+        assert "n" in text and "error" in text
+        assert "100" in text and "0.05" in text
+
+    def test_alignment_consistent_line_lengths(self):
+        text = format_table(["a", "bbbb"], [[1, 2], [333333, 4]])
+        lines = text.splitlines()
+        assert len({len(line.rstrip()) for line in lines[:2]}) <= 2
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[0.000012345], [123456.789]])
+        assert "e-05" in text or "1.234e-05" in text
+        assert "e+05" in text or "123456" not in text
+
+    def test_boolean_cells(self):
+        text = format_table(["flag"], [[True], [False]])
+        assert "yes" in text and "no" in text
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text and "b" in text
+
+
+class TestFormatSeries:
+    def test_series_named_and_paired(self):
+        text = format_series("error vs n", [10, 100], [0.5, 0.05])
+        assert "error vs n" in text
+        assert "10" in text and "0.05" in text
+
+
+class TestExperimentHeader:
+    def test_header_contains_id_and_description(self):
+        text = render_experiment_header("E7", "Gaussian mean comparison")
+        assert "E7" in text
+        assert "Gaussian mean comparison" in text
+        assert "=" in text

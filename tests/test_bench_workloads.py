@@ -1,0 +1,76 @@
+"""Tests for the benchmark workload generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    adversarial_outlier_dataset,
+    clustered_integer_dataset,
+    packing_level_dataset,
+    uniform_integer_dataset,
+    wide_spread_dataset,
+)
+from repro.exceptions import DomainError
+
+
+class TestUniformIntegerDataset:
+    def test_size_and_integrality(self, rng):
+        data = uniform_integer_dataset(1000, 200, rng=rng)
+        assert data.size == 1000
+        np.testing.assert_array_equal(data, np.rint(data))
+
+    def test_width_respected(self, rng):
+        data = uniform_integer_dataset(5000, 100, center=50, rng=rng)
+        assert np.min(data) >= 50 - 51
+        assert np.max(data) <= 50 + 51
+
+    def test_invalid_args(self, rng):
+        with pytest.raises(DomainError):
+            uniform_integer_dataset(0, 10, rng=rng)
+        with pytest.raises(DomainError):
+            uniform_integer_dataset(10, -1, rng=rng)
+
+
+class TestClusteredDataset:
+    def test_cluster_location(self, rng):
+        data = clustered_integer_dataset(500, cluster_value=10_000, spread=3, rng=rng)
+        assert np.all(np.abs(data - 10_000) <= 3)
+
+    def test_zero_spread_is_constant(self, rng):
+        data = clustered_integer_dataset(100, 7, spread=0, rng=rng)
+        assert np.all(data == 7.0)
+
+
+class TestAdversarialOutlierDataset:
+    def test_composition(self, rng):
+        data = adversarial_outlier_dataset(1000, bulk_width=50, outliers=10, outlier_value=10**6, rng=rng)
+        assert data.size == 1000
+        assert np.count_nonzero(data == 10**6) == 10
+
+    def test_invalid_outlier_count(self, rng):
+        with pytest.raises(DomainError):
+            adversarial_outlier_dataset(10, 5, outliers=20, outlier_value=100, rng=rng)
+
+
+class TestWideSpreadDataset:
+    def test_exact_width(self, rng):
+        data = wide_spread_dataset(500, width=1000, rng=rng)
+        assert np.max(data) - np.min(data) == pytest.approx(1000, abs=2)
+
+    def test_minimum_size(self, rng):
+        with pytest.raises(DomainError):
+            wide_spread_dataset(1, 100, rng=rng)
+
+
+class TestPackingLevelDataset:
+    def test_structure(self):
+        data = packing_level_dataset(100, level_value=64, changed=5)
+        assert np.count_nonzero(data) == 5
+        assert np.max(data) == 64.0
+        assert data.size == 100
+
+    def test_invalid_changed(self):
+        with pytest.raises(DomainError):
+            packing_level_dataset(10, 4, changed=11)

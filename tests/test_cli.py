@@ -1,0 +1,124 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, load_column, main
+from repro.exceptions import DomainError
+
+
+@pytest.fixture
+def salary_csv(tmp_path):
+    """A small CSV with a header and two numeric columns."""
+    rng = np.random.default_rng(5)
+    path = tmp_path / "salaries.csv"
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["employee_id", "salary", "age"])
+        for i in range(5000):
+            writer.writerow([i, f"{rng.lognormal(11.0, 0.5):.2f}", int(rng.integers(21, 65))])
+    return path
+
+
+class TestLoadColumn:
+    def test_load_by_header_name(self, salary_csv):
+        values = load_column(salary_csv, "salary")
+        assert values.size == 5000
+        assert np.all(values > 0)
+
+    def test_load_by_index(self, salary_csv):
+        by_name = load_column(salary_csv, "age")
+        by_index = load_column(salary_csv, "2")
+        np.testing.assert_allclose(by_name, by_index)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DomainError):
+            load_column(tmp_path / "nope.csv", "salary")
+
+    def test_unknown_column(self, salary_csv):
+        with pytest.raises(DomainError):
+            load_column(salary_csv, "bonus")
+
+    def test_non_numeric_cell_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("value\n1.0\nnot-a-number\n")
+        with pytest.raises(DomainError):
+            load_column(path, "value")
+
+    def test_blank_cells_skipped(self, tmp_path):
+        path = tmp_path / "gaps.csv"
+        path.write_text("value\n1.0\n\n2.0\n")
+        values = load_column(path, "value")
+        assert values.tolist() == [1.0, 2.0]
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_quantiles_levels_parsed(self, salary_csv):
+        args = build_parser().parse_args(
+            ["quantiles", str(salary_csv), "--column", "salary", "--levels", "0.5", "0.95"]
+        )
+        assert args.levels == [0.5, 0.95]
+        assert args.command == "quantiles"
+
+    def test_defaults(self, salary_csv):
+        args = build_parser().parse_args(["mean", str(salary_csv), "--column", "salary"])
+        assert args.epsilon == 1.0
+        assert args.seed is None
+
+
+class TestMain:
+    def test_mean_command(self, salary_csv, capsys):
+        code = main(["mean", str(salary_csv), "--column", "salary", "--seed", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "dp_mean=" in out
+        assert "records=5000" in out
+        assert "epsilon_spent=" in out
+
+    def test_variance_command(self, salary_csv, capsys):
+        code = main(["variance", str(salary_csv), "--column", "salary", "--seed", "1"])
+        assert code == 0
+        assert "dp_variance=" in capsys.readouterr().out
+
+    def test_iqr_command_with_ledger(self, salary_csv, capsys):
+        code = main(
+            ["iqr", str(salary_csv), "--column", "salary", "--seed", "1", "--show-ledger"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "dp_iqr=" in out
+        assert "PrivacyLedger" in out
+
+    def test_quantiles_command(self, salary_csv, capsys):
+        code = main(
+            ["quantiles", str(salary_csv), "--column", "salary", "--seed", "1",
+             "--levels", "0.5", "0.95"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "dp_q0.5=" in out
+        assert "dp_q0.95=" in out
+
+    def test_mean_estimate_is_reasonable(self, salary_csv, capsys):
+        main(["mean", str(salary_csv), "--column", "salary", "--seed", "3", "--epsilon", "1.0"])
+        out = capsys.readouterr().out
+        value = float(out.split("dp_mean=")[1].splitlines()[0])
+        truth = float(np.mean(load_column(salary_csv, "salary")))
+        assert value == pytest.approx(truth, rel=0.1)
+
+    def test_error_exit_code_on_bad_column(self, salary_csv, capsys):
+        code = main(["mean", str(salary_csv), "--column", "bonus"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_error_exit_code_on_missing_file(self, tmp_path, capsys):
+        code = main(["mean", str(tmp_path / "missing.csv"), "--column", "x"])
+        assert code == 2

@@ -1,0 +1,92 @@
+"""Tests for the universal IQR estimator ``EstimateIQR`` (Algorithm 10)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.accounting import PrivacyLedger
+from repro.core import estimate_iqr
+from repro.distributions import Gaussian, LaplaceDistribution, LogNormal, Uniform
+from repro.exceptions import InsufficientDataError, PrivacyParameterError
+
+
+def _median_relative_error(distribution, n, epsilon, trials=6, **kwargs):
+    errors = []
+    truth = distribution.iqr
+    for seed in range(trials):
+        gen = np.random.default_rng(seed)
+        data = distribution.sample(n, gen)
+        result = estimate_iqr(data, epsilon, 0.1, gen, **kwargs)
+        errors.append(abs(result.iqr - truth) / truth)
+    return float(np.median(errors))
+
+
+class TestUniversalIQRAccuracy:
+    def test_gaussian(self):
+        assert _median_relative_error(Gaussian(0.0, 1.0), 10_000, 1.0) < 0.1
+
+    def test_gaussian_with_huge_mean(self):
+        assert _median_relative_error(Gaussian(1.0e5, 2.0), 10_000, 1.0) < 0.1
+
+    def test_uniform(self):
+        assert _median_relative_error(Uniform(0.0, 10.0), 10_000, 1.0) < 0.1
+
+    def test_laplace(self):
+        assert _median_relative_error(LaplaceDistribution(0.0, 3.0), 10_000, 1.0) < 0.15
+
+    def test_lognormal(self):
+        assert _median_relative_error(LogNormal(0.0, 1.0), 10_000, 1.0) < 0.15
+
+    def test_small_scale(self):
+        assert _median_relative_error(Gaussian(0.0, 1e-3), 10_000, 1.0) < 0.15
+
+    def test_error_decreases_with_n(self):
+        dist = Gaussian(0.0, 5.0)
+        assert _median_relative_error(dist, 20_000, 0.5) < _median_relative_error(
+            dist, 1_000, 0.5
+        )
+
+
+class TestUniversalIQRMechanics:
+    def test_quartiles_ordered(self, rng):
+        data = Gaussian(0.0, 1.0).sample(5000, rng)
+        result = estimate_iqr(data, 1.0, 0.1, rng)
+        assert result.upper_quartile.value >= result.lower_quartile.value
+        assert result.iqr == pytest.approx(
+            result.upper_quartile.value - result.lower_quartile.value
+        )
+
+    def test_bucket_size_is_lower_bound_over_n(self, rng):
+        data = Gaussian(0.0, 1.0).sample(5000, rng)
+        result = estimate_iqr(data, 1.0, 0.1, rng)
+        assert result.bucket_size == pytest.approx(result.iqr_lower_bound.value / data.size)
+
+    def test_sample_iqr_diagnostic(self, rng):
+        data = Gaussian(0.0, 1.0).sample(4000, rng)
+        result = estimate_iqr(data, 1.0, 0.1, rng)
+        sorted_data = np.sort(data)
+        expected = sorted_data[3 * 4000 // 4 - 1] - sorted_data[4000 // 4 - 1]
+        assert result.sample_iqr == pytest.approx(float(expected))
+
+    def test_explicit_bucket_size(self, rng):
+        data = Gaussian(0.0, 1.0).sample(5000, rng)
+        result = estimate_iqr(data, 1.0, 0.1, rng, bucket_size=0.001)
+        assert result.bucket_size == pytest.approx(0.001)
+        assert result.iqr_lower_bound.branch == "given"
+
+    def test_ledger_spend_close_to_budget(self, rng):
+        ledger = PrivacyLedger()
+        data = Gaussian(0.0, 1.0).sample(5000, rng)
+        estimate_iqr(data, 0.9, 0.1, rng, ledger=ledger)
+        assert ledger.total_epsilon == pytest.approx(0.9, rel=1e-6)
+
+
+class TestUniversalIQRValidation:
+    def test_too_few_samples_rejected(self, rng):
+        with pytest.raises(InsufficientDataError):
+            estimate_iqr(np.arange(4.0), 1.0, 0.1, rng)
+
+    def test_invalid_epsilon_rejected(self, rng):
+        with pytest.raises(PrivacyParameterError):
+            estimate_iqr(np.arange(100.0), 0.0, 0.1, rng)

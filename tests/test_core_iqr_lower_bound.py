@@ -1,0 +1,89 @@
+"""Tests for ``EstimateIQRLowerBound`` (Algorithm 7, Theorem 4.3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.accounting import PrivacyLedger
+from repro.core import estimate_iqr_lower_bound
+from repro.distributions import Gaussian, SpikeMixture, Uniform
+from repro.exceptions import InsufficientDataError, PrivacyParameterError
+
+
+def _success_rate(distribution, n, epsilon, trials=12):
+    """Fraction of trials where the output lands in [phi(1/16)/4, IQR]."""
+    phi_over_4 = distribution.phi(1.0 / 16.0) / 4.0
+    iqr = distribution.iqr
+    hits = 0
+    for seed in range(trials):
+        gen = np.random.default_rng(seed)
+        data = distribution.sample(n, gen)
+        result = estimate_iqr_lower_bound(data, epsilon, 0.1, gen)
+        if phi_over_4 * 0.99 <= result.value <= iqr * 1.01:
+            hits += 1
+    return hits / trials
+
+
+class TestIQRLowerBoundGuarantee:
+    def test_gaussian_unit_scale(self):
+        assert _success_rate(Gaussian(0.0, 1.0), n=8000, epsilon=1.0) >= 0.8
+
+    def test_gaussian_large_scale(self):
+        assert _success_rate(Gaussian(50.0, 200.0), n=8000, epsilon=1.0) >= 0.8
+
+    def test_gaussian_small_scale(self):
+        assert _success_rate(Gaussian(0.0, 1e-3), n=8000, epsilon=1.0) >= 0.8
+
+    def test_uniform(self):
+        assert _success_rate(Uniform(-10.0, 10.0), n=8000, epsilon=1.0) >= 0.8
+
+    def test_spike_mixture_still_lower_bounds_iqr(self, rng):
+        """For an ill-behaved P the bound can be tiny but must stay below the IQR."""
+        dist = SpikeMixture(bulk_sigma=1.0, spike_width=1e-5, spike_mass=0.3)
+        data = dist.sample(8000, rng)
+        result = estimate_iqr_lower_bound(data, 1.0, 0.1, rng)
+        assert result.value <= dist.iqr * 1.01
+
+
+class TestIQRLowerBoundMechanics:
+    def test_result_is_power_of_two(self, rng):
+        data = Gaussian(0.0, 3.0).sample(4000, rng)
+        result = estimate_iqr_lower_bound(data, 1.0, 0.1, rng)
+        log2_value = np.log2(result.value)
+        assert log2_value == pytest.approx(round(log2_value))
+
+    def test_branch_matches_scale(self):
+        # Large-scale data should resolve on the upward sweep, tiny-scale data
+        # on the downward sweep.
+        rng = np.random.default_rng(0)
+        large = estimate_iqr_lower_bound(Gaussian(0.0, 500.0).sample(6000, rng), 1.0, 0.1, rng)
+        small = estimate_iqr_lower_bound(Gaussian(0.0, 1e-4).sample(6000, rng), 1.0, 0.1, rng)
+        assert large.value > small.value
+        assert small.value < 1.0
+
+    def test_pair_count(self, rng):
+        data = Gaussian().sample(1001, rng)
+        result = estimate_iqr_lower_bound(data, 1.0, 0.1, rng)
+        assert result.pair_count == 500
+
+    def test_ledger_records_both_svt_instances(self, rng):
+        ledger = PrivacyLedger()
+        data = Gaussian().sample(2000, rng)
+        estimate_iqr_lower_bound(data, 0.4, 0.1, rng, ledger=ledger)
+        assert len(ledger) == 2
+        assert ledger.total_epsilon == pytest.approx(0.4, rel=1e-6)
+
+    def test_too_few_samples_rejected(self, rng):
+        with pytest.raises(InsufficientDataError):
+            estimate_iqr_lower_bound([1.0, 2.0], 1.0, 0.1, rng)
+
+    def test_invalid_epsilon_rejected(self, rng):
+        with pytest.raises(PrivacyParameterError):
+            estimate_iqr_lower_bound(np.arange(100.0), -1.0, 0.1, rng)
+
+    def test_deterministic_given_seed(self):
+        data = Gaussian(0.0, 2.0).sample(4000, np.random.default_rng(7))
+        a = estimate_iqr_lower_bound(data, 1.0, 0.1, np.random.default_rng(11))
+        b = estimate_iqr_lower_bound(data, 1.0, 0.1, np.random.default_rng(11))
+        assert a.value == b.value

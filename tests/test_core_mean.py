@@ -1,0 +1,113 @@
+"""Tests for the universal mean estimator ``EstimateMean`` (Algorithm 8)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.accounting import PrivacyLedger
+from repro.core import estimate_mean
+from repro.distributions import Gaussian, GaussianMixture, LogNormal, StudentT, Uniform
+from repro.exceptions import InsufficientDataError, PrivacyParameterError
+
+
+def _median_error(distribution, n, epsilon, trials=8, **kwargs):
+    errors = []
+    for seed in range(trials):
+        gen = np.random.default_rng(seed)
+        data = distribution.sample(n, gen)
+        result = estimate_mean(data, epsilon, 0.1, gen, **kwargs)
+        errors.append(abs(result.mean - distribution.mean))
+    return float(np.median(errors))
+
+
+class TestUniversalMeanAccuracy:
+    def test_standard_gaussian(self):
+        err = _median_error(Gaussian(0.0, 1.0), n=20_000, epsilon=0.5)
+        assert err < 0.05
+
+    def test_gaussian_with_huge_unknown_mean(self):
+        """No assumption A1: the estimator must find a mean of 10^6 on its own."""
+        err = _median_error(Gaussian(1.0e6, 1.0), n=20_000, epsilon=0.5)
+        assert err < 0.1
+
+    def test_gaussian_with_large_scale(self):
+        err = _median_error(Gaussian(0.0, 500.0), n=20_000, epsilon=0.5)
+        assert err < 25.0
+
+    def test_gaussian_with_tiny_scale(self):
+        err = _median_error(Gaussian(5.0, 1e-4), n=20_000, epsilon=0.5)
+        assert err < 1e-2
+
+    def test_uniform(self):
+        err = _median_error(Uniform(-3.0, 7.0), n=20_000, epsilon=0.5)
+        assert err < 0.2
+
+    def test_heavy_tailed_student_t(self):
+        err = _median_error(StudentT(df=3.0), n=20_000, epsilon=0.5)
+        assert err < 0.25
+
+    def test_lognormal(self):
+        dist = LogNormal(0.0, 1.0)
+        err = _median_error(dist, n=20_000, epsilon=0.5)
+        assert err < 0.5
+
+    def test_bimodal_mixture(self):
+        err = _median_error(GaussianMixture([-10.0, 10.0], [1.0, 1.0], [0.5, 0.5]), 20_000, 0.5)
+        assert err < 1.0
+
+    def test_error_decreases_with_n(self):
+        dist = Gaussian(0.0, 10.0)
+        assert _median_error(dist, 40_000, 0.3) < _median_error(dist, 1_000, 0.3)
+
+    def test_error_decreases_with_epsilon(self):
+        dist = Gaussian(0.0, 10.0)
+        assert _median_error(dist, 4_000, 2.0, trials=10) <= _median_error(
+            dist, 4_000, 0.1, trials=10
+        )
+
+
+class TestUniversalMeanOptions:
+    def test_given_bucket_size_skips_iqr_search(self, rng):
+        data = Gaussian(0.0, 1.0).sample(8000, rng)
+        result = estimate_mean(data, 0.5, 0.1, rng, bucket_size=0.01)
+        assert result.iqr_lower_bound.branch == "given"
+        assert abs(result.mean) < 0.2
+
+    def test_subsample_size_override(self, rng):
+        data = Gaussian(0.0, 1.0).sample(8000, rng)
+        result = estimate_mean(data, 0.5, 0.1, rng, subsample_size=2000)
+        assert result.subsample_size == 2000
+
+    def test_default_subsample_is_eps_n(self, rng):
+        data = Gaussian(0.0, 1.0).sample(10_000, rng)
+        result = estimate_mean(data, 0.25, 0.1, rng)
+        assert result.subsample_size == 2500
+
+    def test_diagnostics_fields(self, rng):
+        data = Gaussian(3.0, 1.0).sample(8000, rng)
+        result = estimate_mean(data, 0.5, 0.1, rng)
+        assert result.sample_mean == pytest.approx(float(np.mean(data)))
+        assert result.noise_scale >= 0.0
+        assert result.inner_epsilon > 0.5
+        assert result.clipped_count >= 0
+
+    def test_ledger_stays_within_budget(self, rng):
+        data = Gaussian(0.0, 1.0).sample(8000, rng)
+        ledger = PrivacyLedger(capacity=0.5 * 1.001)
+        estimate_mean(data, 0.5, 0.1, rng, ledger=ledger)
+        assert ledger.total_epsilon <= 0.5 * 1.001
+
+
+class TestUniversalMeanValidation:
+    def test_too_few_samples_rejected(self, rng):
+        with pytest.raises(InsufficientDataError):
+            estimate_mean(np.arange(4.0), 1.0, 0.1, rng)
+
+    def test_invalid_epsilon_rejected(self, rng):
+        with pytest.raises(PrivacyParameterError):
+            estimate_mean(np.arange(100.0), 0.0, 0.1, rng)
+
+    def test_invalid_beta_rejected(self, rng):
+        with pytest.raises(PrivacyParameterError):
+            estimate_mean(np.arange(100.0), 1.0, 2.0, rng)

@@ -1,0 +1,84 @@
+"""Tests for the universal multi-quantile estimator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import PrivacyLedger, estimate_quantiles
+from repro.distributions import Gaussian, LogNormal
+from repro.exceptions import DomainError, InsufficientDataError
+
+
+class TestQuantilesAccuracy:
+    def test_gaussian_median_and_tails(self, rng):
+        dist = Gaussian(10.0, 2.0)
+        data = dist.sample(20_000, rng)
+        result = estimate_quantiles(data, [0.25, 0.5, 0.75], epsilon=1.0, rng=rng)
+        for level, value in result.as_dict().items():
+            assert value == pytest.approx(float(dist.quantile(level)), abs=0.5)
+
+    def test_lognormal_p95(self, rng):
+        dist = LogNormal(0.0, 1.0)
+        data = dist.sample(20_000, rng)
+        result = estimate_quantiles(data, [0.95], epsilon=1.0, rng=rng)
+        assert result.values[0] == pytest.approx(float(dist.quantile(0.95)), rel=0.25)
+
+    def test_estimates_are_monotone_in_level(self, rng):
+        data = Gaussian(0.0, 1.0).sample(20_000, rng)
+        result = estimate_quantiles(data, [0.1, 0.5, 0.9], epsilon=2.0, rng=rng)
+        assert result.values[0] <= result.values[1] <= result.values[2]
+
+    def test_error_decreases_with_epsilon(self):
+        dist = Gaussian(0.0, 1.0)
+        errors = {}
+        for epsilon in (0.2, 2.0):
+            per_trial = []
+            for seed in range(6):
+                gen = np.random.default_rng(seed)
+                data = dist.sample(8_000, gen)
+                result = estimate_quantiles(data, [0.5], epsilon, rng=gen)
+                per_trial.append(abs(result.values[0] - dist.quantile(0.5)))
+            errors[epsilon] = float(np.median(per_trial))
+        assert errors[2.0] <= errors[0.2] + 1e-9
+
+
+class TestQuantilesMechanics:
+    def test_result_structure(self, rng):
+        data = Gaussian(0.0, 1.0).sample(5_000, rng)
+        result = estimate_quantiles(data, [0.5, 0.9], epsilon=1.0, rng=rng)
+        assert result.levels == (0.5, 0.9)
+        assert len(result.values) == 2
+        assert len(result.per_quantile) == 2
+        assert result.epsilon_per_quantile == pytest.approx(1.0 * (2.0 / 3.0) / 2.0)
+        assert set(result.as_dict()) == {0.5, 0.9}
+
+    def test_ledger_spend_equals_budget(self, rng):
+        data = Gaussian(0.0, 1.0).sample(5_000, rng)
+        ledger = PrivacyLedger()
+        estimate_quantiles(data, [0.5, 0.9, 0.99], epsilon=0.9, rng=rng, ledger=ledger)
+        assert ledger.total_epsilon == pytest.approx(0.9, rel=1e-6)
+
+    def test_explicit_bucket_skips_lower_bound_search(self, rng):
+        data = Gaussian(0.0, 1.0).sample(5_000, rng)
+        ledger = PrivacyLedger()
+        result = estimate_quantiles(
+            data, [0.5], epsilon=0.5, rng=rng, bucket_size=0.001, ledger=ledger
+        )
+        assert result.iqr_lower_bound.branch == "given"
+        # The whole budget goes to the single quantile release.
+        assert result.epsilon_per_quantile == pytest.approx(0.5)
+        assert ledger.total_epsilon == pytest.approx(0.5, rel=1e-6)
+
+    def test_invalid_levels_rejected(self, rng):
+        data = Gaussian(0.0, 1.0).sample(1_000, rng)
+        with pytest.raises(DomainError):
+            estimate_quantiles(data, [], 1.0, rng=rng)
+        with pytest.raises(DomainError):
+            estimate_quantiles(data, [0.0], 1.0, rng=rng)
+        with pytest.raises(DomainError):
+            estimate_quantiles(data, [1.2], 1.0, rng=rng)
+
+    def test_too_few_samples_rejected(self, rng):
+        with pytest.raises(InsufficientDataError):
+            estimate_quantiles(np.arange(4.0), [0.5], 1.0, rng=rng)

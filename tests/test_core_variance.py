@@ -1,0 +1,96 @@
+"""Tests for the universal variance estimator ``EstimateVariance`` (Algorithm 9)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.accounting import PrivacyLedger
+from repro.core import estimate_variance
+from repro.distributions import Gaussian, LaplaceDistribution, StudentT, Uniform
+from repro.exceptions import InsufficientDataError, PrivacyParameterError
+
+
+def _median_relative_error(distribution, n, epsilon, trials=8, **kwargs):
+    errors = []
+    truth = distribution.variance
+    for seed in range(trials):
+        gen = np.random.default_rng(seed)
+        data = distribution.sample(n, gen)
+        result = estimate_variance(data, epsilon, 0.1, gen, **kwargs)
+        errors.append(abs(result.variance - truth) / truth)
+    return float(np.median(errors))
+
+
+class TestUniversalVarianceAccuracy:
+    def test_standard_gaussian(self):
+        assert _median_relative_error(Gaussian(0.0, 1.0), 20_000, 0.5) < 0.1
+
+    def test_gaussian_with_large_mean_is_location_invariant(self):
+        """Variance estimation must not depend on the (unknown, huge) mean."""
+        assert _median_relative_error(Gaussian(1.0e6, 2.0), 20_000, 0.5) < 0.1
+
+    def test_gaussian_large_scale(self):
+        assert _median_relative_error(Gaussian(0.0, 300.0), 20_000, 0.5) < 0.15
+
+    def test_gaussian_tiny_scale(self):
+        assert _median_relative_error(Gaussian(0.0, 1e-3), 20_000, 0.5) < 0.15
+
+    def test_uniform(self):
+        assert _median_relative_error(Uniform(-5.0, 5.0), 20_000, 0.5) < 0.15
+
+    def test_laplace(self):
+        assert _median_relative_error(LaplaceDistribution(0.0, 2.0), 20_000, 0.5) < 0.2
+
+    def test_student_t_with_finite_fourth_moment(self):
+        assert _median_relative_error(StudentT(df=6.0), 30_000, 0.5, trials=6) < 0.35
+
+    def test_error_decreases_with_n(self):
+        dist = Gaussian(0.0, 2.0)
+        assert _median_relative_error(dist, 40_000, 0.3) < _median_relative_error(
+            dist, 2_000, 0.3
+        )
+
+
+class TestUniversalVarianceMechanics:
+    def test_result_fields(self, rng):
+        data = Gaussian(0.0, 2.0).sample(8000, rng)
+        result = estimate_variance(data, 0.5, 0.1, rng)
+        assert result.pair_count == 4000
+        assert result.sample_variance == pytest.approx(float(np.var(data)))
+        assert result.radius_used.radius >= 0.0
+        assert result.noise_scale >= 0.0
+
+    def test_estimate_is_nonnegative_typically(self, rng):
+        data = Gaussian(0.0, 1.0).sample(20_000, rng)
+        result = estimate_variance(data, 1.0, 0.1, rng)
+        assert result.variance > 0.0
+
+    def test_given_bucket_size_skips_iqr_search(self, rng):
+        data = Gaussian(0.0, 1.0).sample(8000, rng)
+        result = estimate_variance(data, 0.5, 0.1, rng, bucket_size=0.01)
+        assert result.iqr_lower_bound.branch == "given"
+
+    def test_subsample_size_override(self, rng):
+        data = Gaussian(0.0, 1.0).sample(8000, rng)
+        result = estimate_variance(data, 0.5, 0.1, rng, subsample_size=500)
+        assert result.subsample_size == 500
+
+    def test_ledger_records_spends(self, rng):
+        ledger = PrivacyLedger()
+        data = Gaussian(0.0, 1.0).sample(8000, rng)
+        estimate_variance(data, 0.4, 0.1, rng, ledger=ledger)
+        # IQR lower bound (2 SVT) + radius + noise.
+        assert len(ledger) == 4
+        # Algorithm 9's split spends at most 9 eps / 8 in total.
+        assert ledger.total_epsilon <= 0.4 * 9.0 / 8.0 + 1e-9
+
+
+class TestUniversalVarianceValidation:
+    def test_too_few_samples_rejected(self, rng):
+        with pytest.raises(InsufficientDataError):
+            estimate_variance(np.arange(8.0), 1.0, 0.1, rng)
+
+    def test_invalid_epsilon_rejected(self, rng):
+        with pytest.raises(PrivacyParameterError):
+            estimate_variance(np.arange(100.0), -0.5, 0.1, rng)

@@ -1,0 +1,148 @@
+"""Tests for the concrete distribution families."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.distributions import (
+    Exponential,
+    Gaussian,
+    GaussianMixture,
+    LaplaceDistribution,
+    LogNormal,
+    Pareto,
+    SpikeMixture,
+    StudentT,
+    Uniform,
+)
+from repro.exceptions import DomainError
+
+ALL_DISTRIBUTIONS = [
+    Gaussian(2.0, 3.0),
+    Uniform(-4.0, 6.0),
+    LaplaceDistribution(1.0, 2.0),
+    Exponential(scale=2.0),
+    LogNormal(0.5, 0.8),
+    StudentT(df=5.0, loc=1.0, scale=2.0),
+    Pareto(alpha=4.0, x_m=2.0),
+    GaussianMixture([-3.0, 3.0], [1.0, 2.0], [0.3, 0.7]),
+    SpikeMixture(bulk_sigma=1.0, spike_width=1e-3, spike_mass=0.2),
+]
+
+
+@pytest.mark.parametrize("dist", ALL_DISTRIBUTIONS, ids=lambda d: d.name)
+class TestDistributionContract:
+    """Every distribution must satisfy the same consistency contract."""
+
+    def test_sample_shape_and_finiteness(self, dist, rng):
+        draw = dist.sample(1000, rng)
+        assert draw.shape == (1000,)
+        assert np.all(np.isfinite(draw))
+
+    def test_sample_mean_matches_analytic_mean(self, dist):
+        draws = dist.sample(200_000, np.random.default_rng(42))
+        tolerance = 6.0 * dist.std / math.sqrt(draws.size) + 1e-3 + 0.01 * abs(dist.mean)
+        assert np.mean(draws) == pytest.approx(dist.mean, abs=max(tolerance, 0.05))
+
+    def test_sample_variance_matches_analytic_variance(self, dist):
+        draws = dist.sample(200_000, np.random.default_rng(43))
+        assert np.var(draws) == pytest.approx(dist.variance, rel=0.25)
+
+    def test_cdf_quantile_roundtrip(self, dist):
+        for q in (0.1, 0.25, 0.5, 0.75, 0.9):
+            x = dist.quantile(q)
+            assert float(dist.cdf(x)) == pytest.approx(q, abs=0.01)
+
+    def test_iqr_matches_quantiles(self, dist):
+        assert dist.iqr == pytest.approx(
+            float(dist.quantile(0.75) - dist.quantile(0.25)), rel=1e-6, abs=1e-9
+        )
+
+    def test_iqr_at_most_four_sigma(self, dist):
+        """Section 2.1: phi(1/2) <= IQR <= 4 sigma."""
+        assert dist.iqr <= 4.0 * dist.std + 1e-12
+        assert dist.phi(0.5) <= dist.iqr + 1e-9
+
+    def test_phi_monotone_in_beta(self, dist):
+        assert dist.phi(1.0 / 16.0) <= dist.phi(0.5) + 1e-12
+
+    def test_theta_positive(self, dist):
+        assert dist.theta(dist.iqr / 10.0) > 0.0
+
+    def test_statistical_width_increases_with_m(self, dist):
+        assert dist.statistical_width(10, 0.1) <= dist.statistical_width(1000, 0.1)
+
+    def test_statistical_width_upper_bounds_iqr(self, dist):
+        """Section 2.1: IQR <= gamma(m, beta) for m >= log_{4/3}(2/beta)."""
+        assert dist.iqr <= dist.statistical_width(100, 0.25) + 1e-9
+
+    def test_describe_keys(self, dist):
+        info = dist.describe()
+        assert {"name", "mean", "std", "variance", "iqr"} <= set(info)
+
+
+class TestGaussianSpecifics:
+    def test_closed_form_moments(self):
+        g = Gaussian(0.0, 2.0)
+        assert g.central_moment(2) == pytest.approx(4.0)
+        assert g.central_moment(4) == pytest.approx(3 * 16.0)
+
+    def test_phi_is_symmetric_interval(self):
+        g = Gaussian(0.0, 1.0)
+        # phi(1/2) for a standard normal is 2 * z_{0.75} ≈ 1.349 (the IQR).
+        assert g.phi(0.5) == pytest.approx(g.iqr, rel=1e-6)
+
+    def test_invalid_sigma(self):
+        with pytest.raises(DomainError):
+            Gaussian(0.0, 0.0)
+
+
+class TestHeavyTailedSpecifics:
+    def test_student_t_infinite_high_moments(self):
+        t3 = StudentT(df=3.0)
+        assert math.isinf(t3.central_moment(3))
+        assert math.isfinite(t3.central_moment(2))
+
+    def test_student_t_needs_df_above_two(self):
+        with pytest.raises(DomainError):
+            StudentT(df=2.0)
+
+    def test_pareto_infinite_high_moments(self):
+        p = Pareto(alpha=3.0)
+        assert math.isinf(p.central_moment(3))
+        assert math.isfinite(p.central_moment(2))
+
+    def test_pareto_support_positive(self, rng):
+        p = Pareto(alpha=3.0, x_m=2.0)
+        assert np.all(p.sample(1000, rng) >= 2.0)
+
+    def test_pareto_needs_alpha_above_two(self):
+        with pytest.raises(DomainError):
+            Pareto(alpha=1.5)
+
+
+class TestMixtures:
+    def test_mixture_weights_validated(self):
+        with pytest.raises(DomainError):
+            GaussianMixture([0.0], [1.0], [0.5, 0.5])
+        with pytest.raises(DomainError):
+            GaussianMixture([0.0, 1.0], [1.0, 1.0], [0.5, -0.5])
+
+    def test_mixture_mean_is_weighted_average(self):
+        mix = GaussianMixture([-2.0, 4.0], [1.0, 1.0], [0.25, 0.75])
+        assert mix.mean == pytest.approx(0.25 * -2.0 + 0.75 * 4.0)
+
+    def test_spike_phi_collapses_with_spike_width(self):
+        wide = SpikeMixture(1.0, 1e-2, 0.2)
+        narrow = SpikeMixture(1.0, 1e-6, 0.2)
+        assert narrow.phi(1.0 / 16.0) < wide.phi(1.0 / 16.0)
+        assert narrow.std == pytest.approx(wide.std, rel=0.05)
+
+    def test_spike_parameters_validated(self):
+        with pytest.raises(DomainError):
+            SpikeMixture(1.0, 1e-4, 1.5)
+        with pytest.raises(DomainError):
+            SpikeMixture(1.0, 0.0, 0.1)

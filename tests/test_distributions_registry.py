@@ -1,0 +1,53 @@
+"""Tests for the distribution registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distributions import (
+    Distribution,
+    available_distributions,
+    make_distribution,
+    standard_suite,
+)
+from repro.exceptions import DomainError
+
+
+class TestRegistry:
+    def test_all_registered_specs_build(self):
+        for spec in available_distributions():
+            dist = spec.build()
+            assert isinstance(dist, Distribution)
+            assert dist.variance > 0
+
+    def test_make_by_key(self):
+        dist = make_distribution("gaussian")
+        assert dist.mean == pytest.approx(0.0)
+
+    def test_make_with_overrides(self):
+        dist = make_distribution("gaussian", mu=7.0, sigma=3.0)
+        assert dist.mean == pytest.approx(7.0)
+        assert dist.std == pytest.approx(3.0)
+
+    def test_unknown_key_raises(self):
+        with pytest.raises(DomainError):
+            make_distribution("not-a-distribution")
+
+    def test_specs_have_descriptions(self):
+        for spec in available_distributions():
+            assert spec.description
+            assert spec.key
+
+    def test_standard_suite_is_diverse(self):
+        suite = standard_suite()
+        assert len(suite) >= 5
+        names = {d.name for d in suite}
+        assert len(names) == len(suite)
+
+    def test_shifted_gaussian_has_large_mean(self):
+        dist = make_distribution("gaussian_shifted")
+        assert abs(dist.mean) >= 1e5
+
+    def test_spike_is_ill_behaved(self):
+        dist = make_distribution("spike")
+        assert dist.phi(1.0 / 16.0) < 0.01 * dist.std

@@ -1,0 +1,99 @@
+"""Tests for the discretization grid (Section 3.5)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.domain import Grid
+from repro.exceptions import DomainError
+
+
+class TestGridConstruction:
+    def test_unit_grid(self):
+        assert Grid.unit().bucket_size == 1.0
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("inf"), float("nan")])
+    def test_invalid_bucket_rejected(self, bad):
+        with pytest.raises(DomainError):
+            Grid(bad)
+
+
+class TestGridMapping:
+    def test_integer_data_unit_grid_roundtrip(self):
+        grid = Grid.unit()
+        data = np.array([-3.0, 0.0, 7.0])
+        np.testing.assert_array_equal(grid.from_grid(grid.to_grid(data)), data)
+
+    def test_rounding_to_nearest_bucket(self):
+        grid = Grid(0.5)
+        np.testing.assert_array_equal(grid.to_grid([0.24, 0.26, -0.74]), [0, 1, -1])
+
+    def test_scalar_roundtrip(self):
+        grid = Grid(0.25)
+        assert grid.from_grid_scalar(grid.to_grid_scalar(3.1)) == pytest.approx(3.1, abs=0.125)
+
+    def test_round_trip_error_bound(self):
+        grid = Grid(0.2)
+        assert grid.round_trip_error_bound() == pytest.approx(0.1)
+
+    def test_non_finite_values_rejected(self):
+        with pytest.raises(DomainError):
+            Grid(1.0).to_grid([1.0, float("nan")])
+        with pytest.raises(DomainError):
+            Grid(1.0).to_grid_scalar(float("inf"))
+
+    def test_overflowing_indices_rejected(self):
+        with pytest.raises(DomainError):
+            Grid(1e-12).to_grid([1e55])
+
+    def test_empty_input_allowed(self):
+        assert Grid(1.0).to_grid([]).size == 0
+
+    @given(
+        bucket=st.floats(min_value=1e-3, max_value=100.0),
+        values=st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=30),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_property_roundtrip_error_within_half_bucket(self, bucket, values):
+        grid = Grid(bucket)
+        data = np.asarray(values)
+        recovered = grid.from_grid(grid.to_grid(data))
+        assert np.all(np.abs(recovered - data) <= bucket / 2.0 + 1e-9 * np.abs(data) + 1e-12)
+
+    @given(bucket=st.floats(min_value=1e-3, max_value=10.0), value=st.integers(-1000, 1000))
+    @settings(max_examples=60, deadline=None)
+    def test_property_grid_points_map_exactly(self, bucket, value):
+        """Values that already lie on the grid survive the round trip exactly (up to float error)."""
+        grid = Grid(bucket)
+        x = value * bucket
+        assert grid.from_grid_scalar(grid.to_grid_scalar(x)) == pytest.approx(x, rel=1e-9, abs=1e-9)
+
+
+class TestDatasetHelpers:
+    def test_radius_width_range(self):
+        from repro.domain import dataset_radius, dataset_range, dataset_width
+
+        data = [-4.0, 1.0, 10.0]
+        assert dataset_radius(data) == 10.0
+        assert dataset_width(data) == 14.0
+        assert dataset_range(data) == (-4.0, 10.0)
+
+    def test_radius_uses_absolute_value(self):
+        from repro.domain import dataset_radius
+
+        assert dataset_radius([-20.0, 3.0]) == 20.0
+
+    def test_empty_rejected(self):
+        from repro.domain import dataset_radius, dataset_range, dataset_width
+        from repro.exceptions import InsufficientDataError
+
+        for fn in (dataset_radius, dataset_width, dataset_range):
+            with pytest.raises(InsufficientDataError):
+                fn([])
+
+    def test_sort_values(self):
+        from repro.domain import sort_values
+
+        np.testing.assert_array_equal(sort_values([3.0, 1.0, 2.0]), [1.0, 2.0, 3.0])

@@ -1,0 +1,87 @@
+"""Tests for ``InfiniteDomainMean`` (Algorithm 5, Theorems 3.3/3.8)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.accounting import PrivacyLedger
+from repro.analysis.theory import empirical_mean_error_bound
+from repro.bench.workloads import adversarial_outlier_dataset, uniform_integer_dataset
+from repro.empirical import estimate_empirical_mean
+from repro.exceptions import InsufficientDataError
+
+
+class TestEmpiricalMeanAccuracy:
+    def test_error_small_relative_to_width(self, rng):
+        data = uniform_integer_dataset(5000, width=1000, rng=rng)
+        result = estimate_empirical_mean(data, epsilon=1.0, beta=0.1, rng=rng)
+        bound = 20.0 * empirical_mean_error_bound(1000.0, data.size, 1.0, 0.1)
+        assert result.absolute_error <= bound
+
+    def test_error_shrinks_with_n(self):
+        errors = {}
+        for n in (1000, 16000):
+            trial_errors = []
+            for seed in range(8):
+                gen = np.random.default_rng(seed)
+                data = uniform_integer_dataset(n, width=1000, rng=gen)
+                result = estimate_empirical_mean(data, 1.0, 0.1, gen)
+                trial_errors.append(result.absolute_error)
+            errors[n] = np.median(trial_errors)
+        assert errors[16000] < errors[1000]
+
+    def test_error_shrinks_with_epsilon(self):
+        errors = {}
+        for epsilon in (0.2, 2.0):
+            trial_errors = []
+            for seed in range(8):
+                gen = np.random.default_rng(seed)
+                data = uniform_integer_dataset(3000, width=2000, rng=gen)
+                result = estimate_empirical_mean(data, epsilon, 0.1, gen)
+                trial_errors.append(result.absolute_error)
+            errors[epsilon] = np.median(trial_errors)
+        assert errors[2.0] < errors[0.2]
+
+    def test_outliers_do_not_blow_up_error(self, rng):
+        """A few far outliers should cost ~gamma_bulk * outliers / n, not the full range."""
+        data = adversarial_outlier_dataset(
+            5000, bulk_width=100, outliers=5, outlier_value=10**7, rng=rng
+        )
+        result = estimate_empirical_mean(data, epsilon=1.0, beta=0.1, rng=rng)
+        # The bulk mean is ~0, the true mean is ~1e7 * 5 / 5000 = 1e4.  A naive
+        # range covering the outliers would add noise of order 1e7/(eps n) ~ 2e3
+        # and the bias of clipping the outliers is ~1e4, so the total error must
+        # stay well below the outlier magnitude itself.
+        assert result.absolute_error < 5e4
+
+    def test_mean_error_small_on_tight_cluster(self, rng):
+        data = np.full(2000, 37.0) + rng.integers(-2, 3, size=2000)
+        result = estimate_empirical_mean(data, 1.0, 0.1, rng)
+        assert result.absolute_error < 1.0
+
+    def test_real_valued_data_with_bucket(self, rng):
+        data = rng.uniform(-1.0, 1.0, size=5000)
+        result = estimate_empirical_mean(data, 1.0, 0.1, rng, bucket_size=0.001)
+        assert result.absolute_error < 0.1
+
+
+class TestEmpiricalMeanDiagnostics:
+    def test_result_fields_consistent(self, rng):
+        data = uniform_integer_dataset(1000, width=100, rng=rng)
+        result = estimate_empirical_mean(data, 1.0, 0.1, rng)
+        assert result.true_mean == pytest.approx(float(np.mean(data)))
+        assert result.noise_scale == pytest.approx(
+            5.0 * result.range_used.width / (1.0 * data.size)
+        )
+        assert result.clipped_count >= 0
+
+    def test_ledger_total_equals_epsilon(self, rng):
+        ledger = PrivacyLedger()
+        data = uniform_integer_dataset(1000, width=100, rng=rng)
+        estimate_empirical_mean(data, 0.5, 0.1, rng, ledger=ledger)
+        assert ledger.total_epsilon == pytest.approx(0.5, rel=1e-6)
+
+    def test_empty_rejected(self, rng):
+        with pytest.raises(InsufficientDataError):
+            estimate_empirical_mean([], 1.0, 0.1, rng)

@@ -1,0 +1,80 @@
+"""Tests for ``InfiniteDomainQuantile`` (Algorithm 6, Theorems 3.5/3.9)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.accounting import PrivacyLedger
+from repro.analysis.theory import quantile_rank_error_bound
+from repro.bench.workloads import uniform_integer_dataset
+from repro.empirical import estimate_empirical_quantile
+from repro.exceptions import DomainError, InsufficientDataError
+
+
+class TestEmpiricalQuantileAccuracy:
+    def test_median_rank_error_within_bound(self, rng):
+        data = uniform_integer_dataset(4000, width=2000, rng=rng)
+        result = estimate_empirical_quantile(data, tau=2000, epsilon=1.0, beta=0.1, rng=rng)
+        bound = 20.0 * quantile_rank_error_bound(2000.0, 1.0, 0.1)
+        assert result.rank_error <= bound
+
+    def test_various_taus_stay_reasonable(self, rng):
+        data = uniform_integer_dataset(3000, width=3000, rng=rng)
+        for tau in (300, 750, 1500, 2250, 2700):
+            result = estimate_empirical_quantile(data, tau, epsilon=2.0, beta=0.1, rng=rng)
+            assert result.rank_error <= 600
+
+    def test_rank_error_shrinks_with_epsilon(self):
+        errors = {}
+        for epsilon in (0.25, 4.0):
+            per_trial = []
+            for seed in range(10):
+                gen = np.random.default_rng(seed)
+                data = uniform_integer_dataset(3000, width=3000, rng=gen)
+                res = estimate_empirical_quantile(data, 1500, epsilon, 0.1, gen)
+                per_trial.append(res.rank_error)
+            errors[epsilon] = np.median(per_trial)
+        assert errors[4.0] <= errors[0.25]
+
+    def test_value_error_reflects_bucket_size(self, rng):
+        data = rng.uniform(0.0, 1.0, size=4000)
+        result = estimate_empirical_quantile(
+            data, tau=2000, epsilon=2.0, beta=0.1, rng=rng, bucket_size=0.001
+        )
+        assert abs(result.value - result.true_value) < 0.2
+
+    def test_constant_data(self, rng):
+        data = np.full(1000, 7.0)
+        result = estimate_empirical_quantile(data, 500, 1.0, 0.2, rng)
+        assert abs(result.value - 7.0) <= 5.0
+
+
+class TestEmpiricalQuantileBookkeeping:
+    def test_true_value_diagnostic(self, rng):
+        data = uniform_integer_dataset(1000, width=100, rng=rng)
+        result = estimate_empirical_quantile(data, 250, 1.0, 0.1, rng)
+        assert result.true_value == pytest.approx(float(np.sort(data)[249]))
+
+    def test_tau_out_of_range_rejected(self, rng):
+        data = uniform_integer_dataset(100, width=10, rng=rng)
+        with pytest.raises(DomainError):
+            estimate_empirical_quantile(data, 0, 1.0, 0.1, rng)
+        with pytest.raises(DomainError):
+            estimate_empirical_quantile(data, 101, 1.0, 0.1, rng)
+
+    def test_empty_rejected(self, rng):
+        with pytest.raises(InsufficientDataError):
+            estimate_empirical_quantile([], 1, 1.0, 0.1, rng)
+
+    def test_ledger_total_equals_epsilon(self, rng):
+        ledger = PrivacyLedger()
+        data = uniform_integer_dataset(1000, width=200, rng=rng)
+        estimate_empirical_quantile(data, 500, 0.6, 0.1, rng, ledger=ledger)
+        assert ledger.total_epsilon == pytest.approx(0.6, rel=1e-6)
+
+    def test_result_value_matches_grid(self, rng):
+        data = uniform_integer_dataset(1000, width=100, rng=rng)
+        result = estimate_empirical_quantile(data, 500, 1.0, 0.1, rng)
+        # With bucket size 1 the released value must be an integer.
+        assert result.value == pytest.approx(round(result.value))

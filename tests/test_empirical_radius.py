@@ -1,0 +1,100 @@
+"""Tests for ``InfiniteDomainRadius`` (Algorithm 3, Theorems 3.1/3.6)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.accounting import PrivacyLedger
+from repro.empirical import estimate_radius
+from repro.exceptions import InsufficientDataError, PrivacyParameterError
+
+
+class TestRadiusBasics:
+    def test_all_zero_dataset_gives_zero_radius(self):
+        successes = 0
+        for seed in range(20):
+            result = estimate_radius(np.zeros(500), 1.0, 0.1, np.random.default_rng(seed))
+            if result.radius == 0.0:
+                successes += 1
+        assert successes >= 18
+
+    def test_radius_at_most_twice_true_radius(self):
+        data = np.concatenate([np.zeros(900), np.full(100, 1000.0)])
+        for seed in range(10):
+            result = estimate_radius(data, 1.0, 0.05, np.random.default_rng(seed))
+            assert result.radius <= 2.0 * 1000.0 + 3.0
+
+    def test_covers_most_points(self, rng):
+        data = rng.integers(-800, 800, size=4000).astype(float)
+        result = estimate_radius(data, 1.0, 0.05, rng)
+        # Theorem 3.1: all but O(log log(rad)/eps) points are covered.
+        assert result.uncovered_count <= 100
+        assert result.covered_count + result.uncovered_count == data.size
+
+    def test_grid_radius_is_power_of_two_or_zero(self, rng):
+        data = rng.integers(-300, 300, size=2000).astype(float)
+        result = estimate_radius(data, 1.0, 0.1, rng)
+        if result.grid_radius != 0:
+            assert result.grid_radius & (result.grid_radius - 1) == 0
+
+    def test_diagnostics_consistent(self, rng):
+        data = rng.integers(-100, 100, size=1000).astype(float)
+        result = estimate_radius(data, 1.0, 0.1, rng)
+        inside = np.count_nonzero(np.abs(data) <= result.radius)
+        assert result.covered_count == inside
+
+    def test_bucket_size_scales_result(self, rng):
+        data = rng.normal(0.0, 0.001, size=2000)
+        result = estimate_radius(data, 1.0, 0.05, rng, bucket_size=0.0001)
+        # Theorem 3.6: radius <= 2 rad(D) + 3b.
+        true_radius = float(np.max(np.abs(data)))
+        assert result.radius <= 2.0 * true_radius + 3.0 * 0.0001
+        assert result.bucket_size == pytest.approx(0.0001)
+
+    def test_huge_values_handled(self, rng):
+        data = np.concatenate([np.zeros(1000), [10.0**9]])
+        result = estimate_radius(data, 1.0, 0.05, rng)
+        assert np.isfinite(result.radius)
+
+    def test_svt_index_consistent_with_radius(self, rng):
+        data = rng.integers(-100, 100, size=1000).astype(float)
+        result = estimate_radius(data, 1.0, 0.1, rng)
+        if result.svt_index == 1:
+            assert result.grid_radius == 0
+        else:
+            assert result.grid_radius == 2 ** (result.svt_index - 2)
+
+
+class TestRadiusValidation:
+    def test_empty_rejected(self, rng):
+        with pytest.raises(InsufficientDataError):
+            estimate_radius([], 1.0, 0.1, rng)
+
+    def test_invalid_epsilon_rejected(self, rng):
+        with pytest.raises(PrivacyParameterError):
+            estimate_radius([1.0], 0.0, 0.1, rng)
+
+    def test_invalid_beta_rejected(self, rng):
+        with pytest.raises(PrivacyParameterError):
+            estimate_radius([1.0], 1.0, 1.5, rng)
+
+    def test_ledger_records_spend(self, rng):
+        ledger = PrivacyLedger()
+        estimate_radius(np.arange(100.0), 0.5, 0.1, rng, ledger=ledger)
+        assert ledger.total_epsilon == pytest.approx(0.5)
+
+
+class TestRadiusStatisticalBehaviour:
+    @given(scale=st.sampled_from([1.0, 10.0, 100.0, 1000.0]))
+    @settings(max_examples=8, deadline=None)
+    def test_property_radius_tracks_data_scale(self, scale):
+        """The private radius grows with the data scale but never exceeds ~2x it."""
+        rng = np.random.default_rng(int(scale))
+        data = rng.uniform(-scale, scale, size=3000)
+        result = estimate_radius(data, 1.0, 0.05, rng, bucket_size=scale / 1000.0)
+        true_radius = float(np.max(np.abs(data)))
+        assert result.radius <= 2.0 * true_radius + 3.0 * scale / 1000.0
+        # It should also not collapse to something far smaller than the bulk.
+        assert result.radius >= np.quantile(np.abs(data), 0.5)

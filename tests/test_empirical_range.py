@@ -1,0 +1,85 @@
+"""Tests for ``InfiniteDomainRange`` (Algorithm 4, Theorems 3.2/3.7)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.accounting import PrivacyLedger
+from repro.bench.workloads import clustered_integer_dataset, uniform_integer_dataset
+from repro.empirical import estimate_range
+from repro.exceptions import InsufficientDataError
+
+
+class TestRangeGeometry:
+    def test_width_at_most_four_times_true_width(self, rng):
+        data = uniform_integer_dataset(4000, width=200, center=0, rng=rng)
+        true_width = float(np.max(data) - np.min(data))
+        for seed in range(5):
+            result = estimate_range(data, 1.0, 0.05, np.random.default_rng(seed))
+            assert result.width <= 4.0 * true_width + 6.0
+
+    def test_covers_most_points(self, rng):
+        data = uniform_integer_dataset(4000, width=500, center=0, rng=rng)
+        result = estimate_range(data, 1.0, 0.05, rng)
+        assert result.outside_count <= 100
+        assert result.inside_count + result.outside_count == data.size
+
+    def test_adapts_to_far_away_cluster(self, rng):
+        """rad(D) >> gamma(D): the range should track the cluster, not the origin."""
+        data = clustered_integer_dataset(3000, cluster_value=100_000, spread=5, rng=rng)
+        result = estimate_range(data, 1.0, 0.05, rng)
+        # Width should be on the order of the cluster spread, not the radius.
+        assert result.width <= 4.0 * 10.0 + 6.0
+        # The centre must be near the cluster for the data to be covered.
+        assert abs(result.center - 100_000) <= 50
+        assert result.outside_count <= 60
+
+    def test_center_within_data_range(self, rng):
+        data = uniform_integer_dataset(3000, width=1000, center=250, rng=rng)
+        result = estimate_range(data, 1.0, 0.05, rng)
+        assert np.min(data) - 10 <= result.center <= np.max(data) + 10
+
+    def test_low_not_above_high(self, rng):
+        data = uniform_integer_dataset(1000, width=50, rng=rng)
+        result = estimate_range(data, 1.0, 0.1, rng)
+        assert result.low <= result.high
+
+    def test_constant_dataset(self, rng):
+        data = np.full(2000, 42.0)
+        result = estimate_range(data, 1.0, 0.05, rng)
+        assert result.low <= 42.0 <= result.high
+        assert result.width <= 10.0
+
+    def test_bucketized_real_data(self, rng):
+        data = rng.normal(3.0, 0.01, size=4000)
+        result = estimate_range(data, 1.0, 0.05, rng, bucket_size=0.001)
+        true_width = float(np.max(data) - np.min(data))
+        assert result.width <= 4.0 * true_width + 6.0 * 0.001
+        assert result.outside_count <= 80
+
+    def test_grid_and_real_units_consistent(self, rng):
+        data = rng.normal(0.0, 5.0, size=2000)
+        result = estimate_range(data, 1.0, 0.1, rng, bucket_size=0.5)
+        assert result.low == pytest.approx(result.grid_low * 0.5)
+        assert result.high == pytest.approx(result.grid_high * 0.5)
+        assert result.width == pytest.approx(result.high - result.low)
+
+
+class TestRangeBookkeeping:
+    def test_ledger_total_matches_budget_split(self, rng):
+        ledger = PrivacyLedger()
+        data = uniform_integer_dataset(2000, width=100, rng=rng)
+        estimate_range(data, 0.8, 0.1, rng, ledger=ledger)
+        # eps/8 + eps/8 + 3eps/4 = eps.
+        assert ledger.total_epsilon == pytest.approx(0.8, rel=1e-6)
+
+    def test_intermediate_radius_results_exposed(self, rng):
+        data = uniform_integer_dataset(2000, width=100, rng=rng)
+        result = estimate_range(data, 1.0, 0.1, rng)
+        assert result.radius_first.radius >= 0
+        assert result.radius_recentred.radius >= 0
+
+    def test_empty_rejected(self, rng):
+        with pytest.raises(InsufficientDataError):
+            estimate_range([], 1.0, 0.1, rng)

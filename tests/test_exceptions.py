@@ -1,0 +1,61 @@
+"""Tests for the exception hierarchy and top-level package exports."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.exceptions import (
+    AssumptionRequiredError,
+    BudgetExceededError,
+    DomainError,
+    InsufficientDataError,
+    MechanismError,
+    PrivacyParameterError,
+    ReproError,
+)
+
+
+class TestExceptionHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            PrivacyParameterError,
+            BudgetExceededError,
+            MechanismError,
+            InsufficientDataError,
+            DomainError,
+            AssumptionRequiredError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_value_error_compatibility(self):
+        """Parameter errors should also be catchable as ValueError for ergonomic use."""
+        assert issubclass(PrivacyParameterError, ValueError)
+        assert issubclass(InsufficientDataError, ValueError)
+        assert issubclass(DomainError, ValueError)
+
+    def test_catching_base_class_catches_all(self):
+        with pytest.raises(ReproError):
+            raise MechanismError("boom")
+
+
+class TestPublicAPI:
+    def test_version_string(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"missing export: {name}"
+
+    def test_core_estimators_exported(self):
+        assert callable(repro.estimate_mean)
+        assert callable(repro.estimate_variance)
+        assert callable(repro.estimate_iqr)
+        assert callable(repro.estimate_radius)
+        assert callable(repro.estimate_range)
+        assert callable(repro.estimate_empirical_mean)
+        assert callable(repro.estimate_empirical_quantile)

@@ -1,0 +1,94 @@
+"""Integration tests for privacy accounting across composite estimators.
+
+These verify the executable counterpart of the paper's composition arguments:
+every composite algorithm's recorded spend stays within (a documented constant
+multiple of) the epsilon the caller requested, and each sub-mechanism appears
+in the ledger exactly as the pseudo-code splits the budget.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    PrivacyLedger,
+    estimate_empirical_mean,
+    estimate_empirical_quantile,
+    estimate_iqr,
+    estimate_iqr_lower_bound,
+    estimate_mean,
+    estimate_radius,
+    estimate_range,
+    estimate_variance,
+)
+from repro.distributions import Gaussian
+
+
+@pytest.fixture
+def gaussian_data(rng):
+    return Gaussian(3.0, 2.0).sample(8192, rng)
+
+
+class TestBudgetTotals:
+    @pytest.mark.parametrize("epsilon", [0.1, 0.5, 1.0])
+    def test_empirical_mean_spends_exactly_epsilon(self, gaussian_data, rng, epsilon):
+        ledger = PrivacyLedger()
+        estimate_empirical_mean(gaussian_data, epsilon, 0.1, rng, bucket_size=0.01, ledger=ledger)
+        assert ledger.total_epsilon == pytest.approx(epsilon, rel=1e-6)
+
+    @pytest.mark.parametrize("epsilon", [0.25, 1.0])
+    def test_empirical_quantile_spends_exactly_epsilon(self, gaussian_data, rng, epsilon):
+        ledger = PrivacyLedger()
+        estimate_empirical_quantile(
+            gaussian_data, 4000, epsilon, 0.1, rng, bucket_size=0.01, ledger=ledger
+        )
+        assert ledger.total_epsilon == pytest.approx(epsilon, rel=1e-6)
+
+    def test_radius_and_range_spend_exactly(self, gaussian_data, rng):
+        ledger = PrivacyLedger()
+        estimate_radius(gaussian_data, 0.3, 0.1, rng, bucket_size=0.01, ledger=ledger)
+        estimate_range(gaussian_data, 0.7, 0.1, rng, bucket_size=0.01, ledger=ledger)
+        assert ledger.total_epsilon == pytest.approx(1.0, rel=1e-6)
+
+    def test_statistical_mean_stays_within_budget(self, gaussian_data, rng):
+        ledger = PrivacyLedger(capacity=0.5 * (1.0 + 1e-6))
+        estimate_mean(gaussian_data, 0.5, 0.1, rng, ledger=ledger)
+        assert ledger.total_epsilon <= 0.5 * (1.0 + 1e-6)
+
+    def test_statistical_iqr_spends_exactly_epsilon(self, gaussian_data, rng):
+        ledger = PrivacyLedger()
+        estimate_iqr(gaussian_data, 0.6, 0.1, rng, ledger=ledger)
+        assert ledger.total_epsilon == pytest.approx(0.6, rel=1e-6)
+
+    def test_statistical_variance_spends_at_most_nine_eighths(self, gaussian_data, rng):
+        """Algorithm 9's published split adds up to (9/8) eps; the ledger makes
+        that overhead visible rather than hiding it."""
+        ledger = PrivacyLedger()
+        estimate_variance(gaussian_data, 0.4, 0.1, rng, ledger=ledger)
+        assert ledger.total_epsilon <= 0.4 * 9.0 / 8.0 + 1e-9
+        assert ledger.total_epsilon >= 0.4 * 0.5
+
+    def test_iqr_lower_bound_split_between_two_svts(self, gaussian_data, rng):
+        ledger = PrivacyLedger()
+        estimate_iqr_lower_bound(gaussian_data, 0.2, 0.1, rng, ledger=ledger)
+        assert len(ledger) == 2
+        assert all(s.effective_epsilon == pytest.approx(0.1) for s in ledger)
+
+
+class TestLedgerLabels:
+    def test_mean_ledger_contains_all_stages(self, gaussian_data, rng):
+        ledger = PrivacyLedger()
+        estimate_mean(gaussian_data, 0.5, 0.1, rng, ledger=ledger)
+        labels = " ".join(s.label for s in ledger)
+        assert "iqr_lower_bound" in labels
+        assert "range" in labels
+        assert "noise" in labels
+
+    def test_amplified_stage_charges_less_than_inner_epsilon(self, gaussian_data, rng):
+        ledger = PrivacyLedger()
+        estimate_mean(gaussian_data, 0.5, 0.1, rng, ledger=ledger)
+        amplified = [s for s in ledger if s.charged_epsilon is not None]
+        assert amplified
+        for spend in amplified:
+            assert spend.charged_epsilon < spend.epsilon

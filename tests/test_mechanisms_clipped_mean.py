@@ -1,0 +1,105 @@
+"""Tests for the clipped mean estimator (Section 2.6)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.accounting import PrivacyLedger
+from repro.exceptions import DomainError, InsufficientDataError
+from repro.mechanisms import clip_values, clipped_mean, clipped_mean_mechanism
+from repro.mechanisms.clipped_mean import count_outside
+
+
+class TestClipValues:
+    def test_values_inside_unchanged(self):
+        np.testing.assert_array_equal(clip_values([1.0, 2.0], 0.0, 5.0), [1.0, 2.0])
+
+    def test_values_outside_clipped(self):
+        np.testing.assert_array_equal(clip_values([-10.0, 10.0], -1.0, 1.0), [-1.0, 1.0])
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(DomainError):
+            clip_values([1.0], 5.0, 4.0)
+
+    def test_non_finite_interval_rejected(self):
+        with pytest.raises(DomainError):
+            clip_values([1.0], 0.0, float("inf"))
+
+    def test_degenerate_interval_maps_everything_to_point(self):
+        np.testing.assert_array_equal(clip_values([-3.0, 0.0, 7.0], 2.0, 2.0), [2.0, 2.0, 2.0])
+
+    @given(
+        values=st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=50),
+        low=st.floats(min_value=-100, max_value=0),
+        high=st.floats(min_value=0, max_value=100),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_output_within_bounds(self, values, low, high):
+        clipped = clip_values(values, low, high)
+        assert np.all(clipped >= low - 1e-12)
+        assert np.all(clipped <= high + 1e-12)
+
+
+class TestCountOutside:
+    def test_counts_strictly_outside(self):
+        assert count_outside([-5.0, 0.0, 5.0], -1.0, 1.0) == 2
+
+    def test_boundary_values_not_counted(self):
+        assert count_outside([-1.0, 1.0], -1.0, 1.0) == 0
+
+
+class TestClippedMean:
+    def test_matches_plain_mean_when_nothing_clipped(self):
+        data = [1.0, 2.0, 3.0]
+        assert clipped_mean(data, 0.0, 10.0) == pytest.approx(2.0)
+
+    def test_clipping_pulls_mean_inward(self):
+        data = [0.0, 0.0, 1000.0]
+        assert clipped_mean(data, 0.0, 10.0) == pytest.approx(10.0 / 3.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(InsufficientDataError):
+            clipped_mean([], 0.0, 1.0)
+
+    @given(
+        values=st.lists(st.floats(min_value=-1e4, max_value=1e4), min_size=1, max_size=40),
+        half_width=st.floats(min_value=0.1, max_value=100.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_result_in_interval(self, values, half_width):
+        result = clipped_mean(values, -half_width, half_width)
+        assert -half_width - 1e-9 <= result <= half_width + 1e-9
+
+
+class TestClippedMeanMechanism:
+    def test_close_to_exact_for_large_epsilon(self, rng):
+        data = np.linspace(0, 10, 1000)
+        noisy = clipped_mean_mechanism(data, 0.0, 10.0, epsilon=50.0, rng=rng)
+        assert noisy == pytest.approx(5.0, abs=0.1)
+
+    def test_noise_scales_with_interval_width(self):
+        data = np.zeros(100)
+        wide = [
+            clipped_mean_mechanism(data, -1000.0, 1000.0, 1.0, np.random.default_rng(s))
+            for s in range(300)
+        ]
+        narrow = [
+            clipped_mean_mechanism(data, -1.0, 1.0, 1.0, np.random.default_rng(s))
+            for s in range(300)
+        ]
+        assert np.std(wide) > np.std(narrow)
+
+    def test_ledger_records_spend(self, rng):
+        ledger = PrivacyLedger()
+        clipped_mean_mechanism([1.0, 2.0], 0.0, 5.0, 0.3, rng, ledger=ledger)
+        assert ledger.total_epsilon == pytest.approx(0.3)
+
+    def test_empty_rejected(self, rng):
+        with pytest.raises(InsufficientDataError):
+            clipped_mean_mechanism([], 0.0, 1.0, 1.0, rng)
+
+    def test_empty_interval_rejected(self, rng):
+        with pytest.raises(DomainError):
+            clipped_mean_mechanism([1.0], 1.0, 0.0, 1.0, rng)

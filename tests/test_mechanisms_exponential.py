@@ -1,0 +1,188 @@
+"""Tests for the inverse-sensitivity quantile machinery (Section 2.5, Algorithm 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.accounting import PrivacyLedger
+from repro.exceptions import DomainError, InsufficientDataError
+from repro.mechanisms.exponential import (
+    QuantileInterval,
+    build_quantile_intervals,
+    exponential_mechanism_over_intervals,
+    finite_domain_quantile,
+    inverse_sensitivity_quantile,
+    rank_clamp_width,
+)
+
+
+class TestBuildQuantileIntervals:
+    def test_intervals_cover_domain_exactly(self):
+        intervals = build_quantile_intervals([2, 5, 5, 9], tau=2, domain_low=0, domain_high=12)
+        covered = []
+        for iv in intervals:
+            covered.extend(range(iv.low, iv.high + 1))
+        assert covered == list(range(0, 13))
+
+    def test_intervals_are_disjoint_and_ordered(self):
+        intervals = build_quantile_intervals([1, 3, 7], tau=1, domain_low=0, domain_high=10)
+        for prev, cur in zip(intervals, intervals[1:]):
+            assert cur.low == prev.high + 1
+
+    def test_score_zero_at_target_order_statistic(self):
+        data = [10, 20, 30, 40, 50]
+        intervals = build_quantile_intervals(data, tau=3, domain_low=0, domain_high=60)
+        score_at = {v: iv.score for iv in intervals for v in (iv.low, iv.high) if iv.low == iv.high}
+        assert score_at[30] == 0
+
+    def test_score_grows_with_rank_distance(self):
+        data = [10, 20, 30, 40, 50]
+        intervals = build_quantile_intervals(data, tau=3, domain_low=0, domain_high=60)
+        by_point = {iv.low: iv.score for iv in intervals if iv.low == iv.high}
+        assert by_point[10] > by_point[20] > by_point[30]
+        assert by_point[50] > by_point[40] > by_point[30]
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(DomainError):
+            build_quantile_intervals([1], tau=1, domain_low=5, domain_high=4)
+
+    def test_out_of_domain_data_rejected(self):
+        with pytest.raises(DomainError):
+            build_quantile_intervals([100], tau=1, domain_low=0, domain_high=10)
+
+    def test_single_point_domain(self):
+        intervals = build_quantile_intervals([0, 0, 0], tau=2, domain_low=0, domain_high=0)
+        assert len(intervals) == 1
+        assert intervals[0].size == 1
+        assert intervals[0].score == 0
+
+    def test_empty_dataset_covers_domain_with_zero_scores(self):
+        intervals = build_quantile_intervals([], tau=1, domain_low=0, domain_high=5)
+        assert sum(iv.size for iv in intervals) == 6
+
+    @given(
+        data=st.lists(st.integers(min_value=-50, max_value=50), min_size=1, max_size=30),
+        tau_frac=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_partition_and_scores(self, data, tau_frac):
+        """The intervals always tile [-60, 60] and the true order statistic scores 0."""
+        tau = max(1, min(len(data), int(round(tau_frac * len(data)))))
+        intervals = build_quantile_intervals(sorted(data), tau, -60, 60)
+        total = sum(iv.size for iv in intervals)
+        assert total == 121
+        target = sorted(data)[tau - 1]
+        target_scores = [iv.score for iv in intervals if iv.low <= target <= iv.high]
+        assert target_scores and min(target_scores) == 0
+        assert all(iv.score >= 0 for iv in intervals)
+
+
+class TestExponentialMechanism:
+    def test_prefers_low_score_interval(self, rng):
+        intervals = [
+            QuantileInterval(low=0, high=0, score=0),
+            QuantileInterval(low=1, high=1, score=50),
+        ]
+        draws = [exponential_mechanism_over_intervals(intervals, 2.0, rng) for _ in range(200)]
+        assert np.mean([d == 0 for d in draws]) > 0.95
+
+    def test_uniform_within_interval(self, rng):
+        intervals = [QuantileInterval(low=0, high=9, score=0)]
+        draws = [exponential_mechanism_over_intervals(intervals, 1.0, rng) for _ in range(2000)]
+        assert set(draws) == set(range(10))
+
+    def test_handles_huge_interval_sizes(self, rng):
+        intervals = [
+            QuantileInterval(low=0, high=2**40, score=5),
+            QuantileInterval(low=2**40 + 1, high=2**40 + 1, score=0),
+        ]
+        value = exponential_mechanism_over_intervals(intervals, 1.0, rng)
+        assert 0 <= value <= 2**40 + 1
+
+    def test_handles_huge_scores_without_underflow(self, rng):
+        intervals = [
+            QuantileInterval(low=0, high=0, score=10_000_000),
+            QuantileInterval(low=1, high=1, score=10_000_001),
+        ]
+        assert exponential_mechanism_over_intervals(intervals, 1.0, rng) in (0, 1)
+
+    def test_empty_intervals_rejected(self, rng):
+        with pytest.raises(DomainError):
+            exponential_mechanism_over_intervals([], 1.0, rng)
+
+
+class TestRankClampWidth:
+    def test_decreases_with_epsilon(self):
+        assert rank_clamp_width(100, 2.0, 0.1) < rank_clamp_width(100, 0.5, 0.1)
+
+    def test_increases_with_domain_size(self):
+        assert rank_clamp_width(10**6, 1.0, 0.1) > rank_clamp_width(10, 1.0, 0.1)
+
+    def test_handles_astronomical_domains(self):
+        assert np.isfinite(rank_clamp_width(2**4000, 1.0, 0.1))
+
+    def test_invalid_domain_rejected(self):
+        with pytest.raises(DomainError):
+            rank_clamp_width(0, 1.0, 0.1)
+
+
+class TestFiniteDomainQuantile:
+    def test_median_close_to_truth(self, rng):
+        data = np.arange(0, 1001)
+        estimate = finite_domain_quantile(data, 500, 0, 1000, epsilon=2.0, beta=0.1, rng=rng)
+        assert abs(estimate - 500) < 60
+
+    def test_rank_error_within_lemma_bound(self, rng):
+        """Lemma 2.8: rank error at most (4/eps) log(|X|/beta) w.p. 1 - beta."""
+        epsilon, beta = 1.0, 0.05
+        data = np.arange(0, 2001)
+        bound = (4.0 / epsilon) * np.log(2001 / beta)
+        failures = 0
+        for seed in range(30):
+            est = finite_domain_quantile(
+                data, 1000, 0, 2000, epsilon, beta, np.random.default_rng(seed)
+            )
+            rank_error = abs(est - 1000)  # data are consecutive integers
+            if rank_error > bound:
+                failures += 1
+        assert failures <= 3
+
+    def test_extreme_ranks_are_clamped(self, rng):
+        data = np.arange(0, 101)
+        low = finite_domain_quantile(data, 1, 0, 100, 1.0, 0.2, rng)
+        high = finite_domain_quantile(data, 101, 0, 100, 1.0, 0.2, rng)
+        assert 0 <= low <= 100
+        assert 0 <= high <= 100
+
+    def test_empty_data_rejected(self, rng):
+        with pytest.raises(InsufficientDataError):
+            finite_domain_quantile([], 1, 0, 10, 1.0, 0.1, rng)
+
+    def test_invalid_tau_rejected(self, rng):
+        with pytest.raises(DomainError):
+            finite_domain_quantile([1, 2, 3], 5, 0, 10, 1.0, 0.1, rng)
+
+    def test_ledger_records_spend(self, rng):
+        ledger = PrivacyLedger()
+        finite_domain_quantile(np.arange(50), 25, 0, 60, 0.5, 0.1, rng, ledger=ledger)
+        assert ledger.total_epsilon == pytest.approx(0.5)
+
+    def test_output_always_in_domain(self, rng):
+        data = np.array([5, 5, 5, 5])
+        for _ in range(20):
+            value = finite_domain_quantile(data, 2, 0, 10, 0.5, 0.3, rng)
+            assert 0 <= value <= 10
+
+
+class TestInverseSensitivityQuantile:
+    def test_concentrates_on_true_quantile_at_high_epsilon(self, rng):
+        data = [10, 20, 30, 40, 50]
+        draws = [
+            inverse_sensitivity_quantile(data, 3, 0, 60, epsilon=20.0, rng=rng)
+            for _ in range(100)
+        ]
+        # With a huge epsilon nearly all mass sits on values with score 0,
+        # i.e. the single point 30.
+        assert np.median(draws) == pytest.approx(30, abs=5)

@@ -1,0 +1,98 @@
+"""Tests for the Laplace mechanism primitive."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.accounting import PrivacyLedger
+from repro.exceptions import PrivacyParameterError
+from repro.mechanisms import laplace_mechanism, laplace_noise, laplace_tail_bound
+
+
+class TestLaplaceNoise:
+    def test_zero_scale_returns_zero(self):
+        assert laplace_noise(0.0) == 0.0
+
+    def test_zero_scale_array(self):
+        np.testing.assert_array_equal(laplace_noise(0.0, size=5), np.zeros(5))
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(PrivacyParameterError):
+            laplace_noise(-1.0)
+
+    def test_non_finite_scale_rejected(self):
+        with pytest.raises(PrivacyParameterError):
+            laplace_noise(float("inf"))
+
+    def test_deterministic_with_seed(self):
+        assert laplace_noise(1.0, rng=3) == laplace_noise(1.0, rng=3)
+
+    def test_size_argument_shape(self):
+        draws = laplace_noise(2.0, rng=0, size=100)
+        assert draws.shape == (100,)
+
+    def test_empirical_scale_matches(self, rng):
+        draws = laplace_noise(3.0, rng=rng, size=200_000)
+        # Laplace(b) has standard deviation b * sqrt(2).
+        assert np.std(draws) == pytest.approx(3.0 * math.sqrt(2.0), rel=0.05)
+        assert np.mean(draws) == pytest.approx(0.0, abs=0.05)
+
+
+class TestLaplaceMechanism:
+    def test_adds_noise_around_value(self, rng):
+        draws = [laplace_mechanism(10.0, 1.0, 1.0, rng) for _ in range(2000)]
+        assert np.mean(draws) == pytest.approx(10.0, abs=0.15)
+
+    def test_zero_sensitivity_is_exact(self, rng):
+        assert laplace_mechanism(5.0, 0.0, 1.0, rng) == 5.0
+
+    def test_invalid_epsilon_rejected(self, rng):
+        with pytest.raises(PrivacyParameterError):
+            laplace_mechanism(1.0, 1.0, 0.0, rng)
+
+    def test_invalid_sensitivity_rejected(self, rng):
+        with pytest.raises(PrivacyParameterError):
+            laplace_mechanism(1.0, -1.0, 1.0, rng)
+
+    def test_ledger_records_spend(self, rng):
+        ledger = PrivacyLedger()
+        laplace_mechanism(1.0, 1.0, 0.25, rng, ledger=ledger, label="count")
+        assert ledger.total_epsilon == pytest.approx(0.25)
+        assert ledger.spends[0].label == "count"
+
+    def test_smaller_epsilon_means_more_noise(self):
+        rng_a = np.random.default_rng(0)
+        rng_b = np.random.default_rng(0)
+        tight = [laplace_mechanism(0.0, 1.0, 10.0, rng_a) for _ in range(3000)]
+        loose = [laplace_mechanism(0.0, 1.0, 0.1, rng_b) for _ in range(3000)]
+        assert np.std(loose) > np.std(tight)
+
+
+class TestLaplaceTailBound:
+    def test_monotone_in_beta(self):
+        assert laplace_tail_bound(1.0, 0.01) > laplace_tail_bound(1.0, 0.1)
+
+    def test_scales_linearly_with_scale(self):
+        assert laplace_tail_bound(2.0, 0.1) == pytest.approx(2.0 * laplace_tail_bound(1.0, 0.1))
+
+    def test_invalid_beta_rejected(self):
+        with pytest.raises(PrivacyParameterError):
+            laplace_tail_bound(1.0, 0.0)
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(PrivacyParameterError):
+            laplace_tail_bound(-1.0, 0.1)
+
+    @given(
+        scale=st.floats(min_value=0.01, max_value=100.0),
+        beta=st.floats(min_value=0.001, max_value=0.5),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_bound_holds_empirically(self, scale, beta):
+        """Pr[|Lap(scale)| > t] is exactly exp(-t/scale), so the bound equals beta."""
+        t = laplace_tail_bound(scale, beta)
+        assert math.exp(-t / scale) == pytest.approx(beta, rel=1e-9)

@@ -1,0 +1,52 @@
+"""Tests for the report-noisy-max primitive."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.accounting import PrivacyLedger
+from repro.exceptions import DomainError, PrivacyParameterError
+from repro.mechanisms import report_noisy_max
+
+
+class TestReportNoisyMax:
+    def test_picks_clear_winner(self, rng):
+        counts = [1.0, 2.0, 1000.0, 3.0]
+        picks = [report_noisy_max(counts, 1.0, rng) for _ in range(100)]
+        assert np.mean([p == 2 for p in picks]) > 0.95
+
+    def test_returns_valid_index(self, rng):
+        counts = np.arange(10.0)
+        for _ in range(50):
+            assert 0 <= report_noisy_max(counts, 0.5, rng) < 10
+
+    def test_low_epsilon_is_noisier(self):
+        counts = [0.0, 5.0]
+        noisy_picks = [
+            report_noisy_max(counts, 0.05, np.random.default_rng(s)) for s in range(200)
+        ]
+        exact_picks = [
+            report_noisy_max(counts, 50.0, np.random.default_rng(s)) for s in range(200)
+        ]
+        assert np.mean(exact_picks) > np.mean(noisy_picks)
+
+    def test_single_entry(self, rng):
+        assert report_noisy_max([7.0], 1.0, rng) == 0
+
+    def test_empty_rejected(self, rng):
+        with pytest.raises(DomainError):
+            report_noisy_max([], 1.0, rng)
+
+    def test_invalid_epsilon_rejected(self, rng):
+        with pytest.raises(PrivacyParameterError):
+            report_noisy_max([1.0], 0.0, rng)
+
+    def test_invalid_sensitivity_rejected(self, rng):
+        with pytest.raises(DomainError):
+            report_noisy_max([1.0], 1.0, rng, sensitivity=0.0)
+
+    def test_ledger_charged(self, rng):
+        ledger = PrivacyLedger()
+        report_noisy_max([1.0, 2.0], 0.4, rng, ledger=ledger)
+        assert ledger.total_epsilon == pytest.approx(0.4)

@@ -1,0 +1,106 @@
+"""Tests for the Sparse Vector Technique (Algorithm 1)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.accounting import PrivacyLedger
+from repro.exceptions import MechanismError
+from repro.mechanisms import SVTResult, sparse_vector
+
+
+def constant_queries(values):
+    """Turn a list of numbers into a lazy query stream."""
+    return [lambda v=v: v for v in values]
+
+
+class TestSparseVectorBasics:
+    def test_returns_svt_result(self, rng):
+        result = sparse_vector(0.0, 5.0, constant_queries([100.0]), rng)
+        assert isinstance(result, SVTResult)
+        assert result.index == 1
+        assert result.queries_evaluated == 1
+
+    def test_stops_at_clearly_above_threshold(self, rng):
+        # Queries far below the threshold, then one far above.
+        queries = constant_queries([-1000.0] * 5 + [1000.0])
+        result = sparse_vector(0.0, 2.0, queries, rng)
+        assert result.index == 6
+
+    def test_does_not_stop_early_on_low_queries(self, rng):
+        # Lemma 2.5: queries well below the threshold are passed over w.h.p.
+        margin = (8.0 / 2.0) * math.log(2 * 10 / 0.01)
+        queries = constant_queries([-margin] * 10 + [1e6])
+        stops = [
+            sparse_vector(0.0, 2.0, queries, np.random.default_rng(seed)).index
+            for seed in range(50)
+        ]
+        assert np.mean([s == 11 for s in stops]) > 0.9
+
+    def test_stops_in_time_lemma_2_6(self, rng):
+        # Lemma 2.6: a query exceeding T + (6/eps) log(2/beta) stops SVT by then w.h.p.
+        epsilon, beta = 1.0, 0.05
+        margin = (6.0 / epsilon) * math.log(2.0 / beta)
+        queries = constant_queries([0.0] * 3 + [margin + 1.0] + [margin + 1.0] * 5)
+        stops = [
+            sparse_vector(0.0, epsilon, queries, np.random.default_rng(seed)).index
+            for seed in range(50)
+        ]
+        assert np.mean([s <= 4 for s in stops]) > 0.9
+
+    def test_lazy_evaluation_stops_calling_queries(self, rng):
+        calls = []
+
+        def make(i, value):
+            def query():
+                calls.append(i)
+                return value
+
+            return query
+
+        queries = [make(0, 1e6)] + [make(i, 0.0) for i in range(1, 100)]
+        sparse_vector(0.0, 5.0, queries, rng)
+        assert calls == [0]
+
+    def test_infinite_stream_supported(self, rng):
+        def stream():
+            i = 0
+            while True:
+                value = 1e6 if i >= 4 else -1e6
+                yield lambda v=value: v
+                i += 1
+
+        result = sparse_vector(0.0, 5.0, stream(), rng)
+        assert result.index == 5
+
+
+class TestSparseVectorValidation:
+    def test_max_queries_exceeded_raises(self, rng):
+        queries = constant_queries([-1e9] * 20)
+        with pytest.raises(MechanismError):
+            sparse_vector(0.0, 1.0, queries, rng, max_queries=10)
+
+    def test_exhausted_stream_raises(self, rng):
+        with pytest.raises(MechanismError):
+            sparse_vector(0.0, 1.0, constant_queries([-1e9, -1e9]), rng)
+
+    def test_non_finite_threshold_rejected(self, rng):
+        with pytest.raises(MechanismError):
+            sparse_vector(float("inf"), 1.0, constant_queries([1.0]), rng)
+
+    def test_invalid_max_queries_rejected(self, rng):
+        with pytest.raises(ValueError):
+            sparse_vector(0.0, 1.0, constant_queries([1.0]), rng, max_queries=0)
+
+    def test_ledger_charged_once(self, rng):
+        ledger = PrivacyLedger()
+        sparse_vector(0.0, 0.75, constant_queries([1e6]), rng, ledger=ledger)
+        assert ledger.total_epsilon == pytest.approx(0.75)
+        assert len(ledger) == 1
+
+    def test_noisy_threshold_reported(self, rng):
+        result = sparse_vector(10.0, 5.0, constant_queries([1e6]), rng)
+        assert abs(result.noisy_threshold - 10.0) < 20.0

@@ -1,0 +1,87 @@
+"""Tests for privacy amplification by sub-sampling (Theorem 2.4)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import PrivacyParameterError
+from repro.mechanisms import amplified_epsilon, inner_epsilon_for_target, subsample
+
+
+class TestAmplifiedEpsilon:
+    def test_full_sampling_is_identity(self):
+        assert amplified_epsilon(0.7, 1.0) == pytest.approx(0.7)
+
+    def test_amplification_reduces_epsilon(self):
+        assert amplified_epsilon(1.0, 0.1) < 1.0
+
+    def test_small_epsilon_approximation(self):
+        # For small eps, log(1 + eta (e^eps - 1)) ~= eta * eps.
+        assert amplified_epsilon(0.01, 0.2) == pytest.approx(0.002, rel=0.05)
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(PrivacyParameterError):
+            amplified_epsilon(1.0, 0.0)
+        with pytest.raises(PrivacyParameterError):
+            amplified_epsilon(1.0, 1.5)
+
+    def test_invalid_epsilon_rejected(self):
+        with pytest.raises(PrivacyParameterError):
+            amplified_epsilon(-1.0, 0.5)
+
+
+class TestInnerEpsilonForTarget:
+    def test_inverts_amplification(self):
+        for target, eta in [(0.5, 0.1), (1.0, 0.05), (0.2, 0.5)]:
+            inner = inner_epsilon_for_target(target, eta)
+            assert amplified_epsilon(inner, eta) == pytest.approx(target, rel=1e-9)
+
+    def test_matches_paper_formula_for_eta_equal_epsilon(self):
+        # Algorithm 8 sets eps' = log((e^eps - 1)/eps + 1) for eta = eps.
+        epsilon = 0.3
+        expected = math.log((math.exp(epsilon) - 1.0) / epsilon + 1.0)
+        assert inner_epsilon_for_target(epsilon, epsilon) == pytest.approx(expected)
+
+    def test_inner_is_larger_than_target(self):
+        assert inner_epsilon_for_target(0.5, 0.1) > 0.5
+
+    @given(
+        target=st.floats(min_value=0.01, max_value=2.0),
+        eta=st.floats(min_value=0.01, max_value=1.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_property_roundtrip(self, target, eta):
+        inner = inner_epsilon_for_target(target, eta)
+        assert amplified_epsilon(inner, eta) == pytest.approx(target, rel=1e-6)
+
+
+class TestSubsample:
+    def test_sample_size_respected(self, rng):
+        data = np.arange(100, dtype=float)
+        assert subsample(data, 10, rng).size == 10
+
+    def test_sample_without_replacement(self, rng):
+        data = np.arange(50, dtype=float)
+        draw = subsample(data, 50, rng)
+        assert sorted(draw.tolist()) == list(range(50))
+
+    def test_size_clamped_to_dataset(self, rng):
+        data = np.arange(5, dtype=float)
+        assert subsample(data, 100, rng).size == 5
+
+    def test_size_clamped_to_at_least_one(self, rng):
+        data = np.arange(5, dtype=float)
+        assert subsample(data, 0, rng).size == 1
+
+    def test_values_come_from_dataset(self, rng):
+        data = np.array([3.5, -2.0, 7.25])
+        draw = subsample(data, 2, rng)
+        assert all(v in data for v in draw)
+
+    def test_empty_rejected(self, rng):
+        with pytest.raises(PrivacyParameterError):
+            subsample([], 1, rng)

@@ -1,0 +1,128 @@
+"""Property-based tests (hypothesis) on the estimators' structural invariants.
+
+These do not test accuracy (the statistical tests do that on fixed seeds);
+they assert invariants that must hold for *every* input and every random seed:
+outputs are finite, ranges are well-ordered, clipped counts are consistent,
+privatized radii respect the 2x + 3b cap, and the universal estimators are
+invariant to the order of the input records (a prerequisite of any sensible
+dataset mechanism).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import (
+    estimate_empirical_mean,
+    estimate_empirical_quantile,
+    estimate_iqr_lower_bound,
+    estimate_mean,
+    estimate_radius,
+    estimate_range,
+)
+
+# Reasonably sized integer datasets keep each hypothesis example fast.
+integer_datasets = st.lists(
+    st.integers(min_value=-10_000, max_value=10_000), min_size=20, max_size=200
+)
+small_epsilons = st.floats(min_value=0.2, max_value=4.0)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+_COMMON_SETTINGS = dict(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestRadiusProperties:
+    @given(data=integer_datasets, epsilon=small_epsilons, seed=seeds)
+    @settings(**_COMMON_SETTINGS)
+    def test_radius_cap_and_finiteness(self, data, epsilon, seed):
+        values = np.asarray(data, dtype=float)
+        result = estimate_radius(values, epsilon, 0.2, np.random.default_rng(seed))
+        true_radius = float(np.max(np.abs(values)))
+        assert math.isfinite(result.radius)
+        assert result.radius >= 0.0
+        assert result.radius <= 2.0 * true_radius + 3.0
+        assert result.covered_count + result.uncovered_count == values.size
+
+    @given(data=integer_datasets, epsilon=small_epsilons, seed=seeds)
+    @settings(**_COMMON_SETTINGS)
+    def test_radius_permutation_invariant(self, data, epsilon, seed):
+        values = np.asarray(data, dtype=float)
+        shuffled = np.random.default_rng(0).permutation(values)
+        a = estimate_radius(values, epsilon, 0.2, np.random.default_rng(seed))
+        b = estimate_radius(shuffled, epsilon, 0.2, np.random.default_rng(seed))
+        assert a.radius == b.radius
+
+
+class TestRangeProperties:
+    @given(data=integer_datasets, epsilon=small_epsilons, seed=seeds)
+    @settings(**_COMMON_SETTINGS)
+    def test_range_is_ordered_and_width_capped(self, data, epsilon, seed):
+        values = np.asarray(data, dtype=float)
+        result = estimate_range(values, epsilon, 0.2, np.random.default_rng(seed))
+        true_width = float(np.max(values) - np.min(values))
+        assert result.low <= result.high
+        assert result.width == pytest.approx(result.high - result.low)
+        assert result.width <= 4.0 * true_width + 6.0
+        assert result.inside_count + result.outside_count == values.size
+
+
+class TestEmpiricalMeanProperties:
+    @given(data=integer_datasets, epsilon=small_epsilons, seed=seeds)
+    @settings(**_COMMON_SETTINGS)
+    def test_estimate_finite_and_not_wildly_outside_data(self, data, epsilon, seed):
+        values = np.asarray(data, dtype=float)
+        result = estimate_empirical_mean(values, epsilon, 0.2, np.random.default_rng(seed))
+        assert math.isfinite(result.mean)
+        # The clipped mean lies inside the privatized range; the Laplace noise
+        # has scale 5*width/(eps n), so being 60 noise scales outside the data
+        # span would be astronomically unlikely and indicates a bug.
+        span = float(np.max(values) - np.min(values)) + 1.0
+        slack = 60.0 * (5.0 * 4.0 * span / (epsilon * values.size)) + span
+        assert np.min(values) - slack <= result.mean <= np.max(values) + slack
+
+
+class TestEmpiricalQuantileProperties:
+    @given(
+        data=integer_datasets,
+        epsilon=small_epsilons,
+        seed=seeds,
+        tau_fraction=st.floats(min_value=0.05, max_value=0.95),
+    )
+    @settings(**_COMMON_SETTINGS)
+    def test_quantile_lands_inside_private_range(self, data, epsilon, seed, tau_fraction):
+        values = np.asarray(data, dtype=float)
+        tau = max(1, min(values.size, int(round(tau_fraction * values.size))))
+        result = estimate_empirical_quantile(
+            values, tau, epsilon, 0.2, np.random.default_rng(seed)
+        )
+        assert result.range_used.low <= result.value <= result.range_used.high
+        assert 0 <= result.rank_error <= values.size
+
+
+class TestStatisticalEstimatorProperties:
+    @given(seed=seeds, epsilon=small_epsilons)
+    @settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_mean_output_finite_on_gaussian_samples(self, seed, epsilon):
+        gen = np.random.default_rng(seed)
+        data = gen.normal(gen.uniform(-100, 100), gen.uniform(0.1, 10.0), size=2000)
+        result = estimate_mean(data, epsilon, 0.2, gen)
+        assert math.isfinite(result.mean)
+        assert result.subsample_size <= data.size
+
+    @given(seed=seeds)
+    @settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_iqr_lower_bound_is_positive_power_of_two(self, seed):
+        gen = np.random.default_rng(seed)
+        data = gen.normal(0.0, gen.uniform(0.01, 100.0), size=2000)
+        result = estimate_iqr_lower_bound(data, 1.0, 0.2, gen)
+        assert result.value > 0
+        exponent = math.log2(result.value)
+        assert exponent == pytest.approx(round(exponent))

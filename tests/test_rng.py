@@ -1,0 +1,62 @@
+"""Tests for the RNG plumbing in ``repro._rng``."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._rng import resolve_rng, spawn_rngs
+
+
+class TestResolveRng:
+    def test_none_returns_generator(self):
+        assert isinstance(resolve_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = resolve_rng(42).integers(0, 1_000_000, size=5)
+        b = resolve_rng(42).integers(0, 1_000_000, size=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passes_through_unchanged(self):
+        gen = np.random.default_rng(7)
+        assert resolve_rng(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(123)
+        assert isinstance(resolve_rng(seq), np.random.Generator)
+
+    def test_numpy_integer_seed_accepted(self):
+        assert isinstance(resolve_rng(np.int64(3)), np.random.Generator)
+
+    def test_invalid_type_raises_type_error(self):
+        with pytest.raises(TypeError):
+            resolve_rng("not-a-seed")  # type: ignore[arg-type]
+
+    def test_different_seeds_differ(self):
+        a = resolve_rng(1).integers(0, 1_000_000, size=10)
+        b = resolve_rng(2).integers(0, 1_000_000, size=10)
+        assert not np.array_equal(a, b)
+
+
+class TestSpawnRngs:
+    def test_spawn_count(self):
+        children = spawn_rngs(0, 5)
+        assert len(children) == 5
+        assert all(isinstance(c, np.random.Generator) for c in children)
+
+    def test_spawn_zero_is_empty(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_spawn_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_children_are_deterministic_given_seed(self):
+        a = [g.integers(0, 1000) for g in spawn_rngs(99, 3)]
+        b = [g.integers(0, 1000) for g in spawn_rngs(99, 3)]
+        assert a == b
+
+    def test_children_produce_distinct_streams(self):
+        children = spawn_rngs(5, 4)
+        draws = [tuple(c.integers(0, 2**32, size=4).tolist()) for c in children]
+        assert len(set(draws)) == 4
