@@ -25,15 +25,14 @@ def _universal(data, gen):
     return estimate_variance(data, EPSILON, 0.1, gen).variance
 
 
-def test_e10_heavy_tailed_variance(run_once, reporter):
+def test_e10_heavy_tailed_variance(run_once, reporter, engine_workers):
     def run():
         rows = []
         for dist in DISTRIBUTIONS:
             mu4 = dist.central_moment(4)
             for n in (8_000, 32_000, 128_000):
                 result = run_statistical_trials(
-                    _universal, dist, "variance", n, TRIALS, np.random.default_rng(n)
-                )
+                    _universal, dist, "variance", n, TRIALS, np.random.default_rng(n), workers=engine_workers)
                 theory = heavy_tailed_variance_error_bound(
                     n, EPSILON, mu4, k=4, mu_k=mu4, phi=dist.phi(1.0 / 16.0)
                 )

@@ -27,19 +27,17 @@ def _universal(data, gen):
     return estimate_iqr(data, EPSILON, 0.1, gen).iqr
 
 
-def test_e11_iqr_convergence(run_once, reporter):
+def test_e11_iqr_convergence(run_once, reporter, engine_workers):
     def run():
         theta = DIST.theta(DIST.iqr / 8.0)
         rows = []
         for n in (2_000, 8_000, 32_000, 128_000):
-            universal = run_statistical_trials(_universal, DIST, "iqr", n, TRIALS, np.random.default_rng(n))
+            universal = run_statistical_trials(_universal, DIST, "iqr", n, TRIALS, np.random.default_rng(n), workers=engine_workers)
             dl09 = run_statistical_trials(
                 lambda d, g: DworkLeiIQR(delta=1e-6).estimate(d, EPSILON, g),
-                DIST, "iqr", n, TRIALS, np.random.default_rng(n + 1), allow_failures=True,
-            )
+                DIST, "iqr", n, TRIALS, np.random.default_rng(n + 1), allow_failures=True, workers=engine_workers)
             nonprivate = run_statistical_trials(
-                lambda d, g: SampleIQR().estimate(d), DIST, "iqr", n, TRIALS, np.random.default_rng(n + 2)
-            )
+                lambda d, g: SampleIQR().estimate(d), DIST, "iqr", n, TRIALS, np.random.default_rng(n + 2), workers=engine_workers)
             rows.append(
                 [
                     n,

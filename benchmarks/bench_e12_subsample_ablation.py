@@ -12,8 +12,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.analysis import run_statistical_trials
-from repro.bench import format_table, render_experiment_header
+from repro.analysis import summarize_errors
+from repro.bench import dataset_batch, format_table, render_experiment_header
+from repro.engine import run_batch
 from repro.core import estimate_mean
 from repro.distributions import Gaussian, LogNormal
 
@@ -24,20 +25,36 @@ DISTRIBUTIONS = [Gaussian(0.0, 1.0), LogNormal(0.0, 1.0)]
 MULTIPLIERS = [0.1, 1.0, 10.0, 25.0]
 
 
-def test_e12_subsample_size_ablation(run_once, reporter):
+def test_e12_subsample_size_ablation(run_once, reporter, engine_workers):
     def run():
         default_m = int(round(EPSILON * N))
         rows = []
-        for dist in DISTRIBUTIONS:
+        for dist_index, dist in enumerate(DISTRIBUTIONS):
+            # Pre-build one dataset per trial and share it across all
+            # multipliers: a paired comparison isolates the effect of m from
+            # sampling noise.
+            datasets = dataset_batch(
+                lambda gen, d=dist: d.sample(N, gen),
+                TRIALS,
+                rng=100 + dist_index,
+                workers=engine_workers,
+            )
+            truth = float(dist.mean)
             for multiplier in MULTIPLIERS:
                 m = max(8, min(N, int(round(default_m * multiplier))))
-                result = run_statistical_trials(
-                    lambda d, g, mm=m: estimate_mean(
-                        d, EPSILON, 0.1, g, subsample_size=mm
+                # Seed range disjoint from the dataset_batch seeds (100, 101)
+                # above — reusing a seed would make the estimator's noise
+                # stream replay the data-generating stream.
+                batch = run_batch(
+                    lambda i, g, mm=m: estimate_mean(
+                        datasets[i], EPSILON, 0.1, g, subsample_size=mm
                     ).mean,
-                    dist, "mean", N, TRIALS, np.random.default_rng(int(multiplier * 100)),
+                    TRIALS,
+                    rng=1000 + dist_index * 100 + int(multiplier * 10),
+                    workers=engine_workers,
                 )
-                rows.append([dist.name, multiplier, m, result.summary.q90])
+                errors = np.abs(batch.estimates() - truth)
+                rows.append([dist.name, multiplier, m, summarize_errors(errors).q90])
         return rows
 
     rows = run_once(run)

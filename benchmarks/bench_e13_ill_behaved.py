@@ -25,7 +25,7 @@ TRIALS = 8
 SPIKE_WIDTHS = [1e-1, 1e-3, 1e-5, 1e-7]
 
 
-def test_e13_ill_behaved_spike(run_once, reporter):
+def test_e13_ill_behaved_spike(run_once, reporter, engine_workers):
     def run():
         rows = []
         for width in SPIKE_WIDTHS:
@@ -38,13 +38,11 @@ def test_e13_ill_behaved_spike(run_once, reporter):
                 return result.mean
 
             trial = run_statistical_trials(
-                universal, dist, "mean", N, TRIALS, np.random.default_rng(int(-np.log10(width)))
-            )
+                universal, dist, "mean", N, TRIALS, np.random.default_rng(int(-np.log10(width))), workers=engine_workers)
 
             oracle = run_statistical_trials(
                 lambda d, g: estimate_mean(d, EPSILON, 0.1, g, bucket_size=dist.std / N).mean,
-                dist, "mean", N, TRIALS, np.random.default_rng(77),
-            )
+                dist, "mean", N, TRIALS, np.random.default_rng(77), workers=engine_workers)
             rows.append(
                 [width, dist.phi(1.0 / 16.0), float(np.median(buckets)),
                  trial.summary.q90, oracle.summary.q90]

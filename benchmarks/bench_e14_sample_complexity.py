@@ -27,20 +27,18 @@ TRIALS = 10
 MAX_N = 262_144
 
 
-def test_e14_mean_sample_complexity(run_once, reporter):
+def test_e14_mean_sample_complexity(run_once, reporter, engine_workers):
     def run():
         rows = []
         for alpha in (0.2, 0.1, 0.05):
             private = empirical_sample_complexity(
                 lambda d, g: estimate_mean(d, EPSILON, 0.1, g).mean,
                 DIST, "mean", alpha, trials=TRIALS, min_n=64, max_n=MAX_N,
-                rng=np.random.default_rng(int(1 / alpha)),
-            )
+                rng=np.random.default_rng(int(1 / alpha)), workers=engine_workers)
             nonprivate = empirical_sample_complexity(
                 lambda d, g: SampleMean().estimate(d),
                 DIST, "mean", alpha, trials=TRIALS, min_n=16, max_n=MAX_N,
-                rng=np.random.default_rng(int(1 / alpha) + 1),
-            )
+                rng=np.random.default_rng(int(1 / alpha) + 1), workers=engine_workers)
             theory = DIST.variance / alpha**2 + DIST.std / (EPSILON * alpha)
             rows.append([alpha, private.n_star, nonprivate.n_star, int(theory)])
         return rows
@@ -60,20 +58,18 @@ def test_e14_mean_sample_complexity(run_once, reporter):
         assert row[1] <= 64 * max(row[2], 16)
 
 
-def test_e14_variance_sample_complexity(run_once, reporter):
+def test_e14_variance_sample_complexity(run_once, reporter, engine_workers):
     def run():
         rows = []
         for alpha in (0.4, 0.2):
             private = empirical_sample_complexity(
                 lambda d, g: estimate_variance(d, EPSILON, 0.1, g).variance,
                 DIST, "variance", alpha, trials=TRIALS, min_n=64, max_n=MAX_N,
-                rng=np.random.default_rng(int(10 / alpha)),
-            )
+                rng=np.random.default_rng(int(10 / alpha)), workers=engine_workers)
             nonprivate = empirical_sample_complexity(
                 lambda d, g: SampleVariance().estimate(d),
                 DIST, "variance", alpha, trials=TRIALS, min_n=16, max_n=MAX_N,
-                rng=np.random.default_rng(int(10 / alpha) + 1),
-            )
+                rng=np.random.default_rng(int(10 / alpha) + 1), workers=engine_workers)
             theory = DIST.variance**2 / alpha**2 + DIST.variance / (EPSILON * alpha)
             rows.append([alpha, private.n_star, nonprivate.n_star, int(theory)])
         return rows

@@ -23,34 +23,28 @@ DIST = Gaussian(1.0, 2.0)
 EPSILONS = [0.05, 0.1, 0.2, 0.5, 1.0]
 
 
-def test_e15_epsilon_sweep(run_once, reporter):
+def test_e15_epsilon_sweep(run_once, reporter, engine_workers):
     def run():
         rows = []
         for epsilon in EPSILONS:
             mean_res = run_statistical_trials(
                 lambda d, g, e=epsilon: estimate_mean(d, e, 0.1, g).mean,
-                DIST, "mean", N, TRIALS, np.random.default_rng(int(epsilon * 1000)),
-            )
+                DIST, "mean", N, TRIALS, np.random.default_rng(int(epsilon * 1000)), workers=engine_workers)
             var_res = run_statistical_trials(
                 lambda d, g, e=epsilon: estimate_variance(d, e, 0.1, g).variance,
-                DIST, "variance", N, TRIALS, np.random.default_rng(int(epsilon * 1000) + 1),
-            )
+                DIST, "variance", N, TRIALS, np.random.default_rng(int(epsilon * 1000) + 1), workers=engine_workers)
             iqr_res = run_statistical_trials(
                 lambda d, g, e=epsilon: estimate_iqr(d, e, 0.1, g).iqr,
-                DIST, "iqr", N, TRIALS, np.random.default_rng(int(epsilon * 1000) + 2),
-            )
+                DIST, "iqr", N, TRIALS, np.random.default_rng(int(epsilon * 1000) + 2), workers=engine_workers)
             rows.append([epsilon, mean_res.summary.q90, var_res.summary.q90, iqr_res.summary.q90])
 
         # Non-private floors for reference (epsilon-independent).
         floor_mean = run_statistical_trials(
-            lambda d, g: SampleMean().estimate(d), DIST, "mean", N, TRIALS, np.random.default_rng(3)
-        ).summary.q90
+            lambda d, g: SampleMean().estimate(d), DIST, "mean", N, TRIALS, np.random.default_rng(3), workers=engine_workers).summary.q90
         floor_var = run_statistical_trials(
-            lambda d, g: SampleVariance().estimate(d), DIST, "variance", N, TRIALS, np.random.default_rng(4)
-        ).summary.q90
+            lambda d, g: SampleVariance().estimate(d), DIST, "variance", N, TRIALS, np.random.default_rng(4), workers=engine_workers).summary.q90
         floor_iqr = run_statistical_trials(
-            lambda d, g: SampleIQR().estimate(d), DIST, "iqr", N, TRIALS, np.random.default_rng(5)
-        ).summary.q90
+            lambda d, g: SampleIQR().estimate(d), DIST, "iqr", N, TRIALS, np.random.default_rng(5), workers=engine_workers).summary.q90
         rows.append(["non-private floor", floor_mean, floor_var, floor_iqr])
         return rows
 

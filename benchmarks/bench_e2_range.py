@@ -13,6 +13,7 @@ import numpy as np
 
 from repro.bench import clustered_integer_dataset, format_table, render_experiment_header
 from repro.empirical import estimate_range
+from repro.engine import run_batch
 
 EPSILON = 1.0
 TRIALS = 10
@@ -21,18 +22,20 @@ SPREAD = 50
 CENTERS = [0, 10**3, 10**5, 10**7]
 
 
-def test_e2_range_location_invariance(run_once, reporter):
+def test_e2_range_location_invariance(run_once, reporter, engine_workers):
     def run():
         rows = []
         for center in CENTERS:
-            width_ratios, outside = [], []
-            for seed in range(TRIALS):
-                gen = np.random.default_rng(seed)
+
+            def trial(index, gen, center=center):
                 data = clustered_integer_dataset(N, cluster_value=center, spread=SPREAD, rng=gen)
                 true_width = float(np.max(data) - np.min(data))
                 result = estimate_range(data, EPSILON, 0.1, gen)
-                width_ratios.append(result.width / max(true_width, 1.0))
-                outside.append(result.outside_count)
+                return result.width / max(true_width, 1.0), result.outside_count
+
+            batch = run_batch(trial, TRIALS, rng=center, workers=engine_workers)
+            width_ratios = [ratio for ratio, _ in batch.results]
+            outside = [count for _, count in batch.results]
             rows.append(
                 [
                     center,

@@ -19,27 +19,28 @@ from repro.analysis import summarize_errors
 from repro.analysis.theory import empirical_mean_error_bound
 from repro.bench import format_table, render_experiment_header, wide_spread_dataset
 from repro.empirical import estimate_empirical_mean
+from repro.engine import run_batch
 
 EPSILON = 0.5
 TRIALS = 12
 
 
-def _q90_error(n: int, width: int) -> float:
-    errors = []
-    for seed in range(TRIALS):
-        gen = np.random.default_rng(seed)
+def _q90_error(n: int, width: int, workers: int = 1) -> float:
+    def trial(index, gen):
         data = wide_spread_dataset(n, width=width, rng=gen)
         result = estimate_empirical_mean(data, EPSILON, 0.1, gen)
-        errors.append(result.absolute_error)
-    return summarize_errors(errors).q90
+        return result.absolute_error
+
+    batch = run_batch(trial, TRIALS, rng=n + width, workers=workers)
+    return summarize_errors(list(batch.results)).q90
 
 
-def test_e3_error_vs_width(run_once, reporter):
+def test_e3_error_vs_width(run_once, reporter, engine_workers):
     def run():
         n = 4000
         rows = []
         for width in (100, 1_000, 10_000, 100_000):
-            measured = _q90_error(n, width)
+            measured = _q90_error(n, width, engine_workers)
             theory = empirical_mean_error_bound(float(width), n, EPSILON, 0.1)
             rows.append([width, measured, theory, measured / theory])
         return rows
@@ -53,12 +54,12 @@ def test_e3_error_vs_width(run_once, reporter):
     assert all(row[3] <= 10.0 for row in rows)
 
 
-def test_e3_error_vs_n(run_once, reporter):
+def test_e3_error_vs_n(run_once, reporter, engine_workers):
     def run():
         width = 10_000
         rows = []
         for n in (1_000, 4_000, 16_000, 64_000):
-            measured = _q90_error(n, width)
+            measured = _q90_error(n, width, engine_workers)
             theory = empirical_mean_error_bound(float(width), n, EPSILON, 0.1)
             rows.append([n, measured, theory, measured / theory])
         return rows

@@ -14,26 +14,27 @@ from repro.analysis import summarize_errors
 from repro.analysis.theory import quantile_rank_error_bound
 from repro.bench import format_table, render_experiment_header, uniform_integer_dataset
 from repro.empirical import estimate_empirical_quantile
+from repro.engine import run_batch
 
 N = 4000
 TRIALS = 10
 
 
-def _q90_rank_error(width: int, epsilon: float, tau: int) -> float:
-    errors = []
-    for seed in range(TRIALS):
-        gen = np.random.default_rng(seed)
+def _q90_rank_error(width: int, epsilon: float, tau: int, workers: int = 1) -> float:
+    def trial(index, gen):
         data = uniform_integer_dataset(N, width=width, rng=gen)
         result = estimate_empirical_quantile(data, tau, epsilon, 0.1, gen)
-        errors.append(float(result.rank_error))
-    return summarize_errors(errors).q90
+        return float(result.rank_error)
+
+    batch = run_batch(trial, TRIALS, rng=width + int(epsilon * 1000), workers=workers)
+    return summarize_errors(list(batch.results)).q90
 
 
-def test_e5_rank_error_vs_width(run_once, reporter):
+def test_e5_rank_error_vs_width(run_once, reporter, engine_workers):
     def run():
         rows = []
         for width in (100, 10_000, 1_000_000):
-            measured = _q90_rank_error(width, epsilon=1.0, tau=N // 2)
+            measured = _q90_rank_error(width, epsilon=1.0, tau=N // 2, workers=engine_workers)
             theory = quantile_rank_error_bound(float(width), 1.0, 0.1)
             rows.append([width, measured, theory, measured / theory])
         return rows
@@ -48,11 +49,11 @@ def test_e5_rank_error_vs_width(run_once, reporter):
     assert all(row[3] <= 12.0 for row in rows)
 
 
-def test_e5_rank_error_vs_epsilon(run_once, reporter):
+def test_e5_rank_error_vs_epsilon(run_once, reporter, engine_workers):
     def run():
         rows = []
         for epsilon in (0.25, 0.5, 1.0, 2.0):
-            measured = _q90_rank_error(width=100_000, epsilon=epsilon, tau=N // 2)
+            measured = _q90_rank_error(width=100_000, epsilon=epsilon, tau=N // 2, workers=engine_workers)
             theory = quantile_rank_error_bound(100_000.0, epsilon, 0.1)
             rows.append([epsilon, measured, theory, measured / theory])
         return rows

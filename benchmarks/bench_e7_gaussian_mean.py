@@ -32,14 +32,13 @@ def _universal(data, gen):
     return estimate_mean(data, EPSILON, 0.1, gen).mean
 
 
-def test_e7_error_vs_n(run_once, reporter):
+def test_e7_error_vs_n(run_once, reporter, engine_workers):
     def run():
         rows = []
         for n in (2_000, 8_000, 32_000, 128_000):
-            universal = run_statistical_trials(_universal, DIST, "mean", n, TRIALS, seed_for(n))
+            universal = run_statistical_trials(_universal, DIST, "mean", n, TRIALS, seed_for(n), workers=engine_workers)
             nonprivate = run_statistical_trials(
-                lambda d, g: SampleMean().estimate(d), DIST, "mean", n, TRIALS, seed_for(n + 1)
-            )
+                lambda d, g: SampleMean().estimate(d), DIST, "mean", n, TRIALS, seed_for(n + 1), workers=engine_workers)
             rows.append(
                 [
                     n,
@@ -61,22 +60,20 @@ def test_e7_error_vs_n(run_once, reporter):
     assert rows[-1][1] <= 6.0 * rows[-1][2] + 0.01
 
 
-def test_e7_error_vs_assumed_range(run_once, reporter):
+def test_e7_error_vs_assumed_range(run_once, reporter, engine_workers):
     def run():
         n = 8_000
         rows = []
         for radius in (10.0, 1e3, 1e6):
             bounded = run_statistical_trials(
                 lambda d, g, r=radius: BoundedLaplaceMean(radius=r).estimate(d, EPSILON, g),
-                DIST, "mean", n, TRIALS, seed_for(int(radius)),
-            )
+                DIST, "mean", n, TRIALS, seed_for(int(radius)), workers=engine_workers)
             kv = run_statistical_trials(
                 lambda d, g, r=radius: KarwaVadhanGaussianMean(
                     radius=r, sigma_min=0.5, sigma_max=2.0
                 ).estimate(d, EPSILON, g),
-                DIST, "mean", n, TRIALS, seed_for(int(radius) + 1),
-            )
-            universal = run_statistical_trials(_universal, DIST, "mean", n, TRIALS, seed_for(int(radius) + 2))
+                DIST, "mean", n, TRIALS, seed_for(int(radius) + 1), workers=engine_workers)
+            universal = run_statistical_trials(_universal, DIST, "mean", n, TRIALS, seed_for(int(radius) + 2), workers=engine_workers)
             rows.append([radius, universal.summary.q90, kv.summary.q90, bounded.summary.q90])
         return rows
 

@@ -27,17 +27,16 @@ def _universal(data, gen):
     return estimate_mean(data, EPSILON, 0.1, gen).mean
 
 
-def test_e8_error_vs_n_student_t(run_once, reporter):
+def test_e8_error_vs_n_student_t(run_once, reporter, engine_workers):
     dist = StudentT(df=3.0, loc=10.0)
 
     def run():
         mu_2 = dist.central_moment(2)
         rows = []
         for n in (4_000, 16_000, 64_000):
-            universal = run_statistical_trials(_universal, dist, "mean", n, TRIALS, np.random.default_rng(n))
+            universal = run_statistical_trials(_universal, dist, "mean", n, TRIALS, np.random.default_rng(n), workers=engine_workers)
             nonprivate = run_statistical_trials(
-                lambda d, g: SampleMean().estimate(d), dist, "mean", n, TRIALS, np.random.default_rng(n + 1)
-            )
+                lambda d, g: SampleMean().estimate(d), dist, "mean", n, TRIALS, np.random.default_rng(n + 1), workers=engine_workers)
             theory = heavy_tailed_mean_error_bound(
                 n, EPSILON, dist.std, k=2, mu_k=mu_2, phi=dist.phi(1.0 / 16.0)
             )
@@ -53,7 +52,7 @@ def test_e8_error_vs_n_student_t(run_once, reporter):
     assert rows[-1][1] < rows[0][1]
 
 
-def test_e8_vs_ksu_with_loose_moment_bound(run_once, reporter):
+def test_e8_vs_ksu_with_loose_moment_bound(run_once, reporter, engine_workers):
     dist = Pareto(alpha=3.0, x_m=1.0)
 
     def run():
@@ -65,11 +64,9 @@ def test_e8_vs_ksu_with_loose_moment_bound(run_once, reporter):
                 lambda d, g, f=factor: KSUHeavyTailedMean(
                     radius=100.0, moment_order=2, moment_bound=true_mu2 * f
                 ).estimate(d, EPSILON, g),
-                dist, "mean", n, TRIALS, np.random.default_rng(int(factor)),
-            )
+                dist, "mean", n, TRIALS, np.random.default_rng(int(factor)), workers=engine_workers)
             universal = run_statistical_trials(
-                _universal, dist, "mean", n, TRIALS, np.random.default_rng(int(factor) + 1)
-            )
+                _universal, dist, "mean", n, TRIALS, np.random.default_rng(int(factor) + 1), workers=engine_workers)
             rows.append([factor, universal.summary.q90, ksu.summary.q90])
         return rows
 

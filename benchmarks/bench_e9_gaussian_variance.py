@@ -29,15 +29,14 @@ def _universal(data, gen):
     return estimate_variance(data, EPSILON, 0.1, gen).variance
 
 
-def test_e9_error_vs_n(run_once, reporter):
+def test_e9_error_vs_n(run_once, reporter, engine_workers):
     def run():
         rows = []
         for n in (4_000, 16_000, 64_000):
-            universal = run_statistical_trials(_universal, DIST, "variance", n, TRIALS, np.random.default_rng(n))
+            universal = run_statistical_trials(_universal, DIST, "variance", n, TRIALS, np.random.default_rng(n), workers=engine_workers)
             nonprivate = run_statistical_trials(
                 lambda d, g: SampleVariance().estimate(d), DIST, "variance", n, TRIALS,
-                np.random.default_rng(n + 1),
-            )
+                np.random.default_rng(n + 1), workers=engine_workers)
             rows.append(
                 [n, universal.summary.q90, nonprivate.summary.q90,
                  gaussian_variance_error_bound(n, EPSILON, SIGMA)]
@@ -52,7 +51,7 @@ def test_e9_error_vs_n(run_once, reporter):
     assert rows[-1][1] < rows[0][1]
 
 
-def test_e9_error_vs_assumed_sigma_window(run_once, reporter):
+def test_e9_error_vs_assumed_sigma_window(run_once, reporter, engine_workers):
     def run():
         n = 16_000
         rows = []
@@ -62,17 +61,14 @@ def test_e9_error_vs_assumed_sigma_window(run_once, reporter):
                 lambda d, g, lo=sigma_min, hi=sigma_max: KarwaVadhanGaussianVariance(
                     sigma_min=lo, sigma_max=hi
                 ).estimate(d, EPSILON, g),
-                DIST, "variance", n, TRIALS, np.random.default_rng(int(factor)),
-            )
+                DIST, "variance", n, TRIALS, np.random.default_rng(int(factor)), workers=engine_workers)
             naive = run_statistical_trials(
                 lambda d, g, hi=sigma_max: BoundedLaplaceVariance(sigma_max=hi).estimate(
                     d, EPSILON, g
                 ),
-                DIST, "variance", n, TRIALS, np.random.default_rng(int(factor) + 1),
-            )
+                DIST, "variance", n, TRIALS, np.random.default_rng(int(factor) + 1), workers=engine_workers)
             universal = run_statistical_trials(
-                _universal, DIST, "variance", n, TRIALS, np.random.default_rng(int(factor) + 2)
-            )
+                _universal, DIST, "variance", n, TRIALS, np.random.default_rng(int(factor) + 2), workers=engine_workers)
             rows.append([factor, universal.summary.q90, kv.summary.q90, naive.summary.q90])
         return rows
 
@@ -91,7 +87,7 @@ def test_e9_error_vs_assumed_sigma_window(run_once, reporter):
     assert max(universal_errors) <= 5.0 * min(universal_errors) + 0.05
 
 
-def test_e9_ablation_radius_only_vs_full_range(run_once, reporter):
+def test_e9_ablation_radius_only_vs_full_range(run_once, reporter, engine_workers):
     """Design-choice ablation: Algorithm 9 uses a radius-only clipping interval
     [0, rad] for the paired statistic.  Emulating a 'full range' variant by
     feeding the paired statistic through the mean estimator shows the
@@ -100,7 +96,7 @@ def test_e9_ablation_radius_only_vs_full_range(run_once, reporter):
 
     def run():
         n = 16_000
-        radius_only = run_statistical_trials(_universal, DIST, "variance", n, TRIALS, np.random.default_rng(1))
+        radius_only = run_statistical_trials(_universal, DIST, "variance", n, TRIALS, np.random.default_rng(1), workers=engine_workers)
 
         def full_range_variant(data, gen):
             permuted = gen.permutation(np.asarray(data, dtype=float))
@@ -108,7 +104,7 @@ def test_e9_ablation_radius_only_vs_full_range(run_once, reporter):
             z = (permuted[:2 * pairs:2] - permuted[1:2 * pairs:2]) ** 2
             return 0.5 * _mean(z, EPSILON, 0.1, gen).mean
 
-        full_range = run_statistical_trials(full_range_variant, DIST, "variance", n, TRIALS, np.random.default_rng(2))
+        full_range = run_statistical_trials(full_range_variant, DIST, "variance", n, TRIALS, np.random.default_rng(2), workers=engine_workers)
         return [
             ["radius-only clipping (Algorithm 9)", radius_only.summary.q90],
             ["full range search variant", full_range.summary.q90],

@@ -1,0 +1,64 @@
+"""Engine scaling demonstration: 500-trial Gaussian-mean workload, 1 vs 4 workers.
+
+Run directly (not collected by pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_engine_scaling.py [trials] [n]
+
+Prints wall-clock time for ``workers=1`` and ``workers=4`` and verifies the
+engine's determinism contract on the way: both runs must produce bit-for-bit
+identical estimates.  On a machine with >= 4 cores the parallel run is
+expected to be >= 2x faster; on fewer cores the parity check still holds but
+the speedup degrades toward 1x (fork + scheduling overhead on a single core).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+import numpy as np
+
+from repro.analysis import run_statistical_trials
+from repro.core import estimate_mean
+from repro.distributions import Gaussian
+
+EPSILON = 0.5
+SEED = 20230401
+
+
+def _universal(data, gen):
+    return estimate_mean(data, EPSILON, 0.1, gen).mean
+
+
+def timed_run(workers: int, trials: int, n: int):
+    start = time.perf_counter()
+    result = run_statistical_trials(
+        _universal, Gaussian(5.0, 1.0), "mean", n, trials, SEED, workers=workers
+    )
+    return time.perf_counter() - start, result
+
+
+def main() -> int:
+    trials = int(sys.argv[1]) if len(sys.argv) > 1 else 500
+    n = int(sys.argv[2]) if len(sys.argv) > 2 else 4_000
+
+    print(f"engine scaling: {trials}-trial Gaussian-mean workload, n={n}, "
+          f"cpu_count={os.cpu_count()}")
+    serial_time, serial = timed_run(1, trials, n)
+    print(f"workers=1: {serial_time:8.2f}s  q90 error {serial.summary.q90:.4g}")
+    parallel_time, parallel = timed_run(4, trials, n)
+    print(f"workers=4: {parallel_time:8.2f}s  q90 error {parallel.summary.q90:.4g}")
+
+    identical = np.array_equal(serial.estimates, parallel.estimates)
+    speedup = serial_time / parallel_time if parallel_time > 0 else float("inf")
+    print(f"bit-for-bit identical estimates: {identical}")
+    print(f"speedup: {speedup:.2f}x")
+    if not identical:
+        print("FAIL: determinism contract violated", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,9 +13,9 @@ from __future__ import annotations
 from repro.bench import capability_matrix, format_table, render_experiment_header
 
 
-def test_table1_assumption_matrix(run_once, reporter, rng):
+def test_table1_assumption_matrix(run_once, reporter, rng, engine_workers):
     def run():
-        return capability_matrix(epsilon=1.0, sample_size=4096, rng=rng)
+        return capability_matrix(epsilon=1.0, sample_size=4096, rng=rng, workers=engine_workers)
 
     rows = run_once(run)
 

@@ -22,6 +22,24 @@ if str(_SRC) not in sys.path:
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--engine-workers",
+        type=int,
+        default=1,
+        help=(
+            "Worker processes for repro.engine trial fan-out inside the "
+            "benchmarks; results are bit-for-bit identical for any value"
+        ),
+    )
+
+
+@pytest.fixture
+def engine_workers(request) -> int:
+    """Engine worker count for trial fan-out (``--engine-workers``, default 1)."""
+    return int(request.config.getoption("--engine-workers"))
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     return np.random.default_rng(20230401)

@@ -26,6 +26,14 @@ The public API is organised as:
   parameters used by the benchmark harness;
 * ``repro.baselines`` — re-implementations of prior estimators for the
   comparison benchmarks;
+* ``repro.engine`` — deterministic batched trial execution: every
+  repeated-experiment loop (trial runners, sample-complexity search,
+  capability matrix, CLI ``--trials``, E1-E16 drivers) fans out through
+  :func:`repro.engine.run_batch`.  Its determinism contract: per-trial
+  generators are derived up-front from the base seed, so results are
+  bit-for-bit identical for ``workers=1`` and ``workers=N`` and unaffected by
+  other trials failing; failures are captured as structured
+  :class:`repro.engine.TrialFailure` records;
 * ``repro.analysis`` / ``repro.bench`` — experiment harness.
 """
 

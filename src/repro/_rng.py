@@ -12,7 +12,7 @@ from typing import Optional, Union
 
 import numpy as np
 
-__all__ = ["RngLike", "resolve_rng", "spawn_rngs"]
+__all__ = ["RngLike", "resolve_rng", "spawn_seeds", "spawn_rngs"]
 
 #: Anything acceptable as a source of randomness.
 RngLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
@@ -40,13 +40,32 @@ def resolve_rng(rng: RngLike = None) -> np.random.Generator:
     )
 
 
-def spawn_rngs(rng: RngLike, count: int) -> list[np.random.Generator]:
-    """Split ``rng`` into ``count`` independent child generators.
+def spawn_seeds(rng: RngLike, count: int) -> np.ndarray:
+    """Draw ``count`` independent child seeds from ``rng``.
 
-    Used by the trial runner so that parallel trials do not share streams.
+    The seeds are drawn in one vectorised call, so the result depends only on
+    the state of ``rng`` and on ``count`` — never on how (or where) the child
+    generators are later consumed.  :mod:`repro.engine` sends these integer
+    seeds to worker processes instead of pickling generator objects; trial
+    ``i`` always runs on ``np.random.default_rng(int(seeds[i]))`` regardless
+    of which worker executes it, which is what makes parallel execution
+    bit-for-bit reproducible.
     """
     if count < 0:
         raise ValueError(f"count must be non-negative, got {count}")
     base = resolve_rng(rng)
-    seeds = base.integers(0, 2**63 - 1, size=count, dtype=np.int64)
-    return [np.random.default_rng(int(seed)) for seed in seeds]
+    return base.integers(0, 2**63 - 1, size=count, dtype=np.int64)
+
+
+def spawn_rngs(rng: RngLike, count: int) -> list[np.random.Generator]:
+    """Split ``rng`` into ``count`` independent child generators.
+
+    Convenience wrapper over :func:`spawn_seeds` that materialises the child
+    generators eagerly.  :mod:`repro.engine` consumes the integer seeds
+    directly (they cross process boundaries; generators do not), but the
+    streams are identical either way: trial ``i`` always runs on
+    ``np.random.default_rng(int(spawn_seeds(rng, count)[i]))``, so a failure
+    (or any extra stream consumption) in one trial cannot shift the
+    randomness of any other trial.
+    """
+    return [np.random.default_rng(int(seed)) for seed in spawn_seeds(rng, count)]

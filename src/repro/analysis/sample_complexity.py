@@ -51,8 +51,11 @@ def _success_rate(
     alpha: float,
     trials: int,
     rng: np.random.Generator,
+    workers: int,
 ) -> float:
-    result = run_statistical_trials(estimator, distribution, parameter, n, trials, rng)
+    result = run_statistical_trials(
+        estimator, distribution, parameter, n, trials, rng, workers=workers
+    )
     return float(np.mean(result.errors <= alpha))
 
 
@@ -67,6 +70,7 @@ def empirical_sample_complexity(
     min_n: int = 32,
     max_n: int = 1_048_576,
     rng: RngLike = None,
+    workers: int = 1,
 ) -> SampleComplexityResult:
     """Measure the sample size needed to reach error ``alpha`` with the given probability.
 
@@ -91,6 +95,9 @@ def empirical_sample_complexity(
         Trials per probed sample size.
     min_n, max_n:
         Search range for the sample size.
+    workers:
+        Engine worker count for the per-size trial batches; the measured
+        rates are identical for any value given the same seed.
     """
     if alpha <= 0:
         raise DomainError(f"alpha must be positive, got {alpha}")
@@ -109,7 +116,9 @@ def empirical_sample_complexity(
     succeeded_at: Optional[int] = None
     last_failure = min_n
     while n <= max_n:
-        rate = _success_rate(estimator, distribution, parameter, n, alpha, trials, generator)
+        rate = _success_rate(
+            estimator, distribution, parameter, n, alpha, trials, generator, workers
+        )
         tested.append((n, rate))
         if rate >= success_probability:
             succeeded_at = n
@@ -123,7 +132,9 @@ def empirical_sample_complexity(
     low, high = last_failure, succeeded_at
     while high - low > max(low // 4, 8):
         mid = (low + high) // 2
-        rate = _success_rate(estimator, distribution, parameter, mid, alpha, trials, generator)
+        rate = _success_rate(
+            estimator, distribution, parameter, mid, alpha, trials, generator, workers
+        )
         tested.append((mid, rate))
         if rate >= success_probability:
             high = mid

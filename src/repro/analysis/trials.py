@@ -9,18 +9,29 @@ Two entry points are provided:
   fresh i.i.d. sample from a :class:`~repro.distributions.Distribution` each
   trial, run the estimator, and compare against the distribution's true
   parameter.
+
+Both are thin layers over :func:`repro.engine.run_batch`: each trial gets its
+own child generator derived from the base seed, so estimates are bit-for-bit
+identical for ``workers=1`` and ``workers=N``, and a failed trial never shifts
+the randomness of later trials.  Pass ``rng_policy="shared"`` (serial only) to
+reproduce the legacy *trial-loop* behaviour where every trial consumed one
+shared stream.  Note that this freezes only how the loop feeds randomness to
+trials — the estimators and mechanisms underneath may change how much
+randomness they draw between versions, so bitwise reproduction of historical
+numbers additionally requires the same library version.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence
+from typing import Callable, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro._rng import RngLike, resolve_rng
 from repro.analysis.metrics import ErrorSummary, summarize_errors
 from repro.distributions.base import Distribution
+from repro.engine import TrialFailure, run_batch
 from repro.exceptions import DomainError, MechanismError
 
 __all__ = ["TrialResult", "run_trials", "run_statistical_trials"]
@@ -30,21 +41,75 @@ EstimatorFn = Callable[[np.ndarray, np.random.Generator], float]
 #: Signature of a data generator: (rng) -> dataset.
 DataFn = Callable[[np.random.Generator], np.ndarray]
 
+#: Accepted values for the ``rng_policy`` argument of :func:`run_trials`.
+_RNG_POLICIES = ("per-trial", "shared")
+
+
+class _DataGenerationError(Exception):
+    """Internal wrapper: a MechanismError raised by the *data generator*.
+
+    Trial-failure capture applies only to the estimator; this wrapper is not
+    in the engine's ``failure_types``, so it propagates out of the batch and
+    :func:`run_trials` re-raises the original exception.
+    """
+
+    def __init__(self, original: MechanismError):
+        super().__init__(original)
+        self.original = original
+
 
 @dataclass(frozen=True)
 class TrialResult:
-    """Per-trial estimates and their error summary."""
+    """Per-trial estimates and their error summary.
+
+    ``failures`` keeps the historical count; ``failure_records`` carries the
+    structured per-trial records (index, exception type, message) captured by
+    the engine when ``allow_failures=True``.
+    """
 
     estimates: np.ndarray
     errors: np.ndarray
     truth: float
     summary: ErrorSummary
     failures: int = 0
+    failure_records: Tuple[TrialFailure, ...] = ()
 
     @property
     def mean_estimate(self) -> float:
         """Average of the per-trial estimates."""
         return float(np.mean(self.estimates)) if self.estimates.size else float("nan")
+
+
+def _run_shared_stream(
+    estimator: EstimatorFn,
+    data_generator: DataFn,
+    trials: int,
+    rng: RngLike,
+    allow_failures: bool,
+) -> Tuple[list, list]:
+    """Legacy serial loop: every trial consumes one shared random stream.
+
+    The loop itself is kept bit-for-bit identical to the pre-engine
+    implementation (same stream, same consumption order); reproducing
+    historical numbers exactly also requires the estimator's own randomness
+    consumption to be unchanged.  Note the policy's documented flaw: a failed
+    trial leaves the shared stream at a different point, shifting every later
+    trial.
+    """
+    generator = resolve_rng(rng)
+    estimates: list = []
+    failures: list = []
+    for index in range(trials):
+        data = data_generator(generator)
+        try:
+            estimates.append(float(estimator(data, generator)))
+        except MechanismError as exc:
+            if not allow_failures:
+                raise
+            failures.append(
+                TrialFailure(index=index, error=type(exc).__name__, message=str(exc))
+            )
+    return estimates, failures
 
 
 def run_trials(
@@ -55,6 +120,8 @@ def run_trials(
     rng: RngLike = None,
     *,
     allow_failures: bool = False,
+    workers: int = 1,
+    rng_policy: str = "per-trial",
 ) -> TrialResult:
     """Run ``trials`` independent (data, estimate) repetitions.
 
@@ -70,23 +137,60 @@ def run_trials(
         Number of repetitions.
     allow_failures:
         When ``True``, :class:`MechanismError` raised by the estimator (e.g. a
-        failed propose-test-release test) is counted instead of propagated,
-        and the failed trial contributes no estimate.
+        failed propose-test-release test) is captured as a structured
+        :class:`~repro.engine.TrialFailure` instead of propagated, and the
+        failed trial contributes no estimate.
+    workers:
+        Process count handed to :func:`repro.engine.run_batch`; estimates are
+        identical for any value given the same seed.
+    rng_policy:
+        ``"per-trial"`` (default) derives an independent child generator per
+        trial; ``"shared"`` reproduces the legacy single-stream trial loop
+        (see the module docstring for the scope of that guarantee) and
+        requires ``workers=1``.
     """
     if trials < 1:
         raise DomainError(f"trials must be at least 1, got {trials}")
-    generator = resolve_rng(rng)
+    if rng_policy not in _RNG_POLICIES:
+        raise DomainError(
+            f"rng_policy must be one of {_RNG_POLICIES}, got {rng_policy!r}"
+        )
 
-    estimates = []
-    failures = 0
-    for _ in range(trials):
-        data = data_generator(generator)
+    if rng_policy == "shared":
+        if workers != 1:
+            raise DomainError(
+                "rng_policy='shared' is a serial compatibility mode; use "
+                "rng_policy='per-trial' for workers > 1"
+            )
+        estimates, failure_records = _run_shared_stream(
+            estimator, data_generator, trials, rng, allow_failures
+        )
+    else:
+
+        def trial(index: int, generator: np.random.Generator) -> float:
+            try:
+                data = data_generator(generator)
+            except MechanismError as exc:
+                # Only the *estimator* call is a trial failure (matching the
+                # legacy loop and the "shared" policy); a MechanismError from
+                # the data generator must propagate even under
+                # allow_failures, so smuggle it past the engine's catch.
+                raise _DataGenerationError(exc) from exc
+            return float(estimator(data, generator))
+
         try:
-            estimates.append(float(estimator(data, generator)))
-        except MechanismError:
-            if not allow_failures:
-                raise
-            failures += 1
+            batch = run_batch(
+                trial,
+                trials,
+                rng,
+                workers=workers,
+                allow_failures=allow_failures,
+            )
+        except _DataGenerationError as wrapper:
+            raise wrapper.original
+        estimates = list(batch.results)
+        failure_records = list(batch.failures)
+
     if not estimates:
         raise MechanismError(f"all {trials} trials failed")
     estimates_arr = np.asarray(estimates, dtype=float)
@@ -96,7 +200,8 @@ def run_trials(
         errors=errors,
         truth=float(truth),
         summary=summarize_errors(errors),
-        failures=failures,
+        failures=len(failure_records),
+        failure_records=tuple(failure_records),
     )
 
 
@@ -109,6 +214,8 @@ def run_statistical_trials(
     rng: RngLike = None,
     *,
     allow_failures: bool = False,
+    workers: int = 1,
+    rng_policy: str = "per-trial",
 ) -> TrialResult:
     """Statistical-setting trials: fresh i.i.d. samples from ``distribution``.
 
@@ -125,6 +232,8 @@ def run_statistical_trials(
         Sample size per trial.
     trials:
         Number of repetitions.
+    workers, rng_policy:
+        Forwarded to :func:`run_trials` / the engine.
     """
     truth_lookup = {
         "mean": lambda: distribution.mean,
@@ -147,4 +256,6 @@ def run_statistical_trials(
         trials,
         rng,
         allow_failures=allow_failures,
+        workers=workers,
+        rng_policy=rng_policy,
     )

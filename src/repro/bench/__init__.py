@@ -5,6 +5,7 @@ from repro.bench.reporting import format_series, format_table, render_experiment
 from repro.bench.workloads import (
     adversarial_outlier_dataset,
     clustered_integer_dataset,
+    dataset_batch,
     packing_level_dataset,
     uniform_integer_dataset,
     wide_spread_dataset,
@@ -22,4 +23,5 @@ __all__ = [
     "adversarial_outlier_dataset",
     "wide_spread_dataset",
     "packing_level_dataset",
+    "dataset_batch",
 ]

@@ -18,6 +18,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro._rng import RngLike, resolve_rng
+from repro.engine import run_batch
 from repro.baselines import (
     BaselineEstimator,
     BoundedLaplaceMean,
@@ -109,10 +110,56 @@ def default_estimator_suite() -> List[BaselineEstimator]:
     ]
 
 
+def _probe_row(
+    name: str,
+    factory: Callable[[], BaselineEstimator],
+    data: np.ndarray,
+    epsilon: float,
+    generator: np.random.Generator,
+) -> CapabilityRow:
+    """Behaviourally probe one estimator and record its capability row."""
+    try:
+        estimator = factory()
+        estimator.estimate(data, epsilon, generator)
+        runs_bare = True
+        described = estimator.describe()
+    except AssumptionRequiredError:
+        runs_bare = False
+        # Fall back to class-level metadata for estimators that refuse to
+        # construct without their assumption parameters.
+        described = None
+    if described is None:
+        # Fall back to class-level metadata; non-class factories are resolved
+        # through a throwaway instance exactly as the estimate() probe did.
+        cls = factory if isinstance(factory, type) else type(factory())
+        assumptions = cls.assumptions
+        return CapabilityRow(
+            name=name,
+            target=cls.target,
+            privacy=cls.privacy,
+            needs_a1="A1" in assumptions,
+            needs_a2="A2" in assumptions,
+            needs_a3="A3" in assumptions,
+            runs_without_assumptions=runs_bare,
+            reference=cls.reference,
+        )
+    return CapabilityRow(
+        name=name,
+        target=described.target,
+        privacy=described.privacy,
+        needs_a1="A1" in described.assumptions,
+        needs_a2="A2" in described.assumptions,
+        needs_a3="A3" in described.assumptions,
+        runs_without_assumptions=runs_bare,
+        reference=described.reference,
+    )
+
+
 def capability_matrix(
     epsilon: float = 1.0,
     sample_size: int = 4096,
     rng: RngLike = None,
+    workers: int = 1,
 ) -> List[CapabilityRow]:
     """Build the Table-1 capability matrix, verifying behaviour as well as metadata.
 
@@ -121,49 +168,18 @@ def capability_matrix(
     nothing but raw samples and a privacy budget?  Universal and non-private
     estimators succeed; assumption-dependent baselines fail at construction
     with :class:`AssumptionRequiredError`.
+
+    The per-estimator probes are independent, so they fan out through
+    :func:`repro.engine.run_batch`: each probe runs on its own child
+    generator, and ``workers > 1`` parallelises the matrix without changing
+    any row.
     """
     generator = resolve_rng(rng)
     data = generator.normal(0.0, 1.0, size=sample_size)
 
-    rows: List[CapabilityRow] = []
-    for name, factory in _BARE_FACTORIES:
-        try:
-            estimator = factory()
-            estimator.estimate(data, epsilon, generator)
-            runs_bare = True
-            described = estimator.describe()
-        except AssumptionRequiredError:
-            runs_bare = False
-            # Fall back to class-level metadata for estimators that refuse to
-            # construct without their assumption parameters.
-            cls = factory if isinstance(factory, type) else type(factory())
-            described = None
-        if described is None:
-            cls = factory  # type: ignore[assignment]
-            assumptions = cls.assumptions
-            rows.append(
-                CapabilityRow(
-                    name=name,
-                    target=cls.target,
-                    privacy=cls.privacy,
-                    needs_a1="A1" in assumptions,
-                    needs_a2="A2" in assumptions,
-                    needs_a3="A3" in assumptions,
-                    runs_without_assumptions=runs_bare,
-                    reference=cls.reference,
-                )
-            )
-        else:
-            rows.append(
-                CapabilityRow(
-                    name=name,
-                    target=described.target,
-                    privacy=described.privacy,
-                    needs_a1="A1" in described.assumptions,
-                    needs_a2="A2" in described.assumptions,
-                    needs_a3="A3" in described.assumptions,
-                    runs_without_assumptions=runs_bare,
-                    reference=described.reference,
-                )
-            )
-    return rows
+    def probe(index: int, probe_generator: np.random.Generator) -> CapabilityRow:
+        name, factory = _BARE_FACTORIES[index]
+        return _probe_row(name, factory, data, epsilon, probe_generator)
+
+    batch = run_batch(probe, len(_BARE_FACTORIES), generator, workers=workers)
+    return list(batch.results)

@@ -9,9 +9,12 @@ errors can be compared against the instance-specific bounds of Section 3.
 
 from __future__ import annotations
 
+from typing import Callable, List
+
 import numpy as np
 
 from repro._rng import RngLike, resolve_rng
+from repro.engine import run_batch
 from repro.exceptions import DomainError
 
 __all__ = [
@@ -20,6 +23,7 @@ __all__ = [
     "adversarial_outlier_dataset",
     "wide_spread_dataset",
     "packing_level_dataset",
+    "dataset_batch",
 ]
 
 
@@ -87,6 +91,25 @@ def wide_spread_dataset(n: int, width: int, rng: RngLike = None) -> np.ndarray:
     data[0] = -width // 2
     data[-1] = width // 2
     return data.astype(float)
+
+
+def dataset_batch(
+    factory: Callable[[np.random.Generator], np.ndarray],
+    trials: int,
+    rng: RngLike = None,
+    *,
+    workers: int = 1,
+) -> List[np.ndarray]:
+    """Materialise one dataset per trial through :func:`repro.engine.run_batch`.
+
+    Each dataset is generated on its own child stream derived from ``rng``, so
+    the batch is bit-for-bit identical for any ``workers`` value — the
+    engine's determinism contract applied to workload generation.  Used by
+    benchmark drivers that want paired designs: E12 pre-builds one dataset per
+    trial and reuses it across every ablation setting.
+    """
+    batch = run_batch(lambda index, generator: factory(generator), trials, rng, workers=workers)
+    return list(batch.results)
 
 
 def packing_level_dataset(n: int, level_value: int, changed: int) -> np.ndarray:

@@ -10,6 +10,14 @@ Usage (also available as ``python -m repro``)::
 The CLI is a thin wrapper around the universal estimators: it never asks for a
 range, a sigma bound or a distribution family — only the data, a privacy
 budget, and (optionally) a seed for reproducibility.
+
+``--trials N`` repeats the mean/variance/iqr release N times through
+:mod:`repro.engine` (fan out with ``--workers``) and reports the spread of the
+noisy estimates — useful for calibrating how much a single release can be
+trusted.  The trial fan-out is deterministic for a fixed ``--seed`` regardless
+of the worker count.  Each trial is an independent full-budget release, so
+publishing all of them costs ``N * epsilon``; the spread is meant for offline
+calibration, not joint publication.
 """
 
 from __future__ import annotations
@@ -29,7 +37,8 @@ from repro import (
     estimate_quantiles,
     estimate_variance,
 )
-from repro.exceptions import DomainError, ReproError
+from repro.engine import run_batch
+from repro.exceptions import DomainError, MechanismError, ReproError
 
 __all__ = ["build_parser", "load_column", "main"]
 
@@ -52,6 +61,18 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--seed", type=int, default=None, help="Seed for reproducible noise")
         sub.add_argument(
             "--show-ledger", action="store_true", help="Print the per-mechanism budget spends"
+        )
+        sub.add_argument(
+            "--trials",
+            type=int,
+            default=1,
+            help="Repeat the release this many times and report the estimate spread",
+        )
+        sub.add_argument(
+            "--workers",
+            type=int,
+            default=1,
+            help="Worker processes for --trials > 1 (results are worker-count independent)",
         )
 
     for name, help_text in (
@@ -116,6 +137,63 @@ def load_column(csv_path: Path, column: str) -> np.ndarray:
     return np.asarray(values, dtype=float)
 
 
+#: Scalar single-release closures by command, used by the --trials mode.
+_SCALAR_ESTIMATORS = {
+    "mean": lambda data, epsilon, beta, gen, ledger: estimate_mean(
+        data, epsilon, beta, gen, ledger=ledger
+    ).mean,
+    "variance": lambda data, epsilon, beta, gen, ledger: estimate_variance(
+        data, epsilon, beta, gen, ledger=ledger
+    ).variance,
+    "iqr": lambda data, epsilon, beta, gen, ledger: estimate_iqr(
+        data, epsilon, beta, gen, ledger=ledger
+    ).iqr,
+}
+
+
+def _run_trial_mode(args: argparse.Namespace, data: np.ndarray) -> None:
+    """Repeat the release ``args.trials`` times via the engine and print the spread."""
+    if args.command not in _SCALAR_ESTIMATORS:
+        raise DomainError(
+            f"--trials > 1 supports the scalar commands {sorted(_SCALAR_ESTIMATORS)}; "
+            f"run {args.command!r} once per invocation instead"
+        )
+    release = _SCALAR_ESTIMATORS[args.command]
+
+    # Failures (e.g. a rejected propose-test-release check) are captured
+    # inside the trial so the ledger survives: estimators charge the budget as
+    # they go, so a failed trial has still spent epsilon and must be counted.
+    def trial(index: int, generator: np.random.Generator):
+        ledger = PrivacyLedger()
+        try:
+            estimate = float(release(data, args.epsilon, args.beta, generator, ledger))
+        except MechanismError as exc:
+            return None, ledger.total_epsilon, ledger.summary(), str(exc)
+        return estimate, ledger.total_epsilon, ledger.summary(), None
+
+    batch = run_batch(trial, args.trials, args.seed, workers=args.workers)
+    successes = [entry for entry in batch.results if entry[0] is not None]
+    n_failures = batch.trials - len(successes)
+    if not successes:
+        first_error = next(entry[3] for entry in batch.results if entry[3])
+        raise DomainError(f"all {batch.trials} trials failed (first: {first_error})")
+    estimates = np.asarray([estimate for estimate, _, _, _ in successes])
+    total_spent = sum(spend for _, spend, _, _ in batch.results)
+    q10, q50, q90 = np.quantile(estimates, [0.1, 0.5, 0.9])
+    print(f"dp_{args.command}_median={q50:.6g}")
+    print(f"dp_{args.command}_q10={q10:.6g}")
+    print(f"dp_{args.command}_q90={q90:.6g}")
+    print(f"trials={batch.trials}")
+    print(f"workers={batch.workers}")
+    print(f"failures={n_failures}")
+    print(f"records={data.size}")
+    print(f"epsilon_per_trial={successes[0][1]:.6g}")
+    print(f"epsilon_total_spent={total_spent:.6g}")
+    if args.show_ledger:
+        print("per-trial ledger (first successful trial):")
+        print(successes[0][2])
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -123,6 +201,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     try:
         data = load_column(args.csv_path, args.column)
+        if args.trials < 1:
+            raise DomainError(f"--trials must be at least 1, got {args.trials}")
+        if args.workers < 1:
+            raise DomainError(f"--workers must be at least 1, got {args.workers}")
+        if args.trials > 1:
+            _run_trial_mode(args, data)
+            return 0
         rng = np.random.default_rng(args.seed)
         ledger = PrivacyLedger()
 

@@ -1,0 +1,19 @@
+"""repro.engine — deterministic batched trial execution.
+
+The engine turns "repeat this randomized experiment N times" into a single
+:func:`run_batch` call with a hard determinism contract: per-trial generators
+are derived up-front from the base seed (:func:`repro._rng.spawn_seeds`), so
+results are bit-for-bit identical whether the batch runs serially
+(``workers=1``), across a process pool (``workers=N``), or with some trials
+failing.  Failed trials are captured as structured :class:`TrialFailure`
+records rather than a bare counter.
+
+Every repeated-trial loop in the repo routes through here: the statistical
+trial runners (:mod:`repro.analysis.trials`), the sample-complexity search,
+the capability matrix, the CLI's ``--trials`` mode, and the E1–E16 benchmark
+drivers.
+"""
+
+from repro.engine.core import BatchResult, TrialFailure, TrialFn, run_batch
+
+__all__ = ["BatchResult", "TrialFailure", "TrialFn", "run_batch"]

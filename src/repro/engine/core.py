@@ -1,0 +1,244 @@
+"""Batched, deterministic trial execution.
+
+:func:`run_batch` maps a trial function over ``trials`` independent trials,
+optionally fanning the work out over a process pool.  Three properties make it
+usable as the substrate for every repeated-experiment loop in the repo:
+
+Determinism contract
+    Every trial receives its own child generator, seeded from
+    :func:`repro._rng.spawn_seeds` *before* any work starts.  Trial ``i``
+    therefore sees exactly the same random stream no matter how many workers
+    run, how the trials are chunked, or whether earlier trials failed — so
+    ``workers=1`` and ``workers=N`` produce bit-for-bit identical results for
+    the same base seed, and a failure in trial ``k-1`` cannot shift the
+    randomness of trial ``k``.
+
+Serial fallback
+    ``workers=1`` (the default) executes in-process with zero multiprocessing
+    overhead.  The same per-trial seeding is used, so it is also the reference
+    implementation the parallel path is checked against.
+
+Structured failure capture
+    With ``allow_failures=True``, exceptions of the types in
+    ``failure_types`` (by default :class:`~repro.exceptions.MechanismError`,
+    e.g. a failed propose-test-release check) are recorded as
+    :class:`TrialFailure` entries carrying the trial index, exception type and
+    message, instead of being collapsed into a bare counter.  Any other
+    exception — or any failure when ``allow_failures=False`` — propagates.
+
+The parallel path uses the ``fork`` start method so that closures (the common
+shape of estimator lambdas in the benchmarks) reach the workers without
+pickling; only integer seeds and results cross the process boundary.  On
+platforms without ``fork``, or inside a daemonic pool worker, execution falls
+back to the serial path — results are identical either way.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing as mp
+import os
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Sequence, Tuple, Type
+
+import numpy as np
+
+from repro._rng import RngLike, spawn_seeds
+from repro.exceptions import DomainError, MechanismError
+
+__all__ = ["TrialFn", "TrialFailure", "BatchResult", "run_batch"]
+
+#: A trial body: ``(trial_index, per-trial generator) -> result``.
+TrialFn = Callable[[int, np.random.Generator], Any]
+
+
+@dataclass(frozen=True)
+class TrialFailure:
+    """Structured record of one failed trial.
+
+    Attributes
+    ----------
+    index:
+        0-based index of the trial that failed.
+    error:
+        Exception class name (e.g. ``"MechanismError"``).
+    message:
+        The stringified exception.
+    """
+
+    index: int
+    error: str
+    message: str
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Outcome of one :func:`run_batch` call.
+
+    Attributes
+    ----------
+    results:
+        Return values of the successful trials, ordered by trial index.
+    indices:
+        Trial index of each entry in ``results``.
+    failures:
+        One :class:`TrialFailure` per failed trial, ordered by trial index.
+    trials:
+        Total number of trials requested.
+    workers:
+        Number of workers actually used (1 when the serial path ran).
+    """
+
+    results: Tuple[Any, ...]
+    indices: Tuple[int, ...]
+    failures: Tuple[TrialFailure, ...]
+    trials: int
+    workers: int
+
+    @property
+    def n_failures(self) -> int:
+        """Number of failed trials."""
+        return len(self.failures)
+
+    def estimates(self) -> np.ndarray:
+        """The successful results coerced to a float array (for scalar trials)."""
+        return np.asarray([float(value) for value in self.results], dtype=float)
+
+
+def _execute_span(
+    fn: TrialFn,
+    catch: Tuple[Type[BaseException], ...],
+    start: int,
+    seeds: np.ndarray,
+) -> Tuple[list, list, list]:
+    """Run trials ``start .. start + len(seeds)`` serially on their own generators."""
+    results: list = []
+    indices: list = []
+    failures: list = []
+    for offset, seed in enumerate(seeds.tolist()):
+        index = start + offset
+        generator = np.random.default_rng(int(seed))
+        if catch:
+            try:
+                value = fn(index, generator)
+            except catch as exc:
+                failures.append(
+                    TrialFailure(index=index, error=type(exc).__name__, message=str(exc))
+                )
+                continue
+        else:
+            value = fn(index, generator)
+        results.append(value)
+        indices.append(index)
+    return results, indices, failures
+
+
+# Worker state inherited through fork: set in the parent immediately before the
+# pool is created so that unpicklable trial functions (closures over datasets,
+# estimator lambdas) reach the children without crossing a pipe.  The lock
+# serialises the set-globals/fork/reset window so concurrent run_batch calls
+# from different threads cannot fork each other's trial function.
+_WORKER_FN: Optional[TrialFn] = None
+_WORKER_CATCH: Tuple[Type[BaseException], ...] = ()
+_WORKER_STATE_LOCK = threading.Lock()
+
+
+def _pool_entry(span: Tuple[int, np.ndarray]) -> Tuple[list, list, list]:
+    start, seeds = span
+    assert _WORKER_FN is not None, "worker state not initialised before fork"
+    return _execute_span(_WORKER_FN, _WORKER_CATCH, start, seeds)
+
+
+def _parallel_available() -> bool:
+    if "fork" not in mp.get_all_start_methods():
+        return False
+    # Daemonic pool workers may not create child processes; nested run_batch
+    # calls degrade to the (identical) serial path instead of crashing.
+    return not mp.current_process().daemon
+
+
+def run_batch(
+    trial_fn: TrialFn,
+    trials: int,
+    rng: RngLike = None,
+    *,
+    workers: Optional[int] = 1,
+    chunk_size: Optional[int] = None,
+    allow_failures: bool = False,
+    failure_types: Sequence[Type[BaseException]] = (MechanismError,),
+) -> BatchResult:
+    """Run ``trials`` independent trials of ``trial_fn``, possibly in parallel.
+
+    Parameters
+    ----------
+    trial_fn:
+        Callable mapping ``(trial_index, generator)`` to an arbitrary
+        (picklable, when ``workers > 1``) result.  For parallel execution the
+        function should be pure: mutations of closed-over state stay in the
+        worker process that made them.
+    trials:
+        Number of trials (may be 0, yielding an empty result).
+    rng:
+        Base seed material; per-trial generators are derived from it via
+        :func:`repro._rng.spawn_seeds`.
+    workers:
+        Process count; ``1`` runs serially in-process, ``None`` uses
+        ``os.cpu_count()``.  Results are bit-for-bit independent of this value.
+    chunk_size:
+        Trials dispatched per pool task; defaults to roughly four chunks per
+        worker.  Affects scheduling only, never results.
+    allow_failures:
+        When ``True``, exceptions of the types in ``failure_types`` are
+        captured as structured :class:`TrialFailure` records; otherwise the
+        first one propagates.
+    """
+    if trials < 0:
+        raise DomainError(f"trials must be non-negative, got {trials}")
+    if workers is None:
+        workers = os.cpu_count() or 1
+    if workers < 1:
+        raise DomainError(f"workers must be at least 1, got {workers}")
+    if chunk_size is not None and chunk_size < 1:
+        raise DomainError(f"chunk_size must be at least 1, got {chunk_size}")
+
+    seeds = spawn_seeds(rng, trials)
+    catch = tuple(failure_types) if allow_failures else ()
+    effective_workers = min(workers, trials) if trials else 1
+
+    if effective_workers <= 1 or not _parallel_available():
+        results, indices, failures = _execute_span(trial_fn, catch, 0, seeds)
+        used = 1
+    else:
+        if chunk_size is None:
+            chunk_size = max(1, math.ceil(trials / (effective_workers * 4)))
+        spans = [
+            (start, seeds[start : start + chunk_size])
+            for start in range(0, trials, chunk_size)
+        ]
+        global _WORKER_FN, _WORKER_CATCH
+        # The state must stay set for the pool's whole lifetime (a worker that
+        # dies abnormally is replaced by a fresh fork, which must inherit it),
+        # so concurrent run_batch calls from other threads serialise here.
+        with _WORKER_STATE_LOCK:
+            _WORKER_FN, _WORKER_CATCH = trial_fn, catch
+            try:
+                context = mp.get_context("fork")
+                with context.Pool(processes=effective_workers) as pool:
+                    chunk_outputs = pool.map(_pool_entry, spans)
+            finally:
+                _WORKER_FN, _WORKER_CATCH = None, ()
+        results, indices, failures = [], [], []
+        for span_results, span_indices, span_failures in chunk_outputs:
+            results.extend(span_results)
+            indices.extend(span_indices)
+            failures.extend(span_failures)
+        used = effective_workers
+
+    return BatchResult(
+        results=tuple(results),
+        indices=tuple(indices),
+        failures=tuple(failures),
+        trials=trials,
+        workers=used,
+    )

@@ -35,6 +35,7 @@ __all__ = [
     "inverse_sensitivity_quantile",
     "finite_domain_quantile",
     "rank_clamp_width",
+    "clamped_rank",
 ]
 
 
@@ -74,6 +75,65 @@ def _path_length(count_below: int, count_above: int, n: int, tau: int) -> int:
     return max(0, deficit_low, deficit_high)
 
 
+def _quantile_interval_arrays(
+    sorted_values: Sequence[int],
+    tau: int,
+    domain_low: int,
+    domain_high: int,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorised core of :func:`build_quantile_intervals`.
+
+    Returns the ``(lows, highs, scores)`` arrays of the constant-score runs
+    tiling ``[domain_low, domain_high]`` without materialising per-interval
+    Python objects — this is the per-trial hot path of every quantile call.
+    """
+    if domain_high < domain_low:
+        raise DomainError(
+            f"empty candidate domain: [{domain_low}, {domain_high}]"
+        )
+    values = np.sort(np.asarray(sorted_values, dtype=np.int64))
+    n = int(values.size)
+    if n and (int(values[0]) < domain_low or int(values[-1]) > domain_high):
+        raise DomainError(
+            f"data values [{int(values[0])}, {int(values[-1])}] lie outside the "
+            f"candidate domain [{domain_low}, {domain_high}]"
+        )
+    unique = np.unique(values)
+
+    # Candidate segments: for each distinct data value v, the gap of integers
+    # strictly before it and the singleton {v}; finally the gap after the last
+    # value.  The gap before unique[i] starts one past unique[i-1] (or at
+    # domain_low for the first), so lows/highs interleave as
+    # [gap_0, {v_0}, gap_1, {v_1}, ...] with empty gaps masked out.
+    if unique.size:
+        k = int(unique.size)
+        gap_lows = np.empty(k, dtype=np.int64)
+        gap_lows[0] = domain_low
+        gap_lows[1:] = unique[:-1] + 1
+        lows = np.empty(2 * k, dtype=np.int64)
+        highs = np.empty(2 * k, dtype=np.int64)
+        lows[0::2] = gap_lows
+        highs[0::2] = unique - 1
+        lows[1::2] = unique
+        highs[1::2] = unique
+        keep = lows <= highs
+        lows = lows[keep]
+        highs = highs[keep]
+        if int(unique[-1]) < domain_high:
+            lows = np.append(lows, unique[-1] + 1)
+            highs = np.append(highs, np.int64(domain_high))
+    else:
+        lows = np.asarray([domain_low], dtype=np.int64)
+        highs = np.asarray([domain_high], dtype=np.int64)
+
+    counts_below = np.searchsorted(values, lows, side="left")
+    counts_above = n - np.searchsorted(values, highs, side="right")
+    scores = np.maximum(
+        0, np.maximum(counts_below - (tau - 1), tau - (n - counts_above))
+    )
+    return lows, highs, scores
+
+
 def build_quantile_intervals(
     sorted_values: Sequence[int],
     tau: int,
@@ -92,48 +152,54 @@ def build_quantile_intervals(
     domain_low, domain_high:
         Inclusive integer bounds of the output domain.
     """
-    if domain_high < domain_low:
-        raise DomainError(
-            f"empty candidate domain: [{domain_low}, {domain_high}]"
-        )
-    values = np.sort(np.asarray(sorted_values, dtype=np.int64))
-    n = int(values.size)
-    if n and (int(values[0]) < domain_low or int(values[-1]) > domain_high):
-        raise DomainError(
-            f"data values [{int(values[0])}, {int(values[-1])}] lie outside the "
-            f"candidate domain [{domain_low}, {domain_high}]"
-        )
-    unique = np.unique(values)
-
-    # Candidate segments: for each distinct data value v, the gap of integers
-    # strictly before it and the singleton {v}; finally the gap after the last
-    # value.  All boundary ranks are obtained with two vectorised searches.
-    segment_lows: list[int] = []
-    segment_highs: list[int] = []
-    cursor = int(domain_low)
-    for v in unique.tolist():
-        if cursor <= v - 1:
-            segment_lows.append(cursor)
-            segment_highs.append(v - 1)
-        segment_lows.append(v)
-        segment_highs.append(v)
-        cursor = v + 1
-    if cursor <= domain_high:
-        segment_lows.append(cursor)
-        segment_highs.append(int(domain_high))
-
-    lows = np.asarray(segment_lows, dtype=np.int64)
-    highs = np.asarray(segment_highs, dtype=np.int64)
-    counts_below = np.searchsorted(values, lows, side="left")
-    counts_above = n - np.searchsorted(values, highs, side="right")
-    scores = np.maximum(
-        0, np.maximum(counts_below - (tau - 1), tau - (n - counts_above))
+    lows, highs, scores = _quantile_interval_arrays(
+        sorted_values, tau, domain_low, domain_high
     )
-
     return [
         QuantileInterval(low=int(lo), high=int(hi), score=int(sc))
-        for lo, hi, sc in zip(segment_lows, segment_highs, scores.tolist())
+        for lo, hi, sc in zip(lows.tolist(), highs.tolist(), scores.tolist())
     ]
+
+
+def _sample_over_interval_arrays(
+    lows: np.ndarray,
+    highs: np.ndarray,
+    scores: np.ndarray,
+    epsilon: float,
+    generator: np.random.Generator,
+) -> int:
+    """Two-stage exponential-mechanism sampling over ``(lows, highs, scores)`` runs.
+
+    The interval is picked by cumulative-sum inversion
+    (``searchsorted(cumsum(weights), u * total)``) rather than
+    ``Generator.choice(p=...)``: ``choice`` renormalises and *validates* the
+    probability vector, raising ``ValueError: probabilities do not sum to 1``
+    whenever float rounding across many intervals leaves the sum off by more
+    than its tolerance.  Inversion needs no normalisation at all, so it cannot
+    flake at large interval counts.
+    """
+    sizes = highs - lows + 1
+    if np.any(sizes < 1):
+        bad = int(np.argmax(sizes < 1))
+        raise DomainError(
+            f"malformed interval [{int(lows[bad])}, {int(highs[bad])}]: high < low"
+        )
+    log_weights = np.log(sizes.astype(float)) - 0.5 * epsilon * scores
+    log_weights -= log_weights.max()
+    weights = np.exp(log_weights)
+    cumulative = np.cumsum(weights)
+    total = float(cumulative[-1])
+    draw = generator.random() * total
+    index = int(np.searchsorted(cumulative, draw, side="right"))
+    index = min(index, int(lows.size) - 1)
+
+    low = int(lows[index])
+    size = int(sizes[index])
+    if size == 1:
+        return low
+    # The run length fits comfortably in a Python int; sample uniformly in it.
+    offset = int(generator.integers(0, size))
+    return low + offset
 
 
 def exponential_mechanism_over_intervals(
@@ -145,29 +211,21 @@ def exponential_mechanism_over_intervals(
 
     This is the exponential mechanism with utility ``-score`` (sensitivity 1)
     over the union of the intervals, using the standard two-stage sampling:
-    first pick an interval by its total weight, then a uniform integer inside
-    it.  Weights are handled in log-space so that very long intervals and very
-    large scores cannot overflow or underflow.
+    first pick an interval by its total weight (via cumulative-sum inversion,
+    which is immune to the float-rounding validation failures of
+    ``Generator.choice``), then a uniform integer inside it.  Weights are
+    handled in log-space so that very long intervals and very large scores
+    cannot overflow or underflow.
     """
     if not intervals:
         raise DomainError("cannot run the exponential mechanism over zero intervals")
     epsilon = validate_epsilon(epsilon)
     generator = resolve_rng(rng)
 
-    log_weights = np.array(
-        [math.log(iv.size) - 0.5 * epsilon * iv.score for iv in intervals],
-        dtype=float,
-    )
-    log_weights -= log_weights.max()
-    weights = np.exp(log_weights)
-    probabilities = weights / weights.sum()
-    index = int(generator.choice(len(intervals), p=probabilities))
-    chosen = intervals[index]
-    if chosen.size == 1:
-        return chosen.low
-    # The run length fits comfortably in a Python int; sample uniformly in it.
-    offset = int(generator.integers(0, chosen.size))
-    return chosen.low + offset
+    lows = np.asarray([iv.low for iv in intervals], dtype=np.int64)
+    highs = np.asarray([iv.high for iv in intervals], dtype=np.int64)
+    scores = np.asarray([iv.score for iv in intervals], dtype=np.int64)
+    return _sample_over_interval_arrays(lows, highs, scores, epsilon, generator)
 
 
 def rank_clamp_width(domain_size: int, epsilon: float, beta: float) -> float:
@@ -180,6 +238,32 @@ def rank_clamp_width(domain_size: int, epsilon: float, beta: float) -> float:
     # large integer domains (the radius can be a huge power of two) never
     # overflow an intermediate float division.
     return (2.0 / epsilon) * (math.log(domain_size) - math.log(beta))
+
+
+def clamped_rank(tau: int, n: int, clamp: float) -> int:
+    """Clamp the requested rank ``tau`` into ``[clamp, n - clamp]`` symmetrically.
+
+    Algorithm 2 keeps the target rank at least ``clamp`` away from both
+    extremes because INV can behave arbitrarily badly there.  When the clamp
+    window ``[clamp, n - clamp]`` is empty (``2 * clamp > n``, i.e. the
+    dataset is too small relative to the domain for *any* rank to be safe),
+    every requested rank collapses to the median rank — the unique
+    branch-order-independent choice equidistant from both unsafe extremes.
+    (At exactly ``2 * clamp == n`` the window is the single point ``n / 2``,
+    which the ordinary clamp branches already produce.)  The historical
+    implementation applied the low clamp first and never re-checked the high
+    one, so in the empty-window case the result silently depended on branch
+    order (all ranks landed at ``n``).
+    """
+    if 2.0 * clamp > n:
+        target = (n + 1) / 2.0
+    elif tau <= clamp:
+        target = clamp
+    elif tau >= n - clamp:
+        target = n - clamp
+    else:
+        target = float(tau)
+    return int(min(max(round(target), 1), n))
 
 
 def inverse_sensitivity_quantile(
@@ -195,8 +279,12 @@ def inverse_sensitivity_quantile(
     This is the raw mechanism without Algorithm 2's rank clamping; callers
     that need the Lemma 2.8 guarantee should use :func:`finite_domain_quantile`.
     """
-    intervals = build_quantile_intervals(sorted_values, tau, domain_low, domain_high)
-    return exponential_mechanism_over_intervals(intervals, epsilon, rng)
+    epsilon = validate_epsilon(epsilon)
+    generator = resolve_rng(rng)
+    lows, highs, scores = _quantile_interval_arrays(
+        sorted_values, tau, domain_low, domain_high
+    )
+    return _sample_over_interval_arrays(lows, highs, scores, epsilon, generator)
 
 
 def finite_domain_quantile(
@@ -244,12 +332,7 @@ def finite_domain_quantile(
 
     domain_size = int(domain_high) - int(domain_low) + 1
     clamp = rank_clamp_width(domain_size, epsilon, beta)
-    tau_prime = float(tau)
-    if tau_prime <= clamp:
-        tau_prime = clamp
-    elif tau_prime >= n - clamp:
-        tau_prime = n - clamp
-    tau_prime = int(min(max(round(tau_prime), 1), n))
+    tau_prime = clamped_rank(tau, int(n), clamp)
 
     if ledger is not None:
         ledger.charge(label, epsilon)

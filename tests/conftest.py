@@ -18,6 +18,12 @@ if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: long-running tests (engine speedup demonstrations)"
+    )
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     """A deterministic generator; per-test reseeding keeps trials independent."""

@@ -67,6 +67,123 @@ class TestRunTrials:
             run_trials(failing, lambda g: np.zeros(1), 0.0, 3, rng, allow_failures=True)
 
 
+class TestEngineIntegration:
+    """run_trials riding on repro.engine: determinism and failure isolation."""
+
+    @staticmethod
+    def _dp_estimator(data, gen):
+        return float(np.mean(data) + gen.laplace(0.0, 0.1))
+
+    def test_worker_count_does_not_change_estimates(self):
+        dist = Gaussian(2.0, 1.0)
+        serial = run_statistical_trials(
+            self._dp_estimator, dist, "mean", 500, 12, 123, workers=1
+        )
+        parallel = run_statistical_trials(
+            self._dp_estimator, dist, "mean", 500, 12, 123, workers=4
+        )
+        np.testing.assert_array_equal(serial.estimates, parallel.estimates)
+
+    def test_trial_k_invariant_to_earlier_failure(self):
+        """Regression for the spawn_rngs promise: a failed trial k-1 must not
+        shift the randomness (and hence the estimate) of trial k."""
+        state = {"fail_first": False}
+
+        def estimator(data, gen):
+            if state["fail_first"]:
+                state["fail_first"] = False
+                raise MechanismError("boom")
+            return float(gen.normal())
+
+        clean = run_trials(
+            estimator, lambda g: np.zeros(1), 0.0, 5, 99, allow_failures=True
+        )
+        state["fail_first"] = True
+        with_failure = run_trials(
+            estimator, lambda g: np.zeros(1), 0.0, 5, 99, allow_failures=True
+        )
+        assert with_failure.failures == 1
+        assert with_failure.failure_records[0].index == 0
+        np.testing.assert_array_equal(with_failure.estimates, clean.estimates[1:])
+
+    def test_failure_records_are_structured(self):
+        def failing_on_first_two(data, gen):
+            raise MechanismError("ptr failed")
+
+        calls = {"count": 0}
+
+        def estimator(data, gen):
+            calls["count"] += 1
+            if calls["count"] <= 2:
+                return failing_on_first_two(data, gen)
+            return 1.0
+
+        result = run_trials(
+            estimator, lambda g: np.zeros(1), 1.0, 5, 7, allow_failures=True
+        )
+        assert result.failures == 2
+        assert [record.index for record in result.failure_records] == [0, 1]
+        assert result.failure_records[0].error == "MechanismError"
+        assert result.failure_records[0].message == "ptr failed"
+
+    def test_shared_policy_reproduces_legacy_stream(self):
+        """rng_policy='shared' must match the historical one-stream loop bit-for-bit."""
+
+        def estimator(data, gen):
+            return float(np.mean(data) + gen.normal())
+
+        def data_generator(gen):
+            return gen.normal(size=16)
+
+        # Reference: the pre-engine implementation, one shared stream.
+        legacy_gen = np.random.default_rng(20230401)
+        legacy = [
+            float(estimator(data_generator(legacy_gen), legacy_gen)) for _ in range(6)
+        ]
+
+        result = run_trials(
+            estimator, data_generator, 0.0, 6, 20230401, rng_policy="shared"
+        )
+        np.testing.assert_array_equal(result.estimates, np.asarray(legacy))
+
+    def test_data_generator_failures_propagate_even_when_allowed(self):
+        """allow_failures guards the estimator only: a MechanismError from the
+        data generator must propagate under both policies and any workers."""
+
+        def failing_generator(gen):
+            raise MechanismError("data source failed")
+
+        for kwargs in ({"workers": 1}, {"workers": 2}, {"rng_policy": "shared"}):
+            with pytest.raises(MechanismError, match="data source failed"):
+                run_trials(
+                    lambda d, g: 0.0,
+                    failing_generator,
+                    0.0,
+                    3,
+                    0,
+                    allow_failures=True,
+                    **kwargs,
+                )
+
+    def test_shared_policy_rejects_parallel(self):
+        with pytest.raises(DomainError):
+            run_trials(
+                lambda d, g: 0.0,
+                lambda g: np.zeros(1),
+                0.0,
+                3,
+                0,
+                workers=2,
+                rng_policy="shared",
+            )
+
+    def test_unknown_rng_policy_rejected(self):
+        with pytest.raises(DomainError):
+            run_trials(
+                lambda d, g: 0.0, lambda g: np.zeros(1), 0.0, 3, 0, rng_policy="global"
+            )
+
+
 class TestRunStatisticalTrials:
     def test_sample_mean_recovers_distribution_mean(self, rng):
         dist = Gaussian(4.0, 1.0)

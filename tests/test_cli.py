@@ -122,3 +122,100 @@ class TestMain:
     def test_error_exit_code_on_missing_file(self, tmp_path, capsys):
         code = main(["mean", str(tmp_path / "missing.csv"), "--column", "x"])
         assert code == 2
+
+
+class TestTrialMode:
+    def test_trials_report_spread(self, salary_csv, capsys):
+        code = main(
+            ["mean", str(salary_csv), "--column", "salary", "--seed", "1",
+             "--epsilon", "1.0", "--trials", "8"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "dp_mean_median=" in out
+        assert "trials=8" in out
+        assert "failures=0" in out
+        median = float(out.split("dp_mean_median=")[1].splitlines()[0])
+        q10 = float(out.split("dp_mean_q10=")[1].splitlines()[0])
+        q90 = float(out.split("dp_mean_q90=")[1].splitlines()[0])
+        assert q10 <= median <= q90
+        truth = float(np.mean(load_column(salary_csv, "salary")))
+        assert median == pytest.approx(truth, rel=0.1)
+        per_trial = float(out.split("epsilon_per_trial=")[1].splitlines()[0])
+        total = float(out.split("epsilon_total_spent=")[1].splitlines()[0])
+        assert total == pytest.approx(8 * per_trial)
+
+    def test_trials_show_ledger(self, salary_csv, capsys):
+        code = main(
+            ["mean", str(salary_csv), "--column", "salary", "--seed", "1",
+             "--trials", "3", "--show-ledger"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "per-trial ledger" in out
+
+    def test_trials_worker_count_invariant(self, salary_csv, capsys):
+        args = ["mean", str(salary_csv), "--column", "salary", "--seed", "2",
+                "--epsilon", "1.0", "--trials", "6"]
+        assert main(args + ["--workers", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(args + ["--workers", "2"]) == 0
+        parallel = capsys.readouterr().out
+        # Identical estimates -> identical printed spread, bar the workers line.
+        strip = lambda text: [l for l in text.splitlines() if not l.startswith("workers=")]  # noqa: E731
+        assert strip(serial) == strip(parallel)
+
+    def test_trials_partial_failure_accounting(self, salary_csv, capsys, monkeypatch):
+        """Failed trials' partial budget spend must still be counted."""
+        from repro import cli
+        from repro.exceptions import MechanismError
+
+        calls = {"n": 0}
+
+        def flaky(data, epsilon, beta, gen, ledger):
+            ledger.charge("probe_first_half", epsilon / 2)
+            calls["n"] += 1
+            if calls["n"] % 2 == 0:
+                raise MechanismError("ptr rejected")
+            ledger.charge("probe_second_half", epsilon / 2)
+            return float(np.mean(data))
+
+        monkeypatch.setitem(cli._SCALAR_ESTIMATORS, "mean", flaky)
+        code = main(
+            ["mean", str(salary_csv), "--column", "salary", "--trials", "4",
+             "--epsilon", "1.0", "--seed", "1"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "failures=2" in out
+        total = float(out.split("epsilon_total_spent=")[1].splitlines()[0])
+        # 2 successes at full epsilon + 2 failures that spent half before aborting.
+        assert total == pytest.approx(2 * 1.0 + 2 * 0.5)
+
+    def test_trials_all_failing_exits_with_error(self, salary_csv, capsys, monkeypatch):
+        from repro import cli
+        from repro.exceptions import MechanismError
+
+        def always_failing(data, epsilon, beta, gen, ledger):
+            raise MechanismError("ptr rejected")
+
+        monkeypatch.setitem(cli._SCALAR_ESTIMATORS, "mean", always_failing)
+        code = main(["mean", str(salary_csv), "--column", "salary", "--trials", "3"])
+        assert code == 2
+        assert "all 3 trials failed" in capsys.readouterr().err
+
+    def test_trials_rejected_for_quantiles(self, salary_csv, capsys):
+        code = main(
+            ["quantiles", str(salary_csv), "--column", "salary", "--trials", "3"]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_invalid_trials_rejected(self, salary_csv, capsys):
+        code = main(["mean", str(salary_csv), "--column", "salary", "--trials", "0"])
+        assert code == 2
+
+    def test_invalid_workers_rejected_even_for_single_trial(self, salary_csv, capsys):
+        code = main(["mean", str(salary_csv), "--column", "salary", "--workers", "0"])
+        assert code == 2
+        assert "--workers must be at least 1" in capsys.readouterr().err

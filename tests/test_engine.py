@@ -1,0 +1,166 @@
+"""Tests for the deterministic batched trial engine (``repro.engine``)."""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.engine import BatchResult, TrialFailure, run_batch
+from repro.exceptions import DomainError, MechanismError
+
+
+def _noisy_trial(index, generator):
+    return float(generator.normal()) + 1000.0 * index
+
+
+class TestRunBatchSerial:
+    def test_results_ordered_by_trial_index(self):
+        batch = run_batch(_noisy_trial, 8, rng=0)
+        assert batch.indices == tuple(range(8))
+        assert batch.trials == 8
+        assert batch.workers == 1
+        rounded = [round(value, -3) for value in batch.results]
+        assert rounded == [1000.0 * i for i in range(8)]
+
+    def test_same_seed_reproduces_results(self):
+        a = run_batch(_noisy_trial, 6, rng=42)
+        b = run_batch(_noisy_trial, 6, rng=42)
+        assert a.results == b.results
+
+    def test_zero_trials_allowed(self):
+        batch = run_batch(_noisy_trial, 0, rng=0)
+        assert batch.results == ()
+        assert batch.failures == ()
+        assert batch.trials == 0
+
+    def test_negative_trials_rejected(self):
+        with pytest.raises(DomainError):
+            run_batch(_noisy_trial, -1, rng=0)
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(DomainError):
+            run_batch(_noisy_trial, 3, rng=0, workers=0)
+
+    def test_invalid_chunk_size_rejected(self):
+        with pytest.raises(DomainError):
+            run_batch(_noisy_trial, 3, rng=0, workers=2, chunk_size=0)
+
+    def test_estimates_array(self):
+        batch = run_batch(lambda i, g: float(i), 4, rng=0)
+        np.testing.assert_array_equal(batch.estimates(), [0.0, 1.0, 2.0, 3.0])
+
+
+class TestFailureCapture:
+    @staticmethod
+    def _failing_on_even(index, generator):
+        if index % 2 == 0:
+            raise MechanismError(f"boom at {index}")
+        return float(generator.normal())
+
+    def test_failures_propagate_by_default(self):
+        with pytest.raises(MechanismError):
+            run_batch(self._failing_on_even, 4, rng=0)
+
+    def test_structured_failure_records(self):
+        batch = run_batch(self._failing_on_even, 6, rng=0, allow_failures=True)
+        assert batch.n_failures == 3
+        assert [failure.index for failure in batch.failures] == [0, 2, 4]
+        assert all(failure.error == "MechanismError" for failure in batch.failures)
+        assert batch.failures[1].message == "boom at 2"
+        assert batch.indices == (1, 3, 5)
+
+    def test_non_failure_exceptions_always_propagate(self):
+        def exploding(index, generator):
+            raise ValueError("not a mechanism failure")
+
+        with pytest.raises(ValueError):
+            run_batch(exploding, 3, rng=0, allow_failures=True)
+
+    def test_failed_trial_does_not_shift_later_streams(self):
+        """The engine-level guarantee behind spawn_rngs' docstring promise."""
+        clean = run_batch(_noisy_trial, 5, rng=7)
+
+        def failing_first(index, generator):
+            if index == 0:
+                raise MechanismError("boom")
+            return _noisy_trial(index, generator)
+
+        partial = run_batch(failing_first, 5, rng=7, allow_failures=True)
+        assert partial.indices == (1, 2, 3, 4)
+        assert partial.results == clean.results[1:]
+
+
+class TestRunBatchParallel:
+    def test_parallel_matches_serial_bitwise(self):
+        serial = run_batch(_noisy_trial, 20, rng=11, workers=1)
+        parallel = run_batch(_noisy_trial, 20, rng=11, workers=4)
+        assert serial.results == parallel.results
+        assert serial.indices == parallel.indices
+
+    def test_chunk_size_does_not_change_results(self):
+        reference = run_batch(_noisy_trial, 13, rng=3, workers=1)
+        for chunk_size in (1, 2, 5, 13, 50):
+            batch = run_batch(_noisy_trial, 13, rng=3, workers=2, chunk_size=chunk_size)
+            assert batch.results == reference.results
+
+    def test_parallel_failure_capture_matches_serial(self):
+        def flaky(index, generator):
+            if index in (2, 9):
+                raise MechanismError(f"boom {index}")
+            return float(generator.normal())
+
+        serial = run_batch(flaky, 12, rng=5, workers=1, allow_failures=True)
+        parallel = run_batch(flaky, 12, rng=5, workers=3, allow_failures=True)
+        assert parallel.results == serial.results
+        assert parallel.failures == serial.failures
+
+    def test_parallel_failures_propagate_by_default(self):
+        def failing(index, generator):
+            raise MechanismError("boom")
+
+        with pytest.raises(MechanismError):
+            run_batch(failing, 4, rng=0, workers=2)
+
+    def test_workers_overlap_blocking_trials(self):
+        """Workers genuinely run concurrently (holds even on one core)."""
+
+        def sleeping(index, generator):
+            time.sleep(0.15)
+            return float(index)
+
+        start = time.perf_counter()
+        batch = run_batch(sleeping, 8, rng=0, workers=4, chunk_size=2)
+        elapsed = time.perf_counter() - start
+        assert batch.results == tuple(float(i) for i in range(8))
+        # Serial execution would sleep 8 * 0.15 = 1.2s; four overlapping
+        # workers need ~0.3s.  The generous margin absorbs slow fork/pool
+        # startup on loaded CI hosts while still ruling out serial execution.
+        assert elapsed < 0.9
+
+
+@pytest.mark.slow
+@pytest.mark.skipif((os.cpu_count() or 1) < 4, reason="needs >= 4 cores for a 2x speedup")
+def test_gaussian_mean_workload_speedup():
+    """Acceptance: 500-trial Gaussian-mean workload >= 2x faster with 4 workers."""
+    from repro.analysis import run_statistical_trials
+    from repro.core import estimate_mean
+    from repro.distributions import Gaussian
+
+    def universal(data, gen):
+        return estimate_mean(data, 0.5, 0.1, gen).mean
+
+    dist = Gaussian(5.0, 1.0)
+
+    start = time.perf_counter()
+    serial = run_statistical_trials(universal, dist, "mean", 4_000, 500, 1, workers=1)
+    serial_time = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = run_statistical_trials(universal, dist, "mean", 4_000, 500, 1, workers=4)
+    parallel_time = time.perf_counter() - start
+
+    np.testing.assert_array_equal(serial.estimates, parallel.estimates)
+    assert serial_time / parallel_time >= 2.0

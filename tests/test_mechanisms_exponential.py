@@ -11,6 +11,7 @@ from repro.exceptions import DomainError, InsufficientDataError
 from repro.mechanisms.exponential import (
     QuantileInterval,
     build_quantile_intervals,
+    clamped_rank,
     exponential_mechanism_over_intervals,
     finite_domain_quantile,
     inverse_sensitivity_quantile,
@@ -112,6 +113,47 @@ class TestExponentialMechanism:
         with pytest.raises(DomainError):
             exponential_mechanism_over_intervals([], 1.0, rng)
 
+    def test_malformed_interval_rejected_loudly(self, rng):
+        """A high < low interval must fail fast, not poison the cumsum."""
+        intervals = [
+            QuantileInterval(low=5, high=3, score=0),
+            QuantileInterval(low=0, high=3, score=0),
+        ]
+        with pytest.raises(DomainError, match="malformed interval"):
+            exponential_mechanism_over_intervals(intervals, 1.0, rng)
+
+    def test_many_intervals_never_raise_on_normalisation(self):
+        """Regression: Generator.choice(p=...) raised ``probabilities do not
+        sum to 1`` when float rounding across many intervals left the sum off
+        by more than its tolerance; cumulative-sum inversion cannot."""
+        intervals = [
+            QuantileInterval(low=i, high=i, score=(i * 7919) % 97)
+            for i in range(20_000)
+        ]
+        for seed in range(5):
+            value = exponential_mechanism_over_intervals(
+                intervals, 0.31, np.random.default_rng(seed)
+            )
+            assert 0 <= value < 20_000
+
+    def test_inversion_sampler_matches_exponential_weights(self):
+        """The cumulative-sum sampler still realises the exponential-mechanism
+        distribution: mass ratio between two intervals ~ exp(eps * dscore / 2)
+        scaled by interval size."""
+        intervals = [
+            QuantileInterval(low=0, high=3, score=0),   # weight 4
+            QuantileInterval(low=4, high=4, score=2),   # weight exp(-1)
+        ]
+        generator = np.random.default_rng(20230401)
+        draws = np.asarray(
+            [
+                exponential_mechanism_over_intervals(intervals, 1.0, generator)
+                for _ in range(4000)
+            ]
+        )
+        expected_share = 4.0 / (4.0 + np.exp(-1.0))
+        assert np.mean(draws <= 3) == pytest.approx(expected_share, abs=0.03)
+
 
 class TestRankClampWidth:
     def test_decreases_with_epsilon(self):
@@ -126,6 +168,47 @@ class TestRankClampWidth:
     def test_invalid_domain_rejected(self):
         with pytest.raises(DomainError):
             rank_clamp_width(0, 1.0, 0.1)
+
+
+class TestClampedRank:
+    def test_interior_rank_untouched(self):
+        assert clamped_rank(50, 100, 10.0) == 50
+
+    def test_low_rank_clamped_up(self):
+        assert clamped_rank(1, 100, 10.0) == 10
+
+    def test_high_rank_clamped_down(self):
+        assert clamped_rank(100, 100, 10.0) == 90
+
+    def test_empty_window_collapses_to_median(self):
+        """Regression: with 2*clamp > n the old elif chain let the low clamp
+        land above n - clamp, so *every* rank silently collapsed to n.  The
+        empty window now collapses to the median rank instead."""
+        n, clamp = 5, 10.0
+        assert 2 * clamp > n
+        assert clamped_rank(1, n, clamp) == 3
+        assert clamped_rank(n, n, clamp) == 3
+
+    def test_exactly_full_window_uses_ordinary_clamps(self):
+        """At 2*clamp == n the window is the single safe point n/2; every
+        rank must land there (not at the median of n+1)."""
+        n, clamp = 10, 5.0
+        for tau in (1, 5, 6, 10):
+            assert clamped_rank(tau, n, clamp) == 5
+
+    def test_empty_window_is_branch_order_independent(self):
+        for n in (1, 2, 3, 4, 7, 10):
+            clamp = n / 2.0 + 0.5
+            ranks = {clamped_rank(tau, n, clamp) for tau in range(1, n + 1)}
+            assert len(ranks) == 1, "all ranks must agree when no rank is safe"
+            (rank,) = ranks
+            assert rank == int(min(max(round((n + 1) / 2.0), 1), n))
+
+    def test_result_always_in_range(self):
+        for n in (1, 2, 10, 1000):
+            for clamp in (0.0, 0.4, n / 3.0, n, 10.0 * n):
+                for tau in (1, n // 2 or 1, n):
+                    assert 1 <= clamped_rank(tau, n, clamp) <= n
 
 
 class TestFiniteDomainQuantile:
