@@ -3,14 +3,15 @@
 The paper's variance estimator is the first private variance estimator for
 heavy-tailed distributions.  We measure its error on Student-t (finite 4th
 moment needed for the sampling term) and log-normal data as ``n`` grows, and
-report the theory shape alongside.
+report the theory shape alongside.  The (distribution x n) grid is one
+:func:`repro.analysis.run_statistical_grid` sweep on the session's pool.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.analysis import run_statistical_trials
+from repro.analysis import StatisticalCell, run_statistical_grid
 from repro.analysis.theory import heavy_tailed_variance_error_bound
 from repro.bench import format_table, render_experiment_header
 from repro.core import estimate_variance
@@ -19,20 +20,29 @@ from repro.distributions import LogNormal, StudentT
 EPSILON = 0.3
 TRIALS = 8
 DISTRIBUTIONS = [StudentT(df=6.0), LogNormal(0.0, 0.75)]
+SIZES = (8_000, 32_000, 128_000)
 
 
 def _universal(data, gen):
     return estimate_variance(data, EPSILON, 0.1, gen).variance
 
 
-def test_e10_heavy_tailed_variance(run_once, reporter, engine_workers):
+def test_e10_heavy_tailed_variance(run_once, reporter, engine_pool):
     def run():
+        cells = [
+            StatisticalCell(
+                _universal, dist, "variance", n, TRIALS, np.random.default_rng(n),
+                key=(dist.name, n))
+            for dist in DISTRIBUTIONS
+            for n in SIZES
+        ]
+        results = dict(zip((c.key for c in cells),
+                           run_statistical_grid(cells, pool=engine_pool)))
         rows = []
         for dist in DISTRIBUTIONS:
             mu4 = dist.central_moment(4)
-            for n in (8_000, 32_000, 128_000):
-                result = run_statistical_trials(
-                    _universal, dist, "variance", n, TRIALS, np.random.default_rng(n), workers=engine_workers)
+            for n in SIZES:
+                result = results[(dist.name, n)]
                 theory = heavy_tailed_variance_error_bound(
                     n, EPSILON, mu4, k=4, mu_k=mu4, phi=dist.phi(1.0 / 16.0)
                 )
@@ -43,11 +53,14 @@ def test_e10_heavy_tailed_variance(run_once, reporter, engine_workers):
         return rows
 
     rows = run_once(run)
-    table = format_table(
-        ["distribution", "n", "true variance", "q90 error", "relative q90 error", "theory shape"],
-        rows,
+    headers = ["distribution", "n", "true variance", "q90 error", "relative q90 error", "theory shape"]
+    table = format_table(headers, rows)
+    reporter(
+        "E10",
+        render_experiment_header("E10", "Heavy-tailed variance estimation (Thm 1.11)") + "\n" + table,
+        headers=headers,
+        rows=rows,
     )
-    reporter("E10", render_experiment_header("E10", "Heavy-tailed variance estimation (Thm 1.11)") + "\n" + table)
 
     # For each distribution the error decreases with n and the largest-n
     # relative error is under 50%.

@@ -5,13 +5,18 @@ shrinks like ``1/(eps n)`` (so quadrupling n roughly quarters it), while the
 DL09 baseline — the only prior universal scale estimator, and only
 (eps, delta)-DP — improves only like ``1/log n``.  The series reports both
 errors and the DL09 refusal rate (its PTR test can decline to answer).
+
+The (estimator x n) grid runs as one
+:func:`repro.analysis.run_statistical_grid` sweep on the session's pool; the
+DL09 cells use per-cell ``allow_failures`` so refusals become structured
+failure records without aborting the cell.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.analysis import run_statistical_trials
+from repro.analysis import StatisticalCell, run_statistical_grid
 from repro.analysis.theory import iqr_error_bound
 from repro.baselines import DworkLeiIQR, SampleIQR
 from repro.bench import format_table, render_experiment_header
@@ -21,42 +26,55 @@ from repro.distributions import Gaussian
 EPSILON = 0.3
 TRIALS = 8
 DIST = Gaussian(0.0, 1.0)
+SIZES = (2_000, 8_000, 32_000, 128_000)
 
 
 def _universal(data, gen):
     return estimate_iqr(data, EPSILON, 0.1, gen).iqr
 
 
-def test_e11_iqr_convergence(run_once, reporter, engine_workers):
+def test_e11_iqr_convergence(run_once, reporter, engine_pool):
     def run():
         theta = DIST.theta(DIST.iqr / 8.0)
-        rows = []
-        for n in (2_000, 8_000, 32_000, 128_000):
-            universal = run_statistical_trials(_universal, DIST, "iqr", n, TRIALS, np.random.default_rng(n), workers=engine_workers)
-            dl09 = run_statistical_trials(
+        cells = []
+        for n in SIZES:
+            cells.append(StatisticalCell(
+                _universal, DIST, "iqr", n, TRIALS, np.random.default_rng(n),
+                key=("universal", n)))
+            cells.append(StatisticalCell(
                 lambda d, g: DworkLeiIQR(delta=1e-6).estimate(d, EPSILON, g),
-                DIST, "iqr", n, TRIALS, np.random.default_rng(n + 1), allow_failures=True, workers=engine_workers)
-            nonprivate = run_statistical_trials(
-                lambda d, g: SampleIQR().estimate(d), DIST, "iqr", n, TRIALS, np.random.default_rng(n + 2), workers=engine_workers)
+                DIST, "iqr", n, TRIALS, np.random.default_rng(n + 1),
+                key=("dl09", n), allow_failures=True))
+            cells.append(StatisticalCell(
+                lambda d, g: SampleIQR().estimate(d), DIST, "iqr", n, TRIALS,
+                np.random.default_rng(n + 2), key=("nonprivate", n)))
+        results = dict(zip((c.key for c in cells),
+                           run_statistical_grid(cells, pool=engine_pool)))
+        rows = []
+        for n in SIZES:
+            dl09 = results[("dl09", n)]
             rows.append(
                 [
                     n,
-                    universal.summary.q90,
+                    results[("universal", n)].summary.q90,
                     dl09.summary.q90,
                     dl09.failures / TRIALS,
-                    nonprivate.summary.q90,
+                    results[("nonprivate", n)].summary.q90,
                     iqr_error_bound(n, EPSILON, DIST.iqr, theta),
                 ]
             )
         return rows
 
     rows = run_once(run)
-    table = format_table(
-        ["n", "universal q90 error", "DL09 q90 error", "DL09 refusal rate",
-         "non-private q90 error", "theory shape"],
-        rows,
+    headers = ["n", "universal q90 error", "DL09 q90 error", "DL09 refusal rate",
+               "non-private q90 error", "theory shape"]
+    table = format_table(headers, rows)
+    reporter(
+        "E11",
+        render_experiment_header("E11", "IQR error vs n: universal (pure DP) vs DL09 (approx DP)") + "\n" + table,
+        headers=headers,
+        rows=rows,
     )
-    reporter("E11", render_experiment_header("E11", "IQR error vs n: universal (pure DP) vs DL09 (approx DP)") + "\n" + table)
 
     # Universal improves substantially with n; DL09 improves far more slowly,
     # so at the largest n the universal estimator wins.

@@ -6,6 +6,13 @@ smaller m) against the noise (proportional to the range width): much larger m
 widens the range and hence the Laplace noise, while much smaller m clips too
 aggressively and adds bias.  The sweep measures the error at multiples of the
 default m on a Gaussian and a log-normal (skewed) distribution.
+
+This is the shared-memory showcase: the paired design pre-builds one dataset
+per trial (``dataset_batch(..., shared=True)``) and reuses it across every
+multiplier cell of the :func:`repro.engine.run_grid` sweep.  Each n=20k
+dataset is copied once into a ``multiprocessing.shared_memory`` segment; the
+multiplier cells close over the handles, so pool workers map the same pages
+instead of receiving a pickled copy per cell dispatch.
 """
 
 from __future__ import annotations
@@ -14,7 +21,7 @@ import numpy as np
 
 from repro.analysis import summarize_errors
 from repro.bench import dataset_batch, format_table, render_experiment_header
-from repro.engine import run_batch
+from repro.engine import GridCell, run_grid, unlink_all
 from repro.core import estimate_mean
 from repro.distributions import Gaussian, LogNormal
 
@@ -25,43 +32,63 @@ DISTRIBUTIONS = [Gaussian(0.0, 1.0), LogNormal(0.0, 1.0)]
 MULTIPLIERS = [0.1, 1.0, 10.0, 25.0]
 
 
-def test_e12_subsample_size_ablation(run_once, reporter, engine_workers):
+def test_e12_subsample_size_ablation(run_once, reporter, engine_pool):
     def run():
         default_m = int(round(EPSILON * N))
-        rows = []
+        cells = []
+        shared_batches = []
         for dist_index, dist in enumerate(DISTRIBUTIONS):
             # Pre-build one dataset per trial and share it across all
             # multipliers: a paired comparison isolates the effect of m from
-            # sampling noise.
+            # sampling noise.  shared=True places each dataset in shared
+            # memory exactly once for the whole multiplier sweep.
             datasets = dataset_batch(
                 lambda gen, d=dist: d.sample(N, gen),
                 TRIALS,
                 rng=100 + dist_index,
-                workers=engine_workers,
+                pool=engine_pool,
+                shared=True,
             )
-            truth = float(dist.mean)
+            shared_batches.append(datasets)
             for multiplier in MULTIPLIERS:
                 m = max(8, min(N, int(round(default_m * multiplier))))
                 # Seed range disjoint from the dataset_batch seeds (100, 101)
                 # above — reusing a seed would make the estimator's noise
                 # stream replay the data-generating stream.
-                batch = run_batch(
-                    lambda i, g, mm=m: estimate_mean(
-                        datasets[i], EPSILON, 0.1, g, subsample_size=mm
-                    ).mean,
-                    TRIALS,
-                    rng=1000 + dist_index * 100 + int(multiplier * 10),
-                    workers=engine_workers,
+                cells.append(
+                    GridCell(
+                        trial_fn=lambda i, g, mm=m, ds=datasets: estimate_mean(
+                            np.asarray(ds[i]), EPSILON, 0.1, g, subsample_size=mm
+                        ).mean,
+                        trials=TRIALS,
+                        rng=1000 + dist_index * 100 + int(multiplier * 10),
+                        key=(dist.name, multiplier, m),
+                    )
                 )
-                errors = np.abs(batch.estimates() - truth)
-                rows.append([dist.name, multiplier, m, summarize_errors(errors).q90])
+        try:
+            grid = run_grid(cells, pool=engine_pool)
+            rows = []
+            for dist_index, dist in enumerate(DISTRIBUTIONS):
+                truth = float(dist.mean)
+                for multiplier in MULTIPLIERS:
+                    m = max(8, min(N, int(round(default_m * multiplier))))
+                    batch = grid.by_key((dist.name, multiplier, m))
+                    errors = np.abs(batch.estimates() - truth)
+                    rows.append([dist.name, multiplier, m, summarize_errors(errors).q90])
+        finally:
+            for datasets in shared_batches:
+                unlink_all(datasets)
         return rows
 
     rows = run_once(run)
-    table = format_table(
-        ["distribution", "m / (eps n)", "subsample size m", "q90 error"], rows
+    headers = ["distribution", "m / (eps n)", "subsample size m", "q90 error"]
+    table = format_table(headers, rows)
+    reporter(
+        "E12",
+        render_experiment_header("E12", "Ablation: sub-sample size for the clipping range (Thm 4.5)") + "\n" + table,
+        headers=headers,
+        rows=rows,
     )
-    reporter("E12", render_experiment_header("E12", "Ablation: sub-sample size for the clipping range (Thm 4.5)") + "\n" + table)
 
     # The paper's default (multiplier 1.0) should never be much worse than the
     # best multiplier for either distribution.

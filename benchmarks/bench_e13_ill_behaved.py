@@ -8,16 +8,23 @@ reports the mean-estimation error and the bucket size actually chosen.  The
 paper predicts only a doubly-logarithmic effect — the error should stay
 essentially flat — and this is also the ablation for the "bucket size from the
 IQR lower bound vs oracle sigma" design choice.
+
+The (spike width x variant) grid is one
+:func:`repro.analysis.run_statistical_grid` sweep on the session's pool.  The
+universal cells return ``(estimate, bucket)`` pairs through a run_grid cell
+directly so the chosen bucket sizes survive the fan-out (mutating a list from
+inside a trial would be lost in a worker process).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.analysis import run_statistical_trials
+from repro.analysis import StatisticalCell, run_statistical_grid, summarize_errors
 from repro.bench import format_table, render_experiment_header
 from repro.core import estimate_mean
 from repro.distributions import SpikeMixture
+from repro.engine import GridCell, run_grid
 
 EPSILON = 0.3
 N = 20_000
@@ -25,37 +32,63 @@ TRIALS = 8
 SPIKE_WIDTHS = [1e-1, 1e-3, 1e-5, 1e-7]
 
 
-def test_e13_ill_behaved_spike(run_once, reporter, engine_workers):
+def _universal_cell(width: float, dist) -> GridCell:
+    def trial(index, gen):
+        data = dist.sample(N, gen)
+        result = estimate_mean(data, EPSILON, 0.1, gen)
+        return result.mean, result.iqr_lower_bound.value
+
+    return GridCell(
+        trial_fn=trial,
+        trials=TRIALS,
+        rng=int(-np.log10(width)),
+        key=("universal", width),
+    )
+
+
+def test_e13_ill_behaved_spike(run_once, reporter, engine_pool):
     def run():
+        dists = {width: SpikeMixture(bulk_sigma=1.0, spike_width=width, spike_mass=0.15)
+                 for width in SPIKE_WIDTHS}
+        universal_grid = run_grid(
+            [_universal_cell(width, dists[width]) for width in SPIKE_WIDTHS],
+            pool=engine_pool,
+        )
+        oracle_cells = [
+            StatisticalCell(
+                lambda d, g, dist=dists[width]: estimate_mean(
+                    d, EPSILON, 0.1, g, bucket_size=dist.std / N
+                ).mean,
+                dists[width], "mean", N, TRIALS, np.random.default_rng(77),
+                key=("oracle", width))
+            for width in SPIKE_WIDTHS
+        ]
+        oracle = dict(zip((c.key for c in oracle_cells),
+                          run_statistical_grid(oracle_cells, pool=engine_pool)))
         rows = []
         for width in SPIKE_WIDTHS:
-            dist = SpikeMixture(bulk_sigma=1.0, spike_width=width, spike_mass=0.15)
-            buckets = []
-
-            def universal(data, gen):
-                result = estimate_mean(data, EPSILON, 0.1, gen)
-                buckets.append(result.iqr_lower_bound.value)
-                return result.mean
-
-            trial = run_statistical_trials(
-                universal, dist, "mean", N, TRIALS, np.random.default_rng(int(-np.log10(width))), workers=engine_workers)
-
-            oracle = run_statistical_trials(
-                lambda d, g: estimate_mean(d, EPSILON, 0.1, g, bucket_size=dist.std / N).mean,
-                dist, "mean", N, TRIALS, np.random.default_rng(77), workers=engine_workers)
+            dist = dists[width]
+            batch = universal_grid.by_key(("universal", width))
+            estimates = np.asarray([estimate for estimate, _ in batch.results])
+            buckets = [bucket for _, bucket in batch.results]
+            errors = np.abs(estimates - dist.mean)
             rows.append(
                 [width, dist.phi(1.0 / 16.0), float(np.median(buckets)),
-                 trial.summary.q90, oracle.summary.q90]
+                 summarize_errors(errors).q90,
+                 oracle[("oracle", width)].summary.q90]
             )
         return rows
 
     rows = run_once(run)
-    table = format_table(
-        ["spike width", "phi(1/16)", "median private bucket", "universal q90 error",
-         "oracle-bucket q90 error"],
-        rows,
+    headers = ["spike width", "phi(1/16)", "median private bucket", "universal q90 error",
+               "oracle-bucket q90 error"]
+    table = format_table(headers, rows)
+    reporter(
+        "E13",
+        render_experiment_header("E13", "Ill-behaved spike mixtures: effect of tiny phi(1/16)") + "\n" + table,
+        headers=headers,
+        rows=rows,
     )
-    reporter("E13", render_experiment_header("E13", "Ill-behaved spike mixtures: effect of tiny phi(1/16)") + "\n" + table)
 
     errors = [row[3] for row in rows]
     # Six orders of magnitude of spike narrowing should change the error by at

@@ -6,6 +6,11 @@ alpha))`` samples to reach error ``alpha``; the variance estimator needs
 measure the empirical sample complexity of the universal estimator and of the
 non-private baseline (which needs only the first, sampling term), so the gap
 between the two columns isolates the price of privacy.
+
+The searches are adaptive (each probed n depends on the previous success
+rate), so they cannot fan out as one grid — instead every probed size reuses
+the session's persistent pool (``pool=engine_pool``), which forks once for
+the entire driver.
 """
 
 from __future__ import annotations
@@ -27,28 +32,31 @@ TRIALS = 10
 MAX_N = 262_144
 
 
-def test_e14_mean_sample_complexity(run_once, reporter, engine_workers):
+def test_e14_mean_sample_complexity(run_once, reporter, engine_pool):
     def run():
         rows = []
         for alpha in (0.2, 0.1, 0.05):
             private = empirical_sample_complexity(
                 lambda d, g: estimate_mean(d, EPSILON, 0.1, g).mean,
                 DIST, "mean", alpha, trials=TRIALS, min_n=64, max_n=MAX_N,
-                rng=np.random.default_rng(int(1 / alpha)), workers=engine_workers)
+                rng=np.random.default_rng(int(1 / alpha)), pool=engine_pool)
             nonprivate = empirical_sample_complexity(
                 lambda d, g: SampleMean().estimate(d),
                 DIST, "mean", alpha, trials=TRIALS, min_n=16, max_n=MAX_N,
-                rng=np.random.default_rng(int(1 / alpha) + 1), workers=engine_workers)
+                rng=np.random.default_rng(int(1 / alpha) + 1), pool=engine_pool)
             theory = DIST.variance / alpha**2 + DIST.std / (EPSILON * alpha)
             rows.append([alpha, private.n_star, nonprivate.n_star, int(theory)])
         return rows
 
     rows = run_once(run)
-    table = format_table(
-        ["target alpha", "universal n*", "non-private n*", "theory shape sigma^2/a^2 + sigma/(eps a)"],
-        rows,
+    headers = ["target alpha", "universal n*", "non-private n*", "theory shape sigma^2/a^2 + sigma/(eps a)"]
+    table = format_table(headers, rows)
+    reporter(
+        "E14a",
+        render_experiment_header("E14a", "Gaussian mean sample complexity (Thm 1.7)") + "\n" + table,
+        headers=headers,
+        rows=rows,
     )
-    reporter("E14a", render_experiment_header("E14a", "Gaussian mean sample complexity (Thm 1.7)") + "\n" + table)
 
     # Sample complexity grows as alpha shrinks, and the private overhead over
     # the non-private complexity is bounded by a moderate factor.
@@ -58,27 +66,30 @@ def test_e14_mean_sample_complexity(run_once, reporter, engine_workers):
         assert row[1] <= 64 * max(row[2], 16)
 
 
-def test_e14_variance_sample_complexity(run_once, reporter, engine_workers):
+def test_e14_variance_sample_complexity(run_once, reporter, engine_pool):
     def run():
         rows = []
         for alpha in (0.4, 0.2):
             private = empirical_sample_complexity(
                 lambda d, g: estimate_variance(d, EPSILON, 0.1, g).variance,
                 DIST, "variance", alpha, trials=TRIALS, min_n=64, max_n=MAX_N,
-                rng=np.random.default_rng(int(10 / alpha)), workers=engine_workers)
+                rng=np.random.default_rng(int(10 / alpha)), pool=engine_pool)
             nonprivate = empirical_sample_complexity(
                 lambda d, g: SampleVariance().estimate(d),
                 DIST, "variance", alpha, trials=TRIALS, min_n=16, max_n=MAX_N,
-                rng=np.random.default_rng(int(10 / alpha) + 1), workers=engine_workers)
+                rng=np.random.default_rng(int(10 / alpha) + 1), pool=engine_pool)
             theory = DIST.variance**2 / alpha**2 + DIST.variance / (EPSILON * alpha)
             rows.append([alpha, private.n_star, nonprivate.n_star, int(theory)])
         return rows
 
     rows = run_once(run)
-    table = format_table(
-        ["target alpha", "universal n*", "non-private n*", "theory shape sigma^4/a^2 + sigma^2/(eps a)"],
-        rows,
+    headers = ["target alpha", "universal n*", "non-private n*", "theory shape sigma^4/a^2 + sigma^2/(eps a)"]
+    table = format_table(headers, rows)
+    reporter(
+        "E14b",
+        render_experiment_header("E14b", "Gaussian variance sample complexity (Thm 1.10)") + "\n" + table,
+        headers=headers,
+        rows=rows,
     )
-    reporter("E14b", render_experiment_header("E14b", "Gaussian variance sample complexity (Thm 1.10)") + "\n" + table)
     assert all(row[1] is not None for row in rows)
     assert rows[-1][1] >= rows[0][1]

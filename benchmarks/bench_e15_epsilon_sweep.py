@@ -5,13 +5,17 @@ privacy/accuracy trade-off.  The paper's rates predict the privacy component
 of the error to scale like ``1/eps`` for all three parameters, flattening out
 once the sampling error dominates ("privacy is free" in the low-privacy
 regime, the phenomenon discussed in the introduction).
+
+The (epsilon x statistic) grid — 18 cells including the non-private floors —
+is one :func:`repro.analysis.run_statistical_grid` sweep on the session's
+persistent pool.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.analysis import run_statistical_trials
+from repro.analysis import StatisticalCell, run_statistical_grid
 from repro.baselines import SampleIQR, SampleMean, SampleVariance
 from repro.bench import format_table, render_experiment_header
 from repro.core import estimate_iqr, estimate_mean, estimate_variance
@@ -23,36 +27,62 @@ DIST = Gaussian(1.0, 2.0)
 EPSILONS = [0.05, 0.1, 0.2, 0.5, 1.0]
 
 
-def test_e15_epsilon_sweep(run_once, reporter, engine_workers):
+def test_e15_epsilon_sweep(run_once, reporter, engine_pool):
     def run():
-        rows = []
+        cells = []
         for epsilon in EPSILONS:
-            mean_res = run_statistical_trials(
+            base = int(epsilon * 1000)
+            cells.append(StatisticalCell(
                 lambda d, g, e=epsilon: estimate_mean(d, e, 0.1, g).mean,
-                DIST, "mean", N, TRIALS, np.random.default_rng(int(epsilon * 1000)), workers=engine_workers)
-            var_res = run_statistical_trials(
+                DIST, "mean", N, TRIALS, np.random.default_rng(base),
+                key=("mean", epsilon)))
+            cells.append(StatisticalCell(
                 lambda d, g, e=epsilon: estimate_variance(d, e, 0.1, g).variance,
-                DIST, "variance", N, TRIALS, np.random.default_rng(int(epsilon * 1000) + 1), workers=engine_workers)
-            iqr_res = run_statistical_trials(
+                DIST, "variance", N, TRIALS, np.random.default_rng(base + 1),
+                key=("variance", epsilon)))
+            cells.append(StatisticalCell(
                 lambda d, g, e=epsilon: estimate_iqr(d, e, 0.1, g).iqr,
-                DIST, "iqr", N, TRIALS, np.random.default_rng(int(epsilon * 1000) + 2), workers=engine_workers)
-            rows.append([epsilon, mean_res.summary.q90, var_res.summary.q90, iqr_res.summary.q90])
-
+                DIST, "iqr", N, TRIALS, np.random.default_rng(base + 2),
+                key=("iqr", epsilon)))
         # Non-private floors for reference (epsilon-independent).
-        floor_mean = run_statistical_trials(
-            lambda d, g: SampleMean().estimate(d), DIST, "mean", N, TRIALS, np.random.default_rng(3), workers=engine_workers).summary.q90
-        floor_var = run_statistical_trials(
-            lambda d, g: SampleVariance().estimate(d), DIST, "variance", N, TRIALS, np.random.default_rng(4), workers=engine_workers).summary.q90
-        floor_iqr = run_statistical_trials(
-            lambda d, g: SampleIQR().estimate(d), DIST, "iqr", N, TRIALS, np.random.default_rng(5), workers=engine_workers).summary.q90
-        rows.append(["non-private floor", floor_mean, floor_var, floor_iqr])
+        cells.append(StatisticalCell(
+            lambda d, g: SampleMean().estimate(d), DIST, "mean", N, TRIALS,
+            np.random.default_rng(3), key=("mean", "floor")))
+        cells.append(StatisticalCell(
+            lambda d, g: SampleVariance().estimate(d), DIST, "variance", N, TRIALS,
+            np.random.default_rng(4), key=("variance", "floor")))
+        cells.append(StatisticalCell(
+            lambda d, g: SampleIQR().estimate(d), DIST, "iqr", N, TRIALS,
+            np.random.default_rng(5), key=("iqr", "floor")))
+
+        results = dict(zip((c.key for c in cells),
+                           run_statistical_grid(cells, pool=engine_pool)))
+        rows = [
+            [
+                epsilon,
+                results[("mean", epsilon)].summary.q90,
+                results[("variance", epsilon)].summary.q90,
+                results[("iqr", epsilon)].summary.q90,
+            ]
+            for epsilon in EPSILONS
+        ]
+        rows.append([
+            "non-private floor",
+            results[("mean", "floor")].summary.q90,
+            results[("variance", "floor")].summary.q90,
+            results[("iqr", "floor")].summary.q90,
+        ])
         return rows
 
     rows = run_once(run)
-    table = format_table(
-        ["epsilon", "mean q90 error", "variance q90 error", "IQR q90 error"], rows
+    headers = ["epsilon", "mean q90 error", "variance q90 error", "IQR q90 error"]
+    table = format_table(headers, rows)
+    reporter(
+        "E15",
+        render_experiment_header("E15", "Privacy/accuracy frontier at n=20k (all estimators)") + "\n" + table,
+        headers=headers,
+        rows=rows,
     )
-    reporter("E15", render_experiment_header("E15", "Privacy/accuracy frontier at n=20k (all estimators)") + "\n" + table)
 
     numeric = [row for row in rows if isinstance(row[0], float)]
     # Errors should not increase as epsilon grows (allowing small Monte-Carlo slack).

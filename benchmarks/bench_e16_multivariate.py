@@ -7,6 +7,9 @@ error), not the conjectured-optimal sub-linear dependence — achieving that
 under pure DP is an open problem.  This bench sweeps the dimension ``d`` at a
 fixed total budget and records the measured error growth, documenting exactly
 what the implemented extension does and does not give.
+
+Each dimension is one :func:`repro.engine.run_grid` cell (vector-valued trial
+results, stacked via ``BatchResult.estimates``) on the session's pool.
 """
 
 from __future__ import annotations
@@ -14,6 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.bench import format_table, render_experiment_header
+from repro.engine import GridCell, run_grid
 from repro.multivariate import estimate_mean_multivariate
 
 EPSILON = 1.0
@@ -22,26 +26,36 @@ TRIALS = 6
 DIMENSIONS = [1, 2, 4, 8]
 
 
-def test_e16_dimension_dependence(run_once, reporter):
+def _dimension_cell(d: int) -> GridCell:
+    def trial(index, gen):
+        data = gen.normal(0.0, 1.0, size=(N, d))
+        result = estimate_mean_multivariate(data, EPSILON, 0.1, gen)
+        return result.mean  # vector-valued trial result (length d)
+
+    return GridCell(trial_fn=trial, trials=TRIALS, rng=d, key=d)
+
+
+def test_e16_dimension_dependence(run_once, reporter, engine_pool):
     def run():
+        grid = run_grid([_dimension_cell(d) for d in DIMENSIONS], pool=engine_pool)
         rows = []
         for d in DIMENSIONS:
-            linf_errors = []
-            for seed in range(TRIALS):
-                gen = np.random.default_rng(seed)
-                data = gen.normal(0.0, 1.0, size=(N, d))
-                result = estimate_mean_multivariate(data, EPSILON, 0.1, gen)
-                linf_errors.append(float(np.max(np.abs(result.mean))))
+            estimates = grid.by_key(d).estimates()  # (TRIALS, d) stack
+            assert estimates.shape == (TRIALS, d)
+            linf_errors = np.max(np.abs(estimates), axis=1)
             median = float(np.median(linf_errors))
-            rows.append([d, EPSILON / d, median, median * np.sqrt(N) ])
+            rows.append([d, EPSILON / d, median, median * np.sqrt(N)])
         return rows
 
     rows = run_once(run)
-    table = format_table(
-        ["dimension d", "epsilon per coordinate", "median l_inf error", "error * sqrt(n)"],
-        rows,
+    headers = ["dimension d", "epsilon per coordinate", "median l_inf error", "error * sqrt(n)"]
+    table = format_table(headers, rows)
+    reporter(
+        "E16",
+        render_experiment_header("E16", "Multivariate coordinate-wise mean: d-dependence (Section 1.2)") + "\n" + table,
+        headers=headers,
+        rows=rows,
     )
-    reporter("E16", render_experiment_header("E16", "Multivariate coordinate-wise mean: d-dependence (Section 1.2)") + "\n" + table)
 
     errors = [row[2] for row in rows]
     # Error grows with d (the budget is split d ways) ...

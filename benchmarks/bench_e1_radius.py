@@ -6,6 +6,10 @@ radius must stay within ``2 * rad(D) + 3b`` while leaving only
 radius, the median ratio ``rad_hat / rad`` and the median number of uncovered
 points across trials; the paper's prediction is a ratio <= 2 and an uncovered
 count that grows only doubly-logarithmically in the radius.
+
+The radius sweep is one :func:`repro.engine.run_grid` call: every radius is a
+grid cell (its own base seed, derived per-trial streams), and all cells share
+the session's persistent engine pool.
 """
 
 from __future__ import annotations
@@ -15,7 +19,7 @@ import numpy as np
 from repro.analysis.theory import loglog
 from repro.bench import format_table, render_experiment_header, uniform_integer_dataset
 from repro.empirical import estimate_radius
-from repro.engine import run_batch
+from repro.engine import GridCell, run_grid
 
 EPSILON = 1.0
 TRIALS = 10
@@ -23,18 +27,22 @@ N = 4000
 RADII = [10**2, 10**3, 10**4, 10**6, 10**9]
 
 
-def test_e1_radius_scaling(run_once, reporter, engine_workers):
+def _radius_cell(radius: int) -> GridCell:
+    def trial(index, gen, radius=radius):
+        data = uniform_integer_dataset(N, width=2 * radius, center=0, rng=gen)
+        true_radius = float(np.max(np.abs(data)))
+        result = estimate_radius(data, EPSILON, 0.1, gen)
+        return result.radius / true_radius, result.uncovered_count
+
+    return GridCell(trial_fn=trial, trials=TRIALS, rng=radius, key=radius)
+
+
+def test_e1_radius_scaling(run_once, reporter, engine_pool):
     def run():
+        grid = run_grid([_radius_cell(radius) for radius in RADII], pool=engine_pool)
         rows = []
         for radius in RADII:
-
-            def trial(index, gen, radius=radius):
-                data = uniform_integer_dataset(N, width=2 * radius, center=0, rng=gen)
-                true_radius = float(np.max(np.abs(data)))
-                result = estimate_radius(data, EPSILON, 0.1, gen)
-                return result.radius / true_radius, result.uncovered_count
-
-            batch = run_batch(trial, TRIALS, rng=radius, workers=engine_workers)
+            batch = grid.by_key(radius)
             ratios = [ratio for ratio, _ in batch.results]
             uncovered = [count for _, count in batch.results]
             rows.append(
@@ -49,11 +57,14 @@ def test_e1_radius_scaling(run_once, reporter, engine_workers):
         return rows
 
     rows = run_once(run)
-    table = format_table(
-        ["true radius", "median ratio", "max ratio", "median uncovered", "loglog(rad)/eps"],
-        rows,
+    headers = ["true radius", "median ratio", "max ratio", "median uncovered", "loglog(rad)/eps"]
+    table = format_table(headers, rows)
+    reporter(
+        "E1",
+        render_experiment_header("E1", "Private radius vs true radius (Thm 3.1)") + "\n" + table,
+        headers=headers,
+        rows=rows,
     )
-    reporter("E1", render_experiment_header("E1", "Private radius vs true radius (Thm 3.1)") + "\n" + table)
 
     for row in rows:
         # Theorem 3.1 bounds the ratio by 2 (plus 3b discretization slack)

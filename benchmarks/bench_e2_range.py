@@ -4,7 +4,8 @@ The hard case for range finding is a tight cluster far from the origin: the
 radius is dominated by the location, not the spread.  Algorithm 4 must still
 return an interval of width at most ``4 * gamma(D) + 6b`` that misses only
 ``O(log log(gamma)/eps)`` points.  The series sweeps the cluster's distance
-from the origin at a fixed spread.
+from the origin at a fixed spread — one grid cell per center, all sharing the
+session's persistent engine pool.
 """
 
 from __future__ import annotations
@@ -13,7 +14,7 @@ import numpy as np
 
 from repro.bench import clustered_integer_dataset, format_table, render_experiment_header
 from repro.empirical import estimate_range
-from repro.engine import run_batch
+from repro.engine import GridCell, run_grid
 
 EPSILON = 1.0
 TRIALS = 10
@@ -22,18 +23,22 @@ SPREAD = 50
 CENTERS = [0, 10**3, 10**5, 10**7]
 
 
-def test_e2_range_location_invariance(run_once, reporter, engine_workers):
+def _center_cell(center: int) -> GridCell:
+    def trial(index, gen, center=center):
+        data = clustered_integer_dataset(N, cluster_value=center, spread=SPREAD, rng=gen)
+        true_width = float(np.max(data) - np.min(data))
+        result = estimate_range(data, EPSILON, 0.1, gen)
+        return result.width / max(true_width, 1.0), result.outside_count
+
+    return GridCell(trial_fn=trial, trials=TRIALS, rng=center, key=center)
+
+
+def test_e2_range_location_invariance(run_once, reporter, engine_pool):
     def run():
+        grid = run_grid([_center_cell(center) for center in CENTERS], pool=engine_pool)
         rows = []
         for center in CENTERS:
-
-            def trial(index, gen, center=center):
-                data = clustered_integer_dataset(N, cluster_value=center, spread=SPREAD, rng=gen)
-                true_width = float(np.max(data) - np.min(data))
-                result = estimate_range(data, EPSILON, 0.1, gen)
-                return result.width / max(true_width, 1.0), result.outside_count
-
-            batch = run_batch(trial, TRIALS, rng=center, workers=engine_workers)
+            batch = grid.by_key(center)
             width_ratios = [ratio for ratio, _ in batch.results]
             outside = [count for _, count in batch.results]
             rows.append(
@@ -48,11 +53,14 @@ def test_e2_range_location_invariance(run_once, reporter, engine_workers):
         return rows
 
     rows = run_once(run)
-    table = format_table(
-        ["cluster center", "true width", "median width ratio", "max width ratio", "median points outside"],
-        rows,
+    headers = ["cluster center", "true width", "median width ratio", "max width ratio", "median points outside"]
+    table = format_table(headers, rows)
+    reporter(
+        "E2",
+        render_experiment_header("E2", "Private range for far-away clusters (Thm 3.2)") + "\n" + table,
+        headers=headers,
+        rows=rows,
     )
-    reporter("E2", render_experiment_header("E2", "Private range for far-away clusters (Thm 3.2)") + "\n" + table)
 
     for row in rows:
         # Width ratio bounded by 4 (plus discretization slack).

@@ -8,7 +8,8 @@ sweeps verify the two key dependencies:
 * fixed ``gamma``, sweeping ``n`` — the error should decay like ``1/n``.
 
 Each row reports the measured q90 error next to the theory curve (without its
-universal constant) so the shapes can be compared.
+universal constant) so the shapes can be compared.  Each sweep is one
+:func:`repro.engine.run_grid` call over the session's persistent pool.
 """
 
 from __future__ import annotations
@@ -19,54 +20,75 @@ from repro.analysis import summarize_errors
 from repro.analysis.theory import empirical_mean_error_bound
 from repro.bench import format_table, render_experiment_header, wide_spread_dataset
 from repro.empirical import estimate_empirical_mean
-from repro.engine import run_batch
+from repro.engine import GridCell, run_grid
 
 EPSILON = 0.5
 TRIALS = 12
 
 
-def _q90_error(n: int, width: int, workers: int = 1) -> float:
+def _error_cell(n: int, width: int) -> GridCell:
     def trial(index, gen):
         data = wide_spread_dataset(n, width=width, rng=gen)
         result = estimate_empirical_mean(data, EPSILON, 0.1, gen)
         return result.absolute_error
 
-    batch = run_batch(trial, TRIALS, rng=n + width, workers=workers)
-    return summarize_errors(list(batch.results)).q90
+    return GridCell(trial_fn=trial, trials=TRIALS, rng=n + width, key=(n, width))
 
 
-def test_e3_error_vs_width(run_once, reporter, engine_workers):
+def _q90_errors(pairs, pool):
+    grid = run_grid([_error_cell(n, width) for n, width in pairs], pool=pool)
+    return {
+        key: summarize_errors(list(grid.by_key(key).results)).q90
+        for key in ((n, width) for n, width in pairs)
+    }
+
+
+def test_e3_error_vs_width(run_once, reporter, engine_pool):
     def run():
         n = 4000
+        widths = (100, 1_000, 10_000, 100_000)
+        measured = _q90_errors([(n, width) for width in widths], engine_pool)
         rows = []
-        for width in (100, 1_000, 10_000, 100_000):
-            measured = _q90_error(n, width, engine_workers)
+        for width in widths:
             theory = empirical_mean_error_bound(float(width), n, EPSILON, 0.1)
-            rows.append([width, measured, theory, measured / theory])
+            rows.append([width, measured[(n, width)], theory, measured[(n, width)] / theory])
         return rows
 
     rows = run_once(run)
-    table = format_table(["gamma(D)", "measured q90 error", "theory bound", "ratio"], rows)
-    reporter("E3a", render_experiment_header("E3a", "Empirical mean error vs dataset width (Thm 3.3)") + "\n" + table)
+    headers = ["gamma(D)", "measured q90 error", "theory bound", "ratio"]
+    table = format_table(headers, rows)
+    reporter(
+        "E3a",
+        render_experiment_header("E3a", "Empirical mean error vs dataset width (Thm 3.3)") + "\n" + table,
+        headers=headers,
+        rows=rows,
+    )
 
     # Error grows with gamma but stays within a constant multiple of the bound.
     assert rows[-1][1] > rows[0][1]
     assert all(row[3] <= 10.0 for row in rows)
 
 
-def test_e3_error_vs_n(run_once, reporter, engine_workers):
+def test_e3_error_vs_n(run_once, reporter, engine_pool):
     def run():
         width = 10_000
+        sizes = (1_000, 4_000, 16_000, 64_000)
+        measured = _q90_errors([(n, width) for n in sizes], engine_pool)
         rows = []
-        for n in (1_000, 4_000, 16_000, 64_000):
-            measured = _q90_error(n, width, engine_workers)
+        for n in sizes:
             theory = empirical_mean_error_bound(float(width), n, EPSILON, 0.1)
-            rows.append([n, measured, theory, measured / theory])
+            rows.append([n, measured[(n, width)], theory, measured[(n, width)] / theory])
         return rows
 
     rows = run_once(run)
-    table = format_table(["n", "measured q90 error", "theory bound", "ratio"], rows)
-    reporter("E3b", render_experiment_header("E3b", "Empirical mean error vs n (Thm 3.3)") + "\n" + table)
+    headers = ["n", "measured q90 error", "theory bound", "ratio"]
+    table = format_table(headers, rows)
+    reporter(
+        "E3b",
+        render_experiment_header("E3b", "Empirical mean error vs n (Thm 3.3)") + "\n" + table,
+        headers=headers,
+        rows=rows,
+    )
 
     # 64x more data should buy at least ~8x less error (theory predicts 64x).
     assert rows[-1][1] < rows[0][1] / 8.0

@@ -12,6 +12,10 @@ measure, level by level:
 and report each as a multiple of the inward-neighbourhood floor
 ``gamma(D)/n``.  The expected shape: the baseline's ratio explodes for small
 levels (small gamma) while ours stays bounded by a loglog-sized factor.
+
+Each packing level is one :func:`repro.engine.run_grid` cell (a paired trial
+returns both estimators' errors from one per-trial stream), fanned over the
+session's persistent pool.
 """
 
 from __future__ import annotations
@@ -22,6 +26,7 @@ from repro.analysis import build_packing_instance, packing_lower_bound
 from repro.baselines import FiniteDomainLaplaceMean
 from repro.bench import format_table, render_experiment_header
 from repro.empirical import estimate_empirical_mean
+from repro.engine import GridCell, run_grid
 
 EPSILON = 0.5
 N_RECORDS = 2000
@@ -30,21 +35,32 @@ TRIALS = 8
 LEVELS = [2, 6, 10, 14]
 
 
-def test_e4_optimality_ratio(run_once, reporter):
+def _level_cell(level: int, data: np.ndarray, baseline) -> GridCell:
+    truth = float(np.mean(data))
+
+    def trial(index, gen):
+        ours = abs(estimate_empirical_mean(data, EPSILON, 0.1, gen).mean - truth)
+        theirs = abs(baseline.estimate(data, EPSILON, gen) - truth)
+        return ours, theirs
+
+    return GridCell(trial_fn=trial, trials=TRIALS, rng=level, key=level)
+
+
+def test_e4_optimality_ratio(run_once, reporter, engine_pool):
     def run():
         instance = build_packing_instance(DOMAIN, N_RECORDS, EPSILON)
         baseline = FiniteDomainLaplaceMean(domain_size=DOMAIN)
+        grid = run_grid(
+            [_level_cell(level, instance.datasets[level], baseline) for level in LEVELS],
+            pool=engine_pool,
+        )
         rows = []
         for level in LEVELS:
-            data = instance.datasets[level]
-            truth = float(np.mean(data))
+            batch = grid.by_key(level)
+            ours = [a for a, _ in batch.results]
+            theirs = [b for _, b in batch.results]
             gamma = float(2**level)
             floor = gamma / N_RECORDS  # inward-neighbourhood lower bound Theta(gamma/n)
-            ours, theirs = [], []
-            for seed in range(TRIALS):
-                gen = np.random.default_rng(seed)
-                ours.append(abs(estimate_empirical_mean(data, EPSILON, 0.1, gen).mean - truth))
-                theirs.append(abs(baseline.estimate(data, EPSILON, gen) - truth))
             rows.append(
                 [
                     level,
@@ -59,21 +75,21 @@ def test_e4_optimality_ratio(run_once, reporter):
         return rows
 
     rows = run_once(run)
-    table = format_table(
-        [
-            "level i",
-            "gamma(D)=2^i",
-            "Thm 3.4 floor",
-            "our median error",
-            "finite-domain baseline error",
-            "our ratio vs gamma/n",
-            "baseline ratio vs gamma/n",
-        ],
-        rows,
-    )
+    headers = [
+        "level i",
+        "gamma(D)=2^i",
+        "Thm 3.4 floor",
+        "our median error",
+        "finite-domain baseline error",
+        "our ratio vs gamma/n",
+        "baseline ratio vs gamma/n",
+    ]
+    table = format_table(headers, rows)
     reporter(
         "E4",
         render_experiment_header("E4", "Packing instances: optimality ratios (Thm 3.4)") + "\n" + table,
+        headers=headers,
+        rows=rows,
     )
 
     for row in rows:

@@ -3,7 +3,8 @@
 The rank error of the private quantile should scale like ``log(gamma(D))/eps``
 — logarithmic in the width and inversely proportional to epsilon — and be
 essentially flat in the requested rank ``tau``.  Two sweeps check both
-dependencies.
+dependencies; each sweep is one :func:`repro.engine.run_grid` call over the
+session's persistent pool.
 """
 
 from __future__ import annotations
@@ -14,34 +15,56 @@ from repro.analysis import summarize_errors
 from repro.analysis.theory import quantile_rank_error_bound
 from repro.bench import format_table, render_experiment_header, uniform_integer_dataset
 from repro.empirical import estimate_empirical_quantile
-from repro.engine import run_batch
+from repro.engine import GridCell, run_grid
 
 N = 4000
 TRIALS = 10
 
 
-def _q90_rank_error(width: int, epsilon: float, tau: int, workers: int = 1) -> float:
+def _rank_error_cell(width: int, epsilon: float, tau: int) -> GridCell:
     def trial(index, gen):
         data = uniform_integer_dataset(N, width=width, rng=gen)
         result = estimate_empirical_quantile(data, tau, epsilon, 0.1, gen)
         return float(result.rank_error)
 
-    batch = run_batch(trial, TRIALS, rng=width + int(epsilon * 1000), workers=workers)
-    return summarize_errors(list(batch.results)).q90
+    return GridCell(
+        trial_fn=trial,
+        trials=TRIALS,
+        rng=width + int(epsilon * 1000),
+        key=(width, epsilon, tau),
+    )
 
 
-def test_e5_rank_error_vs_width(run_once, reporter, engine_workers):
+def _q90_rank_errors(settings, pool):
+    grid = run_grid(
+        [_rank_error_cell(width, epsilon, tau) for width, epsilon, tau in settings],
+        pool=pool,
+    )
+    return {
+        key: summarize_errors(list(grid.by_key(key).results)).q90 for key in settings
+    }
+
+
+def test_e5_rank_error_vs_width(run_once, reporter, engine_pool):
     def run():
+        settings = [(width, 1.0, N // 2) for width in (100, 10_000, 1_000_000)]
+        measured = _q90_rank_errors(settings, engine_pool)
         rows = []
-        for width in (100, 10_000, 1_000_000):
-            measured = _q90_rank_error(width, epsilon=1.0, tau=N // 2, workers=engine_workers)
+        for key in settings:
+            width = key[0]
             theory = quantile_rank_error_bound(float(width), 1.0, 0.1)
-            rows.append([width, measured, theory, measured / theory])
+            rows.append([width, measured[key], theory, measured[key] / theory])
         return rows
 
     rows = run_once(run)
-    table = format_table(["gamma(D)", "measured q90 rank error", "theory bound", "ratio"], rows)
-    reporter("E5a", render_experiment_header("E5a", "Quantile rank error vs width (Thm 3.5)") + "\n" + table)
+    headers = ["gamma(D)", "measured q90 rank error", "theory bound", "ratio"]
+    table = format_table(headers, rows)
+    reporter(
+        "E5a",
+        render_experiment_header("E5a", "Quantile rank error vs width (Thm 3.5)") + "\n" + table,
+        headers=headers,
+        rows=rows,
+    )
 
     # Rank error grows far slower than the width (logarithmically): a 10,000x
     # wider dataset costs at most a small constant factor in rank error.
@@ -49,18 +72,26 @@ def test_e5_rank_error_vs_width(run_once, reporter, engine_workers):
     assert all(row[3] <= 12.0 for row in rows)
 
 
-def test_e5_rank_error_vs_epsilon(run_once, reporter, engine_workers):
+def test_e5_rank_error_vs_epsilon(run_once, reporter, engine_pool):
     def run():
+        settings = [(100_000, epsilon, N // 2) for epsilon in (0.25, 0.5, 1.0, 2.0)]
+        measured = _q90_rank_errors(settings, engine_pool)
         rows = []
-        for epsilon in (0.25, 0.5, 1.0, 2.0):
-            measured = _q90_rank_error(width=100_000, epsilon=epsilon, tau=N // 2, workers=engine_workers)
+        for key in settings:
+            epsilon = key[1]
             theory = quantile_rank_error_bound(100_000.0, epsilon, 0.1)
-            rows.append([epsilon, measured, theory, measured / theory])
+            rows.append([epsilon, measured[key], theory, measured[key] / theory])
         return rows
 
     rows = run_once(run)
-    table = format_table(["epsilon", "measured q90 rank error", "theory bound", "ratio"], rows)
-    reporter("E5b", render_experiment_header("E5b", "Quantile rank error vs epsilon (Thm 3.5)") + "\n" + table)
+    headers = ["epsilon", "measured q90 rank error", "theory bound", "ratio"]
+    table = format_table(headers, rows)
+    reporter(
+        "E5b",
+        render_experiment_header("E5b", "Quantile rank error vs epsilon (Thm 3.5)") + "\n" + table,
+        headers=headers,
+        rows=rows,
+    )
 
     assert rows[0][1] >= rows[-1][1], "rank error should shrink as epsilon grows"
     assert all(row[3] <= 12.0 for row in rows)

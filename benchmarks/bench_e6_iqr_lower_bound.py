@@ -5,6 +5,9 @@ guarantee is benchmarked separately across well-behaved and ill-behaved
 distributions and across scales spanning 10^-3 to 10^3.  Each row reports the
 success rate of the containment event and the median returned value next to
 the two analytic endpoints.
+
+Each distribution is one :func:`repro.engine.run_grid` cell on the session's
+persistent pool.
 """
 
 from __future__ import annotations
@@ -14,6 +17,7 @@ import numpy as np
 from repro.bench import format_table, render_experiment_header
 from repro.core import estimate_iqr_lower_bound
 from repro.distributions import Gaussian, LogNormal, SpikeMixture, Uniform
+from repro.engine import GridCell, run_grid
 
 N = 8000
 EPSILON = 1.0
@@ -29,29 +33,38 @@ DISTRIBUTIONS = [
 ]
 
 
-def test_e6_iqr_lower_bound_containment(run_once, reporter):
+def _containment_cell(cell_index: int, dist) -> GridCell:
+    def trial(index, gen):
+        data = dist.sample(N, gen)
+        return estimate_iqr_lower_bound(data, EPSILON, 0.1, gen).value
+
+    return GridCell(trial_fn=trial, trials=TRIALS, rng=cell_index, key=dist.name)
+
+
+def test_e6_iqr_lower_bound_containment(run_once, reporter, engine_pool):
     def run():
+        grid = run_grid(
+            [_containment_cell(i, dist) for i, dist in enumerate(DISTRIBUTIONS)],
+            pool=engine_pool,
+        )
         rows = []
         for dist in DISTRIBUTIONS:
             lower = dist.phi(1.0 / 16.0) / 4.0
             upper = dist.iqr
-            values, hits = [], 0
-            for seed in range(TRIALS):
-                gen = np.random.default_rng(seed)
-                data = dist.sample(N, gen)
-                value = estimate_iqr_lower_bound(data, EPSILON, 0.1, gen).value
-                values.append(value)
-                if lower * 0.99 <= value <= upper * 1.01:
-                    hits += 1
+            values = list(grid.by_key(dist.name).results)
+            hits = sum(1 for value in values if lower * 0.99 <= value <= upper * 1.01)
             rows.append([dist.name, lower, upper, float(np.median(values)), hits / TRIALS])
         return rows
 
     rows = run_once(run)
-    table = format_table(
-        ["distribution", "phi(1/16)/4", "IQR", "median estimate", "containment rate"],
-        rows,
+    headers = ["distribution", "phi(1/16)/4", "IQR", "median estimate", "containment rate"]
+    table = format_table(headers, rows)
+    reporter(
+        "E6",
+        render_experiment_header("E6", "IQR lower bound containment (Thm 4.3)") + "\n" + table,
+        headers=headers,
+        rows=rows,
     )
-    reporter("E6", render_experiment_header("E6", "IQR lower bound containment (Thm 4.3)") + "\n" + table)
 
     for row in rows:
         # The estimate must essentially never exceed the IQR; full containment

@@ -9,13 +9,17 @@ Two series:
   — the universal estimator is unaffected (it takes no ``R``), while the
   bounded-Laplace and KV18 baselines degrade, which is the practical content
   of removing assumption A1.
+
+Each series is one :func:`repro.analysis.run_statistical_grid` sweep: every
+(estimator, n) pair is a grid cell with its own base seed, and all cells of
+all drivers share the session's persistent engine pool.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.analysis import run_statistical_trials
+from repro.analysis import StatisticalCell, run_statistical_grid
 from repro.analysis.theory import gaussian_mean_error_bound
 from repro.baselines import BoundedLaplaceMean, KarwaVadhanGaussianMean, SampleMean
 from repro.bench import format_table, render_experiment_header
@@ -32,58 +36,84 @@ def _universal(data, gen):
     return estimate_mean(data, EPSILON, 0.1, gen).mean
 
 
-def test_e7_error_vs_n(run_once, reporter, engine_workers):
+def test_e7_error_vs_n(run_once, reporter, engine_pool):
+    sizes = (2_000, 8_000, 32_000, 128_000)
+
     def run():
+        cells = []
+        for n in sizes:
+            cells.append(StatisticalCell(
+                _universal, DIST, "mean", n, TRIALS, seed_for(n), key=("universal", n)))
+            cells.append(StatisticalCell(
+                lambda d, g: SampleMean().estimate(d), DIST, "mean", n, TRIALS,
+                seed_for(n + 1), key=("nonprivate", n)))
+        results = dict(zip((c.key for c in cells),
+                           run_statistical_grid(cells, pool=engine_pool)))
         rows = []
-        for n in (2_000, 8_000, 32_000, 128_000):
-            universal = run_statistical_trials(_universal, DIST, "mean", n, TRIALS, seed_for(n), workers=engine_workers)
-            nonprivate = run_statistical_trials(
-                lambda d, g: SampleMean().estimate(d), DIST, "mean", n, TRIALS, seed_for(n + 1), workers=engine_workers)
+        for n in sizes:
             rows.append(
                 [
                     n,
-                    universal.summary.q90,
-                    nonprivate.summary.q90,
+                    results[("universal", n)].summary.q90,
+                    results[("nonprivate", n)].summary.q90,
                     gaussian_mean_error_bound(n, EPSILON, SIGMA),
                 ]
             )
         return rows
 
     rows = run_once(run)
-    table = format_table(
-        ["n", "universal q90 error", "non-private q90 error", "theory shape"], rows
+    headers = ["n", "universal q90 error", "non-private q90 error", "theory shape"]
+    table = format_table(headers, rows)
+    reporter(
+        "E7a",
+        render_experiment_header("E7a", "Gaussian mean error vs n (Thm 1.7)") + "\n" + table,
+        headers=headers,
+        rows=rows,
     )
-    reporter("E7a", render_experiment_header("E7a", "Gaussian mean error vs n (Thm 1.7)") + "\n" + table)
 
     # Error decreases with n and approaches the non-private floor.
     assert rows[-1][1] < rows[0][1]
     assert rows[-1][1] <= 6.0 * rows[-1][2] + 0.01
 
 
-def test_e7_error_vs_assumed_range(run_once, reporter, engine_workers):
+def test_e7_error_vs_assumed_range(run_once, reporter, engine_pool):
+    n = 8_000
+    radii = (10.0, 1e3, 1e6)
+
     def run():
-        n = 8_000
-        rows = []
-        for radius in (10.0, 1e3, 1e6):
-            bounded = run_statistical_trials(
+        cells = []
+        for radius in radii:
+            cells.append(StatisticalCell(
                 lambda d, g, r=radius: BoundedLaplaceMean(radius=r).estimate(d, EPSILON, g),
-                DIST, "mean", n, TRIALS, seed_for(int(radius)), workers=engine_workers)
-            kv = run_statistical_trials(
+                DIST, "mean", n, TRIALS, seed_for(int(radius)), key=("bounded", radius)))
+            cells.append(StatisticalCell(
                 lambda d, g, r=radius: KarwaVadhanGaussianMean(
                     radius=r, sigma_min=0.5, sigma_max=2.0
                 ).estimate(d, EPSILON, g),
-                DIST, "mean", n, TRIALS, seed_for(int(radius) + 1), workers=engine_workers)
-            universal = run_statistical_trials(_universal, DIST, "mean", n, TRIALS, seed_for(int(radius) + 2), workers=engine_workers)
-            rows.append([radius, universal.summary.q90, kv.summary.q90, bounded.summary.q90])
-        return rows
+                DIST, "mean", n, TRIALS, seed_for(int(radius) + 1), key=("kv", radius)))
+            cells.append(StatisticalCell(
+                _universal, DIST, "mean", n, TRIALS, seed_for(int(radius) + 2),
+                key=("universal", radius)))
+        results = dict(zip((c.key for c in cells),
+                           run_statistical_grid(cells, pool=engine_pool)))
+        return [
+            [
+                radius,
+                results[("universal", radius)].summary.q90,
+                results[("kv", radius)].summary.q90,
+                results[("bounded", radius)].summary.q90,
+            ]
+            for radius in radii
+        ]
 
     rows = run_once(run)
-    table = format_table(
-        ["assumed R", "universal q90 (ignores R)", "KV18 q90", "bounded-Laplace q90"], rows
-    )
+    headers = ["assumed R", "universal q90 (ignores R)", "KV18 q90", "bounded-Laplace q90"]
+    table = format_table(headers, rows)
     reporter(
         "E7b",
         render_experiment_header("E7b", "Gaussian mean error vs looseness of assumption A1") + "\n" + table,
+        headers=headers,
+        rows=rows,
     )
 
     # The universal estimator does not depend on R; the naive baseline degrades

@@ -6,13 +6,16 @@ than the Gaussian rate but still polynomial — with no moment bound supplied.
 The KSU20-style baseline achieves a similar rate only when its assumed moment
 bound ``mu_k_bound`` is tight; the second series shows it degrading as the
 bound is loosened while the universal estimator is unaffected.
+
+Both series sweep their grids through
+:func:`repro.analysis.run_statistical_grid` on the session's shared pool.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.analysis import run_statistical_trials
+from repro.analysis import StatisticalCell, run_statistical_grid
 from repro.analysis.theory import heavy_tailed_mean_error_bound
 from repro.baselines import KSUHeavyTailedMean, SampleMean
 from repro.bench import format_table, render_experiment_header
@@ -27,56 +30,85 @@ def _universal(data, gen):
     return estimate_mean(data, EPSILON, 0.1, gen).mean
 
 
-def test_e8_error_vs_n_student_t(run_once, reporter, engine_workers):
+def test_e8_error_vs_n_student_t(run_once, reporter, engine_pool):
     dist = StudentT(df=3.0, loc=10.0)
+    sizes = (4_000, 16_000, 64_000)
 
     def run():
         mu_2 = dist.central_moment(2)
+        cells = []
+        for n in sizes:
+            cells.append(StatisticalCell(
+                _universal, dist, "mean", n, TRIALS, np.random.default_rng(n),
+                key=("universal", n)))
+            cells.append(StatisticalCell(
+                lambda d, g: SampleMean().estimate(d), dist, "mean", n, TRIALS,
+                np.random.default_rng(n + 1), key=("nonprivate", n)))
+        results = dict(zip((c.key for c in cells),
+                           run_statistical_grid(cells, pool=engine_pool)))
         rows = []
-        for n in (4_000, 16_000, 64_000):
-            universal = run_statistical_trials(_universal, dist, "mean", n, TRIALS, np.random.default_rng(n), workers=engine_workers)
-            nonprivate = run_statistical_trials(
-                lambda d, g: SampleMean().estimate(d), dist, "mean", n, TRIALS, np.random.default_rng(n + 1), workers=engine_workers)
+        for n in sizes:
             theory = heavy_tailed_mean_error_bound(
                 n, EPSILON, dist.std, k=2, mu_k=mu_2, phi=dist.phi(1.0 / 16.0)
             )
-            rows.append([n, universal.summary.q90, nonprivate.summary.q90, theory])
+            rows.append([
+                n,
+                results[("universal", n)].summary.q90,
+                results[("nonprivate", n)].summary.q90,
+                theory,
+            ])
         return rows
 
     rows = run_once(run)
-    table = format_table(
-        ["n", "universal q90 error", "non-private q90 error", "theory shape (k=2)"], rows
+    headers = ["n", "universal q90 error", "non-private q90 error", "theory shape (k=2)"]
+    table = format_table(headers, rows)
+    reporter(
+        "E8a",
+        render_experiment_header("E8a", "Student-t(3) mean error vs n (Thm 1.8)") + "\n" + table,
+        headers=headers,
+        rows=rows,
     )
-    reporter("E8a", render_experiment_header("E8a", "Student-t(3) mean error vs n (Thm 1.8)") + "\n" + table)
 
     assert rows[-1][1] < rows[0][1]
 
 
-def test_e8_vs_ksu_with_loose_moment_bound(run_once, reporter, engine_workers):
+def test_e8_vs_ksu_with_loose_moment_bound(run_once, reporter, engine_pool):
     dist = Pareto(alpha=3.0, x_m=1.0)
+    n = 16_000
+    factors = (1.0, 100.0, 10_000.0)
 
     def run():
-        n = 16_000
         true_mu2 = dist.central_moment(2)
-        rows = []
-        for factor in (1.0, 100.0, 10_000.0):
-            ksu = run_statistical_trials(
+        cells = []
+        for factor in factors:
+            cells.append(StatisticalCell(
                 lambda d, g, f=factor: KSUHeavyTailedMean(
                     radius=100.0, moment_order=2, moment_bound=true_mu2 * f
                 ).estimate(d, EPSILON, g),
-                dist, "mean", n, TRIALS, np.random.default_rng(int(factor)), workers=engine_workers)
-            universal = run_statistical_trials(
-                _universal, dist, "mean", n, TRIALS, np.random.default_rng(int(factor) + 1), workers=engine_workers)
-            rows.append([factor, universal.summary.q90, ksu.summary.q90])
-        return rows
+                dist, "mean", n, TRIALS, np.random.default_rng(int(factor)),
+                key=("ksu", factor)))
+            cells.append(StatisticalCell(
+                _universal, dist, "mean", n, TRIALS,
+                np.random.default_rng(int(factor) + 1), key=("universal", factor)))
+        results = dict(zip((c.key for c in cells),
+                           run_statistical_grid(cells, pool=engine_pool)))
+        return [
+            [
+                factor,
+                results[("universal", factor)].summary.q90,
+                results[("ksu", factor)].summary.q90,
+            ]
+            for factor in factors
+        ]
 
     rows = run_once(run)
-    table = format_table(
-        ["moment-bound looseness factor", "universal q90 (no bound needed)", "KSU20 q90"], rows
-    )
+    headers = ["moment-bound looseness factor", "universal q90 (no bound needed)", "KSU20 q90"]
+    table = format_table(headers, rows)
     reporter(
         "E8b",
         render_experiment_header("E8b", "Pareto mean: universal vs KSU20 with loose moment bounds") + "\n" + table,
+        headers=headers,
+        rows=rows,
     )
 
     # KSU20 degrades as its assumed bound loosens; the universal estimator does not.

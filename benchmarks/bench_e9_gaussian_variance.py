@@ -6,13 +6,16 @@ assumed [sigma_min, sigma_max] window is widened — KV18-style and naive A2
 baselines degrade while the universal estimator (which takes no window) does
 not.  Series (c) ablates the paper's design choice of using a radius-only
 range for the paired statistic instead of a full range search.
+
+Every series sweeps its grid through
+:func:`repro.analysis.run_statistical_grid` on the session's shared pool.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.analysis import run_statistical_trials
+from repro.analysis import StatisticalCell, run_statistical_grid
 from repro.analysis.theory import gaussian_variance_error_bound
 from repro.baselines import BoundedLaplaceVariance, KarwaVadhanGaussianVariance, SampleVariance
 from repro.bench import format_table, render_experiment_header
@@ -29,56 +32,85 @@ def _universal(data, gen):
     return estimate_variance(data, EPSILON, 0.1, gen).variance
 
 
-def test_e9_error_vs_n(run_once, reporter, engine_workers):
+def test_e9_error_vs_n(run_once, reporter, engine_pool):
+    sizes = (4_000, 16_000, 64_000)
+
     def run():
-        rows = []
-        for n in (4_000, 16_000, 64_000):
-            universal = run_statistical_trials(_universal, DIST, "variance", n, TRIALS, np.random.default_rng(n), workers=engine_workers)
-            nonprivate = run_statistical_trials(
+        cells = []
+        for n in sizes:
+            cells.append(StatisticalCell(
+                _universal, DIST, "variance", n, TRIALS, np.random.default_rng(n),
+                key=("universal", n)))
+            cells.append(StatisticalCell(
                 lambda d, g: SampleVariance().estimate(d), DIST, "variance", n, TRIALS,
-                np.random.default_rng(n + 1), workers=engine_workers)
-            rows.append(
-                [n, universal.summary.q90, nonprivate.summary.q90,
-                 gaussian_variance_error_bound(n, EPSILON, SIGMA)]
-            )
-        return rows
+                np.random.default_rng(n + 1), key=("nonprivate", n)))
+        results = dict(zip((c.key for c in cells),
+                           run_statistical_grid(cells, pool=engine_pool)))
+        return [
+            [
+                n,
+                results[("universal", n)].summary.q90,
+                results[("nonprivate", n)].summary.q90,
+                gaussian_variance_error_bound(n, EPSILON, SIGMA),
+            ]
+            for n in sizes
+        ]
 
     rows = run_once(run)
-    table = format_table(
-        ["n", "universal q90 error", "non-private q90 error", "theory shape"], rows
+    headers = ["n", "universal q90 error", "non-private q90 error", "theory shape"]
+    table = format_table(headers, rows)
+    reporter(
+        "E9a",
+        render_experiment_header("E9a", "Gaussian variance error vs n (Thm 1.10)") + "\n" + table,
+        headers=headers,
+        rows=rows,
     )
-    reporter("E9a", render_experiment_header("E9a", "Gaussian variance error vs n (Thm 1.10)") + "\n" + table)
     assert rows[-1][1] < rows[0][1]
 
 
-def test_e9_error_vs_assumed_sigma_window(run_once, reporter, engine_workers):
+def test_e9_error_vs_assumed_sigma_window(run_once, reporter, engine_pool):
+    n = 16_000
+    factors = (2.0, 100.0, 10_000.0)
+
     def run():
-        n = 16_000
-        rows = []
-        for factor in (2.0, 100.0, 10_000.0):
+        cells = []
+        for factor in factors:
             sigma_min, sigma_max = SIGMA / factor, SIGMA * factor
-            kv = run_statistical_trials(
+            cells.append(StatisticalCell(
                 lambda d, g, lo=sigma_min, hi=sigma_max: KarwaVadhanGaussianVariance(
                     sigma_min=lo, sigma_max=hi
                 ).estimate(d, EPSILON, g),
-                DIST, "variance", n, TRIALS, np.random.default_rng(int(factor)), workers=engine_workers)
-            naive = run_statistical_trials(
+                DIST, "variance", n, TRIALS, np.random.default_rng(int(factor)),
+                key=("kv", factor)))
+            cells.append(StatisticalCell(
                 lambda d, g, hi=sigma_max: BoundedLaplaceVariance(sigma_max=hi).estimate(
                     d, EPSILON, g
                 ),
-                DIST, "variance", n, TRIALS, np.random.default_rng(int(factor) + 1), workers=engine_workers)
-            universal = run_statistical_trials(
-                _universal, DIST, "variance", n, TRIALS, np.random.default_rng(int(factor) + 2), workers=engine_workers)
-            rows.append([factor, universal.summary.q90, kv.summary.q90, naive.summary.q90])
-        return rows
+                DIST, "variance", n, TRIALS, np.random.default_rng(int(factor) + 1),
+                key=("naive", factor)))
+            cells.append(StatisticalCell(
+                _universal, DIST, "variance", n, TRIALS,
+                np.random.default_rng(int(factor) + 2), key=("universal", factor)))
+        results = dict(zip((c.key for c in cells),
+                           run_statistical_grid(cells, pool=engine_pool)))
+        return [
+            [
+                factor,
+                results[("universal", factor)].summary.q90,
+                results[("kv", factor)].summary.q90,
+                results[("naive", factor)].summary.q90,
+            ]
+            for factor in factors
+        ]
 
     rows = run_once(run)
-    table = format_table(
-        ["sigma-window looseness", "universal q90 (no A2)", "KV18-var q90", "naive A2 q90"], rows
-    )
+    headers = ["sigma-window looseness", "universal q90 (no A2)", "KV18-var q90", "naive A2 q90"]
+    table = format_table(headers, rows)
     reporter(
         "E9b",
         render_experiment_header("E9b", "Gaussian variance vs looseness of assumption A2") + "\n" + table,
+        headers=headers,
+        rows=rows,
     )
     # The naive A2 baseline's noise scales with sigma_max^2, so the loosest
     # setting must be much worse than the universal estimator.
@@ -87,31 +119,41 @@ def test_e9_error_vs_assumed_sigma_window(run_once, reporter, engine_workers):
     assert max(universal_errors) <= 5.0 * min(universal_errors) + 0.05
 
 
-def test_e9_ablation_radius_only_vs_full_range(run_once, reporter, engine_workers):
+def test_e9_ablation_radius_only_vs_full_range(run_once, reporter, engine_pool):
     """Design-choice ablation: Algorithm 9 uses a radius-only clipping interval
     [0, rad] for the paired statistic.  Emulating a 'full range' variant by
     feeding the paired statistic through the mean estimator shows the
     simplification does not cost accuracy."""
     from repro.core import estimate_mean as _mean
 
+    def full_range_variant(data, gen):
+        permuted = gen.permutation(np.asarray(data, dtype=float))
+        pairs = permuted.size // 2
+        z = (permuted[:2 * pairs:2] - permuted[1:2 * pairs:2]) ** 2
+        return 0.5 * _mean(z, EPSILON, 0.1, gen).mean
+
     def run():
         n = 16_000
-        radius_only = run_statistical_trials(_universal, DIST, "variance", n, TRIALS, np.random.default_rng(1), workers=engine_workers)
-
-        def full_range_variant(data, gen):
-            permuted = gen.permutation(np.asarray(data, dtype=float))
-            pairs = permuted.size // 2
-            z = (permuted[:2 * pairs:2] - permuted[1:2 * pairs:2]) ** 2
-            return 0.5 * _mean(z, EPSILON, 0.1, gen).mean
-
-        full_range = run_statistical_trials(full_range_variant, DIST, "variance", n, TRIALS, np.random.default_rng(2), workers=engine_workers)
+        cells = [
+            StatisticalCell(_universal, DIST, "variance", n, TRIALS,
+                            np.random.default_rng(1), key="radius-only"),
+            StatisticalCell(full_range_variant, DIST, "variance", n, TRIALS,
+                            np.random.default_rng(2), key="full-range"),
+        ]
+        radius_only, full_range = run_statistical_grid(cells, pool=engine_pool)
         return [
             ["radius-only clipping (Algorithm 9)", radius_only.summary.q90],
             ["full range search variant", full_range.summary.q90],
         ]
 
     rows = run_once(run)
-    table = format_table(["variant", "q90 error"], rows)
-    reporter("E9c", render_experiment_header("E9c", "Ablation: radius-only vs full-range clipping") + "\n" + table)
+    headers = ["variant", "q90 error"]
+    table = format_table(headers, rows)
+    reporter(
+        "E9c",
+        render_experiment_header("E9c", "Ablation: radius-only vs full-range clipping") + "\n" + table,
+        headers=headers,
+        rows=rows,
+    )
     # The radius-only variant should be at least competitive.
     assert rows[0][1] <= 3.0 * rows[1][1] + 0.05

@@ -1,14 +1,26 @@
-"""Engine scaling demonstration: 500-trial Gaussian-mean workload, 1 vs 4 workers.
+"""Engine scaling demonstration: trial fan-out and per-cell grid fan-out.
 
 Run directly (not collected by pytest)::
 
     PYTHONPATH=src python benchmarks/bench_engine_scaling.py [trials] [n]
 
-Prints wall-clock time for ``workers=1`` and ``workers=4`` and verifies the
-engine's determinism contract on the way: both runs must produce bit-for-bit
-identical estimates.  On a machine with >= 4 cores the parallel run is
-expected to be >= 2x faster; on fewer cores the parity check still holds but
-the speedup degrades toward 1x (fork + scheduling overhead on a single core).
+Part 1 (PR 1): a 500-trial Gaussian-mean workload timed at ``workers=1`` vs
+``workers=4`` through :func:`repro.analysis.run_statistical_trials`.
+
+Part 2 (PR 2): a 16-cell parameter grid timed two ways at ``workers=4``:
+
+* **per-cell spin-up** — each cell is its own ``run_batch(workers=4)`` call,
+  so every cell pays full pool fork/teardown (the pre-``EnginePool`` cost
+  model);
+* **persistent pool** — one :class:`repro.engine.EnginePool` forks once and
+  one :func:`repro.engine.run_grid` call fans every cell's spans across it.
+
+Both parts verify the determinism contract on the way: parallel and serial
+runs must produce bit-for-bit identical estimates, cell by cell.  On a
+machine with >= 4 cores the persistent-pool grid is expected to beat the
+per-cell spin-up wall-clock (the difference is exactly the 15 saved pool
+startups); on fewer cores the parity checks still hold but speedups degrade
+toward (or below) 1x and are not enforced.
 """
 
 from __future__ import annotations
@@ -22,9 +34,14 @@ import numpy as np
 from repro.analysis import run_statistical_trials
 from repro.core import estimate_mean
 from repro.distributions import Gaussian
+from repro.engine import EnginePool, GridCell, run_batch, run_grid
 
 EPSILON = 0.5
 SEED = 20230401
+GRID_SIZES = [1_000, 1_500, 2_000, 2_500]
+GRID_EPSILONS = [0.25, 0.5, 1.0, 2.0]
+GRID_TRIALS = 24
+WORKERS = 4
 
 
 def _universal(data, gen):
@@ -39,23 +56,83 @@ def timed_run(workers: int, trials: int, n: int):
     return time.perf_counter() - start, result
 
 
-def main() -> int:
-    trials = int(sys.argv[1]) if len(sys.argv) > 1 else 500
-    n = int(sys.argv[2]) if len(sys.argv) > 2 else 4_000
+def _grid_cells():
+    cells = []
+    for n in GRID_SIZES:
+        for epsilon in GRID_EPSILONS:
+            def trial(index, gen, n=n, epsilon=epsilon):
+                data = gen.normal(5.0, 1.0, size=n)
+                return estimate_mean(data, epsilon, 0.1, gen).mean
 
-    print(f"engine scaling: {trials}-trial Gaussian-mean workload, n={n}, "
-          f"cpu_count={os.cpu_count()}")
+            cells.append(
+                GridCell(trial_fn=trial, trials=GRID_TRIALS,
+                         rng=n + int(epsilon * 1000), key=(n, epsilon))
+            )
+    return cells
+
+
+def trial_dimension_demo(trials: int, n: int) -> bool:
+    print(f"[trial fan-out] {trials}-trial Gaussian-mean workload, n={n}")
     serial_time, serial = timed_run(1, trials, n)
     print(f"workers=1: {serial_time:8.2f}s  q90 error {serial.summary.q90:.4g}")
-    parallel_time, parallel = timed_run(4, trials, n)
-    print(f"workers=4: {parallel_time:8.2f}s  q90 error {parallel.summary.q90:.4g}")
+    parallel_time, parallel = timed_run(WORKERS, trials, n)
+    print(f"workers={WORKERS}: {parallel_time:8.2f}s  q90 error {parallel.summary.q90:.4g}")
 
     identical = np.array_equal(serial.estimates, parallel.estimates)
     speedup = serial_time / parallel_time if parallel_time > 0 else float("inf")
     print(f"bit-for-bit identical estimates: {identical}")
     print(f"speedup: {speedup:.2f}x")
-    if not identical:
-        print("FAIL: determinism contract violated", file=sys.stderr)
+    return identical
+
+
+def grid_dimension_demo() -> bool:
+    cells = _grid_cells()
+    print(f"\n[grid fan-out] {len(cells)} cells x {GRID_TRIALS} trials, workers={WORKERS}")
+
+    # Per-cell spin-up: one ephemeral pool per cell (fork + teardown each time).
+    start = time.perf_counter()
+    spin_up = [
+        run_batch(cell.trial_fn, cell.trials, cell.rng, workers=WORKERS)
+        for cell in cells
+    ]
+    spin_up_time = time.perf_counter() - start
+    print(f"per-cell run_batch spin-up: {spin_up_time:8.2f}s "
+          f"({len(cells)} pool startups)")
+
+    # Persistent pool: fork once, fan every cell's spans across the workers.
+    start = time.perf_counter()
+    with EnginePool(WORKERS) as pool:
+        persistent = run_grid(cells, pool=pool)
+    persistent_time = time.perf_counter() - start
+    print(f"run_grid on persistent pool: {persistent_time:8.2f}s (1 pool startup)")
+
+    serial = run_grid(cells, workers=1)
+
+    identical = all(
+        p.results == s.results == b.results
+        for p, s, b in zip(persistent.batches, serial.batches, spin_up)
+    )
+    speedup = spin_up_time / persistent_time if persistent_time > 0 else float("inf")
+    print(f"bit-for-bit identical cells (serial == spin-up == persistent): {identical}")
+    print(f"persistent-pool speedup over per-cell spin-up: {speedup:.2f}x")
+
+    cores = os.cpu_count() or 1
+    if cores >= 4 and identical and speedup <= 1.0:
+        print("FAIL: persistent pool did not beat per-cell spin-up on >= 4 cores",
+              file=sys.stderr)
+        return False
+    return identical
+
+
+def main() -> int:
+    trials = int(sys.argv[1]) if len(sys.argv) > 1 else 500
+    n = int(sys.argv[2]) if len(sys.argv) > 2 else 4_000
+
+    print(f"engine scaling on cpu_count={os.cpu_count()}")
+    ok = trial_dimension_demo(trials, n)
+    ok = grid_dimension_demo() and ok
+    if not ok:
+        print("FAIL: determinism or scaling contract violated", file=sys.stderr)
         return 1
     return 0
 

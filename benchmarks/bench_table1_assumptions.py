@@ -6,6 +6,8 @@ range, A2 variance/moment bounds, A3 distribution family) it declares, and
 whether it actually runs when handed nothing but raw samples.  The paper's
 claim is that this work's estimators are the first pure-DP estimators for
 mean/variance/IQR with an empty assumption column.
+
+The per-estimator probes fan out over the session's persistent engine pool.
 """
 
 from __future__ import annotations
@@ -13,18 +15,22 @@ from __future__ import annotations
 from repro.bench import capability_matrix, format_table, render_experiment_header
 
 
-def test_table1_assumption_matrix(run_once, reporter, rng, engine_workers):
+def test_table1_assumption_matrix(run_once, reporter, rng, engine_pool):
     def run():
-        return capability_matrix(epsilon=1.0, sample_size=4096, rng=rng, workers=engine_workers)
+        return capability_matrix(epsilon=1.0, sample_size=4096, rng=rng, pool=engine_pool)
 
     rows = run_once(run)
 
-    table = format_table(
-        ["estimator", "target", "privacy", "needs A1", "needs A2", "needs A3",
-         "runs w/o assumptions", "reference"],
-        [row.as_cells() for row in rows],
+    headers = ["estimator", "target", "privacy", "needs A1", "needs A2", "needs A3",
+               "runs w/o assumptions", "reference"]
+    cell_rows = [row.as_cells() for row in rows]
+    table = format_table(headers, cell_rows)
+    reporter(
+        "T1",
+        render_experiment_header("T1", "Table 1 — assumptions of private estimators") + "\n" + table,
+        headers=headers,
+        rows=cell_rows,
     )
-    reporter("T1", render_experiment_header("T1", "Table 1 — assumptions of private estimators") + "\n" + table)
 
     universal = [r for r in rows if r.name.startswith("universal")]
     assert len(universal) == 3

@@ -2,13 +2,23 @@
 
 Every benchmark regenerates one experiment from the DESIGN.md index and emits
 a plain-text table/series (the analogue of a paper table or figure).  Reports
-are written both to ``benchmarks/results/<experiment>.txt`` and to the real
-stdout (bypassing pytest capture) so that ``pytest benchmarks/
---benchmark-only | tee bench_output.txt`` leaves a readable record.
+are written to ``benchmarks/results/<experiment>.txt``, to a structured JSON
+sidecar ``benchmarks/results/<experiment>.json`` (consumed by the CI
+bench-smoke artifact), and to the real stdout (bypassing pytest capture) so
+that ``pytest benchmarks/ --benchmark-only | tee bench_output.txt`` leaves a
+readable record.
+
+All drivers share **one** :class:`repro.engine.EnginePool` for the whole
+session (the ``engine_pool`` fixture): the pool forks its workers on the
+first parallel cell and every subsequent cell of every driver reuses them —
+no per-cell pool spin-up.  With the default ``--engine-workers 1`` the pool
+never forks and everything runs on the serial reference path; results are
+bit-for-bit identical either way.
 """
 
 from __future__ import annotations
 
+import json
 import sys
 from pathlib import Path
 
@@ -19,6 +29,8 @@ _SRC = Path(__file__).resolve().parent.parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
+from repro.engine import EnginePool  # noqa: E402 - after the sys.path fallback
+
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
 
@@ -28,16 +40,23 @@ def pytest_addoption(parser):
         type=int,
         default=1,
         help=(
-            "Worker processes for repro.engine trial fan-out inside the "
-            "benchmarks; results are bit-for-bit identical for any value"
+            "Worker processes for the shared repro.engine pool used by the "
+            "benchmarks (per-cell grid fan-out and per-trial fan-out); "
+            "results are bit-for-bit identical for any value"
         ),
     )
 
 
-@pytest.fixture
-def engine_workers(request) -> int:
-    """Engine worker count for trial fan-out (``--engine-workers``, default 1)."""
-    return int(request.config.getoption("--engine-workers"))
+@pytest.fixture(scope="session")
+def engine_pool(request):
+    """One persistent EnginePool shared by every benchmark cell of the session.
+
+    Forks lazily on the first parallel call, so ``--engine-workers 1`` (the
+    default) stays a pure serial run with no processes spawned.
+    """
+    workers = int(request.config.getoption("--engine-workers"))
+    with EnginePool(workers) as pool:
+        yield pool
 
 
 @pytest.fixture
@@ -45,19 +64,56 @@ def rng() -> np.random.Generator:
     return np.random.default_rng(20230401)
 
 
+def _json_safe(value):
+    """Coerce table cells (numpy scalars, tuples, None) to JSON-safe values.
+
+    Non-finite floats become strings: ``json.dumps`` would otherwise emit
+    bare ``NaN``/``Infinity`` tokens, which strict JSON parsers reject.
+    """
+    if isinstance(value, (bool, np.bool_)):
+        return bool(value)
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (float, np.floating)):
+        as_float = float(value)
+        return as_float if np.isfinite(as_float) else repr(as_float)
+    if isinstance(value, np.ndarray):
+        return [_json_safe(item) for item in value.tolist()]
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(item) for item in value]
+    if isinstance(value, (str, int)) or value is None:
+        return value
+    return str(value)
+
+
 @pytest.fixture
-def reporter(capfd):
-    """Emit an experiment report to stdout (uncaptured) and to a results file.
+def reporter(capfd, request):
+    """Emit an experiment report to stdout (uncaptured), a text file and JSON.
 
     pytest captures output at the file-descriptor level, so the report is
     printed inside ``capfd.disabled()`` to reach the real stdout (and hence
     ``bench_output.txt`` when the run is piped through ``tee``).
+
+    Call as ``reporter(experiment_id, text)`` for the legacy text-only form,
+    or pass ``headers=``/``rows=`` to also write a structured
+    ``results/<experiment>.json`` record (the CI bench-smoke job uploads
+    these as its artifact).
     """
     RESULTS_DIR.mkdir(exist_ok=True)
+    workers = int(request.config.getoption("--engine-workers"))
 
-    def emit(experiment_id: str, text: str) -> None:
-        out_path = RESULTS_DIR / f"{experiment_id.lower()}.txt"
-        out_path.write_text(text + "\n")
+    def emit(experiment_id: str, text: str, headers=None, rows=None) -> None:
+        stem = experiment_id.lower()
+        (RESULTS_DIR / f"{stem}.txt").write_text(text + "\n")
+        record = {
+            "experiment": experiment_id,
+            "test": request.node.name,
+            "engine_workers": workers,
+            "headers": _json_safe(headers) if headers is not None else None,
+            "rows": _json_safe(rows) if rows is not None else None,
+            "text": text,
+        }
+        (RESULTS_DIR / f"{stem}.json").write_text(json.dumps(record, indent=2) + "\n")
         with capfd.disabled():
             print(text, flush=True)
 

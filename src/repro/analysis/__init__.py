@@ -16,7 +16,13 @@ from repro.analysis.theory import (
     loglog,
     quantile_rank_error_bound,
 )
-from repro.analysis.trials import TrialResult, run_statistical_trials, run_trials
+from repro.analysis.trials import (
+    StatisticalCell,
+    TrialResult,
+    run_statistical_grid,
+    run_statistical_trials,
+    run_trials,
+)
 
 __all__ = [
     "absolute_error",
@@ -26,6 +32,8 @@ __all__ = [
     "TrialResult",
     "run_trials",
     "run_statistical_trials",
+    "StatisticalCell",
+    "run_statistical_grid",
     "loglog",
     "empirical_mean_error_bound",
     "quantile_rank_error_bound",

@@ -52,9 +52,10 @@ def _success_rate(
     trials: int,
     rng: np.random.Generator,
     workers: int,
+    pool,
 ) -> float:
     result = run_statistical_trials(
-        estimator, distribution, parameter, n, trials, rng, workers=workers
+        estimator, distribution, parameter, n, trials, rng, workers=workers, pool=pool
     )
     return float(np.mean(result.errors <= alpha))
 
@@ -71,6 +72,7 @@ def empirical_sample_complexity(
     max_n: int = 1_048_576,
     rng: RngLike = None,
     workers: int = 1,
+    pool=None,
 ) -> SampleComplexityResult:
     """Measure the sample size needed to reach error ``alpha`` with the given probability.
 
@@ -98,6 +100,11 @@ def empirical_sample_complexity(
     workers:
         Engine worker count for the per-size trial batches; the measured
         rates are identical for any value given the same seed.
+    pool:
+        Optional open :class:`~repro.engine.EnginePool`.  The search probes
+        many sample sizes in sequence; a shared pool forks its workers once
+        and serves every probed size (and, in the benchmark drivers, every
+        other cell of the sweep) without per-call startup.
     """
     if alpha <= 0:
         raise DomainError(f"alpha must be positive, got {alpha}")
@@ -117,7 +124,7 @@ def empirical_sample_complexity(
     last_failure = min_n
     while n <= max_n:
         rate = _success_rate(
-            estimator, distribution, parameter, n, alpha, trials, generator, workers
+            estimator, distribution, parameter, n, alpha, trials, generator, workers, pool
         )
         tested.append((n, rate))
         if rate >= success_probability:
@@ -133,7 +140,7 @@ def empirical_sample_complexity(
     while high - low > max(low // 4, 8):
         mid = (low + high) // 2
         rate = _success_rate(
-            estimator, distribution, parameter, mid, alpha, trials, generator, workers
+            estimator, distribution, parameter, mid, alpha, trials, generator, workers, pool
         )
         tested.append((mid, rate))
         if rate >= success_probability:

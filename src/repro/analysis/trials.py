@@ -1,6 +1,6 @@
 """Trial runner: repeat a randomized estimator and summarise its error.
 
-Two entry points are provided:
+Three entry points are provided:
 
 * :func:`run_trials` — fully generic: the caller supplies a data generator and
   an estimator callable; used by the empirical-setting benchmarks where the
@@ -9,32 +9,44 @@ Two entry points are provided:
   fresh i.i.d. sample from a :class:`~repro.distributions.Distribution` each
   trial, run the estimator, and compare against the distribution's true
   parameter.
+* :func:`run_statistical_grid` — a whole sweep of statistical cells
+  (:class:`StatisticalCell`: estimator × distribution × parameter × n) fanned
+  out through :func:`repro.engine.run_grid`, so the benchmark drivers
+  parallelise across the *grid* dimension as well as across trials, and many
+  cells share one persistent :class:`~repro.engine.EnginePool`.
 
-Both are thin layers over :func:`repro.engine.run_batch`: each trial gets its
-own child generator derived from the base seed, so estimates are bit-for-bit
-identical for ``workers=1`` and ``workers=N``, and a failed trial never shifts
-the randomness of later trials.  Pass ``rng_policy="shared"`` (serial only) to
-reproduce the legacy *trial-loop* behaviour where every trial consumed one
-shared stream.  Note that this freezes only how the loop feeds randomness to
-trials — the estimators and mechanisms underneath may change how much
-randomness they draw between versions, so bitwise reproduction of historical
-numbers additionally requires the same library version.
+All are thin layers over :mod:`repro.engine`: each trial gets its own child
+generator derived from the base seed, so estimates are bit-for-bit identical
+for ``workers=1`` and ``workers=N``, independent of how cells are scheduled,
+and a failed trial never shifts the randomness of later trials.  Pass
+``rng_policy="shared"`` (serial only) to reproduce the legacy *trial-loop*
+behaviour where every trial consumed one shared stream.  Note that this
+freezes only how the loop feeds randomness to trials — the estimators and
+mechanisms underneath may change how much randomness they draw between
+versions, so bitwise reproduction of historical numbers additionally requires
+the same library version.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro._rng import RngLike, resolve_rng
 from repro.analysis.metrics import ErrorSummary, summarize_errors
 from repro.distributions.base import Distribution
-from repro.engine import TrialFailure, run_batch
+from repro.engine import GridCell, TrialFailure, run_batch, run_grid
 from repro.exceptions import DomainError, MechanismError
 
-__all__ = ["TrialResult", "run_trials", "run_statistical_trials"]
+__all__ = [
+    "TrialResult",
+    "run_trials",
+    "run_statistical_trials",
+    "StatisticalCell",
+    "run_statistical_grid",
+]
 
 #: Signature of an estimator under test: (data, rng) -> point estimate.
 EstimatorFn = Callable[[np.ndarray, np.random.Generator], float]
@@ -112,6 +124,43 @@ def _run_shared_stream(
     return estimates, failures
 
 
+def _make_trial_fn(estimator: EstimatorFn, data_generator: DataFn) -> Callable:
+    """The engine trial body shared by the batch and grid paths."""
+
+    def trial(index: int, generator: np.random.Generator) -> float:
+        try:
+            data = data_generator(generator)
+        except MechanismError as exc:
+            # Only the *estimator* call is a trial failure (matching the
+            # legacy loop and the "shared" policy); a MechanismError from
+            # the data generator must propagate even under allow_failures,
+            # so smuggle it past the engine's catch.
+            raise _DataGenerationError(exc) from exc
+        return float(estimator(data, generator))
+
+    return trial
+
+
+def _finalise(
+    estimates: Sequence[float],
+    failure_records: Sequence[TrialFailure],
+    truth: float,
+    trials: int,
+) -> TrialResult:
+    if not estimates:
+        raise MechanismError(f"all {trials} trials failed")
+    estimates_arr = np.asarray(estimates, dtype=float)
+    errors = np.abs(estimates_arr - truth)
+    return TrialResult(
+        estimates=estimates_arr,
+        errors=errors,
+        truth=float(truth),
+        summary=summarize_errors(errors),
+        failures=len(failure_records),
+        failure_records=tuple(failure_records),
+    )
+
+
 def run_trials(
     estimator: EstimatorFn,
     data_generator: DataFn,
@@ -122,6 +171,7 @@ def run_trials(
     allow_failures: bool = False,
     workers: int = 1,
     rng_policy: str = "per-trial",
+    pool=None,
 ) -> TrialResult:
     """Run ``trials`` independent (data, estimate) repetitions.
 
@@ -148,6 +198,9 @@ def run_trials(
         trial; ``"shared"`` reproduces the legacy single-stream trial loop
         (see the module docstring for the scope of that guarantee) and
         requires ``workers=1``.
+    pool:
+        Optional open :class:`~repro.engine.EnginePool`; lets many trial runs
+        share one set of forked workers.
     """
     if trials < 1:
         raise DomainError(f"trials must be at least 1, got {trials}")
@@ -157,7 +210,7 @@ def run_trials(
         )
 
     if rng_policy == "shared":
-        if workers != 1:
+        if workers != 1 or pool is not None:
             raise DomainError(
                 "rng_policy='shared' is a serial compatibility mode; use "
                 "rng_policy='per-trial' for workers > 1"
@@ -166,43 +219,34 @@ def run_trials(
             estimator, data_generator, trials, rng, allow_failures
         )
     else:
-
-        def trial(index: int, generator: np.random.Generator) -> float:
-            try:
-                data = data_generator(generator)
-            except MechanismError as exc:
-                # Only the *estimator* call is a trial failure (matching the
-                # legacy loop and the "shared" policy); a MechanismError from
-                # the data generator must propagate even under
-                # allow_failures, so smuggle it past the engine's catch.
-                raise _DataGenerationError(exc) from exc
-            return float(estimator(data, generator))
-
         try:
             batch = run_batch(
-                trial,
+                _make_trial_fn(estimator, data_generator),
                 trials,
                 rng,
                 workers=workers,
                 allow_failures=allow_failures,
+                pool=pool,
             )
         except _DataGenerationError as wrapper:
             raise wrapper.original
         estimates = list(batch.results)
         failure_records = list(batch.failures)
 
-    if not estimates:
-        raise MechanismError(f"all {trials} trials failed")
-    estimates_arr = np.asarray(estimates, dtype=float)
-    errors = np.abs(estimates_arr - truth)
-    return TrialResult(
-        estimates=estimates_arr,
-        errors=errors,
-        truth=float(truth),
-        summary=summarize_errors(errors),
-        failures=len(failure_records),
-        failure_records=tuple(failure_records),
-    )
+    return _finalise(estimates, failure_records, truth, trials)
+
+
+def _statistical_truth(distribution: Distribution, parameter: str) -> float:
+    truth_lookup = {
+        "mean": lambda: distribution.mean,
+        "variance": lambda: distribution.variance,
+        "iqr": lambda: distribution.iqr,
+    }
+    if parameter not in truth_lookup:
+        raise DomainError(
+            f"parameter must be one of {sorted(truth_lookup)}, got {parameter!r}"
+        )
+    return float(truth_lookup[parameter]())
 
 
 def run_statistical_trials(
@@ -216,6 +260,7 @@ def run_statistical_trials(
     allow_failures: bool = False,
     workers: int = 1,
     rng_policy: str = "per-trial",
+    pool=None,
 ) -> TrialResult:
     """Statistical-setting trials: fresh i.i.d. samples from ``distribution``.
 
@@ -232,19 +277,10 @@ def run_statistical_trials(
         Sample size per trial.
     trials:
         Number of repetitions.
-    workers, rng_policy:
+    workers, rng_policy, pool:
         Forwarded to :func:`run_trials` / the engine.
     """
-    truth_lookup = {
-        "mean": lambda: distribution.mean,
-        "variance": lambda: distribution.variance,
-        "iqr": lambda: distribution.iqr,
-    }
-    if parameter not in truth_lookup:
-        raise DomainError(
-            f"parameter must be one of {sorted(truth_lookup)}, got {parameter!r}"
-        )
-    truth = float(truth_lookup[parameter]())
+    truth = _statistical_truth(distribution, parameter)
 
     def generate(generator: np.random.Generator) -> np.ndarray:
         return distribution.sample(n, generator)
@@ -258,4 +294,76 @@ def run_statistical_trials(
         allow_failures=allow_failures,
         workers=workers,
         rng_policy=rng_policy,
+        pool=pool,
     )
+
+
+@dataclass(frozen=True)
+class StatisticalCell:
+    """One cell of a statistical benchmark sweep.
+
+    The grid analogue of one :func:`run_statistical_trials` call: ``key``
+    labels the cell for result lookup, ``rng`` is the cell's own base seed
+    (give each cell a distinct seed), and the remaining fields mirror the
+    trial-runner arguments.
+    """
+
+    estimator: EstimatorFn
+    distribution: Distribution
+    parameter: str
+    n: int
+    trials: int
+    rng: RngLike = None
+    key: object = None
+    allow_failures: bool = False
+
+
+def run_statistical_grid(
+    cells: Sequence[StatisticalCell],
+    *,
+    workers: Optional[int] = 1,
+    pool=None,
+) -> List[TrialResult]:
+    """Run a whole sweep of statistical cells through :func:`repro.engine.run_grid`.
+
+    Every cell's result is bit-for-bit identical to calling
+    :func:`run_statistical_trials` on that cell alone with the same seed —
+    the grid only changes *where* the trials execute (one shared pool,
+    spans of all cells interleaved), never what they compute.
+
+    Returns one :class:`TrialResult` per cell, in submission order.
+    """
+    grid_cells = []
+    truths = []
+    for cell in cells:
+        if cell.trials < 1:
+            raise DomainError(
+                f"cell {cell.key!r}: trials must be at least 1, got {cell.trials}"
+            )
+        truths.append(_statistical_truth(cell.distribution, cell.parameter))
+
+        def generate(generator, distribution=cell.distribution, n=cell.n):
+            return distribution.sample(n, generator)
+
+        grid_cells.append(
+            GridCell(
+                trial_fn=_make_trial_fn(cell.estimator, generate),
+                trials=cell.trials,
+                rng=cell.rng,
+                key=cell.key,
+                allow_failures=cell.allow_failures,
+            )
+        )
+
+    try:
+        grid = run_grid(grid_cells, workers=workers, pool=pool)
+    except _DataGenerationError as wrapper:
+        raise wrapper.original
+
+    results: List[TrialResult] = []
+    for cell, truth, batch in zip(cells, truths, grid.batches):
+        assert batch is not None  # allow_cell_failures is never set here
+        results.append(
+            _finalise(list(batch.results), list(batch.failures), truth, cell.trials)
+        )
+    return results

@@ -160,6 +160,7 @@ def capability_matrix(
     sample_size: int = 4096,
     rng: RngLike = None,
     workers: int = 1,
+    pool=None,
 ) -> List[CapabilityRow]:
     """Build the Table-1 capability matrix, verifying behaviour as well as metadata.
 
@@ -171,8 +172,8 @@ def capability_matrix(
 
     The per-estimator probes are independent, so they fan out through
     :func:`repro.engine.run_batch`: each probe runs on its own child
-    generator, and ``workers > 1`` parallelises the matrix without changing
-    any row.
+    generator, and ``workers > 1`` (or a shared ``pool``) parallelises the
+    matrix without changing any row.
     """
     generator = resolve_rng(rng)
     data = generator.normal(0.0, 1.0, size=sample_size)
@@ -181,5 +182,5 @@ def capability_matrix(
         name, factory = _BARE_FACTORIES[index]
         return _probe_row(name, factory, data, epsilon, probe_generator)
 
-    batch = run_batch(probe, len(_BARE_FACTORIES), generator, workers=workers)
+    batch = run_batch(probe, len(_BARE_FACTORIES), generator, workers=workers, pool=pool)
     return list(batch.results)

@@ -14,7 +14,7 @@ from typing import Callable, List
 import numpy as np
 
 from repro._rng import RngLike, resolve_rng
-from repro.engine import run_batch
+from repro.engine import as_shared, run_batch
 from repro.exceptions import DomainError
 
 __all__ = [
@@ -99,6 +99,8 @@ def dataset_batch(
     rng: RngLike = None,
     *,
     workers: int = 1,
+    pool=None,
+    shared: bool = False,
 ) -> List[np.ndarray]:
     """Materialise one dataset per trial through :func:`repro.engine.run_batch`.
 
@@ -107,9 +109,24 @@ def dataset_batch(
     engine's determinism contract applied to workload generation.  Used by
     benchmark drivers that want paired designs: E12 pre-builds one dataset per
     trial and reuses it across every ablation setting.
+
+    With ``shared=True`` each dataset is copied once into a
+    :class:`~repro.engine.SharedArray` (a ``multiprocessing.shared_memory``
+    segment).  Trial functions that close over the returned datasets then
+    hand workers only the segment names — every worker maps the same physical
+    pages instead of receiving a pickled copy per dispatch, which is what
+    makes large-``n`` paired designs affordable on a pool.  The caller owns
+    the segments: pass the list to :func:`repro.engine.unlink_all` (or call
+    ``.unlink()`` on each array) when done.  The values are numerically
+    identical to the ``shared=False`` arrays.
     """
-    batch = run_batch(lambda index, generator: factory(generator), trials, rng, workers=workers)
-    return list(batch.results)
+    batch = run_batch(
+        lambda index, generator: factory(generator), trials, rng, workers=workers, pool=pool
+    )
+    datasets = list(batch.results)
+    if shared:
+        return [as_shared(dataset) for dataset in datasets]
+    return datasets
 
 
 def packing_level_dataset(n: int, level_value: int, changed: int) -> np.ndarray:

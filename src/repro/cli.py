@@ -18,6 +18,14 @@ trusted.  The trial fan-out is deterministic for a fixed ``--seed`` regardless
 of the worker count.  Each trial is an independent full-budget release, so
 publishing all of them costs ``N * epsilon``; the spread is meant for offline
 calibration, not joint publication.
+
+``suite`` releases mean, variance and IQR in one invocation.  The three
+statistics are independent grid cells executed through
+:func:`repro.engine.run_grid` on one worker pool (``--grid-workers N``), and
+``--trials`` repeats each of them.  As with ``--trials``, every release is
+independent and full-budget: the total spend reported is
+``3 * trials * epsilon``.  Results are bit-for-bit identical for any
+``--grid-workers`` value given the same ``--seed``.
 """
 
 from __future__ import annotations
@@ -37,7 +45,8 @@ from repro import (
     estimate_quantiles,
     estimate_variance,
 )
-from repro.engine import run_batch
+from repro._rng import spawn_seeds
+from repro.engine import GridCell, run_batch, run_grid
 from repro.exceptions import DomainError, MechanismError, ReproError
 
 __all__ = ["build_parser", "load_column", "main"]
@@ -90,6 +99,21 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="+",
         default=[0.5],
         help="Quantile levels in (0, 1), e.g. --levels 0.5 0.95 0.99",
+    )
+
+    suite = subparsers.add_parser(
+        "suite",
+        help="estimate mean, variance and IQR in one run (three independent releases)",
+    )
+    add_common(suite)
+    suite.add_argument(
+        "--grid-workers",
+        type=int,
+        default=1,
+        help=(
+            "Worker processes for the per-statistic grid fan-out "
+            "(results are worker-count independent)"
+        ),
     )
     return parser
 
@@ -158,19 +182,7 @@ def _run_trial_mode(args: argparse.Namespace, data: np.ndarray) -> None:
             f"--trials > 1 supports the scalar commands {sorted(_SCALAR_ESTIMATORS)}; "
             f"run {args.command!r} once per invocation instead"
         )
-    release = _SCALAR_ESTIMATORS[args.command]
-
-    # Failures (e.g. a rejected propose-test-release check) are captured
-    # inside the trial so the ledger survives: estimators charge the budget as
-    # they go, so a failed trial has still spent epsilon and must be counted.
-    def trial(index: int, generator: np.random.Generator):
-        ledger = PrivacyLedger()
-        try:
-            estimate = float(release(data, args.epsilon, args.beta, generator, ledger))
-        except MechanismError as exc:
-            return None, ledger.total_epsilon, ledger.summary(), str(exc)
-        return estimate, ledger.total_epsilon, ledger.summary(), None
-
+    trial = _release_trial_fn(args.command, data, args.epsilon, args.beta)
     batch = run_batch(trial, args.trials, args.seed, workers=args.workers)
     successes = [entry for entry in batch.results if entry[0] is not None]
     n_failures = batch.trials - len(successes)
@@ -194,6 +206,77 @@ def _run_trial_mode(args: argparse.Namespace, data: np.ndarray) -> None:
         print(successes[0][2])
 
 
+def _release_trial_fn(command: str, data: np.ndarray, epsilon: float, beta: float):
+    """Build the engine trial body for one scalar release command.
+
+    Failures (e.g. a rejected propose-test-release check) are captured
+    inside the trial so the ledger survives: estimators charge the budget as
+    they go, so a failed trial has still spent epsilon and must be counted.
+    """
+    release = _SCALAR_ESTIMATORS[command]
+
+    def trial(index: int, generator: np.random.Generator):
+        ledger = PrivacyLedger()
+        try:
+            estimate = float(release(data, epsilon, beta, generator, ledger))
+        except MechanismError as exc:
+            return None, ledger.total_epsilon, ledger.summary(), str(exc)
+        return estimate, ledger.total_epsilon, ledger.summary(), None
+
+    return trial
+
+
+def _print_spread(command: str, batch) -> float:
+    """Print the estimate spread of one release batch; returns epsilon spent."""
+    successes = [entry for entry in batch.results if entry[0] is not None]
+    n_failures = batch.trials - len(successes)
+    if not successes:
+        first_error = next(entry[3] for entry in batch.results if entry[3])
+        raise DomainError(f"all {batch.trials} trials failed (first: {first_error})")
+    estimates = np.asarray([estimate for estimate, _, _, _ in successes])
+    total_spent = sum(spend for _, spend, _, _ in batch.results)
+    if batch.trials == 1:
+        print(f"dp_{command}={estimates[0]:.6g}")
+    else:
+        q10, q50, q90 = np.quantile(estimates, [0.1, 0.5, 0.9])
+        print(f"dp_{command}_median={q50:.6g}")
+        print(f"dp_{command}_q10={q10:.6g}")
+        print(f"dp_{command}_q90={q90:.6g}")
+        print(f"dp_{command}_failures={n_failures}")
+    return total_spent
+
+
+def _run_suite(args: argparse.Namespace, data: np.ndarray) -> None:
+    """Release mean, variance and IQR as one grid over a shared worker pool."""
+    commands = sorted(_SCALAR_ESTIMATORS)
+    # One independent child seed per statistic, derived up-front: the suite is
+    # reproducible for a fixed --seed no matter how cells are scheduled.
+    cell_seeds = spawn_seeds(args.seed, len(commands))
+    cells = [
+        GridCell(
+            trial_fn=_release_trial_fn(command, data, args.epsilon, args.beta),
+            trials=args.trials,
+            rng=int(seed),
+            key=command,
+        )
+        for command, seed in zip(commands, cell_seeds)
+    ]
+    grid = run_grid(cells, workers=args.grid_workers)
+    total_spent = 0.0
+    for command in commands:
+        total_spent += _print_spread(command, grid.by_key(command))
+    print(f"records={data.size}")
+    print(f"trials_per_statistic={args.trials}")
+    print(f"grid_workers={grid.workers}")
+    print(f"epsilon_total_spent={total_spent:.6g}")
+    if args.show_ledger:
+        first = next(
+            entry for entry in grid.by_key(commands[0]).results if entry[0] is not None
+        )
+        print(f"per-trial ledger (first successful {commands[0]} trial):")
+        print(first[2])
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -205,6 +288,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             raise DomainError(f"--trials must be at least 1, got {args.trials}")
         if args.workers < 1:
             raise DomainError(f"--workers must be at least 1, got {args.workers}")
+        if args.command == "suite":
+            if args.grid_workers < 1:
+                raise DomainError(
+                    f"--grid-workers must be at least 1, got {args.grid_workers}"
+                )
+            if args.workers != 1:
+                raise DomainError(
+                    "suite parallelises across statistics, not within one "
+                    "release; use --grid-workers instead of --workers"
+                )
+            _run_suite(args, data)
+            return 0
         if args.trials > 1:
             _run_trial_mode(args, data)
             return 0

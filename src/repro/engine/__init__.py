@@ -1,19 +1,50 @@
 """repro.engine — deterministic batched trial execution.
 
 The engine turns "repeat this randomized experiment N times" into a single
-:func:`run_batch` call with a hard determinism contract: per-trial generators
-are derived up-front from the base seed (:func:`repro._rng.spawn_seeds`), so
-results are bit-for-bit identical whether the batch runs serially
-(``workers=1``), across a process pool (``workers=N``), or with some trials
-failing.  Failed trials are captured as structured :class:`TrialFailure`
-records rather than a bare counter.
+:func:`run_batch` call — and "sweep this whole parameter grid" into a single
+:func:`run_grid` call — with a hard determinism contract: per-trial
+generators are derived up-front from the base seed
+(:func:`repro._rng.spawn_seeds`), so results are bit-for-bit identical
+whether the work runs serially (``workers=1``), across a process pool
+(``workers=N``), on a shared persistent :class:`EnginePool`, or with some
+trials (or whole cells) failing.  Failed trials are captured as structured
+:class:`TrialFailure` records, failed grid cells as :class:`CellFailure`
+records.
+
+Layered API:
+
+* :func:`run_batch` — one batch of trials (the PR-1 substrate, unchanged
+  contract, now lock-free);
+* :func:`run_grid` + :class:`GridCell` — many batches ("cells") fanned out
+  over one pool, the unit of the E-driver benchmark sweeps;
+* :class:`EnginePool` — a context-managed pool that forks once and serves
+  any number of batch/grid calls, eliminating per-call startup;
+* :class:`SharedArray` / :func:`as_shared` — shared-memory dataset hand-off
+  so large arrays are mapped, not copied, into workers.
 
 Every repeated-trial loop in the repo routes through here: the statistical
 trial runners (:mod:`repro.analysis.trials`), the sample-complexity search,
-the capability matrix, the CLI's ``--trials`` mode, and the E1–E16 benchmark
-drivers.
+the capability matrix, the CLI's ``--trials``/``suite`` modes, and the
+E1–E16 benchmark drivers.
 """
 
-from repro.engine.core import BatchResult, TrialFailure, TrialFn, run_batch
+from repro.engine.core import BatchResult, TrialFailure, TrialFn, execute_span, run_batch
+from repro.engine.grid import CellFailure, GridCell, GridResult, run_grid
+from repro.engine.pool import EnginePool
+from repro.engine.shm import SharedArray, as_shared, unlink_all
 
-__all__ = ["BatchResult", "TrialFailure", "TrialFn", "run_batch"]
+__all__ = [
+    "BatchResult",
+    "TrialFailure",
+    "TrialFn",
+    "run_batch",
+    "execute_span",
+    "GridCell",
+    "GridResult",
+    "CellFailure",
+    "run_grid",
+    "EnginePool",
+    "SharedArray",
+    "as_shared",
+    "unlink_all",
+]

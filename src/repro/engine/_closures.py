@@ -1,0 +1,241 @@
+"""Callable transfer for the persistent worker pool.
+
+A persistent :class:`~repro.engine.pool.EnginePool` forks its workers *once*
+and then serves many :func:`~repro.engine.run_batch` / ``run_grid`` calls, so
+the trial functions of later calls cannot reach the workers through fork
+inheritance — they have to cross the pipe.  Standard :mod:`pickle` refuses the
+most common shapes in this repo (lambdas and local closures over datasets and
+estimator objects), so this module implements a small self-contained codec:
+
+* callables that :mod:`pickle` accepts (module-level functions, bound methods
+  of picklable objects, ...) are shipped as plain pickles;
+* pure-Python functions that pickle rejects are decomposed into their code
+  object (serialised with :mod:`marshal`), defaults, keyword-only defaults and
+  closure cell contents, plus the name of the module supplying their globals.
+  Function-valued defaults/cells are encoded recursively;
+* :class:`functools.partial` objects are encoded as (inner callable, args,
+  kwargs).
+
+Decoding resolves the globals module through :data:`sys.modules` (fork
+children inherit the parent's imported modules) with an
+:func:`importlib.import_module` fallback for modules imported after the pool
+forked.  Anything the codec cannot express raises
+:class:`CallableTransferError`; callers degrade to in-process execution, which
+by the engine's determinism contract produces identical results.
+
+The codec is an internal transport between a parent and worker processes it
+forked itself — it is not a general serialisation format and performs no
+validation of the encoded payload.
+"""
+
+from __future__ import annotations
+
+import functools
+import importlib
+import marshal
+import pickle
+import sys
+import types
+from typing import Any, Tuple
+
+__all__ = ["CallableTransferError", "encode_callable", "decode_callable"]
+
+#: Payload tags.
+_PICKLE = "pickle"
+_FUNCTION = "function"
+_PARTIAL = "partial"
+_CELL_PICKLE = "cell-pickle"
+_CELL_CALLABLE = "cell-callable"
+
+#: Recursion guard: function-valued cells referencing each other should never
+#: be deeper than a couple of levels in practice.
+_MAX_DEPTH = 8
+
+
+class CallableTransferError(TypeError):
+    """The callable cannot be shipped to pool workers.
+
+    Raised when neither pickle nor the function decomposition below can
+    express the callable (e.g. a closure over an open file handle).  The
+    engine reacts by running the affected spans in the parent process.
+    """
+
+
+def _encode_value(value: Any, depth: int) -> Tuple[str, Any]:
+    """Encode one default/cell value: plain pickle, or a nested callable."""
+    try:
+        return _CELL_PICKLE, pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception:
+        if callable(value):
+            return _CELL_CALLABLE, _encode(value, depth + 1)
+        raise CallableTransferError(
+            f"closure state of type {type(value).__name__} is neither picklable "
+            f"nor a callable"
+        )
+
+
+def _decode_value(tag: str, payload: Any) -> Any:
+    if tag == _CELL_PICKLE:
+        return pickle.loads(payload)
+    if tag == _CELL_CALLABLE:
+        return _decode(payload)
+    raise CallableTransferError(f"unknown cell tag {tag!r}")
+
+
+def _referenced_globals(code: types.CodeType) -> set:
+    """Global names a code object (and its nested code objects) may look up."""
+    names = set(code.co_names)
+    for const in code.co_consts:
+        if isinstance(const, types.CodeType):
+            names |= _referenced_globals(const)
+    return names
+
+
+def _encode_function(fn: types.FunctionType, depth: int) -> Tuple[str, Any]:
+    """Decompose a pure-Python function that plain pickle rejected."""
+    try:
+        code_bytes = marshal.dumps(fn.__code__)
+    except ValueError as exc:  # pragma: no cover - e.g. code referencing ctypes
+        raise CallableTransferError(f"cannot marshal code of {fn!r}: {exc}") from exc
+    defaults = None
+    if fn.__defaults__ is not None:
+        defaults = tuple(_encode_value(value, depth) for value in fn.__defaults__)
+    kwdefaults = None
+    if fn.__kwdefaults__:
+        kwdefaults = {
+            key: _encode_value(value, depth) for key, value in fn.__kwdefaults__.items()
+        }
+    closure = None
+    if fn.__closure__ is not None:
+        try:
+            cell_values = [cell.cell_contents for cell in fn.__closure__]
+        except ValueError as exc:  # empty cell: free variable not yet bound
+            raise CallableTransferError(
+                f"cannot transfer {fn.__name__}: closure cell is empty ({exc})"
+            ) from exc
+        closure = tuple(_encode_value(value, depth) for value in cell_values)
+    module = fn.__globals__.get("__name__") or getattr(fn, "__module__", None) or "__main__"
+    # Ship the *values* of the module globals the function references.  The
+    # worker's copy of the module may be a pre-fork snapshot (``__main__``
+    # scripts especially): bindings created or rebound after the pool forked
+    # would otherwise resolve stale — or not at all.  Best effort: names whose
+    # values cannot be encoded fall back to the worker's module dict.
+    overlay = {}
+    for global_name in sorted(_referenced_globals(fn.__code__)):
+        if global_name not in fn.__globals__:
+            continue
+        value = fn.__globals__[global_name]
+        if isinstance(value, types.ModuleType):
+            continue  # modules resolve worker-side (unpicklable, stable anyway)
+        try:
+            overlay[global_name] = _encode_value(value, depth + 1)
+        except CallableTransferError:
+            continue
+    return _FUNCTION, (
+        code_bytes,
+        module,
+        fn.__name__,
+        defaults,
+        kwdefaults,
+        closure,
+        overlay or None,
+    )
+
+
+def _decode_function(payload: Any) -> types.FunctionType:
+    code_bytes, module_name, name, defaults, kwdefaults, closure, overlay = payload
+    code = marshal.loads(code_bytes)
+    module = sys.modules.get(module_name)
+    if module is None:
+        try:
+            module = importlib.import_module(module_name)
+        except Exception as exc:
+            raise CallableTransferError(
+                f"cannot resolve globals module {module_name!r} in worker: {exc}"
+            ) from exc
+    if overlay:
+        globalns = dict(module.__dict__)
+        globalns.update(
+            {key: _decode_value(tag, value) for key, (tag, value) in overlay.items()}
+        )
+    else:
+        globalns = module.__dict__
+    decoded_defaults = None
+    if defaults is not None:
+        decoded_defaults = tuple(_decode_value(tag, value) for tag, value in defaults)
+    cells = None
+    if closure is not None:
+        cells = tuple(
+            types.CellType(_decode_value(tag, value)) for tag, value in closure
+        )
+    fn = types.FunctionType(code, globalns, name, decoded_defaults, cells)
+    if kwdefaults is not None:
+        fn.__kwdefaults__ = {
+            key: _decode_value(tag, value) for key, (tag, value) in kwdefaults.items()
+        }
+    return fn
+
+
+def _encode(fn: Any, depth: int) -> Tuple[str, Any]:
+    if depth > _MAX_DEPTH:
+        raise CallableTransferError("callable graph too deeply nested to transfer")
+    try:
+        payload = pickle.dumps(fn, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception:
+        pass
+    else:
+        return _PICKLE, payload
+    if isinstance(fn, functools.partial):
+        inner = _encode(fn.func, depth + 1)
+        try:
+            args = pickle.dumps(fn.args, protocol=pickle.HIGHEST_PROTOCOL)
+            kwargs = pickle.dumps(fn.keywords, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception as exc:
+            raise CallableTransferError(
+                f"partial arguments are not picklable: {exc}"
+            ) from exc
+        return _PARTIAL, (inner, args, kwargs)
+    if isinstance(fn, types.FunctionType):
+        return _encode_function(fn, depth)
+    if isinstance(fn, types.MethodType):
+        # Unpicklable bound method: ship the underlying function; the instance
+        # travels as a closure-like pickled value.
+        try:
+            instance = pickle.dumps((fn.__self__,), protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception as exc:
+            raise CallableTransferError(
+                f"bound method receiver is not picklable: {exc}"
+            ) from exc
+        return _PARTIAL, (_encode(fn.__func__, depth + 1), instance, pickle.dumps({}))
+    raise CallableTransferError(
+        f"cannot transfer callable of type {type(fn).__name__} to pool workers"
+    )
+
+
+def _decode(encoded: Tuple[str, Any]) -> Any:
+    tag, payload = encoded
+    if tag == _PICKLE:
+        return pickle.loads(payload)
+    if tag == _FUNCTION:
+        return _decode_function(payload)
+    if tag == _PARTIAL:
+        inner, args, kwargs = payload
+        return functools.partial(_decode(inner), *pickle.loads(args), **pickle.loads(kwargs))
+    raise CallableTransferError(f"unknown payload tag {tag!r}")
+
+
+def encode_callable(fn: Any) -> Tuple[str, Any]:
+    """Encode ``fn`` for transfer to a pool worker.
+
+    Returns an opaque payload for :func:`decode_callable`.  Raises
+    :class:`CallableTransferError` when the callable cannot be expressed; the
+    caller is expected to fall back to in-process execution.
+    """
+    if not callable(fn):
+        raise CallableTransferError(f"not a callable: {fn!r}")
+    return _encode(fn, 0)
+
+
+def decode_callable(encoded: Tuple[str, Any]) -> Any:
+    """Reconstruct a callable encoded by :func:`encode_callable`."""
+    return _decode(encoded)

@@ -11,12 +11,19 @@ Determinism contract
     run, how the trials are chunked, or whether earlier trials failed — so
     ``workers=1`` and ``workers=N`` produce bit-for-bit identical results for
     the same base seed, and a failure in trial ``k-1`` cannot shift the
-    randomness of trial ``k``.
+    randomness of trial ``k``.  The same contract extends to the grid layer
+    (:func:`repro.engine.run_grid`): each cell's seeds are derived up-front
+    from that cell's own base seed, in cell-submission order, so a cell's
+    results are additionally invariant to scheduling and to failures in
+    *other* cells.
 
 Serial fallback
     ``workers=1`` (the default) executes in-process with zero multiprocessing
     overhead.  The same per-trial seeding is used, so it is also the reference
-    implementation the parallel path is checked against.
+    implementation the parallel path is checked against.  Nested engine use
+    (a trial function that itself calls ``run_batch``/``run_grid``) detects
+    that it is running inside a daemonic pool worker and degrades to this
+    identical serial path.
 
 Structured failure capture
     With ``allow_failures=True``, exceptions of the types in
@@ -26,28 +33,32 @@ Structured failure capture
     message, instead of being collapsed into a bare counter.  Any other
     exception — or any failure when ``allow_failures=False`` — propagates.
 
-The parallel path uses the ``fork`` start method so that closures (the common
-shape of estimator lambdas in the benchmarks) reach the workers without
-pickling; only integer seeds and results cross the process boundary.  On
-platforms without ``fork``, or inside a daemonic pool worker, execution falls
-back to the serial path — results are identical either way.
+Execution layers
+    Parallel execution is provided by :class:`repro.engine.EnginePool`, which
+    forks its workers once and serves any number of batch/grid calls (pass an
+    open pool via ``pool=``; benchmark sweeps share one pool across all their
+    cells).  Without an explicit pool, ``workers > 1`` spins up an ephemeral
+    pool for the one call.  Trial functions reach the workers through the
+    :mod:`repro.engine._closures` codec (plain pickle when possible, a
+    marshal-based closure codec otherwise); a function that cannot be shipped
+    at all runs in-process, with identical results.  Large datasets should be
+    handed off through :class:`repro.engine.SharedArray` (see
+    :func:`repro.bench.dataset_batch` with ``shared=True``): the workers then
+    map one shared segment instead of each receiving a pickled copy.
 """
 
 from __future__ import annotations
 
-import math
-import multiprocessing as mp
 import os
-import threading
 from dataclasses import dataclass
 from typing import Any, Callable, Optional, Sequence, Tuple, Type
 
 import numpy as np
 
 from repro._rng import RngLike, spawn_seeds
-from repro.exceptions import DomainError, MechanismError
+from repro.exceptions import DomainError, EngineError, MechanismError
 
-__all__ = ["TrialFn", "TrialFailure", "BatchResult", "run_batch"]
+__all__ = ["TrialFn", "TrialFailure", "BatchResult", "run_batch", "execute_span"]
 
 #: A trial body: ``(trial_index, per-trial generator) -> result``.
 TrialFn = Callable[[int, np.random.Generator], Any]
@@ -102,17 +113,37 @@ class BatchResult:
         return len(self.failures)
 
     def estimates(self) -> np.ndarray:
-        """The successful results coerced to a float array (for scalar trials)."""
-        return np.asarray([float(value) for value in self.results], dtype=float)
+        """The successful results as a float array.
+
+        Scalar trial results yield a 1-D array (one entry per successful
+        trial, ordered by trial index).  Array-like results — e.g. the
+        coordinate-wise multivariate estimators — are stacked into a 2-D
+        ``(n_success, d)`` array (or higher-dimensional, mirroring the trial
+        result shape).
+        """
+        if not self.results:
+            return np.empty(0, dtype=float)
+        first = np.asarray(self.results[0], dtype=float)
+        if first.ndim == 0:
+            return np.asarray([float(value) for value in self.results], dtype=float)
+        return np.stack(
+            [np.asarray(value, dtype=float) for value in self.results], axis=0
+        )
 
 
-def _execute_span(
+def execute_span(
     fn: TrialFn,
     catch: Tuple[Type[BaseException], ...],
     start: int,
     seeds: np.ndarray,
 ) -> Tuple[list, list, list]:
-    """Run trials ``start .. start + len(seeds)`` serially on their own generators."""
+    """Run trials ``start .. start + len(seeds)`` serially on their own generators.
+
+    This is the engine's reference implementation: every execution path —
+    serial, ephemeral pool, persistent pool — bottoms out here, which is what
+    makes the determinism contract a structural property rather than a test
+    assertion.
+    """
     results: list = []
     indices: list = []
     failures: list = []
@@ -134,28 +165,50 @@ def _execute_span(
     return results, indices, failures
 
 
-# Worker state inherited through fork: set in the parent immediately before the
-# pool is created so that unpicklable trial functions (closures over datasets,
-# estimator lambdas) reach the children without crossing a pipe.  The lock
-# serialises the set-globals/fork/reset window so concurrent run_batch calls
-# from different threads cannot fork each other's trial function.
-_WORKER_FN: Optional[TrialFn] = None
-_WORKER_CATCH: Tuple[Type[BaseException], ...] = ()
-_WORKER_STATE_LOCK = threading.Lock()
+def merge_span_outputs(outputs) -> Tuple[list, list, list]:
+    """Concatenate ``(results, indices, failures)`` span triples in order.
+
+    The single merge point shared by the batch and grid paths, so the span
+    output format has exactly one producer (:func:`execute_span`) and one
+    consumer shape.
+    """
+    results: list = []
+    indices: list = []
+    failures: list = []
+    for span_results, span_indices, span_failures in outputs:
+        results.extend(span_results)
+        indices.extend(span_indices)
+        failures.extend(span_failures)
+    return results, indices, failures
 
 
-def _pool_entry(span: Tuple[int, np.ndarray]) -> Tuple[list, list, list]:
-    start, seeds = span
-    assert _WORKER_FN is not None, "worker state not initialised before fork"
-    return _execute_span(_WORKER_FN, _WORKER_CATCH, start, seeds)
+def _run_spans_on_pool(
+    pool,
+    trial_fn: TrialFn,
+    catch: Tuple[Type[BaseException], ...],
+    seeds: np.ndarray,
+    trials: int,
+    chunk_size: Optional[int],
+) -> Tuple[list, list, list]:
+    """Fan one batch out over ``pool``; raises the earliest trial error."""
+    from repro.engine.pool import Span, default_chunk_size
 
-
-def _parallel_available() -> bool:
-    if "fork" not in mp.get_all_start_methods():
-        return False
-    # Daemonic pool workers may not create child processes; nested run_batch
-    # calls degrade to the (identical) serial path instead of crashing.
-    return not mp.current_process().daemon
+    effective = min(pool.workers, trials)
+    if chunk_size is None:
+        chunk_size = default_chunk_size(trials, effective)
+    spans = [
+        Span(job=0, start=start, seeds=seeds[start : start + chunk_size])
+        for start in range(0, trials, chunk_size)
+    ]
+    outputs, errors = pool.execute_spans([trial_fn], [catch], spans, fail_fast=True)
+    if errors:
+        # Each span stops at its first failing trial, so the erroring span
+        # with the smallest start index carries the earliest completed trial
+        # error — the exception the serial path would have raised (modulo
+        # spans cancelled by fail-fast, whose results were discarded anyway).
+        first = min(errors, key=lambda span_id: spans[span_id].start)
+        raise errors[first]
+    return merge_span_outputs(outputs)
 
 
 def run_batch(
@@ -167,6 +220,7 @@ def run_batch(
     chunk_size: Optional[int] = None,
     allow_failures: bool = False,
     failure_types: Sequence[Type[BaseException]] = (MechanismError,),
+    pool=None,
 ) -> BatchResult:
     """Run ``trials`` independent trials of ``trial_fn``, possibly in parallel.
 
@@ -174,9 +228,9 @@ def run_batch(
     ----------
     trial_fn:
         Callable mapping ``(trial_index, generator)`` to an arbitrary
-        (picklable, when ``workers > 1``) result.  For parallel execution the
-        function should be pure: mutations of closed-over state stay in the
-        worker process that made them.
+        (picklable, when executing on a pool) result.  For parallel execution
+        the function should be pure: mutations of closed-over state stay in
+        the worker process that made them.
     trials:
         Number of trials (may be 0, yielding an empty result).
     rng:
@@ -184,7 +238,8 @@ def run_batch(
         :func:`repro._rng.spawn_seeds`.
     workers:
         Process count; ``1`` runs serially in-process, ``None`` uses
-        ``os.cpu_count()``.  Results are bit-for-bit independent of this value.
+        ``os.cpu_count()``.  Results are bit-for-bit independent of this
+        value.  Ignored when ``pool`` is given (the pool's size applies).
     chunk_size:
         Trials dispatched per pool task; defaults to roughly four chunks per
         worker.  Affects scheduling only, never results.
@@ -192,7 +247,14 @@ def run_batch(
         When ``True``, exceptions of the types in ``failure_types`` are
         captured as structured :class:`TrialFailure` records; otherwise the
         first one propagates.
+    pool:
+        An open :class:`~repro.engine.EnginePool` to execute on.  Passing a
+        pool lets many calls share one set of forked workers (no per-call
+        startup); without it, ``workers > 1`` forks an ephemeral pool for
+        this call only.
     """
+    from repro.engine.pool import EnginePool
+
     if trials < 0:
         raise DomainError(f"trials must be non-negative, got {trials}")
     if workers is None:
@@ -204,36 +266,31 @@ def run_batch(
 
     seeds = spawn_seeds(rng, trials)
     catch = tuple(failure_types) if allow_failures else ()
-    effective_workers = min(workers, trials) if trials else 1
 
-    if effective_workers <= 1 or not _parallel_available():
-        results, indices, failures = _execute_span(trial_fn, catch, 0, seeds)
-        used = 1
+    if pool is not None:
+        if pool.closed:
+            raise EngineError("cannot run_batch on a closed EnginePool")
+        usable = pool.parallel and min(pool.workers, trials) > 1
+        if usable:
+            results, indices, failures = _run_spans_on_pool(
+                pool, trial_fn, catch, seeds, trials, chunk_size
+            )
+            used = min(pool.workers, trials)
+        else:
+            results, indices, failures = execute_span(trial_fn, catch, 0, seeds)
+            used = 1
     else:
-        if chunk_size is None:
-            chunk_size = max(1, math.ceil(trials / (effective_workers * 4)))
-        spans = [
-            (start, seeds[start : start + chunk_size])
-            for start in range(0, trials, chunk_size)
-        ]
-        global _WORKER_FN, _WORKER_CATCH
-        # The state must stay set for the pool's whole lifetime (a worker that
-        # dies abnormally is replaced by a fresh fork, which must inherit it),
-        # so concurrent run_batch calls from other threads serialise here.
-        with _WORKER_STATE_LOCK:
-            _WORKER_FN, _WORKER_CATCH = trial_fn, catch
-            try:
-                context = mp.get_context("fork")
-                with context.Pool(processes=effective_workers) as pool:
-                    chunk_outputs = pool.map(_pool_entry, spans)
-            finally:
-                _WORKER_FN, _WORKER_CATCH = None, ()
-        results, indices, failures = [], [], []
-        for span_results, span_indices, span_failures in chunk_outputs:
-            results.extend(span_results)
-            indices.extend(span_indices)
-            failures.extend(span_failures)
-        used = effective_workers
+        effective = min(workers, trials) if trials else 1
+        ephemeral = EnginePool(effective) if effective > 1 else None
+        if ephemeral is not None and ephemeral.parallel:
+            with ephemeral:
+                results, indices, failures = _run_spans_on_pool(
+                    ephemeral, trial_fn, catch, seeds, trials, chunk_size
+                )
+            used = effective
+        else:
+            results, indices, failures = execute_span(trial_fn, catch, 0, seeds)
+            used = 1
 
     return BatchResult(
         results=tuple(results),

@@ -1,0 +1,331 @@
+"""Grid execution: fan whole *cells* (one batch each) across a shared pool.
+
+The E-series benchmark drivers sweep parameter grids — sample size × epsilon ×
+distribution × estimator — where every grid point ("cell") is one
+:func:`~repro.engine.run_batch`.  :func:`run_grid` executes all cells of such
+a sweep on one :class:`~repro.engine.EnginePool`, interleaving the spans of
+every cell so the pool stays saturated even when cells are uneven.
+
+Determinism contract (grid extension)
+-------------------------------------
+Before any work starts, each cell's per-trial seeds are derived from *that
+cell's own* base seed via :func:`repro._rng.spawn_seeds`, in submission
+order.  Consequences:
+
+* a cell's results are bit-for-bit identical to running the same
+  ``(trial_fn, trials, rng)`` through a fresh serial :func:`run_batch`;
+* results are invariant to ``workers``, to chunking, and to the dynamic
+  schedule (which worker ran which span);
+* a failure inside one cell can never shift the randomness — or the results —
+  of any other cell.
+
+Cell failures
+-------------
+A trial exception that escapes a cell (i.e. not captured by that cell's
+``allow_failures``) aborts only that cell.  With ``allow_cell_failures=True``
+the cell becomes a structured :class:`CellFailure` record and every other
+cell still completes; otherwise the earliest failing cell's exception
+propagates after in-flight work drains.  The pool itself survives either
+way and can serve further calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Type
+
+import numpy as np
+
+from repro._rng import RngLike, spawn_seeds
+from repro.engine.core import BatchResult, TrialFn, execute_span, merge_span_outputs
+from repro.exceptions import DomainError, EngineError, MechanismError
+
+__all__ = ["GridCell", "CellFailure", "GridResult", "run_grid"]
+
+
+@dataclass(frozen=True)
+class GridCell:
+    """One grid point: an independent batch of trials.
+
+    Attributes
+    ----------
+    trial_fn:
+        The cell's trial body, ``(trial_index, generator) -> result``.
+    trials:
+        Number of trials in the cell.
+    rng:
+        The cell's own base seed material (per-trial seeds are derived from
+        it up-front).  Give each cell a distinct seed for independent
+        randomness across cells.
+    key:
+        Optional label (e.g. the parameter tuple of the grid point) carried
+        through to the result for lookup via :meth:`GridResult.by_key`.
+    allow_failures, failure_types:
+        Per-cell trial-failure capture, exactly as in :func:`run_batch`.
+    chunk_size:
+        Trials per dispatched span for this cell; defaults to a grid-wide
+        heuristic.  Scheduling only — never affects results.
+    """
+
+    trial_fn: TrialFn
+    trials: int
+    rng: RngLike = None
+    key: Any = None
+    allow_failures: bool = False
+    failure_types: Tuple[Type[BaseException], ...] = (MechanismError,)
+    chunk_size: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class CellFailure:
+    """Structured record of one cell whose batch aborted.
+
+    Attributes
+    ----------
+    index:
+        Position of the cell in the submitted sequence.
+    key:
+        The cell's ``key`` (``None`` if unset).
+    error:
+        Exception class name.
+    message:
+        The stringified exception.
+    """
+
+    index: int
+    key: Any
+    error: str
+    message: str
+
+
+@dataclass(frozen=True)
+class GridResult:
+    """Outcome of one :func:`run_grid` call.
+
+    Attributes
+    ----------
+    batches:
+        One :class:`~repro.engine.BatchResult` per cell, in submission order;
+        ``None`` for cells recorded in ``failures``.
+    keys:
+        The cells' ``key`` labels, in submission order.
+    failures:
+        Structured records of aborted cells (empty unless
+        ``allow_cell_failures=True`` and something failed).
+    workers:
+        Worker count of the pool that executed the grid (1 for serial).
+    """
+
+    batches: Tuple[Optional[BatchResult], ...]
+    keys: Tuple[Any, ...]
+    failures: Tuple[CellFailure, ...] = ()
+    workers: int = 1
+    _key_index: Dict[Any, int] = field(default_factory=dict, repr=False, compare=False)
+
+    def __post_init__(self):
+        index: Dict[Any, int] = {}
+        for position, key in enumerate(self.keys):
+            if key is not None and key not in index:
+                index[key] = position
+        object.__setattr__(self, "_key_index", index)
+
+    def __len__(self) -> int:
+        return len(self.batches)
+
+    def __iter__(self) -> Iterator[Optional[BatchResult]]:
+        return iter(self.batches)
+
+    def __getitem__(self, index: int) -> BatchResult:
+        batch = self.batches[index]
+        if batch is None:
+            position = index if index >= 0 else index + len(self.batches)
+            failure = next(f for f in self.failures if f.index == position)
+            raise DomainError(
+                f"grid cell {position} (key={failure.key!r}) failed: "
+                f"{failure.error}: {failure.message}"
+            )
+        return batch
+
+    def by_key(self, key: Any) -> BatchResult:
+        """The batch of the first cell submitted with ``key``."""
+        if key not in self._key_index:
+            raise DomainError(f"no grid cell with key {key!r}")
+        return self[self._key_index[key]]
+
+    @property
+    def n_failures(self) -> int:
+        """Number of aborted cells."""
+        return len(self.failures)
+
+
+def _cell_catch(cell: GridCell) -> Tuple[Type[BaseException], ...]:
+    return tuple(cell.failure_types) if cell.allow_failures else ()
+
+
+def _assemble(
+    cell: GridCell, outputs: List[tuple], workers: int
+) -> BatchResult:
+    results, indices, failures = merge_span_outputs(outputs)
+    return BatchResult(
+        results=tuple(results),
+        indices=tuple(indices),
+        failures=tuple(failures),
+        trials=cell.trials,
+        workers=workers,
+    )
+
+
+def run_grid(
+    cells: Sequence[GridCell],
+    *,
+    workers: Optional[int] = 1,
+    pool=None,
+    allow_cell_failures: bool = False,
+) -> GridResult:
+    """Execute every cell of a parameter grid, fanning spans across one pool.
+
+    Parameters
+    ----------
+    cells:
+        The grid points, each an independent :class:`GridCell`.
+    workers:
+        Pool size when no explicit ``pool`` is given; ``1`` (default) runs
+        the whole grid serially in submission order, ``None`` uses
+        ``os.cpu_count()``.  Results are bit-for-bit independent of this
+        value.
+    pool:
+        An open :class:`~repro.engine.EnginePool`; lets many ``run_grid`` /
+        ``run_batch`` calls share one set of forked workers.
+    allow_cell_failures:
+        When ``True``, a cell whose batch aborts becomes a
+        :class:`CellFailure` record and the remaining cells still run;
+        otherwise the earliest failing cell's exception propagates.
+    """
+    from repro.engine.pool import EnginePool, Span, default_chunk_size
+
+    cells = list(cells)
+    for position, cell in enumerate(cells):
+        if cell.trials < 0:
+            raise DomainError(
+                f"cell {position} (key={cell.key!r}): trials must be "
+                f"non-negative, got {cell.trials}"
+            )
+        if cell.chunk_size is not None and cell.chunk_size < 1:
+            raise DomainError(
+                f"cell {position} (key={cell.key!r}): chunk_size must be at "
+                f"least 1, got {cell.chunk_size}"
+            )
+    if workers is not None and workers < 1:
+        raise DomainError(f"workers must be at least 1, got {workers}")
+    if pool is not None and pool.closed:
+        raise EngineError("cannot run_grid on a closed EnginePool")
+
+    # Derive every cell's seeds up-front, in submission order: this is the
+    # whole determinism contract — nothing that happens later (scheduling,
+    # chunking, failures elsewhere) can change what randomness any trial sees.
+    seed_arrays = [spawn_seeds(cell.rng, cell.trials) for cell in cells]
+    catches = [_cell_catch(cell) for cell in cells]
+    keys = tuple(cell.key for cell in cells)
+
+    total_trials = sum(cell.trials for cell in cells)
+    ephemeral: Optional[EnginePool] = None
+    if pool is None and total_trials:
+        size = workers  # None means cpu_count inside EnginePool
+        candidate = EnginePool(size) if (size is None or size > 1) else None
+        if candidate is not None and candidate.parallel:
+            ephemeral = candidate
+    active = pool if pool is not None else ephemeral
+
+    batches: List[Optional[BatchResult]] = [None] * len(cells)
+    failures: List[CellFailure] = []
+
+    def record_cell_error(position: int, exc: BaseException) -> None:
+        failures.append(
+            CellFailure(
+                index=position,
+                key=cells[position].key,
+                error=type(exc).__name__,
+                message=str(exc),
+            )
+        )
+
+    if active is None or not active.parallel:
+        # Serial reference path (also the nested / no-fork degradation).
+        for position, cell in enumerate(cells):
+            try:
+                outputs = [
+                    execute_span(cell.trial_fn, catches[position], 0, seed_arrays[position])
+                ]
+            except Exception as exc:
+                if not allow_cell_failures:
+                    raise
+                record_cell_error(position, exc)
+                continue
+            batches[position] = _assemble(cell, outputs, workers=1)
+        used = 1
+    else:
+        effective = active.workers
+        spans: List[Span] = []
+        for position, cell in enumerate(cells):
+            chunk = cell.chunk_size
+            if chunk is None:
+                chunk = default_chunk_size(cell.trials, effective, jobs=len(cells))
+            for start in range(0, cell.trials, chunk):
+                spans.append(
+                    Span(
+                        job=position,
+                        start=start,
+                        seeds=seed_arrays[position][start : start + chunk],
+                    )
+                )
+        try:
+            outputs, errors = active.execute_spans(
+                [cell.trial_fn for cell in cells],
+                catches,
+                spans,
+                fail_fast=not allow_cell_failures,
+            )
+        finally:
+            if ephemeral is not None:
+                ephemeral.close()
+
+        # Attribute span errors to cells; each cell's earliest erroring span
+        # (smallest start) carries the exception the serial path would raise.
+        cell_error: Dict[int, Tuple[int, BaseException]] = {}
+        for span_id, exc in errors.items():
+            # Interrupts are never "cell failures": the serial path would
+            # propagate them, so the parallel path must too, even under
+            # allow_cell_failures.
+            if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                raise exc
+            span = spans[span_id]
+            current = cell_error.get(span.job)
+            if current is None or span.start < current[0]:
+                cell_error[span.job] = (span.start, exc)
+        if cell_error and not allow_cell_failures:
+            raise cell_error[min(cell_error)][1]
+
+        per_cell_outputs: List[List[Tuple[int, tuple]]] = [[] for _ in cells]
+        for span_id, output in enumerate(outputs):
+            if output is None:
+                continue
+            span = spans[span_id]
+            per_cell_outputs[span.job].append((span.start, output))
+        for position, cell in enumerate(cells):
+            if position in cell_error:
+                record_cell_error(position, cell_error[position][1])
+                continue
+            ordered = [out for _, out in sorted(per_cell_outputs[position])]
+            # Per-cell workers mirrors run_batch's metadata: a cell with
+            # fewer trials than the pool has workers cannot use them all.
+            batches[position] = _assemble(
+                cell, ordered, workers=max(1, min(effective, cell.trials))
+            )
+        used = effective
+
+    return GridResult(
+        batches=tuple(batches),
+        keys=keys,
+        failures=tuple(failures),
+        workers=used,
+    )

@@ -1,0 +1,189 @@
+"""Shared-memory dataset hand-off for the engine.
+
+Large datasets closed over by trial functions would otherwise be pickled into
+every worker on every call (the closure codec ships cell contents by value).
+:class:`SharedArray` places the data in a :mod:`multiprocessing.shared_memory`
+segment exactly once; what crosses the pipe afterwards is only the segment
+name plus shape/dtype metadata, and every worker maps the same physical
+pages.
+
+Protocol
+--------
+* The *owner* process (the one that called :func:`as_shared` /
+  :meth:`SharedArray.from_array`) is responsible for the segment's lifetime:
+  call :meth:`SharedArray.unlink` (or use the object as a context manager)
+  when the datasets are no longer needed.  Workers only ever *attach*.
+* Worker-side attachments are cached per segment for the life of the process
+  and explicitly unregistered from the ``resource_tracker`` — on Pythons
+  before 3.13 the tracker erroneously adopts attached segments and would
+  unlink them from under the owner when the worker exits.
+* The wrapped array is exposed read-only in workers by convention: trial
+  functions must treat datasets as immutable (mutations would be visible to
+  concurrent trials in other workers, breaking trial independence).
+
+``SharedArray`` implements ``__array__``, ``__len__`` and ``__getitem__`` so
+it can be handed directly to the estimators (which call ``np.asarray`` on
+their input) without copying.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from multiprocessing import resource_tracker, shared_memory
+from typing import Dict, Iterable, Tuple
+
+import numpy as np
+
+__all__ = ["SharedArray", "as_shared", "unlink_all"]
+
+#: Process-local cache of attached segments, so repeated unpickling of the
+#: same dataset in one worker maps the segment once and keeps it alive.
+_ATTACHED: Dict[str, shared_memory.SharedMemory] = {}
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    segment = _ATTACHED.get(name)
+    if segment is None:
+        segment = shared_memory.SharedMemory(name=name)
+        if multiprocessing.parent_process() is None:
+            # Pre-3.13 resource_tracker wrongly tracks attached (not created)
+            # segments and would unlink them when *this* process exits,
+            # destroying the owner's data.  Hand tracking back to the owner.
+            # Skip this inside multiprocessing children (the engine's pool
+            # workers): they inherit the owner's tracker, so unregistering
+            # there would cancel the owner's own registration instead.
+            try:
+                resource_tracker.unregister(segment._name, "shared_memory")
+            except Exception:  # pragma: no cover - tracker version variations
+                pass
+        _ATTACHED[name] = segment
+    return segment
+
+
+def _rebuild(name: str, shape: Tuple[int, ...], dtype_str: str) -> "SharedArray":
+    """Unpickle hook: attach to an existing segment by name."""
+    segment = _attach_segment(name)
+    return SharedArray(segment, shape, np.dtype(dtype_str), owner=False)
+
+
+class SharedArray:
+    """A numpy array whose buffer lives in named shared memory.
+
+    Create with :func:`as_shared` (copies an existing array in) and pass it
+    around like an ndarray; pickling transfers only ``(name, shape, dtype)``.
+    """
+
+    __slots__ = ("_segment", "_shape", "_dtype", "_owner", "_view")
+
+    def __init__(
+        self,
+        segment: shared_memory.SharedMemory,
+        shape: Tuple[int, ...],
+        dtype: np.dtype,
+        owner: bool,
+    ):
+        self._segment = segment
+        self._shape = tuple(int(dim) for dim in shape)
+        self._dtype = np.dtype(dtype)
+        self._owner = owner
+        self._view = np.ndarray(self._shape, dtype=self._dtype, buffer=segment.buf)
+        if not owner:
+            # Attached views are read-only by convention (see module docstring).
+            self._view.flags.writeable = False
+
+    @classmethod
+    def from_array(cls, array: np.ndarray) -> "SharedArray":
+        """Copy ``array`` into a fresh shared-memory segment owned by this process."""
+        source = np.ascontiguousarray(array)
+        segment = shared_memory.SharedMemory(create=True, size=max(1, source.nbytes))
+        shared = cls(segment, source.shape, source.dtype, owner=True)
+        shared._view[...] = source
+        return shared
+
+    # -- ndarray interoperability ------------------------------------------
+    @property
+    def array(self) -> np.ndarray:
+        """The live (zero-copy) ndarray view of the segment."""
+        return self._view
+
+    def __array__(self, dtype=None, copy=None):
+        if dtype is not None and np.dtype(dtype) != self._dtype:
+            return self._view.astype(dtype)
+        if copy:
+            return self._view.copy()
+        return self._view
+
+    def __len__(self) -> int:
+        return self._shape[0] if self._shape else 0
+
+    def __getitem__(self, item):
+        return self._view[item]
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self._shape
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self._dtype
+
+    @property
+    def size(self) -> int:
+        return int(self._view.size)
+
+    @property
+    def name(self) -> str:
+        """The shared-memory segment name (the cross-process handle)."""
+        return self._segment.name
+
+    @property
+    def owner(self) -> bool:
+        """Whether this process created (and must eventually unlink) the segment."""
+        return self._owner
+
+    # -- pickling ----------------------------------------------------------
+    def __reduce__(self):
+        return _rebuild, (self._segment.name, self._shape, self._dtype.str)
+
+    # -- lifetime ----------------------------------------------------------
+    def unlink(self) -> None:
+        """Release the segment (owner only; attached copies just close)."""
+        self._view = np.ndarray(0, dtype=self._dtype)  # drop the buffer view
+        name = self._segment.name
+        try:
+            self._segment.close()
+        except Exception:  # pragma: no cover - already closed
+            pass
+        if self._owner:
+            try:
+                self._segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - double unlink
+                pass
+        _ATTACHED.pop(name, None)
+
+    def __enter__(self) -> "SharedArray":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.unlink()
+
+    def __repr__(self) -> str:
+        role = "owner" if self._owner else "attached"
+        return (
+            f"SharedArray(name={self._segment.name!r}, shape={self._shape}, "
+            f"dtype={self._dtype}, {role})"
+        )
+
+
+def as_shared(array: np.ndarray) -> SharedArray:
+    """Copy ``array`` into shared memory (no-op passthrough for SharedArray)."""
+    if isinstance(array, SharedArray):
+        return array
+    return SharedArray.from_array(np.asarray(array))
+
+
+def unlink_all(arrays: Iterable[SharedArray]) -> None:
+    """Unlink every :class:`SharedArray` in ``arrays`` (ignores plain ndarrays)."""
+    for array in arrays:
+        if isinstance(array, SharedArray):
+            array.unlink()

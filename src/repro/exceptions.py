@@ -16,6 +16,7 @@ __all__ = [
     "InsufficientDataError",
     "DomainError",
     "AssumptionRequiredError",
+    "EngineError",
 ]
 
 
@@ -46,6 +47,16 @@ class InsufficientDataError(ReproError, ValueError):
 
 class DomainError(ReproError, ValueError):
     """A value, bucket size or domain description is invalid."""
+
+
+class EngineError(ReproError, RuntimeError):
+    """The parallel execution layer failed structurally.
+
+    Raised when a pool worker dies unexpectedly, when a closed pool is
+    reused, or when trial results cannot cross the process boundary.  Never
+    raised for ordinary trial failures — those propagate as the trial's own
+    exception or are captured as ``TrialFailure`` records.
+    """
 
 
 class AssumptionRequiredError(ReproError, ValueError):

@@ -1,11 +1,13 @@
-"""Tier-1-safe engine smoke test: one tiny benchmark cell end to end.
+"""Tier-1-safe engine smoke test: tiny benchmark cells end to end.
 
 The E-series drivers under ``benchmarks/`` are not collected by ``pytest -x
--q`` (their filenames do not match the test pattern), so this module runs a
-miniature E7-style cell — the universal mean estimator over a Gaussian,
-repeated through :mod:`repro.engine` with multiple workers — inside the tier-1
-suite.  Any regression in the engine fan-out, the trial runner rewiring, or
-the estimator hot path surfaces here.
+-q`` (their filenames do not match the test pattern), so this module runs
+miniature driver-style cells — the universal mean estimator over a Gaussian,
+repeated through :mod:`repro.engine` with multiple workers, and a small
+multi-cell sweep through :func:`repro.analysis.run_statistical_grid` on a
+shared :class:`repro.engine.EnginePool` — inside the tier-1 suite.  Any
+regression in the engine fan-out, the grid layer, the trial runner rewiring,
+or the estimator hot path surfaces here.
 
 Set ``REPRO_ENGINE_WORKERS`` to change the worker count (default 2, matching
 the ``--engine-workers`` option of the benchmark harness).
@@ -17,7 +19,8 @@ import os
 
 import numpy as np
 
-from repro.analysis import run_statistical_trials
+from repro.analysis import StatisticalCell, run_statistical_grid, run_statistical_trials
+from repro.engine import EnginePool
 from repro.bench import capability_matrix, dataset_batch, uniform_integer_dataset
 from repro.core import estimate_mean
 from repro.distributions import Gaussian
@@ -62,3 +65,28 @@ def test_capability_matrix_smoke_through_engine():
     assert "universal_mean" in names and "sample_mean" in names
     universal = rows[names.index("universal_mean")]
     assert universal.runs_without_assumptions
+
+
+def test_tiny_grid_sweep_on_shared_pool():
+    """A miniature E-driver sweep: grid fan-out on one pool == per-cell serial."""
+
+    def universal(data, gen):
+        return estimate_mean(data, 1.0, 0.1, gen).mean
+
+    dist = Gaussian(5.0, 1.0)
+    cells = [
+        StatisticalCell(universal, dist, "mean", n, 3, seed, key=n)
+        for seed, n in enumerate((800, 1_200, 1_600))
+    ]
+    with EnginePool(ENGINE_WORKERS) as pool:
+        pooled = run_statistical_grid(cells, pool=pool)
+        # Pool reuse: the capability matrix rides the same forked workers.
+        matrix = capability_matrix(sample_size=512, rng=11, pool=pool)
+    serial = [
+        run_statistical_trials(cell.estimator, cell.distribution, cell.parameter,
+                               cell.n, cell.trials, cell.rng)
+        for cell in cells
+    ]
+    for pooled_result, serial_result in zip(pooled, serial):
+        np.testing.assert_array_equal(pooled_result.estimates, serial_result.estimates)
+    assert len(matrix) == len(capability_matrix(sample_size=512, rng=11))

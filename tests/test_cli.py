@@ -219,3 +219,84 @@ class TestTrialMode:
         code = main(["mean", str(salary_csv), "--column", "salary", "--workers", "0"])
         assert code == 2
         assert "--workers must be at least 1" in capsys.readouterr().err
+
+
+class TestSuiteCommand:
+    def test_suite_releases_all_three_statistics(self, salary_csv, capsys):
+        code = main(["suite", str(salary_csv), "--column", "salary", "--seed", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "dp_mean=" in out
+        assert "dp_variance=" in out
+        assert "dp_iqr=" in out
+        assert "records=5000" in out
+        # Three independent full-budget releases: at least epsilon each (some
+        # estimators charge auxiliary probes on top, e.g. variance's paired
+        # range search).
+        total = float(out.split("epsilon_total_spent=")[1].splitlines()[0])
+        assert total >= 3 * 1.0 - 1e-9
+
+    def test_suite_with_trials_reports_spread(self, salary_csv, capsys):
+        code = main(
+            ["suite", str(salary_csv), "--column", "salary", "--seed", "1",
+             "--epsilon", "1.0", "--trials", "5"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        for stat in ("mean", "variance", "iqr"):
+            assert f"dp_{stat}_median=" in out
+            assert f"dp_{stat}_failures=0" in out
+        assert "trials_per_statistic=5" in out
+        total = float(out.split("epsilon_total_spent=")[1].splitlines()[0])
+        median = float(out.split("dp_mean_median=")[1].splitlines()[0])
+        truth = float(np.mean(load_column(salary_csv, "salary")))
+        assert median == pytest.approx(truth, rel=0.1)
+        # The spend scales linearly in --trials: 5x the single-shot suite.
+        assert main(["suite", str(salary_csv), "--column", "salary", "--seed", "1",
+                     "--epsilon", "1.0"]) == 0
+        single = capsys.readouterr().out
+        base = float(single.split("epsilon_total_spent=")[1].splitlines()[0])
+        assert total == pytest.approx(5 * base)
+
+    def test_suite_grid_worker_count_invariant(self, salary_csv, capsys):
+        args = ["suite", str(salary_csv), "--column", "salary", "--seed", "2",
+                "--trials", "4"]
+        assert main(args + ["--grid-workers", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(args + ["--grid-workers", "3"]) == 0
+        parallel = capsys.readouterr().out
+        strip = lambda text: [l for l in text.splitlines()  # noqa: E731
+                              if not l.startswith("grid_workers=")]
+        assert strip(serial) == strip(parallel)
+
+    def test_suite_deterministic_for_fixed_seed(self, salary_csv, capsys):
+        args = ["suite", str(salary_csv), "--column", "salary", "--seed", "9"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        assert first == capsys.readouterr().out
+
+    def test_suite_show_ledger(self, salary_csv, capsys):
+        code = main(
+            ["suite", str(salary_csv), "--column", "salary", "--seed", "1",
+             "--show-ledger"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "per-trial ledger" in out
+
+    def test_suite_invalid_grid_workers_rejected(self, salary_csv, capsys):
+        code = main(
+            ["suite", str(salary_csv), "--column", "salary", "--grid-workers", "0"]
+        )
+        assert code == 2
+        assert "--grid-workers must be at least 1" in capsys.readouterr().err
+
+    def test_suite_rejects_plain_workers_flag(self, salary_csv, capsys):
+        """--workers is meaningless for suite; silently ignoring it would let
+        the user believe the trials were parallelised."""
+        code = main(
+            ["suite", str(salary_csv), "--column", "salary", "--workers", "4"]
+        )
+        assert code == 2
+        assert "--grid-workers" in capsys.readouterr().err

@@ -42,13 +42,23 @@ _COMMON_SETTINGS = dict(
 class TestRadiusProperties:
     @given(data=integer_datasets, epsilon=small_epsilons, seed=seeds)
     @settings(**_COMMON_SETTINGS)
-    def test_radius_cap_and_finiteness(self, data, epsilon, seed):
+    def test_radius_structure_and_finiteness(self, data, epsilon, seed):
+        # Note the 2*rad + 3b cap of Theorem 3.1 is NOT asserted here: it
+        # holds with probability 1 - beta per run, not for every seed — SVT
+        # can legitimately overshoot a doubling step when the noisy threshold
+        # draw is unlucky (hypothesis eventually finds such (data, seed)
+        # pairs, e.g. a few points just above a power of two with the rest at
+        # zero).  The cap is exercised on fixed seeds in
+        # test_empirical_radius.py and measured in the E1 benchmark; here we
+        # assert only the invariants that hold for *every* seed.
         values = np.asarray(data, dtype=float)
         result = estimate_radius(values, epsilon, 0.2, np.random.default_rng(seed))
-        true_radius = float(np.max(np.abs(values)))
         assert math.isfinite(result.radius)
         assert result.radius >= 0.0
-        assert result.radius <= 2.0 * true_radius + 3.0
+        if result.grid_radius != 0:
+            # The released radius is always a power of two in grid units.
+            assert result.grid_radius & (result.grid_radius - 1) == 0
+        assert result.radius == result.bucket_size * result.grid_radius
         assert result.covered_count + result.uncovered_count == values.size
 
     @given(data=integer_datasets, epsilon=small_epsilons, seed=seeds)
