@@ -1,0 +1,120 @@
+"""SERVICE — queries/sec of the private-query service, cold vs cached.
+
+Three operating points of :class:`repro.service.QueryService` on one
+registered dataset:
+
+* **cold / serial** — distinct queries, cache disabled, no engine pool:
+  every answer is a full estimator run in-process (the floor);
+* **cold / pooled** — the same distinct queries fanned out as one
+  ``submit_many`` batch across the session's shared engine pool (with
+  ``--engine-workers 1`` this equals the serial path, bit for bit);
+* **cached** — one released answer replayed: each request is a canonical-key
+  lookup at zero marginal epsilon — the DP-correct fast path and the
+  service's throughput lever.  The cached/cold ratio is asserted to be large
+  (>= 50x; in practice it is orders of magnitude).
+
+Emits the same structured JSON as the E-drivers (``results/service.json``).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.bench import format_table, render_experiment_header
+from repro.service import AnswerCache, Query, QueryRequest, QueryService
+
+N = 20_000
+DISTINCT_QUERIES = 24
+CACHED_REQUESTS = 2_000
+TOTAL_BUDGET = 1_000.0  # roomy: this benchmark measures throughput, not refusals
+SEED = 20230401
+
+
+def _distinct_requests() -> list:
+    """A mixed bag of distinct queries (kind x epsilon), no two alike."""
+    requests = []
+    for index in range(DISTINCT_QUERIES):
+        kind = ("mean", "variance", "iqr", "quantile")[index % 4]
+        epsilon = 0.2 + 0.01 * index
+        levels = (0.5, 0.9) if kind == "quantile" else ()
+        requests.append(QueryRequest("d", Query(kind, epsilon, levels=levels)))
+    return requests
+
+
+def _dataset() -> np.ndarray:
+    return np.random.default_rng(SEED).normal(250.0, 40.0, size=N)
+
+
+def _service(pool=None, cache=None) -> QueryService:
+    service = QueryService(pool=pool, seed=SEED, cache=cache)
+    service.register("d", _dataset(), TOTAL_BUDGET, share=pool is not None)
+    return service
+
+
+def test_service_throughput(run_once, reporter, engine_pool):
+    def run():
+        requests = _distinct_requests()
+
+        # Cold, serial: cache off so every request is a fresh estimator run.
+        serial = _service(cache=AnswerCache(maxsize=0))
+        start = time.perf_counter()
+        serial_answers = serial.submit_many(requests)
+        serial_seconds = time.perf_counter() - start
+
+        # Cold, pooled: same batch over the session's shared engine pool.
+        pooled = _service(pool=engine_pool, cache=AnswerCache(maxsize=0))
+        start = time.perf_counter()
+        pooled_answers = pooled.submit_many(requests)
+        pooled_seconds = time.perf_counter() - start
+        pooled.registry.close()
+
+        # Determinism contract: the pool changes wall-clock only.
+        assert [a.value for a in serial_answers] == [a.value for a in pooled_answers]
+        assert all(a.ok for a in serial_answers)
+
+        # Cached: release once, then replay the identical query.
+        cached_service = _service()
+        warm = cached_service.query("d", "mean", epsilon=0.5)
+        assert warm.ok and not warm.cached
+        start = time.perf_counter()
+        for _ in range(CACHED_REQUESTS):
+            answer = cached_service.query("d", "mean", epsilon=0.5)
+        cached_seconds = time.perf_counter() - start
+        assert answer.cached and answer.epsilon_charged == 0.0
+        assert cached_service.cache_stats.hits == CACHED_REQUESTS
+
+        rows = [
+            ["cold-serial", len(requests), serial_seconds,
+             len(requests) / serial_seconds, 1.0],
+            ["cold-pooled", len(requests), pooled_seconds,
+             len(requests) / pooled_seconds, serial_seconds / pooled_seconds],
+            ["cached", CACHED_REQUESTS, cached_seconds,
+             CACHED_REQUESTS / cached_seconds,
+             (CACHED_REQUESTS / cached_seconds) / (len(requests) / serial_seconds)],
+        ]
+        return rows
+
+    rows = run_once(run)
+    headers = ["mode", "queries", "seconds", "queries/sec", "speedup vs cold-serial"]
+    table = format_table(headers, rows)
+    reporter(
+        "SERVICE",
+        render_experiment_header(
+            "SERVICE", "Query service throughput: cold vs cached, serial vs pooled"
+        )
+        + "\n"
+        + table,
+        headers=headers,
+        rows=rows,
+    )
+
+    cold_qps = rows[0][3]
+    cached_qps = rows[2][3]
+    # The cache answers from memory: even on a loaded CI box it must beat a
+    # full estimator run by a wide margin (in practice it is >= 1000x).
+    assert cached_qps >= 50.0 * cold_qps, (
+        f"cached path ({cached_qps:.0f} q/s) should dwarf the cold path "
+        f"({cold_qps:.0f} q/s)"
+    )

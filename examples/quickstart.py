@@ -4,22 +4,24 @@ The point of the universal estimators is that this script needs to know
 *nothing* about the data: no range for the mean, no bounds on the variance,
 no distribution family.  Run it as::
 
-    python examples/quickstart.py
+    python examples/quickstart.py [n_records]
 """
 
 from __future__ import annotations
+
+import sys
 
 import numpy as np
 
 from repro import PrivacyLedger, estimate_iqr, estimate_mean, estimate_variance
 
 
-def main() -> None:
+def main(n_records: int = 50_000) -> None:
     rng = np.random.default_rng(7)
 
     # Synthetic "adult heights in cm" dataset.  In a real deployment this would
     # be the sensitive column of a database table.
-    heights = rng.normal(loc=171.3, scale=9.2, size=50_000)
+    heights = rng.normal(loc=171.3, scale=9.2, size=n_records)
 
     epsilon_per_query = 0.5
 
@@ -44,4 +46,4 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 50_000)

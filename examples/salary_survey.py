@@ -17,10 +17,12 @@ which is far more informative than the variance for skewed pay data.
 
 Run as::
 
-    python examples/salary_survey.py
+    python examples/salary_survey.py [n_respondents]
 """
 
 from __future__ import annotations
+
+import sys
 
 import numpy as np
 
@@ -29,12 +31,15 @@ from repro.baselines import BoundedLaplaceMean
 from repro.distributions import LogNormal
 
 
-def main() -> None:
+def main(n_respondents: int = 80_000) -> None:
     rng = np.random.default_rng(11)
 
-    # Salaries: log-normal body (median ~$58k) plus a sprinkle of executives.
-    body = LogNormal(mu_log=11.0, sigma_log=0.55).sample(80_000, rng)
-    executives = LogNormal(mu_log=14.5, sigma_log=0.8).sample(400, rng)
+    # Salaries: log-normal body (median ~$58k) plus a sprinkle of executives
+    # (one for every 200 regular respondents).
+    body = LogNormal(mu_log=11.0, sigma_log=0.55).sample(n_respondents, rng)
+    executives = LogNormal(mu_log=14.5, sigma_log=0.8).sample(
+        max(n_respondents // 200, 2), rng
+    )
     salaries = np.concatenate([body, executives])
     rng.shuffle(salaries)
 
@@ -67,4 +72,4 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 80_000)

@@ -1,0 +1,88 @@
+"""Serving quickstart: a budgeted private-query service in a dozen lines.
+
+The batch examples release statistics once; a deployment answers *queries*
+from many analysts against registered datasets, forever — until the privacy
+budget is gone.  This example drives :class:`repro.service.QueryService`
+through the full life cycle:
+
+1. register a dataset with a finite total budget (and an analyst sub-budget),
+2. answer fresh queries (each one charges the budget with the epsilon its
+   estimator actually spent),
+3. answer a *repeated* query from cache at zero marginal epsilon,
+4. hit the budget wall and get a structured refusal — the ledger untouched,
+5. inspect the accounting.
+
+Run as::
+
+    python examples/service_quickstart.py [n_records]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.service import QueryService
+
+
+def main(n_records: int = 30_000) -> None:
+    rng = np.random.default_rng(23)
+    latencies_ms = rng.gamma(shape=2.0, scale=12.0, size=n_records)
+
+    # A fixed service seed makes every answer reproducible and independent of
+    # how many engine workers the service runs with.
+    service = QueryService(seed=2023)
+    service.register(
+        "latency_ms",
+        latencies_ms,
+        total_budget=2.0,
+        analyst_budgets={"dashboard": 0.75},
+    )
+
+    print("=== repro.service quickstart: private latency dashboard ===")
+    print(f"records: {n_records}, total budget: epsilon = 2.0\n")
+
+    answer = service.query("latency_ms", "mean", epsilon=0.5, analyst="dashboard")
+    print(f"mean latency       : {answer.value:8.3f} ms"
+          f"   (charged {answer.epsilon_charged:.3f}, remaining {answer.remaining:.3f})")
+
+    answer = service.query(
+        "latency_ms", "quantile", epsilon=0.25, levels=[0.5, 0.99], analyst="dashboard"
+    )
+    p50, p99 = answer.value
+    print(f"p50 / p99 latency  : {p50:8.3f} / {p99:.3f} ms"
+          f"   (charged {answer.epsilon_charged:.3f}, remaining {answer.remaining:.3f})")
+
+    # The dashboard refreshes: the identical query costs nothing the second time.
+    repeat = service.query(
+        "latency_ms", "quantile", epsilon=0.25, levels=[0.5, 0.99], analyst="dashboard"
+    )
+    print(f"refresh (cache hit): {'yes' if repeat.cached else 'no'}"
+          f"            (charged {repeat.epsilon_charged:.3f})")
+
+    # The dashboard analyst has a 0.75 sub-budget and has spent ~0.735 of it.
+    refused = service.query("latency_ms", "iqr", epsilon=0.5, analyst="dashboard")
+    print(f"\nanalyst over-budget: status={refused.status} ({refused.message})")
+
+    # Another analyst still has room in the shared total budget.
+    answer = service.query("latency_ms", "iqr", epsilon=0.5, analyst="batch-report")
+    print(f"iqr (other analyst): {answer.value:8.3f} ms"
+          f"   (charged {answer.epsilon_charged:.3f}, remaining {answer.remaining:.3f})")
+
+    # Spending the rest of the total budget produces a structured refusal.
+    refused = service.query("latency_ms", "variance", epsilon=5.0)
+    print(f"over total budget  : status={refused.status}")
+
+    print("\n=== Accounting ===")
+    stats = service.stats()
+    budget = stats["datasets"][0]["budget"]
+    cache = stats["cache"]
+    print(f"spent {budget['spent']:.3f} of {budget['capacity']:.3f} epsilon "
+          f"across {budget['releases']} releases; remaining {budget['remaining']:.3f}")
+    print(f"cache: {cache['hits']} hits / {cache['misses']} misses "
+          f"({cache['size']} stored answers)")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 30_000)

@@ -1,0 +1,218 @@
+"""CI driver: boot `repro serve`, hammer it with mixed queries, audit the log.
+
+Starts the service as a real subprocess on an ephemeral port, then drives a
+few hundred queries covering every interesting outcome:
+
+* distinct fresh queries (budget-charged releases),
+* repeated identical queries (must be served from cache at zero spend),
+* deliberately oversized queries (must yield structured 403 refusals),
+* malformed queries and unknown datasets (400/404, never a 500),
+* one batch request through the engine fan-out endpoint.
+
+Fails (exit 1) if any expectation is violated or if the server log contains
+a stack trace.  Run from the repo root::
+
+    PYTHONPATH=src python scripts/serve_and_drive.py [--queries 200]
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import json
+import random
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+FAILURES: list = []
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        FAILURES.append(message)
+        print(f"FAIL: {message}")
+
+
+def call(url: str, path: str, payload=None, timeout: float = 30.0):
+    """POST/GET JSON; returns (http_status, decoded_body)."""
+    data = None if payload is None else json.dumps(payload).encode()
+    request = urllib.request.Request(
+        url + path,
+        data=data,
+        headers={"Content-Type": "application/json"},
+        method="POST" if data is not None else "GET",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.loads(response.read().decode())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read().decode())
+
+
+def write_dataset(path: Path, records: int = 5000) -> None:
+    generator = random.Random(7)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["id", "value"])
+        for index in range(records):
+            writer.writerow([index, f"{generator.lognormvariate(11.0, 0.5):.2f}"])
+
+
+def start_server(csv_path: Path, log_path: Path, budget: float) -> tuple:
+    log_handle = open(log_path, "w")
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve", str(csv_path),
+            "--column", "value", "--dataset", "demo",
+            "--budget", str(budget), "--port", "0", "--seed", "7",
+        ],
+        stdout=log_handle,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    deadline = time.time() + 30.0
+    url = None
+    while time.time() < deadline and url is None:
+        if process.poll() is not None:
+            break
+        match = re.search(r"listening on (http://\S+)", log_path.read_text())
+        if match:
+            url = match.group(1)
+        else:
+            time.sleep(0.1)
+    return process, log_handle, url
+
+
+def drive(url: str, total_queries: int) -> None:
+    statuses = {"ok": 0, "refused": 0, "cached": 0, "client_error": 0}
+
+    # Phase 1: distinct fresh releases (small epsilons so the budget lasts).
+    fresh = []
+    kinds = ["mean", "variance", "iqr", "quantile"]
+    for index in range(max(total_queries // 8, 8)):
+        kind = kinds[index % 4]
+        query = {"dataset": "demo", "kind": kind, "epsilon": 0.02 + 0.001 * index}
+        if kind == "quantile":
+            query["levels"] = [0.5, 0.9]
+        fresh.append(query)
+    released = []
+    for query in fresh:
+        status, body = call(url, "/query", query)
+        check(status in (200, 403), f"fresh query gave HTTP {status}: {body}")
+        check("status" in body, f"missing status field: {body}")
+        if body.get("status") == "ok":
+            statuses["ok"] += 1
+            check(not body.get("cached"), f"first release claims cached: {body}")
+            released.append(query)
+        elif body.get("status") == "refused":
+            statuses["refused"] += 1
+
+    check(len(released) >= 4, f"too few successful releases ({len(released)})")
+
+    # Phase 2: repeats of released queries -> cache hits at zero spend.
+    # Phases 3 and 4 contribute a fixed 15 queries; fill the rest with repeats.
+    needed = total_queries - 15 - sum(statuses.values())
+    for repeats in range(max(needed, 0)):
+        query = released[repeats % len(released)]
+        status, body = call(url, "/query", query)
+        check(status == 200, f"repeat gave HTTP {status}: {body}")
+        check(body.get("cached") is True, f"repeat was not served from cache: {body}")
+        check(body.get("epsilon_charged") == 0.0, f"cache hit charged epsilon: {body}")
+        statuses["cached"] += 1
+
+    # Phase 3: queries that cannot fit the remaining budget -> refusals.
+    for _ in range(10):
+        status, body = call(
+            url, "/query", {"dataset": "demo", "kind": "mean", "epsilon": 100.0}
+        )
+        check(status == 403, f"over-budget query gave HTTP {status}: {body}")
+        check(body.get("status") == "refused", f"expected refusal: {body}")
+        check(body.get("error") == "budget_exceeded", f"wrong refusal code: {body}")
+        statuses["refused"] += 1
+
+    # Phase 4: malformed / unknown requests -> clean 4xx, never 5xx.
+    bad_cases = [
+        ({"dataset": "ghost", "kind": "mean", "epsilon": 0.1}, 404),
+        ({"dataset": "demo", "kind": "mode", "epsilon": 0.1}, 400),
+        ({"dataset": "demo", "kind": "mean", "epsilon": -1.0}, 400),
+        ({"dataset": "demo", "kind": "quantile", "epsilon": 0.1}, 400),
+        ({"dataset": "demo", "kind": "mean"}, 400),
+    ]
+    for payload, expected in bad_cases:
+        status, body = call(url, "/query", payload)
+        check(status == expected, f"{payload} gave HTTP {status} (wanted {expected})")
+        statuses["client_error"] += 1
+
+    # Phase 5: one batch through the fan-out endpoint, duplicates coalesced.
+    batch = {"queries": [released[0], released[0], released[1 % len(released)]]}
+    status, body = call(url, "/query", batch)
+    check(status == 200, f"batch gave HTTP {status}")
+    answers = body.get("answers", [])
+    check(len(answers) == 3, f"batch returned {len(answers)} answers")
+    check(all(a.get("status") == "ok" for a in answers), f"batch answers: {answers}")
+
+    # Final accounting must be consistent.
+    status, body = call(url, "/datasets")
+    check(status == 200, "datasets snapshot failed")
+    budget = body["datasets"][0]["budget"]
+    check(budget["spent"] <= budget["capacity"] + 1e-6,
+          f"spent {budget['spent']} exceeds capacity {budget['capacity']}")
+    check(budget["reserved"] == 0.0, f"dangling reservation: {budget}")
+    cache = body["cache"]
+    check(cache["hits"] >= statuses["cached"],
+          f"cache hits {cache['hits']} < expected {statuses['cached']}")
+
+    total = sum(statuses.values())
+    print(f"drove {total} queries: {statuses}")
+    check(total >= total_queries * 0.9, f"only drove {total} of {total_queries}")
+    check(statuses["cached"] >= total_queries // 2, "too few cache hits exercised")
+    check(statuses["refused"] >= 10, "too few refusals exercised")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--queries", type=int, default=200)
+    parser.add_argument("--budget", type=float, default=3.0)
+    args = parser.parse_args()
+
+    with tempfile.TemporaryDirectory() as tmp:
+        csv_path = Path(tmp) / "data.csv"
+        log_path = Path(tmp) / "server.log"
+        write_dataset(csv_path)
+        process, log_handle, url = start_server(csv_path, log_path, args.budget)
+        try:
+            check(url is not None, f"server never came up:\n{log_path.read_text()}")
+            if url is not None:
+                print(f"server at {url}")
+                drive(url, args.queries)
+        finally:
+            process.send_signal(signal.SIGINT)
+            try:
+                process.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait()
+            log_handle.close()
+        log_text = log_path.read_text()
+        check("Traceback" not in log_text,
+              f"server log contains a stack trace:\n{log_text}")
+        check(process.returncode == 0, f"server exited with {process.returncode}")
+        print("--- server log ---")
+        print(log_text)
+
+    if FAILURES:
+        print(f"{len(FAILURES)} check(s) failed")
+        return 1
+    print("all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -34,6 +34,14 @@ The public API is organised as:
   bit-for-bit identical for ``workers=1`` and ``workers=N`` and unaffected by
   other trials failing; failures are captured as structured
   :class:`repro.engine.TrialFailure` records;
+* ``repro.service`` — the deployment layer: a concurrent private-query
+  service where datasets are registered with a finite total privacy budget
+  (atomic check-and-spend, per-analyst sub-budgets, structured refusals),
+  identical repeated queries are answered from cache at zero marginal
+  epsilon, and concurrent distinct queries fan out over a shared
+  :class:`repro.engine.EnginePool` — with a stdlib HTTP front-end
+  (``repro serve`` / ``repro query``).  Import from :mod:`repro.service`;
+  it is not re-exported here to keep the core import light;
 * ``repro.analysis`` / ``repro.bench`` — experiment harness.
 """
 
@@ -76,7 +84,9 @@ from repro.exceptions import (
     ReproError,
 )
 
-__version__ = "1.0.0"
+#: Kept in sync with ``pyproject.toml``; the CLI's ``--version`` prefers the
+#: installed distribution metadata and falls back to this.
+__version__ = "0.3.0"
 
 __all__ = [
     "__version__",

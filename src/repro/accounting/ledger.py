@@ -9,6 +9,7 @@ caller asked for — the executable counterpart of basic composition.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Iterator, List, Optional
 
@@ -45,15 +46,36 @@ class PrivacyLedger:
         When given, :meth:`charge` raises :class:`BudgetExceededError` if the
         running total would exceed this epsilon (a small relative tolerance is
         allowed for floating-point round-off in the paper's fractional splits).
+
+    The ledger is safe for concurrent use: the check-and-append in
+    :meth:`charge` happens atomically under an internal lock, so two threads
+    charging one capped ledger can never jointly overshoot the capacity, and
+    :attr:`total_epsilon` always reflects a consistent prefix of the spends.
     """
 
     capacity: Optional[float] = None
     spends: List[BudgetSpend] = field(default_factory=list)
     _tolerance: float = 1e-9
+    _lock: threading.RLock = field(
+        default_factory=threading.RLock, repr=False, compare=False
+    )
+    #: Running total, maintained by charge() so total_epsilon stays O(1) for
+    #: long-lived ledgers (the service commits one spend per release).
+    _total: float = field(default=0.0, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.capacity is not None:
             self.capacity = validate_epsilon(self.capacity, name="capacity")
+        self._total = sum(s.effective_epsilon for s in self.spends)
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_lock"]  # locks cannot cross process boundaries
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self.__dict__["_lock"] = threading.RLock()
 
     def charge(
         self,
@@ -62,24 +84,27 @@ class PrivacyLedger:
         *,
         charged_epsilon: Optional[float] = None,
     ) -> BudgetSpend:
-        """Record a spend of ``epsilon`` attributed to ``label``."""
+        """Record a spend of ``epsilon`` attributed to ``label`` (atomically)."""
         epsilon = validate_epsilon(epsilon)
         if charged_epsilon is not None:
             charged_epsilon = validate_epsilon(charged_epsilon, name="charged_epsilon")
         spend = BudgetSpend(label=label, epsilon=epsilon, charged_epsilon=charged_epsilon)
-        new_total = self.total_epsilon + spend.effective_epsilon
-        if self.capacity is not None and new_total > self.capacity * (1.0 + self._tolerance):
-            raise BudgetExceededError(
-                f"charging {spend.effective_epsilon:.6g} for {label!r} would bring the total "
-                f"to {new_total:.6g}, exceeding the capacity {self.capacity:.6g}"
-            )
-        self.spends.append(spend)
+        with self._lock:
+            new_total = self._total + spend.effective_epsilon
+            if self.capacity is not None and new_total > self.capacity * (1.0 + self._tolerance):
+                raise BudgetExceededError(
+                    f"charging {spend.effective_epsilon:.6g} for {label!r} would bring the total "
+                    f"to {new_total:.6g}, exceeding the capacity {self.capacity:.6g}"
+                )
+            self.spends.append(spend)
+            self._total = new_total
         return spend
 
     @property
     def total_epsilon(self) -> float:
         """Total effective epsilon recorded so far."""
-        return sum(s.effective_epsilon for s in self.spends)
+        with self._lock:
+            return self._total
 
     @property
     def remaining(self) -> Optional[float]:
@@ -96,7 +121,8 @@ class PrivacyLedger:
 
     def summary(self) -> str:
         """Return a short human-readable description of all spends."""
-        lines = [f"PrivacyLedger(total={self.total_epsilon:.6g}, capacity={self.capacity})"]
-        for spend in self.spends:
-            lines.append(f"  - {spend.label}: {spend.effective_epsilon:.6g}")
+        with self._lock:
+            lines = [f"PrivacyLedger(total={self.total_epsilon:.6g}, capacity={self.capacity})"]
+            for spend in self.spends:
+                lines.append(f"  - {spend.label}: {spend.effective_epsilon:.6g}")
         return "\n".join(lines)

@@ -26,12 +26,23 @@ statistics are independent grid cells executed through
 independent and full-budget: the total spend reported is
 ``3 * trials * epsilon``.  Results are bit-for-bit identical for any
 ``--grid-workers`` value given the same ``--seed``.
+
+``serve`` starts the :mod:`repro.service` HTTP front-end: the CSV column is
+registered as a dataset with a finite total privacy budget and queries are
+answered over JSON until the budget runs out (identical repeated queries are
+served from cache at zero marginal epsilon).  ``query`` is the matching
+client::
+
+    python -m repro serve data.csv --column salary --budget 20 --port 8080
+    python -m repro query mean --url http://127.0.0.1:8080 \
+        --dataset salary --epsilon 0.5
 """
 
 from __future__ import annotations
 
 import argparse
 import csv
+import json
 import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
@@ -52,11 +63,30 @@ from repro.exceptions import DomainError, MechanismError, ReproError
 __all__ = ["build_parser", "load_column", "main"]
 
 
+def _package_version() -> str:
+    """The installed distribution version, falling back to the module's."""
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+
+        try:
+            return version("repro-universal-statistics")
+        except PackageNotFoundError:
+            pass
+    except ImportError:  # pragma: no cover - importlib.metadata is 3.8+
+        pass
+    from repro import __version__
+
+    return __version__
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed separately for testing)."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Universal pure-DP estimators for mean, variance, IQR and quantiles.",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {_package_version()}"
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -114,6 +144,73 @@ def build_parser() -> argparse.ArgumentParser:
             "Worker processes for the per-statistic grid fan-out "
             "(results are worker-count independent)"
         ),
+    )
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="serve DP queries against the CSV column over HTTP under a total budget",
+    )
+    serve.add_argument("csv_path", type=Path, help="Path to the input CSV file")
+    serve.add_argument(
+        "--column", required=True, help="Column name (header) or 0-based index to serve"
+    )
+    serve.add_argument(
+        "--dataset", default=None,
+        help="Dataset name clients address (default: the column name)",
+    )
+    serve.add_argument(
+        "--budget", type=float, required=True,
+        help="Total privacy budget (epsilon) the dataset may ever spend",
+    )
+    serve.add_argument(
+        "--analyst-budget", action="append", default=[], metavar="NAME=EPS",
+        help="Per-analyst sub-budget (repeatable), e.g. --analyst-budget alice=2.0",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="Bind address")
+    serve.add_argument(
+        "--port", type=int, default=8080,
+        help="TCP port (0 picks a free ephemeral port, printed on startup)",
+    )
+    serve.add_argument(
+        "--seed", type=int, default=None,
+        help="Service seed: answers become deterministic per query, "
+             "independent of worker count",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=1,
+        help="Engine-pool workers for fanning out concurrent distinct queries",
+    )
+    serve.add_argument(
+        "--cache-size", type=int, default=None,
+        help="Answer-cache entries (default unbounded; 0 disables caching)",
+    )
+    serve.add_argument(
+        "--allow-register", action="store_true",
+        help="Accept POST /datasets registrations from clients",
+    )
+    serve.add_argument(
+        "--quiet", action="store_true", help="Suppress per-request access logging"
+    )
+
+    client = subparsers.add_parser(
+        "query", help="send one query to a running 'repro serve' instance"
+    )
+    client.add_argument(
+        "kind",
+        choices=["mean", "variance", "iqr", "quantile", "multivariate_mean"],
+        help="Statistic to request",
+    )
+    client.add_argument("--url", required=True, help="Service base URL")
+    client.add_argument("--dataset", required=True, help="Registered dataset name")
+    client.add_argument("--epsilon", type=float, default=1.0, help="Privacy budget")
+    client.add_argument("--beta", type=float, default=1.0 / 3.0, help="Failure probability")
+    client.add_argument(
+        "--levels", type=float, nargs="+", default=None,
+        help="Quantile levels (quantile queries only)",
+    )
+    client.add_argument("--analyst", default=None, help="Analyst name for sub-budgets")
+    client.add_argument(
+        "--timeout", type=float, default=30.0, help="HTTP timeout in seconds"
     )
     return parser
 
@@ -277,12 +374,133 @@ def _run_suite(args: argparse.Namespace, data: np.ndarray) -> None:
         print(first[2])
 
 
+def _parse_analyst_budgets(entries: Sequence[str]) -> dict:
+    budgets = {}
+    for entry in entries:
+        name, sep, eps = entry.partition("=")
+        if not sep or not name:
+            raise DomainError(
+                f"--analyst-budget expects NAME=EPS, got {entry!r}"
+            )
+        try:
+            budgets[name] = float(eps)
+        except ValueError as exc:
+            raise DomainError(
+                f"--analyst-budget {entry!r}: {eps!r} is not a number"
+            ) from exc
+    return budgets
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    """Start the repro.service HTTP front-end over one CSV column."""
+    from repro.engine import EnginePool
+    from repro.service import AnswerCache, QueryService, make_server
+
+    data = load_column(args.csv_path, args.column)
+    if args.workers < 1:
+        raise DomainError(f"--workers must be at least 1, got {args.workers}")
+    if args.cache_size is not None and args.cache_size < 0:
+        raise DomainError(f"--cache-size must be >= 0, got {args.cache_size}")
+    analyst_budgets = _parse_analyst_budgets(args.analyst_budget)
+    dataset_name = args.dataset or str(args.column)
+
+    pool = EnginePool(args.workers) if args.workers > 1 else None
+    service = QueryService(
+        pool=pool, seed=args.seed, cache=AnswerCache(maxsize=args.cache_size)
+    )
+    service.register(
+        dataset_name,
+        data,
+        args.budget,
+        analyst_budgets=analyst_budgets or None,
+        share=pool is not None and pool.parallel,
+    )
+    server = make_server(
+        service, args.host, args.port,
+        allow_register=args.allow_register, quiet=args.quiet,
+    )
+    host, port = server.server_address[:2]
+    print(f"repro-service listening on http://{host}:{port}", flush=True)
+    print(
+        f"dataset {dataset_name!r}: {data.size} records, "
+        f"total budget epsilon={args.budget:g}, workers={args.workers}, "
+        f"seed={args.seed}",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", flush=True)
+    finally:
+        server.server_close()
+        service.registry.close()
+        if pool is not None:
+            pool.close()
+    return 0
+
+
+def _run_query_client(args: argparse.Namespace) -> int:
+    """POST one query to a running service and print the structured answer."""
+    import urllib.error
+    import urllib.request
+
+    payload = {
+        "dataset": args.dataset,
+        "kind": args.kind,
+        "epsilon": args.epsilon,
+        "beta": args.beta,
+    }
+    if args.levels:
+        payload["levels"] = args.levels
+    if args.analyst:
+        payload["analyst"] = args.analyst
+    request = urllib.request.Request(
+        args.url.rstrip("/") + "/query",
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=args.timeout) as response:
+            document = json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as exc:
+        # Refusals and validation errors arrive as structured JSON bodies.
+        try:
+            document = json.loads(exc.read().decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            raise DomainError(f"service returned HTTP {exc.code} with no JSON body")
+    except (urllib.error.URLError, OSError) as exc:
+        raise DomainError(f"cannot reach service at {args.url}: {exc}")
+
+    status = document.get("status", "error")
+    print(f"status={status}")
+    if status == "ok":
+        value = document.get("value")
+        if isinstance(value, list):
+            print(f"value={','.join(f'{v:.6g}' for v in value)}")
+        else:
+            print(f"value={value:.6g}")
+        print(f"cached={'yes' if document.get('cached') else 'no'}")
+    if document.get("error"):
+        print(f"error={document['error']}")
+        print(f"message={document.get('message', '')}")
+    if document.get("epsilon_charged") is not None:
+        print(f"epsilon_charged={document['epsilon_charged']:.6g}")
+    if document.get("remaining") is not None:
+        print(f"remaining={document['remaining']:.6g}")
+    return {"ok": 0, "refused": 3, "failed": 4}.get(status, 2)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
 
     try:
+        if args.command == "serve":
+            return _run_serve(args)
+        if args.command == "query":
+            return _run_query_client(args)
         data = load_column(args.csv_path, args.column)
         if args.trials < 1:
             raise DomainError(f"--trials must be at least 1, got {args.trials}")
@@ -330,6 +548,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(ledger.summary())
         return 0
     except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except OSError as error:
+        # Unreadable files, refused binds, broken pipes: one clean line, no
+        # traceback.
         print(f"error: {error}", file=sys.stderr)
         return 2
 

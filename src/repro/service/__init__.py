@@ -1,0 +1,75 @@
+"""``repro.service`` — a concurrent private-query service.
+
+The deployment story the estimators exist for: datasets are *registered*
+with a finite total privacy budget, analysts submit typed *queries*
+(mean / variance / quantile / IQR / multivariate mean), and the service
+
+* atomically **admits or refuses** each query against the remaining budget
+  (:class:`BudgetManager`: reserve → commit, per-analyst sub-budgets,
+  structured refusals that leave the ledger untouched);
+* answers **identical repeated queries from cache at zero marginal
+  epsilon** (:class:`AnswerCache` — DP post-processing, and the service's
+  main throughput lever);
+* **fans concurrent distinct queries out** through a shared
+  :class:`repro.engine.EnginePool` (:class:`QueryService`, with a serial
+  in-process fallback and :class:`repro.engine.SharedArray` hand-off for
+  ``share=True`` datasets);
+* speaks **JSON over HTTP** via the stdlib front-end in
+  :mod:`repro.service.http` (CLI: ``repro serve`` / ``repro query``).
+
+Under a fixed service ``seed`` every answer is bit-for-bit identical for
+``workers=1`` and ``workers=N`` — each query's randomness is derived from
+``(service seed, canonical query key)``, never from scheduling.
+
+Quick start
+-----------
+>>> import numpy as np
+>>> from repro.service import QueryService
+>>> service = QueryService(seed=7)
+>>> _ = service.register("heights", np.random.default_rng(0).normal(170, 8, 20_000),
+...                      total_budget=2.0)
+>>> answer = service.query("heights", "mean", epsilon=0.5)
+>>> answer.ok and abs(answer.value - 170) < 2
+True
+>>> service.query("heights", "mean", epsilon=0.5).cached  # same query: free
+True
+"""
+
+from repro.service.cache import AnswerCache, CacheStats
+from repro.service.executor import QueryAnswer, QueryRequest, QueryService
+from repro.service.queries import (
+    QUERY_KINDS,
+    InvalidQueryError,
+    Query,
+    QueryPlan,
+    plan_query,
+)
+from repro.service.registry import (
+    BudgetManager,
+    DatasetRegistry,
+    RegisteredDataset,
+    Reservation,
+    UnknownDatasetError,
+)
+from repro.service.http import ServiceServer, make_server, serve_forever
+
+__all__ = [
+    "QueryService",
+    "QueryRequest",
+    "QueryAnswer",
+    "Query",
+    "QueryPlan",
+    "QUERY_KINDS",
+    "plan_query",
+    "InvalidQueryError",
+    "BudgetManager",
+    "Reservation",
+    "DatasetRegistry",
+    "RegisteredDataset",
+    "UnknownDatasetError",
+    "AnswerCache",
+    "CacheStats",
+    "ServiceServer",
+    "make_server",
+    "serve_forever",
+]

@@ -1,0 +1,505 @@
+"""The query service: admission, coalescing, and engine-pool fan-out.
+
+:class:`QueryService` composes the registry (budget admission), the answer
+cache (zero-spend repeats), and :mod:`repro.engine` (parallel execution)
+into a thread-safe in-process serving layer:
+
+Request life cycle
+------------------
+1. **Validate** — the query is type/parameter/shape-checked against the
+   dataset (:func:`repro.service.queries.plan_query`) before any budget is
+   touched; malformed requests become structured ``invalid`` answers.
+2. **Cache** — an identical earlier release (canonical-key match) is served
+   from the :class:`~repro.service.cache.AnswerCache` at **zero marginal
+   epsilon** (DP post-processing).
+3. **Admit** — the dataset's :class:`~repro.service.registry.BudgetManager`
+   atomically reserves the query's worst-case spend; refusal is a structured
+   ``refused`` answer with the ledger untouched.
+4. **Execute** — admitted queries of one :meth:`QueryService.submit_many`
+   batch become one-trial :class:`~repro.engine.GridCell`\\ s fanned out over
+   the shared :class:`~repro.engine.EnginePool` (serial in-process when no
+   pool is configured).  Registered-with-``share=True`` datasets cross to the
+   workers as :class:`~repro.engine.SharedArray` segment names, not copies.
+5. **Commit** — the epsilon the estimator's own ledger actually recorded is
+   committed against the budget (reservations are exact upper bounds), and
+   successful answers enter the cache.
+
+Determinism contract (service extension)
+----------------------------------------
+Under a fixed ``seed``, each query's generator is derived from
+``(service seed, canonical query key)`` — never from submission order,
+thread timing, or the worker count.  Combined with the engine's grid
+contract this makes every answer **bit-for-bit identical for ``pool=None``,
+``workers=1`` and ``workers=N``**, across batching layouts, for the life of
+the service.  With ``seed=None`` every fresh release draws new entropy.
+
+Concurrent *identical* queries from different threads are coalesced: one
+computes, the rest wait and share the released answer (again zero marginal
+epsilon).  Concurrent *distinct* queries proceed independently; admission
+order decides who gets the last of a nearly-exhausted budget.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import struct
+import threading
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.accounting import PrivacyLedger
+from repro.engine import GridCell, run_grid
+from repro.exceptions import (
+    BudgetExceededError,
+    InsufficientDataError,
+    ReproError,
+)
+from repro.service.cache import AnswerCache, CacheStats
+from repro.service.queries import InvalidQueryError, Query, plan_query
+from repro.service.registry import (
+    DatasetRegistry,
+    RegisteredDataset,
+    UnknownDatasetError,
+)
+
+__all__ = ["QueryRequest", "QueryAnswer", "QueryService"]
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One submission: a query addressed to a named dataset by an analyst."""
+
+    dataset: str
+    query: Query
+    analyst: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class QueryAnswer:
+    """Structured outcome of one submission.
+
+    ``status`` is one of:
+
+    * ``"ok"`` — ``value`` holds the release (float, or tuple of floats for
+      quantile / multivariate answers);
+    * ``"refused"`` — the budget admission failed; the ledger is unchanged
+      and ``epsilon_charged`` is 0;
+    * ``"invalid"`` — the request never reached admission (unknown dataset,
+      malformed parameters, shape mismatch); nothing was spent;
+    * ``"failed"`` — the estimator aborted mid-release (e.g. a rejected
+      propose-test-release check).  The partial spend its ledger recorded
+      *was* committed, exactly as a real deployment must account it.
+    """
+
+    dataset: str
+    kind: str
+    status: str
+    key: str
+    value: Optional[Union[float, Tuple[float, ...]]] = None
+    epsilon_charged: float = 0.0
+    cached: bool = False
+    coalesced: bool = False
+    error: Optional[str] = None
+    message: Optional[str] = None
+    remaining: Optional[float] = None
+    query: Optional[Query] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def to_json(self) -> Dict[str, Any]:
+        value: Any = self.value
+        if isinstance(value, tuple):
+            value = list(value)
+        payload: Dict[str, Any] = {
+            "dataset": self.dataset,
+            "kind": self.kind,
+            "status": self.status,
+            "key": self.key,
+            "value": value,
+            "epsilon_charged": self.epsilon_charged,
+            "cached": self.cached,
+            "coalesced": self.coalesced,
+            "remaining": self.remaining,
+        }
+        if self.error is not None:
+            payload["error"] = self.error
+            payload["message"] = self.message
+        if self.query is not None:
+            payload["query"] = self.query.to_json()
+        return payload
+
+
+class _QueryTrial:
+    """Engine trial body for one admitted query (picklable by plain pickle).
+
+    Holds only the dataset handle and the frozen :class:`Query`; the runner
+    is looked up by kind inside the worker, so nothing closure-like has to
+    cross the pipe.  A ``share=True`` dataset crosses as its shared-memory
+    segment name.
+    """
+
+    def __init__(self, data: Any, query: Query):
+        self.data = data
+        self.query = query
+
+    def __call__(self, index: int, generator: np.random.Generator):
+        from repro.service.queries import _RUNNERS
+
+        ledger = PrivacyLedger()
+        try:
+            value = _RUNNERS[self.query.kind](self.query, self.data, generator, ledger)
+        except ReproError as exc:
+            # MechanismError (e.g. a rejected propose-test-release check) is
+            # the expected case; any other library error is likewise a failed
+            # release whose partial spend must still be committed — never an
+            # exception that aborts the sibling queries of the batch.
+            return ("failed", None, ledger.total_epsilon, str(exc))
+        return ("ok", value, ledger.total_epsilon, None)
+
+
+class _InFlight:
+    """Rendezvous for threads coalescing on one canonical key."""
+
+    __slots__ = ("event", "answer")
+
+    def __init__(self):
+        self.event = threading.Event()
+        self.answer: Optional[QueryAnswer] = None
+
+
+@dataclass(frozen=True)
+class _Admitted:
+    """Book-keeping for one admitted (reserved, not yet executed) request."""
+
+    position: int
+    request: QueryRequest
+    dataset: RegisteredDataset
+    key: str
+    reservation: Any
+    flight: _InFlight
+
+
+class QueryService:
+    """Thread-safe private-query service over a :class:`DatasetRegistry`.
+
+    Parameters
+    ----------
+    registry:
+        The datasets to serve (a fresh empty registry by default; use
+        :meth:`register` to populate).
+    pool:
+        An open :class:`~repro.engine.EnginePool` for fan-out of concurrent
+        distinct queries.  ``None`` executes serially in-process — the
+        bit-for-bit identical fallback.
+    seed:
+        Service seed for deterministic answers (see the module docstring).
+        ``None`` draws fresh entropy per release.
+    cache:
+        Answer cache; defaults to an unbounded :class:`AnswerCache`.  Pass
+        ``AnswerCache(maxsize=0)`` to disable caching.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[DatasetRegistry] = None,
+        *,
+        pool=None,
+        seed: Optional[int] = None,
+        cache: Optional[AnswerCache] = None,
+    ):
+        self.registry = registry if registry is not None else DatasetRegistry()
+        self._pool = pool
+        self._seed = None if seed is None else int(seed)
+        self._cache = cache if cache is not None else AnswerCache()
+        self._coalesce_lock = threading.Lock()
+        self._inflight: Dict[str, _InFlight] = {}
+
+    # -- registration convenience ------------------------------------------
+    def register(self, name: str, data: Any, total_budget: float, **kwargs):
+        """Register a dataset (see :meth:`DatasetRegistry.register`)."""
+        return self.registry.register(name, data, total_budget, **kwargs)
+
+    @property
+    def cache(self) -> AnswerCache:
+        return self._cache
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        return self._cache.stats
+
+    @property
+    def seed(self) -> Optional[int]:
+        return self._seed
+
+    @property
+    def workers(self) -> int:
+        return self._pool.workers if self._pool is not None else 1
+
+    # -- seeding -----------------------------------------------------------
+    def _query_seed(self, key: str) -> int:
+        """Derive the query's base seed from ``(service seed, canonical key)``.
+
+        The canonical key is hashed (SHA-256) into seed-sequence entropy, so
+        the seed depends on *what* is asked, never on when, by whom, or on
+        which worker it runs — the root of the service determinism contract.
+        """
+        if self._seed is None:
+            sequence = np.random.SeedSequence()
+        else:
+            digest = hashlib.sha256(key.encode("utf-8")).digest()
+            entropy = (self._seed & (2**64 - 1),) + struct.unpack(">8I", digest)
+            sequence = np.random.SeedSequence(entropy)
+        return int(sequence.generate_state(1, np.uint64)[0] % (2**63 - 1))
+
+    # -- submission API ----------------------------------------------------
+    def submit(self, request: QueryRequest) -> QueryAnswer:
+        """Answer one request, coalescing with concurrent identical requests."""
+        return self._submit_batch([request])[0]
+
+    def submit_many(self, requests: Sequence[QueryRequest]) -> List[QueryAnswer]:
+        """Answer a batch, fanning distinct queries across the engine pool.
+
+        Intra-batch duplicates are computed once and shared, and both the
+        single and batch paths coalesce with identical queries already in
+        flight on other threads; answers come back in submission order.
+        """
+        return self._submit_batch(list(requests))
+
+    def query(
+        self,
+        dataset: str,
+        kind: str,
+        epsilon: float,
+        *,
+        beta: float = 1.0 / 3.0,
+        levels: Sequence[float] = (),
+        analyst: Optional[str] = None,
+    ) -> QueryAnswer:
+        """Convenience wrapper building the :class:`QueryRequest` inline."""
+        try:
+            query = Query(kind=kind, epsilon=epsilon, beta=beta, levels=tuple(levels))
+        except ReproError as exc:
+            return QueryAnswer(
+                dataset=dataset,
+                kind=str(kind),
+                status="invalid",
+                key="",
+                error="invalid_query",
+                message=str(exc),
+            )
+        return self.submit(QueryRequest(dataset=dataset, query=query, analyst=analyst))
+
+    # -- internals ---------------------------------------------------------
+    def _prepare(self, request: QueryRequest) -> Union[str, QueryAnswer]:
+        """Resolve the canonical key, or an ``invalid`` answer."""
+        try:
+            self.registry.get(request.dataset)
+        except UnknownDatasetError as exc:
+            return QueryAnswer(
+                dataset=request.dataset,
+                kind=request.query.kind,
+                status="invalid",
+                key="",
+                error="unknown_dataset",
+                message=str(exc),
+                query=request.query,
+            )
+        return request.query.canonical_key(request.dataset)
+
+    def _cache_lookup(self, request: QueryRequest, key: str) -> Optional[QueryAnswer]:
+        stored = self._cache.get(key)
+        if stored is None:
+            return None
+        return dataclasses.replace(
+            stored,
+            cached=True,
+            coalesced=False,
+            epsilon_charged=0.0,
+            remaining=self.registry.get(request.dataset).budget.remaining,
+        )
+
+    def _invalid(self, request: QueryRequest, key: str, error: str, exc: Exception) -> QueryAnswer:
+        return QueryAnswer(
+            dataset=request.dataset,
+            kind=request.query.kind,
+            status="invalid",
+            key=key,
+            error=error,
+            message=str(exc),
+            query=request.query,
+        )
+
+    def _submit_batch(self, requests: List[QueryRequest]) -> List[QueryAnswer]:
+        answers: List[Optional[QueryAnswer]] = [None] * len(requests)
+        admitted: List[_Admitted] = []
+        batch_first: Dict[str, int] = {}  # key -> position of its computing entry
+        duplicates: List[Tuple[int, str]] = []
+        waiting: List[Tuple[int, QueryRequest, _InFlight]] = []
+
+        for position, request in enumerate(requests):
+            prepared = self._prepare(request)
+            if not isinstance(prepared, str):
+                answers[position] = prepared
+                continue
+            key = prepared
+            dataset = self.registry.get(request.dataset)
+            hit = self._cache_lookup(request, key)
+            if hit is not None:
+                answers[position] = hit
+                continue
+            if key in batch_first:
+                duplicates.append((position, key))
+                continue
+            try:
+                plan = plan_query(
+                    request.query, records=dataset.records, dimension=dataset.dimension
+                )
+            except InvalidQueryError as exc:
+                answers[position] = self._invalid(request, key, "invalid_query", exc)
+                continue
+            except InsufficientDataError as exc:
+                answers[position] = self._invalid(request, key, "insufficient_data", exc)
+                continue
+            # Coalesce with an identical query already computing on another
+            # thread, else reserve budget and claim the key — atomically, so
+            # two threads can never both admit (and both charge) one release.
+            with self._coalesce_lock:
+                flight = self._inflight.get(key)
+                if flight is not None:
+                    waiting.append((position, request, flight))
+                    continue
+                try:
+                    reservation = dataset.budget.reserve(
+                        plan.reserve_epsilon, analyst=request.analyst
+                    )
+                except BudgetExceededError as exc:
+                    answers[position] = QueryAnswer(
+                        dataset=request.dataset,
+                        kind=request.query.kind,
+                        status="refused",
+                        key=key,
+                        error="budget_exceeded",
+                        message=str(exc),
+                        remaining=dataset.budget.remaining,
+                        query=request.query,
+                    )
+                    continue
+                flight = _InFlight()
+                self._inflight[key] = flight
+            admitted.append(
+                _Admitted(
+                    position=position,
+                    request=request,
+                    dataset=dataset,
+                    key=key,
+                    reservation=reservation,
+                    flight=flight,
+                )
+            )
+            batch_first[key] = position
+
+        if admitted:
+            try:
+                self._execute_admitted(admitted, answers)
+            finally:
+                # Publish outcomes (None if execution raised) and release the
+                # keys, whatever happened — a waiter must never block forever.
+                with self._coalesce_lock:
+                    for entry in admitted:
+                        self._inflight.pop(entry.key, None)
+                for entry in admitted:
+                    entry.flight.answer = answers[entry.position]
+                    entry.flight.event.set()
+
+        for position, key in duplicates:
+            source = answers[batch_first[key]]
+            assert source is not None
+            answers[position] = dataclasses.replace(
+                source, coalesced=True, epsilon_charged=0.0
+            )
+
+        # Waiters block only after this batch's own events are set, so two
+        # batches waiting on each other's keys cannot deadlock.
+        for position, request, flight in waiting:
+            flight.event.wait()
+            if flight.answer is not None:
+                # Sharing an already-released answer is post-processing:
+                # zero marginal epsilon for the waiter.
+                answers[position] = dataclasses.replace(
+                    flight.answer, coalesced=True, epsilon_charged=0.0
+                )
+            else:
+                # The owner errored before producing an answer; compute it
+                # ourselves (possibly surfacing the same error).
+                answers[position] = self._submit_batch([request])[0]
+
+        assert all(answer is not None for answer in answers)
+        return [answer for answer in answers if answer is not None]
+
+    def _execute_admitted(
+        self, admitted: List[_Admitted], answers: List[Optional[QueryAnswer]]
+    ) -> None:
+        """Run every admitted query through the engine, then commit spends."""
+        cells = [
+            GridCell(
+                trial_fn=_QueryTrial(entry.dataset.data, entry.request.query),
+                trials=1,
+                rng=self._query_seed(entry.key),
+                key=index,
+            )
+            for index, entry in enumerate(admitted)
+        ]
+        try:
+            grid = run_grid(cells, pool=self._pool, workers=1)
+        except BaseException:
+            # Infrastructure failure before any estimator result came back:
+            # no release happened, so the reservations are simply returned.
+            for entry in admitted:
+                entry.dataset.budget.cancel(entry.reservation)
+            raise
+
+        for index, entry in enumerate(admitted):
+            status, value, spent, message = grid[index].results[0]
+            actual = entry.dataset.budget.commit(
+                entry.reservation, spent, label=entry.key
+            )
+            if status == "ok":
+                answer = QueryAnswer(
+                    dataset=entry.request.dataset,
+                    kind=entry.request.query.kind,
+                    status="ok",
+                    key=entry.key,
+                    value=value,
+                    epsilon_charged=actual,
+                    remaining=entry.dataset.budget.remaining,
+                    query=entry.request.query,
+                )
+                self._cache.put(entry.key, answer)
+            else:
+                answer = QueryAnswer(
+                    dataset=entry.request.dataset,
+                    kind=entry.request.query.kind,
+                    status="failed",
+                    key=entry.key,
+                    error="mechanism_error",
+                    message=message,
+                    epsilon_charged=actual,
+                    remaining=entry.dataset.budget.remaining,
+                    query=entry.request.query,
+                )
+            answers[entry.position] = answer
+
+    # -- introspection -----------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """JSON-safe snapshot: datasets, budgets and cache counters."""
+        return {
+            "datasets": [dataset.to_json() for dataset in self.registry],
+            "cache": self._cache.stats.to_json(),
+            "workers": self.workers,
+            "seed": self._seed,
+        }

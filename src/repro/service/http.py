@@ -1,0 +1,228 @@
+"""Thin HTTP front-end for :class:`~repro.service.QueryService`.
+
+Pure stdlib (:mod:`http.server`), JSON in / JSON out.  The threading server
+leans on the service's own locks: budget admission is atomic, identical
+concurrent queries coalesce, and every answer is a structured JSON object —
+a refusal is a *response*, never an exception escaping into the log.
+
+Protocol
+--------
+``GET /health``
+    ``{"status": "ok", "datasets": [...names...]}`` — liveness probe.
+``GET /datasets``
+    Per-dataset budget snapshots plus cache counters (the
+    :meth:`QueryService.stats` document).
+``POST /query``
+    Body: a query object —
+    ``{"dataset": ..., "kind": ..., "epsilon": ..., "beta": ...,``
+    ``"levels": [...], "analyst": ...}`` — or ``{"queries": [...]}`` with a
+    list of such objects, which is answered as one batch through the
+    service's engine-pool fan-out.  Response: the
+    :meth:`~repro.service.QueryAnswer.to_json` document (or
+    ``{"answers": [...]}``).  HTTP status mirrors the outcome: 200 for
+    ``ok``/``failed`` (a failed propose-test-release is a valid, budgeted
+    DP outcome), 403 for budget refusals, 404 for unknown datasets, 400 for
+    malformed requests.  Batch responses are always 200; inspect each
+    answer's ``status``.
+``POST /datasets``
+    Registration (only when the server was built with
+    ``allow_register=True``): ``{"name": ..., "values": [...],``
+    ``"budget": ..., "analyst_budgets": {...}}`` → 201.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+from repro.exceptions import ReproError
+from repro.service.executor import QueryAnswer, QueryRequest, QueryService
+from repro.service.queries import InvalidQueryError, Query
+
+__all__ = ["ServiceServer", "make_server", "serve_forever"]
+
+#: answer.status -> HTTP status code for single-query responses.
+_STATUS_CODES = {"ok": 200, "failed": 200, "refused": 403}
+_ERROR_CODES = {"unknown_dataset": 404}
+
+
+def _answer_status_code(answer: QueryAnswer) -> int:
+    if answer.status in _STATUS_CODES:
+        return _STATUS_CODES[answer.status]
+    return _ERROR_CODES.get(answer.error or "", 400)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Request handler; the service instance hangs off the server object."""
+
+    server: "ServiceServer"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ----------------------------------------------------------
+    def _send_json(self, code: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> Any:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise InvalidQueryError("request body is empty")
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise InvalidQueryError(f"request body is not valid JSON: {exc}") from exc
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002 - stdlib name
+        if self.server.quiet:
+            return
+        super().log_message(format, *args)
+
+    # -- routes ------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - stdlib casing
+        try:
+            if self.path == "/health":
+                self._send_json(
+                    200,
+                    {"status": "ok", "datasets": self.server.service.registry.names()},
+                )
+            elif self.path == "/datasets":
+                self._send_json(200, self.server.service.stats())
+            else:
+                self._send_json(404, {"status": "error", "error": "unknown_path",
+                                      "message": f"no route for GET {self.path}"})
+        except Exception as exc:  # noqa: BLE001 - must never leak a traceback
+            self._send_json(500, _internal_error(exc))
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib casing
+        try:
+            if self.path == "/query":
+                self._handle_query()
+            elif self.path == "/datasets":
+                self._handle_register()
+            else:
+                self._send_json(404, {"status": "error", "error": "unknown_path",
+                                      "message": f"no route for POST {self.path}"})
+        except ReproError as exc:
+            self._send_json(400, {"status": "error", "error": "invalid_request",
+                                  "message": str(exc)})
+        except Exception as exc:  # noqa: BLE001 - must never leak a traceback
+            self._send_json(500, _internal_error(exc))
+
+    def _handle_query(self) -> None:
+        payload = self._read_json()
+        service = self.server.service
+        if isinstance(payload, dict) and "queries" in payload:
+            entries = payload["queries"]
+            if not isinstance(entries, list):
+                raise InvalidQueryError("'queries' must be a list of query objects")
+            requests = [_parse_request(entry) for entry in entries]
+            answers = service.submit_many(requests)
+            self._send_json(200, {"answers": [answer.to_json() for answer in answers]})
+            return
+        request = _parse_request(payload)
+        answer = service.submit(request)
+        self._send_json(_answer_status_code(answer), answer.to_json())
+
+    def _handle_register(self) -> None:
+        if not self.server.allow_register:
+            self._send_json(
+                403,
+                {"status": "error", "error": "registration_disabled",
+                 "message": "this server does not accept dataset registration"},
+            )
+            return
+        payload = self._read_json()
+        if not isinstance(payload, dict):
+            raise InvalidQueryError("registration body must be a JSON object")
+        for field in ("name", "values", "budget"):
+            if field not in payload:
+                raise InvalidQueryError(f"registration is missing the {field!r} field")
+        try:
+            dataset = self.server.service.register(
+                str(payload["name"]),
+                payload["values"],
+                float(payload["budget"]),
+                analyst_budgets=payload.get("analyst_budgets"),
+                share=bool(payload.get("share", False)),
+            )
+        except (TypeError, ValueError) as exc:
+            # Non-numeric budgets/values/analyst caps are client errors (the
+            # ReproError cases are already handled by the caller's 400 path).
+            raise InvalidQueryError(f"malformed registration: {exc}") from exc
+        self._send_json(201, {"status": "ok", "dataset": dataset.to_json()})
+
+
+def _parse_request(payload: Any) -> QueryRequest:
+    if not isinstance(payload, dict):
+        raise InvalidQueryError(
+            f"each query must be a JSON object, got {type(payload).__name__}"
+        )
+    if "dataset" not in payload:
+        raise InvalidQueryError("query is missing the 'dataset' field")
+    analyst = payload.get("analyst")
+    body = {k: v for k, v in payload.items() if k not in ("dataset", "analyst")}
+    return QueryRequest(
+        dataset=str(payload["dataset"]),
+        query=Query.from_json(body),
+        analyst=None if analyst is None else str(analyst),
+    )
+
+
+def _internal_error(exc: Exception) -> Dict[str, Any]:
+    return {
+        "status": "error",
+        "error": "internal",
+        "message": f"{type(exc).__name__}: {exc}",
+    }
+
+
+class ServiceServer(ThreadingHTTPServer):
+    """A :class:`ThreadingHTTPServer` bound to one :class:`QueryService`."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        service: QueryService,
+        *,
+        allow_register: bool = False,
+        quiet: bool = False,
+    ):
+        super().__init__(address, _Handler)
+        self.service = service
+        self.allow_register = allow_register
+        self.quiet = quiet
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+def make_server(
+    service: QueryService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    allow_register: bool = False,
+    quiet: bool = False,
+) -> ServiceServer:
+    """Bind a :class:`ServiceServer` (``port=0`` picks an ephemeral port)."""
+    return ServiceServer(
+        (host, port), service, allow_register=allow_register, quiet=quiet
+    )
+
+
+def serve_forever(server: ServiceServer) -> threading.Thread:
+    """Run ``server`` on a daemon thread; returns the (started) thread."""
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return thread

@@ -1,0 +1,271 @@
+"""Typed query model for the private-query service, plus the planner.
+
+A :class:`Query` is the unit a client submits against a registered dataset:
+a statistic kind (mean / variance / quantile / IQR / multivariate mean) with
+its privacy parameters.  Queries are validated **before any privacy budget is
+touched** — a malformed request must cost nothing — and canonicalised so that
+two requests asking for the same release map to the same cache key.
+
+:func:`plan_query` turns a validated query into a :class:`QueryPlan`: the
+estimator runner from :mod:`repro.core` / :mod:`repro.multivariate` plus the
+*reservation epsilon* — an exact upper bound on what the estimator's own
+ledger will record.  Most estimators spend at most the epsilon they are asked
+for (sub-sampled probes charge the smaller amplified value), but
+``estimate_variance`` runs its paired radius search at ``eps/2`` on top of
+the halved recursive mean estimate and can record up to ``9/8`` of the
+requested epsilon; the reservation covers that worst case so the budget
+manager can refuse *before* execution while never under-counting the actual
+spend it later commits.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.accounting import PrivacyLedger, validate_beta, validate_epsilon
+from repro.core import (
+    estimate_iqr,
+    estimate_mean,
+    estimate_quantiles,
+    estimate_variance,
+)
+from repro.exceptions import DomainError, InsufficientDataError
+from repro.multivariate import estimate_mean_multivariate
+
+__all__ = ["QUERY_KINDS", "Query", "QueryPlan", "plan_query", "InvalidQueryError"]
+
+
+class InvalidQueryError(DomainError):
+    """A query's kind or parameters are malformed (rejected before any spend)."""
+
+
+#: Supported statistic kinds, mapped to the worst-case ratio between the
+#: epsilon the estimator's ledger records and the epsilon it was asked for
+#: (the reservation factor).  All factors are exact bounds, not heuristics:
+#: variance's 9/8 is attained when sub-sampling amplification degenerates
+#: (``eps >= 1``); every other estimator never exceeds its nominal epsilon.
+QUERY_KINDS: Dict[str, float] = {
+    "mean": 1.0,
+    "variance": 9.0 / 8.0,
+    "iqr": 1.0,
+    "quantile": 1.0,
+    "multivariate_mean": 1.0,
+}
+
+#: Fewest records each estimator accepts (its own up-front validation;
+#: variance needs paired halves and requires twice the base minimum).
+_MIN_RECORDS = {
+    "mean": 8,
+    "variance": 16,
+    "iqr": 8,
+    "quantile": 8,
+    "multivariate_mean": 8,
+}
+
+
+@dataclass(frozen=True)
+class Query:
+    """One statistic release request.
+
+    Attributes
+    ----------
+    kind:
+        One of :data:`QUERY_KINDS`.
+    epsilon, beta:
+        Privacy budget and failure probability of the release.
+    levels:
+        Quantile levels in (0, 1); required (non-empty) for ``quantile``
+        queries and forbidden for every other kind.
+    """
+
+    kind: str
+    epsilon: float
+    beta: float = 1.0 / 3.0
+    levels: Tuple[float, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in QUERY_KINDS:
+            raise InvalidQueryError(
+                f"unknown query kind {self.kind!r}; expected one of {sorted(QUERY_KINDS)}"
+            )
+        try:
+            object.__setattr__(self, "epsilon", validate_epsilon(self.epsilon))
+            object.__setattr__(self, "beta", validate_beta(self.beta))
+        except DomainError:
+            raise
+        except Exception as exc:  # PrivacyParameterError is already a ReproError
+            raise InvalidQueryError(str(exc)) from exc
+        levels = tuple(float(level) for level in self.levels)
+        if self.kind == "quantile":
+            if not levels:
+                raise InvalidQueryError("quantile queries need at least one level")
+            if any(not 0.0 < level < 1.0 for level in levels):
+                raise InvalidQueryError(
+                    f"quantile levels must lie strictly between 0 and 1, got {levels}"
+                )
+        elif levels:
+            raise InvalidQueryError(
+                f"levels are only valid for quantile queries, not {self.kind!r}"
+            )
+        object.__setattr__(self, "levels", levels)
+
+    # -- canonical form ----------------------------------------------------
+    def canonical_key(self, dataset: str) -> str:
+        """A stable string identifying this exact release against ``dataset``.
+
+        Floats are rendered with ``repr`` (shortest round-trip form), so two
+        queries compare equal iff they would produce byte-identical parameter
+        sets — the key under which answers are cached and coalesced.
+        """
+        levels = ",".join(repr(level) for level in self.levels)
+        return (
+            f"{dataset}|{self.kind}|eps={self.epsilon!r}|beta={self.beta!r}"
+            f"|levels={levels}"
+        )
+
+    def to_json(self) -> Dict[str, Any]:
+        """JSON-safe dict form (inverse of :meth:`from_json`)."""
+        payload: Dict[str, Any] = {
+            "kind": self.kind,
+            "epsilon": self.epsilon,
+            "beta": self.beta,
+        }
+        if self.levels:
+            payload["levels"] = list(self.levels)
+        return payload
+
+    @classmethod
+    def from_json(cls, payload: Mapping[str, Any]) -> "Query":
+        """Build a query from a decoded JSON object, validating as we go."""
+        if not isinstance(payload, Mapping):
+            raise InvalidQueryError(
+                f"query must be a JSON object, got {type(payload).__name__}"
+            )
+        unknown = set(payload) - {"kind", "epsilon", "beta", "levels"}
+        if unknown:
+            raise InvalidQueryError(f"unknown query fields: {sorted(unknown)}")
+        if "kind" not in payload:
+            raise InvalidQueryError("query is missing the 'kind' field")
+        if "epsilon" not in payload:
+            raise InvalidQueryError("query is missing the 'epsilon' field")
+        levels = payload.get("levels", ())
+        if isinstance(levels, (str, bytes)) or not isinstance(levels, Sequence):
+            raise InvalidQueryError(f"levels must be a list of numbers, got {levels!r}")
+        try:
+            return cls(
+                kind=str(payload["kind"]),
+                epsilon=float(payload["epsilon"]),
+                beta=float(payload.get("beta", 1.0 / 3.0)),
+                levels=tuple(float(level) for level in levels),
+            )
+        except (TypeError, ValueError) as exc:
+            raise InvalidQueryError(f"malformed query parameters: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """A validated query bound to its estimator runner.
+
+    Attributes
+    ----------
+    query:
+        The validated query.
+    reserve_epsilon:
+        Exact upper bound on the epsilon the runner's ledger will record;
+        what the budget manager reserves before execution.
+    runner:
+        ``(data, generator, ledger) -> value`` executing the release.  The
+        value is a float for scalar kinds, a tuple of floats for ``quantile``
+        and ``multivariate_mean``.
+    """
+
+    query: Query
+    reserve_epsilon: float
+    runner: Callable[[Any, np.random.Generator, PrivacyLedger], Any] = field(
+        repr=False, compare=False
+    )
+
+
+def _run_mean(query: Query, data, generator, ledger):
+    return float(estimate_mean(data, query.epsilon, query.beta, generator, ledger=ledger).mean)
+
+
+def _run_variance(query: Query, data, generator, ledger):
+    return float(
+        estimate_variance(data, query.epsilon, query.beta, generator, ledger=ledger).variance
+    )
+
+
+def _run_iqr(query: Query, data, generator, ledger):
+    return float(estimate_iqr(data, query.epsilon, query.beta, generator, ledger=ledger).iqr)
+
+
+def _run_quantile(query: Query, data, generator, ledger):
+    result = estimate_quantiles(
+        data, list(query.levels), query.epsilon, query.beta, generator, ledger=ledger
+    )
+    return tuple(float(value) for value in result.values)
+
+
+def _run_multivariate_mean(query: Query, data, generator, ledger):
+    result = estimate_mean_multivariate(
+        data, query.epsilon, query.beta, generator, ledger=ledger
+    )
+    return tuple(float(value) for value in result.mean)
+
+
+_RUNNERS = {
+    "mean": _run_mean,
+    "variance": _run_variance,
+    "iqr": _run_iqr,
+    "quantile": _run_quantile,
+    "multivariate_mean": _run_multivariate_mean,
+}
+
+
+def plan_query(query: Query, *, records: int, dimension: int) -> QueryPlan:
+    """Bind ``query`` to its estimator, validating dataset compatibility.
+
+    Raises :class:`InvalidQueryError` (shape mismatch) or
+    :class:`~repro.exceptions.InsufficientDataError` — both *before* any
+    budget is reserved or spent.
+    """
+    if query.kind == "multivariate_mean":
+        if dimension < 2:
+            raise InvalidQueryError(
+                "multivariate_mean needs a multi-column dataset; "
+                f"this dataset has dimension {dimension}"
+            )
+    elif dimension != 1:
+        raise InvalidQueryError(
+            f"{query.kind} queries need a single-column dataset; "
+            f"this dataset has dimension {dimension}"
+        )
+    minimum = _MIN_RECORDS[query.kind]
+    if records < minimum:
+        raise InsufficientDataError(
+            f"dataset has {records} records; {query.kind} needs at least {minimum}"
+        )
+    runner = _RUNNERS[query.kind]
+
+    def run(data, generator, ledger):
+        return runner(query, data, generator, ledger)
+
+    return QueryPlan(
+        query=query,
+        reserve_epsilon=query.epsilon * QUERY_KINDS[query.kind],
+        runner=run,
+    )
+
+
+def parse_query_json(text: str) -> Query:
+    """Decode a JSON document into a :class:`Query` (convenience for clients)."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise InvalidQueryError(f"request body is not valid JSON: {exc}") from exc
+    return Query.from_json(payload)

@@ -1,0 +1,387 @@
+"""Dataset registry and budget accounting for the private-query service.
+
+Each registered dataset carries a :class:`BudgetManager`: a total privacy
+budget (and optional per-analyst sub-budgets) layered on
+:class:`~repro.accounting.PrivacyLedger`.  Admission is a two-phase
+*reserve → commit* protocol, atomic under the manager's lock:
+
+* :meth:`BudgetManager.reserve` checks ``spent + reserved + requested``
+  against every applicable cap and either admits the query (holding the
+  reservation so concurrent queries cannot jointly oversubscribe) or raises
+  :class:`~repro.exceptions.BudgetExceededError` **leaving the ledger
+  unchanged** — a refused query costs nothing and observes nothing.
+* :meth:`BudgetManager.commit` releases the reservation and records the
+  epsilon the estimator *actually* spent (measured from its own per-query
+  ledger; reservations are exact upper bounds, see
+  :data:`repro.service.queries.QUERY_KINDS`).  :meth:`BudgetManager.cancel`
+  releases a reservation that never executed (e.g. an infrastructure error
+  before the estimator touched the data).
+
+The admission decision depends only on public parameters (query kind,
+epsilon, dataset size) — never on the data — so the accept/refuse pattern
+itself leaks nothing.
+
+Datasets register through :class:`DatasetRegistry`.  With ``share=True`` the
+data is copied once into a :class:`~repro.engine.SharedArray` segment, so
+fanning queries out across an :class:`~repro.engine.EnginePool` ships only
+the segment name instead of pickling the array into every worker.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.accounting import PrivacyLedger, validate_epsilon
+from repro.engine import SharedArray
+from repro.exceptions import BudgetExceededError, DomainError, InsufficientDataError
+
+__all__ = [
+    "BudgetManager",
+    "Reservation",
+    "DatasetRegistry",
+    "RegisteredDataset",
+    "UnknownDatasetError",
+]
+
+
+class UnknownDatasetError(DomainError):
+    """A query named a dataset that is not registered."""
+
+
+@dataclass(frozen=True)
+class Reservation:
+    """An admitted-but-uncommitted claim on a budget manager.
+
+    Hand it back to exactly one of :meth:`BudgetManager.commit` /
+    :meth:`BudgetManager.cancel`.
+    """
+
+    amount: float
+    analyst: Optional[str]
+    token: int
+
+
+class BudgetManager:
+    """Atomic check-and-spend over one dataset's total (and analyst) budgets.
+
+    Parameters
+    ----------
+    capacity:
+        Total epsilon the dataset may ever spend.
+    analyst_budgets:
+        Optional per-analyst caps.  An analyst with a cap draws from both its
+        own sub-budget and the total; analysts without an entry are bounded
+        only by the total.
+    """
+
+    def __init__(
+        self,
+        capacity: float,
+        *,
+        analyst_budgets: Optional[Mapping[str, float]] = None,
+    ):
+        self._capacity = validate_epsilon(capacity, name="capacity")
+        self._ledger = PrivacyLedger()  # uncapped: the manager enforces caps
+        self._reserved = 0.0
+        self._analyst_caps: Dict[str, float] = {}
+        self._analyst_spent: Dict[str, float] = {}
+        self._analyst_reserved: Dict[str, float] = {}
+        for name, cap in dict(analyst_budgets or {}).items():
+            self._analyst_caps[str(name)] = validate_epsilon(
+                cap, name=f"analyst budget {name!r}"
+            )
+            self._analyst_spent[str(name)] = 0.0
+            self._analyst_reserved[str(name)] = 0.0
+        self._lock = threading.Lock()
+        self._tokens = 0
+        self._tolerance = 1e-9
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def capacity(self) -> float:
+        return self._capacity
+
+    @property
+    def ledger(self) -> PrivacyLedger:
+        """The underlying ledger of committed spends (one entry per release)."""
+        return self._ledger
+
+    @property
+    def spent(self) -> float:
+        """Total epsilon committed so far."""
+        return self._ledger.total_epsilon
+
+    @property
+    def reserved(self) -> float:
+        """Epsilon held by in-flight (admitted, not yet committed) queries."""
+        with self._lock:
+            return self._reserved
+
+    @property
+    def remaining(self) -> float:
+        """Budget still grantable: ``capacity - spent - reserved``."""
+        with self._lock:
+            return max(self._capacity - self._ledger.total_epsilon - self._reserved, 0.0)
+
+    def analyst_remaining(self, analyst: str) -> Optional[float]:
+        """Remaining sub-budget for ``analyst`` (``None`` when uncapped)."""
+        with self._lock:
+            if analyst not in self._analyst_caps:
+                return None
+            return max(
+                self._analyst_caps[analyst]
+                - self._analyst_spent[analyst]
+                - self._analyst_reserved[analyst],
+                0.0,
+            )
+
+    def analyst_budgets(self) -> Dict[str, Dict[str, float]]:
+        """Snapshot of every capped analyst's cap / spent / reserved."""
+        with self._lock:
+            return {
+                name: {
+                    "capacity": self._analyst_caps[name],
+                    "spent": self._analyst_spent[name],
+                    "reserved": self._analyst_reserved[name],
+                }
+                for name in self._analyst_caps
+            }
+
+    # -- the two-phase protocol --------------------------------------------
+    def reserve(self, amount: float, *, analyst: Optional[str] = None) -> Reservation:
+        """Atomically admit a claim of ``amount`` epsilon or refuse it.
+
+        Raises :class:`~repro.exceptions.BudgetExceededError` without any
+        side effect when the claim does not fit the total budget or the
+        analyst's sub-budget.
+        """
+        amount = validate_epsilon(amount, name="reservation")
+        slack = 1.0 + self._tolerance
+        with self._lock:
+            spent = self._ledger.total_epsilon
+            if spent + self._reserved + amount > self._capacity * slack:
+                raise BudgetExceededError(
+                    f"query needs {amount:.6g} epsilon but only "
+                    f"{max(self._capacity - spent - self._reserved, 0.0):.6g} of the "
+                    f"total budget {self._capacity:.6g} remains"
+                )
+            if analyst is not None and analyst in self._analyst_caps:
+                cap = self._analyst_caps[analyst]
+                used = self._analyst_spent[analyst] + self._analyst_reserved[analyst]
+                if used + amount > cap * slack:
+                    raise BudgetExceededError(
+                        f"analyst {analyst!r} needs {amount:.6g} epsilon but only "
+                        f"{max(cap - used, 0.0):.6g} of their sub-budget {cap:.6g} remains"
+                    )
+                self._analyst_reserved[analyst] += amount
+            self._reserved += amount
+            self._tokens += 1
+            return Reservation(amount=amount, analyst=analyst, token=self._tokens)
+
+    def commit(self, reservation: Reservation, actual: float, *, label: str) -> float:
+        """Release ``reservation`` and record the measured spend ``actual``.
+
+        ``actual`` may be below the reservation (the usual case: amplified
+        probes charge less than their nominal epsilon) and the difference is
+        returned to the pool; it is recorded truthfully even in the
+        (model-breaking) event it exceeds the reservation.  A zero ``actual``
+        — an estimator that failed before touching any mechanism — releases
+        the reservation without a ledger entry.
+        """
+        actual = float(actual)
+        if actual < 0.0 or not np.isfinite(actual):
+            raise DomainError(f"actual spend must be finite and >= 0, got {actual}")
+        with self._lock:
+            self._release(reservation)
+            if actual > 0.0:
+                self._ledger.charge(label, actual)
+                if reservation.analyst is not None and reservation.analyst in self._analyst_caps:
+                    self._analyst_spent[reservation.analyst] += actual
+        return actual
+
+    def cancel(self, reservation: Reservation) -> None:
+        """Release ``reservation`` without recording any spend."""
+        with self._lock:
+            self._release(reservation)
+
+    def _release(self, reservation: Reservation) -> None:
+        self._reserved = max(self._reserved - reservation.amount, 0.0)
+        if reservation.analyst is not None and reservation.analyst in self._analyst_caps:
+            self._analyst_reserved[reservation.analyst] = max(
+                self._analyst_reserved[reservation.analyst] - reservation.amount, 0.0
+            )
+
+    def to_json(self) -> Dict[str, Any]:
+        """JSON-safe snapshot of the budget state."""
+        with self._lock:
+            spent = self._ledger.total_epsilon
+            return {
+                "capacity": self._capacity,
+                "spent": spent,
+                "reserved": self._reserved,
+                "remaining": max(self._capacity - spent - self._reserved, 0.0),
+                "releases": len(self._ledger),
+                "analysts": {
+                    name: {
+                        "capacity": self._analyst_caps[name],
+                        "spent": self._analyst_spent[name],
+                        "remaining": max(
+                            self._analyst_caps[name]
+                            - self._analyst_spent[name]
+                            - self._analyst_reserved[name],
+                            0.0,
+                        ),
+                    }
+                    for name in self._analyst_caps
+                },
+            }
+
+
+@dataclass
+class RegisteredDataset:
+    """One dataset under service management.
+
+    Attributes
+    ----------
+    name:
+        Registry key (the name clients address queries to).
+    data:
+        The records: a 1-D array for univariate statistics or an ``(n, d)``
+        array for the multivariate estimators; possibly a
+        :class:`~repro.engine.SharedArray` (``share=True`` registration).
+    budget:
+        The dataset's :class:`BudgetManager`.
+    """
+
+    name: str
+    data: Any
+    budget: BudgetManager
+
+    @property
+    def records(self) -> int:
+        return int(len(self.data))
+
+    @property
+    def dimension(self) -> int:
+        shape = self.data.shape
+        return int(shape[1]) if len(shape) > 1 else 1
+
+    @property
+    def shared(self) -> bool:
+        return isinstance(self.data, SharedArray)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "records": self.records,
+            "dimension": self.dimension,
+            "shared": self.shared,
+            "budget": self.budget.to_json(),
+        }
+
+
+class DatasetRegistry:
+    """Thread-safe name → :class:`RegisteredDataset` mapping.
+
+    Usable as a context manager: exiting unlinks any shared-memory segments
+    the registry owns.
+    """
+
+    def __init__(self):
+        self._datasets: Dict[str, RegisteredDataset] = {}
+        self._lock = threading.Lock()
+
+    def register(
+        self,
+        name: str,
+        data: Any,
+        total_budget: float,
+        *,
+        analyst_budgets: Optional[Mapping[str, float]] = None,
+        share: bool = False,
+    ) -> RegisteredDataset:
+        """Register ``data`` under ``name`` with a finite total privacy budget.
+
+        ``share=True`` copies the data into shared memory once so engine-pool
+        workers map the same pages instead of receiving pickled copies.
+        """
+        name = str(name)
+        if not name:
+            raise DomainError("dataset name must be non-empty")
+        array = np.asarray(data, dtype=float)
+        if array.ndim not in (1, 2):
+            raise DomainError(
+                f"datasets must be 1-D or (n, d) 2-D, got shape {array.shape}"
+            )
+        if array.shape[0] < 1:
+            raise InsufficientDataError(f"dataset {name!r} is empty")
+        if not np.all(np.isfinite(array)):
+            raise DomainError(f"dataset {name!r} contains non-finite values")
+        stored: Any = SharedArray.from_array(array) if share else array
+        dataset = RegisteredDataset(
+            name=name,
+            data=stored,
+            budget=BudgetManager(total_budget, analyst_budgets=analyst_budgets),
+        )
+        with self._lock:
+            if name in self._datasets:
+                if isinstance(stored, SharedArray):
+                    stored.unlink()
+                raise DomainError(f"dataset {name!r} is already registered")
+            self._datasets[name] = dataset
+        return dataset
+
+    def get(self, name: str) -> RegisteredDataset:
+        with self._lock:
+            dataset = self._datasets.get(name)
+            registered = sorted(self._datasets) if dataset is None else None
+        if dataset is None:
+            raise UnknownDatasetError(
+                f"no dataset named {name!r} is registered "
+                f"(registered: {registered or 'none'})"
+            )
+        return dataset
+
+    def unregister(self, name: str) -> None:
+        """Remove ``name`` and release its shared-memory segment, if any."""
+        with self._lock:
+            dataset = self._datasets.pop(name, None)
+        if dataset is None:
+            raise UnknownDatasetError(f"no dataset named {name!r} is registered")
+        if isinstance(dataset.data, SharedArray):
+            dataset.data.unlink()
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._datasets)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._datasets
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._datasets)
+
+    def __iter__(self) -> Iterator[RegisteredDataset]:
+        with self._lock:
+            snapshot = list(self._datasets.values())
+        return iter(snapshot)
+
+    def close(self) -> None:
+        """Unlink every owned shared segment; the registry stays usable."""
+        with self._lock:
+            datasets, self._datasets = list(self._datasets.values()), {}
+        for dataset in datasets:
+            if isinstance(dataset.data, SharedArray):
+                dataset.data.unlink()
+
+    def __enter__(self) -> "DatasetRegistry":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

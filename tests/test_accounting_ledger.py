@@ -76,3 +76,84 @@ class TestPrivacyLedger:
             ledger.charge("too_much", 0.2)
         assert len(ledger) == 1
         assert ledger.total_epsilon == pytest.approx(0.4)
+
+
+class TestConcurrentLedger:
+    """The check-and-append in charge() must be atomic across threads."""
+
+    def test_many_threads_hammering_one_ledger(self):
+        import threading
+
+        ledger = PrivacyLedger()
+        threads = 16
+        charges_per_thread = 200
+        barrier = threading.Barrier(threads)
+
+        def hammer(worker: int) -> None:
+            barrier.wait()
+            for i in range(charges_per_thread):
+                ledger.charge(f"w{worker}.{i}", 0.001)
+
+        workers = [
+            threading.Thread(target=hammer, args=(worker,)) for worker in range(threads)
+        ]
+        for thread in workers:
+            thread.start()
+        for thread in workers:
+            thread.join()
+        assert len(ledger) == threads * charges_per_thread
+        assert ledger.total_epsilon == pytest.approx(threads * charges_per_thread * 0.001)
+
+    def test_capped_ledger_never_jointly_overshoots(self):
+        """Concurrent charges against a capacity can never exceed it in total.
+
+        Without the internal lock two threads both read the same running
+        total, both pass the capacity check, and both append — overshooting
+        the cap.  With the lock, exactly floor(capacity / step) charges can
+        ever succeed, no matter the interleaving.
+        """
+        import threading
+
+        capacity = 1.0
+        step = 0.01
+        ledger = PrivacyLedger(capacity=capacity)
+        threads = 8
+        barrier = threading.Barrier(threads)
+        refused = []
+
+        def spend() -> None:
+            barrier.wait()
+            for _ in range(50):
+                try:
+                    ledger.charge("step", step)
+                except BudgetExceededError:
+                    refused.append(1)
+
+        workers = [threading.Thread(target=spend) for _ in range(threads)]
+        for thread in workers:
+            thread.start()
+        for thread in workers:
+            thread.join()
+        assert ledger.total_epsilon <= capacity * (1.0 + 1e-6)
+        assert len(ledger) == 100  # exactly capacity / step successes
+        assert len(refused) == threads * 50 - 100
+
+    def test_ledger_pickles_without_its_lock(self):
+        import pickle
+
+        ledger = PrivacyLedger(capacity=1.0)
+        ledger.charge("a", 0.25)
+        clone = pickle.loads(pickle.dumps(ledger))
+        assert clone.total_epsilon == pytest.approx(0.25)
+        clone.charge("b", 0.25)  # the restored ledger has a working lock
+        assert clone.total_epsilon == pytest.approx(0.5)
+        assert ledger.total_epsilon == pytest.approx(0.25)
+
+    def test_prefilled_spends_total_is_consistent(self):
+        """Constructing with existing spends must seed the running total."""
+        ledger = PrivacyLedger(
+            spends=[BudgetSpend("a", 0.25), BudgetSpend("b", 0.5, charged_epsilon=0.1)]
+        )
+        assert ledger.total_epsilon == pytest.approx(0.35)
+        ledger.charge("c", 0.05)
+        assert ledger.total_epsilon == pytest.approx(0.4)

@@ -300,3 +300,129 @@ class TestSuiteCommand:
         )
         assert code == 2
         assert "--grid-workers" in capsys.readouterr().err
+
+
+class TestVersionFlag:
+    def test_version_prints_and_exits_zero(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("repro ")
+        # Semantic-version shape, sourced from package metadata / __init__.
+        assert out.strip().split(" ", 1)[1].count(".") == 2
+
+    def test_version_matches_package_metadata(self):
+        from repro.cli import _package_version
+
+        version = _package_version()
+        assert isinstance(version, str) and version
+
+
+class TestCleanErrors:
+    def test_unknown_subcommand_is_a_clean_exit(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["frobnicate"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "invalid choice" in err
+        assert "Traceback" not in err
+
+    def test_invalid_argument_value_is_a_clean_exit(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["mean", "x.csv", "--column", "c", "--epsilon", "lots"])
+        assert excinfo.value.code == 2
+        assert "Traceback" not in capsys.readouterr().err
+
+    def test_oserror_becomes_one_line_error(self, tmp_path, capsys):
+        # A directory where a CSV is expected raises IsADirectoryError (an
+        # OSError that is not a ReproError); the CLI must not print a
+        # traceback for it.
+        target = tmp_path / "adir"
+        target.mkdir()
+        code = main(["mean", str(target), "--column", "c"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+
+class TestServeAndQueryCli:
+    @pytest.fixture
+    def live_server(self):
+        import numpy as np
+
+        from repro.service import QueryService, make_server, serve_forever
+
+        service = QueryService(seed=3)
+        service.register("salary", np.random.default_rng(0).lognormal(11, 0.5, 5000), 3.0)
+        server = make_server(service, port=0, quiet=True)
+        thread = serve_forever(server)
+        yield server
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+    def test_query_roundtrip_and_cache(self, live_server, capsys):
+        args = ["query", "mean", "--url", live_server.url,
+                "--dataset", "salary", "--epsilon", "0.5"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "status=ok" in first and "cached=no" in first
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "cached=yes" in second
+        assert "epsilon_charged=0\n" in second
+
+    def test_query_refusal_exit_code(self, live_server, capsys):
+        code = main(["query", "mean", "--url", live_server.url,
+                     "--dataset", "salary", "--epsilon", "50"])
+        assert code == 3
+        out = capsys.readouterr().out
+        assert "status=refused" in out
+        assert "error=budget_exceeded" in out
+
+    def test_query_unknown_dataset_exit_code(self, live_server, capsys):
+        code = main(["query", "mean", "--url", live_server.url,
+                     "--dataset", "ghost", "--epsilon", "0.5"])
+        assert code == 2
+        assert "error=unknown_dataset" in capsys.readouterr().out
+
+    def test_query_quantile_levels(self, live_server, capsys):
+        code = main(["query", "quantile", "--url", live_server.url,
+                     "--dataset", "salary", "--epsilon", "0.5",
+                     "--levels", "0.5", "0.9"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "status=ok" in out
+        assert "value=" in out and "," in out.split("value=")[1].splitlines()[0]
+
+    def test_query_unreachable_service_clean_error(self, capsys):
+        code = main(["query", "mean", "--url", "http://127.0.0.1:9",
+                     "--dataset", "salary", "--epsilon", "0.5", "--timeout", "2"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "cannot reach service" in err
+        assert "Traceback" not in err
+
+    def test_serve_parser_accepts_full_flagset(self, tmp_path):
+        csv_file = tmp_path / "x.csv"
+        csv_file.write_text("v\n1\n2\n")
+        args = build_parser().parse_args(
+            ["serve", str(csv_file), "--column", "v", "--budget", "4",
+             "--analyst-budget", "alice=1.5", "--port", "0", "--seed", "7",
+             "--workers", "2", "--cache-size", "64", "--allow-register", "--quiet"]
+        )
+        assert args.command == "serve"
+        assert args.budget == 4.0
+        assert args.analyst_budget == ["alice=1.5"]
+
+    def test_bad_analyst_budget_spec_rejected(self):
+        from repro.cli import _parse_analyst_budgets
+        from repro.exceptions import DomainError
+
+        with pytest.raises(DomainError):
+            _parse_analyst_budgets(["alice"])
+        with pytest.raises(DomainError):
+            _parse_analyst_budgets(["alice=abc"])
+        assert _parse_analyst_budgets(["a=1", "b=0.5"]) == {"a": 1.0, "b": 0.5}

@@ -1,0 +1,55 @@
+"""Smoke tests running every example end-to-end with a tiny n.
+
+The examples are executable documentation; silently rotting (an API drift, a
+renamed argument) would be worse than a test failure.  Each one accepts its
+dataset size on the command line precisely so this suite can run it in a
+couple of seconds.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+SRC_DIR = Path(__file__).resolve().parent.parent / "src"
+
+#: (script, tiny-n argument, substrings that must appear on stdout)
+CASES = [
+    ("quickstart.py", "4000", ["private mean", "private variance", "Total epsilon spent"]),
+    ("salary_survey.py", "4000", ["universal estimator", "private IQR"]),
+    (
+        "service_quickstart.py",
+        "4000",
+        ["cache hit): yes", "status=refused", "=== Accounting ==="],
+    ),
+]
+
+
+def _run_example(script: str, *args: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC_DIR) + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=180,
+        env=env,
+    )
+
+
+@pytest.mark.parametrize("script, tiny_n, markers", CASES, ids=[c[0] for c in CASES])
+def test_example_runs_end_to_end(script, tiny_n, markers):
+    completed = _run_example(script, tiny_n)
+    assert completed.returncode == 0, (
+        f"{script} failed:\nstdout:\n{completed.stdout}\nstderr:\n{completed.stderr}"
+    )
+    assert "Traceback" not in completed.stderr
+    for marker in markers:
+        assert marker in completed.stdout, (
+            f"{script} output is missing {marker!r}:\n{completed.stdout}"
+        )

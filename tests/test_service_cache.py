@@ -1,0 +1,78 @@
+"""Tests for the noisy-answer cache."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.exceptions import DomainError
+from repro.service import AnswerCache
+
+
+class TestAnswerCache:
+    def test_miss_then_hit(self):
+        cache = AnswerCache()
+        assert cache.get("k") is None
+        cache.put("k", 1.25)
+        assert cache.get("k") == 1.25
+        stats = cache.stats
+        assert stats.hits == 1
+        assert stats.misses == 1
+        assert stats.size == 1
+        assert stats.hit_rate == pytest.approx(0.5)
+
+    def test_lru_eviction_order(self):
+        cache = AnswerCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh a; b is now least recent
+        cache.put("c", 3)
+        assert "b" not in cache
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        assert cache.stats.evictions == 1
+
+    def test_zero_maxsize_disables_caching(self):
+        cache = AnswerCache(maxsize=0)
+        cache.put("k", 1)
+        assert cache.get("k") is None
+        assert len(cache) == 0
+
+    def test_negative_maxsize_rejected(self):
+        with pytest.raises(DomainError):
+            AnswerCache(maxsize=-1)
+
+    def test_clear(self):
+        cache = AnswerCache()
+        cache.put("k", 1)
+        cache.clear()
+        assert cache.get("k") is None
+
+    def test_overwrite_updates_value(self):
+        cache = AnswerCache()
+        cache.put("k", 1)
+        cache.put("k", 2)
+        assert cache.get("k") == 2
+        assert len(cache) == 1
+
+    def test_concurrent_putters_and_getters(self):
+        cache = AnswerCache(maxsize=64)
+        threads = 8
+        barrier = threading.Barrier(threads)
+
+        def worker(worker_id: int):
+            barrier.wait()
+            for i in range(200):
+                key = f"k{(worker_id + i) % 100}"
+                cache.put(key, i)
+                cache.get(key)
+
+        pool = [threading.Thread(target=worker, args=(w,)) for w in range(threads)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        stats = cache.stats
+        assert stats.size <= 64
+        assert stats.hits + stats.misses == threads * 200

@@ -1,0 +1,118 @@
+"""Tests for the typed query model and planner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InsufficientDataError, PrivacyParameterError
+from repro.service import QUERY_KINDS, InvalidQueryError, Query, plan_query
+
+
+class TestQueryValidation:
+    def test_all_kinds_construct(self):
+        for kind in QUERY_KINDS:
+            levels = (0.5,) if kind == "quantile" else ()
+            query = Query(kind=kind, epsilon=0.5, levels=levels)
+            assert query.kind == kind
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(InvalidQueryError):
+            Query(kind="median", epsilon=0.5)
+
+    def test_bad_epsilon_rejected(self):
+        for epsilon in (0.0, -1.0, float("inf"), float("nan")):
+            with pytest.raises((InvalidQueryError, PrivacyParameterError)):
+                Query(kind="mean", epsilon=epsilon)
+
+    def test_bad_beta_rejected(self):
+        with pytest.raises((InvalidQueryError, PrivacyParameterError)):
+            Query(kind="mean", epsilon=0.5, beta=1.5)
+
+    def test_quantile_requires_levels(self):
+        with pytest.raises(InvalidQueryError):
+            Query(kind="quantile", epsilon=0.5)
+
+    def test_quantile_levels_range_checked(self):
+        with pytest.raises(InvalidQueryError):
+            Query(kind="quantile", epsilon=0.5, levels=(0.5, 1.0))
+
+    def test_levels_forbidden_for_scalar_kinds(self):
+        with pytest.raises(InvalidQueryError):
+            Query(kind="mean", epsilon=0.5, levels=(0.5,))
+
+
+class TestCanonicalKey:
+    def test_equal_queries_share_a_key(self):
+        a = Query(kind="quantile", epsilon=0.5, levels=(0.5, 0.9))
+        b = Query(kind="quantile", epsilon=0.5, levels=[0.5, 0.9])
+        assert a.canonical_key("d") == b.canonical_key("d")
+
+    def test_key_separates_datasets_kinds_and_params(self):
+        base = Query(kind="mean", epsilon=0.5)
+        assert base.canonical_key("a") != base.canonical_key("b")
+        assert base.canonical_key("a") != Query(kind="iqr", epsilon=0.5).canonical_key("a")
+        assert base.canonical_key("a") != Query(kind="mean", epsilon=0.6).canonical_key("a")
+        assert (
+            base.canonical_key("a")
+            != Query(kind="mean", epsilon=0.5, beta=0.1).canonical_key("a")
+        )
+
+    def test_key_distinguishes_level_order(self):
+        a = Query(kind="quantile", epsilon=0.5, levels=(0.25, 0.75))
+        b = Query(kind="quantile", epsilon=0.5, levels=(0.75, 0.25))
+        assert a.canonical_key("d") != b.canonical_key("d")
+
+
+class TestJsonRoundTrip:
+    def test_round_trip(self):
+        query = Query(kind="quantile", epsilon=0.5, beta=0.1, levels=(0.5, 0.99))
+        assert Query.from_json(query.to_json()) == query
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(InvalidQueryError):
+            Query.from_json({"kind": "mean"})
+        with pytest.raises(InvalidQueryError):
+            Query.from_json({"epsilon": 0.5})
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(InvalidQueryError):
+            Query.from_json({"kind": "mean", "epsilon": 0.5, "bogus": 1})
+
+    def test_non_numeric_epsilon_rejected(self):
+        with pytest.raises(InvalidQueryError):
+            Query.from_json({"kind": "mean", "epsilon": "lots"})
+
+    def test_levels_must_be_a_list(self):
+        with pytest.raises(InvalidQueryError):
+            Query.from_json({"kind": "quantile", "epsilon": 0.5, "levels": "0.5"})
+
+
+class TestPlanner:
+    def test_reserve_epsilon_uses_kind_factor(self):
+        for kind, factor in QUERY_KINDS.items():
+            levels = (0.5,) if kind == "quantile" else ()
+            dimension = 2 if kind == "multivariate_mean" else 1
+            plan = plan_query(
+                Query(kind=kind, epsilon=0.4, levels=levels),
+                records=100,
+                dimension=dimension,
+            )
+            assert plan.reserve_epsilon == pytest.approx(0.4 * factor)
+
+    def test_variance_reserves_more_than_nominal(self):
+        plan = plan_query(Query(kind="variance", epsilon=1.0), records=100, dimension=1)
+        assert plan.reserve_epsilon == pytest.approx(9.0 / 8.0)
+
+    def test_univariate_kind_rejects_matrix_dataset(self):
+        with pytest.raises(InvalidQueryError):
+            plan_query(Query(kind="mean", epsilon=0.5), records=100, dimension=3)
+
+    def test_multivariate_kind_rejects_vector_dataset(self):
+        with pytest.raises(InvalidQueryError):
+            plan_query(
+                Query(kind="multivariate_mean", epsilon=0.5), records=100, dimension=1
+            )
+
+    def test_tiny_dataset_rejected_before_any_spend(self):
+        with pytest.raises(InsufficientDataError):
+            plan_query(Query(kind="mean", epsilon=0.5), records=4, dimension=1)

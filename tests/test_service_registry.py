@@ -1,0 +1,187 @@
+"""Tests for the dataset registry and the reserve/commit budget manager."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.engine import SharedArray
+from repro.exceptions import BudgetExceededError, DomainError, InsufficientDataError
+from repro.service import BudgetManager, DatasetRegistry, UnknownDatasetError
+
+
+class TestBudgetManager:
+    def test_reserve_commit_records_actual_spend(self):
+        manager = BudgetManager(2.0)
+        reservation = manager.reserve(1.0)
+        assert manager.reserved == pytest.approx(1.0)
+        assert manager.remaining == pytest.approx(1.0)
+        manager.commit(reservation, 0.8, label="q1")
+        assert manager.spent == pytest.approx(0.8)
+        assert manager.reserved == pytest.approx(0.0)
+        assert manager.remaining == pytest.approx(1.2)
+        assert len(manager.ledger) == 1
+
+    def test_refusal_leaves_ledger_unchanged(self):
+        manager = BudgetManager(1.0)
+        manager.commit(manager.reserve(0.7), 0.7, label="q1")
+        spends_before = list(manager.ledger)
+        with pytest.raises(BudgetExceededError):
+            manager.reserve(0.5)
+        assert list(manager.ledger) == spends_before
+        assert manager.spent == pytest.approx(0.7)
+        assert manager.reserved == pytest.approx(0.0)
+
+    def test_reservations_block_concurrent_oversubscription(self):
+        manager = BudgetManager(1.0)
+        first = manager.reserve(0.6)
+        with pytest.raises(BudgetExceededError):
+            manager.reserve(0.6)  # 0.6 held + 0.6 requested > 1.0
+        manager.cancel(first)
+        manager.reserve(0.6)  # fits again once the hold is released
+
+    def test_cancel_releases_without_spend(self):
+        manager = BudgetManager(1.0)
+        reservation = manager.reserve(0.9)
+        manager.cancel(reservation)
+        assert manager.spent == 0.0
+        assert manager.remaining == pytest.approx(1.0)
+        assert len(manager.ledger) == 0
+
+    def test_commit_zero_actual_has_no_ledger_entry(self):
+        manager = BudgetManager(1.0)
+        manager.commit(manager.reserve(0.5), 0.0, label="nothing-ran")
+        assert len(manager.ledger) == 0
+        assert manager.remaining == pytest.approx(1.0)
+
+    def test_exact_fill_is_admitted(self):
+        manager = BudgetManager(1.0)
+        manager.commit(manager.reserve(0.5), 0.5, label="a")
+        manager.commit(manager.reserve(0.5), 0.5, label="b")
+        with pytest.raises(BudgetExceededError):
+            manager.reserve(1e-6)
+
+    def test_analyst_sub_budget_enforced(self):
+        manager = BudgetManager(10.0, analyst_budgets={"alice": 1.0})
+        manager.commit(manager.reserve(0.8, analyst="alice"), 0.8, label="a")
+        with pytest.raises(BudgetExceededError):
+            manager.reserve(0.5, analyst="alice")
+        # Other analysts only see the (ample) total budget.
+        manager.reserve(0.5, analyst="bob")
+        assert manager.analyst_remaining("alice") == pytest.approx(0.2)
+        assert manager.analyst_remaining("bob") is None
+
+    def test_analyst_reservation_rolls_back_on_cancel(self):
+        manager = BudgetManager(10.0, analyst_budgets={"alice": 1.0})
+        reservation = manager.reserve(1.0, analyst="alice")
+        manager.cancel(reservation)
+        assert manager.analyst_remaining("alice") == pytest.approx(1.0)
+
+    def test_total_cap_refusal_does_not_leak_analyst_reservation(self):
+        manager = BudgetManager(1.0, analyst_budgets={"alice": 5.0})
+        with pytest.raises(BudgetExceededError):
+            manager.reserve(2.0, analyst="alice")
+        assert manager.analyst_remaining("alice") == pytest.approx(5.0)
+
+    def test_concurrent_reserves_never_oversubscribe(self):
+        manager = BudgetManager(1.0)
+        threads = 8
+        barrier = threading.Barrier(threads)
+        admitted = []
+
+        def worker():
+            barrier.wait()
+            for _ in range(20):
+                try:
+                    reservation = manager.reserve(0.05)
+                except BudgetExceededError:
+                    continue
+                manager.commit(reservation, 0.05, label="w")
+                admitted.append(1)
+
+        pool = [threading.Thread(target=worker) for _ in range(threads)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        assert manager.spent <= 1.0 + 1e-6
+        assert len(admitted) == 20  # exactly capacity / step
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(Exception):
+            BudgetManager(0.0)
+
+    def test_to_json_snapshot(self):
+        manager = BudgetManager(2.0, analyst_budgets={"a": 1.0})
+        manager.commit(manager.reserve(0.5, analyst="a"), 0.4, label="x")
+        doc = manager.to_json()
+        assert doc["capacity"] == pytest.approx(2.0)
+        assert doc["spent"] == pytest.approx(0.4)
+        assert doc["remaining"] == pytest.approx(1.6)
+        assert doc["analysts"]["a"]["spent"] == pytest.approx(0.4)
+
+
+class TestDatasetRegistry:
+    def test_register_and_get(self):
+        with DatasetRegistry() as registry:
+            dataset = registry.register("d", np.arange(100.0), 1.0)
+            assert registry.get("d") is dataset
+            assert dataset.records == 100
+            assert dataset.dimension == 1
+            assert not dataset.shared
+
+    def test_unknown_dataset_raises(self):
+        with DatasetRegistry() as registry:
+            with pytest.raises(UnknownDatasetError):
+                registry.get("nope")
+
+    def test_duplicate_name_rejected(self):
+        with DatasetRegistry() as registry:
+            registry.register("d", np.arange(10.0), 1.0)
+            with pytest.raises(DomainError):
+                registry.register("d", np.arange(10.0), 1.0)
+
+    def test_empty_and_non_finite_data_rejected(self):
+        with DatasetRegistry() as registry:
+            with pytest.raises(InsufficientDataError):
+                registry.register("empty", np.empty(0), 1.0)
+            with pytest.raises(DomainError):
+                registry.register("nan", np.array([1.0, np.nan]), 1.0)
+
+    def test_matrix_dataset_dimension(self):
+        with DatasetRegistry() as registry:
+            dataset = registry.register("m", np.zeros((50, 4)), 1.0)
+            assert dataset.dimension == 4
+            assert dataset.records == 50
+
+    def test_three_dimensional_data_rejected(self):
+        with DatasetRegistry() as registry:
+            with pytest.raises(DomainError):
+                registry.register("cube", np.zeros((4, 4, 4)), 1.0)
+
+    def test_shared_registration_uses_shared_memory(self):
+        with DatasetRegistry() as registry:
+            dataset = registry.register("s", np.arange(64.0), 1.0, share=True)
+            assert dataset.shared
+            assert isinstance(dataset.data, SharedArray)
+            np.testing.assert_array_equal(np.asarray(dataset.data), np.arange(64.0))
+
+    def test_close_unlinks_shared_segments(self):
+        registry = DatasetRegistry()
+        dataset = registry.register("s", np.arange(16.0), 1.0, share=True)
+        name = dataset.data.name
+        registry.close()
+        from multiprocessing import shared_memory
+
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    def test_unregister(self):
+        with DatasetRegistry() as registry:
+            registry.register("d", np.arange(10.0), 1.0)
+            registry.unregister("d")
+            assert "d" not in registry
+            with pytest.raises(UnknownDatasetError):
+                registry.unregister("d")
