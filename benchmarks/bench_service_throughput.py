@@ -13,17 +13,36 @@ registered dataset:
   service's throughput lever.  The cached/cold ratio is asserted to be large
   (>= 50x; in practice it is orders of magnitude).
 
-Emits the same structured JSON as the E-drivers (``results/service.json``).
+A second experiment (``SERVICE_FRONTENDS``) compares the two HTTP
+front-ends on that cached fast path over real sockets: the same keep-alive
+query stream is driven at 16 / 64 / 256 concurrent connections against the
+thread-per-connection server and the asyncio server.  The asyncio front-end
+answers cache hits on one event loop instead of scheduling hundreds of GIL-
+contending threads, and is asserted to sustain >= 2x the threaded QPS at 64
+connections.
+
+Emits the same structured JSON as the E-drivers (``results/service.json``
+and ``results/service_frontends.json``).
 """
 
 from __future__ import annotations
 
+import asyncio
+import json
 import time
 
 import numpy as np
 
 from repro.bench import format_table, render_experiment_header
-from repro.service import AnswerCache, Query, QueryRequest, QueryService
+from repro.service import (
+    AnswerCache,
+    AsyncServerThread,
+    Query,
+    QueryRequest,
+    QueryService,
+    make_server,
+    serve_forever,
+)
 
 N = 20_000
 DISTINCT_QUERIES = 24
@@ -117,4 +136,146 @@ def test_service_throughput(run_once, reporter, engine_pool):
     assert cached_qps >= 50.0 * cold_qps, (
         f"cached path ({cached_qps:.0f} q/s) should dwarf the cold path "
         f"({cold_qps:.0f} q/s)"
+    )
+
+
+# ---------------------------------------------------------------------------
+# front-end comparison: threaded vs async HTTP servers on the cached path
+
+CONNECTION_COUNTS = (16, 64, 256)
+FRONTEND_TOTAL_REQUESTS = 4_096  # per measurement, split across connections
+
+
+async def _drive_connection(host: str, port: int, request: bytes, count: int) -> None:
+    """One keep-alive connection issuing ``count`` sequential requests.
+
+    A reset mid-stream (the thread-per-connection server sheds load this way
+    at high fan-in) reconnects and finishes the remaining requests — the
+    measured front-end pays for its own reconnects.
+    """
+    remaining = count
+    reconnects = 0
+    while remaining > 0:
+        writer = None
+        try:
+            reader, writer = await asyncio.open_connection(host, port)
+            while remaining > 0:
+                writer.write(request)
+                await writer.drain()
+                status_line = await reader.readline()
+                assert b" 200 " in status_line, status_line
+                length = 0
+                while True:
+                    line = await reader.readline()
+                    if line in (b"\r\n", b"\n"):
+                        break
+                    if line.lower().startswith(b"content-length"):
+                        length = int(line.split(b":")[1])
+                await reader.readexactly(length)
+                remaining -= 1
+        except (ConnectionError, asyncio.IncompleteReadError):
+            reconnects += 1
+            if reconnects > 16:
+                raise
+        finally:
+            if writer is not None:
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionError, asyncio.IncompleteReadError):
+                    pass
+
+
+def _measure_frontend_qps(host: str, port: int, connections: int) -> tuple:
+    """Drive the warm cached query over ``connections`` keep-alive sockets."""
+    payload = json.dumps(
+        {"dataset": "d", "kind": "mean", "epsilon": 0.5}
+    ).encode()
+    request = (
+        f"POST /query HTTP/1.1\r\nHost: {host}\r\n"
+        f"Content-Type: application/json\r\nContent-Length: {len(payload)}\r\n"
+        "\r\n"
+    ).encode() + payload
+    per_connection = max(FRONTEND_TOTAL_REQUESTS // connections, 4)
+    total = per_connection * connections
+
+    async def run_all() -> None:
+        await asyncio.gather(
+            *(
+                _drive_connection(host, port, request, per_connection)
+                for _ in range(connections)
+            )
+        )
+
+    start = time.perf_counter()
+    asyncio.run(run_all())
+    seconds = time.perf_counter() - start
+    return total, seconds, total / seconds
+
+
+def test_frontend_comparison(run_once, reporter):
+    """Cached-path QPS per front-end at 16/64/256 concurrent connections."""
+
+    def run():
+        rows = []
+        qps_at_64 = {}
+        for frontend in ("threaded", "async"):
+            service = _service()  # warm one cached answer, then hammer it
+            warm = service.query("d", "mean", epsilon=0.5)
+            assert warm.ok
+            if frontend == "threaded":
+                server = make_server(service, port=0, quiet=True)
+                thread = serve_forever(server)
+                host, port = server.server_address[:2]
+                try:
+                    for connections in CONNECTION_COUNTS:
+                        total, seconds, qps = _measure_frontend_qps(
+                            host, port, connections
+                        )
+                        rows.append([frontend, connections, total, seconds, qps])
+                        if connections == 64:
+                            qps_at_64[frontend] = qps
+                finally:
+                    server.shutdown()
+                    server.server_close()
+                    thread.join(timeout=5)
+            else:
+                with AsyncServerThread(service, port=0, quiet=True) as runner:
+                    host, port = runner.server.server_address
+                    for connections in CONNECTION_COUNTS:
+                        total, seconds, qps = _measure_frontend_qps(
+                            host, port, connections
+                        )
+                        rows.append([frontend, connections, total, seconds, qps])
+                        if connections == 64:
+                            qps_at_64[frontend] = qps
+            service.registry.close()
+        for row in rows:
+            row.append(row[4] / qps_at_64["threaded"])
+        return rows, qps_at_64
+
+    rows, qps_at_64 = run_once(run)
+    headers = [
+        "frontend", "connections", "requests", "seconds", "queries/sec",
+        "vs threaded@64",
+    ]
+    table = format_table(headers, rows)
+    reporter(
+        "SERVICE_FRONTENDS",
+        render_experiment_header(
+            "SERVICE_FRONTENDS",
+            "Cached-path QPS over HTTP: threaded vs async front-end",
+        )
+        + "\n"
+        + table,
+        headers=headers,
+        rows=rows,
+    )
+
+    # The event loop must clearly beat thread-per-connection at fan-in: the
+    # acceptance bar is 2x on the cached path at 64 concurrent connections.
+    assert qps_at_64["async"] >= 2.0 * qps_at_64["threaded"], (
+        f"async front-end ({qps_at_64['async']:.0f} q/s) should sustain >= 2x "
+        f"the threaded front-end ({qps_at_64['threaded']:.0f} q/s) "
+        "at 64 connections"
     )

@@ -1,0 +1,161 @@
+"""Async serving quickstart: a config-driven multi-dataset deployment.
+
+The batch examples release statistics once; `service_quickstart.py` runs an
+in-process query service.  This example shows the *deployment* shape: a
+declarative serving config boots three datasets in one process — two of them
+under a **joint budget group** (one epsilon cap spanning both) — behind the
+**asyncio front-end**, which answers cache hits and refusals directly on the
+event loop and dispatches fresh releases to a worker thread.  An asyncio
+client drives the full life cycle over real HTTP:
+
+1. fresh queries charge whichever budget backs the dataset,
+2. an identical repeat is a cache hit at zero marginal epsilon,
+3. spending the joint cap through one member refuses queries on *both*
+   members (the standalone dataset is unaffected),
+4. the accounting snapshot shows budgets, groups and front-end counters.
+
+Run as::
+
+    python examples/service_async_quickstart.py [n_records]
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.service import build_service, load_serving_config, start_async_server
+
+CONFIG = """
+[service]
+seed = 2023
+cache_size = 1024
+frontend = "async"
+port = 0
+
+[groups.api]          # checkout + search share this single epsilon cap
+budget = 1.0
+
+[[datasets]]
+name = "checkout_ms"
+source = "checkout.npy"
+group = "api"
+
+[[datasets]]
+name = "search_ms"
+source = "search.npy"
+group = "api"
+
+[[datasets]]
+name = "payments_ms"
+source = "payments.npy"
+budget = 2.0
+"""
+
+
+async def _request(host: str, port: int, path: str, payload=None):
+    """Minimal asyncio HTTP client: one keep-alive-less JSON round trip."""
+    reader, writer = await asyncio.open_connection(host, port)
+    body = b"" if payload is None else json.dumps(payload).encode()
+    method = "GET" if payload is None else "POST"
+    writer.write(
+        f"{method} {path} HTTP/1.1\r\nHost: {host}\r\n"
+        f"Content-Type: application/json\r\nContent-Length: {len(body)}\r\n"
+        "Connection: close\r\n\r\n".encode() + body
+    )
+    await writer.drain()
+    status_line = await reader.readline()
+    length = 0
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        if line.lower().startswith(b"content-length"):
+            length = int(line.split(b":")[1])
+    document = json.loads(await reader.readexactly(length))
+    writer.close()
+    await writer.wait_closed()
+    return int(status_line.split()[1]), document
+
+
+async def main(n_records: int = 30_000) -> None:
+    rng = np.random.default_rng(23)
+    with tempfile.TemporaryDirectory() as tmp:
+        base = Path(tmp)
+        np.save(base / "checkout.npy", rng.gamma(2.0, 12.0, n_records))
+        np.save(base / "search.npy", rng.gamma(1.5, 4.0, n_records))
+        np.save(base / "payments.npy", rng.gamma(3.0, 30.0, n_records))
+        (base / "serving.toml").write_text(CONFIG)
+
+        config = load_serving_config(base / "serving.toml")
+        with build_service(config) as built:
+            server = await start_async_server(built.service, quiet=True)
+            host, port = server.server_address
+            print("=== async multi-dataset serving quickstart ===")
+            print(f"serving {len(config.datasets)} datasets at {server.url} "
+                  f"(joint group 'api': epsilon = 1.0)\n")
+
+            _, doc = await _request(
+                host, port, "/query",
+                {"dataset": "checkout_ms", "kind": "mean", "epsilon": 0.4},
+            )
+            print(f"checkout mean      : {doc['value']:8.3f} ms"
+                  f"   (charged {doc['epsilon_charged']:.3f} of the joint cap)")
+
+            _, doc = await _request(
+                host, port, "/query",
+                {"dataset": "checkout_ms", "kind": "mean", "epsilon": 0.4},
+            )
+            print(f"refresh (cache hit): {'yes' if doc['cached'] else 'no'}"
+                  f"            (charged {doc['epsilon_charged']:.3f}, "
+                  "answered on the event loop)")
+
+            _, doc = await _request(
+                host, port, "/query",
+                {"dataset": "search_ms", "kind": "quantile", "epsilon": 0.35,
+                 "levels": [0.5, 0.99]},
+            )
+            p50, p99 = doc["value"]
+            print(f"search p50 / p99   : {p50:8.3f} / {p99:.3f} ms"
+                  f"   (same joint cap: charged {doc['epsilon_charged']:.3f})")
+
+            # The joint cap is nearly gone — BOTH members now refuse...
+            for dataset in ("checkout_ms", "search_ms"):
+                status, doc = await _request(
+                    host, port, "/query",
+                    {"dataset": dataset, "kind": "iqr", "epsilon": 0.5},
+                )
+                print(f"{dataset:<19}: status={doc['status']} "
+                      f"(HTTP {status}, joint budget exhausted)")
+
+            # ...while the standalone dataset still has its private budget.
+            _, doc = await _request(
+                host, port, "/query",
+                {"dataset": "payments_ms", "kind": "mean", "epsilon": 0.5},
+            )
+            print(f"payments mean      : {doc['value']:8.3f} ms"
+                  f"   (own budget: charged {doc['epsilon_charged']:.3f})")
+
+            print("\n=== Accounting ===")
+            _, stats = await _request(host, port, "/datasets")
+            group = stats["groups"]["api"]
+            print(f"joint group 'api'  : spent {group['budget']['spent']:.3f} of "
+                  f"{group['budget']['capacity']:.3f} epsilon across "
+                  f"{group['datasets']}")
+            cache = stats["cache"]
+            front = stats["frontend"]
+            print(f"cache              : {cache['hits']} hits / "
+                  f"{cache['misses']} misses")
+            print(f"frontend           : {front['frontend']} — "
+                  f"{front['answered_on_loop']} answered on the loop, "
+                  f"{front['executed']} dispatched to workers")
+            await server.aclose()
+
+
+if __name__ == "__main__":
+    asyncio.run(main(int(sys.argv[1]) if len(sys.argv) > 1 else 30_000))

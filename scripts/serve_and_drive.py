@@ -1,18 +1,27 @@
 """CI driver: boot `repro serve`, hammer it with mixed queries, audit the log.
 
-Starts the service as a real subprocess on an ephemeral port, then drives a
-few hundred queries covering every interesting outcome:
+Starts the service as a real subprocess on an ephemeral port — from a
+multi-dataset ``--config`` file with a joint budget group, against either
+front-end (``--frontend threaded|async``) — then drives a few hundred
+queries covering every interesting outcome:
 
 * distinct fresh queries (budget-charged releases),
 * repeated identical queries (must be served from cache at zero spend),
 * deliberately oversized queries (must yield structured 403 refusals),
 * malformed queries and unknown datasets (400/404, never a 500),
-* one batch request through the engine fan-out endpoint.
+* one batch request through the engine fan-out endpoint,
+* joint-budget-group semantics: spend through one member, watch the shared
+  cap drain for all of them, exhaust it, and see every member refuse with
+  the group ledger unchanged,
+* raw-socket protocol probes: garbage / negative ``Content-Length`` (400),
+  an oversized declared body (413), pipelined keep-alive requests, and a
+  mid-request disconnect (counted in the front-end stats, not crashed on).
 
 Fails (exit 1) if any expectation is violated or if the server log contains
 a stack trace.  Run from the repo root::
 
     PYTHONPATH=src python scripts/serve_and_drive.py [--queries 200]
+    PYTHONPATH=src python scripts/serve_and_drive.py --frontend async
 """
 
 from __future__ import annotations
@@ -23,6 +32,7 @@ import json
 import random
 import re
 import signal
+import socket
 import subprocess
 import sys
 import tempfile
@@ -32,6 +42,8 @@ import urllib.request
 from pathlib import Path
 
 FAILURES: list = []
+
+MAX_BODY = 262_144  # small enough to probe 413 without shipping megabytes
 
 
 def check(condition: bool, message: str) -> None:
@@ -56,23 +68,57 @@ def call(url: str, path: str, payload=None, timeout: float = 30.0):
         return exc.code, json.loads(exc.read().decode())
 
 
-def write_dataset(path: Path, records: int = 5000) -> None:
+def write_deployment(tmp: Path, budget: float, frontend: str, records: int = 5000) -> Path:
+    """Write the CSV + NPY sources and the multi-dataset serving config."""
     generator = random.Random(7)
-    with open(path, "w", newline="") as handle:
+    with open(tmp / "data.csv", "w", newline="") as handle:
         writer = csv.writer(handle)
         writer.writerow(["id", "value"])
         for index in range(records):
             writer.writerow([index, f"{generator.lognormvariate(11.0, 0.5):.2f}"])
+    try:
+        import numpy as np
+
+        np.save(tmp / "left.npy", np.asarray(
+            [generator.gauss(10.0, 2.0) for _ in range(2000)]))
+        np.save(tmp / "right.npy", np.asarray(
+            [generator.gauss(20.0, 3.0) for _ in range(2000)]))
+    except ImportError:  # pragma: no cover - numpy is a hard dependency anyway
+        raise SystemExit("numpy is required to build the driver datasets")
+    config = tmp / "serving.toml"
+    config.write_text(f"""
+[service]
+seed = 7
+port = 0
+frontend = "{frontend}"
+max_body = {MAX_BODY}
+
+[groups.shared]
+budget = 1.0
+
+[[datasets]]
+name = "demo"
+source = "data.csv"
+column = "value"
+budget = {budget}
+
+[[datasets]]
+name = "left"
+source = "left.npy"
+group = "shared"
+
+[[datasets]]
+name = "right"
+source = "right.npy"
+group = "shared"
+""")
+    return config
 
 
-def start_server(csv_path: Path, log_path: Path, budget: float) -> tuple:
+def start_server(config: Path, log_path: Path) -> tuple:
     log_handle = open(log_path, "w")
     process = subprocess.Popen(
-        [
-            sys.executable, "-m", "repro", "serve", str(csv_path),
-            "--column", "value", "--dataset", "demo",
-            "--budget", str(budget), "--port", "0", "--seed", "7",
-        ],
+        [sys.executable, "-m", "repro", "serve", "--config", str(config)],
         stdout=log_handle,
         stderr=subprocess.STDOUT,
         text=True,
@@ -161,7 +207,8 @@ def drive(url: str, total_queries: int) -> None:
     # Final accounting must be consistent.
     status, body = call(url, "/datasets")
     check(status == 200, "datasets snapshot failed")
-    budget = body["datasets"][0]["budget"]
+    demo = next(d for d in body["datasets"] if d["name"] == "demo")
+    budget = demo["budget"]
     check(budget["spent"] <= budget["capacity"] + 1e-6,
           f"spent {budget['spent']} exceeds capacity {budget['capacity']}")
     check(budget["reserved"] == 0.0, f"dangling reservation: {budget}")
@@ -176,22 +223,146 @@ def drive(url: str, total_queries: int) -> None:
     check(statuses["refused"] >= 10, "too few refusals exercised")
 
 
+def drive_joint_group(url: str) -> None:
+    """Joint budget group: one cap spans 'left' and 'right'."""
+    status, body = call(url, "/query", {"dataset": "left", "kind": "mean",
+                                        "epsilon": 0.3})
+    check(status == 200 and body.get("status") == "ok",
+          f"joint-group release failed: {body}")
+
+    status, body = call(url, "/datasets")
+    members = {d["name"]: d for d in body["datasets"] if d["name"] in ("left", "right")}
+    check(members["left"]["group"] == members["right"]["group"] == "shared",
+          f"members not in group: {members}")
+    check(members["left"]["budget"]["spent"] == members["right"]["budget"]["spent"],
+          "group spend not shared across members")
+    check(members["left"]["budget"]["spent"] > 0, "group spend not recorded")
+    groups = body.get("groups", {})
+    check("shared" in groups and sorted(groups["shared"]["datasets"]) == ["left", "right"],
+          f"groups snapshot wrong: {groups}")
+
+    # Exhaust the 1.0 cap with distinct queries through one member.
+    exhausted = False
+    for step in range(12):
+        status, body = call(url, "/query", {"dataset": "left", "kind": "mean",
+                                            "epsilon": 0.31 + step / 1000})
+        if body.get("status") == "refused":
+            exhausted = True
+            break
+    check(exhausted, "joint cap never exhausted")
+
+    _, before = call(url, "/datasets")
+    group_before = before["groups"]["shared"]["budget"]
+    # Every member must now refuse a query the remaining cap cannot fit...
+    for offset, dataset in enumerate(("left", "right")):
+        status, body = call(url, "/query", {"dataset": dataset, "kind": "mean",
+                                            "epsilon": 0.5 + offset / 1000})
+        check(status == 403 and body.get("error") == "budget_exceeded",
+              f"joint-cap refusal missing on {dataset}: HTTP {status} {body}")
+    # ...with the shared ledger unchanged by the refusals.
+    _, after = call(url, "/datasets")
+    group_after = after["groups"]["shared"]["budget"]
+    check(group_after["spent"] == group_before["spent"],
+          f"refusals changed the group ledger: {group_before} -> {group_after}")
+    check(group_after["reserved"] == 0.0, f"dangling group reservation: {group_after}")
+    print(f"joint group exhausted cleanly at spent={group_after['spent']:.3f}")
+
+
+def _read_responses(sock: socket.socket, count: int):
+    reader = sock.makefile("rb")
+    responses = []
+    for _ in range(count):
+        status_line = reader.readline()
+        if not status_line:
+            break
+        headers = {}
+        while True:
+            line = reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", 0))
+        body = reader.read(length) if length else b""
+        responses.append((int(status_line.split()[1]), body))
+    return responses
+
+
+def drive_protocol_probes(url: str, frontend: str) -> None:
+    """Raw-socket probes: malformed framing, oversized bodies, disconnects."""
+    host, port = re.match(r"http://([^:]+):(\d+)", url).groups()
+    address = (host, int(port))
+
+    def probe(data: bytes, expected_status: int, label: str) -> None:
+        with socket.create_connection(address, timeout=10) as sock:
+            sock.sendall(data)
+            responses = _read_responses(sock, 1)
+        check(bool(responses), f"{label}: no response")
+        if responses:
+            status, body = responses[0]
+            check(status == expected_status,
+                  f"{label}: HTTP {status} (wanted {expected_status}): {body!r}")
+            check(b"Traceback" not in body, f"{label}: traceback in body")
+
+    probe(b"POST /query HTTP/1.1\r\nHost: x\r\nContent-Length: banana\r\n\r\n",
+          400, "garbage Content-Length")
+    probe(b"POST /query HTTP/1.1\r\nHost: x\r\nContent-Length: -12\r\n\r\n",
+          400, "negative Content-Length")
+    probe(f"POST /query HTTP/1.1\r\nHost: x\r\nContent-Length: {MAX_BODY * 10}\r\n\r\n".encode(),
+          413, "oversized declared body")
+
+    # Pipelined keep-alive: two requests in one write, two responses in order.
+    with socket.create_connection(address, timeout=10) as sock:
+        sock.sendall(b"GET /health HTTP/1.1\r\nHost: x\r\n\r\n"
+                     b"GET /health HTTP/1.1\r\nHost: x\r\n\r\n")
+        responses = _read_responses(sock, 2)
+    check(len(responses) == 2 and all(s == 200 for s, _ in responses),
+          f"pipelined keep-alive broke: {responses}")
+
+    # Mid-request disconnect: promise 500 bytes, send 6, hang up.
+    sock = socket.create_connection(address, timeout=10)
+    sock.sendall(b"POST /query HTTP/1.1\r\nHost: x\r\nContent-Length: 500\r\n\r\n{\"par")
+    sock.close()
+
+    deadline = time.time() + 5.0
+    disconnects = 0
+    while time.time() < deadline:
+        status, body = call(url, "/datasets")
+        disconnects = body.get("frontend", {}).get("disconnects", 0)
+        if disconnects >= 1:
+            break
+        time.sleep(0.1)
+    check(disconnects >= 1, "mid-request disconnect was not counted")
+    check(body.get("frontend", {}).get("frontend") == frontend,
+          f"frontend mismatch: {body.get('frontend')}")
+
+    # The server survived every probe.
+    status, health = call(url, "/health")
+    check(status == 200 and health.get("status") == "ok",
+          f"server unhealthy after probes: {health}")
+    print(f"protocol probes passed ({frontend}); disconnects counted: {disconnects}")
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--queries", type=int, default=200)
     parser.add_argument("--budget", type=float, default=3.0)
+    parser.add_argument("--frontend", choices=["threaded", "async"],
+                        default="threaded")
     args = parser.parse_args()
 
     with tempfile.TemporaryDirectory() as tmp:
-        csv_path = Path(tmp) / "data.csv"
-        log_path = Path(tmp) / "server.log"
-        write_dataset(csv_path)
-        process, log_handle, url = start_server(csv_path, log_path, args.budget)
+        tmp_path = Path(tmp)
+        log_path = tmp_path / "server.log"
+        config = write_deployment(tmp_path, args.budget, args.frontend)
+        process, log_handle, url = start_server(config, log_path)
         try:
             check(url is not None, f"server never came up:\n{log_path.read_text()}")
             if url is not None:
-                print(f"server at {url}")
+                print(f"server at {url} (frontend={args.frontend})")
                 drive(url, args.queries)
+                drive_joint_group(url)
+                drive_protocol_probes(url, args.frontend)
         finally:
             process.send_signal(signal.SIGINT)
             try:
@@ -204,8 +375,8 @@ def main() -> int:
         check("Traceback" not in log_text,
               f"server log contains a stack trace:\n{log_text}")
         check(process.returncode == 0, f"server exited with {process.returncode}")
-        print("--- server log ---")
-        print(log_text)
+        print("--- server log (tail) ---")
+        print("\n".join(log_text.splitlines()[-25:]))
 
     if FAILURES:
         print(f"{len(FAILURES)} check(s) failed")

@@ -27,13 +27,18 @@ independent and full-budget: the total spend reported is
 ``3 * trials * epsilon``.  Results are bit-for-bit identical for any
 ``--grid-workers`` value given the same ``--seed``.
 
-``serve`` starts the :mod:`repro.service` HTTP front-end: the CSV column is
+``serve`` starts a :mod:`repro.service` HTTP front-end: the CSV column is
 registered as a dataset with a finite total privacy budget and queries are
 answered over JSON until the budget runs out (identical repeated queries are
-served from cache at zero marginal epsilon).  ``query`` is the matching
-client::
+served from cache at zero marginal epsilon).  ``--config serving.toml``
+replaces the single-column arguments with a declarative multi-dataset
+deployment (per-dataset sources and budgets, joint budget groups, cache and
+worker settings), and ``--frontend async`` swaps the thread-per-connection
+server for the asyncio front-end that answers cache hits and refusals
+directly on the event loop.  ``query`` is the matching client::
 
     python -m repro serve data.csv --column salary --budget 20 --port 8080
+    python -m repro serve --config serving.toml --frontend async
     python -m repro query mean --url http://127.0.0.1:8080 \
         --dataset salary --epsilon 0.5
 """
@@ -148,28 +153,45 @@ def build_parser() -> argparse.ArgumentParser:
 
     serve = subparsers.add_parser(
         "serve",
-        help="serve DP queries against the CSV column over HTTP under a total budget",
+        help="serve DP queries over HTTP: one CSV column, or a multi-dataset "
+             "--config deployment",
     )
-    serve.add_argument("csv_path", type=Path, help="Path to the input CSV file")
     serve.add_argument(
-        "--column", required=True, help="Column name (header) or 0-based index to serve"
+        "csv_path", type=Path, nargs="?", default=None,
+        help="Path to the input CSV file (omit when using --config)",
+    )
+    serve.add_argument(
+        "--config", type=Path, default=None, metavar="FILE",
+        help="Serving config (.toml or .json): many datasets, joint budget "
+             "groups, cache/pool/front-end settings in one file",
+    )
+    serve.add_argument(
+        "--column", default=None,
+        help="Column name (header) or 0-based index to serve",
     )
     serve.add_argument(
         "--dataset", default=None,
         help="Dataset name clients address (default: the column name)",
     )
     serve.add_argument(
-        "--budget", type=float, required=True,
+        "--budget", type=float, default=None,
         help="Total privacy budget (epsilon) the dataset may ever spend",
     )
     serve.add_argument(
         "--analyst-budget", action="append", default=[], metavar="NAME=EPS",
         help="Per-analyst sub-budget (repeatable), e.g. --analyst-budget alice=2.0",
     )
-    serve.add_argument("--host", default="127.0.0.1", help="Bind address")
     serve.add_argument(
-        "--port", type=int, default=8080,
-        help="TCP port (0 picks a free ephemeral port, printed on startup)",
+        "--frontend", choices=["threaded", "async"], default=None,
+        help="HTTP front-end: 'threaded' (one thread per connection) or "
+             "'async' (single event loop; cache hits and refusals never "
+             "leave it). Default threaded, or the config file's choice.",
+    )
+    serve.add_argument("--host", default=None, help="Bind address (default 127.0.0.1)")
+    serve.add_argument(
+        "--port", type=int, default=None,
+        help="TCP port (0 picks a free ephemeral port, printed on startup; "
+             "default 8080)",
     )
     serve.add_argument(
         "--seed", type=int, default=None,
@@ -177,12 +199,16 @@ def build_parser() -> argparse.ArgumentParser:
              "independent of worker count",
     )
     serve.add_argument(
-        "--workers", type=int, default=1,
+        "--workers", type=int, default=None,
         help="Engine-pool workers for fanning out concurrent distinct queries",
     )
     serve.add_argument(
         "--cache-size", type=int, default=None,
         help="Answer-cache entries (default unbounded; 0 disables caching)",
+    )
+    serve.add_argument(
+        "--max-body", type=int, default=None,
+        help="Largest accepted request body in bytes (oversized posts get 413)",
     )
     serve.add_argument(
         "--allow-register", action="store_true",
@@ -391,51 +417,119 @@ def _parse_analyst_budgets(entries: Sequence[str]) -> dict:
     return budgets
 
 
+def _serve_config_from_args(args: argparse.Namespace):
+    """Resolve the effective :class:`ServingConfig` from --config and/or flags.
+
+    A config file supplies the deployment; explicit CLI flags override its
+    service-level settings.  Without --config, the legacy single-CSV-column
+    arguments build an equivalent one-dataset config.
+    """
+    import dataclasses
+
+    from repro.service import DatasetConfig, ServingConfig, load_serving_config
+
+    if args.config is not None:
+        if args.csv_path is not None or args.column is not None \
+                or args.dataset is not None or args.budget is not None \
+                or args.analyst_budget:
+            raise DomainError(
+                "--config describes the datasets itself; drop the CSV path, "
+                "--column, --dataset, --budget and --analyst-budget arguments"
+            )
+        config = load_serving_config(args.config)
+    else:
+        if args.csv_path is None or args.column is None or args.budget is None:
+            raise DomainError(
+                "serve needs either --config FILE, or a CSV path with "
+                "--column and --budget"
+            )
+        analyst_budgets = _parse_analyst_budgets(args.analyst_budget)
+        config = ServingConfig(
+            datasets=(
+                DatasetConfig(
+                    name=args.dataset or str(args.column),
+                    source=str(args.csv_path),
+                    column=str(args.column),
+                    budget=args.budget,
+                    analyst_budgets=analyst_budgets or None,
+                ),
+            ),
+        )
+
+    overrides = {}
+    for name in ("host", "port", "seed", "workers", "cache_size",
+                 "frontend", "max_body"):
+        value = getattr(args, name)
+        if value is not None:
+            overrides[name] = value
+    if args.allow_register:
+        overrides["allow_register"] = True
+    if args.quiet:
+        overrides["quiet"] = True
+    config = dataclasses.replace(config, **overrides)
+    if config.workers < 1:
+        raise DomainError(f"--workers must be at least 1, got {config.workers}")
+    if config.cache_size is not None and config.cache_size < 0:
+        raise DomainError(f"--cache-size must be >= 0, got {config.cache_size}")
+    if config.max_body is not None and config.max_body < 1:
+        raise DomainError(f"--max-body must be at least 1, got {config.max_body}")
+    return config
+
+
+def _describe_service(service, config) -> None:
+    for dataset in service.registry:
+        budget = (
+            f"joint budget group {dataset.group!r} "
+            f"(epsilon={dataset.budget.capacity:g})"
+            if dataset.group is not None
+            else f"total budget epsilon={dataset.budget.capacity:g}"
+        )
+        print(
+            f"dataset {dataset.name!r}: {dataset.records} records, {budget}, "
+            f"workers={config.workers}, seed={config.seed}",
+            flush=True,
+        )
+
+
 def _run_serve(args: argparse.Namespace) -> int:
-    """Start the repro.service HTTP front-end over one CSV column."""
-    from repro.engine import EnginePool
-    from repro.service import AnswerCache, QueryService, make_server
+    """Start a repro.service HTTP front-end (threaded or async)."""
+    from repro.service import build_service, make_server, serve_async
 
-    data = load_column(args.csv_path, args.column)
-    if args.workers < 1:
-        raise DomainError(f"--workers must be at least 1, got {args.workers}")
-    if args.cache_size is not None and args.cache_size < 0:
-        raise DomainError(f"--cache-size must be >= 0, got {args.cache_size}")
-    analyst_budgets = _parse_analyst_budgets(args.analyst_budget)
-    dataset_name = args.dataset or str(args.column)
+    config = _serve_config_from_args(args)
+    with build_service(config) as built:
+        service = built.service
+        if config.frontend == "async":
+            def on_ready(server) -> None:
+                host, port = server.server_address
+                print(f"repro-service listening on http://{host}:{port}", flush=True)
+                print("frontend=async", flush=True)
+                _describe_service(service, config)
 
-    pool = EnginePool(args.workers) if args.workers > 1 else None
-    service = QueryService(
-        pool=pool, seed=args.seed, cache=AnswerCache(maxsize=args.cache_size)
-    )
-    service.register(
-        dataset_name,
-        data,
-        args.budget,
-        analyst_budgets=analyst_budgets or None,
-        share=pool is not None and pool.parallel,
-    )
-    server = make_server(
-        service, args.host, args.port,
-        allow_register=args.allow_register, quiet=args.quiet,
-    )
-    host, port = server.server_address[:2]
-    print(f"repro-service listening on http://{host}:{port}", flush=True)
-    print(
-        f"dataset {dataset_name!r}: {data.size} records, "
-        f"total budget epsilon={args.budget:g}, workers={args.workers}, "
-        f"seed={args.seed}",
-        flush=True,
-    )
-    try:
-        server.serve_forever()
-    except KeyboardInterrupt:
-        print("shutting down", flush=True)
-    finally:
-        server.server_close()
-        service.registry.close()
-        if pool is not None:
-            pool.close()
+            try:
+                serve_async(
+                    service, config.host, config.port,
+                    allow_register=config.allow_register, quiet=config.quiet,
+                    max_body=config.max_body, on_ready=on_ready,
+                )
+            except KeyboardInterrupt:
+                print("shutting down", flush=True)
+            return 0
+
+        server = make_server(
+            service, config.host, config.port,
+            allow_register=config.allow_register, quiet=config.quiet,
+            max_body=config.max_body,
+        )
+        host, port = server.server_address[:2]
+        print(f"repro-service listening on http://{host}:{port}", flush=True)
+        print("frontend=threaded", flush=True)
+        _describe_service(service, config)
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            print("shutting down", flush=True)
+        finally:
+            server.server_close()
     return 0
 
 

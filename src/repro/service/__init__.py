@@ -14,8 +14,15 @@ with a finite total privacy budget, analysts submit typed *queries*
   :class:`repro.engine.EnginePool` (:class:`QueryService`, with a serial
   in-process fallback and :class:`repro.engine.SharedArray` hand-off for
   ``share=True`` datasets);
-* speaks **JSON over HTTP** via the stdlib front-end in
-  :mod:`repro.service.http` (CLI: ``repro serve`` / ``repro query``).
+* speaks **JSON over HTTP** via two interchangeable stdlib front-ends —
+  thread-per-connection (:mod:`repro.service.http`) and a single-event-loop
+  asyncio server (:mod:`repro.service.aio`) that answers cache hits and
+  refusals without leaving the loop (CLI: ``repro serve [--frontend async]``
+  / ``repro query``);
+* boots **multi-dataset deployments from a declarative config**
+  (:mod:`repro.service.config`: TOML/JSON sources, budgets, cache, workers)
+  including **joint budget groups** — one epsilon cap spanning several
+  datasets (``repro serve --config serving.toml``).
 
 Under a fixed service ``seed`` every answer is bit-for-bit identical for
 ``workers=1`` and ``workers=N`` — each query's randomness is derived from
@@ -51,7 +58,27 @@ from repro.service.registry import (
     Reservation,
     UnknownDatasetError,
 )
-from repro.service.http import ServiceServer, make_server, serve_forever
+from repro.service.http import (
+    DEFAULT_MAX_BODY,
+    ServiceServer,
+    make_server,
+    serve_forever,
+)
+from repro.service.aio import (
+    AsyncServerThread,
+    AsyncServiceServer,
+    serve_async,
+    start_async_server,
+)
+from repro.service.config import (
+    BuiltService,
+    DatasetConfig,
+    GroupConfig,
+    ServingConfig,
+    build_service,
+    load_serving_config,
+    parse_serving_config,
+)
 
 __all__ = [
     "QueryService",
@@ -72,4 +99,16 @@ __all__ = [
     "ServiceServer",
     "make_server",
     "serve_forever",
+    "DEFAULT_MAX_BODY",
+    "AsyncServiceServer",
+    "AsyncServerThread",
+    "serve_async",
+    "start_async_server",
+    "BuiltService",
+    "DatasetConfig",
+    "GroupConfig",
+    "ServingConfig",
+    "build_service",
+    "load_serving_config",
+    "parse_serving_config",
 ]

@@ -1,0 +1,550 @@
+"""Asyncio HTTP/1.1 front-end for :class:`~repro.service.QueryService`.
+
+The threaded front-end (:mod:`repro.service.http`) spends one OS thread per
+connection; at hundreds of concurrent clients the GIL and the scheduler eat
+the cached path alive.  This module serves the *same* service from a single
+event loop (pure stdlib: :func:`asyncio.start_server` plus a minimal
+HTTP/1.1 parser — no new dependencies):
+
+* **Fast paths run on the loop.**  Cache hits, sure budget refusals and
+  invalid requests are answered by :meth:`QueryService.peek` — lock-guarded
+  dict lookups, never an estimator run — directly in the event loop, so the
+  hot cached path is one task switch per request.
+* **Cold queries leave the loop.**  A request that needs a fresh release is
+  dispatched to a small thread pool via ``run_in_executor`` and flows through
+  the untouched admission → coalesce → fan-out → commit pipeline of
+  :class:`QueryService`.  Because both front-ends execute the identical
+  service code and every query's randomness derives from
+  ``(service seed, canonical key)``, answers are **bit-for-bit identical**
+  across front-ends and worker counts.
+* **Keep-alive and pipelining.**  Each connection is one task reading
+  requests in order; pipelined requests queue in the stream buffer and are
+  answered in order.
+* **Hardening mirrors the threaded front-end.**  Malformed
+  ``Content-Length`` → 400, oversized body → 413 (never read into memory),
+  a peer disconnecting mid-request or mid-response is swallowed and counted
+  — the log stays traceback-free by construction.
+
+``GET /datasets`` reports the front-end counters (requests, loop-answered,
+executor-dispatched, disconnects, malformed) under the ``frontend`` key.
+
+Entry points: :func:`start_async_server` (coroutine),
+:func:`serve_async` (blocking, for the CLI) and :class:`AsyncServerThread`
+(run the loop on a daemon thread — the blocking-world counterpart of
+:func:`repro.service.http.serve_forever`, used by tests and benchmarks).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.exceptions import ReproError
+from repro.service.executor import QueryService
+from repro.service.http import (
+    DEFAULT_MAX_BODY,
+    _answer_status_code,
+    _internal_error,
+    _parse_request,
+    _register_response,
+    _too_large_error,
+)
+from repro.service.queries import InvalidQueryError
+
+__all__ = [
+    "AsyncServiceServer",
+    "AsyncServerThread",
+    "start_async_server",
+    "serve_async",
+]
+
+_REASONS = {
+    200: "OK",
+    201: "Created",
+    400: "Bad Request",
+    403: "Forbidden",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+#: Upper bound on header lines per request (anti-abuse, matches stdlib).
+_MAX_HEADERS = 100
+
+
+class _Hangup(Exception):
+    """Stop serving this connection (peer gone or framing unrecoverable)."""
+
+
+def _bad_request(message: str) -> Dict[str, Any]:
+    return {"status": "error", "error": "invalid_request", "message": message}
+
+
+class AsyncServiceServer:
+    """One event loop serving a :class:`QueryService` over HTTP/1.1.
+
+    Parameters mirror :func:`repro.service.http.make_server`;
+    ``executor_threads`` sizes the pool that runs cold (estimator-executing)
+    queries off the loop, and ``keepalive_timeout`` bounds every per-request
+    wait — idle time between requests, header/body reads, and response
+    drain — so a stalled client cannot pin its connection task forever.
+    """
+
+    def __init__(
+        self,
+        service: QueryService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        allow_register: bool = False,
+        quiet: bool = False,
+        max_body: Optional[int] = DEFAULT_MAX_BODY,
+        executor_threads: Optional[int] = None,
+        keepalive_timeout: float = 75.0,
+    ):
+        self.service = service
+        self._host = host
+        self._port = port
+        self.allow_register = allow_register
+        self.quiet = quiet
+        self.max_body = max_body
+        self._keepalive_timeout = keepalive_timeout
+        self._executor = ThreadPoolExecutor(
+            max_workers=executor_threads, thread_name_prefix="repro-aio-query"
+        )
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._bound: Optional[Tuple[str, int]] = None
+        # Touched only from the event-loop thread; read anywhere (CPython int
+        # loads are atomic, and the stats are monitoring data, not invariants).
+        self._counters: Dict[str, int] = {
+            "requests": 0,
+            "answered_on_loop": 0,
+            "executed": 0,
+            "disconnects": 0,
+            "malformed": 0,
+        }
+
+    # -- lifecycle ---------------------------------------------------------
+    async def start(self) -> "AsyncServiceServer":
+        """Bind and start accepting connections (``port=0`` → ephemeral)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self._host, self._port, backlog=512
+        )
+        self._bound = self._server.sockets[0].getsockname()[:2]
+        return self
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    async def aclose(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self._executor.shutdown(wait=False)
+
+    @property
+    def url(self) -> str:
+        assert self._bound is not None, "server is not started"
+        host, port = self._bound
+        return f"http://{host}:{port}"
+
+    @property
+    def server_address(self) -> Tuple[str, int]:
+        assert self._bound is not None, "server is not started"
+        return self._bound
+
+    def frontend_stats(self) -> Dict[str, Any]:
+        """Front-end counters reported under ``frontend`` in ``GET /datasets``."""
+        stats: Dict[str, Any] = {"frontend": "async", "max_body": self.max_body}
+        stats.update(self._counters)
+        return stats
+
+    @property
+    def disconnects(self) -> int:
+        return self._counters["disconnects"]
+
+    # -- connection handling -----------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while await self._serve_one(reader, writer):
+                pass
+        except _Hangup:
+            pass
+        except (ConnectionError, asyncio.IncompleteReadError):
+            self._counters["disconnects"] += 1
+        except Exception as exc:  # noqa: BLE001 - a connection must never leak a traceback
+            if not self.quiet:
+                print(
+                    f"error on connection: {type(exc).__name__}: {exc}",
+                    file=sys.stderr,
+                    flush=True,
+                )
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.IncompleteReadError):
+                pass
+
+    async def _serve_one(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> bool:
+        """Read and answer one request; returns whether to keep the connection."""
+        try:
+            request_line = await asyncio.wait_for(
+                reader.readline(), self._keepalive_timeout
+            )
+        except asyncio.TimeoutError:
+            return False
+        except ValueError:  # request line beyond the stream's line limit
+            self._counters["malformed"] += 1
+            await self._send(writer, 400, _bad_request("request line too long"),
+                             keep_alive=False, log="-")
+            return False
+        if not request_line.strip():
+            return False  # clean close (or bare CRLF) between requests
+        parts = request_line.decode("latin-1").split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+            self._counters["malformed"] += 1
+            await self._send(writer, 400, _bad_request("unparseable request line"),
+                             keep_alive=False, log="-")
+            return False
+        method, path, version = parts
+        try:
+            headers = await asyncio.wait_for(
+                self._read_headers(reader), self._keepalive_timeout
+            )
+        except asyncio.TimeoutError:
+            # A stalled (slowloris-style) client: reclaim the connection.
+            self._counters["disconnects"] += 1
+            return False
+        if headers is None:
+            self._counters["malformed"] += 1
+            await self._send(writer, 400, _bad_request("unparseable headers"),
+                             keep_alive=False, log=f"{method} {path}")
+            return False
+        connection = headers.get("connection", "").lower()
+        if version == "HTTP/1.1":
+            keep_alive = connection != "close"
+        else:  # HTTP/1.0 closes unless the client opts in
+            keep_alive = connection == "keep-alive"
+        self._counters["requests"] += 1
+        log = f"{method} {path}"
+        if method == "GET":
+            return await self._handle_get(path, writer, keep_alive, log)
+        if method == "POST":
+            return await self._handle_post(path, headers, reader, writer, keep_alive, log)
+        await self._send(
+            writer, 405,
+            {"status": "error", "error": "method_not_allowed",
+             "message": f"unsupported method {method}"},
+            keep_alive=False, log=log,
+        )
+        return False
+
+    async def _read_headers(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[Dict[str, str]]:
+        """Header block as a lowercase dict; ``None`` when unparseable."""
+        headers: Dict[str, str] = {}
+        for _ in range(_MAX_HEADERS):
+            try:
+                line = await reader.readline()
+            except ValueError:
+                return None
+            if line in (b"\r\n", b"\n"):
+                return headers
+            if not line:  # EOF mid-headers: the client hung up
+                self._counters["disconnects"] += 1
+                raise _Hangup
+            name, sep, value = line.decode("latin-1").partition(":")
+            if not sep:
+                return None
+            headers[name.strip().lower()] = value.strip()
+        return None  # header block too large
+
+    # -- routes ------------------------------------------------------------
+    async def _handle_get(
+        self, path: str, writer: asyncio.StreamWriter, keep_alive: bool, log: str
+    ) -> bool:
+        try:
+            if path == "/health":
+                doc: Dict[str, Any] = {
+                    "status": "ok",
+                    "datasets": self.service.registry.names(),
+                }
+                await self._send(writer, 200, doc, keep_alive=keep_alive, log=log)
+            elif path == "/datasets":
+                stats = self.service.stats()
+                stats["frontend"] = self.frontend_stats()
+                await self._send(writer, 200, stats, keep_alive=keep_alive, log=log)
+            else:
+                await self._send(
+                    writer, 404,
+                    {"status": "error", "error": "unknown_path",
+                     "message": f"no route for GET {path}"},
+                    keep_alive=keep_alive, log=log,
+                )
+        except (_Hangup, ConnectionError):
+            raise
+        except Exception as exc:  # noqa: BLE001 - must never leak a traceback
+            await self._send(writer, 500, _internal_error(exc),
+                             keep_alive=keep_alive, log=log)
+        return keep_alive
+
+    async def _handle_post(
+        self,
+        path: str,
+        headers: Dict[str, str],
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        keep_alive: bool,
+        log: str,
+    ) -> bool:
+        # Body framing first: a malformed Content-Length leaves the stream
+        # position unknown, so those responses always close the connection.
+        raw_length = headers.get("content-length")
+        try:
+            length = int(raw_length) if raw_length is not None else 0
+            if length < 0:
+                raise ValueError
+        except ValueError:
+            self._counters["malformed"] += 1
+            await self._send(
+                writer, 400,
+                _bad_request(
+                    f"Content-Length must be a non-negative integer, got {raw_length!r}"
+                ),
+                keep_alive=False, log=log,
+            )
+            return False
+        if self.max_body is not None and length > self.max_body:
+            await self._send(writer, 413, _too_large_error(length, self.max_body),
+                             keep_alive=False, log=log)
+            return False
+        if length == 0:
+            await self._send(writer, 400, _bad_request("request body is empty"),
+                             keep_alive=keep_alive, log=log)
+            return keep_alive
+        try:
+            body = await asyncio.wait_for(
+                reader.readexactly(length), self._keepalive_timeout
+            )
+        except (asyncio.IncompleteReadError, asyncio.TimeoutError):
+            # Hung up early, or stalled without ever delivering the promised
+            # bytes — either way the request is unrecoverable.
+            self._counters["disconnects"] += 1
+            raise _Hangup from None
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            await self._send(
+                writer, 400,
+                _bad_request(f"request body is not valid JSON: {exc}"),
+                keep_alive=keep_alive, log=log,
+            )
+            return keep_alive
+
+        loop = asyncio.get_running_loop()
+        try:
+            if path == "/query":
+                if isinstance(payload, dict) and "queries" in payload:
+                    entries = payload["queries"]
+                    if not isinstance(entries, list):
+                        raise InvalidQueryError(
+                            "'queries' must be a list of query objects"
+                        )
+                    requests = [_parse_request(entry) for entry in entries]
+                    self._counters["executed"] += 1
+                    answers = await loop.run_in_executor(
+                        self._executor, self.service.submit_many, requests
+                    )
+                    await self._send(
+                        writer, 200,
+                        {"answers": [answer.to_json() for answer in answers]},
+                        keep_alive=keep_alive, log=log,
+                    )
+                else:
+                    request = _parse_request(payload)
+                    answer = self.service.peek(request)
+                    if answer is not None:
+                        self._counters["answered_on_loop"] += 1
+                    else:
+                        self._counters["executed"] += 1
+                        answer = await loop.run_in_executor(
+                            self._executor, self.service.submit, request
+                        )
+                    await self._send(
+                        writer, _answer_status_code(answer), answer.to_json(),
+                        keep_alive=keep_alive, log=log,
+                    )
+            elif path == "/datasets":
+                if not self.allow_register:
+                    await self._send(
+                        writer, 403,
+                        {"status": "error", "error": "registration_disabled",
+                         "message": "this server does not accept dataset registration"},
+                        keep_alive=keep_alive, log=log,
+                    )
+                else:
+                    code, doc = await loop.run_in_executor(
+                        self._executor, _register_response, self.service, payload
+                    )
+                    await self._send(writer, code, doc, keep_alive=keep_alive, log=log)
+            else:
+                await self._send(
+                    writer, 404,
+                    {"status": "error", "error": "unknown_path",
+                     "message": f"no route for POST {path}"},
+                    keep_alive=keep_alive, log=log,
+                )
+        except (_Hangup, ConnectionError):
+            raise
+        except ReproError as exc:
+            await self._send(writer, 400,
+                             {"status": "error", "error": "invalid_request",
+                              "message": str(exc)},
+                             keep_alive=keep_alive, log=log)
+        except Exception as exc:  # noqa: BLE001 - must never leak a traceback
+            await self._send(writer, 500, _internal_error(exc),
+                             keep_alive=keep_alive, log=log)
+        return keep_alive
+
+    # -- response writing ---------------------------------------------------
+    async def _send(
+        self,
+        writer: asyncio.StreamWriter,
+        code: int,
+        payload: Dict[str, Any],
+        *,
+        keep_alive: bool,
+        log: str,
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {code} {_REASONS.get(code, 'OK')}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            "\r\n"
+        ).encode("latin-1")
+        writer.write(head + body)
+        try:
+            await asyncio.wait_for(writer.drain(), self._keepalive_timeout)
+        except (ConnectionError, asyncio.IncompleteReadError, asyncio.TimeoutError):
+            # Mid-response disconnect (or a peer that stopped reading):
+            # count it and end the connection quietly.
+            self._counters["disconnects"] += 1
+            raise _Hangup from None
+        if not self.quiet:
+            print(f'async "{log}" {code}', file=sys.stderr, flush=True)
+
+
+async def start_async_server(
+    service: QueryService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    **kwargs: Any,
+) -> AsyncServiceServer:
+    """Build and start an :class:`AsyncServiceServer` on the running loop."""
+    server = AsyncServiceServer(service, host, port, **kwargs)
+    await server.start()
+    return server
+
+
+def serve_async(
+    service: QueryService,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    *,
+    on_ready: Optional[Callable[[AsyncServiceServer], None]] = None,
+    **kwargs: Any,
+) -> None:
+    """Run the async front-end until interrupted (blocking; used by the CLI).
+
+    ``on_ready(server)`` fires once the socket is bound — the CLI uses it to
+    print the (possibly ephemeral) listening URL.
+    """
+
+    async def _main() -> None:
+        server = await start_async_server(service, host, port, **kwargs)
+        try:
+            if on_ready is not None:
+                on_ready(server)
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.aclose()
+
+    asyncio.run(_main())
+
+
+class AsyncServerThread:
+    """Run :class:`AsyncServiceServer` on a dedicated event-loop thread.
+
+    The blocking-world counterpart of :func:`repro.service.http.serve_forever`
+    for the async front-end: tests, benchmarks and mixed deployments call
+    :meth:`start`, read :attr:`url`, then :meth:`stop`.  Usable as a context
+    manager.
+    """
+
+    def __init__(
+        self,
+        service: QueryService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        **kwargs: Any,
+    ):
+        self._args = (service, host, port)
+        self._kwargs = kwargs
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._run, daemon=True, name="repro-aio-loop"
+        )
+        self.server: Optional[AsyncServiceServer] = None
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        try:
+            self._loop.run_forever()
+        finally:
+            self._loop.close()
+
+    def start(self, timeout: float = 10.0) -> "AsyncServerThread":
+        self._thread.start()
+        service, host, port = self._args
+        future = asyncio.run_coroutine_threadsafe(
+            start_async_server(service, host, port, **self._kwargs), self._loop
+        )
+        self.server = future.result(timeout)
+        return self
+
+    @property
+    def url(self) -> str:
+        assert self.server is not None, "call start() first"
+        return self.server.url
+
+    def stop(self, timeout: float = 10.0) -> None:
+        if self.server is not None:
+            asyncio.run_coroutine_threadsafe(
+                self.server.aclose(), self._loop
+            ).result(timeout)
+            self.server = None
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout)
+
+    def __enter__(self) -> "AsyncServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()

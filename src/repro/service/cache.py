@@ -81,6 +81,34 @@ class AnswerCache:
             self._misses += 1
             return None
 
+    def peek(self, key: str) -> Optional[Any]:
+        """Probe for ``key``: count a hit when present, count *nothing* on absence.
+
+        The probe semantics of the service's fast path: a present answer is a
+        real, served hit (counted and LRU-refreshed, atomically); an absent
+        one is not a miss yet — the caller counts it via :meth:`record_miss`
+        (probe-answered refusals/invalids) or through the full submission's
+        own lookup, keeping ``hits + misses`` equal to the number of
+        answered lookups.
+        """
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                return self._entries[key]
+            return None
+
+    def record_miss(self) -> None:
+        """Count a miss for a probe resolved without a follow-up lookup.
+
+        Used when a :meth:`peek` probe came up empty and the request is then
+        answered without any further cache access (a refusal or an invalid
+        answer on the fast path) — mirrors the miss the submission path
+        counts for the same outcome.
+        """
+        with self._lock:
+            self._misses += 1
+
     def put(self, key: str, answer: Any) -> None:
         """Store ``answer`` under ``key``, evicting LRU entries if needed."""
         if self._maxsize == 0:

@@ -1,0 +1,532 @@
+"""Declarative serving config: boot a multi-dataset service from one file.
+
+``repro serve --config serving.toml`` reads a TOML (or JSON) document
+describing an entire deployment — many datasets in one process, each with a
+CSV/NPY source (or inline values), a private budget or a **joint budget
+group** membership, per-analyst sub-budgets, engine workers, cache size and
+the front-end flavour — validates it, and builds the
+:class:`~repro.service.QueryService` plus its engine pool in one call.
+
+The TOML grammar (JSON mirrors the same structure)::
+
+    [service]
+    seed = 7              # optional: deterministic answers
+    workers = 4           # engine-pool processes (1 = serial in-process)
+    cache_size = 4096     # answer-cache entries (omit = unbounded, 0 = off)
+    frontend = "async"    # "threaded" or "async"
+    host = "127.0.0.1"
+    port = 8080           # 0 picks an ephemeral port
+    max_body = 1048576    # request-body cap in bytes (413 beyond it)
+    allow_register = false
+    quiet = false
+
+    [groups.clinical]     # one BudgetManager cap spanning member datasets
+    budget = 4.0
+    [groups.clinical.analyst_budgets]
+    dashboard = 1.0
+
+    [[datasets]]
+    name = "salaries"
+    source = "salaries.csv"    # .csv (needs column=) or .npy, relative to
+    column = "salary"          # the config file's directory
+    budget = 6.0               # private budget: exactly one of budget/group
+    share = true               # optional: shared-memory hand-off override
+    [datasets.analyst_budgets]
+    alice = 2.0
+
+    [[datasets]]
+    name = "heights"
+    source = "heights.npy"
+    group = "clinical"         # draws from the joint group cap
+
+Inline data (``values = [1.0, 2.0, ...]``) is accepted in place of
+``source`` — handy for tests and tiny demos.
+
+TOML parsing uses :mod:`tomllib` (Python 3.11+).  On 3.10 a small built-in
+parser covering exactly the grammar above (tables, arrays of tables,
+strings / numbers / booleans / single-line arrays, ``#`` comments) keeps the
+feature available without any new dependency.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import DomainError
+from repro.service.cache import AnswerCache
+from repro.service.executor import QueryService
+from repro.service.http import DEFAULT_MAX_BODY
+
+try:  # Python 3.11+
+    import tomllib as _tomllib
+except ImportError:  # pragma: no cover - exercised on 3.10 only
+    _tomllib = None
+
+__all__ = [
+    "DatasetConfig",
+    "GroupConfig",
+    "ServingConfig",
+    "BuiltService",
+    "parse_serving_config",
+    "load_serving_config",
+    "build_service",
+]
+
+_FRONTENDS = ("threaded", "async")
+
+
+@dataclass(frozen=True)
+class GroupConfig:
+    """One joint budget group: a single cap shared by its member datasets."""
+
+    name: str
+    budget: float
+    analyst_budgets: Optional[Mapping[str, float]] = None
+
+
+@dataclass(frozen=True)
+class DatasetConfig:
+    """One dataset to serve: its source and its budget (private or group)."""
+
+    name: str
+    source: Optional[str] = None
+    column: Optional[str] = None
+    values: Optional[Tuple[float, ...]] = None
+    budget: Optional[float] = None
+    group: Optional[str] = None
+    analyst_budgets: Optional[Mapping[str, float]] = None
+    share: Optional[bool] = None  # None = auto (shared memory iff pool forks)
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """A validated serving document, ready for :func:`build_service`."""
+
+    datasets: Tuple[DatasetConfig, ...]
+    groups: Tuple[GroupConfig, ...] = ()
+    seed: Optional[int] = None
+    workers: int = 1
+    cache_size: Optional[int] = None
+    host: str = "127.0.0.1"
+    port: int = 8080
+    frontend: str = "threaded"
+    max_body: Optional[int] = DEFAULT_MAX_BODY
+    allow_register: bool = False
+    quiet: bool = False
+    base_dir: Optional[Path] = None  # resolves relative dataset sources
+
+
+# ---------------------------------------------------------------------------
+# document parsing
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise DomainError(f"serving config: {message}")
+
+
+def _parse_analyst_budgets(raw: Any, where: str) -> Optional[Dict[str, float]]:
+    if raw is None:
+        return None
+    _require(isinstance(raw, Mapping), f"{where}.analyst_budgets must be a table")
+    budgets: Dict[str, float] = {}
+    for name, cap in raw.items():
+        try:
+            budgets[str(name)] = float(cap)
+        except (TypeError, ValueError):
+            raise DomainError(
+                f"serving config: {where}.analyst_budgets[{name!r}] must be a "
+                f"number, got {cap!r}"
+            ) from None
+    return budgets
+
+
+def _parse_dataset(raw: Any, index: int) -> DatasetConfig:
+    where = f"datasets[{index}]"
+    _require(isinstance(raw, Mapping), f"{where} must be a table")
+    unknown = set(raw) - {
+        "name", "source", "column", "values", "budget", "group",
+        "analyst_budgets", "share",
+    }
+    _require(not unknown, f"{where} has unknown keys: {sorted(unknown)}")
+    _require("name" in raw and str(raw["name"]), f"{where} needs a non-empty name")
+    name = str(raw["name"])
+    source = raw.get("source")
+    values = raw.get("values")
+    _require(
+        (source is None) != (values is None),
+        f"{where} ({name!r}) needs exactly one of source= or values=",
+    )
+    if values is not None:
+        _require(
+            isinstance(values, (list, tuple)),
+            f"{where} ({name!r}) values must be an array",
+        )
+        try:
+            values = tuple(float(value) for value in values)
+        except (TypeError, ValueError):
+            raise DomainError(
+                f"serving config: {where} ({name!r}) values must be numbers"
+            ) from None
+    column = raw.get("column")
+    if source is not None and str(source).lower().endswith(".csv"):
+        _require(column is not None, f"{where} ({name!r}): a .csv source needs column=")
+    else:
+        _require(column is None, f"{where} ({name!r}): column= is only for .csv sources")
+    budget = raw.get("budget")
+    group = raw.get("group")
+    _require(
+        (budget is None) != (group is None),
+        f"{where} ({name!r}) needs exactly one of budget= or group=",
+    )
+    if budget is not None:
+        try:
+            budget = float(budget)
+        except (TypeError, ValueError):
+            raise DomainError(
+                f"serving config: {where} ({name!r}) budget must be a number"
+            ) from None
+    analyst_budgets = _parse_analyst_budgets(raw.get("analyst_budgets"), where)
+    _require(
+        analyst_budgets is None or group is None,
+        f"{where} ({name!r}): analyst budgets of a joint group belong under "
+        "[groups.<name>.analyst_budgets], not on member datasets",
+    )
+    share = raw.get("share")
+    _require(
+        share is None or isinstance(share, bool),
+        f"{where} ({name!r}) share must be a boolean",
+    )
+    return DatasetConfig(
+        name=name,
+        source=None if source is None else str(source),
+        column=None if column is None else str(column),
+        values=values,
+        budget=budget,
+        group=None if group is None else str(group),
+        analyst_budgets=analyst_budgets,
+        share=share,
+    )
+
+
+def parse_serving_config(
+    document: Mapping[str, Any], *, base_dir: Optional[Path] = None
+) -> ServingConfig:
+    """Validate a decoded config document into a :class:`ServingConfig`."""
+    _require(isinstance(document, Mapping), "top level must be a table/object")
+    unknown = set(document) - {"service", "groups", "datasets"}
+    _require(not unknown, f"unknown top-level keys: {sorted(unknown)}")
+
+    service_raw = document.get("service", {})
+    _require(isinstance(service_raw, Mapping), "[service] must be a table")
+    unknown = set(service_raw) - {
+        "seed", "workers", "cache_size", "host", "port", "frontend",
+        "max_body", "allow_register", "quiet",
+    }
+    _require(not unknown, f"[service] has unknown keys: {sorted(unknown)}")
+    frontend = str(service_raw.get("frontend", "threaded"))
+    _require(
+        frontend in _FRONTENDS,
+        f"[service] frontend must be one of {list(_FRONTENDS)}, got {frontend!r}",
+    )
+    workers = int(service_raw.get("workers", 1))
+    _require(workers >= 1, f"[service] workers must be >= 1, got {workers}")
+    cache_size = service_raw.get("cache_size")
+    if cache_size is not None:
+        cache_size = int(cache_size)
+        _require(cache_size >= 0, f"[service] cache_size must be >= 0, got {cache_size}")
+    seed = service_raw.get("seed")
+    port = int(service_raw.get("port", 8080))
+    _require(0 <= port <= 65535, f"[service] port must be in [0, 65535], got {port}")
+    max_body = service_raw.get("max_body", DEFAULT_MAX_BODY)
+    if max_body is not None:
+        max_body = int(max_body)
+        _require(max_body > 0, f"[service] max_body must be > 0, got {max_body}")
+
+    groups_raw = document.get("groups", {})
+    _require(isinstance(groups_raw, Mapping), "[groups] must be a table of tables")
+    groups: List[GroupConfig] = []
+    for name, raw in groups_raw.items():
+        where = f"groups.{name}"
+        _require(isinstance(raw, Mapping), f"[{where}] must be a table")
+        unknown = set(raw) - {"budget", "analyst_budgets"}
+        _require(not unknown, f"[{where}] has unknown keys: {sorted(unknown)}")
+        _require("budget" in raw, f"[{where}] needs a budget")
+        try:
+            budget = float(raw["budget"])
+        except (TypeError, ValueError):
+            raise DomainError(
+                f"serving config: [{where}] budget must be a number"
+            ) from None
+        groups.append(
+            GroupConfig(
+                name=str(name),
+                budget=budget,
+                analyst_budgets=_parse_analyst_budgets(
+                    raw.get("analyst_budgets"), where
+                ),
+            )
+        )
+
+    datasets_raw = document.get("datasets", [])
+    _require(
+        isinstance(datasets_raw, (list, tuple)) and datasets_raw,
+        "config needs at least one [[datasets]] entry",
+    )
+    datasets = [_parse_dataset(raw, index) for index, raw in enumerate(datasets_raw)]
+    names = [dataset.name for dataset in datasets]
+    _require(
+        len(set(names)) == len(names),
+        f"duplicate dataset names: {sorted(n for n in names if names.count(n) > 1)}",
+    )
+    group_names = {group.name for group in groups}
+    for dataset in datasets:
+        _require(
+            dataset.group is None or dataset.group in group_names,
+            f"dataset {dataset.name!r} references unknown group {dataset.group!r} "
+            f"(known: {sorted(group_names) or 'none'})",
+        )
+
+    return ServingConfig(
+        datasets=tuple(datasets),
+        groups=tuple(groups),
+        seed=None if seed is None else int(seed),
+        workers=workers,
+        cache_size=cache_size,
+        host=str(service_raw.get("host", "127.0.0.1")),
+        port=port,
+        frontend=frontend,
+        max_body=max_body,
+        allow_register=bool(service_raw.get("allow_register", False)),
+        quiet=bool(service_raw.get("quiet", False)),
+        base_dir=base_dir,
+    )
+
+
+def load_serving_config(path: Any) -> ServingConfig:
+    """Read and validate a ``.toml`` or ``.json`` serving config file."""
+    path = Path(path)
+    if not path.exists():
+        raise DomainError(f"serving config not found: {path}")
+    text = path.read_text()
+    suffix = path.suffix.lower()
+    if suffix == ".json":
+        try:
+            document = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise DomainError(f"serving config {path} is not valid JSON: {exc}") from exc
+    elif suffix == ".toml":
+        if _tomllib is not None:
+            try:
+                document = _tomllib.loads(text)
+            except _tomllib.TOMLDecodeError as exc:
+                raise DomainError(
+                    f"serving config {path} is not valid TOML: {exc}"
+                ) from exc
+        else:  # pragma: no cover - Python 3.10 fallback
+            document = _parse_toml_subset(text, str(path))
+    else:
+        raise DomainError(
+            f"serving config must be a .toml or .json file, got {path.name!r}"
+        )
+    return parse_serving_config(document, base_dir=path.parent)
+
+
+# ---------------------------------------------------------------------------
+# building the service
+
+
+@dataclass
+class BuiltService:
+    """A booted service plus the resources :func:`build_service` created.
+
+    ``close()`` releases the registry's shared segments and — only when the
+    pool was created here rather than passed in — the engine pool.
+    """
+
+    service: QueryService
+    config: ServingConfig
+    pool: Any = None
+    owns_pool: bool = False
+    _closed: bool = field(default=False, repr=False)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self.service.registry.close()
+        if self.owns_pool and self.pool is not None:
+            self.pool.close()
+
+    def __enter__(self) -> "BuiltService":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def _load_dataset_values(dataset: DatasetConfig, base_dir: Optional[Path]) -> np.ndarray:
+    """Materialise one dataset's records from its configured source."""
+    if dataset.values is not None:
+        return np.asarray(dataset.values, dtype=float)
+    assert dataset.source is not None  # parse_serving_config guarantees one of the two
+    source = Path(dataset.source)
+    if not source.is_absolute() and base_dir is not None:
+        source = base_dir / source
+    if not source.exists():
+        raise DomainError(
+            f"dataset {dataset.name!r}: source file not found: {source}"
+        )
+    # A column= marks the source as CSV-shaped whatever its suffix (the
+    # legacy CLI accepts extensionless delimited files); config files are
+    # stricter and only pair column= with .csv sources at parse time.
+    if dataset.column is not None or source.suffix.lower() == ".csv":
+        if dataset.column is None:
+            raise DomainError(
+                f"dataset {dataset.name!r}: a CSV source needs column="
+            )
+        from repro.cli import load_column
+
+        return load_column(source, dataset.column)
+    if source.suffix.lower() == ".npy":
+        try:
+            return np.asarray(np.load(source, allow_pickle=False), dtype=float)
+        except ValueError as exc:
+            raise DomainError(
+                f"dataset {dataset.name!r}: cannot load {source}: {exc}"
+            ) from exc
+    raise DomainError(
+        f"dataset {dataset.name!r}: source must be .csv or .npy, got {source.name!r}"
+    )
+
+
+def build_service(config: ServingConfig, *, pool: Any = None) -> BuiltService:
+    """Boot a :class:`QueryService` (datasets, groups, cache, pool) from config.
+
+    Pass an open :class:`~repro.engine.EnginePool` to share one across
+    services; otherwise a pool is created when ``config.workers > 1`` and
+    owned (closed) by the returned :class:`BuiltService`.
+    """
+    owns_pool = False
+    if pool is None and config.workers > 1:
+        from repro.engine import EnginePool
+
+        pool = EnginePool(config.workers)
+        owns_pool = True
+    service = None
+    try:
+        service = QueryService(
+            pool=pool,
+            seed=config.seed,
+            cache=AnswerCache(maxsize=config.cache_size),
+        )
+        for group in config.groups:
+            service.registry.create_group(
+                group.name, group.budget, analyst_budgets=group.analyst_budgets
+            )
+        for dataset in config.datasets:
+            values = _load_dataset_values(dataset, config.base_dir)
+            share = dataset.share
+            if share is None:
+                share = pool is not None and pool.parallel
+            service.register(
+                dataset.name,
+                values,
+                dataset.budget,
+                group=dataset.group,
+                analyst_budgets=dataset.analyst_budgets,
+                share=share,
+            )
+    except BaseException:
+        # Release whatever was already built: shared-memory segments of
+        # datasets registered before the failure, and the pool if owned.
+        if service is not None:
+            service.registry.close()
+        if owns_pool:
+            pool.close()
+        raise
+    return BuiltService(service=service, config=config, pool=pool, owns_pool=owns_pool)
+
+
+# ---------------------------------------------------------------------------
+# minimal TOML-subset parser (Python 3.10, where tomllib is unavailable)
+
+
+def _parse_toml_value(text: str, where: str) -> Any:
+    text = text.strip()
+    if text.startswith('"') and text.endswith('"') and len(text) >= 2:
+        return text[1:-1].replace('\\"', '"').replace("\\\\", "\\")
+    if text.startswith("[") and text.endswith("]"):
+        inner = text[1:-1].strip()
+        if not inner:
+            return []
+        return [_parse_toml_value(item, where) for item in inner.split(",")]
+    if text in ("true", "false"):
+        return text == "true"
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        raise DomainError(f"serving config {where}: cannot parse value {text!r}") from None
+
+
+def _strip_toml_comment(line: str) -> str:
+    in_string = False
+    for index, char in enumerate(line):
+        if char == '"' and (index == 0 or line[index - 1] != "\\"):
+            in_string = not in_string
+        elif char == "#" and not in_string:
+            return line[:index]
+    return line
+
+
+def _parse_toml_subset(text: str, where: str) -> Dict[str, Any]:
+    """Parse the documented config grammar (used only when tomllib is absent).
+
+    Supports ``[table.path]``, ``[[array.of.tables]]`` and
+    ``key = string | number | boolean | single-line array`` with ``#``
+    comments — exactly the shapes the module docstring documents.
+    """
+    root: Dict[str, Any] = {}
+    current: Dict[str, Any] = root
+
+    def descend(path: List[str], *, as_array: bool) -> Dict[str, Any]:
+        node: Any = root
+        for part in path[:-1]:
+            node = node.setdefault(part, {})
+            if isinstance(node, list):  # sub-table of the last array element
+                node = node[-1]
+        leaf = path[-1]
+        if as_array:
+            entries = node.setdefault(leaf, [])
+            if not isinstance(entries, list):
+                raise DomainError(f"serving config {where}: {leaf!r} is not an array")
+            entries.append({})
+            return entries[-1]
+        target = node.setdefault(leaf, {})
+        if isinstance(target, list):
+            target = target[-1]
+        return target
+
+    for number, raw_line in enumerate(text.splitlines(), start=1):
+        line = _strip_toml_comment(raw_line).strip()
+        if not line:
+            continue
+        if line.startswith("[[") and line.endswith("]]"):
+            current = descend(line[2:-2].strip().split("."), as_array=True)
+        elif line.startswith("[") and line.endswith("]"):
+            current = descend(line[1:-1].strip().split("."), as_array=False)
+        elif "=" in line:
+            key, _, value = line.partition("=")
+            current[key.strip()] = _parse_toml_value(value, f"{where}:{number}")
+        else:
+            raise DomainError(f"serving config {where}:{number}: unparseable line {line!r}")
+    return root

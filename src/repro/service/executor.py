@@ -294,6 +294,60 @@ class QueryService:
             )
         return self.submit(QueryRequest(dataset=dataset, query=query, analyst=analyst))
 
+    def peek(self, request: QueryRequest) -> Optional[QueryAnswer]:
+        """Answer ``request`` without executing an estimator, if possible.
+
+        Returns the structured answer for the outcomes that need no engine
+        work — an ``invalid`` request, a cache hit (zero marginal epsilon), or
+        a sure budget refusal — and ``None`` when a fresh (blocking) release
+        is required.  This is the non-blocking fast path the asyncio front-end
+        serves directly on the event loop; ``None`` means "dispatch
+        :meth:`submit` to a worker thread".
+
+        A query identical to one already computing on another thread is also
+        ``None``: :meth:`submit` coalesces with it at zero marginal epsilon,
+        which must win over a point-in-time refusal (front-end parity).  The
+        refusal probe holds no reservation: it is exactly what :meth:`submit`
+        would decide at the same instant.  Cache counters stay exact — a hit
+        is counted here (atomically, by :meth:`AnswerCache.peek`) and a miss
+        only once, by :meth:`submit`.
+        """
+        prepared = self._prepare(request)
+        if not isinstance(prepared, str):
+            return prepared
+        key = prepared
+        dataset = self.registry.get(request.dataset)
+        stored = self._cache.peek(key)
+        if stored is not None:
+            return dataclasses.replace(
+                stored,
+                cached=True,
+                coalesced=False,
+                epsilon_charged=0.0,
+                remaining=dataset.budget.remaining,
+            )
+        # From here on, outcomes answered by this probe (invalid, refused)
+        # count the cache miss themselves — the submission path counts it
+        # via its own lookup, and front-end counters must agree.
+        try:
+            plan = plan_query(
+                request.query, records=dataset.records, dimension=dataset.dimension
+            )
+        except InvalidQueryError as exc:
+            self._cache.record_miss()
+            return self._invalid(request, key, "invalid_query", exc)
+        except InsufficientDataError as exc:
+            self._cache.record_miss()
+            return self._invalid(request, key, "insufficient_data", exc)
+        with self._coalesce_lock:
+            if key in self._inflight:
+                return None  # submit will coalesce: cheaper than any refusal
+        refusal = dataset.budget.peek(plan.reserve_epsilon, analyst=request.analyst)
+        if refusal is not None:
+            self._cache.record_miss()
+            return self._refused(request, key, refusal, dataset)
+        return None
+
     # -- internals ---------------------------------------------------------
     def _prepare(self, request: QueryRequest) -> Union[str, QueryAnswer]:
         """Resolve the canonical key, or an ``invalid`` answer."""
@@ -331,6 +385,21 @@ class QueryService:
             key=key,
             error=error,
             message=str(exc),
+            query=request.query,
+        )
+
+    def _refused(
+        self, request: QueryRequest, key: str, message: str, dataset: RegisteredDataset
+    ) -> QueryAnswer:
+        """The structured refusal document (one shape for submit and peek)."""
+        return QueryAnswer(
+            dataset=request.dataset,
+            kind=request.query.kind,
+            status="refused",
+            key=key,
+            error="budget_exceeded",
+            message=message,
+            remaining=dataset.budget.remaining,
             query=request.query,
         )
 
@@ -378,16 +447,7 @@ class QueryService:
                         plan.reserve_epsilon, analyst=request.analyst
                     )
                 except BudgetExceededError as exc:
-                    answers[position] = QueryAnswer(
-                        dataset=request.dataset,
-                        kind=request.query.kind,
-                        status="refused",
-                        key=key,
-                        error="budget_exceeded",
-                        message=str(exc),
-                        remaining=dataset.budget.remaining,
-                        query=request.query,
-                    )
+                    answers[position] = self._refused(request, key, str(exc), dataset)
                     continue
                 flight = _InFlight()
                 self._inflight[key] = flight
@@ -496,9 +556,10 @@ class QueryService:
 
     # -- introspection -----------------------------------------------------
     def stats(self) -> Dict[str, Any]:
-        """JSON-safe snapshot: datasets, budgets and cache counters."""
+        """JSON-safe snapshot: datasets, budgets, joint groups, cache counters."""
         return {
             "datasets": [dataset.to_json() for dataset in self.registry],
+            "groups": self.registry.groups_json(),
             "cache": self._cache.stats.to_json(),
             "workers": self.workers,
             "seed": self._seed,

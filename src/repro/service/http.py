@@ -28,11 +28,19 @@ Protocol
     Registration (only when the server was built with
     ``allow_register=True``): ``{"name": ..., "values": [...],``
     ``"budget": ..., "analyst_budgets": {...}}`` → 201.
+
+Hardening: a missing, non-integer or negative ``Content-Length`` is a clean
+400; a declared body beyond ``max_body`` bytes is answered 413 without
+reading it; a client that disconnects mid-request or mid-response is
+swallowed silently and counted in the ``frontend`` section of
+``GET /datasets`` — a refusal is a response and a disconnect is a counter,
+never a traceback in the server log.
 """
 
 from __future__ import annotations
 
 import json
+import sys
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
@@ -41,11 +49,36 @@ from repro.exceptions import ReproError
 from repro.service.executor import QueryAnswer, QueryRequest, QueryService
 from repro.service.queries import InvalidQueryError, Query
 
-__all__ = ["ServiceServer", "make_server", "serve_forever"]
+__all__ = ["DEFAULT_MAX_BODY", "ServiceServer", "make_server", "serve_forever"]
 
 #: answer.status -> HTTP status code for single-query responses.
 _STATUS_CODES = {"ok": 200, "failed": 200, "refused": 403}
 _ERROR_CODES = {"unknown_dataset": 404}
+
+#: Default cap on request body size; oversized posts are answered with 413
+#: instead of being read unbounded into memory.
+DEFAULT_MAX_BODY = 1 << 20
+
+#: A peer that went away mid-request or mid-response.  Never an error worth a
+#: log line, let alone a traceback: the connection is simply over.
+_DISCONNECT_ERRORS = (
+    BrokenPipeError,
+    ConnectionResetError,
+    ConnectionAbortedError,
+    TimeoutError,
+)
+
+
+class _ClientDisconnect(Exception):
+    """The client hung up before the request could be answered."""
+
+
+class _PayloadTooLarge(Exception):
+    """The declared request body exceeds the server's size cap."""
+
+    def __init__(self, length: int):
+        super().__init__(str(length))
+        self.length = length
 
 
 def _answer_status_code(answer: QueryAnswer) -> int:
@@ -63,15 +96,47 @@ class _Handler(BaseHTTPRequestHandler):
     # -- plumbing ----------------------------------------------------------
     def _send_json(self, code: int, payload: Dict[str, Any]) -> None:
         body = json.dumps(payload).encode("utf-8")
-        self.send_response(code)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
+        try:
+            self.send_response(code)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            if self.close_connection:
+                # Announce the teardown (set by the bad-framing paths before
+                # responding) so keep-alive clients don't pipeline into a FIN.
+                self.send_header("Connection", "close")
+            self.end_headers()
+            self.wfile.write(body)
+        except _DISCONNECT_ERRORS:
+            # The client went away mid-response.  Writing anything more
+            # (including a 500) to the dead socket would only raise again and
+            # leak a traceback into the log; swallow, count, hang up.
+            self.server.count_disconnect()
+            self.close_connection = True
 
     def _read_json(self) -> Any:
-        length = int(self.headers.get("Content-Length") or 0)
-        raw = self.rfile.read(length) if length else b""
+        raw_length = self.headers.get("Content-Length")
+        try:
+            length = int(raw_length) if raw_length is not None else 0
+        except (TypeError, ValueError):
+            # Unknown framing: the body (if any) stays unread, so keep-alive
+            # cannot continue on this connection.
+            self.close_connection = True
+            raise InvalidQueryError(
+                f"Content-Length must be an integer, got {raw_length!r}"
+            ) from None
+        if length < 0:
+            self.close_connection = True
+            raise InvalidQueryError(f"Content-Length must be >= 0, got {length}")
+        max_body = self.server.max_body
+        if max_body is not None and length > max_body:
+            raise _PayloadTooLarge(length)
+        try:
+            raw = self.rfile.read(length) if length else b""
+        except _DISCONNECT_ERRORS as exc:
+            raise _ClientDisconnect from exc
+        if len(raw) < length:
+            # The client promised `length` bytes and hung up early.
+            raise _ClientDisconnect
         if not raw:
             raise InvalidQueryError("request body is empty")
         try:
@@ -93,10 +158,15 @@ class _Handler(BaseHTTPRequestHandler):
                     {"status": "ok", "datasets": self.server.service.registry.names()},
                 )
             elif self.path == "/datasets":
-                self._send_json(200, self.server.service.stats())
+                stats = self.server.service.stats()
+                stats["frontend"] = self.server.frontend_stats()
+                self._send_json(200, stats)
             else:
                 self._send_json(404, {"status": "error", "error": "unknown_path",
                                       "message": f"no route for GET {self.path}"})
+        except _DISCONNECT_ERRORS:
+            self.server.count_disconnect()
+            self.close_connection = True
         except Exception as exc:  # noqa: BLE001 - must never leak a traceback
             self._send_json(500, _internal_error(exc))
 
@@ -109,6 +179,17 @@ class _Handler(BaseHTTPRequestHandler):
             else:
                 self._send_json(404, {"status": "error", "error": "unknown_path",
                                       "message": f"no route for POST {self.path}"})
+        except _ClientDisconnect:
+            self.server.count_disconnect()
+            self.close_connection = True
+        except _PayloadTooLarge as exc:
+            # The body was never read, so the connection cannot be reused for
+            # keep-alive framing; announce the close, answer, hang up.
+            self.close_connection = True
+            self._send_json(413, _too_large_error(exc.length, self.server.max_body))
+        except _DISCONNECT_ERRORS:
+            self.server.count_disconnect()
+            self.close_connection = True
         except ReproError as exc:
             self._send_json(400, {"status": "error", "error": "invalid_request",
                                   "message": str(exc)})
@@ -138,25 +219,34 @@ class _Handler(BaseHTTPRequestHandler):
                  "message": "this server does not accept dataset registration"},
             )
             return
-        payload = self._read_json()
-        if not isinstance(payload, dict):
-            raise InvalidQueryError("registration body must be a JSON object")
-        for field in ("name", "values", "budget"):
-            if field not in payload:
-                raise InvalidQueryError(f"registration is missing the {field!r} field")
-        try:
-            dataset = self.server.service.register(
-                str(payload["name"]),
-                payload["values"],
-                float(payload["budget"]),
-                analyst_budgets=payload.get("analyst_budgets"),
-                share=bool(payload.get("share", False)),
-            )
-        except (TypeError, ValueError) as exc:
-            # Non-numeric budgets/values/analyst caps are client errors (the
-            # ReproError cases are already handled by the caller's 400 path).
-            raise InvalidQueryError(f"malformed registration: {exc}") from exc
-        self._send_json(201, {"status": "ok", "dataset": dataset.to_json()})
+        code, doc = _register_response(self.server.service, self._read_json())
+        self._send_json(code, doc)
+
+
+def _register_response(service: QueryService, payload: Any) -> Tuple[int, Dict[str, Any]]:
+    """Execute a registration payload; shared by both front-ends.
+
+    Raises :class:`InvalidQueryError` (→ the caller's 400 path) for malformed
+    payloads; returns ``(201, document)`` on success.
+    """
+    if not isinstance(payload, dict):
+        raise InvalidQueryError("registration body must be a JSON object")
+    for field in ("name", "values", "budget"):
+        if field not in payload:
+            raise InvalidQueryError(f"registration is missing the {field!r} field")
+    try:
+        dataset = service.register(
+            str(payload["name"]),
+            payload["values"],
+            float(payload["budget"]),
+            analyst_budgets=payload.get("analyst_budgets"),
+            share=bool(payload.get("share", False)),
+        )
+    except (TypeError, ValueError) as exc:
+        # Non-numeric budgets/values/analyst caps are client errors (the
+        # ReproError cases are already handled by the caller's 400 path).
+        raise InvalidQueryError(f"malformed registration: {exc}") from exc
+    return 201, {"status": "ok", "dataset": dataset.to_json()}
 
 
 def _parse_request(payload: Any) -> QueryRequest:
@@ -183,10 +273,24 @@ def _internal_error(exc: Exception) -> Dict[str, Any]:
     }
 
 
+def _too_large_error(length: int, max_body: Optional[int]) -> Dict[str, Any]:
+    return {
+        "status": "error",
+        "error": "payload_too_large",
+        "message": (
+            f"request body of {length} bytes exceeds the server's "
+            f"{max_body}-byte limit"
+        ),
+    }
+
+
 class ServiceServer(ThreadingHTTPServer):
     """A :class:`ThreadingHTTPServer` bound to one :class:`QueryService`."""
 
     daemon_threads = True
+    # The socketserver default backlog of 5 resets connections under fan-in
+    # (hundreds of clients connecting at once); queue them instead.
+    request_queue_size = 128
 
     def __init__(
         self,
@@ -195,16 +299,55 @@ class ServiceServer(ThreadingHTTPServer):
         *,
         allow_register: bool = False,
         quiet: bool = False,
+        max_body: Optional[int] = DEFAULT_MAX_BODY,
     ):
         super().__init__(address, _Handler)
         self.service = service
         self.allow_register = allow_register
         self.quiet = quiet
+        self.max_body = max_body
+        self._stats_lock = threading.Lock()
+        self._disconnects = 0
 
     @property
     def url(self) -> str:
         host, port = self.server_address[:2]
         return f"http://{host}:{port}"
+
+    def count_disconnect(self) -> None:
+        with self._stats_lock:
+            self._disconnects += 1
+
+    @property
+    def disconnects(self) -> int:
+        with self._stats_lock:
+            return self._disconnects
+
+    def frontend_stats(self) -> Dict[str, Any]:
+        """Front-end counters reported under ``frontend`` in ``GET /datasets``."""
+        return {
+            "frontend": "threaded",
+            "disconnects": self.disconnects,
+            "max_body": self.max_body,
+        }
+
+    def handle_error(self, request, client_address) -> None:
+        """Keep the log traceback-free for socket-level failures.
+
+        The stdlib default prints a full traceback for *any* exception that
+        escapes the handler — including a client disconnecting between our
+        response and the connection teardown, which is routine under load.
+        """
+        exc = sys.exc_info()[1]
+        if isinstance(exc, _DISCONNECT_ERRORS):
+            self.count_disconnect()
+            return
+        print(
+            f"error handling request from {client_address}: "
+            f"{type(exc).__name__}: {exc}",
+            file=sys.stderr,
+            flush=True,
+        )
 
 
 def make_server(
@@ -214,10 +357,12 @@ def make_server(
     *,
     allow_register: bool = False,
     quiet: bool = False,
+    max_body: Optional[int] = DEFAULT_MAX_BODY,
 ) -> ServiceServer:
     """Bind a :class:`ServiceServer` (``port=0`` picks an ephemeral port)."""
     return ServiceServer(
-        (host, port), service, allow_register=allow_register, quiet=quiet
+        (host, port), service,
+        allow_register=allow_register, quiet=quiet, max_body=max_body,
     )
 
 

@@ -25,6 +25,13 @@ Datasets register through :class:`DatasetRegistry`.  With ``share=True`` the
 data is copied once into a :class:`~repro.engine.SharedArray` segment, so
 fanning queries out across an :class:`~repro.engine.EnginePool` ships only
 the segment name instead of pickling the array into every worker.
+
+**Joint budget groups** extend the same semantics across datasets: a group
+created with :meth:`DatasetRegistry.create_group` owns one
+:class:`BudgetManager`, and every dataset registered with ``group=`` draws
+from that single cap.  Reserve/commit stays unchanged — it simply runs
+against the shared manager — so exhausting the joint cap refuses queries on
+*every* member dataset, with the group ledger untouched by the refusals.
 """
 
 from __future__ import annotations
@@ -78,6 +85,9 @@ class BudgetManager:
         only by the total.
     """
 
+    #: Relative admission tolerance (scaled by each cap; see ``_slack``).
+    _RTOL = 1e-9
+
     def __init__(
         self,
         capacity: float,
@@ -98,7 +108,13 @@ class BudgetManager:
             self._analyst_reserved[str(name)] = 0.0
         self._lock = threading.Lock()
         self._tokens = 0
-        self._tolerance = 1e-9
+        # Admission slack for floating-point round-off.  The slack must scale
+        # with the capacity: after thousands of small commits the accumulated
+        # summation error grows like ``n * ulp(capacity)``, so a fixed
+        # absolute tolerance would wrongly refuse (or, for tiny capacities,
+        # wrongly admit) the final exactly-fitting query.  ``max(capacity, 1)``
+        # keeps a sane absolute floor for sub-unit budgets.
+        self._slack = self._RTOL * max(self._capacity, 1.0)
 
     # -- introspection -----------------------------------------------------
     @property
@@ -152,6 +168,42 @@ class BudgetManager:
             }
 
     # -- the two-phase protocol --------------------------------------------
+    def _admission_error(self, amount: float, analyst: Optional[str]) -> Optional[str]:
+        """The refusal message for a claim of ``amount``, or ``None`` if it fits.
+
+        Caller must hold ``self._lock``.  The check allows ``_slack`` epsilon
+        of capacity-relative float round-off on each cap.
+        """
+        spent = self._ledger.total_epsilon
+        if spent + self._reserved + amount > self._capacity + self._slack:
+            return (
+                f"query needs {amount:.6g} epsilon but only "
+                f"{max(self._capacity - spent - self._reserved, 0.0):.6g} of the "
+                f"total budget {self._capacity:.6g} remains"
+            )
+        if analyst is not None and analyst in self._analyst_caps:
+            cap = self._analyst_caps[analyst]
+            used = self._analyst_spent[analyst] + self._analyst_reserved[analyst]
+            if used + amount > cap + self._RTOL * max(cap, 1.0):
+                return (
+                    f"analyst {analyst!r} needs {amount:.6g} epsilon but only "
+                    f"{max(cap - used, 0.0):.6g} of their sub-budget {cap:.6g} remains"
+                )
+        return None
+
+    def peek(self, amount: float, *, analyst: Optional[str] = None) -> Optional[str]:
+        """Would a claim of ``amount`` be refused right now?
+
+        Returns the refusal message (without reserving anything) or ``None``
+        when the claim would currently be admitted.  This is the zero-side-
+        effect admission probe the async front-end uses to answer sure
+        refusals directly on the event loop; it is a point-in-time answer,
+        exactly what :meth:`reserve` would decide at this instant.
+        """
+        amount = validate_epsilon(amount, name="reservation")
+        with self._lock:
+            return self._admission_error(amount, analyst)
+
     def reserve(self, amount: float, *, analyst: Optional[str] = None) -> Reservation:
         """Atomically admit a claim of ``amount`` epsilon or refuse it.
 
@@ -160,23 +212,11 @@ class BudgetManager:
         analyst's sub-budget.
         """
         amount = validate_epsilon(amount, name="reservation")
-        slack = 1.0 + self._tolerance
         with self._lock:
-            spent = self._ledger.total_epsilon
-            if spent + self._reserved + amount > self._capacity * slack:
-                raise BudgetExceededError(
-                    f"query needs {amount:.6g} epsilon but only "
-                    f"{max(self._capacity - spent - self._reserved, 0.0):.6g} of the "
-                    f"total budget {self._capacity:.6g} remains"
-                )
+            error = self._admission_error(amount, analyst)
+            if error is not None:
+                raise BudgetExceededError(error)
             if analyst is not None and analyst in self._analyst_caps:
-                cap = self._analyst_caps[analyst]
-                used = self._analyst_spent[analyst] + self._analyst_reserved[analyst]
-                if used + amount > cap * slack:
-                    raise BudgetExceededError(
-                        f"analyst {analyst!r} needs {amount:.6g} epsilon but only "
-                        f"{max(cap - used, 0.0):.6g} of their sub-budget {cap:.6g} remains"
-                    )
                 self._analyst_reserved[analyst] += amount
             self._reserved += amount
             self._tokens += 1
@@ -254,12 +294,17 @@ class RegisteredDataset:
         array for the multivariate estimators; possibly a
         :class:`~repro.engine.SharedArray` (``share=True`` registration).
     budget:
-        The dataset's :class:`BudgetManager`.
+        The dataset's :class:`BudgetManager` — private to the dataset, or
+        the shared manager of its joint budget group.
+    group:
+        Name of the joint budget group the dataset belongs to, or ``None``
+        when it has a budget of its own.
     """
 
     name: str
     data: Any
     budget: BudgetManager
+    group: Optional[str] = None
 
     @property
     def records(self) -> int:
@@ -280,6 +325,7 @@ class RegisteredDataset:
             "records": self.records,
             "dimension": self.dimension,
             "shared": self.shared,
+            "group": self.group,
             "budget": self.budget.to_json(),
         }
 
@@ -287,31 +333,107 @@ class RegisteredDataset:
 class DatasetRegistry:
     """Thread-safe name → :class:`RegisteredDataset` mapping.
 
-    Usable as a context manager: exiting unlinks any shared-memory segments
-    the registry owns.
+    Datasets either carry their own :class:`BudgetManager` (``total_budget=``)
+    or join a **joint budget group** (``group=``): one shared manager created
+    up-front with :meth:`create_group` whose single cap spans every member
+    dataset.  Usable as a context manager: exiting unlinks any shared-memory
+    segments the registry owns.
     """
 
     def __init__(self):
         self._datasets: Dict[str, RegisteredDataset] = {}
+        self._groups: Dict[str, BudgetManager] = {}
         self._lock = threading.Lock()
 
+    # -- joint budget groups -----------------------------------------------
+    def create_group(
+        self,
+        name: str,
+        capacity: float,
+        *,
+        analyst_budgets: Optional[Mapping[str, float]] = None,
+    ) -> BudgetManager:
+        """Create a joint budget group: one cap shared by its member datasets.
+
+        Reserve/commit semantics are exactly those of a per-dataset budget —
+        the members simply run them against one shared manager, so a query on
+        any member draws the group down for all of them, and exhausting the
+        cap refuses queries on every member with the group ledger unchanged.
+        """
+        name = str(name)
+        if not name:
+            raise DomainError("budget group name must be non-empty")
+        manager = BudgetManager(capacity, analyst_budgets=analyst_budgets)
+        with self._lock:
+            if name in self._groups:
+                raise DomainError(f"budget group {name!r} already exists")
+            self._groups[name] = manager
+        return manager
+
+    def group(self, name: str) -> BudgetManager:
+        """The shared :class:`BudgetManager` of group ``name``."""
+        with self._lock:
+            manager = self._groups.get(name)
+            known = sorted(self._groups) if manager is None else None
+        if manager is None:
+            raise DomainError(
+                f"no budget group named {name!r} (known groups: {known or 'none'})"
+            )
+        return manager
+
+    def group_names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._groups)
+
+    def groups_json(self) -> Dict[str, Any]:
+        """JSON-safe snapshot of every group: budget state plus member names."""
+        with self._lock:
+            groups = dict(self._groups)
+            members: Dict[str, List[str]] = {name: [] for name in groups}
+            for dataset in self._datasets.values():
+                if dataset.group is not None:
+                    members.setdefault(dataset.group, []).append(dataset.name)
+        return {
+            name: {"budget": manager.to_json(), "datasets": sorted(members[name])}
+            for name, manager in groups.items()
+        }
+
+    # -- datasets ----------------------------------------------------------
     def register(
         self,
         name: str,
         data: Any,
-        total_budget: float,
+        total_budget: Optional[float] = None,
         *,
+        group: Optional[str] = None,
         analyst_budgets: Optional[Mapping[str, float]] = None,
         share: bool = False,
     ) -> RegisteredDataset:
         """Register ``data`` under ``name`` with a finite total privacy budget.
 
-        ``share=True`` copies the data into shared memory once so engine-pool
-        workers map the same pages instead of receiving pickled copies.
+        Exactly one of ``total_budget`` (a private budget for this dataset)
+        and ``group`` (membership in a joint budget group created with
+        :meth:`create_group`) must be given.  ``share=True`` copies the data
+        into shared memory once so engine-pool workers map the same pages
+        instead of receiving pickled copies.
         """
         name = str(name)
         if not name:
             raise DomainError("dataset name must be non-empty")
+        if (total_budget is None) == (group is None):
+            raise DomainError(
+                f"dataset {name!r} needs exactly one of total_budget= (a private "
+                "budget) or group= (a joint budget group)"
+            )
+        if group is not None:
+            if analyst_budgets is not None:
+                raise DomainError(
+                    f"dataset {name!r}: analyst budgets of a joint group are set "
+                    "at create_group time, not per member dataset"
+                )
+            manager = self.group(group)
+        else:
+            manager = BudgetManager(total_budget, analyst_budgets=analyst_budgets)
         array = np.asarray(data, dtype=float)
         if array.ndim not in (1, 2):
             raise DomainError(
@@ -322,11 +444,7 @@ class DatasetRegistry:
         if not np.all(np.isfinite(array)):
             raise DomainError(f"dataset {name!r} contains non-finite values")
         stored: Any = SharedArray.from_array(array) if share else array
-        dataset = RegisteredDataset(
-            name=name,
-            data=stored,
-            budget=BudgetManager(total_budget, analyst_budgets=analyst_budgets),
-        )
+        dataset = RegisteredDataset(name=name, data=stored, budget=manager, group=group)
         with self._lock:
             if name in self._datasets:
                 if isinstance(stored, SharedArray):
@@ -376,6 +494,7 @@ class DatasetRegistry:
         """Unlink every owned shared segment; the registry stays usable."""
         with self._lock:
             datasets, self._datasets = list(self._datasets.values()), {}
+            self._groups = {}
         for dataset in datasets:
             if isinstance(dataset.data, SharedArray):
                 dataset.data.unlink()

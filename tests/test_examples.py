@@ -27,6 +27,12 @@ CASES = [
         "4000",
         ["cache hit): yes", "status=refused", "=== Accounting ==="],
     ),
+    (
+        "service_async_quickstart.py",
+        "4000",
+        ["cache hit): yes", "status=refused", "joint group 'api'",
+         "answered on the loop"],
+    ),
 ]
 
 

@@ -76,3 +76,60 @@ class TestAnswerCache:
         stats = cache.stats
         assert stats.size <= 64
         assert stats.hits + stats.misses == threads * 200
+
+
+class TestEvictionUnderContention:
+    def test_eviction_hammer_keeps_invariants(self):
+        """Many threads churning a tiny cache: eviction must stay consistent.
+
+        A small ``maxsize`` forces constant LRU eviction while getters race
+        putters on overlapping keys.  Throughout and afterwards: occupancy
+        never exceeds ``maxsize``, every counter moves monotonically, and the
+        accounting identity hits + misses == gets holds exactly.
+        """
+        maxsize = 8
+        cache = AnswerCache(maxsize=maxsize)
+        threads = 12
+        rounds = 500
+        keyspace = 64  # >> maxsize: almost every put evicts
+        barrier = threading.Barrier(threads)
+        oversize_seen = []
+        errors = []
+
+        def worker(worker_id: int):
+            try:
+                barrier.wait()
+                for i in range(rounds):
+                    key = f"k{(worker_id * 7 + i * 13) % keyspace}"
+                    if (worker_id + i) % 3 == 0:
+                        cache.put(key, (worker_id, i))
+                    value = cache.get(key)
+                    if value is not None and not isinstance(value, tuple):
+                        errors.append(f"corrupt value {value!r}")
+                    if len(cache) > maxsize:
+                        oversize_seen.append(len(cache))
+            except Exception as exc:  # noqa: BLE001 - the test asserts on it
+                errors.append(repr(exc))
+
+        pool = [threading.Thread(target=worker, args=(w,)) for w in range(threads)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+
+        assert not errors
+        assert not oversize_seen, f"cache exceeded maxsize: {max(oversize_seen)}"
+        stats = cache.stats
+        assert stats.size <= maxsize
+        assert stats.hits + stats.misses == threads * rounds
+        assert stats.evictions > 0  # the hammer really exercised eviction
+        # Evictions reconcile with occupancy: puts - evictions == size
+        # cannot be asserted exactly (puts overwrite), but occupancy plus
+        # evictions can never exceed total puts.
+        total_puts = sum(
+            1
+            for worker_id in range(threads)
+            for i in range(rounds)
+            if (worker_id + i) % 3 == 0
+        )
+        assert stats.evictions + stats.size <= total_puts

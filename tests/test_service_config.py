@@ -1,0 +1,267 @@
+"""Tests for the declarative serving config and config-driven service boot."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DomainError
+from repro.service import (
+    Query,
+    QueryRequest,
+    build_service,
+    load_serving_config,
+    parse_serving_config,
+)
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+TOML_TEXT = """
+# A three-dataset deployment with one joint budget group.
+[service]
+seed = 11
+workers = 1
+cache_size = 128
+frontend = "async"
+port = 0
+
+[groups.clinical]
+budget = 1.5
+[groups.clinical.analyst_budgets]
+dashboard = 0.5
+
+[[datasets]]
+name = "salaries"
+source = "salaries.csv"
+column = "salary"
+budget = 6.0
+[datasets.analyst_budgets]
+alice = 2.0
+
+[[datasets]]
+name = "heights"
+source = "heights.npy"
+group = "clinical"
+
+[[datasets]]
+name = "weights"
+values = [60.0, 61.5, 72.0, 80.25, 55.0, 90.0, 77.0, 66.0, 59.5, 83.0]
+group = "clinical"
+"""
+
+
+@pytest.fixture
+def config_dir(tmp_path):
+    (tmp_path / "salaries.csv").write_text(
+        "salary\n" + "\n".join(f"{40_000 + 137 * i}" for i in range(200)) + "\n"
+    )
+    np.save(tmp_path / "heights.npy", np.random.default_rng(5).normal(170, 8, 500))
+    (tmp_path / "serving.toml").write_text(TOML_TEXT)
+    return tmp_path
+
+
+class TestParsing:
+    def test_toml_roundtrip(self, config_dir):
+        config = load_serving_config(config_dir / "serving.toml")
+        assert config.seed == 11
+        assert config.frontend == "async"
+        assert config.cache_size == 128
+        assert config.port == 0
+        assert [d.name for d in config.datasets] == ["salaries", "heights", "weights"]
+        assert config.datasets[0].budget == pytest.approx(6.0)
+        assert config.datasets[0].analyst_budgets == {"alice": 2.0}
+        assert config.datasets[1].group == "clinical"
+        assert config.datasets[2].values is not None
+        (group,) = config.groups
+        assert group.name == "clinical"
+        assert group.budget == pytest.approx(1.5)
+        assert group.analyst_budgets == {"dashboard": 0.5}
+        assert config.base_dir == config_dir
+
+    def test_json_mirrors_toml_structure(self, tmp_path):
+        document = {
+            "service": {"seed": 3, "frontend": "threaded"},
+            "groups": {"g": {"budget": 2.0}},
+            "datasets": [
+                {"name": "a", "values": [1.0] * 20, "budget": 1.0},
+                {"name": "b", "values": [2.0] * 20, "group": "g"},
+            ],
+        }
+        path = tmp_path / "serving.json"
+        path.write_text(json.dumps(document))
+        config = load_serving_config(path)
+        assert config.seed == 3
+        assert config.datasets[1].group == "g"
+
+    def test_example_serving_toml_parses(self):
+        config = load_serving_config(EXAMPLES_DIR / "serving.toml")
+        assert len(config.datasets) >= 3
+        assert config.groups  # the documented example demonstrates a joint group
+
+    @pytest.mark.parametrize(
+        "document, fragment",
+        [
+            ({}, "at least one"),
+            ({"datasets": [{"name": "a", "values": [1.0]}]}, "budget= or group="),
+            (
+                {"datasets": [{"name": "a", "values": [1.0], "budget": 1.0,
+                               "group": "g"}]},
+                "budget= or group=",
+            ),
+            (
+                {"datasets": [{"name": "a", "budget": 1.0}]},
+                "source= or values=",
+            ),
+            (
+                {"datasets": [{"name": "a", "source": "x.csv", "budget": 1.0}]},
+                "column=",
+            ),
+            (
+                {"datasets": [{"name": "a", "source": "x.npy", "column": "c",
+                               "budget": 1.0}]},
+                "only for .csv",
+            ),
+            (
+                {"datasets": [{"name": "a", "values": [1.0], "group": "ghost"}]},
+                "unknown group",
+            ),
+            (
+                {"datasets": [{"name": "a", "values": [1.0], "budget": 1.0},
+                              {"name": "a", "values": [1.0], "budget": 1.0}]},
+                "duplicate",
+            ),
+            (
+                {"service": {"frontend": "rocket"},
+                 "datasets": [{"name": "a", "values": [1.0], "budget": 1.0}]},
+                "frontend",
+            ),
+            (
+                {"service": {"bogus": 1},
+                 "datasets": [{"name": "a", "values": [1.0], "budget": 1.0}]},
+                "unknown keys",
+            ),
+            (
+                {"groups": {"g": {"budget": 1.0}},
+                 "datasets": [{"name": "a", "values": [1.0], "group": "g",
+                               "analyst_budgets": {"x": 0.1}}]},
+                "analyst budgets",
+            ),
+        ],
+    )
+    def test_invalid_documents_rejected(self, document, fragment):
+        with pytest.raises(DomainError, match=fragment):
+            parse_serving_config(document)
+
+    def test_missing_file_and_bad_suffix(self, tmp_path):
+        with pytest.raises(DomainError, match="not found"):
+            load_serving_config(tmp_path / "nope.toml")
+        bad = tmp_path / "serving.yaml"
+        bad.write_text("x")
+        with pytest.raises(DomainError, match=".toml or .json"):
+            load_serving_config(bad)
+
+
+class TestBuildService:
+    def test_builds_all_datasets_and_groups(self, config_dir):
+        config = load_serving_config(config_dir / "serving.toml")
+        with build_service(config) as built:
+            service = built.service
+            assert service.registry.names() == ["heights", "salaries", "weights"]
+            assert service.seed == 11
+            assert service.cache.stats.maxsize == 128
+            heights = service.registry.get("heights")
+            weights = service.registry.get("weights")
+            assert heights.budget is weights.budget  # one shared manager
+            assert heights.group == weights.group == "clinical"
+            salaries = service.registry.get("salaries")
+            assert salaries.budget.capacity == pytest.approx(6.0)
+            assert salaries.group is None
+
+    def test_column_marks_source_as_csv_whatever_the_suffix(self, tmp_path):
+        """Regression: the legacy CLI serves extensionless delimited files."""
+        from repro.service import DatasetConfig, ServingConfig
+
+        source = tmp_path / "data.txt"
+        source.write_text("v\n" + "\n".join(str(float(i)) for i in range(50)) + "\n")
+        config = ServingConfig(
+            datasets=(
+                DatasetConfig(
+                    name="d", source=str(source), column="v", budget=1.0
+                ),
+            ),
+        )
+        with build_service(config) as built:
+            assert built.service.registry.get("d").records == 50
+
+    def test_missing_source_file_is_clean_error(self, tmp_path):
+        (tmp_path / "serving.toml").write_text(
+            '[[datasets]]\nname = "a"\nsource = "ghost.npy"\nbudget = 1.0\n'
+        )
+        config = load_serving_config(tmp_path / "serving.toml")
+        with pytest.raises(DomainError, match="ghost.npy"):
+            build_service(config)
+
+    def test_joint_group_exhaustion_refuses_every_member(self, config_dir):
+        """Exhausting the joint cap refuses on all members; ledger unchanged."""
+        config = load_serving_config(config_dir / "serving.toml")
+        with build_service(config) as built:
+            service = built.service
+            manager = service.registry.get("heights").budget
+            # Spend the 1.5 joint cap through one member with distinct
+            # queries (identical repeats would come from cache) until the
+            # admission check starts refusing: remaining < 0.45 afterwards.
+            for step in range(16):
+                answer = service.query("heights", "mean", epsilon=0.45 + step / 1000)
+                if answer.status == "refused":
+                    break
+                assert answer.ok
+            else:
+                pytest.fail("the joint cap never exhausted")
+            spent_at_exhaustion = manager.spent
+            assert spent_at_exhaustion > 0
+            spends = len(manager.ledger)
+            # Now no member can fit a >= 0.46 query: the refusal must come
+            # from the shared cap, on every member, leaving it untouched.
+            for offset, dataset in enumerate(("heights", "weights")):
+                refused = service.query(dataset, "mean", epsilon=0.47 + offset / 1000)
+                assert refused.status == "refused", dataset
+                assert refused.error == "budget_exceeded"
+            assert manager.spent == spent_at_exhaustion
+            assert len(manager.ledger) == spends
+            assert manager.reserved == 0.0
+
+    def test_group_spend_is_visible_on_every_member(self, config_dir):
+        config = load_serving_config(config_dir / "serving.toml")
+        with build_service(config) as built:
+            service = built.service
+            answer = service.query("weights", "mean", epsilon=0.5)
+            assert answer.ok
+            stats = service.stats()
+            by_name = {d["name"]: d for d in stats["datasets"]}
+            assert by_name["heights"]["budget"]["spent"] == pytest.approx(
+                by_name["weights"]["budget"]["spent"]
+            )
+            assert stats["groups"]["clinical"]["datasets"] == ["heights", "weights"]
+            assert stats["groups"]["clinical"]["budget"]["spent"] == pytest.approx(
+                answer.epsilon_charged
+            )
+
+    def test_group_analyst_budget_spans_members(self, config_dir):
+        config = load_serving_config(config_dir / "serving.toml")
+        with build_service(config) as built:
+            service = built.service
+            first = service.query(
+                "heights", "mean", epsilon=0.4, analyst="dashboard"
+            )
+            assert first.ok
+            # dashboard's 0.5 group-wide sub-budget is nearly gone; a second
+            # 0.4 query on the *other* member must be refused for them...
+            refused = service.query(
+                "weights", "mean", epsilon=0.4, analyst="dashboard"
+            )
+            assert refused.status == "refused"
+            # ...while an uncapped analyst still has the group total to draw on.
+            assert service.query("weights", "mean", epsilon=0.4).ok

@@ -122,6 +122,102 @@ class TestBudgetManager:
         assert doc["remaining"] == pytest.approx(1.6)
         assert doc["analysts"]["a"]["spent"] == pytest.approx(0.4)
 
+    def test_many_small_commits_drift_does_not_refuse_exact_fill(self):
+        """Regression: the admission tolerance must scale with the capacity.
+
+        100k commits of 0.01 against a cap of 1000 accumulate float summation
+        error of order ``n * ulp(capacity)`` ≈ 1e-8 — far beyond an absolute
+        1e-9 tolerance, which would wrongly refuse the final exactly-fitting
+        query.  The capacity-relative slack admits it.
+        """
+        steps = 100_000
+        amount = 0.01
+        manager = BudgetManager(steps * amount)
+        for index in range(steps - 1):
+            manager.commit(manager.reserve(amount), amount, label=f"q{index}")
+        drift = abs(manager.spent - (steps - 1) * amount)
+        assert drift > 0  # the scenario is real: summation error accumulated
+        # The final exactly-fitting claim must still be admitted...
+        manager.commit(manager.reserve(amount), amount, label="last")
+        # ...and a genuinely over-budget claim still refused.
+        with pytest.raises(BudgetExceededError):
+            manager.reserve(0.01)
+
+    def test_relative_tolerance_still_refuses_real_overshoot(self):
+        manager = BudgetManager(1000.0)
+        manager.commit(manager.reserve(999.5), 999.5, label="big")
+        with pytest.raises(BudgetExceededError):
+            manager.reserve(0.6)
+
+    def test_peek_matches_reserve_without_side_effects(self):
+        manager = BudgetManager(1.0)
+        assert manager.peek(0.6) is None
+        held = manager.reserve(0.6)
+        message = manager.peek(0.6)
+        assert message is not None and "total budget" in message
+        assert manager.reserved == pytest.approx(0.6)  # peek held nothing
+        manager.cancel(held)
+        assert manager.peek(0.6) is None
+
+    def test_peek_sees_analyst_sub_budget(self):
+        manager = BudgetManager(10.0, analyst_budgets={"alice": 0.5})
+        assert manager.peek(0.4, analyst="alice") is None
+        assert manager.peek(0.6, analyst="alice") is not None
+        assert manager.peek(0.6, analyst="bob") is None
+
+
+class TestBudgetGroups:
+    def test_group_shares_one_manager_across_datasets(self):
+        with DatasetRegistry() as registry:
+            registry.create_group("g", 2.0)
+            left = registry.register("left", np.arange(50.0), group="g")
+            right = registry.register("right", np.arange(50.0), group="g")
+            assert left.budget is right.budget
+            assert left.group == right.group == "g"
+            left.budget.commit(left.budget.reserve(1.5), 1.5, label="x")
+            # The spend is visible from (and constrains) the other member.
+            assert right.budget.spent == pytest.approx(1.5)
+            with pytest.raises(BudgetExceededError):
+                right.budget.reserve(1.0)
+
+    def test_register_requires_exactly_one_budget_source(self):
+        with DatasetRegistry() as registry:
+            registry.create_group("g", 1.0)
+            with pytest.raises(DomainError):
+                registry.register("a", np.arange(10.0))  # neither
+            with pytest.raises(DomainError):
+                registry.register("a", np.arange(10.0), 1.0, group="g")  # both
+
+    def test_unknown_group_rejected(self):
+        with DatasetRegistry() as registry:
+            with pytest.raises(DomainError, match="ghost"):
+                registry.register("a", np.arange(10.0), group="ghost")
+
+    def test_duplicate_group_rejected(self):
+        with DatasetRegistry() as registry:
+            registry.create_group("g", 1.0)
+            with pytest.raises(DomainError):
+                registry.create_group("g", 2.0)
+
+    def test_member_analyst_budgets_rejected(self):
+        with DatasetRegistry() as registry:
+            registry.create_group("g", 1.0)
+            with pytest.raises(DomainError, match="create_group"):
+                registry.register(
+                    "a", np.arange(10.0), group="g", analyst_budgets={"x": 0.5}
+                )
+
+    def test_groups_json_lists_members_and_budget(self):
+        with DatasetRegistry() as registry:
+            registry.create_group("g", 2.0)
+            registry.register("b", np.arange(20.0), group="g")
+            registry.register("a", np.arange(20.0), group="g")
+            registry.register("solo", np.arange(20.0), 1.0)
+            doc = registry.groups_json()
+            assert set(doc) == {"g"}
+            assert doc["g"]["datasets"] == ["a", "b"]
+            assert doc["g"]["budget"]["capacity"] == pytest.approx(2.0)
+
 
 class TestDatasetRegistry:
     def test_register_and_get(self):
