@@ -13,7 +13,11 @@ registered dataset:
   service's throughput lever.  The cached/cold ratio is asserted to be large
   (>= 50x; in practice it is orders of magnitude).
 
-A second experiment (``SERVICE_FRONTENDS``) compares the two HTTP
+A second experiment (``ESTIMATOR_REGISTRY``) measures the same cold/cached
+split for an adapted ``baseline.*`` kind served through the estimator-spec
+registry, so the perf trajectory covers the pluggable-kind surface too.
+
+A third experiment (``SERVICE_FRONTENDS``) compares the two HTTP
 front-ends on that cached fast path over real sockets: the same keep-alive
 query stream is driven at 16 / 64 / 256 concurrent connections against the
 thread-per-connection server and the asyncio server.  The asyncio front-end
@@ -136,6 +140,91 @@ def test_service_throughput(run_once, reporter, engine_pool):
     assert cached_qps >= 50.0 * cold_qps, (
         f"cached path ({cached_qps:.0f} q/s) should dwarf the cold path "
         f"({cold_qps:.0f} q/s)"
+    )
+
+
+# ---------------------------------------------------------------------------
+# estimator registry: cold vs cached QPS for an adapted baseline kind
+
+BASELINE_KIND = "baseline.coinpress_mean"
+BASELINE_PARAMS = {"radius": 1e4, "sigma_max": 1e2}
+BASELINE_N = 100_000
+BASELINE_DISTINCT = 16
+BASELINE_CACHED_REQUESTS = 2_000
+
+
+def test_estimator_registry_throughput(run_once, reporter):
+    """Cold vs cached QPS for one ``baseline.*`` kind served via the registry.
+
+    The registry made the whole :mod:`repro.baselines` family servable; this
+    experiment pins the perf trajectory of that new surface: a cold release
+    runs the adapted estimator end-to-end (admission, registry dispatch,
+    ledger, commit), while a repeat is the same canonical-key cache hit as
+    any built-in kind — zero marginal epsilon and orders of magnitude more
+    throughput.
+    """
+
+    def run():
+        data = np.random.default_rng(SEED).normal(250.0, 40.0, size=BASELINE_N)
+
+        cold = QueryService(seed=SEED, cache=AnswerCache(maxsize=0))
+        cold.register("d", data, TOTAL_BUDGET)
+        requests = [
+            QueryRequest(
+                "d",
+                Query(
+                    BASELINE_KIND,
+                    0.2 + 0.01 * index,
+                    params=tuple(BASELINE_PARAMS.items()),
+                ),
+            )
+            for index in range(BASELINE_DISTINCT)
+        ]
+        start = time.perf_counter()
+        answers = cold.submit_many(requests)
+        cold_seconds = time.perf_counter() - start
+        assert all(a.ok for a in answers)
+        assert all(a.epsilon_charged == a.query.epsilon for a in answers)
+
+        cached = QueryService(seed=SEED)
+        cached.register("d", data, TOTAL_BUDGET)
+        warm = cached.query("d", BASELINE_KIND, 0.5, params=dict(BASELINE_PARAMS))
+        assert warm.ok and not warm.cached
+        start = time.perf_counter()
+        for _ in range(BASELINE_CACHED_REQUESTS):
+            answer = cached.query("d", BASELINE_KIND, 0.5, params=dict(BASELINE_PARAMS))
+        cached_seconds = time.perf_counter() - start
+        assert answer.cached and answer.epsilon_charged == 0.0
+
+        return [
+            [BASELINE_KIND + " cold", BASELINE_DISTINCT, cold_seconds,
+             BASELINE_DISTINCT / cold_seconds, 1.0],
+            [BASELINE_KIND + " cached", BASELINE_CACHED_REQUESTS, cached_seconds,
+             BASELINE_CACHED_REQUESTS / cached_seconds,
+             (BASELINE_CACHED_REQUESTS / cached_seconds)
+             / (BASELINE_DISTINCT / cold_seconds)],
+        ]
+
+    rows = run_once(run)
+    headers = ["mode", "queries", "seconds", "queries/sec", "speedup vs cold"]
+    reporter(
+        "ESTIMATOR_REGISTRY",
+        render_experiment_header(
+            "ESTIMATOR_REGISTRY",
+            "Adapted baseline kind over the registry: cold vs cached QPS",
+        )
+        + "\n"
+        + format_table(headers, rows),
+        headers=headers,
+        rows=rows,
+    )
+
+    cold_qps, cached_qps = rows[0][3], rows[1][3]
+    # The cached path must clearly dominate even this cheap baseline's cold
+    # path (in practice the gap is far larger for the universal estimators).
+    assert cached_qps >= 10.0 * cold_qps, (
+        f"cached baseline path ({cached_qps:.0f} q/s) should dwarf the cold "
+        f"path ({cold_qps:.0f} q/s)"
     )
 
 

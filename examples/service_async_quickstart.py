@@ -141,6 +141,25 @@ async def main(n_records: int = 30_000) -> None:
             print(f"payments mean      : {doc['value']:8.3f} ms"
                   f"   (own budget: charged {doc['epsilon_charged']:.3f})")
 
+            # Every registered estimator kind — including the adapted
+            # prior-work baselines — is servable over HTTP; GET /kinds
+            # advertises the catalogue with each kind's parameter schema.
+            _, catalogue = await _request(host, port, "/kinds")
+            n_baselines = sum(
+                1 for kind in catalogue["kinds"] if kind.startswith("baseline.")
+            )
+            print(f"kinds catalogue    : {len(catalogue['kinds'])} kinds "
+                  f"({n_baselines} adapted baselines)")
+            _, doc = await _request(
+                host, port, "/query",
+                {"dataset": "payments_ms",
+                 "kind": "baseline.bounded_laplace_mean",
+                 "epsilon": 0.25, "params": {"radius": 2000.0}},
+            )
+            print(f"baseline mean      : {doc['value']:8.3f} ms"
+                  f"   (baseline.bounded_laplace_mean over HTTP, "
+                  f"charged {doc['epsilon_charged']:.3f})")
+
             print("\n=== Accounting ===")
             _, stats = await _request(host, port, "/datasets")
             group = stats["groups"]["api"]

@@ -70,6 +70,15 @@ def main(n_records: int = 30_000) -> None:
     print(f"iqr (other analyst): {answer.value:8.3f} ms"
           f"   (charged {answer.epsilon_charged:.3f}, remaining {answer.remaining:.3f})")
 
+    # Prior-work baselines are first-class query kinds via the estimator-spec
+    # registry: their assumption parameters travel as typed query params.
+    answer = service.query(
+        "latency_ms", "baseline.bounded_laplace_mean", epsilon=0.2,
+        params={"radius": 500.0},
+    )
+    print(f"baseline mean      : {answer.value:8.3f} ms"
+          f"   (baseline.bounded_laplace_mean, charged {answer.epsilon_charged:.3f})")
+
     # Spending the rest of the total budget produces a structured refusal.
     refused = service.query("latency_ms", "variance", epsilon=5.0)
     print(f"over total budget  : status={refused.status}")

@@ -10,6 +10,11 @@ queries covering every interesting outcome:
 * deliberately oversized queries (must yield structured 403 refusals),
 * malformed queries and unknown datasets (400/404, never a 500),
 * one batch request through the engine fan-out endpoint,
+* the estimator-spec registry surface: ``GET /kinds`` advertising every
+  registered kind, two ``baseline.*`` kinds released end-to-end with exact
+  epsilon accounting and zero-spend repeats, an unknown kind answered with
+  a structured 400 carrying the registered-kind list, and the per-dataset
+  ``kinds`` allowlist rejecting a disallowed kind before any spend,
 * joint-budget-group semantics: spend through one member, watch the shared
   cap drain for all of them, exhaust it, and see every member refuse with
   the group ledger unchanged,
@@ -106,6 +111,7 @@ budget = {budget}
 name = "left"
 source = "left.npy"
 group = "shared"
+kinds = ["mean", "baseline.bounded_laplace_mean"]
 
 [[datasets]]
 name = "right"
@@ -221,6 +227,79 @@ def drive(url: str, total_queries: int) -> None:
     check(total >= total_queries * 0.9, f"only drove {total} of {total_queries}")
     check(statuses["cached"] >= total_queries // 2, "too few cache hits exercised")
     check(statuses["refused"] >= 10, "too few refusals exercised")
+
+
+def drive_baseline_kinds(url: str) -> None:
+    """Registry surface: GET /kinds, two baseline releases, allowlist, 400s."""
+    status, catalogue = call(url, "/kinds")
+    check(status == 200, f"GET /kinds failed: HTTP {status}")
+    kinds = catalogue.get("kinds", {})
+    baselines = sorted(k for k in kinds if k.startswith("baseline."))
+    check(len(baselines) >= 4, f"expected >= 4 baseline kinds, got {baselines}")
+    check("mean" in kinds and kinds["mean"]["min_records"] == 8,
+          f"builtin kinds missing from catalogue: {sorted(kinds)}")
+    check(catalogue.get("datasets", {}).get("left") ==
+          ["baseline.bounded_laplace_mean", "mean"],
+          f"allowlist not advertised: {catalogue.get('datasets')}")
+
+    # Two baseline kinds released end-to-end with exact budget accounting.
+    released = []
+    for kind, params in (
+        ("baseline.bounded_laplace_mean", {"radius": 1e6}),
+        ("baseline.finite_domain_laplace_mean", {"domain_size": 1_000_000}),
+    ):
+        query = {"dataset": "demo", "kind": kind, "epsilon": 0.05, "params": params}
+        status, body = call(url, "/query", query)
+        check(status == 200 and body.get("status") == "ok",
+              f"{kind} release failed: HTTP {status} {body}")
+        check(abs(body.get("epsilon_charged", 0.0) - 0.05) < 1e-12,
+              f"{kind} charged {body.get('epsilon_charged')} != 0.05")
+        released.append((kind, query, body))
+
+    # Zero-spend repeats, with param values respelled (int vs float forms):
+    # canonicalisation must map both spellings to the same cache entry.
+    respelled = {"radius": 1_000_000, "domain_size": 1_000_000.0}
+    for kind, query, body in released:
+        repeat_query = dict(query)
+        repeat_query["params"] = {
+            name: respelled.get(name, value)
+            for name, value in query["params"].items()
+        }
+        status, repeat = call(url, "/query", repeat_query)
+        check(repeat.get("cached") is True and repeat.get("epsilon_charged") == 0.0,
+              f"{kind} repeat not cached at zero spend: {repeat}")
+        check(repeat.get("value") == body.get("value"),
+              f"{kind} cached value changed: {repeat}")
+
+    # Unknown kind: structured 400 listing the registered kinds.
+    status, body = call(url, "/query",
+                        {"dataset": "demo", "kind": "mode", "epsilon": 0.1})
+    check(status == 400 and body.get("error") == "unknown_kind",
+          f"unknown kind not a structured 400: HTTP {status} {body}")
+    check(sorted(body.get("kinds", [])) == sorted(kinds),
+          "400 body kind list drifts from GET /kinds")
+
+    # Missing required parameter: clean 400 before any spend.
+    status, body = call(url, "/query",
+                        {"dataset": "demo", "kind": "baseline.coinpress_mean",
+                         "epsilon": 0.1})
+    check(status == 400, f"missing param gave HTTP {status}: {body}")
+
+    # Per-dataset allowlist: 'left' serves only mean + bounded_laplace_mean.
+    _, before = call(url, "/datasets")
+    left_spent = next(d for d in before["datasets"] if d["name"] == "left")
+    status, body = call(url, "/query",
+                        {"dataset": "left", "kind": "iqr", "epsilon": 0.05})
+    check(status == 400 and body.get("status") == "invalid",
+          f"disallowed kind not rejected: HTTP {status} {body}")
+    _, after = call(url, "/datasets")
+    left_after = next(d for d in after["datasets"] if d["name"] == "left")
+    check(left_after["budget"]["spent"] == left_spent["budget"]["spent"],
+          "disallowed kind changed the ledger")
+    check(left_after.get("kinds") == ["baseline.bounded_laplace_mean", "mean"],
+          f"dataset allowlist not reported: {left_after.get('kinds')}")
+    print(f"baseline kinds served: {[k for k, _, _ in released]}; "
+          f"{len(baselines)} baseline kinds advertised")
 
 
 def drive_joint_group(url: str) -> None:
@@ -361,6 +440,7 @@ def main() -> int:
             if url is not None:
                 print(f"server at {url} (frontend={args.frontend})")
                 drive(url, args.queries)
+                drive_baseline_kinds(url)
                 drive_joint_group(url)
                 drive_protocol_probes(url, args.frontend)
         finally:

@@ -49,6 +49,10 @@ __all__ = [
 ]
 
 #: Signature of an estimator under test: (data, rng) -> point estimate.
+#: Any kind in the estimator-spec registry drops into this signature via
+#: ``repro.estimators.get_estimator(kind).estimator_fn(epsilon, **params)``,
+#: so trial runs and statistical grids sweep registered kinds (including the
+#: adapted ``baseline.*`` estimators) without bespoke closures.
 EstimatorFn = Callable[[np.ndarray, np.random.Generator], float]
 #: Signature of a data generator: (rng) -> dataset.
 DataFn = Callable[[np.random.Generator], np.ndarray]

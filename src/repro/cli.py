@@ -63,6 +63,7 @@ from repro import (
 )
 from repro._rng import spawn_seeds
 from repro.engine import GridCell, run_batch, run_grid
+from repro.estimators import get_estimator, iter_estimators, registered_kinds
 from repro.exceptions import DomainError, MechanismError, ReproError
 
 __all__ = ["build_parser", "load_column", "main"]
@@ -82,6 +83,18 @@ def _package_version() -> str:
     from repro import __version__
 
     return __version__
+
+
+def _suite_kinds() -> List[str]:
+    """Kinds the ``suite`` command can release: scalar, single-column,
+    runnable without any required parameter (derived from the registry)."""
+    return [
+        spec.name
+        for spec in iter_estimators()
+        if spec.scalar
+        and spec.dimension == "univariate"
+        and not any(param.required for param in spec.params)
+    ]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -138,7 +151,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     suite = subparsers.add_parser(
         "suite",
-        help="estimate mean, variance and IQR in one run (three independent releases)",
+        help="estimate mean, variance and IQR in one run (three independent "
+             "releases); --kinds swaps in any parameter-free registered kind",
     )
     add_common(suite)
     suite.add_argument(
@@ -148,6 +162,17 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "Worker processes for the per-statistic grid fan-out "
             "(results are worker-count independent)"
+        ),
+    )
+    suite.add_argument(
+        "--kinds",
+        nargs="+",
+        choices=_suite_kinds(),
+        default=None,
+        metavar="KIND",
+        help=(
+            "Statistics to release (default: mean variance iqr). Any scalar "
+            f"single-column kind needing no parameters works: {_suite_kinds()}"
         ),
     )
 
@@ -223,8 +248,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     client.add_argument(
         "kind",
-        choices=["mean", "variance", "iqr", "quantile", "multivariate_mean"],
-        help="Statistic to request",
+        metavar="KIND",
+        help="Statistic to request. The server's registry is authoritative "
+             "(an unknown kind gets a structured 400 listing valid kinds); "
+             f"this build registers: {', '.join(registered_kinds())}",
     )
     client.add_argument("--url", required=True, help="Service base URL")
     client.add_argument("--dataset", required=True, help="Registered dataset name")
@@ -234,9 +261,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--levels", type=float, nargs="+", default=None,
         help="Quantile levels (quantile queries only)",
     )
+    client.add_argument(
+        "--param", action="append", default=[], metavar="NAME=VALUE",
+        help="Kind-specific parameter (repeatable), e.g. --param radius=1e6 "
+             "for baseline.* kinds; values parse as JSON, falling back to text",
+    )
     client.add_argument("--analyst", default=None, help="Analyst name for sub-budgets")
     client.add_argument(
         "--timeout", type=float, default=30.0, help="HTTP timeout in seconds"
+    )
+
+    subparsers.add_parser(
+        "kinds",
+        help="list every registered estimator kind with its parameter schema",
     )
     return parser
 
@@ -332,16 +369,33 @@ def _run_trial_mode(args: argparse.Namespace, data: np.ndarray) -> None:
 def _release_trial_fn(command: str, data: np.ndarray, epsilon: float, beta: float):
     """Build the engine trial body for one scalar release command.
 
-    Failures (e.g. a rejected propose-test-release check) are captured
-    inside the trial so the ledger survives: estimators charge the budget as
-    they go, so a failed trial has still spent epsilon and must be counted.
+    The three classic commands keep their direct closures (so tests can
+    monkeypatch :data:`_SCALAR_ESTIMATORS`); every other command resolves
+    through the estimator-spec registry, which is how ``suite --kinds``
+    releases any parameter-free registered kind.  Failures (e.g. a rejected
+    propose-test-release check) are captured inside the trial so the ledger
+    survives: estimators charge the budget as they go, so a failed trial has
+    still spent epsilon and must be counted.
     """
-    release = _SCALAR_ESTIMATORS[command]
+    if command in _SCALAR_ESTIMATORS:
+        release = _SCALAR_ESTIMATORS[command]
+
+        def run_release(generator, ledger):
+            return float(release(data, epsilon, beta, generator, ledger))
+
+    else:
+        spec = get_estimator(command)
+        params = spec.validate_params({})
+
+        def run_release(generator, ledger):
+            return float(
+                spec.run(data, generator, ledger, epsilon=epsilon, beta=beta, **params)
+            )
 
     def trial(index: int, generator: np.random.Generator):
         ledger = PrivacyLedger()
         try:
-            estimate = float(release(data, epsilon, beta, generator, ledger))
+            estimate = run_release(generator, ledger)
         except MechanismError as exc:
             return None, ledger.total_epsilon, ledger.summary(), str(exc)
         return estimate, ledger.total_epsilon, ledger.summary(), None
@@ -370,8 +424,15 @@ def _print_spread(command: str, batch) -> float:
 
 
 def _run_suite(args: argparse.Namespace, data: np.ndarray) -> None:
-    """Release mean, variance and IQR as one grid over a shared worker pool."""
-    commands = sorted(_SCALAR_ESTIMATORS)
+    """Release a set of statistics as one grid over a shared worker pool.
+
+    The default set is the classic mean/variance/IQR trio; ``--kinds``
+    substitutes any parameter-free scalar kinds from the estimator registry
+    (e.g. ``baseline.dwork_lei_iqr``).  Commands run in sorted order so the
+    per-statistic seeds — and therefore the printed estimates — are
+    independent of the order the kinds were named in.
+    """
+    commands = sorted(set(args.kinds)) if args.kinds else sorted(_SCALAR_ESTIMATORS)
     # One independent child seed per statistic, derived up-front: the suite is
     # reproducible for a fixed --seed no matter how cells are scheduled.
     cell_seeds = spawn_seeds(args.seed, len(commands))
@@ -533,6 +594,44 @@ def _run_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_query_params(entries: Sequence[str]) -> dict:
+    """Decode repeatable ``--param NAME=VALUE`` flags into a params object.
+
+    Values parse as JSON (numbers, booleans, arrays like ``[0.5,0.9]``) with
+    a plain-string fallback; the server's spec validation has the final say.
+    """
+    params: dict = {}
+    for entry in entries:
+        name, sep, value = entry.partition("=")
+        if not sep or not name:
+            raise DomainError(f"--param expects NAME=VALUE, got {entry!r}")
+        try:
+            params[name] = json.loads(value)
+        except json.JSONDecodeError:
+            params[name] = value
+    return params
+
+
+def _run_kinds(args: argparse.Namespace) -> int:
+    """Print the estimator-spec registry catalogue (the GET /kinds document)."""
+    for spec in iter_estimators():
+        shape = "scalar" if spec.scalar else "vector"
+        print(f"{spec.name}")
+        print(f"  description: {spec.description}")
+        print(
+            f"  reservation_factor={spec.reservation:g} "
+            f"min_records={spec.min_records} shape={shape} "
+            f"dimension={spec.dimension}"
+        )
+        for param in spec.params:
+            need = "required" if param.required else (
+                f"default={param.default!r}" if param.default is not None
+                else "optional"
+            )
+            print(f"  param {param.name} ({param.type}, {need})")
+    return 0
+
+
 def _run_query_client(args: argparse.Namespace) -> int:
     """POST one query to a running service and print the structured answer."""
     import urllib.error
@@ -546,6 +645,9 @@ def _run_query_client(args: argparse.Namespace) -> int:
     }
     if args.levels:
         payload["levels"] = args.levels
+    params = _parse_query_params(args.param)
+    if params:
+        payload["params"] = params
     if args.analyst:
         payload["analyst"] = args.analyst
     request = urllib.request.Request(
@@ -595,6 +697,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _run_serve(args)
         if args.command == "query":
             return _run_query_client(args)
+        if args.command == "kinds":
+            return _run_kinds(args)
         data = load_column(args.csv_path, args.column)
         if args.trials < 1:
             raise DomainError(f"--trials must be at least 1, got {args.trials}")

@@ -1,0 +1,74 @@
+"""``repro.estimators`` — the unified estimator-spec registry.
+
+One pluggable API from estimator to HTTP: an :class:`EstimatorSpec` declares
+a statistic kind (runner, typed param schema, exact reservation-epsilon
+factor, minimum record count, result shape), :func:`register_estimator`
+publishes it process-wide, and every serving layer — the query planner,
+both HTTP front-ends (``GET /kinds``), the CLI, the declarative serving
+config and the capability matrix — resolves kinds through this registry
+instead of parallel hardcoded tables.
+
+Importing this package registers
+
+* the five built-in empirical kinds (``mean``, ``variance``, ``iqr``,
+  ``quantile``, ``multivariate_mean``) exactly as the service served them
+  before the registry existed (bit-for-bit identical answers and cache
+  keys), and
+* every *private* :class:`~repro.baselines.base.BaselineEstimator` as a
+  ``baseline.<name>`` kind through the generic adapter in
+  :mod:`repro.estimators.baselines`, with conservative exact reservation
+  factors derived from its ``describe()`` metadata.
+
+Adding a new servable statistic is one decorator::
+
+    from repro.estimators import ParamField, register_estimator
+
+    @register_estimator("trimmed_mean", reservation=1.0, min_records=8,
+                        params=(ParamField("trim", minimum=0.0, maximum=0.5,
+                                           default=0.1),))
+    def run_trimmed_mean(data, generator, ledger, *, epsilon, beta, trim):
+        ...
+
+and the kind is immediately queryable over HTTP, refusable by budget,
+cacheable, grid-sweepable and listed by ``repro query``/``GET /kinds``.
+Register custom kinds at import time (or before an engine pool's first
+parallel call): pool workers rebuild the registry by import, so a kind
+registered after the workers forked is served on the serial path but
+answered ``failed`` on the pooled path (see
+:mod:`repro.estimators.registry`).
+"""
+
+from repro.estimators.registry import (
+    UnknownKindError,
+    get_estimator,
+    iter_estimators,
+    kind_catalog,
+    register,
+    register_estimator,
+    registered_kinds,
+    unregister,
+)
+from repro.estimators.spec import EstimatorSpec, ParamField, ParamValidationError
+
+# Import-for-effect: populate the registry with the built-in empirical kinds
+# and the adapted private baselines.
+import repro.estimators.builtin  # noqa: E402,F401
+import repro.estimators.baselines as _baseline_module  # noqa: E402
+
+from repro.estimators.baselines import baseline_kind_name, register_baseline
+
+__all__ = [
+    "EstimatorSpec",
+    "ParamField",
+    "ParamValidationError",
+    "UnknownKindError",
+    "register",
+    "register_estimator",
+    "register_baseline",
+    "baseline_kind_name",
+    "unregister",
+    "get_estimator",
+    "registered_kinds",
+    "iter_estimators",
+    "kind_catalog",
+]

@@ -1,0 +1,232 @@
+"""Generic adapter: every private `BaselineEstimator` becomes a query kind.
+
+The :class:`~repro.baselines.base.BaselineEstimator` family (CoinPress,
+Karwa-Vadhan, KSU heavy-tailed, Dwork-Lei IQR, bounded-Laplace,
+finite-domain, ...) predates the service and speaks
+``estimate(values, epsilon, rng)`` with constructor-time assumption
+parameters.  :func:`register_baseline` wraps any such class into an
+:class:`~repro.estimators.spec.EstimatorSpec` whose typed params mirror the
+constructor arguments, making the baseline a first-class query kind
+(``baseline.<name>``) servable over both HTTP front-ends with full budget
+accounting.
+
+Accounting is conservative and exact on the epsilon axis: the reservation
+factor is derived from the class's ``describe()`` privacy metadata — every
+adapted baseline is a one-shot release of its full nominal epsilon (basic
+composition of its internal eps-splits), so the factor is 1.0 and the
+adapter charges the full epsilon to the per-query ledger *before* the
+estimate runs.  A release that aborts midway (Dwork-Lei's
+propose-test-release refusal) has therefore still committed its full
+epsilon — an upper bound on the true leakage, never an under-count.
+
+Two deliberate policy edges: non-private baselines (``privacy="none"``) are
+*not* servable — releasing an exact statistic cannot be accounted under any
+finite epsilon — and the one approximate-DP baseline (Dwork-Lei) is served
+with its ``delta`` hard-capped at ``1e-4`` per release, because the service
+budget is an epsilon ledger only: deltas compose additively across releases
+and are **not** drawn down by the budget manager, so the cap (together with
+the epsilon cap bounding the number of releases) keeps the accumulated
+delta negligible rather than silently unbounded.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Type
+
+from repro.baselines import (
+    BaselineEstimator,
+    BoundedLaplaceMean,
+    BoundedLaplaceVariance,
+    CoinPressMean,
+    DworkLeiIQR,
+    FiniteDomainLaplaceMean,
+    KarwaVadhanGaussianMean,
+    KarwaVadhanGaussianVariance,
+    KSUHeavyTailedMean,
+)
+from repro.estimators.registry import register
+from repro.estimators.spec import EstimatorSpec, ParamField, ParamValidationError
+from repro.exceptions import ReproError
+
+__all__ = ["register_baseline", "baseline_kind_name"]
+
+
+def baseline_kind_name(cls: Type[BaselineEstimator]) -> str:
+    """The query-kind string a baseline class registers under."""
+    return f"baseline.{cls.name}"
+
+
+def register_baseline(
+    cls: Type[BaselineEstimator],
+    *,
+    params: Tuple[ParamField, ...] = (),
+    min_records: int = 8,
+    description: Optional[str] = None,
+    replace: bool = False,
+) -> EstimatorSpec:
+    """Register ``cls`` as the query kind ``baseline.<cls.name>``.
+
+    ``params`` mirror the constructor keywords; validation constructs a
+    throwaway instance so assumption errors (missing/inconsistent bounds)
+    surface as :class:`ParamValidationError` *before* any budget is touched.
+    """
+    if cls.privacy not in ("pure", "approx"):
+        raise ParamValidationError(
+            f"baseline {cls.name!r} is not private (privacy={cls.privacy!r}); "
+            "it cannot be served under a privacy budget"
+        )
+
+    def check(canonical: dict) -> None:
+        try:
+            cls(**canonical)
+        except ReproError as exc:
+            raise ParamValidationError(
+                f"kind {baseline_kind_name(cls)!r}: {exc}"
+            ) from exc
+
+    def runner(data, generator, ledger, *, epsilon, beta, **kwargs):
+        # beta is accepted for wire uniformity; baselines have no per-release
+        # failure-probability knob.
+        estimator = cls(**kwargs)
+        # Charge before running: the baseline spends its full nominal epsilon
+        # on a completed release, and an aborted one (PTR refusal) has leaked
+        # at most that — committing the full epsilon is the exact upper bound
+        # the reservation promised.
+        ledger.charge(baseline_kind_name(cls), epsilon)
+        return float(estimator.estimate(data, epsilon, generator))
+
+    spec = EstimatorSpec(
+        name=baseline_kind_name(cls),
+        runner=runner,
+        reservation=1.0,
+        min_records=min_records,
+        params=tuple(params),
+        scalar=True,
+        dimension="univariate",
+        check=check,
+        description=description
+        if description is not None
+        else f"{cls.target} baseline [{cls.reference}] "
+        f"(assumptions: {sorted(cls.assumptions) or 'none'})",
+        extra={"baseline_cls": cls},
+    )
+    return register(spec, replace=replace)
+
+
+# ---------------------------------------------------------------------------
+# the shipped private baselines, registered at import time
+
+
+register_baseline(
+    BoundedLaplaceMean,
+    params=(
+        ParamField(
+            "radius", required=True, minimum=0.0, exclusive=True, example=1e6,
+            description="A-priori bound R on the mean magnitude (A1)",
+        ),
+    ),
+)
+
+register_baseline(
+    BoundedLaplaceVariance,
+    params=(
+        ParamField(
+            "sigma_max", required=True, minimum=0.0, exclusive=True, example=1e2,
+            description="A-priori bound on the standard deviation (A2)",
+        ),
+    ),
+)
+
+register_baseline(
+    FiniteDomainLaplaceMean,
+    params=(
+        ParamField(
+            "domain_size", type="int", required=True, minimum=1, example=1_000_000,
+            description="Domain bound N: data are clipped into [0, N]",
+        ),
+    ),
+)
+
+register_baseline(
+    KarwaVadhanGaussianMean,
+    params=(
+        ParamField(
+            "radius", required=True, minimum=0.0, exclusive=True, example=1e6,
+            description="Mean range R (A1)",
+        ),
+        ParamField(
+            "sigma_max", required=True, minimum=0.0, exclusive=True, example=1e2,
+            description="Upper bound on sigma (A2)",
+        ),
+        ParamField(
+            "sigma_min", minimum=0.0, exclusive=True, example=1e-2,
+            description="Lower bound on sigma (defaults to sigma_max)",
+        ),
+    ),
+)
+
+register_baseline(
+    KarwaVadhanGaussianVariance,
+    params=(
+        ParamField(
+            "sigma_min", required=True, minimum=0.0, exclusive=True, example=1e-2,
+            description="Lower bound on sigma (A2)",
+        ),
+        ParamField(
+            "sigma_max", required=True, minimum=0.0, exclusive=True, example=1e2,
+            description="Upper bound on sigma (A2)",
+        ),
+    ),
+)
+
+register_baseline(
+    CoinPressMean,
+    params=(
+        ParamField(
+            "radius", required=True, minimum=0.0, exclusive=True, example=1e6,
+            description="Initial interval bound R (A1)",
+        ),
+        ParamField(
+            "sigma_max", required=True, minimum=0.0, exclusive=True, example=1e2,
+            description="Upper bound on sigma (A2)",
+        ),
+        ParamField(
+            "rounds", type="int", default=3, minimum=1,
+            description="Interval-refinement rounds (even epsilon split)",
+        ),
+    ),
+)
+
+register_baseline(
+    KSUHeavyTailedMean,
+    params=(
+        ParamField(
+            "radius", required=True, minimum=0.0, exclusive=True, example=1e6,
+            description="Mean range R (A1)",
+        ),
+        ParamField(
+            "moment_bound", required=True, minimum=0.0, exclusive=True, example=1e4,
+            description="Bound on the k-th central moment (A2)",
+        ),
+        ParamField(
+            "moment_order", type="int", default=2, minimum=2,
+            description="Moment order k",
+        ),
+    ),
+)
+
+register_baseline(
+    DworkLeiIQR,
+    params=(
+        # The upper bound is a serving policy, not a mechanism constraint:
+        # the budget ledger tracks epsilon only, and per-release deltas add
+        # up across queries — see the module docstring.
+        ParamField(
+            "delta", default=1e-6, minimum=0.0, maximum=1e-4,
+            exclusive=True, max_exclusive=False,  # 0 < delta <= 1e-4
+            description="Approximate-DP failure probability of the PTR test "
+            "(capped at 1e-4 per release: deltas compose additively and are "
+            "not drawn down by the epsilon budget)",
+        ),
+    ),
+)

@@ -1,0 +1,96 @@
+"""The five built-in empirical kinds, ported onto the spec registry.
+
+These are the paper's universal estimators exactly as the service served
+them before the registry existed: same runners, same reservation factors,
+same minimum record counts — cache keys and answers are bit-for-bit
+identical through the registry path.
+
+Reservation factors are exact bounds, not heuristics: variance's ``9/8`` is
+attained when sub-sampling amplification degenerates (``eps >= 1``) in its
+paired radius probe; every other estimator never exceeds its nominal
+epsilon.  Variance needs paired halves, hence twice the base minimum record
+count.
+"""
+
+from __future__ import annotations
+
+from repro.core import (
+    estimate_iqr,
+    estimate_mean,
+    estimate_quantiles,
+    estimate_variance,
+)
+from repro.estimators.registry import register_estimator
+from repro.estimators.spec import ParamField
+from repro.multivariate import estimate_mean_multivariate
+
+__all__ = []  # import-for-effect module: registration is the product
+
+
+@register_estimator(
+    "mean",
+    reservation=1.0,
+    min_records=8,
+    description="Universal pure-DP mean (Algorithm 8; no domain bounds)",
+)
+def _run_mean(data, generator, ledger, *, epsilon, beta):
+    return float(estimate_mean(data, epsilon, beta, generator, ledger=ledger).mean)
+
+
+@register_estimator(
+    "variance",
+    reservation=9.0 / 8.0,
+    min_records=16,
+    description="Universal pure-DP variance (Algorithm 9; paired halves, "
+    "amplified radius probe can record up to 9/8 of the nominal epsilon)",
+)
+def _run_variance(data, generator, ledger, *, epsilon, beta):
+    return float(
+        estimate_variance(data, epsilon, beta, generator, ledger=ledger).variance
+    )
+
+
+@register_estimator(
+    "iqr",
+    reservation=1.0,
+    min_records=8,
+    description="Universal pure-DP interquartile range (Algorithm 10)",
+)
+def _run_iqr(data, generator, ledger, *, epsilon, beta):
+    return float(estimate_iqr(data, epsilon, beta, generator, ledger=ledger).iqr)
+
+
+@register_estimator(
+    "quantile",
+    reservation=1.0,
+    min_records=8,
+    scalar=False,
+    params=(
+        ParamField(
+            "levels",
+            type="levels",
+            required=True,
+            example=(0.5,),
+            description="Quantile levels strictly between 0 and 1",
+        ),
+    ),
+    description="Universal pure-DP quantiles at the requested levels",
+)
+def _run_quantile(data, generator, ledger, *, epsilon, beta, levels):
+    result = estimate_quantiles(
+        data, list(levels), epsilon, beta, generator, ledger=ledger
+    )
+    return tuple(float(value) for value in result.values)
+
+
+@register_estimator(
+    "multivariate_mean",
+    reservation=1.0,
+    min_records=8,
+    scalar=False,
+    dimension="multivariate",
+    description="Universal pure-DP multivariate mean (per-coordinate split)",
+)
+def _run_multivariate_mean(data, generator, ledger, *, epsilon, beta):
+    result = estimate_mean_multivariate(data, epsilon, beta, generator, ledger=ledger)
+    return tuple(float(value) for value in result.mean)

@@ -1,0 +1,144 @@
+"""Process-wide estimator-spec registry: one lookup from kind to spec.
+
+Every layer of the serving stack — the query planner, both HTTP front-ends,
+the CLI, the serving config and the capability matrix — resolves statistic
+kinds through this registry instead of private parallel tables, so adding a
+kind is *one* :func:`register_estimator` call (usually as a decorator)::
+
+    @register_estimator("mean", reservation=1.0, min_records=8)
+    def _run_mean(data, generator, ledger, *, epsilon, beta):
+        return float(estimate_mean(data, epsilon, beta, generator, ledger=ledger).mean)
+
+The registry is import-populated (importing :mod:`repro.estimators` registers
+the built-in empirical kinds and the baseline adapters) and thread-safe; the
+engine's worker processes repopulate it by the same import, so specs never
+cross process boundaries — only kind names do.  The corollary: a kind
+registered *at runtime* is visible to engine-pool workers only if it is
+registered before the pool forks (the pool forks lazily on its first
+parallel call).  Registering after that point serves the kind fine on the
+serial path but fails it with a structured ``failed`` answer on the pooled
+path — put custom ``register_estimator`` calls at import time of a module
+the workers also import.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.exceptions import DomainError
+from repro.estimators.spec import EstimatorSpec, ParamField
+
+__all__ = [
+    "UnknownKindError",
+    "register",
+    "register_estimator",
+    "unregister",
+    "get_estimator",
+    "registered_kinds",
+    "iter_estimators",
+    "kind_catalog",
+]
+
+
+class UnknownKindError(DomainError):
+    """A query named a kind no spec is registered for.
+
+    Carries the registered kinds at raise time so front-ends can hand the
+    client the authoritative list instead of a hardcoded copy that drifts.
+    """
+
+    def __init__(self, kind: str, kinds: Tuple[str, ...]):
+        super().__init__(
+            f"unknown query kind {kind!r}; expected one of {list(kinds)}"
+        )
+        self.kind = kind
+        self.kinds = kinds
+
+
+_LOCK = threading.Lock()
+_REGISTRY: Dict[str, EstimatorSpec] = {}
+
+
+def register(spec: EstimatorSpec, *, replace: bool = False) -> EstimatorSpec:
+    """Add ``spec`` to the process-wide registry (``replace=True`` to override)."""
+    with _LOCK:
+        if spec.name in _REGISTRY and not replace:
+            raise DomainError(f"estimator kind {spec.name!r} is already registered")
+        _REGISTRY[spec.name] = spec
+    return spec
+
+
+def register_estimator(
+    name: str,
+    *,
+    reservation: float = 1.0,
+    min_records: int = 8,
+    params: Tuple[ParamField, ...] = (),
+    scalar: bool = True,
+    dimension: str = "univariate",
+    check: Optional[Callable[[Dict[str, Any]], None]] = None,
+    description: str = "",
+    extra: Optional[Mapping[str, Any]] = None,
+    replace: bool = False,
+) -> Callable:
+    """Decorator registering a runner as the spec for kind ``name``.
+
+    The decorated callable keeps working as a plain function; the spec it was
+    wrapped into is reachable via :func:`get_estimator`.
+    """
+
+    def decorate(runner: Callable) -> Callable:
+        register(
+            EstimatorSpec(
+                name=name,
+                runner=runner,
+                reservation=reservation,
+                min_records=min_records,
+                params=tuple(params),
+                scalar=scalar,
+                dimension=dimension,
+                check=check,
+                description=description,
+                extra=dict(extra or {}),
+            ),
+            replace=replace,
+        )
+        return runner
+
+    return decorate
+
+
+def unregister(name: str) -> None:
+    """Remove kind ``name`` (primarily for tests exercising custom specs)."""
+    with _LOCK:
+        if name not in _REGISTRY:
+            raise UnknownKindError(name, tuple(sorted(_REGISTRY)))
+        del _REGISTRY[name]
+
+
+def get_estimator(name: str) -> EstimatorSpec:
+    """The spec registered under ``name``; raises :class:`UnknownKindError`."""
+    with _LOCK:
+        spec = _REGISTRY.get(name)
+        kinds = tuple(sorted(_REGISTRY)) if spec is None else ()
+    if spec is None:
+        raise UnknownKindError(name, kinds)
+    return spec
+
+
+def registered_kinds() -> List[str]:
+    """Sorted names of every registered kind."""
+    with _LOCK:
+        return sorted(_REGISTRY)
+
+
+def iter_estimators() -> List[EstimatorSpec]:
+    """Snapshot of every registered spec, sorted by name."""
+    with _LOCK:
+        return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+def kind_catalog() -> Dict[str, Dict[str, Any]]:
+    """JSON-safe catalogue of every kind (the ``GET /kinds`` document body)."""
+    return {spec.name: spec.to_json() for spec in iter_estimators()}

@@ -1,0 +1,333 @@
+"""Declarative estimator specifications: the unit of the pluggable registry.
+
+An :class:`EstimatorSpec` is everything the serving stack needs to know about
+one statistic kind *without* executing it:
+
+* the **runner** — ``(data, generator, ledger, *, epsilon, beta, **params)``
+  producing a float (scalar kinds) or a tuple of floats (vector kinds);
+* a **typed parameter schema** (:class:`ParamField`): per-parameter type,
+  default, bounds and canonicalisation, so malformed requests are rejected
+  *before any privacy budget is touched* and two spellings of the same
+  request canonicalise to the same parameter set;
+* the exact **reservation factor** — an upper bound on the ratio between the
+  epsilon the runner's ledger records and the epsilon it was asked for, which
+  is what the budget manager reserves before execution;
+* the **minimum record count** the estimator accepts, and the **shape** of
+  its result (``scalar``, ``dimension``) so dataset compatibility is checked
+  up-front.
+
+Specs are registered process-wide (see :mod:`repro.estimators.registry`) and
+drive the query planner, both HTTP front-ends, the CLI, the serving config
+and the capability matrix from a single source of truth.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple
+
+from repro.exceptions import DomainError
+
+__all__ = ["ParamField", "EstimatorSpec", "ParamValidationError"]
+
+
+class ParamValidationError(DomainError):
+    """A query parameter failed its spec's validation (rejected before any spend)."""
+
+
+#: Parameter types a :class:`ParamField` can declare.
+_PARAM_TYPES = ("float", "int", "levels")
+
+
+@dataclass(frozen=True)
+class ParamField:
+    """One typed parameter of an estimator spec.
+
+    ``type`` is one of ``"float"``, ``"int"`` or ``"levels"`` (a non-empty
+    tuple of floats strictly inside (0, 1), the quantile-levels shape).
+    ``minimum``/``maximum`` bound numeric values *exclusively* when
+    ``exclusive=True`` (the common "strictly positive" case) and inclusively
+    otherwise; ``max_exclusive`` overrides the exclusivity of the maximum
+    alone (e.g. ``delta > 0`` strict but ``delta <= cap`` inclusive).
+    ``example`` is a value that validates — used by conformance tests, docs
+    and the ``GET /kinds`` catalogue.
+    """
+
+    name: str
+    type: str = "float"
+    required: bool = False
+    default: Any = None
+    minimum: Optional[float] = None
+    maximum: Optional[float] = None
+    exclusive: bool = False
+    max_exclusive: Optional[bool] = None
+    example: Any = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.type not in _PARAM_TYPES:
+            raise DomainError(
+                f"param {self.name!r}: type must be one of {_PARAM_TYPES}, "
+                f"got {self.type!r}"
+            )
+        if self.required and self.default is not None:
+            raise DomainError(
+                f"param {self.name!r}: a required parameter cannot carry a default"
+            )
+
+    # -- canonicalisation ---------------------------------------------------
+    def canonicalise(self, value: Any, *, kind: str) -> Any:
+        """Validate ``value`` and return its canonical form.
+
+        Floats canonicalise through ``float()`` (so ``2`` and ``2.0`` share a
+        cache key), ints reject non-integral values, and levels become a
+        tuple of floats in declaration order.
+        """
+        where = f"{kind} parameter {self.name!r}"
+        if self.type == "levels":
+            if isinstance(value, (str, bytes)) or not hasattr(value, "__iter__"):
+                raise ParamValidationError(
+                    f"{where} must be a list of numbers, got {value!r}"
+                )
+            try:
+                levels = tuple(float(level) for level in value)
+            except (TypeError, ValueError):
+                raise ParamValidationError(
+                    f"{where} must be a list of numbers, got {value!r}"
+                ) from None
+            if not levels:
+                raise ParamValidationError(f"{where} needs at least one level")
+            if any(not 0.0 < level < 1.0 for level in levels):
+                raise ParamValidationError(
+                    f"{where} must lie strictly between 0 and 1, got {levels}"
+                )
+            return levels
+        if self.type == "int":
+            if isinstance(value, bool):
+                raise ParamValidationError(f"{where} must be an integer, got {value!r}")
+            try:
+                number = float(value)
+            except (TypeError, ValueError):
+                raise ParamValidationError(
+                    f"{where} must be an integer, got {value!r}"
+                ) from None
+            if not number.is_integer():
+                raise ParamValidationError(f"{where} must be an integer, got {value!r}")
+            result: Any = int(number)
+        else:
+            if isinstance(value, bool):
+                raise ParamValidationError(f"{where} must be a number, got {value!r}")
+            try:
+                result = float(value)
+            except (TypeError, ValueError):
+                raise ParamValidationError(
+                    f"{where} must be a number, got {value!r}"
+                ) from None
+            if not math.isfinite(result):
+                raise ParamValidationError(f"{where} must be finite, got {result!r}")
+        if self.minimum is not None:
+            if result < self.minimum or (self.exclusive and result == self.minimum):
+                bound = ">" if self.exclusive else ">="
+                raise ParamValidationError(
+                    f"{where} must be {bound} {self.minimum:g}, got {result!r}"
+                )
+        if self.maximum is not None:
+            strict = self.exclusive if self.max_exclusive is None else self.max_exclusive
+            if result > self.maximum or (strict and result == self.maximum):
+                bound = "<" if strict else "<="
+                raise ParamValidationError(
+                    f"{where} must be {bound} {self.maximum:g}, got {result!r}"
+                )
+        return result
+
+    def to_json(self) -> Dict[str, Any]:
+        """JSON-safe description (the ``GET /kinds`` catalogue entry)."""
+        doc: Dict[str, Any] = {"type": self.type, "required": self.required}
+        if self.default is not None:
+            doc["default"] = (
+                list(self.default) if isinstance(self.default, tuple) else self.default
+            )
+        if self.minimum is not None:
+            doc["minimum"] = self.minimum
+        if self.maximum is not None:
+            doc["maximum"] = self.maximum
+        if self.exclusive:
+            doc["exclusive"] = True
+        if self.max_exclusive is not None:
+            doc["max_exclusive"] = self.max_exclusive
+        if self.example is not None:
+            doc["example"] = (
+                list(self.example) if isinstance(self.example, tuple) else self.example
+            )
+        if self.description:
+            doc["description"] = self.description
+        return doc
+
+
+#: Runner signature: ``(data, generator, ledger, *, epsilon, beta, **params)``.
+RunnerFn = Callable[..., Any]
+
+
+@dataclass(frozen=True)
+class EstimatorSpec:
+    """One servable statistic kind, declaratively described.
+
+    Attributes
+    ----------
+    name:
+        The query-kind string clients address (``"mean"``,
+        ``"baseline.coinpress_mean"``, ...).
+    runner:
+        ``(data, generator, ledger, *, epsilon, beta, **params) -> value``.
+        The ledger must record every epsilon the release actually spends.
+    reservation:
+        Exact upper bound on ``ledger spend / requested epsilon`` — what the
+        budget manager reserves before execution (never a heuristic).
+    min_records:
+        Fewest records the estimator accepts; smaller datasets are refused
+        before any budget is reserved or spent.
+    params:
+        Typed parameter schema beyond the universal ``epsilon``/``beta``.
+    scalar:
+        ``True`` for a float result, ``False`` for a tuple of floats.
+    dimension:
+        ``"univariate"`` (1-D datasets) or ``"multivariate"`` ((n, d)).
+    check:
+        Optional cross-parameter validation hook run on the canonical
+        parameter dict (e.g. ``sigma_min <= sigma_max``); raise
+        :class:`ParamValidationError` to reject.
+    description:
+        One-line human description for catalogues and ``GET /kinds``.
+    extra:
+        Free-form metadata (e.g. the wrapped baseline class) for
+        registry-driven tooling such as the capability matrix.
+    """
+
+    name: str
+    runner: RunnerFn = field(repr=False, compare=False)
+    reservation: float = 1.0
+    min_records: int = 8
+    params: Tuple[ParamField, ...] = ()
+    scalar: bool = True
+    dimension: str = "univariate"
+    check: Optional[Callable[[Dict[str, Any]], None]] = field(
+        default=None, repr=False, compare=False
+    )
+    description: str = ""
+    extra: Mapping[str, Any] = field(default_factory=dict, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise DomainError("estimator spec needs a non-empty name")
+        if not (self.reservation > 0.0 and math.isfinite(self.reservation)):
+            raise DomainError(
+                f"spec {self.name!r}: reservation factor must be positive and "
+                f"finite, got {self.reservation!r}"
+            )
+        if self.min_records < 1:
+            raise DomainError(
+                f"spec {self.name!r}: min_records must be >= 1, got {self.min_records}"
+            )
+        if self.dimension not in ("univariate", "multivariate"):
+            raise DomainError(
+                f"spec {self.name!r}: dimension must be 'univariate' or "
+                f"'multivariate', got {self.dimension!r}"
+            )
+        names = [param.name for param in self.params]
+        duplicates = sorted({n for n in names if names.count(n) > 1})
+        if duplicates:
+            raise DomainError(f"spec {self.name!r}: duplicate params {duplicates}")
+        if any(param.name in ("epsilon", "beta") for param in self.params):
+            raise DomainError(
+                f"spec {self.name!r}: epsilon and beta are universal query "
+                "fields, not spec params"
+            )
+        for param in self.params:
+            if param.name == "levels" and param.type != "levels":
+                # "levels" is the wire-compat alias the Query model mirrors
+                # into a tuple; a scalar param under that name would crash
+                # the mirror and silently vanish from the cache key.
+                raise DomainError(
+                    f"spec {self.name!r}: a param named 'levels' must have "
+                    f"type 'levels', got {param.type!r}"
+                )
+
+    # -- parameters ---------------------------------------------------------
+    def validate_params(self, raw: Mapping[str, Any]) -> Dict[str, Any]:
+        """Canonicalise ``raw`` against the schema (the pre-admission gate).
+
+        Unknown names are rejected, required parameters enforced, defaults
+        filled in, every value canonicalised, and the cross-parameter
+        ``check`` hook run — all without touching any data or budget.
+        """
+        fields = {param.name: param for param in self.params}
+        unknown = sorted(set(raw) - set(fields))
+        if unknown:
+            expected = sorted(fields) or "none"
+            raise ParamValidationError(
+                f"unknown parameter(s) {unknown} for kind {self.name!r} "
+                f"(expected: {expected})"
+            )
+        canonical: Dict[str, Any] = {}
+        for name, param in fields.items():
+            if name in raw and raw[name] is not None:
+                canonical[name] = param.canonicalise(raw[name], kind=self.name)
+            elif param.required:
+                raise ParamValidationError(
+                    f"kind {self.name!r} requires the parameter {name!r}"
+                )
+            elif param.default is not None:
+                canonical[name] = param.canonicalise(param.default, kind=self.name)
+        if self.check is not None:
+            self.check(canonical)
+        return canonical
+
+    def example_params(self) -> Dict[str, Any]:
+        """A parameter set that validates: every field with an ``example``
+        contributes it, defaults fill the rest — what conformance tests, the
+        capability matrix and docs use to exercise a kind."""
+        raw = {
+            param.name: param.example
+            for param in self.params
+            if param.example is not None
+        }
+        return self.validate_params(raw)
+
+    # -- execution ----------------------------------------------------------
+    def run(self, data, generator, ledger, *, epsilon, beta, **params):
+        """Execute the release: delegate to the runner."""
+        return self.runner(data, generator, ledger, epsilon=epsilon, beta=beta, **params)
+
+    def estimator_fn(
+        self, epsilon: float, beta: float = 1.0 / 3.0, **params: Any
+    ) -> Callable:
+        """Bind to an ``(data, rng) -> value`` callable for the analysis layer.
+
+        The returned closure matches the :data:`repro.analysis.trials.EstimatorFn`
+        signature, so any registered kind drops into :func:`run_trials` /
+        :class:`StatisticalCell` grids unchanged.  Parameters validate now
+        (fail fast), the ledger is per-call and discarded.
+        """
+        from repro.accounting import PrivacyLedger
+
+        canonical = self.validate_params(params)
+
+        def estimate(data, generator):
+            return self.run(
+                data, generator, PrivacyLedger(), epsilon=epsilon, beta=beta, **canonical
+            )
+
+        return estimate
+
+    def to_json(self) -> Dict[str, Any]:
+        """JSON-safe catalogue entry (the ``GET /kinds`` document)."""
+        return {
+            "name": self.name,
+            "reservation": self.reservation,
+            "min_records": self.min_records,
+            "scalar": self.scalar,
+            "dimension": self.dimension,
+            "description": self.description,
+            "params": {param.name: param.to_json() for param in self.params},
+        }

@@ -1,8 +1,10 @@
 """``repro.service`` — a concurrent private-query service.
 
 The deployment story the estimators exist for: datasets are *registered*
-with a finite total privacy budget, analysts submit typed *queries*
-(mean / variance / quantile / IQR / multivariate mean), and the service
+with a finite total privacy budget, analysts submit typed *queries* — any
+kind in the :mod:`repro.estimators` spec registry: the universal
+mean / variance / quantile / IQR / multivariate mean plus every adapted
+``baseline.*`` estimator (advertised by ``GET /kinds``) — and the service
 
 * atomically **admits or refuses** each query against the remaining budget
   (:class:`BudgetManager`: reserve → commit, per-analyst sub-budgets,
@@ -49,6 +51,7 @@ from repro.service.queries import (
     InvalidQueryError,
     Query,
     QueryPlan,
+    UnknownQueryKindError,
     plan_query,
 )
 from repro.service.registry import (
@@ -89,6 +92,7 @@ __all__ = [
     "QUERY_KINDS",
     "plan_query",
     "InvalidQueryError",
+    "UnknownQueryKindError",
     "BudgetManager",
     "Reservation",
     "DatasetRegistry",

@@ -49,6 +49,8 @@ from repro.service.http import (
     DEFAULT_MAX_BODY,
     _answer_status_code,
     _internal_error,
+    _invalid_request_document,
+    _kinds_document,
     _parse_request,
     _register_response,
     _too_large_error,
@@ -287,6 +289,9 @@ class AsyncServiceServer:
                 stats = self.service.stats()
                 stats["frontend"] = self.frontend_stats()
                 await self._send(writer, 200, stats, keep_alive=keep_alive, log=log)
+            elif path == "/kinds":
+                await self._send(writer, 200, _kinds_document(self.service),
+                                 keep_alive=keep_alive, log=log)
             else:
                 await self._send(
                     writer, 404,
@@ -410,9 +415,7 @@ class AsyncServiceServer:
         except (_Hangup, ConnectionError):
             raise
         except ReproError as exc:
-            await self._send(writer, 400,
-                             {"status": "error", "error": "invalid_request",
-                              "message": str(exc)},
+            await self._send(writer, 400, _invalid_request_document(exc),
                              keep_alive=keep_alive, log=log)
         except Exception as exc:  # noqa: BLE001 - must never leak a traceback
             await self._send(writer, 500, _internal_error(exc),

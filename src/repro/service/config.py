@@ -31,6 +31,10 @@ The TOML grammar (JSON mirrors the same structure)::
     column = "salary"          # the config file's directory
     budget = 6.0               # private budget: exactly one of budget/group
     share = true               # optional: shared-memory hand-off override
+    kinds = ["mean", "baseline.bounded_laplace_mean"]
+                               # optional allowlist of registered estimator
+                               # kinds (omit = serve every registered kind;
+                               # unknown names fail at boot)
     [datasets.analyst_budgets]
     alice = 2.0
 
@@ -101,6 +105,7 @@ class DatasetConfig:
     group: Optional[str] = None
     analyst_budgets: Optional[Mapping[str, float]] = None
     share: Optional[bool] = None  # None = auto (shared memory iff pool forks)
+    kinds: Optional[Tuple[str, ...]] = None  # None = every registered kind
 
 
 @dataclass(frozen=True)
@@ -151,7 +156,7 @@ def _parse_dataset(raw: Any, index: int) -> DatasetConfig:
     _require(isinstance(raw, Mapping), f"{where} must be a table")
     unknown = set(raw) - {
         "name", "source", "column", "values", "budget", "group",
-        "analyst_budgets", "share",
+        "analyst_budgets", "share", "kinds",
     }
     _require(not unknown, f"{where} has unknown keys: {sorted(unknown)}")
     _require("name" in raw and str(raw["name"]), f"{where} needs a non-empty name")
@@ -202,6 +207,24 @@ def _parse_dataset(raw: Any, index: int) -> DatasetConfig:
         share is None or isinstance(share, bool),
         f"{where} ({name!r}) share must be a boolean",
     )
+    kinds = raw.get("kinds")
+    if kinds is not None:
+        from repro.estimators import registered_kinds
+
+        _require(
+            isinstance(kinds, (list, tuple))
+            and kinds
+            and all(isinstance(kind, str) and kind for kind in kinds),
+            f"{where} ({name!r}) kinds must be a non-empty array of kind names",
+        )
+        known = set(registered_kinds())
+        unknown_kinds = sorted(set(kinds) - known)
+        _require(
+            not unknown_kinds,
+            f"{where} ({name!r}) names unknown estimator kind(s) "
+            f"{unknown_kinds} (registered: {sorted(known)})",
+        )
+        kinds = tuple(dict.fromkeys(kinds))
     return DatasetConfig(
         name=name,
         source=None if source is None else str(source),
@@ -211,6 +234,7 @@ def _parse_dataset(raw: Any, index: int) -> DatasetConfig:
         group=None if group is None else str(group),
         analyst_budgets=analyst_budgets,
         share=share,
+        kinds=kinds,
     )
 
 
@@ -441,6 +465,7 @@ def build_service(config: ServingConfig, *, pool: Any = None) -> BuiltService:
                 group=dataset.group,
                 analyst_budgets=dataset.analyst_budgets,
                 share=share,
+                kinds=dataset.kinds,
             )
     except BaseException:
         # Release whatever was already built: shared-memory segments of

@@ -137,10 +137,10 @@ class QueryAnswer:
 class _QueryTrial:
     """Engine trial body for one admitted query (picklable by plain pickle).
 
-    Holds only the dataset handle and the frozen :class:`Query`; the runner
-    is looked up by kind inside the worker, so nothing closure-like has to
-    cross the pipe.  A ``share=True`` dataset crosses as its shared-memory
-    segment name.
+    Holds only the dataset handle and the frozen :class:`Query`; the
+    estimator spec is looked up by kind in the worker's own registry
+    (import-populated), so nothing closure-like has to cross the pipe.  A
+    ``share=True`` dataset crosses as its shared-memory segment name.
     """
 
     def __init__(self, data: Any, query: Query):
@@ -148,11 +148,33 @@ class _QueryTrial:
         self.query = query
 
     def __call__(self, index: int, generator: np.random.Generator):
-        from repro.service.queries import _RUNNERS
+        from repro.estimators import UnknownKindError, get_estimator
 
         ledger = PrivacyLedger()
         try:
-            value = _RUNNERS[self.query.kind](self.query, self.data, generator, ledger)
+            spec = get_estimator(self.query.kind)
+        except UnknownKindError as exc:
+            # The parent validated this kind, so reaching here means it was
+            # registered at runtime *after* this worker forked (workers only
+            # see import-time registrations).  Zero spend: nothing ran.
+            return (
+                "failed",
+                None,
+                0.0,
+                f"{exc} in this worker process: kinds registered after the "
+                "engine pool forked are invisible to its workers — register "
+                "custom kinds at import time or before the pool's first "
+                "parallel call",
+            )
+        try:
+            value = spec.run(
+                self.data,
+                generator,
+                ledger,
+                epsilon=self.query.epsilon,
+                beta=self.query.beta,
+                **self.query.params_dict,
+            )
         except ReproError as exc:
             # MechanismError (e.g. a rejected propose-test-release check) is
             # the expected case; any other library error is likewise a failed
@@ -278,11 +300,18 @@ class QueryService:
         *,
         beta: float = 1.0 / 3.0,
         levels: Sequence[float] = (),
+        params: Optional[Dict[str, Any]] = None,
         analyst: Optional[str] = None,
     ) -> QueryAnswer:
         """Convenience wrapper building the :class:`QueryRequest` inline."""
         try:
-            query = Query(kind=kind, epsilon=epsilon, beta=beta, levels=tuple(levels))
+            query = Query(
+                kind=kind,
+                epsilon=epsilon,
+                beta=beta,
+                levels=tuple(levels),
+                params=tuple((params or {}).items()),
+            )
         except ReproError as exc:
             return QueryAnswer(
                 dataset=dataset,
@@ -331,7 +360,10 @@ class QueryService:
         # via its own lookup, and front-end counters must agree.
         try:
             plan = plan_query(
-                request.query, records=dataset.records, dimension=dataset.dimension
+                request.query,
+                records=dataset.records,
+                dimension=dataset.dimension,
+                allowed=dataset.kinds,
             )
         except InvalidQueryError as exc:
             self._cache.record_miss()
@@ -426,7 +458,10 @@ class QueryService:
                 continue
             try:
                 plan = plan_query(
-                    request.query, records=dataset.records, dimension=dataset.dimension
+                    request.query,
+                    records=dataset.records,
+                    dimension=dataset.dimension,
+                    allowed=dataset.kinds,
                 )
             except InvalidQueryError as exc:
                 answers[position] = self._invalid(request, key, "invalid_query", exc)

@@ -10,8 +10,14 @@ Protocol
 ``GET /health``
     ``{"status": "ok", "datasets": [...names...]}`` — liveness probe.
 ``GET /datasets``
-    Per-dataset budget snapshots plus cache counters (the
-    :meth:`QueryService.stats` document).
+    Per-dataset budget snapshots (including each dataset's ``kinds``
+    allowlist) plus cache counters (the :meth:`QueryService.stats` document).
+``GET /kinds``
+    The estimator-spec registry catalogue: every servable kind with its
+    typed parameter schema, reservation factor, minimum record count and
+    result shape — the authoritative list a client should consult before
+    querying.  An unknown ``kind`` in a query is answered with a structured
+    400 whose body carries the same list (``error = "unknown_kind"``).
 ``POST /query``
     Body: a query object —
     ``{"dataset": ..., "kind": ..., "epsilon": ..., "beta": ...,``
@@ -45,9 +51,10 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 
+from repro.estimators import kind_catalog
 from repro.exceptions import ReproError
 from repro.service.executor import QueryAnswer, QueryRequest, QueryService
-from repro.service.queries import InvalidQueryError, Query
+from repro.service.queries import InvalidQueryError, Query, UnknownQueryKindError
 
 __all__ = ["DEFAULT_MAX_BODY", "ServiceServer", "make_server", "serve_forever"]
 
@@ -85,6 +92,36 @@ def _answer_status_code(answer: QueryAnswer) -> int:
     if answer.status in _STATUS_CODES:
         return _STATUS_CODES[answer.status]
     return _ERROR_CODES.get(answer.error or "", 400)
+
+
+def _invalid_request_document(exc: ReproError) -> Dict[str, Any]:
+    """The 400 body for a rejected request (shared by both front-ends).
+
+    An unknown query kind carries the authoritative registered-kind list
+    straight from the registry — never a hardcoded copy that can drift from
+    what the server actually serves.
+    """
+    doc: Dict[str, Any] = {
+        "status": "error",
+        "error": "invalid_request",
+        "message": str(exc),
+    }
+    if isinstance(exc, UnknownQueryKindError):
+        doc["error"] = "unknown_kind"
+        doc["kinds"] = list(exc.kinds)
+    return doc
+
+
+def _kinds_document(service: QueryService) -> Dict[str, Any]:
+    """The ``GET /kinds`` body: the registry catalogue plus dataset allowlists."""
+    return {
+        "status": "ok",
+        "kinds": kind_catalog(),
+        "datasets": {
+            dataset.name: (None if dataset.kinds is None else sorted(dataset.kinds))
+            for dataset in service.registry
+        },
+    }
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -161,6 +198,8 @@ class _Handler(BaseHTTPRequestHandler):
                 stats = self.server.service.stats()
                 stats["frontend"] = self.server.frontend_stats()
                 self._send_json(200, stats)
+            elif self.path == "/kinds":
+                self._send_json(200, _kinds_document(self.server.service))
             else:
                 self._send_json(404, {"status": "error", "error": "unknown_path",
                                       "message": f"no route for GET {self.path}"})
@@ -191,8 +230,7 @@ class _Handler(BaseHTTPRequestHandler):
             self.server.count_disconnect()
             self.close_connection = True
         except ReproError as exc:
-            self._send_json(400, {"status": "error", "error": "invalid_request",
-                                  "message": str(exc)})
+            self._send_json(400, _invalid_request_document(exc))
         except Exception as exc:  # noqa: BLE001 - must never leak a traceback
             self._send_json(500, _internal_error(exc))
 

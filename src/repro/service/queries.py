@@ -1,21 +1,27 @@
 """Typed query model for the private-query service, plus the planner.
 
 A :class:`Query` is the unit a client submits against a registered dataset:
-a statistic kind (mean / variance / quantile / IQR / multivariate mean) with
-its privacy parameters.  Queries are validated **before any privacy budget is
-touched** — a malformed request must cost nothing — and canonicalised so that
-two requests asking for the same release map to the same cache key.
+a statistic *kind* resolved through the process-wide estimator-spec registry
+(:mod:`repro.estimators`) together with its privacy parameters and the
+kind's typed params.  Queries are validated **before any privacy budget is
+touched** — a malformed request must cost nothing — and canonicalised so
+that two requests asking for the same release map to the same cache key.
 
 :func:`plan_query` turns a validated query into a :class:`QueryPlan`: the
-estimator runner from :mod:`repro.core` / :mod:`repro.multivariate` plus the
-*reservation epsilon* — an exact upper bound on what the estimator's own
-ledger will record.  Most estimators spend at most the epsilon they are asked
-for (sub-sampled probes charge the smaller amplified value), but
-``estimate_variance`` runs its paired radius search at ``eps/2`` on top of
-the halved recursive mean estimate and can record up to ``9/8`` of the
-requested epsilon; the reservation covers that worst case so the budget
-manager can refuse *before* execution while never under-counting the actual
-spend it later commits.
+spec's runner bound to the query's parameters plus the *reservation
+epsilon* — ``epsilon`` times the spec's exact reservation factor, an upper
+bound on what the estimator's own ledger will record.  Most estimators
+spend at most the epsilon they are asked for (sub-sampled probes charge the
+smaller amplified value), but ``variance`` runs its paired radius search at
+``eps/2`` on top of the halved recursive mean estimate and can record up to
+``9/8`` of the requested epsilon; its spec's factor covers that worst case
+so the budget manager can refuse *before* execution while never
+under-counting the actual spend it later commits.
+
+The set of servable kinds is open: anything registered via
+:func:`repro.estimators.register_estimator` — including the adapted
+``baseline.*`` estimators — is immediately constructible, plannable,
+cacheable and servable here with no changes to this module.
 """
 
 from __future__ import annotations
@@ -27,44 +33,76 @@ from typing import Any, Callable, Dict, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.accounting import PrivacyLedger, validate_beta, validate_epsilon
-from repro.core import (
-    estimate_iqr,
-    estimate_mean,
-    estimate_quantiles,
-    estimate_variance,
+from repro.estimators import (
+    ParamValidationError,
+    UnknownKindError,
+    get_estimator,
+    registered_kinds,
 )
+from repro.estimators.spec import EstimatorSpec
 from repro.exceptions import DomainError, InsufficientDataError
-from repro.multivariate import estimate_mean_multivariate
 
-__all__ = ["QUERY_KINDS", "Query", "QueryPlan", "plan_query", "InvalidQueryError"]
+__all__ = [
+    "QUERY_KINDS",
+    "Query",
+    "QueryPlan",
+    "plan_query",
+    "InvalidQueryError",
+    "UnknownQueryKindError",
+]
 
 
 class InvalidQueryError(DomainError):
     """A query's kind or parameters are malformed (rejected before any spend)."""
 
 
-#: Supported statistic kinds, mapped to the worst-case ratio between the
-#: epsilon the estimator's ledger records and the epsilon it was asked for
-#: (the reservation factor).  All factors are exact bounds, not heuristics:
-#: variance's 9/8 is attained when sub-sampling amplification degenerates
-#: (``eps >= 1``); every other estimator never exceeds its nominal epsilon.
-QUERY_KINDS: Dict[str, float] = {
-    "mean": 1.0,
-    "variance": 9.0 / 8.0,
-    "iqr": 1.0,
-    "quantile": 1.0,
-    "multivariate_mean": 1.0,
-}
+class UnknownQueryKindError(InvalidQueryError):
+    """The query named a kind no estimator spec is registered for.
 
-#: Fewest records each estimator accepts (its own up-front validation;
-#: variance needs paired halves and requires twice the base minimum).
-_MIN_RECORDS = {
-    "mean": 8,
-    "variance": 16,
-    "iqr": 8,
-    "quantile": 8,
-    "multivariate_mean": 8,
-}
+    ``kinds`` carries the kinds registered at raise time, so front-ends can
+    hand clients the authoritative list instead of a copy that drifts.
+    """
+
+    def __init__(self, message: str, kinds: Sequence[str]):
+        super().__init__(message)
+        self.kinds = list(kinds)
+
+
+def _spec_for(kind: str) -> EstimatorSpec:
+    """Resolve ``kind`` in the registry, normalising the error type."""
+    try:
+        return get_estimator(kind)
+    except UnknownKindError as exc:
+        raise UnknownQueryKindError(str(exc), exc.kinds) from None
+
+
+class _KindReservations(Mapping):
+    """Live view of the registry: kind -> exact reservation factor.
+
+    Kept as the module-level :data:`QUERY_KINDS` for backward compatibility;
+    it always reflects the estimator registry, so kinds registered later
+    (including every ``baseline.*`` adapter) appear automatically.
+    """
+
+    def __getitem__(self, kind: str) -> float:
+        try:
+            return get_estimator(kind).reservation
+        except UnknownKindError:
+            raise KeyError(kind) from None
+
+    def __iter__(self):
+        return iter(registered_kinds())
+
+    def __len__(self) -> int:
+        return len(registered_kinds())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"QUERY_KINDS({dict(self)!r})"
+
+
+#: Supported statistic kinds mapped to their exact reservation factors —
+#: now a live, registry-backed view rather than a hardcoded table.
+QUERY_KINDS: Mapping[str, float] = _KindReservations()
 
 
 @dataclass(frozen=True)
@@ -74,24 +112,28 @@ class Query:
     Attributes
     ----------
     kind:
-        One of :data:`QUERY_KINDS`.
+        A registered estimator kind (see :func:`repro.estimators.registered_kinds`).
     epsilon, beta:
         Privacy budget and failure probability of the release.
     levels:
-        Quantile levels in (0, 1); required (non-empty) for ``quantile``
-        queries and forbidden for every other kind.
+        Legacy alias for the ``levels`` param of ``quantile`` queries (kept
+        for wire compatibility); after construction it always mirrors
+        ``params``' canonical ``levels`` entry (empty tuple when absent).
+    params:
+        The kind's typed parameters.  Accepts a mapping (or ``(name, value)``
+        pairs) at construction; stored canonically as a sorted tuple of
+        items after validation against the kind's spec, so two spellings of
+        the same request compare — and cache — equal.
     """
 
     kind: str
     epsilon: float
     beta: float = 1.0 / 3.0
     levels: Tuple[float, ...] = ()
+    params: Tuple[Tuple[str, Any], ...] = ()
 
     def __post_init__(self) -> None:
-        if self.kind not in QUERY_KINDS:
-            raise InvalidQueryError(
-                f"unknown query kind {self.kind!r}; expected one of {sorted(QUERY_KINDS)}"
-            )
+        spec = _spec_for(self.kind)
         try:
             object.__setattr__(self, "epsilon", validate_epsilon(self.epsilon))
             object.__setattr__(self, "beta", validate_beta(self.beta))
@@ -99,19 +141,33 @@ class Query:
             raise
         except Exception as exc:  # PrivacyParameterError is already a ReproError
             raise InvalidQueryError(str(exc)) from exc
-        levels = tuple(float(level) for level in self.levels)
-        if self.kind == "quantile":
-            if not levels:
-                raise InvalidQueryError("quantile queries need at least one level")
-            if any(not 0.0 < level < 1.0 for level in levels):
+        raw: Dict[str, Any] = {}
+        if self.params:
+            try:
+                raw.update(dict(self.params))
+            except (TypeError, ValueError):
                 raise InvalidQueryError(
-                    f"quantile levels must lie strictly between 0 and 1, got {levels}"
+                    f"params must be a mapping of parameter names to values, "
+                    f"got {self.params!r}"
+                ) from None
+        if self.levels is not None and len(tuple(self.levels)) > 0:
+            if "levels" in raw:
+                raise InvalidQueryError(
+                    "give quantile levels once: either levels= or "
+                    "params={'levels': ...}, not both"
                 )
-        elif levels:
-            raise InvalidQueryError(
-                f"levels are only valid for quantile queries, not {self.kind!r}"
-            )
-        object.__setattr__(self, "levels", levels)
+            raw["levels"] = tuple(self.levels)
+        try:
+            canonical = spec.validate_params(raw)
+        except ParamValidationError as exc:
+            raise InvalidQueryError(str(exc)) from None
+        object.__setattr__(self, "params", tuple(sorted(canonical.items())))
+        object.__setattr__(self, "levels", tuple(canonical.get("levels", ())))
+
+    @property
+    def params_dict(self) -> Dict[str, Any]:
+        """The canonical parameters as a plain dict (runner kwargs)."""
+        return dict(self.params)
 
     # -- canonical form ----------------------------------------------------
     def canonical_key(self, dataset: str) -> str:
@@ -119,13 +175,22 @@ class Query:
 
         Floats are rendered with ``repr`` (shortest round-trip form), so two
         queries compare equal iff they would produce byte-identical parameter
-        sets — the key under which answers are cached and coalesced.
+        sets — the key under which answers are cached and coalesced.  The
+        layout for the built-in kinds is unchanged from the pre-registry
+        service (same keys, hence same derived per-query seeds and answers);
+        parameters beyond ``levels`` are appended as sorted-key JSON, so
+        semantically identical queries written with any key order always hit
+        the same cache entry.
         """
         levels = ",".join(repr(level) for level in self.levels)
-        return (
+        key = (
             f"{dataset}|{self.kind}|eps={self.epsilon!r}|beta={self.beta!r}"
             f"|levels={levels}"
         )
+        extra = {name: value for name, value in self.params if name != "levels"}
+        if extra:
+            key += "|params=" + json.dumps(extra, sort_keys=True, separators=(",", ":"))
+        return key
 
     def to_json(self) -> Dict[str, Any]:
         """JSON-safe dict form (inverse of :meth:`from_json`)."""
@@ -136,6 +201,13 @@ class Query:
         }
         if self.levels:
             payload["levels"] = list(self.levels)
+        extra = {
+            name: (list(value) if isinstance(value, tuple) else value)
+            for name, value in self.params
+            if name != "levels"
+        }
+        if extra:
+            payload["params"] = extra
         return payload
 
     @classmethod
@@ -145,7 +217,7 @@ class Query:
             raise InvalidQueryError(
                 f"query must be a JSON object, got {type(payload).__name__}"
             )
-        unknown = set(payload) - {"kind", "epsilon", "beta", "levels"}
+        unknown = set(payload) - {"kind", "epsilon", "beta", "levels", "params"}
         if unknown:
             raise InvalidQueryError(f"unknown query fields: {sorted(unknown)}")
         if "kind" not in payload:
@@ -155,13 +227,23 @@ class Query:
         levels = payload.get("levels", ())
         if isinstance(levels, (str, bytes)) or not isinstance(levels, Sequence):
             raise InvalidQueryError(f"levels must be a list of numbers, got {levels!r}")
+        params = payload.get("params", {})
+        if not isinstance(params, Mapping):
+            raise InvalidQueryError(
+                f"params must be a JSON object of parameter values, got {params!r}"
+            )
         try:
             return cls(
                 kind=str(payload["kind"]),
                 epsilon=float(payload["epsilon"]),
                 beta=float(payload.get("beta", 1.0 / 3.0)),
                 levels=tuple(float(level) for level in levels),
+                params=tuple(dict(params).items()),
             )
+        except InvalidQueryError:
+            # Already structured (including UnknownQueryKindError with its
+            # registered-kind list); don't flatten it into a generic message.
+            raise
         except (TypeError, ValueError) as exc:
             raise InvalidQueryError(f"malformed query parameters: {exc}") from exc
 
@@ -179,8 +261,8 @@ class QueryPlan:
         what the budget manager reserves before execution.
     runner:
         ``(data, generator, ledger) -> value`` executing the release.  The
-        value is a float for scalar kinds, a tuple of floats for ``quantile``
-        and ``multivariate_mean``.
+        value is a float for scalar kinds, a tuple of floats for vector
+        kinds (``quantile``, ``multivariate_mean``).
     """
 
     query: Query
@@ -190,54 +272,31 @@ class QueryPlan:
     )
 
 
-def _run_mean(query: Query, data, generator, ledger):
-    return float(estimate_mean(data, query.epsilon, query.beta, generator, ledger=ledger).mean)
+def plan_query(
+    query: Query,
+    *,
+    records: int,
+    dimension: int,
+    allowed: Optional[Sequence[str]] = None,
+) -> QueryPlan:
+    """Bind ``query`` to its registered spec, validating dataset compatibility.
 
-
-def _run_variance(query: Query, data, generator, ledger):
-    return float(
-        estimate_variance(data, query.epsilon, query.beta, generator, ledger=ledger).variance
-    )
-
-
-def _run_iqr(query: Query, data, generator, ledger):
-    return float(estimate_iqr(data, query.epsilon, query.beta, generator, ledger=ledger).iqr)
-
-
-def _run_quantile(query: Query, data, generator, ledger):
-    result = estimate_quantiles(
-        data, list(query.levels), query.epsilon, query.beta, generator, ledger=ledger
-    )
-    return tuple(float(value) for value in result.values)
-
-
-def _run_multivariate_mean(query: Query, data, generator, ledger):
-    result = estimate_mean_multivariate(
-        data, query.epsilon, query.beta, generator, ledger=ledger
-    )
-    return tuple(float(value) for value in result.mean)
-
-
-_RUNNERS = {
-    "mean": _run_mean,
-    "variance": _run_variance,
-    "iqr": _run_iqr,
-    "quantile": _run_quantile,
-    "multivariate_mean": _run_multivariate_mean,
-}
-
-
-def plan_query(query: Query, *, records: int, dimension: int) -> QueryPlan:
-    """Bind ``query`` to its estimator, validating dataset compatibility.
-
-    Raises :class:`InvalidQueryError` (shape mismatch) or
+    ``allowed`` (a per-dataset kind allowlist from the serving config)
+    restricts which registered kinds this dataset serves.  Raises
+    :class:`InvalidQueryError` (kind not allowed, shape mismatch) or
     :class:`~repro.exceptions.InsufficientDataError` — both *before* any
     budget is reserved or spent.
     """
-    if query.kind == "multivariate_mean":
+    spec = _spec_for(query.kind)
+    if allowed is not None and query.kind not in allowed:
+        raise InvalidQueryError(
+            f"kind {query.kind!r} is not served for this dataset; "
+            f"allowed kinds: {sorted(allowed)}"
+        )
+    if spec.dimension == "multivariate":
         if dimension < 2:
             raise InvalidQueryError(
-                "multivariate_mean needs a multi-column dataset; "
+                f"{query.kind} needs a multi-column dataset; "
                 f"this dataset has dimension {dimension}"
             )
     elif dimension != 1:
@@ -245,19 +304,21 @@ def plan_query(query: Query, *, records: int, dimension: int) -> QueryPlan:
             f"{query.kind} queries need a single-column dataset; "
             f"this dataset has dimension {dimension}"
         )
-    minimum = _MIN_RECORDS[query.kind]
-    if records < minimum:
+    if records < spec.min_records:
         raise InsufficientDataError(
-            f"dataset has {records} records; {query.kind} needs at least {minimum}"
+            f"dataset has {records} records; {query.kind} needs at least "
+            f"{spec.min_records}"
         )
-    runner = _RUNNERS[query.kind]
+    params = query.params_dict
 
     def run(data, generator, ledger):
-        return runner(query, data, generator, ledger)
+        return spec.run(
+            data, generator, ledger, epsilon=query.epsilon, beta=query.beta, **params
+        )
 
     return QueryPlan(
         query=query,
-        reserve_epsilon=query.epsilon * QUERY_KINDS[query.kind],
+        reserve_epsilon=query.epsilon * spec.reservation,
         runner=run,
     )
 

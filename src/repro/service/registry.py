@@ -38,7 +38,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -299,12 +299,17 @@ class RegisteredDataset:
     group:
         Name of the joint budget group the dataset belongs to, or ``None``
         when it has a budget of its own.
+    kinds:
+        Optional allowlist of the registered estimator kinds this dataset
+        serves (``None`` = every registered kind); enforced by the planner
+        before any budget is touched.
     """
 
     name: str
     data: Any
     budget: BudgetManager
     group: Optional[str] = None
+    kinds: Optional[Tuple[str, ...]] = None
 
     @property
     def records(self) -> int:
@@ -326,6 +331,7 @@ class RegisteredDataset:
             "dimension": self.dimension,
             "shared": self.shared,
             "group": self.group,
+            "kinds": None if self.kinds is None else sorted(self.kinds),
             "budget": self.budget.to_json(),
         }
 
@@ -408,6 +414,7 @@ class DatasetRegistry:
         group: Optional[str] = None,
         analyst_budgets: Optional[Mapping[str, float]] = None,
         share: bool = False,
+        kinds: Optional[Sequence[str]] = None,
     ) -> RegisteredDataset:
         """Register ``data`` under ``name`` with a finite total privacy budget.
 
@@ -415,11 +422,31 @@ class DatasetRegistry:
         and ``group`` (membership in a joint budget group created with
         :meth:`create_group`) must be given.  ``share=True`` copies the data
         into shared memory once so engine-pool workers map the same pages
-        instead of receiving pickled copies.
+        instead of receiving pickled copies.  ``kinds`` restricts the dataset
+        to an allowlist of registered estimator kinds (default: serve every
+        registered kind); unknown names are rejected here so a config typo
+        fails at boot, not at query time.
         """
         name = str(name)
         if not name:
             raise DomainError("dataset name must be non-empty")
+        allowed: Optional[Tuple[str, ...]] = None
+        if kinds is not None:
+            from repro.estimators import registered_kinds
+
+            allowed = tuple(dict.fromkeys(str(kind) for kind in kinds))
+            if not allowed:
+                raise DomainError(
+                    f"dataset {name!r}: kinds= must name at least one estimator "
+                    "kind (omit it to serve every registered kind)"
+                )
+            known = set(registered_kinds())
+            unknown = sorted(set(allowed) - known)
+            if unknown:
+                raise DomainError(
+                    f"dataset {name!r}: unknown estimator kind(s) {unknown} "
+                    f"(registered: {sorted(known)})"
+                )
         if (total_budget is None) == (group is None):
             raise DomainError(
                 f"dataset {name!r} needs exactly one of total_budget= (a private "
@@ -444,7 +471,9 @@ class DatasetRegistry:
         if not np.all(np.isfinite(array)):
             raise DomainError(f"dataset {name!r} contains non-finite values")
         stored: Any = SharedArray.from_array(array) if share else array
-        dataset = RegisteredDataset(name=name, data=stored, budget=manager, group=group)
+        dataset = RegisteredDataset(
+            name=name, data=stored, budget=manager, group=group, kinds=allowed
+        )
         with self._lock:
             if name in self._datasets:
                 if isinstance(stored, SharedArray):

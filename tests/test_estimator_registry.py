@@ -1,0 +1,319 @@
+"""Registry conformance suite: every registered spec honours the service contract.
+
+Three families of checks:
+
+* **Pre-refactor parity** — the five built-in kinds must reproduce the
+  recorded pre-registry :class:`QueryService` answers (cache keys *and*
+  values) bit for bit; the registry is a refactor, not a behaviour change.
+* **Conformance per spec** — for *every* registered kind (including each
+  ``baseline.*`` adapter): the reservation is an upper bound on the
+  committed ledger spend, a dataset below ``min_records`` is refused before
+  any spend, and answers are bit-for-bit identical for ``workers=1`` and
+  ``workers=N``.
+* **Registry mechanics** — registration, duplicate rejection, unregistration
+  and the unknown-kind error carrying the authoritative kind list.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.engine import EnginePool
+from repro.estimators import (
+    EstimatorSpec,
+    ParamField,
+    UnknownKindError,
+    get_estimator,
+    iter_estimators,
+    register_estimator,
+    registered_kinds,
+    unregister,
+)
+from repro.exceptions import DomainError
+from repro.service import Query, QueryRequest, QueryService
+
+PARITY_FIXTURE = Path(__file__).parent / "data" / "service_parity.json"
+
+#: One spare worker pool shared by the parity checks of every kind.
+POOL_WORKERS = 2
+
+
+def _dataset_for(spec: EstimatorSpec, records: int, seed: int = 7) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    if spec.dimension == "multivariate":
+        return rng.normal(5.0, 2.0, size=(records, 3))
+    return rng.normal(250.0, 40.0, size=records)
+
+
+def _query_for(spec: EstimatorSpec, epsilon: float = 0.5) -> Query:
+    return Query(
+        kind=spec.name, epsilon=epsilon, params=tuple(spec.example_params().items())
+    )
+
+
+@pytest.fixture(scope="module", params=[spec.name for spec in iter_estimators()])
+def spec(request) -> EstimatorSpec:
+    return get_estimator(request.param)
+
+
+@pytest.fixture(scope="module")
+def pool():
+    with EnginePool(POOL_WORKERS) as pool:
+        yield pool
+
+
+class TestPreRefactorParity:
+    def test_recorded_answers_reproduced_bit_for_bit(self):
+        doc = json.loads(PARITY_FIXTURE.read_text())
+        seed = doc["seed"]
+        rng = np.random.default_rng(seed)
+        uni = rng.normal(250.0, 40.0, size=4096)
+        multi = rng.normal(0.0, 1.0, size=(4096, 3))
+        service = QueryService(seed=seed)
+        service.register("uni", uni, 100.0)
+        service.register("multi", multi, 100.0)
+        for record in doc["answers"]:
+            query = Query.from_json(record["query"])
+            answer = service.submit(
+                QueryRequest(dataset=record["dataset"], query=query)
+            )
+            assert answer.ok, answer
+            assert answer.key == record["key"]
+            value = (
+                list(answer.value)
+                if isinstance(answer.value, tuple)
+                else answer.value
+            )
+            assert value == record["value"]
+            assert answer.epsilon_charged == record["epsilon_charged"]
+
+
+class TestSpecConformance:
+    def test_reservation_covers_committed_spend(self, spec):
+        """reserve >= commit: the factor is an exact upper bound per kind."""
+        service = QueryService(seed=11)
+        service.register("d", _dataset_for(spec, 512), 100.0)
+        query = _query_for(spec, epsilon=0.8)
+        answer = service.submit(QueryRequest(dataset="d", query=query))
+        # A 'failed' outcome (e.g. a rejected PTR check) is a valid budgeted
+        # release; its partial spend must still respect the reservation.
+        assert answer.status in ("ok", "failed"), answer
+        reserve = 0.8 * spec.reservation
+        assert answer.epsilon_charged <= reserve + 1e-12
+        budget = service.registry.get("d").budget
+        assert budget.spent == answer.epsilon_charged
+        assert budget.reserved == 0.0
+
+    def test_min_records_refused_before_any_spend(self, spec):
+        service = QueryService(seed=11)
+        service.register("tiny", _dataset_for(spec, spec.min_records - 1), 100.0)
+        answer = service.submit(
+            QueryRequest(dataset="tiny", query=_query_for(spec))
+        )
+        assert answer.status == "invalid"
+        assert answer.error == "insufficient_data"
+        budget = service.registry.get("tiny").budget
+        assert budget.spent == 0.0
+        assert budget.reserved == 0.0
+        assert len(budget.ledger) == 0
+
+    def test_worker_parity(self, spec, pool):
+        """workers=1 and workers=N answers are bit-for-bit identical."""
+        data = _dataset_for(spec, 512)
+        requests = [
+            QueryRequest(dataset="d", query=_query_for(spec, epsilon=eps))
+            for eps in (0.3, 0.5, 0.7)
+        ]
+
+        def answers(use_pool):
+            service = QueryService(seed=99, pool=pool if use_pool else None)
+            service.register("d", data, 100.0, share=use_pool)
+            try:
+                return [
+                    (a.status, a.value, a.epsilon_charged)
+                    for a in service.submit_many(requests)
+                ]
+            finally:
+                service.registry.close()
+
+        assert answers(False) == answers(True)
+
+
+class TestRegistryMechanics:
+    def test_unknown_kind_error_carries_kind_list(self):
+        with pytest.raises(UnknownKindError) as excinfo:
+            get_estimator("nope")
+        assert list(excinfo.value.kinds) == registered_kinds()
+
+    def test_register_and_unregister_custom_kind(self):
+        @register_estimator(
+            "test.custom",
+            reservation=2.0,
+            min_records=4,
+            params=(ParamField("shift", default=0.0),),
+        )
+        def run_custom(data, generator, ledger, *, epsilon, beta, shift):
+            ledger.charge("test.custom", epsilon)
+            return float(np.mean(data) + shift)
+
+        try:
+            assert "test.custom" in registered_kinds()
+            spec = get_estimator("test.custom")
+            assert spec.reservation == 2.0
+            # Immediately servable end-to-end, no service changes needed.
+            service = QueryService(seed=5)
+            service.register("d", np.arange(16.0), 10.0)
+            answer = service.query("d", "test.custom", 0.5, params={"shift": 1.0})
+            assert answer.ok and answer.value == pytest.approx(8.5)
+            assert answer.epsilon_charged == 0.5
+        finally:
+            unregister("test.custom")
+        assert "test.custom" not in registered_kinds()
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(DomainError):
+
+            @register_estimator("mean")
+            def clash(data, generator, ledger, *, epsilon, beta):  # pragma: no cover
+                return 0.0
+
+    def test_every_spec_has_valid_examples(self):
+        for spec in iter_estimators():
+            params = spec.example_params()
+            for field in spec.params:
+                if field.required:
+                    assert field.name in params, (spec.name, field.name)
+
+    def test_at_least_four_baseline_kinds_registered(self):
+        baselines = [k for k in registered_kinds() if k.startswith("baseline.")]
+        assert len(baselines) >= 4, baselines
+
+    def test_scalar_param_named_levels_rejected(self):
+        # 'levels' is the wire-compat alias; a scalar param under that name
+        # would crash the Query mirror and vanish from the cache key.
+        with pytest.raises(DomainError, match="levels"):
+            EstimatorSpec(
+                name="test.weird",
+                runner=lambda *a, **k: 0.0,
+                params=(ParamField("levels", type="float", default=0.3),),
+            )
+
+    def test_dwork_lei_delta_capped_per_release(self):
+        # The budget ledger tracks epsilon only; per-release deltas compose
+        # additively, so the serving policy caps delta at 1e-4.
+        from repro.service import InvalidQueryError
+
+        with pytest.raises(InvalidQueryError):
+            Query(
+                kind="baseline.dwork_lei_iqr",
+                epsilon=0.5,
+                params=(("delta", 0.5),),
+            )
+        assert dict(
+            Query(kind="baseline.dwork_lei_iqr", epsilon=0.5).params
+        )["delta"] == pytest.approx(1e-6)
+        # The documented cap is inclusive: delta = 1e-4 exactly is accepted.
+        at_cap = Query(
+            kind="baseline.dwork_lei_iqr", epsilon=0.5, params=(("delta", 1e-4),)
+        )
+        assert dict(at_cap.params)["delta"] == pytest.approx(1e-4)
+
+    def test_kind_registered_after_pool_fork_fails_cleanly(self, pool):
+        """Runtime registrations are invisible to already-forked workers:
+        the pooled path must answer 'failed' with zero spend, not crash."""
+        service = QueryService(seed=5, pool=pool)
+        service.register("d", np.arange(64.0), 10.0)
+        # Force the pool to fork its workers before the kind exists.
+        assert service.query("d", "mean", 0.5).ok
+
+        @register_estimator("test.late", min_records=4)
+        def run_late(data, generator, ledger, *, epsilon, beta):
+            ledger.charge("test.late", epsilon)
+            return float(np.mean(data))
+
+        try:
+            answer = service.query("d", "test.late", 0.5)
+            assert answer.status == "failed"
+            assert "worker" in (answer.message or "")
+            budget = service.registry.get("d").budget
+            assert budget.reserved == 0.0
+            # Nothing ran in the worker: the late kind committed no spend.
+            assert answer.epsilon_charged == 0.0
+        finally:
+            unregister("test.late")
+
+
+class TestAnalysisBridge:
+    def test_estimator_fn_drives_statistical_grid(self):
+        """Any registered kind drops into the analysis grid drivers."""
+        from repro.analysis import StatisticalCell, run_statistical_grid
+        from repro.distributions import Gaussian
+
+        distribution = Gaussian(mu=5.0, sigma=2.0)
+        cells = [
+            StatisticalCell(
+                estimator=get_estimator(kind).estimator_fn(
+                    1.0, **get_estimator(kind).example_params()
+                ),
+                distribution=distribution,
+                parameter="mean",
+                n=512,
+                trials=4,
+                rng=17,
+                key=kind,
+            )
+            for kind in ("mean", "baseline.bounded_laplace_mean")
+        ]
+        results = run_statistical_grid(cells)
+        assert len(results) == 2
+        for result in results:
+            assert result.estimates.size == 4
+            assert np.all(np.isfinite(result.estimates))
+
+    def test_estimator_fn_validates_params_up_front(self):
+        spec = get_estimator("baseline.bounded_laplace_mean")
+        with pytest.raises(DomainError):
+            spec.estimator_fn(1.0)  # missing required radius
+
+
+class TestBaselineAccounting:
+    def test_refusal_leaves_ledger_unchanged(self):
+        service = QueryService(seed=3)
+        service.register("d", np.random.default_rng(0).normal(0, 1, 256), 0.4)
+        spec = get_estimator("baseline.bounded_laplace_mean")
+        refused = service.submit(
+            QueryRequest(dataset="d", query=_query_for(spec, epsilon=1.0))
+        )
+        assert refused.status == "refused"
+        budget = service.registry.get("d").budget
+        assert budget.spent == 0.0 and budget.reserved == 0.0
+        assert len(budget.ledger) == 0
+
+    def test_full_epsilon_committed_on_release(self):
+        service = QueryService(seed=3)
+        service.register("d", np.random.default_rng(0).normal(0, 1, 256), 5.0)
+        for kind in (
+            "baseline.bounded_laplace_mean",
+            "baseline.karwa_vadhan_mean",
+            "baseline.coinpress_mean",
+            "baseline.ksu_heavy_tailed_mean",
+        ):
+            answer = service.submit(
+                QueryRequest(dataset="d", query=_query_for(get_estimator(kind), 0.25))
+            )
+            assert answer.ok, answer
+            assert answer.epsilon_charged == 0.25
+
+    def test_cache_hit_zero_spend_for_baseline_kind(self):
+        service = QueryService(seed=3)
+        service.register("d", np.random.default_rng(0).normal(0, 1, 256), 1.0)
+        spec = get_estimator("baseline.bounded_laplace_mean")
+        first = service.submit(QueryRequest(dataset="d", query=_query_for(spec)))
+        again = service.submit(QueryRequest(dataset="d", query=_query_for(spec)))
+        assert first.ok and again.cached
+        assert again.value == first.value
+        assert again.epsilon_charged == 0.0

@@ -25,12 +25,14 @@ CASES = [
     (
         "service_quickstart.py",
         "4000",
-        ["cache hit): yes", "status=refused", "=== Accounting ==="],
+        ["cache hit): yes", "status=refused", "baseline.bounded_laplace_mean",
+         "=== Accounting ==="],
     ),
     (
         "service_async_quickstart.py",
         "4000",
         ["cache hit): yes", "status=refused", "joint group 'api'",
+         "baseline.bounded_laplace_mean over HTTP", "kinds catalogue",
          "answered on the loop"],
     ),
 ]

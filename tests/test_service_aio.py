@@ -169,6 +169,33 @@ class TestRoutesBothFrontends:
         assert doc["frontend"]["max_body"] == MAX_BODY
         assert "disconnects" in doc["frontend"]
 
+    def test_kinds_catalogue_served(self, frontend):
+        from repro.estimators import registered_kinds
+
+        status, doc = _call(frontend.url, "/kinds")
+        assert status == 200
+        assert sorted(doc["kinds"]) == registered_kinds()
+        assert doc["kinds"]["mean"]["min_records"] == 8
+
+    def test_unknown_kind_400_lists_registered_kinds(self, frontend):
+        from repro.estimators import registered_kinds
+
+        status, doc = _call(
+            frontend.url, "/query", {"dataset": "d", "kind": "mode", "epsilon": 0.5}
+        )
+        assert status == 400
+        assert doc["error"] == "unknown_kind"
+        assert doc["kinds"] == registered_kinds()
+
+    def test_baseline_kind_roundtrip(self, frontend):
+        status, doc = _call(
+            frontend.url, "/query",
+            {"dataset": "d", "kind": "baseline.dwork_lei_iqr", "epsilon": 0.5},
+        )
+        # A rejected PTR stability check is a valid (budgeted) outcome.
+        assert status == 200 and doc["status"] in ("ok", "failed")
+        assert doc["epsilon_charged"] == pytest.approx(0.5)
+
 
 class TestProtocolEdges:
     def test_garbage_content_length_is_400(self, frontend):

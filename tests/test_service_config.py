@@ -100,6 +100,33 @@ class TestParsing:
         config = load_serving_config(EXAMPLES_DIR / "serving.toml")
         assert len(config.datasets) >= 3
         assert config.groups  # the documented example demonstrates a joint group
+        # ...and a kinds allowlist featuring an adapted baseline kind.
+        assert any(
+            dataset.kinds and any(kind.startswith("baseline.") for kind in dataset.kinds)
+            for dataset in config.datasets
+        )
+
+    def test_kinds_allowlist_parsed_and_enforced(self):
+        document = {
+            "datasets": [
+                {"name": "a", "values": [float(i) for i in range(32)],
+                 "budget": 5.0, "kinds": ["mean", "baseline.bounded_laplace_mean"]},
+            ]
+        }
+        config = parse_serving_config(document)
+        assert config.datasets[0].kinds == ("mean", "baseline.bounded_laplace_mean")
+        with build_service(config) as built:
+            service = built.service
+            assert service.registry.get("a").kinds == (
+                "mean", "baseline.bounded_laplace_mean",
+            )
+            assert service.query("a", "mean", 0.2).ok
+            spent = service.registry.get("a").budget.spent
+            blocked = service.query("a", "iqr", 0.2)
+            assert blocked.status == "invalid"
+            assert "not served" in blocked.message
+            # The rejection happened before admission: nothing was spent.
+            assert service.registry.get("a").budget.spent == spent
 
     @pytest.mark.parametrize(
         "document, fragment",
@@ -148,6 +175,16 @@ class TestParsing:
                  "datasets": [{"name": "a", "values": [1.0], "group": "g",
                                "analyst_budgets": {"x": 0.1}}]},
                 "analyst budgets",
+            ),
+            (
+                {"datasets": [{"name": "a", "values": [1.0], "budget": 1.0,
+                               "kinds": []}]},
+                "kinds",
+            ),
+            (
+                {"datasets": [{"name": "a", "values": [1.0], "budget": 1.0,
+                               "kinds": ["mean", "mode"]}]},
+                "unknown estimator kind",
             ),
         ],
     )

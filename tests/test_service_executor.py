@@ -340,13 +340,17 @@ class TestReviewRegressions:
     ):
         """A ReproError escaping an estimator mid-release must not abort the
         sibling queries of the batch."""
-        from repro.exceptions import InsufficientDataError
-        from repro.service import queries as queries_module
+        import dataclasses
 
-        def sabotaged(query, data, generator, ledger):
+        from repro.estimators import get_estimator
+        from repro.estimators import registry as estimator_registry
+        from repro.exceptions import InsufficientDataError
+
+        def sabotaged(data, generator, ledger, *, epsilon, beta, **params):
             raise InsufficientDataError("simulated runtime failure")
 
-        monkeypatch.setitem(queries_module._RUNNERS, "variance", sabotaged)
+        spec = dataclasses.replace(get_estimator("variance"), runner=sabotaged)
+        monkeypatch.setitem(estimator_registry._REGISTRY, "variance", spec)
         service = make_service(data)
         answers = service.submit_many(
             [

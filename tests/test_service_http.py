@@ -60,6 +60,18 @@ class TestRoutes:
         assert status == 404
         assert doc["error"] == "unknown_path"
 
+    def test_kinds_catalogue(self, server):
+        from repro.estimators import registered_kinds
+
+        status, doc = _call(server, "/kinds")
+        assert status == 200
+        assert sorted(doc["kinds"]) == registered_kinds()
+        assert doc["kinds"]["variance"]["reservation"] == pytest.approx(9 / 8)
+        assert doc["kinds"]["quantile"]["params"]["levels"]["required"] is True
+        coinpress = doc["kinds"]["baseline.coinpress_mean"]
+        assert coinpress["params"]["radius"]["required"] is True
+        assert doc["datasets"] == {"d": None}  # no allowlist: serves every kind
+
 
 class TestQueryEndpoint:
     def test_ok_query(self, server):
@@ -105,6 +117,45 @@ class TestQueryEndpoint:
             status, doc = _call(server, "/query", payload)
             assert status == 400, payload
             assert doc["status"] == "error"
+
+    def test_unknown_kind_400_lists_registered_kinds(self, server):
+        from repro.estimators import registered_kinds
+
+        status, doc = _call(
+            server, "/query", {"dataset": "d", "kind": "mode", "epsilon": 0.5}
+        )
+        assert status == 400
+        assert doc["error"] == "unknown_kind"
+        assert doc["kinds"] == registered_kinds()
+
+    def test_baseline_kind_served_with_params(self, server):
+        status, doc = _call(
+            server,
+            "/query",
+            {"dataset": "d", "kind": "baseline.bounded_laplace_mean",
+             "epsilon": 0.5, "params": {"radius": 100.0}},
+        )
+        assert status == 200
+        assert doc["status"] == "ok"
+        assert doc["value"] == pytest.approx(50.0, abs=3.0)
+        assert doc["epsilon_charged"] == pytest.approx(0.5)
+        # Identical params in a different key order hit the same cache entry.
+        status, again = _call(
+            server,
+            "/query",
+            {"dataset": "d", "kind": "baseline.bounded_laplace_mean",
+             "epsilon": 0.5, "params": {"radius": 100}},
+        )
+        assert again["cached"] is True and again["value"] == doc["value"]
+
+    def test_baseline_missing_param_is_400(self, server):
+        status, doc = _call(
+            server,
+            "/query",
+            {"dataset": "d", "kind": "baseline.coinpress_mean", "epsilon": 0.5},
+        )
+        assert status == 400
+        assert "radius" in doc["message"] or "requires" in doc["message"]
 
     def test_invalid_json_is_400_not_traceback(self, server):
         request = urllib.request.Request(

@@ -4,20 +4,39 @@ from __future__ import annotations
 
 import pytest
 
+from repro.estimators import get_estimator
 from repro.exceptions import InsufficientDataError, PrivacyParameterError
-from repro.service import QUERY_KINDS, InvalidQueryError, Query, plan_query
+from repro.service import (
+    QUERY_KINDS,
+    InvalidQueryError,
+    Query,
+    UnknownQueryKindError,
+    plan_query,
+)
+
+
+def example_query(kind: str, epsilon: float = 0.5, **overrides) -> Query:
+    """A valid query for ``kind`` using the spec's example parameters."""
+    params = get_estimator(kind).example_params()
+    params.update(overrides)
+    return Query(kind=kind, epsilon=epsilon, params=tuple(params.items()))
 
 
 class TestQueryValidation:
     def test_all_kinds_construct(self):
         for kind in QUERY_KINDS:
-            levels = (0.5,) if kind == "quantile" else ()
-            query = Query(kind=kind, epsilon=0.5, levels=levels)
+            query = example_query(kind)
             assert query.kind == kind
 
     def test_unknown_kind_rejected(self):
         with pytest.raises(InvalidQueryError):
             Query(kind="median", epsilon=0.5)
+
+    def test_unknown_kind_error_lists_registered_kinds(self):
+        with pytest.raises(UnknownQueryKindError) as excinfo:
+            Query(kind="median", epsilon=0.5)
+        assert sorted(excinfo.value.kinds) == sorted(QUERY_KINDS)
+        assert "mean" in str(excinfo.value)
 
     def test_bad_epsilon_rejected(self):
         for epsilon in (0.0, -1.0, float("inf"), float("nan")):
@@ -39,6 +58,37 @@ class TestQueryValidation:
     def test_levels_forbidden_for_scalar_kinds(self):
         with pytest.raises(InvalidQueryError):
             Query(kind="mean", epsilon=0.5, levels=(0.5,))
+
+    def test_unknown_param_rejected(self):
+        with pytest.raises(InvalidQueryError):
+            Query(kind="mean", epsilon=0.5, params=(("radius", 10.0),))
+
+    def test_missing_required_param_rejected(self):
+        with pytest.raises(InvalidQueryError):
+            Query(kind="baseline.bounded_laplace_mean", epsilon=0.5)
+
+    def test_param_bounds_enforced(self):
+        with pytest.raises(InvalidQueryError):
+            Query(
+                kind="baseline.bounded_laplace_mean",
+                epsilon=0.5,
+                params=(("radius", -1.0),),
+            )
+
+    def test_cross_param_check_enforced(self):
+        # sigma_min > sigma_max fails the baseline's constructor-backed check.
+        with pytest.raises(InvalidQueryError):
+            Query(
+                kind="baseline.karwa_vadhan_variance",
+                epsilon=0.5,
+                params=(("sigma_min", 10.0), ("sigma_max", 1.0)),
+            )
+
+    def test_defaults_canonicalised_into_params(self):
+        bare = example_query("baseline.coinpress_mean")
+        explicit = example_query("baseline.coinpress_mean", rounds=3)
+        assert bare == explicit
+        assert dict(bare.params)["rounds"] == 3
 
 
 class TestCanonicalKey:
@@ -62,11 +112,70 @@ class TestCanonicalKey:
         b = Query(kind="quantile", epsilon=0.5, levels=(0.75, 0.25))
         assert a.canonical_key("d") != b.canonical_key("d")
 
+    def test_legacy_key_layout_unchanged_for_builtin_kinds(self):
+        # The pre-registry key format is load-bearing: per-query seeds derive
+        # from it, so these exact strings guarantee bit-for-bit answers.
+        assert (
+            Query(kind="mean", epsilon=0.5).canonical_key("d")
+            == f"d|mean|eps=0.5|beta={1/3!r}|levels="
+        )
+        assert (
+            Query(kind="quantile", epsilon=0.5, levels=(0.5, 0.9)).canonical_key("d")
+            == f"d|quantile|eps=0.5|beta={1/3!r}|levels=0.5,0.9"
+        )
+
+    def test_param_key_order_invariant(self):
+        a = Query(
+            kind="baseline.coinpress_mean",
+            epsilon=0.5,
+            params=(("radius", 100.0), ("sigma_max", 2.0)),
+        )
+        b = Query(
+            kind="baseline.coinpress_mean",
+            epsilon=0.5,
+            params=(("sigma_max", 2.0), ("radius", 100)),  # int spelling too
+        )
+        assert a.canonical_key("d") == b.canonical_key("d")
+
+    def test_param_values_distinguish_keys(self):
+        a = example_query("baseline.bounded_laplace_mean", radius=10.0)
+        b = example_query("baseline.bounded_laplace_mean", radius=20.0)
+        assert a.canonical_key("d") != b.canonical_key("d")
+
 
 class TestJsonRoundTrip:
     def test_round_trip(self):
         query = Query(kind="quantile", epsilon=0.5, beta=0.1, levels=(0.5, 0.99))
         assert Query.from_json(query.to_json()) == query
+
+    def test_round_trip_with_params(self):
+        for kind in QUERY_KINDS:
+            query = example_query(kind)
+            assert Query.from_json(query.to_json()) == query
+
+    def test_params_object_accepted(self):
+        query = Query.from_json(
+            {"kind": "baseline.bounded_laplace_mean", "epsilon": 0.5,
+             "params": {"radius": 50.0}}
+        )
+        assert dict(query.params)["radius"] == 50.0
+
+    def test_levels_accepted_inside_params(self):
+        via_alias = Query.from_json(
+            {"kind": "quantile", "epsilon": 0.5, "levels": [0.5]}
+        )
+        via_params = Query.from_json(
+            {"kind": "quantile", "epsilon": 0.5, "params": {"levels": [0.5]}}
+        )
+        assert via_alias == via_params
+        assert via_alias.canonical_key("d") == via_params.canonical_key("d")
+
+    def test_conflicting_levels_spellings_rejected(self):
+        with pytest.raises(InvalidQueryError):
+            Query.from_json(
+                {"kind": "quantile", "epsilon": 0.5, "levels": [0.5],
+                 "params": {"levels": [0.9]}}
+            )
 
     def test_missing_fields_rejected(self):
         with pytest.raises(InvalidQueryError):
@@ -90,14 +199,30 @@ class TestJsonRoundTrip:
 class TestPlanner:
     def test_reserve_epsilon_uses_kind_factor(self):
         for kind, factor in QUERY_KINDS.items():
-            levels = (0.5,) if kind == "quantile" else ()
-            dimension = 2 if kind == "multivariate_mean" else 1
+            spec = get_estimator(kind)
+            dimension = 2 if spec.dimension == "multivariate" else 1
             plan = plan_query(
-                Query(kind=kind, epsilon=0.4, levels=levels),
+                example_query(kind, epsilon=0.4),
                 records=100,
                 dimension=dimension,
             )
             assert plan.reserve_epsilon == pytest.approx(0.4 * factor)
+
+    def test_disallowed_kind_rejected(self):
+        with pytest.raises(InvalidQueryError):
+            plan_query(
+                Query(kind="mean", epsilon=0.5),
+                records=100,
+                dimension=1,
+                allowed=("iqr", "variance"),
+            )
+        plan = plan_query(
+            Query(kind="mean", epsilon=0.5),
+            records=100,
+            dimension=1,
+            allowed=("mean",),
+        )
+        assert plan.query.kind == "mean"
 
     def test_variance_reserves_more_than_nominal(self):
         plan = plan_query(Query(kind="variance", epsilon=1.0), records=100, dimension=1)
