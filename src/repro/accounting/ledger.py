@@ -114,10 +114,14 @@ class PrivacyLedger:
         return max(self.capacity - self.total_epsilon, 0.0)
 
     def __iter__(self) -> Iterator[BudgetSpend]:
-        return iter(self.spends)
+        # Iterate over a snapshot: handing out a live iterator would race
+        # concurrent charge() appends after the lock is released.
+        with self._lock:
+            return iter(list(self.spends))
 
     def __len__(self) -> int:
-        return len(self.spends)
+        with self._lock:
+            return len(self.spends)
 
     def summary(self) -> str:
         """Return a short human-readable description of all spends."""

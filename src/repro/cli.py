@@ -41,6 +41,20 @@ directly on the event loop.  ``query`` is the matching client::
     python -m repro serve --config serving.toml --frontend async
     python -m repro query mean --url http://127.0.0.1:8080 \
         --dataset salary --epsilon 0.5
+
+``lint`` statically checks sources against the project's own invariants
+(:mod:`repro.lint`): REP001 no global-RNG calls, REP002 lock discipline,
+REP003 reserve→commit budget pairing, REP004 estimator-spec explicitness,
+REP005 front-end exception containment.  Exit code 0 means clean, 1 means
+findings, 2 means internal/usage error::
+
+    python -m repro lint src
+    python -m repro lint src --select REP002 REP003
+    python -m repro lint src --ignore REP005 --format json
+    python -m repro lint src --report lint-report.json
+
+Silence one line with ``# repro: ignore[REP001]`` plus a comment saying why
+the invariant does not apply there; suppressions stay listed in the report.
 """
 
 from __future__ import annotations
@@ -274,6 +288,32 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers.add_parser(
         "kinds",
         help="list every registered estimator kind with its parameter schema",
+    )
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="statically check sources against the repro invariants "
+             "(REP001..REP005: determinism, lock discipline, budget pairing)",
+    )
+    lint.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="Files or directories to lint (default: ./src if present, else .)",
+    )
+    lint.add_argument(
+        "--select", nargs="+", default=None, metavar="RULE",
+        help="Only run these rule ids (e.g. --select REP001 REP002)",
+    )
+    lint.add_argument(
+        "--ignore", nargs="+", default=None, metavar="RULE",
+        help="Skip these rule ids",
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="Report format on stdout (default: text)",
+    )
+    lint.add_argument(
+        "--report", type=Path, default=None, metavar="FILE",
+        help="Also write the JSON report document to FILE",
     )
     return parser
 
@@ -687,6 +727,24 @@ def _run_query_client(args: argparse.Namespace) -> int:
     return {"ok": 0, "refused": 3, "failed": 4}.get(status, 2)
 
 
+def _run_lint(args: argparse.Namespace) -> int:
+    """``repro lint``: exit 0 clean, 1 findings, 2 internal/usage error."""
+    from repro.lint import lint_paths, render_json_text, render_text
+
+    paths = list(args.paths)
+    if not paths:
+        default = Path("src")
+        paths = [default] if default.is_dir() else [Path(".")]
+    result = lint_paths(paths, select=args.select, ignore=args.ignore)
+    if args.format == "json":
+        print(render_json_text(result))
+    else:
+        print(render_text(result))
+    if args.report is not None:
+        args.report.write_text(render_json_text(result) + "\n", encoding="utf-8")
+    return 0 if result.clean else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -699,6 +757,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _run_query_client(args)
         if args.command == "kinds":
             return _run_kinds(args)
+        if args.command == "lint":
+            return _run_lint(args)
         data = load_column(args.csv_path, args.column)
         if args.trials < 1:
             raise DomainError(f"--trials must be at least 1, got {args.trials}")

@@ -172,12 +172,14 @@ class EnginePool:
 
     @property
     def closed(self) -> bool:
-        return self._closed
+        # Monitoring read: a stale False only delays the EngineError to the
+        # next execute_spans call, which checks again under the lock.
+        return self._closed  # repro: ignore[REP002] lock-free monitoring read
 
     @property
     def parallel(self) -> bool:
         """Whether this pool can actually fan out on this platform/process."""
-        if self._size <= 1 or self._closed:
+        if self._size <= 1 or self._closed:  # repro: ignore[REP002] monitoring read
             return False
         if "fork" not in mp.get_all_start_methods():
             return False
@@ -188,7 +190,9 @@ class EnginePool:
     @property
     def alive_workers(self) -> int:
         """Number of currently-running worker processes (0 before first use)."""
-        return sum(1 for handle in self._handles if handle.process.is_alive())
+        # Monitoring read; list() snapshots against concurrent close().
+        handles = list(self._handles)  # repro: ignore[REP002] monitoring read
+        return sum(1 for handle in handles if handle.process.is_alive())
 
     # -- lifecycle ---------------------------------------------------------
     def __enter__(self) -> "EnginePool":
@@ -210,6 +214,7 @@ class EnginePool:
             pass
 
     def _ensure_started(self) -> None:
+        """Fork the workers on first use. Caller must hold ``self._lock``."""
         if self._closed:
             raise EngineError("EnginePool is closed and cannot run further work")
         if self._started:
@@ -256,6 +261,7 @@ class EnginePool:
             return self._execute_spans_locked(fns, catches, spans, fail_fast)
 
     def _execute_spans_locked(self, fns, catches, spans, fail_fast=False):
+        """Dispatch-loop body. Caller must hold ``self._lock``."""
         from repro.engine.core import execute_span
 
         outputs: List[Optional[tuple]] = [None] * len(spans)
@@ -398,7 +404,8 @@ class EnginePool:
         return run_grid(cells, pool=self, **kwargs)
 
     def __repr__(self) -> str:
-        state = "closed" if self._closed else ("started" if self._started else "lazy")
+        # repr is a lock-free monitoring read by design.
+        state = "closed" if self._closed else ("started" if self._started else "lazy")  # repro: ignore[REP002]
         return f"EnginePool(workers={self._size}, {state})"
 
 

@@ -1,0 +1,59 @@
+"""repro.lint — AST-based invariant checker for the repro codebase.
+
+The serving stack's guarantees (bit-for-bit ``workers=1 == workers=N``
+determinism, atomic reserve→commit budget accounting, lock-guarded service
+state, the no-traceback front-end contract) are properties of the *source*,
+not just of test outcomes.  This package machine-checks them:
+
+========  ==============================================================
+REP001    no global-RNG calls — thread Generators via :mod:`repro._rng`
+REP002    lock discipline — self-lock classes guard their shared state
+REP003    reserve→commit pairing — no leaked budget reservations
+REP004    estimator specs declare reservation/min_records/param bounds
+REP005    front-end handlers contain exceptions to error documents
+REP000    (pseudo-rule) file does not parse
+========  ==============================================================
+
+Run it as ``repro lint [paths]`` (exit 0 clean / 1 findings / 2 internal
+error); suppress an individual line with ``# repro: ignore[RULE-ID]`` plus a
+comment explaining why the invariant does not apply there.  To add a rule,
+subclass :class:`~repro.lint.base.Rule`, yield
+:class:`~repro.lint.findings.Finding` objects from ``check(module)``, and
+append an instance in :func:`~repro.lint.runner.default_rules`.
+"""
+
+from repro.lint.base import ModuleContext, Rule, parse_suppressions
+from repro.lint.findings import Finding, PARSE_RULE_ID, SEVERITIES
+from repro.lint.rules_concurrency import LockDisciplineRule, ReserveCommitRule
+from repro.lint.rules_determinism import GlobalRngRule
+from repro.lint.rules_service import EstimatorSpecRule, FrontEndContainmentRule
+from repro.lint.runner import (
+    DEFAULT_RULES,
+    LintResult,
+    default_rules,
+    lint_paths,
+    render_json,
+    render_json_text,
+    render_text,
+)
+
+__all__ = [
+    "DEFAULT_RULES",
+    "EstimatorSpecRule",
+    "Finding",
+    "FrontEndContainmentRule",
+    "GlobalRngRule",
+    "LintResult",
+    "LockDisciplineRule",
+    "ModuleContext",
+    "PARSE_RULE_ID",
+    "ReserveCommitRule",
+    "Rule",
+    "SEVERITIES",
+    "default_rules",
+    "lint_paths",
+    "parse_suppressions",
+    "render_json",
+    "render_json_text",
+    "render_text",
+]

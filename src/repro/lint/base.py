@@ -1,0 +1,135 @@
+"""Rule framework: module context, suppression parsing, and the Rule base.
+
+Every rule is a class with a ``rule_id``, a one-line ``description`` and a
+``check(module)`` generator yielding :class:`~repro.lint.findings.Finding`
+objects.  Rules see a :class:`ModuleContext` — the parsed AST plus the raw
+source and the per-line suppression table — and never touch the filesystem
+themselves, so fixture tests can lint in-memory snippets directly.
+
+Suppression syntax
+------------------
+A finding is silenced by a comment **on the exact line it is reported at**::
+
+    value = self._closed  # repro: ignore[REP002] monitoring read, benign race
+
+Multiple ids separate with commas (``# repro: ignore[REP001,REP002]``) and
+``# repro: ignore[*]`` silences every rule on that line.  Suppressions are
+deliberate, reviewed exceptions: the comment is the documentation of *why*
+the invariant does not apply there, and the runner reports them separately
+so they stay visible.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Set
+
+from repro.lint.findings import Finding
+
+__all__ = ["ModuleContext", "Rule", "parse_suppressions"]
+
+_SUPPRESS_RE = re.compile(r"#\s*repro:\s*ignore\[([A-Za-z0-9_*,\s]*)\]")
+
+
+def parse_suppressions(source: str) -> Dict[int, Set[str]]:
+    """Map line number -> set of suppressed rule ids (``"*"`` = all rules).
+
+    Comments are located with :mod:`tokenize` so a ``# repro: ignore[...]``
+    inside a string literal is never mistaken for a suppression; on files
+    that fail to tokenize (the parse error is reported separately) a plain
+    per-line scan is the best effort left.
+    """
+    table: Dict[int, Set[str]] = {}
+
+    def record(line: int, spec: str) -> None:
+        ids = {part.strip().upper() for part in spec.split(",") if part.strip()}
+        if ids:
+            table.setdefault(line, set()).update(ids)
+
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(source).readline):
+            if token.type == tokenize.COMMENT:
+                match = _SUPPRESS_RE.search(token.string)
+                if match:
+                    record(token.start[0], match.group(1))
+    except (tokenize.TokenError, IndentationError, SyntaxError, ValueError):
+        for number, line in enumerate(source.splitlines(), start=1):
+            match = _SUPPRESS_RE.search(line)
+            if match:
+                record(number, match.group(1))
+    return table
+
+
+@dataclass
+class ModuleContext:
+    """One parsed source file as the rules see it."""
+
+    path: Path
+    display: str
+    source: str
+    tree: ast.Module
+    suppressions: Dict[int, Set[str]] = field(default_factory=dict)
+
+    @classmethod
+    def from_source(cls, source: str, path: Path, display: Optional[str] = None) -> "ModuleContext":
+        """Parse ``source``; raises :class:`SyntaxError` for unparseable files."""
+        return cls(
+            path=path,
+            display=display if display is not None else str(path),
+            source=source,
+            tree=ast.parse(source, filename=str(path)),
+            suppressions=parse_suppressions(source),
+        )
+
+    @property
+    def posix_display(self) -> str:
+        """Forward-slash display path (for suffix-based file scoping)."""
+        return self.display.replace("\\", "/")
+
+    def is_suppressed(self, line: int, rule_id: str) -> bool:
+        ids = self.suppressions.get(line)
+        return bool(ids) and (rule_id.upper() in ids or "*" in ids)
+
+
+class Rule:
+    """Base class for one invariant check.
+
+    Subclasses set :attr:`rule_id` / :attr:`description` and implement
+    :meth:`check`.  The runner applies suppression and ``--select/--ignore``
+    filtering — rules simply yield every violation they see.
+    """
+
+    rule_id: str = "REP999"
+    severity: str = "error"
+    description: str = ""
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, module: ModuleContext, node: ast.AST, message: str) -> Finding:
+        """Build a finding anchored at ``node`` (or at an explicit line int)."""
+        line = node if isinstance(node, int) else getattr(node, "lineno", 1)
+        return Finding(
+            file=module.display,
+            line=int(line),
+            rule_id=self.rule_id,
+            severity=self.severity,
+            message=message,
+        )
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None

@@ -1,0 +1,51 @@
+"""The finding model shared by every lint rule and renderer.
+
+A :class:`Finding` is one concrete violation: which file, which line, which
+rule, how severe, and a message precise enough that the fix (or the
+justification for a ``# repro: ignore[RULE-ID]`` suppression) is obvious.
+Findings are value objects — rules yield them, the runner filters and sorts
+them, renderers serialise them — so they carry no behaviour beyond JSON
+conversion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+__all__ = ["Finding", "SEVERITIES", "PARSE_RULE_ID"]
+
+#: Recognised severities, most severe first.
+SEVERITIES = ("error", "warning")
+
+#: Pseudo rule id attached to files the linter cannot parse.  It behaves like
+#: any other rule for --select/--ignore purposes but has no Rule class: a file
+#: that does not parse cannot be analysed, which is itself a finding.
+PARSE_RULE_ID = "REP000"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One invariant violation at a specific source location.
+
+    The field order (file, line, rule_id, ...) doubles as the sort order, so
+    reports are stable across runs and rule-execution order.
+    """
+
+    file: str
+    line: int
+    rule_id: str
+    severity: str
+    message: str
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "file": self.file,
+            "line": self.line,
+            "rule": self.rule_id,
+            "severity": self.severity,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return f"{self.file}:{self.line}: {self.rule_id} [{self.severity}] {self.message}"

@@ -1,0 +1,364 @@
+"""REP002 / REP003 — lock discipline and reserve→commit pairing.
+
+**REP002** is a lightweight intra-class race detector.  A class that creates
+a lock on ``self`` (``self._lock = threading.Lock()``, an ``RLock``, or a
+dataclass field annotated as one) is declaring that some of its state is
+shared across threads.  The *protected set* is every ``self.<attr>`` that is
+**written** outside the constructor-like methods — plain assignment,
+augmented assignment, subscript stores (``self._d[k] = v``) and calls to
+known mutating methods (``append``/``pop``/``clear``/...).  Every access
+(read or write) to a protected attribute must then happen
+
+* lexically inside ``with self.<lock>:``, or
+* in a method whose docstring declares ``Caller must hold self.<lock>.``
+  (the lock is taken upstream — the docstring is the contract), or
+* in a constructor-like method (``__init__``, ``__post_init__``,
+  ``__getstate__``/``__setstate__``, ``__del__``) where no second thread
+  can hold a reference yet / anymore.
+
+Anything else is a data race waiting for a scheduler to find it, or — if
+genuinely benign (a monitoring read of an atomic int) — a documented
+exception: suppress the exact line with ``# repro: ignore[REP002]`` and say
+why.
+
+**REP003** guards the service's atomic budget accounting: every call path
+that calls ``BudgetManager.reserve`` must reach ``commit`` (or ``cancel`` /
+``release``) on every non-raising exit, otherwise the reservation leaks and
+the budget is permanently smaller than the ledger says.  The check is
+interprocedural within a module: a function that reserves is clean if it —
+or any same-class method / same-module function it calls, transitively —
+commits or cancels, or if it returns the reservation to its caller
+(ownership transfer).  A reservation whose result is discarded outright is
+always a leak.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.base import ModuleContext, Rule, dotted_name
+from repro.lint.findings import Finding
+
+__all__ = ["LockDisciplineRule", "ReserveCommitRule"]
+
+#: Methods whose self-attribute writes do not make an attribute "protected"
+#: and whose accesses are exempt: no concurrent alias can exist yet (or, for
+#: __del__, anymore), and pickling never runs concurrently with use.
+_CONSTRUCTOR_METHODS = {
+    "__init__",
+    "__post_init__",
+    "__new__",
+    "__init_subclass__",
+    "__getstate__",
+    "__setstate__",
+    "__del__",
+}
+
+#: Method names that mutate their receiver in place: a call
+#: ``self.attr.append(...)`` counts as a write to ``attr``.
+_MUTATOR_METHODS = {
+    "append",
+    "extend",
+    "insert",
+    "add",
+    "remove",
+    "discard",
+    "pop",
+    "popitem",
+    "clear",
+    "update",
+    "setdefault",
+    "move_to_end",
+    "sort",
+    "reverse",
+}
+
+_CALLER_HOLDS_RE = re.compile(r"(?i)caller.{0,40}?must\s+(?:be\s+holding|hold)")
+
+_FunctionNode = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _self_attr(node: ast.AST) -> Optional[str]:
+    """``attr`` when ``node`` is ``self.<attr>``, else ``None``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _store_roots(target: ast.AST) -> Iterator[str]:
+    """Self-attributes a statement target writes, including ``self.a[k] = v``."""
+    if isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _store_roots(element)
+        return
+    if isinstance(target, ast.Starred):
+        yield from _store_roots(target.value)
+        return
+    if isinstance(target, ast.Subscript):
+        target = target.value
+    attr = _self_attr(target)
+    if attr is not None:
+        yield attr
+
+
+class LockDisciplineRule(Rule):
+    rule_id = "REP002"
+    description = (
+        "lock discipline: attributes of a class that creates self-locks must "
+        "be accessed under 'with self.<lock>:' or in 'Caller must hold' methods"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(module, node)
+
+    # -- lock detection -----------------------------------------------------
+    @staticmethod
+    def _is_lock_factory(call: ast.AST) -> bool:
+        if not isinstance(call, ast.Call):
+            return False
+        name = dotted_name(call.func)
+        return name in ("threading.Lock", "threading.RLock", "Lock", "RLock")
+
+    def _lock_attrs(self, cls: ast.ClassDef) -> Set[str]:
+        locks: Set[str] = set()
+        for statement in cls.body:
+            # Dataclass style: ``_lock: threading.RLock = field(...)``.
+            if isinstance(statement, ast.AnnAssign) and isinstance(
+                statement.target, ast.Name
+            ):
+                annotation = ast.dump(statement.annotation)
+                if "Lock" in annotation:
+                    locks.add(statement.target.id)
+        for node in ast.walk(cls):
+            if isinstance(node, ast.Assign) and self._is_lock_factory(node.value):
+                for target in node.targets:
+                    attr = _self_attr(target)
+                    if attr is not None:
+                        locks.add(attr)
+        return locks
+
+    # -- protected-attribute collection -------------------------------------
+    def _written_attrs(self, method: ast.AST) -> Set[str]:
+        written: Set[str] = set()
+        for node in ast.walk(method):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    written.update(_store_roots(target))
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                written.update(_store_roots(node.target))
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in _MUTATOR_METHODS
+                ):
+                    attr = _self_attr(func.value)
+                    if attr is not None:
+                        written.add(attr)
+        return written
+
+    @staticmethod
+    def _caller_holds(method: ast.AST, locks: Set[str]) -> bool:
+        docstring = ast.get_docstring(method, clean=False) or ""
+        return bool(_CALLER_HOLDS_RE.search(docstring)) and any(
+            lock in docstring for lock in locks
+        )
+
+    # -- the per-class check -------------------------------------------------
+    def _check_class(self, module: ModuleContext, cls: ast.ClassDef) -> Iterator[Finding]:
+        locks = self._lock_attrs(cls)
+        if not locks:
+            return
+        methods = [node for node in cls.body if isinstance(node, _FunctionNode)]
+        protected: Set[str] = set()
+        for method in methods:
+            if method.name in _CONSTRUCTOR_METHODS:
+                continue
+            protected.update(self._written_attrs(method))
+        protected -= locks
+        if not protected:
+            return
+        for method in methods:
+            if method.name in _CONSTRUCTOR_METHODS:
+                continue
+            if self._caller_holds(method, locks):
+                continue
+            yield from self._check_method(module, cls, method, locks, protected)
+
+    def _check_method(
+        self,
+        module: ModuleContext,
+        cls: ast.ClassDef,
+        method: ast.AST,
+        locks: Set[str],
+        protected: Set[str],
+    ) -> Iterator[Finding]:
+        lock_label = " / ".join(f"self.{name}" for name in sorted(locks))
+
+        def visit(node: ast.AST, guarded: bool) -> Iterator[Finding]:
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                takes_lock = any(
+                    _self_attr(item.context_expr) in locks for item in node.items
+                )
+                for item in node.items:
+                    yield from visit(item.context_expr, guarded)
+                    if item.optional_vars is not None:
+                        yield from visit(item.optional_vars, guarded)
+                for child in node.body:
+                    yield from visit(child, guarded or takes_lock)
+                return
+            attr = _self_attr(node)
+            if attr is not None and attr in protected and not guarded:
+                yield self.finding(
+                    module,
+                    node,
+                    f"'self.{attr}' is lock-protected state of {cls.name} but is "
+                    f"accessed outside 'with {lock_label}:'; guard it, or document "
+                    f"'Caller must hold {lock_label}.' in the method docstring if "
+                    "the lock is held upstream",
+                )
+            for child in ast.iter_child_nodes(node):
+                yield from visit(child, guarded)
+
+        for statement in method.body:
+            yield from visit(statement, False)
+
+
+class ReserveCommitRule(Rule):
+    rule_id = "REP003"
+    description = (
+        "budget pairing: every call path through .reserve(...) must reach "
+        ".commit(...) or .cancel(...)/.release(...) on non-raising exits"
+    )
+
+    #: Attribute-call names that settle an outstanding reservation.
+    _RESOLVERS = ("commit", "cancel", "release")
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        functions = self._collect(module.tree)
+        resolved = self._fixpoint(functions)
+        for key, info in functions.items():
+            for node in info["discarded"]:
+                yield self.finding(
+                    module,
+                    node,
+                    "the Reservation returned by .reserve(...) is discarded; it can "
+                    "never be committed or cancelled, permanently shrinking the "
+                    "grantable budget",
+                )
+            if not info["reserves"]:
+                continue
+            if key in resolved:
+                continue
+            for node in info["reserves"]:
+                yield self.finding(
+                    module,
+                    node,
+                    f"{key} calls .reserve(...) but no call path out of it reaches "
+                    ".commit(...), .cancel(...) or .release(...) — a refused "
+                    "estimator or early return leaks the reservation (hold it in a "
+                    "try/finally, or hand it to a helper that settles it)",
+                )
+
+    # -- call-graph construction --------------------------------------------
+    def _collect(self, tree: ast.Module) -> Dict[str, dict]:
+        functions: Dict[str, dict] = {}
+        module_functions = {
+            node.name for node in tree.body if isinstance(node, _FunctionNode)
+        }
+
+        def scan(owner: Optional[str], function: ast.AST) -> None:
+            key = f"{owner}.{function.name}" if owner else function.name
+            if function.name == "reserve":
+                # The definition of reserve itself is the protocol's producer,
+                # not a consumer; analysing its body would self-flag wrappers.
+                return
+            info = {
+                "reserves": [],
+                "discarded": [],
+                "resolves": False,
+                "calls": set(),
+            }
+            escaping = self._escaping_calls(function)
+            statements: List[ast.AST] = list(ast.walk(function))
+            for node in statements:
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                if isinstance(func, ast.Attribute):
+                    if func.attr == "reserve":
+                        if id(node) in escaping:
+                            continue
+                        info["reserves"].append(node)
+                    elif func.attr in self._RESOLVERS:
+                        info["resolves"] = True
+                    elif _self_attr(func) == func.attr and owner:
+                        pass  # unreachable; kept for clarity
+                    if _self_attr(func) is not None and owner:
+                        info["calls"].add(f"{owner}.{func.attr}")
+                elif isinstance(func, ast.Name) and func.id in module_functions:
+                    info["calls"].add(func.id)
+            # An Expr statement whose value is a reserve call discards the
+            # Reservation outright — flag those separately and unconditionally.
+            for node in statements:
+                if (
+                    isinstance(node, ast.Expr)
+                    and isinstance(node.value, ast.Call)
+                    and isinstance(node.value.func, ast.Attribute)
+                    and node.value.func.attr == "reserve"
+                ):
+                    info["discarded"].append(node.value)
+                    if node.value in info["reserves"]:
+                        info["reserves"].remove(node.value)
+            functions[key] = info
+
+        for node in tree.body:
+            if isinstance(node, _FunctionNode):
+                scan(None, node)
+            elif isinstance(node, ast.ClassDef):
+                for child in node.body:
+                    if isinstance(child, _FunctionNode):
+                        scan(node.name, child)
+        return functions
+
+    @staticmethod
+    def _escaping_calls(function: ast.AST) -> Set[int]:
+        """ids of reserve Call nodes whose result is returned or yielded.
+
+        Returning the Reservation transfers settlement responsibility to the
+        caller — the pattern of thin wrappers over ``BudgetManager.reserve``.
+        """
+        escaping: Set[int] = set()
+        for node in ast.walk(function):
+            if isinstance(node, (ast.Return, ast.Yield)) and node.value is not None:
+                for sub in ast.walk(node.value):
+                    if (
+                        isinstance(sub, ast.Call)
+                        and isinstance(sub.func, ast.Attribute)
+                        and sub.func.attr == "reserve"
+                    ):
+                        escaping.add(id(sub))
+        return escaping
+
+    @staticmethod
+    def _fixpoint(functions: Dict[str, dict]) -> Set[str]:
+        """Keys whose call graph (transitively) reaches a resolver call."""
+        resolved = {key for key, info in functions.items() if info["resolves"]}
+        changed = True
+        while changed:
+            changed = False
+            for key, info in functions.items():
+                if key in resolved:
+                    continue
+                if any(callee in resolved for callee in info["calls"]):
+                    resolved.add(key)
+                    changed = True
+        return resolved

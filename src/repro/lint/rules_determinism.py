@@ -1,0 +1,166 @@
+"""REP001 — no global-RNG calls: generators must be threaded explicitly.
+
+The engine's determinism contract (bit-for-bit ``workers=1 == workers=N``,
+see ROADMAP's `repro.engine` section) holds because every stochastic code
+path receives its :class:`numpy.random.Generator` explicitly, derived
+up-front from the caller's seed via :mod:`repro._rng`.  A single call to the
+*global* NumPy or stdlib RNG — or an argless ``default_rng()`` /
+``SeedSequence()`` pulling fresh OS entropy — silently breaks that parity in
+ways no fixed-seed test can catch.
+
+The rule flags:
+
+* ``np.random.<fn>(...)`` module-level functions (``normal``, ``seed``,
+  ``shuffle``, ...) — these share NumPy's hidden global state;
+* argless ``np.random.default_rng()`` / ``np.random.SeedSequence()`` and the
+  argless bit-generator constructors (``PCG64()``, ...) — fresh entropy;
+  seeded calls (``default_rng(seed)``) are fine;
+* any use of the stdlib :mod:`random` module functions (they share one
+  hidden ``Random`` instance) and argless ``random.Random()``.
+
+Whitelisted entropy-seeding site: ``repro/_rng.py`` — the one sanctioned
+place unseeded generators are created (``resolve_rng(None)``).  Anywhere
+else, either accept an ``rng`` argument and resolve it through
+:func:`repro._rng.resolve_rng` / :func:`repro._rng.spawn_seeds`, or suppress
+with ``# repro: ignore[REP001]`` plus a comment justifying the entropy draw.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Tuple
+
+from repro.lint.base import ModuleContext, Rule, dotted_name
+from repro.lint.findings import Finding
+
+__all__ = ["GlobalRngRule"]
+
+#: numpy.random attributes that are classes taking explicit state, not
+#: global-RNG entry points; calling them with arguments is always fine.
+_ENTROPY_CONSTRUCTORS = {
+    "default_rng",
+    "SeedSequence",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "MT19937",
+    "SFC64",
+}
+#: numpy.random attributes that never touch entropy on their own.
+_SAFE_ATTRIBUTES = {"Generator", "BitGenerator", "RandomState"}
+
+
+class GlobalRngRule(Rule):
+    rule_id = "REP001"
+    description = (
+        "no global-RNG calls: thread numpy Generators explicitly via "
+        "repro._rng; fresh entropy only in whitelisted seeding sites"
+    )
+
+    def __init__(self, allowed_files: Tuple[str, ...] = ("repro/_rng.py",)):
+        self.allowed_files = tuple(allowed_files)
+
+    # -- import resolution --------------------------------------------------
+    @staticmethod
+    def _import_maps(tree: ast.Module) -> Tuple[Dict[str, str], Dict[str, str]]:
+        """(module aliases, from-imported names) for numpy / stdlib random.
+
+        ``aliases`` maps a local name to the module it denotes (``np`` ->
+        ``numpy``); ``members`` maps a bare local name to the dotted origin
+        (``default_rng`` -> ``numpy.random.default_rng``).
+        """
+        aliases: Dict[str, str] = {}
+        members: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name in ("numpy", "random") or alias.name.startswith(
+                        ("numpy.", "random.")
+                    ):
+                        if alias.asname:
+                            aliases[alias.asname] = alias.name
+                        else:
+                            # ``import numpy.random`` binds the *root* name.
+                            head = alias.name.split(".")[0]
+                            aliases[head] = head
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                if node.module in ("numpy", "numpy.random", "random"):
+                    for alias in node.names:
+                        members[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+        return aliases, members
+
+    # -- the check ----------------------------------------------------------
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        display = module.posix_display
+        if any(display.endswith(allowed) for allowed in self.allowed_files):
+            return
+        aliases, members = self._import_maps(module.tree)
+        if not aliases and not members:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = self._resolve(node.func, aliases, members)
+            if target is None:
+                continue
+            message = self._verdict(target, node)
+            if message is not None:
+                yield self.finding(module, node, message)
+
+    @staticmethod
+    def _resolve(func: ast.AST, aliases: Dict[str, str], members: Dict[str, str]):
+        """The canonical dotted name of the called object, if trackable."""
+        name = dotted_name(func)
+        if name is None:
+            return None
+        head, _, rest = name.partition(".")
+        if head in aliases:
+            return aliases[head] + ("." + rest if rest else "")
+        if head in members:
+            # ``from numpy import random`` / ``from random import shuffle``:
+            # the member itself may be a module carrying further attributes.
+            return members[head] + ("." + rest if rest else "")
+        return None
+
+    @staticmethod
+    def _verdict(target: str, call: ast.Call):
+        """The violation message for calling ``target``, or ``None`` if fine."""
+        argless = not call.args and not call.keywords
+        if target.startswith("numpy.random."):
+            attribute = target[len("numpy.random."):]
+            if "." in attribute or attribute in _SAFE_ATTRIBUTES:
+                return None
+            if attribute in _ENTROPY_CONSTRUCTORS:
+                if argless:
+                    return (
+                        f"argless np.random.{attribute}() draws fresh OS entropy and "
+                        "breaks workers=1 == workers=N determinism; derive child seeds "
+                        "with repro._rng.spawn_seeds or pass explicit entropy"
+                    )
+                return None
+            return (
+                f"np.random.{attribute}(...) uses the hidden global NumPy RNG; "
+                "accept an rng argument and thread a Generator through "
+                "repro._rng.resolve_rng instead"
+            )
+        if target == "random.Random":
+            if argless:
+                return (
+                    "argless random.Random() seeds from OS entropy; pass an explicit "
+                    "seed (or use numpy Generators threaded via repro._rng)"
+                )
+            return None
+        if target == "random.SystemRandom":
+            return (
+                "random.SystemRandom() is inherently nondeterministic; "
+                "thread a seeded numpy Generator via repro._rng instead"
+            )
+        if target.startswith("random."):
+            attribute = target[len("random."):]
+            if "." in attribute or attribute[:1].isupper():
+                return None
+            return (
+                f"random.{attribute}(...) uses the stdlib's hidden global Random "
+                "instance; thread a seeded numpy Generator via repro._rng instead"
+            )
+        return None

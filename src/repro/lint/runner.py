@@ -1,0 +1,205 @@
+"""File collection, rule execution, filtering, and report rendering.
+
+:func:`lint_paths` is the single entry point the CLI and the tests share:
+it expands the given paths (directories recurse over ``*.py``, skipping
+hidden directories and ``__pycache__``), parses each file, runs every
+selected rule, applies per-line suppressions, and returns a
+:class:`LintResult` carrying both the active findings and the suppressed
+ones — suppressions are reviewed exceptions and stay visible in reports.
+
+Exit-code contract (enforced by the CLI): 0 when no active findings,
+1 when there are findings, 2 on internal/usage error (unknown rule id,
+unreadable path).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.exceptions import DomainError
+from repro.lint.base import ModuleContext, Rule
+from repro.lint.findings import Finding, PARSE_RULE_ID
+from repro.lint.rules_concurrency import LockDisciplineRule, ReserveCommitRule
+from repro.lint.rules_determinism import GlobalRngRule
+from repro.lint.rules_service import EstimatorSpecRule, FrontEndContainmentRule
+
+__all__ = [
+    "DEFAULT_RULES",
+    "LintResult",
+    "lint_paths",
+    "render_text",
+    "render_json",
+]
+
+#: JSON report schema version.
+REPORT_VERSION = 1
+
+
+def default_rules() -> List[Rule]:
+    """Fresh instances of the full ruleset, REP001..REP005."""
+    return [
+        GlobalRngRule(),
+        LockDisciplineRule(),
+        ReserveCommitRule(),
+        EstimatorSpecRule(),
+        FrontEndContainmentRule(),
+    ]
+
+
+DEFAULT_RULES: Tuple[str, ...] = tuple(
+    rule.rule_id for rule in default_rules()
+) + (PARSE_RULE_ID,)
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    files: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+
+def _collect_files(paths: Sequence[Path]) -> List[Path]:
+    files: List[Path] = []
+    seen: Set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            candidates = sorted(path.rglob("*.py"))
+        elif path.is_file():
+            candidates = [path]
+        else:
+            raise DomainError(f"lint path does not exist: {path}")
+        for candidate in candidates:
+            parts = candidate.parts
+            if any(part == "__pycache__" or part.startswith(".") for part in parts[:-1]):
+                continue
+            resolved = candidate.resolve()
+            if resolved in seen:
+                continue
+            seen.add(resolved)
+            files.append(candidate)
+    return files
+
+
+def _normalise_ids(
+    ids: Optional[Iterable[str]], known: Set[str], flag: str
+) -> Optional[Set[str]]:
+    if ids is None:
+        return None
+    cleaned = {str(rule_id).strip().upper() for rule_id in ids if str(rule_id).strip()}
+    unknown = cleaned - known
+    if unknown:
+        raise DomainError(
+            f"unknown rule id(s) for {flag}: {', '.join(sorted(unknown))}; "
+            f"known rules: {', '.join(sorted(known))}"
+        )
+    return cleaned
+
+
+def lint_paths(
+    paths: Sequence[object],
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+    rules: Optional[Sequence[Rule]] = None,
+) -> LintResult:
+    """Lint ``paths`` (files or directories) and return a :class:`LintResult`.
+
+    ``select`` restricts the run to the given rule ids; ``ignore`` drops
+    rules from whatever ``select`` left.  Unknown ids in either raise
+    :class:`~repro.errors.DomainError` — a typo in a CI invocation must not
+    silently lint nothing.
+    """
+    active_rules = list(rules) if rules is not None else default_rules()
+    known = {rule.rule_id for rule in active_rules} | {PARSE_RULE_ID}
+    selected = _normalise_ids(select, known, "--select")
+    ignored = _normalise_ids(ignore, known, "--ignore") or set()
+
+    def rule_enabled(rule_id: str) -> bool:
+        if selected is not None and rule_id not in selected:
+            return False
+        return rule_id not in ignored
+
+    result = LintResult()
+    for file_path in _collect_files([Path(p) for p in paths]):
+        result.files += 1
+        display = str(file_path)
+        try:
+            source = file_path.read_text(encoding="utf-8")
+            module = ModuleContext.from_source(source, file_path, display)
+        except (SyntaxError, UnicodeDecodeError) as exc:
+            if rule_enabled(PARSE_RULE_ID):
+                line = getattr(exc, "lineno", None) or 1
+                result.findings.append(
+                    Finding(
+                        file=display,
+                        line=int(line),
+                        rule_id=PARSE_RULE_ID,
+                        severity="error",
+                        message=f"file does not parse: {exc}",
+                    )
+                )
+            continue
+        emitted: Set[Finding] = set()
+        for rule in active_rules:
+            if not rule_enabled(rule.rule_id):
+                continue
+            for finding in rule.check(module):
+                if finding in emitted:
+                    continue
+                emitted.add(finding)
+                if module.is_suppressed(finding.line, finding.rule_id):
+                    result.suppressed.append(finding)
+                else:
+                    result.findings.append(finding)
+    result.findings.sort()
+    result.suppressed.sort()
+    return result
+
+
+def render_text(result: LintResult) -> str:
+    """Human-readable report: one line per finding plus a summary."""
+    lines = [finding.render() for finding in result.findings]
+    if result.suppressed:
+        lines.append("")
+        lines.append(f"suppressed ({len(result.suppressed)}):")
+        lines.extend(f"  {finding.render()}" for finding in result.suppressed)
+    noun = "file" if result.files == 1 else "files"
+    if result.clean:
+        lines.append(f"{result.files} {noun} checked: clean")
+    else:
+        count = len(result.findings)
+        lines.append(
+            f"{result.files} {noun} checked: "
+            f"{count} finding{'s' if count != 1 else ''}"
+        )
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> Dict[str, object]:
+    """The JSON report document (schema version {REPORT_VERSION})."""
+    by_rule: Dict[str, int] = {}
+    for finding in result.findings:
+        by_rule[finding.rule_id] = by_rule.get(finding.rule_id, 0) + 1
+    return {
+        "version": REPORT_VERSION,
+        "files": result.files,
+        "findings": [finding.to_json() for finding in result.findings],
+        "suppressed": [finding.to_json() for finding in result.suppressed],
+        "summary": {
+            "total": len(result.findings),
+            "suppressed": len(result.suppressed),
+            "by_rule": dict(sorted(by_rule.items())),
+        },
+    }
+
+
+def render_json_text(result: LintResult) -> str:
+    return json.dumps(render_json(result), indent=2, sort_keys=False)

@@ -50,6 +50,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro._rng import spawn_seeds
 from repro.accounting import PrivacyLedger
 from repro.engine import GridCell, run_grid
 from repro.exceptions import (
@@ -271,11 +272,13 @@ class QueryService:
         which worker it runs — the root of the service determinism contract.
         """
         if self._seed is None:
-            sequence = np.random.SeedSequence()
-        else:
-            digest = hashlib.sha256(key.encode("utf-8")).digest()
-            entropy = (self._seed & (2**64 - 1),) + struct.unpack(">8I", digest)
-            sequence = np.random.SeedSequence(entropy)
+            # Unseeded service: fresh entropy per query, drawn through the
+            # sanctioned repro._rng seeding site rather than a bare
+            # SeedSequence() so every entropy draw has one auditable origin.
+            return int(spawn_seeds(None, 1)[0])
+        digest = hashlib.sha256(key.encode("utf-8")).digest()
+        entropy = (self._seed & (2**64 - 1),) + struct.unpack(">8I", digest)
+        sequence = np.random.SeedSequence(entropy)
         return int(sequence.generate_state(1, np.uint64)[0] % (2**63 - 1))
 
     # -- submission API ----------------------------------------------------

@@ -249,6 +249,7 @@ class BudgetManager:
             self._release(reservation)
 
     def _release(self, reservation: Reservation) -> None:
+        """Drop a reservation's hold. Caller must hold ``self._lock``."""
         self._reserved = max(self._reserved - reservation.amount, 0.0)
         if reservation.analyst is not None and reservation.analyst in self._analyst_caps:
             self._analyst_reserved[reservation.analyst] = max(

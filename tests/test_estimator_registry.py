@@ -317,3 +317,40 @@ class TestBaselineAccounting:
         assert first.ok and again.cached
         assert again.value == first.value
         assert again.epsilon_charged == 0.0
+
+class TestLintConformance:
+    """REP004 static analysis agrees with the runtime conformance suite.
+
+    The linter checks registration *sites* (explicit ``reservation=`` /
+    ``min_records=``, bounded numeric ``ParamField``\\ s); the runtime checks
+    the *resulting specs*.  No spec may pass one gate but not the other, so
+    a regression in either is caught by this single test.
+    """
+
+    #: ParamField types the linter exempts from bounds (mirrors REP004).
+    _UNBOUNDED_TYPES = {"levels", "str", "string", "bool"}
+
+    def _runtime_violations(self):
+        violations = []
+        for spec in iter_estimators():
+            if not spec.reservation > 0.0:
+                violations.append(f"{spec.name}: reservation={spec.reservation}")
+            if spec.min_records < 1:
+                violations.append(f"{spec.name}: min_records={spec.min_records}")
+            for param in spec.params:
+                if param.type in self._UNBOUNDED_TYPES:
+                    continue
+                if param.minimum is None and param.maximum is None:
+                    violations.append(f"{spec.name}: param {param.name!r} unbounded")
+        return violations
+
+    def test_static_and_runtime_conformance_agree(self):
+        from repro.lint import lint_paths, render_text
+
+        estimators_dir = Path(__file__).parent.parent / "src" / "repro" / "estimators"
+        static = lint_paths([estimators_dir], select=["REP004"])
+        runtime = self._runtime_violations()
+        # Agreement means both gates pass on the live registry modules: a
+        # spec sneaking an implicit default past one would trip the other.
+        assert static.findings == [], render_text(static)
+        assert runtime == [], runtime

@@ -1,0 +1,221 @@
+"""Runner and CLI mechanics: suppression, filtering, JSON schema, exit codes.
+
+Fixture files live in a tmp dir, so these tests exercise the real file
+collection path (directory recursion, ``__pycache__`` skipping, parse
+errors) exactly as ``repro lint`` in CI does.  The final test pins the
+acceptance criterion that the repo's own ``src`` tree lints clean.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.exceptions import DomainError
+from repro.lint import (
+    PARSE_RULE_ID,
+    lint_paths,
+    parse_suppressions,
+    render_json,
+    render_text,
+)
+
+SRC_ROOT = Path(__file__).resolve().parent.parent / "src"
+
+VIOLATION = "import numpy as np\nx = np.random.normal()\n"
+SUPPRESSED = (
+    "import numpy as np\n"
+    "x = np.random.normal()  # repro: ignore[REP001] fixture exception\n"
+)
+
+
+def write(tmp_path, name, source):
+    path = tmp_path / name
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source, encoding="utf-8")
+    return path
+
+
+# ---------------------------------------------------------------------------
+# Suppression mechanics
+# ---------------------------------------------------------------------------
+class TestSuppression:
+    def test_exact_line_suppression(self, tmp_path):
+        write(tmp_path, "mod.py", SUPPRESSED)
+        result = lint_paths([tmp_path])
+        assert result.findings == []
+        assert len(result.suppressed) == 1
+        assert result.suppressed[0].rule_id == "REP001"
+        assert result.suppressed[0].line == 2
+
+    def test_suppression_on_wrong_line_does_not_apply(self, tmp_path):
+        write(
+            tmp_path,
+            "mod.py",
+            "import numpy as np\n"
+            "# repro: ignore[REP001] comment on the line above, not the call\n"
+            "x = np.random.normal()\n",
+        )
+        result = lint_paths([tmp_path])
+        assert len(result.findings) == 1
+        assert result.findings[0].line == 3
+
+    def test_wrong_rule_id_does_not_suppress(self, tmp_path):
+        write(
+            tmp_path,
+            "mod.py",
+            "import numpy as np\n"
+            "x = np.random.normal()  # repro: ignore[REP002]\n",
+        )
+        result = lint_paths([tmp_path])
+        assert len(result.findings) == 1
+
+    def test_star_suppresses_all_rules(self, tmp_path):
+        write(
+            tmp_path,
+            "mod.py",
+            "import numpy as np\n"
+            "x = np.random.normal()  # repro: ignore[*]\n",
+        )
+        result = lint_paths([tmp_path])
+        assert result.findings == []
+        assert len(result.suppressed) == 1
+
+    def test_comma_separated_ids(self):
+        table = parse_suppressions(
+            "value = 1  # repro: ignore[REP001, REP003]\n"
+        )
+        assert table == {1: {"REP001", "REP003"}}
+
+    def test_marker_inside_string_literal_ignored(self):
+        table = parse_suppressions(
+            'text = "# repro: ignore[REP001]"\n'
+        )
+        assert table == {}
+
+
+# ---------------------------------------------------------------------------
+# Filtering and collection
+# ---------------------------------------------------------------------------
+class TestRunner:
+    def test_select_restricts_rules(self, tmp_path):
+        write(tmp_path, "mod.py", VIOLATION)
+        assert lint_paths([tmp_path], select=["REP002"]).findings == []
+        assert len(lint_paths([tmp_path], select=["REP001"]).findings) == 1
+
+    def test_ignore_drops_rules(self, tmp_path):
+        write(tmp_path, "mod.py", VIOLATION)
+        assert lint_paths([tmp_path], ignore=["REP001"]).findings == []
+
+    def test_unknown_rule_id_raises(self, tmp_path):
+        write(tmp_path, "mod.py", VIOLATION)
+        with pytest.raises(DomainError, match="unknown rule id"):
+            lint_paths([tmp_path], select=["REP999"])
+        with pytest.raises(DomainError, match="unknown rule id"):
+            lint_paths([tmp_path], ignore=["bogus"])
+
+    def test_missing_path_raises(self, tmp_path):
+        with pytest.raises(DomainError, match="does not exist"):
+            lint_paths([tmp_path / "nope"])
+
+    def test_parse_error_becomes_rep000(self, tmp_path):
+        write(tmp_path, "broken.py", "def broken(:\n")
+        result = lint_paths([tmp_path])
+        assert [f.rule_id for f in result.findings] == [PARSE_RULE_ID]
+        assert "does not parse" in result.findings[0].message
+
+    def test_pycache_and_hidden_dirs_skipped(self, tmp_path):
+        write(tmp_path, "__pycache__/cached.py", VIOLATION)
+        write(tmp_path, ".hidden/mod.py", VIOLATION)
+        write(tmp_path, "real.py", "x = 1\n")
+        result = lint_paths([tmp_path])
+        assert result.files == 1
+        assert result.findings == []
+
+    def test_findings_sorted_and_stable(self, tmp_path):
+        write(tmp_path, "b.py", VIOLATION)
+        write(tmp_path, "a.py", VIOLATION)
+        result = lint_paths([tmp_path])
+        files = [f.file for f in result.findings]
+        assert files == sorted(files)
+
+
+# ---------------------------------------------------------------------------
+# Report formats
+# ---------------------------------------------------------------------------
+class TestReports:
+    def test_json_schema(self, tmp_path):
+        write(tmp_path, "mod.py", VIOLATION)
+        write(tmp_path, "ok.py", SUPPRESSED)
+        document = render_json(lint_paths([tmp_path]))
+        assert document["version"] == 1
+        assert document["files"] == 2
+        assert document["summary"]["total"] == 1
+        assert document["summary"]["suppressed"] == 1
+        assert document["summary"]["by_rule"] == {"REP001": 1}
+        (finding,) = document["findings"]
+        assert set(finding) == {"file", "line", "rule", "severity", "message"}
+        assert finding["rule"] == "REP001"
+        assert finding["line"] == 2
+        assert finding["severity"] == "error"
+
+    def test_text_report_lists_suppressions(self, tmp_path):
+        write(tmp_path, "mod.py", SUPPRESSED)
+        text = render_text(lint_paths([tmp_path]))
+        assert "suppressed (1):" in text
+        assert text.endswith("1 file checked: clean")
+
+
+# ---------------------------------------------------------------------------
+# CLI exit codes and report file
+# ---------------------------------------------------------------------------
+class TestCli:
+    def test_exit_zero_on_clean(self, tmp_path, capsys):
+        write(tmp_path, "mod.py", "x = 1\n")
+        assert cli_main(["lint", str(tmp_path)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_exit_one_on_findings(self, tmp_path, capsys):
+        write(tmp_path, "mod.py", VIOLATION)
+        assert cli_main(["lint", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "REP001" in out and "mod.py:2" in out
+
+    def test_exit_two_on_unknown_rule(self, tmp_path, capsys):
+        write(tmp_path, "mod.py", "x = 1\n")
+        assert cli_main(["lint", str(tmp_path), "--select", "NOPE"]) == 2
+        assert "unknown rule id" in capsys.readouterr().err
+
+    def test_exit_two_on_missing_path(self, tmp_path, capsys):
+        assert cli_main(["lint", str(tmp_path / "nope")]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_json_format_and_report_file(self, tmp_path, capsys):
+        write(tmp_path, "mod.py", VIOLATION)
+        report = tmp_path / "report.json"
+        code = cli_main(
+            ["lint", str(tmp_path / "mod.py"), "--format", "json", "--report", str(report)]
+        )
+        assert code == 1
+        stdout_doc = json.loads(capsys.readouterr().out)
+        file_doc = json.loads(report.read_text(encoding="utf-8"))
+        assert stdout_doc == file_doc
+        assert file_doc["summary"]["total"] == 1
+
+    def test_select_flag_passes_through(self, tmp_path, capsys):
+        write(tmp_path, "mod.py", VIOLATION)
+        assert cli_main(["lint", str(tmp_path), "--select", "REP005"]) == 0
+        capsys.readouterr()
+
+
+# ---------------------------------------------------------------------------
+# Acceptance: the repo's own sources lint clean.
+# ---------------------------------------------------------------------------
+def test_repo_src_tree_is_clean():
+    result = lint_paths([SRC_ROOT])
+    assert result.findings == [], render_text(result)
+    # Suppressions are deliberate, reviewed exceptions — pin their count so a
+    # new one is a conscious diff, not drive-by noise.
+    assert len(result.suppressed) == 5
+    assert {f.rule_id for f in result.suppressed} == {"REP002"}
