@@ -118,7 +118,7 @@ async def main(n_records: int = 30_000) -> None:
             _, doc = await _request(
                 host, port, "/query",
                 {"dataset": "search_ms", "kind": "quantile", "epsilon": 0.35,
-                 "levels": [0.5, 0.99]},
+                 "params": {"levels": [0.5, 0.99]}},
             )
             p50, p99 = doc["value"]
             print(f"search p50 / p99   : {p50:8.3f} / {p99:.3f} ms"

@@ -48,7 +48,8 @@ def main(n_records: int = 30_000) -> None:
           f"   (charged {answer.epsilon_charged:.3f}, remaining {answer.remaining:.3f})")
 
     answer = service.query(
-        "latency_ms", "quantile", epsilon=0.25, levels=[0.5, 0.99], analyst="dashboard"
+        "latency_ms", "quantile", epsilon=0.25,
+        params={"levels": [0.5, 0.99]}, analyst="dashboard",
     )
     p50, p99 = answer.value
     print(f"p50 / p99 latency  : {p50:8.3f} / {p99:.3f} ms"
@@ -56,7 +57,8 @@ def main(n_records: int = 30_000) -> None:
 
     # The dashboard refreshes: the identical query costs nothing the second time.
     repeat = service.query(
-        "latency_ms", "quantile", epsilon=0.25, levels=[0.5, 0.99], analyst="dashboard"
+        "latency_ms", "quantile", epsilon=0.25,
+        params={"levels": [0.5, 0.99]}, analyst="dashboard",
     )
     print(f"refresh (cache hit): {'yes' if repeat.cached else 'no'}"
           f"            (charged {repeat.epsilon_charged:.3f})")

@@ -18,6 +18,14 @@ queries covering every interesting outcome:
 * joint-budget-group semantics: spend through one member, watch the shared
   cap drain for all of them, exhaust it, and see every member refuse with
   the group ledger unchanged,
+* the ``/metrics`` Prometheus exposition, parsed and cross-checked against
+  the JSON ``/datasets`` counters,
+* the live control plane: authenticated ``/admin/state``, a provably no-op
+  reload of the unchanged config, a live reload that adds a dataset and
+  rotates an analyst budget without a restart, and the drain flow (cached
+  answers served, fresh releases 403, drained dataset then removed),
+* per-analyst token-bucket rate limiting: a burst that draws structured
+  429s while the budget ledger stays bit-for-bit unchanged,
 * raw-socket protocol probes: garbage / negative ``Content-Length`` (400),
   an oversized declared body (413), pipelined keep-alive requests, and a
   mid-request disconnect (counted in the front-end stats, not crashed on).
@@ -49,6 +57,7 @@ from pathlib import Path
 FAILURES: list = []
 
 MAX_BODY = 262_144  # small enough to probe 413 without shipping megabytes
+ADMIN_TOKEN = "ci-secret"  # shared secret for the /admin control plane
 
 
 def check(condition: bool, message: str) -> None:
@@ -57,20 +66,37 @@ def check(condition: bool, message: str) -> None:
         print(f"FAIL: {message}")
 
 
-def call(url: str, path: str, payload=None, timeout: float = 30.0):
+def call(url: str, path: str, payload=None, timeout: float = 30.0,
+         token=None, method=None):
     """POST/GET JSON; returns (http_status, decoded_body)."""
-    data = None if payload is None else json.dumps(payload).encode()
-    request = urllib.request.Request(
-        url + path,
-        data=data,
-        headers={"Content-Type": "application/json"},
-        method="POST" if data is not None else "GET",
-    )
+    if method is None:
+        method = "POST" if payload is not None else "GET"
+    data = None
+    if method == "POST":
+        data = b"" if payload is None else json.dumps(payload).encode()
+    headers = {"Content-Type": "application/json"}
+    if token is not None:
+        headers["Authorization"] = f"Bearer {token}"
+    request = urllib.request.Request(url + path, data=data, headers=headers,
+                                     method=method)
     try:
         with urllib.request.urlopen(request, timeout=timeout) as response:
             return response.status, json.loads(response.read().decode())
     except urllib.error.HTTPError as exc:
         return exc.code, json.loads(exc.read().decode())
+
+
+def call_text(url: str, path: str, timeout: float = 30.0):
+    """GET a plain-text resource; returns (status, content_type, text)."""
+    with urllib.request.urlopen(url + path, timeout=timeout) as response:
+        return (response.status, response.headers.get("Content-Type", ""),
+                response.read().decode())
+
+
+def error_code(body) -> str:
+    """The v1 envelope's error.code (refusals, rejections, 4xx)."""
+    error = body.get("error")
+    return error.get("code", "") if isinstance(error, dict) else str(error)
 
 
 def write_deployment(tmp: Path, budget: float, frontend: str, records: int = 5000) -> Path:
@@ -90,35 +116,31 @@ def write_deployment(tmp: Path, budget: float, frontend: str, records: int = 500
             [generator.gauss(20.0, 3.0) for _ in range(2000)]))
     except ImportError:  # pragma: no cover - numpy is a hard dependency anyway
         raise SystemExit("numpy is required to build the driver datasets")
-    config = tmp / "serving.toml"
-    config.write_text(f"""
-[service]
-seed = 7
-port = 0
-frontend = "{frontend}"
-max_body = {MAX_BODY}
-
-[groups.shared]
-budget = 1.0
-
-[[datasets]]
-name = "demo"
-source = "data.csv"
-column = "value"
-budget = {budget}
-
-[[datasets]]
-name = "left"
-source = "left.npy"
-group = "shared"
-kinds = ["mean", "baseline.bounded_laplace_mean"]
-
-[[datasets]]
-name = "right"
-source = "right.npy"
-group = "shared"
-""")
-    return config
+    # JSON (not TOML) so the driver can hold the exact document it booted
+    # from and derive byte-identical reload payloads for the control-plane
+    # phases.  Rate limits cover only the "burster" analyst, so the main
+    # drive traffic never draws a 429.
+    document = {
+        "service": {
+            "seed": 7,
+            "port": 0,
+            "frontend": frontend,
+            "max_body": MAX_BODY,
+        },
+        "groups": {"shared": {"budget": 1.0}},
+        "datasets": [
+            {"name": "demo", "source": "data.csv", "column": "value",
+             "budget": budget},
+            {"name": "left", "source": "left.npy", "group": "shared",
+             "kinds": ["mean", "baseline.bounded_laplace_mean"]},
+            {"name": "right", "source": "right.npy", "group": "shared"},
+        ],
+        "admin": {"token": ADMIN_TOKEN},
+        "limits": {"analysts": {"burster": {"rate": 0.001, "burst": 2}}},
+    }
+    config = tmp / "serving.json"
+    config.write_text(json.dumps(document, indent=2))
+    return config, document
 
 
 def start_server(config: Path, log_path: Path) -> tuple:
@@ -152,7 +174,7 @@ def drive(url: str, total_queries: int) -> None:
         kind = kinds[index % 4]
         query = {"dataset": "demo", "kind": kind, "epsilon": 0.02 + 0.001 * index}
         if kind == "quantile":
-            query["levels"] = [0.5, 0.9]
+            query["params"] = {"levels": [0.5, 0.9]}
         fresh.append(query)
     released = []
     for query in fresh:
@@ -186,7 +208,7 @@ def drive(url: str, total_queries: int) -> None:
         )
         check(status == 403, f"over-budget query gave HTTP {status}: {body}")
         check(body.get("status") == "refused", f"expected refusal: {body}")
-        check(body.get("error") == "budget_exceeded", f"wrong refusal code: {body}")
+        check(error_code(body) == "budget_exceeded", f"wrong refusal code: {body}")
         statuses["refused"] += 1
 
     # Phase 4: malformed / unknown requests -> clean 4xx, never 5xx.
@@ -274,7 +296,7 @@ def drive_baseline_kinds(url: str) -> None:
     # Unknown kind: structured 400 listing the registered kinds.
     status, body = call(url, "/query",
                         {"dataset": "demo", "kind": "mode", "epsilon": 0.1})
-    check(status == 400 and body.get("error") == "unknown_kind",
+    check(status == 400 and error_code(body) == "unknown_kind",
           f"unknown kind not a structured 400: HTTP {status} {body}")
     check(sorted(body.get("kinds", [])) == sorted(kinds),
           "400 body kind list drifts from GET /kinds")
@@ -336,7 +358,7 @@ def drive_joint_group(url: str) -> None:
     for offset, dataset in enumerate(("left", "right")):
         status, body = call(url, "/query", {"dataset": dataset, "kind": "mean",
                                             "epsilon": 0.5 + offset / 1000})
-        check(status == 403 and body.get("error") == "budget_exceeded",
+        check(status == 403 and error_code(body) == "budget_exceeded",
               f"joint-cap refusal missing on {dataset}: HTTP {status} {body}")
     # ...with the shared ledger unchanged by the refusals.
     _, after = call(url, "/datasets")
@@ -345,6 +367,136 @@ def drive_joint_group(url: str) -> None:
           f"refusals changed the group ledger: {group_before} -> {group_after}")
     check(group_after["reserved"] == 0.0, f"dangling group reservation: {group_after}")
     print(f"joint group exhausted cleanly at spent={group_after['spent']:.3f}")
+
+
+def drive_metrics(url: str) -> None:
+    """Scrape /metrics and cross-check it against the JSON /datasets view."""
+    status, content_type, text = call_text(url, "/metrics")
+    check(status == 200, f"GET /metrics gave HTTP {status}")
+    check(content_type.startswith("text/plain"),
+          f"/metrics content type: {content_type!r}")
+    check("Traceback" not in text, "/metrics body contains a traceback")
+
+    samples = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        name_labels, _, value = line.rpartition(" ")
+        check(bool(name_labels) and value not in ("", None),
+              f"unparseable /metrics line: {line!r}")
+        check(name_labels not in samples, f"duplicate /metrics sample: {line!r}")
+        samples[name_labels] = float(value)
+
+    _, body = call(url, "/datasets")
+    cache = body["cache"]
+    check(samples.get("repro_cache_hits_total") == cache["hits"],
+          f"cache hits drift: /metrics {samples.get('repro_cache_hits_total')} "
+          f"vs /datasets {cache['hits']}")
+    check(samples.get("repro_cache_misses_total") == cache["misses"],
+          "cache misses drift between /metrics and /datasets")
+    for dataset in body["datasets"]:
+        key = f'repro_budget_spent_epsilon{{dataset="{dataset["name"]}"}}'
+        check(abs(samples.get(key, -1.0) - dataset["budget"]["spent"]) < 1e-9,
+              f"budget gauge drift for {dataset['name']}: {samples.get(key)}")
+    histogram_counts = [v for k, v in samples.items()
+                       if k.startswith("repro_request_latency_seconds_count")]
+    check(bool(histogram_counts) and sum(histogram_counts) > 0,
+          "no latency histogram samples exported")
+    print(f"/metrics scraped: {len(samples)} samples cross-checked")
+
+
+def drive_control_plane(url: str, config_path: Path, document: dict) -> None:
+    """Authenticated /admin: no-op reload, live add + rotate, drain + remove."""
+    status, body = call(url, "/admin/state")
+    check(status == 401, f"unauthenticated /admin/state gave HTTP {status}")
+    status, body = call(url, "/admin/state", token="wrong-secret")
+    check(status == 401 and error_code(body) == "unauthorized",
+          f"bad-token /admin/state: HTTP {status} {body}")
+    status, body = call(url, "/admin/state", token=ADMIN_TOKEN)
+    check(status == 200 and body.get("admin", {}).get("enabled") is True,
+          f"/admin/state failed: HTTP {status} {body}")
+    check(body["admin"]["draining"] == [], f"unexpected drains: {body['admin']}")
+
+    # Reloading the unchanged booted file must be a provable no-op.
+    status, body = call(url, "/admin/reload", token=ADMIN_TOKEN, method="POST")
+    check(status == 200 and body.get("applied") == [] and body.get("unchanged"),
+          f"unchanged reload was not a no-op: HTTP {status} {body}")
+
+    # Live reload: add a dataset and rotate an analyst budget, no restart.
+    document["datasets"].append(
+        {"name": "hot", "values": [float(v) for v in range(64)], "budget": 1.0})
+    document["datasets"][0]["analyst_budgets"] = {"vip": 0.2}
+    config_path.write_text(json.dumps(document, indent=2))
+    status, body = call(url, "/admin/reload", token=ADMIN_TOKEN, method="POST")
+    applied = sorted(change["action"] for change in body.get("applied", []))
+    check(status == 200 and applied == ["add_dataset", "rotate_analyst_budgets"],
+          f"live reload applied {applied}: HTTP {status} {body}")
+
+    hot_query = {"dataset": "hot", "kind": "mean", "epsilon": 0.25}
+    status, body = call(url, "/query", hot_query)
+    check(status == 200 and body.get("status") == "ok",
+          f"dataset added by live reload does not serve: HTTP {status} {body}")
+    status, body = call(url, "/query",
+                        {"dataset": "demo", "kind": "mean", "epsilon": 0.5,
+                         "analyst": "vip"})
+    check(status == 403 and body.get("status") == "refused",
+          f"rotated analyst cap not enforced: HTTP {status} {body}")
+
+    # Drain: cached answers keep serving, fresh releases refuse, then remove.
+    status, body = call(url, "/admin/drain", {"dataset": "hot"},
+                        token=ADMIN_TOKEN)
+    check(status == 200 and body.get("dataset", {}).get("draining") is True,
+          f"drain failed: HTTP {status} {body}")
+    status, body = call(url, "/query", hot_query)
+    check(status == 200 and body.get("cached") is True,
+          f"drained dataset dropped its cached answer: HTTP {status} {body}")
+    status, body = call(url, "/query", dict(hot_query, epsilon=0.35))
+    check(status == 403 and error_code(body) == "draining",
+          f"drained dataset admitted a fresh release: HTTP {status} {body}")
+
+    document["datasets"] = [d for d in document["datasets"]
+                            if d["name"] != "hot"]
+    config_path.write_text(json.dumps(document, indent=2))
+    status, body = call(url, "/admin/reload", token=ADMIN_TOKEN, method="POST")
+    applied = [change["action"] for change in body.get("applied", [])]
+    check(status == 200 and applied == ["remove_dataset"],
+          f"drained removal applied {applied}: HTTP {status} {body}")
+    status, body = call(url, "/query", hot_query)
+    check(status == 404 and error_code(body) == "unknown_dataset",
+          f"removed dataset still answers: HTTP {status} {body}")
+    print("control plane: no-op reload, live add+rotate, drain+remove all passed")
+
+
+def drive_rate_limit(url: str) -> None:
+    """Burst past the 'burster' analyst's bucket; the ledger must not move."""
+    admitted, limited = 0, 0
+    before = None
+    for step in range(4):
+        if admitted >= 2 and before is None:
+            _, snapshot = call(url, "/datasets")
+            before = json.dumps(snapshot["datasets"], sort_keys=True)
+        status, body = call(url, "/query",
+                            {"dataset": "demo", "kind": "mean",
+                             "epsilon": 0.011 + step / 1000,
+                             "analyst": "burster"})
+        if status == 429:
+            limited += 1
+            check(body.get("status") == "refused" and
+                  error_code(body) == "rate_limited",
+                  f"429 body malformed: {body}")
+            check(body.get("epsilon_charged") == 0.0,
+                  f"rate-limited request charged epsilon: {body}")
+            check(body.get("retry_after", 0) > 0, f"no retry_after: {body}")
+        else:
+            admitted += 1
+    check(limited >= 1, f"burst drew no 429s (admitted {admitted})")
+    check(before is not None, "burst admitted fewer than its bucket size")
+    _, snapshot = call(url, "/datasets")
+    after = json.dumps(snapshot["datasets"], sort_keys=True)
+    check(before == after,
+          "429s changed the budget ledger:\n"
+          f"before: {before}\nafter:  {after}")
+    print(f"rate limit: {admitted} admitted, {limited} limited, ledger unchanged")
 
 
 def _read_responses(sock: socket.socket, count: int):
@@ -433,7 +585,7 @@ def main() -> int:
     with tempfile.TemporaryDirectory() as tmp:
         tmp_path = Path(tmp)
         log_path = tmp_path / "server.log"
-        config = write_deployment(tmp_path, args.budget, args.frontend)
+        config, document = write_deployment(tmp_path, args.budget, args.frontend)
         process, log_handle, url = start_server(config, log_path)
         try:
             check(url is not None, f"server never came up:\n{log_path.read_text()}")
@@ -442,6 +594,9 @@ def main() -> int:
                 drive(url, args.queries)
                 drive_baseline_kinds(url)
                 drive_joint_group(url)
+                drive_metrics(url)
+                drive_control_plane(url, config, document)
+                drive_rate_limit(url)
                 drive_protocol_probes(url, args.frontend)
         finally:
             process.send_signal(signal.SIGINT)

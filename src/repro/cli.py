@@ -290,6 +290,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="list every registered estimator kind with its parameter schema",
     )
 
+    admin = subparsers.add_parser(
+        "admin",
+        help="drive the live control plane of a running 'repro serve' instance",
+    )
+    admin.add_argument(
+        "action", choices=("reload", "drain", "stats"),
+        help="reload: hot-apply a config; drain: stop admitting on a dataset; "
+             "stats: print the control-plane state document",
+    )
+    admin.add_argument("--url", required=True, help="Service base URL")
+    admin.add_argument(
+        "--token", default=None,
+        help="Admin shared secret (default: the REPRO_ADMIN_TOKEN environment "
+             "variable)",
+    )
+    admin.add_argument(
+        "--config", type=Path, default=None, metavar="FILE",
+        help="reload only: send this .toml/.json config inline instead of "
+             "re-reading the file the server booted from",
+    )
+    admin.add_argument(
+        "--dataset", default=None, help="drain only: the dataset to drain"
+    )
+    admin.add_argument(
+        "--undrain", action="store_true",
+        help="drain only: clear the drain flag instead of setting it",
+    )
+    admin.add_argument(
+        "--timeout", type=float, default=30.0, help="HTTP timeout in seconds"
+    )
+
     lint = subparsers.add_parser(
         "lint",
         help="statically check sources against the repro invariants "
@@ -611,6 +642,7 @@ def _run_serve(args: argparse.Namespace) -> int:
                     service, config.host, config.port,
                     allow_register=config.allow_register, quiet=config.quiet,
                     max_body=config.max_body, on_ready=on_ready,
+                    limiter=built.limiter, admin=built.admin,
                 )
             except KeyboardInterrupt:
                 print("shutting down", flush=True)
@@ -620,6 +652,7 @@ def _run_serve(args: argparse.Namespace) -> int:
             service, config.host, config.port,
             allow_register=config.allow_register, quiet=config.quiet,
             max_body=config.max_body,
+            limiter=built.limiter, admin=built.admin,
         )
         host, port = server.server_address[:2]
         print(f"repro-service listening on http://{host}:{port}", flush=True)
@@ -672,41 +705,27 @@ def _run_kinds(args: argparse.Namespace) -> int:
     return 0
 
 
+def _error_code(document: dict) -> Optional[str]:
+    """The machine-readable error code from a v1 (or legacy) document."""
+    error = document.get("error")
+    if isinstance(error, dict):
+        return error.get("code")
+    return error  # legacy pre-v1 servers carried the code as a string
+
+
 def _run_query_client(args: argparse.Namespace) -> int:
     """POST one query to a running service and print the structured answer."""
-    import urllib.error
-    import urllib.request
+    from repro.client import ServiceClient
 
-    payload = {
-        "dataset": args.dataset,
-        "kind": args.kind,
-        "epsilon": args.epsilon,
-        "beta": args.beta,
-    }
-    if args.levels:
-        payload["levels"] = args.levels
     params = _parse_query_params(args.param)
-    if params:
-        payload["params"] = params
-    if args.analyst:
-        payload["analyst"] = args.analyst
-    request = urllib.request.Request(
-        args.url.rstrip("/") + "/query",
-        data=json.dumps(payload).encode("utf-8"),
-        headers={"Content-Type": "application/json"},
-        method="POST",
+    if args.levels:
+        # Canonical spelling: quantile levels are a kind parameter.
+        params.setdefault("levels", args.levels)
+    client = ServiceClient(args.url, timeout=args.timeout, analyst=args.analyst)
+    _, document = client.query(
+        args.dataset, args.kind,
+        epsilon=args.epsilon, beta=args.beta, params=params or None,
     )
-    try:
-        with urllib.request.urlopen(request, timeout=args.timeout) as response:
-            document = json.loads(response.read().decode("utf-8"))
-    except urllib.error.HTTPError as exc:
-        # Refusals and validation errors arrive as structured JSON bodies.
-        try:
-            document = json.loads(exc.read().decode("utf-8"))
-        except (ValueError, UnicodeDecodeError):
-            raise DomainError(f"service returned HTTP {exc.code} with no JSON body")
-    except (urllib.error.URLError, OSError) as exc:
-        raise DomainError(f"cannot reach service at {args.url}: {exc}")
 
     status = document.get("status", "error")
     print(f"status={status}")
@@ -718,13 +737,52 @@ def _run_query_client(args: argparse.Namespace) -> int:
             print(f"value={value:.6g}")
         print(f"cached={'yes' if document.get('cached') else 'no'}")
     if document.get("error"):
-        print(f"error={document['error']}")
+        print(f"error={_error_code(document)}")
         print(f"message={document.get('message', '')}")
     if document.get("epsilon_charged") is not None:
         print(f"epsilon_charged={document['epsilon_charged']:.6g}")
     if document.get("remaining") is not None:
         print(f"remaining={document['remaining']:.6g}")
+    for notice in document.get("deprecated", ()):
+        print(f"deprecated: {notice}", file=sys.stderr)
     return {"ok": 0, "refused": 3, "failed": 4}.get(status, 2)
+
+
+def _run_admin(args: argparse.Namespace) -> int:
+    """``repro admin reload|drain|stats`` against a running service."""
+    import os
+
+    from repro.client import ServiceClient
+
+    token = args.token or os.environ.get("REPRO_ADMIN_TOKEN")
+    client = ServiceClient(args.url, timeout=args.timeout, token=token)
+    if args.action == "stats":
+        code, document = client.admin_state()
+    elif args.action == "reload":
+        config = None
+        if args.config is not None:
+            from repro.service.config import load_serving_config  # validates early
+
+            load_serving_config(args.config)
+            suffix = args.config.suffix.lower()
+            if suffix == ".json":
+                config = json.loads(args.config.read_text())
+            else:
+                raise DomainError(
+                    "--config reloads send the document inline and need JSON; "
+                    "for TOML configs let the server re-read its booted file "
+                    "(run reload without --config)"
+                )
+        code, document = client.admin_reload(config)
+    else:  # drain
+        if not args.dataset:
+            raise DomainError("admin drain needs --dataset NAME")
+        code, document = client.admin_drain(args.dataset, not args.undrain)
+    print(json.dumps(document, indent=2, sort_keys=True))
+    if code >= 400:
+        print(f"error: HTTP {code}: {_error_code(document)}", file=sys.stderr)
+        return 2
+    return 0
 
 
 def _run_lint(args: argparse.Namespace) -> int:
@@ -755,6 +813,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _run_serve(args)
         if args.command == "query":
             return _run_query_client(args)
+        if args.command == "admin":
+            return _run_admin(args)
         if args.command == "kinds":
             return _run_kinds(args)
         if args.command == "lint":

@@ -1,0 +1,208 @@
+"""``repro.client`` — a stdlib HTTP client for the serving API.
+
+One small class, :class:`ServiceClient`, wrapping :mod:`urllib` so every
+consumer of a running ``repro serve`` instance — the ``repro query`` /
+``repro admin`` CLI commands, the quickstart examples, the CI drive script,
+tests — speaks the v1 wire envelope through the same code path instead of
+five hand-rolled ``urllib`` snippets.
+
+Every JSON call returns ``(status_code, document)`` with the *parsed* body,
+including for non-2xx responses: the serving API answers refusals and
+rejections with structured JSON documents (``error.code`` et al.), so an
+HTTP error status is data, not an exception.  Only transport-level failures
+(connection refused, timeout, non-JSON body) raise
+:class:`~repro.exceptions.DomainError`.
+
+>>> client = ServiceClient("http://127.0.0.1:8080")       # doctest: +SKIP
+>>> code, doc = client.query("salaries", "mean", epsilon=0.5)  # doctest: +SKIP
+>>> code, doc["status"]                                   # doctest: +SKIP
+(200, 'ok')
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.exceptions import DomainError
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """A client for one running serving instance.
+
+    Parameters
+    ----------
+    url:
+        Base URL of the service (e.g. ``http://127.0.0.1:8080``).
+    timeout:
+        Per-request timeout in seconds.
+    token:
+        Admin shared secret; sent as ``Authorization: Bearer`` on every
+        ``/admin`` call (the server also accepts ``X-Admin-Token``).
+    analyst:
+        Default analyst name attached to queries that don't name one.
+    """
+
+    def __init__(
+        self,
+        url: str,
+        *,
+        timeout: float = 30.0,
+        token: Optional[str] = None,
+        analyst: Optional[str] = None,
+    ):
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+        self.token = token
+        self.analyst = analyst
+
+    # -- transport ----------------------------------------------------------
+    def call(
+        self,
+        path: str,
+        payload: Optional[Any] = None,
+        *,
+        method: Optional[str] = None,
+    ) -> Tuple[int, Dict[str, Any]]:
+        """One JSON round-trip: ``(HTTP status, parsed document)``.
+
+        ``method`` defaults to POST when a payload is given (or the path is
+        under ``/admin``), GET otherwise.  Structured non-2xx bodies are
+        returned, not raised.
+        """
+        status, body = self._request(path, payload, method)
+        try:
+            document = json.loads(body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            raise DomainError(
+                f"service returned HTTP {status} with a non-JSON body "
+                f"for {path}"
+            ) from None
+        return status, document
+
+    def call_text(self, path: str) -> Tuple[int, str]:
+        """GET a plain-text resource (``/metrics``): ``(status, text)``."""
+        status, body = self._request(path, None, "GET")
+        return status, body.decode("utf-8")
+
+    def _request(
+        self, path: str, payload: Optional[Any], method: Optional[str]
+    ) -> Tuple[int, bytes]:
+        import urllib.error
+        import urllib.request
+
+        if method is None:
+            method = "GET" if payload is None else "POST"
+        data = None
+        headers = {}
+        if method == "POST":
+            data = b"" if payload is None else json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        if self.token is not None and path.startswith("/admin"):
+            headers["Authorization"] = f"Bearer {self.token}"
+        request = urllib.request.Request(
+            self.url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return response.status, response.read()
+        except urllib.error.HTTPError as exc:
+            # Refusals/rejections arrive as structured JSON bodies: data.
+            return exc.code, exc.read()
+        except (urllib.error.URLError, OSError) as exc:
+            raise DomainError(
+                f"cannot reach service at {self.url}: {exc}"
+            ) from exc
+
+    # -- data plane ---------------------------------------------------------
+    def health(self) -> Dict[str, Any]:
+        return self.call("/health")[1]
+
+    def stats(self) -> Dict[str, Any]:
+        """The ``GET /datasets`` document: budgets, cache, front-end counters."""
+        return self.call("/datasets")[1]
+
+    def kinds(self) -> Dict[str, Any]:
+        return self.call("/kinds")[1]
+
+    def metrics(self) -> str:
+        """The Prometheus text exposition from ``GET /metrics``."""
+        status, text = self.call_text("/metrics")
+        if status != 200:
+            raise DomainError(f"GET /metrics answered HTTP {status}")
+        return text
+
+    def query(
+        self,
+        dataset: str,
+        kind: str,
+        *,
+        epsilon: float,
+        beta: Optional[float] = None,
+        params: Optional[Mapping[str, Any]] = None,
+        analyst: Optional[str] = None,
+    ) -> Tuple[int, Dict[str, Any]]:
+        """Submit one query; returns ``(status, answer document)``.
+
+        Kind-specific parameters (quantile ``levels``, baseline bounds, ...)
+        go in ``params`` — the canonical spelling; this client never emits
+        the deprecated top-level ``levels`` field.
+        """
+        payload: Dict[str, Any] = {
+            "dataset": dataset,
+            "kind": kind,
+            "epsilon": epsilon,
+        }
+        if beta is not None:
+            payload["beta"] = beta
+        if params:
+            payload["params"] = dict(params)
+        analyst = analyst if analyst is not None else self.analyst
+        if analyst is not None:
+            payload["analyst"] = analyst
+        return self.call("/query", payload)
+
+    def query_batch(
+        self, queries: Sequence[Mapping[str, Any]]
+    ) -> Tuple[int, Dict[str, Any]]:
+        """Submit a batch; per-entry outcomes live in ``document["answers"]``."""
+        return self.call("/query", {"queries": list(queries)})
+
+    def register(
+        self,
+        name: str,
+        values: Sequence[float],
+        budget: float,
+        *,
+        analyst_budgets: Optional[Mapping[str, float]] = None,
+        share: bool = False,
+    ) -> Tuple[int, Dict[str, Any]]:
+        payload: Dict[str, Any] = {
+            "name": name,
+            "values": list(values),
+            "budget": budget,
+            "share": share,
+        }
+        if analyst_budgets:
+            payload["analyst_budgets"] = dict(analyst_budgets)
+        return self.call("/datasets", payload)
+
+    # -- control plane ------------------------------------------------------
+    def admin_state(self) -> Tuple[int, Dict[str, Any]]:
+        return self.call("/admin/state")
+
+    def admin_reload(
+        self, config: Optional[Mapping[str, Any]] = None
+    ) -> Tuple[int, Dict[str, Any]]:
+        """Hot-reload: re-read the booted config file, or apply an inline one."""
+        payload = None if config is None else {"config": dict(config)}
+        return self.call("/admin/reload", payload, method="POST")
+
+    def admin_drain(
+        self, dataset: str, draining: bool = True
+    ) -> Tuple[int, Dict[str, Any]]:
+        return self.call(
+            "/admin/drain", {"dataset": dataset, "draining": draining}
+        )

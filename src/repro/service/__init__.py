@@ -24,7 +24,15 @@ mean / variance / quantile / IQR / multivariate mean plus every adapted
 * boots **multi-dataset deployments from a declarative config**
   (:mod:`repro.service.config`: TOML/JSON sources, budgets, cache, workers)
   including **joint budget groups** — one epsilon cap spanning several
-  datasets (``repro serve --config serving.toml``).
+  datasets (``repro serve --config serving.toml``);
+* exposes a **live control plane** (:mod:`repro.service.admin`): an
+  authenticated ``/admin`` surface that hot-reloads the serving config
+  through a declarative differ — add datasets, rotate analyst budgets,
+  resize the cache, drain a dataset before removal — plus per-analyst /
+  per-kind **token-bucket rate limits** (:mod:`repro.service.qos`, 429
+  before any budget is touched) and a **Prometheus** ``GET /metrics``
+  exposition (:mod:`repro.service.metrics`) with per-kind latency
+  histograms (``repro admin reload|drain|stats``).
 
 Under a fixed service ``seed`` every answer is bit-for-bit identical for
 ``workers=1`` and ``workers=N`` — each query's randomness is derived from
@@ -74,6 +82,7 @@ from repro.service.aio import (
     start_async_server,
 )
 from repro.service.config import (
+    AdminConfig,
     BuiltService,
     DatasetConfig,
     GroupConfig,
@@ -81,6 +90,19 @@ from repro.service.config import (
     build_service,
     load_serving_config,
     parse_serving_config,
+)
+from repro.service.admin import (
+    AdminController,
+    ConfigChange,
+    ReloadRejected,
+    diff_serving_configs,
+)
+from repro.service.metrics import LatencyRecorder, render_prometheus
+from repro.service.qos import (
+    LimitSpec,
+    RateLimitDecision,
+    RateLimiter,
+    RateLimits,
 )
 
 __all__ = [
@@ -115,4 +137,15 @@ __all__ = [
     "build_service",
     "load_serving_config",
     "parse_serving_config",
+    "AdminConfig",
+    "AdminController",
+    "ConfigChange",
+    "ReloadRejected",
+    "diff_serving_configs",
+    "LatencyRecorder",
+    "render_prometheus",
+    "LimitSpec",
+    "RateLimitDecision",
+    "RateLimiter",
+    "RateLimits",
 ]

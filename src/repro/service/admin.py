@@ -1,0 +1,501 @@
+"""Live control plane: hot-reload the serving config through a declarative diff.
+
+The serving config (:mod:`repro.service.config`) is a *declaration* of the
+deployment; this module makes a running server converge on a new declaration
+without a restart, following the classic config-daemon shape: **parse →
+validate → diff → apply**.
+
+:func:`diff_serving_configs` compares the booted config against a candidate
+and produces an explicit list of :class:`ConfigChange` records — add a
+group, add a dataset, remove a *drained* dataset, update a ``kinds=``
+allowlist, rotate per-analyst budgets, resize the answer cache, swap the
+``[limits]`` QoS table, rotate the admin token.  Anything the running
+process cannot honour live (seed, workers, front-end flavour, a dataset's
+source or budget, ...) raises :class:`ReloadRejected` **before anything is
+applied** — a reload is atomic: all of its changes or none.  Reloading an
+unchanged config diffs to the empty list and the apply loop never runs: a
+provable no-op.
+
+:class:`AdminController` wraps the diff in the authenticated ``/admin`` HTTP
+surface both front-ends mount:
+
+* ``GET  /admin/state`` — control-plane view: reload count, drain flags,
+  QoS counters, plus the service stats document.
+* ``POST /admin/reload`` — re-read the booted config file (empty body) or
+  apply an inline document (``{"config": {...}}``).
+* ``POST /admin/drain`` — flip a dataset's drain flag
+  (``{"dataset": ..., "draining": true|false}``): stop admitting fresh
+  releases while cached answers keep being served, the precondition the
+  differ demands before a dataset may be removed.
+
+Auth is a shared secret (``[admin] token=`` or the ``REPRO_ADMIN_TOKEN``
+environment variable) compared with :func:`hmac.compare_digest`; with no
+token configured the surface answers 403 ``admin_disabled``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hmac
+import os
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Collection, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.exceptions import DomainError, ReproError
+from repro.service import wire
+from repro.service.config import (
+    ADMIN_TOKEN_ENV,
+    ServingConfig,
+    _load_dataset_values,
+    load_serving_config,
+    parse_serving_config,
+)
+from repro.service.executor import QueryService
+from repro.service.registry import UnknownDatasetError
+
+__all__ = [
+    "AdminController",
+    "ConfigChange",
+    "ReloadRejected",
+    "diff_serving_configs",
+]
+
+#: ``[service]`` fields baked into the running process at boot; a reload
+#: changing any of them is rejected whole.
+_RESTART_FIELDS = (
+    "seed", "workers", "frontend", "host", "port",
+    "max_body", "allow_register", "quiet",
+)
+
+#: Per-dataset fields that cannot change live (the data itself and its
+#: budget identity); drain and re-add the dataset instead.
+_FROZEN_DATASET_FIELDS = ("source", "column", "values", "budget", "group", "share")
+
+
+@dataclass(frozen=True)
+class ConfigChange:
+    """One applied (or to-be-applied) control-plane mutation."""
+
+    action: str
+    target: Optional[str] = None
+    detail: Mapping[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "action": self.action,
+            "target": self.target,
+            "detail": dict(self.detail),
+        }
+
+
+class ReloadRejected(DomainError):
+    """The candidate config asks for changes a live process cannot honour.
+
+    ``problems`` lists every offending change (not just the first), so one
+    round-trip tells the operator everything to fix.
+    """
+
+    def __init__(self, problems: Sequence[str]):
+        self.problems = list(problems)
+        super().__init__(
+            "config reload rejected: " + "; ".join(self.problems)
+        )
+
+
+def _diff_datasets(
+    old: ServingConfig,
+    new: ServingConfig,
+    draining: Collection[str],
+    changes: List[ConfigChange],
+    problems: List[str],
+) -> None:
+    old_by_name = {dataset.name: dataset for dataset in old.datasets}
+    new_by_name = {dataset.name: dataset for dataset in new.datasets}
+    for name in new_by_name:
+        if name not in old_by_name:
+            cfg = new_by_name[name]
+            changes.append(
+                ConfigChange(
+                    "add_dataset", name,
+                    {"budget": cfg.budget, "group": cfg.group},
+                )
+            )
+    for name in old_by_name:
+        if name not in new_by_name:
+            if name in draining:
+                changes.append(ConfigChange("remove_dataset", name))
+            else:
+                problems.append(
+                    f"dataset {name!r} was removed from the config but is not "
+                    "draining; POST /admin/drain it first"
+                )
+    for name, old_cfg in old_by_name.items():
+        new_cfg = new_by_name.get(name)
+        if new_cfg is None:
+            continue
+        for frozen in _FROZEN_DATASET_FIELDS:
+            if getattr(old_cfg, frozen) != getattr(new_cfg, frozen):
+                problems.append(
+                    f"dataset {name!r}: changing {frozen}= requires a restart "
+                    "(or drain, remove and re-add the dataset)"
+                )
+        if old_cfg.kinds != new_cfg.kinds:
+            changes.append(
+                ConfigChange(
+                    "update_kinds", name,
+                    {
+                        "kinds": None if new_cfg.kinds is None
+                        else list(new_cfg.kinds)
+                    },
+                )
+            )
+        if (old_cfg.analyst_budgets or {}) != (new_cfg.analyst_budgets or {}):
+            changes.append(
+                ConfigChange(
+                    "rotate_analyst_budgets", name,
+                    {"analysts": sorted(new_cfg.analyst_budgets or {})},
+                )
+            )
+
+
+def _diff_groups(
+    old: ServingConfig,
+    new: ServingConfig,
+    changes: List[ConfigChange],
+    problems: List[str],
+) -> None:
+    old_by_name = {group.name: group for group in old.groups}
+    new_by_name = {group.name: group for group in new.groups}
+    for name, cfg in new_by_name.items():
+        if name not in old_by_name:
+            changes.append(
+                ConfigChange("add_group", name, {"budget": cfg.budget})
+            )
+    for name in old_by_name:
+        if name not in new_by_name:
+            problems.append(f"removing budget group {name!r} requires a restart")
+    for name, old_cfg in old_by_name.items():
+        new_cfg = new_by_name.get(name)
+        if new_cfg is None:
+            continue
+        if old_cfg.budget != new_cfg.budget:
+            problems.append(
+                f"group {name!r}: changing the joint budget requires a restart"
+            )
+        if (old_cfg.analyst_budgets or {}) != (new_cfg.analyst_budgets or {}):
+            changes.append(
+                ConfigChange(
+                    "rotate_group_analyst_budgets", name,
+                    {"analysts": sorted(new_cfg.analyst_budgets or {})},
+                )
+            )
+
+
+def diff_serving_configs(
+    old: ServingConfig,
+    new: ServingConfig,
+    *,
+    draining: Collection[str] = (),
+) -> List[ConfigChange]:
+    """The declarative diff: the changes taking a live ``old`` server to ``new``.
+
+    Returns the (possibly empty) change list, ordered so applying front to
+    back is always valid (groups before the datasets that join them).
+    Raises :class:`ReloadRejected` — listing *every* problem — when the
+    candidate differs in ways a running process cannot honour; ``draining``
+    names the datasets currently drained and therefore eligible for removal.
+    """
+    changes: List[ConfigChange] = []
+    problems: List[str] = []
+    for field_name in _RESTART_FIELDS:
+        if getattr(old, field_name) != getattr(new, field_name):
+            problems.append(
+                f"[service] {field_name} changed "
+                f"({getattr(old, field_name)!r} -> {getattr(new, field_name)!r}); "
+                "this requires a restart"
+            )
+    _diff_groups(old, new, changes, problems)
+    _diff_datasets(old, new, draining, changes, problems)
+    if old.cache_size != new.cache_size:
+        changes.append(
+            ConfigChange(
+                "resize_cache", None,
+                {"from": old.cache_size, "to": new.cache_size},
+            )
+        )
+    if old.limits != new.limits:
+        changes.append(ConfigChange("update_limits"))
+    if old.admin != new.admin:
+        # The token itself must never appear in a response document.
+        changes.append(ConfigChange("rotate_admin_token"))
+    if problems:
+        raise ReloadRejected(problems)
+    return changes
+
+
+def _resolve_token(
+    config: ServingConfig, explicit: Optional[str] = None
+) -> Optional[str]:
+    """The effective admin secret: explicit > config token > environment."""
+    if explicit:
+        return explicit
+    admin = config.admin
+    if admin is not None and admin.token:
+        return admin.token
+    env_name = admin.token_env if admin is not None else ADMIN_TOKEN_ENV
+    return os.environ.get(env_name) or None
+
+
+class AdminController:
+    """The authenticated control plane one service exposes on ``/admin``.
+
+    Front-ends hold a controller and forward every ``/admin/*`` request to
+    :meth:`handle`, which owns auth, routing, and the error mapping — so the
+    two protocol suites cannot diverge on control-plane behaviour.  Mutating
+    operations serialise under one lock; a reload validates everything
+    (including materialising new dataset sources) before applying anything.
+    """
+
+    def __init__(
+        self,
+        service: QueryService,
+        *,
+        config: ServingConfig,
+        limiter: Optional[Any] = None,
+        pool: Optional[Any] = None,
+        token: Optional[str] = None,
+        config_path: Optional[Any] = None,
+    ):
+        self._service = service
+        self._limiter = limiter
+        self._pool = pool
+        self._lock = threading.Lock()
+        self._config = config
+        path = config_path if config_path is not None else config.source_path
+        self._config_path = None if path is None else Path(path)
+        self._token = _resolve_token(config, token)
+        self._reloads = 0
+        self._applied = 0
+
+    @property
+    def enabled(self) -> bool:
+        """Whether a shared secret is configured (else /admin answers 403)."""
+        with self._lock:
+            return self._token is not None
+
+    def authorize(self, token: Optional[str]) -> bool:
+        """Constant-time comparison of the presented token with the secret."""
+        with self._lock:
+            secret = self._token
+        if secret is None or token is None:
+            return False
+        return hmac.compare_digest(
+            token.encode("utf-8"), secret.encode("utf-8")
+        )
+
+    # -- HTTP entry point ----------------------------------------------------
+    def handle(
+        self,
+        method: str,
+        path: str,
+        payload: Any,
+        token: Optional[str],
+    ) -> Tuple[int, Dict[str, Any]]:
+        """Answer one ``/admin/*`` request: ``(HTTP status, document)``.
+
+        Never raises for domain-level problems — refusals and rejections are
+        structured documents, keeping both front-ends' no-traceback contract.
+        """
+        if not self.enabled:
+            return 403, wire.admin_disabled()
+        if not self.authorize(token):
+            return 401, wire.error_document(
+                "unauthorized",
+                "missing or invalid admin token (send Authorization: Bearer "
+                "<token> or X-Admin-Token: <token>)",
+            )
+        try:
+            if method == "GET" and path == "/admin/state":
+                return 200, self.state()
+            if method == "POST" and path == "/admin/reload":
+                return 200, self.reload(payload)
+            if method == "POST" and path == "/admin/drain":
+                return self._handle_drain(payload)
+        except ReloadRejected as exc:
+            return 409, wire.error_document(
+                "reload_rejected",
+                str(exc),
+                detail={"problems": exc.problems},
+            )
+        except UnknownDatasetError as exc:
+            return 404, wire.error_document("unknown_dataset", str(exc))
+        except ReproError as exc:
+            return 400, wire.error_document("invalid_request", str(exc))
+        return 404, wire.unknown_path(method, path)
+
+    # -- operations ----------------------------------------------------------
+    def state(self) -> Dict[str, Any]:
+        """The control-plane view: reload counters, drains, QoS, service stats."""
+        with self._lock:
+            reloads = self._reloads
+            applied = self._applied
+            config_path = self._config_path
+        doc: Dict[str, Any] = {
+            "api": wire.API_VERSION,
+            "status": "ok",
+            "admin": {
+                "enabled": True,
+                "reloads": reloads,
+                "changes_applied": applied,
+                "config_path": None if config_path is None else str(config_path),
+                "draining": sorted(self._draining_names()),
+            },
+            "stats": self._service.stats(),
+        }
+        if self._limiter is not None:
+            doc["limits"] = self._limiter.stats()
+        return doc
+
+    def reload(self, payload: Any = None) -> Dict[str, Any]:
+        """Converge the live service on a new config document, atomically.
+
+        Empty payload → re-read the file the server booted from; a
+        ``{"config": {...}}`` payload applies an inline document (resolved
+        against the booted config's directory).  Returns the applied change
+        list; an unchanged config reports ``applied: []`` without touching
+        any service state.
+        """
+        with self._lock:
+            new = self._parse_candidate(payload)
+            changes = diff_serving_configs(
+                self._config, new, draining=self._draining_names()
+            )
+            if changes:
+                self._apply(new, changes)
+                # The booted path keeps anchoring file reloads, whatever the
+                # candidate's provenance.
+                self._config = dataclasses.replace(
+                    new, source_path=self._config_path
+                )
+                self._applied += len(changes)
+            self._reloads += 1
+            return {
+                "api": wire.API_VERSION,
+                "status": "ok",
+                "applied": [change.to_json() for change in changes],
+                "unchanged": not changes,
+                "reloads": self._reloads,
+            }
+
+    def drain(self, name: str, draining: bool = True) -> Dict[str, Any]:
+        """Flip one dataset's drain flag; returns its fresh snapshot."""
+        dataset = self._service.registry.set_draining(name, draining)
+        return {
+            "api": wire.API_VERSION,
+            "status": "ok",
+            "dataset": dataset.to_json(),
+        }
+
+    # -- internals -----------------------------------------------------------
+    def _handle_drain(self, payload: Any) -> Tuple[int, Dict[str, Any]]:
+        if not isinstance(payload, Mapping) or "dataset" not in payload:
+            return 400, wire.error_document(
+                "invalid_request",
+                'drain body must be {"dataset": <name>, "draining": true|false}',
+            )
+        draining = payload.get("draining", True)
+        if not isinstance(draining, bool):
+            return 400, wire.error_document(
+                "invalid_request", "draining must be a boolean"
+            )
+        return 200, self.drain(str(payload["dataset"]), draining)
+
+    def _draining_names(self) -> List[str]:
+        return [
+            dataset.name for dataset in self._service.registry if dataset.draining
+        ]
+
+    def _parse_candidate(self, payload: Any) -> ServingConfig:
+        """The candidate config from a reload payload. Caller must hold ``self._lock``."""
+        if isinstance(payload, Mapping) and "config" in payload:
+            document = payload["config"]
+            if not isinstance(document, Mapping):
+                raise DomainError(
+                    'reload "config" must be a config document object'
+                )
+            return parse_serving_config(
+                document, base_dir=self._config.base_dir
+            )
+        if payload not in (None, {}, ""):
+            raise DomainError(
+                'reload body must be empty (re-read the booted config file) '
+                'or {"config": {...}}'
+            )
+        if self._config_path is None:
+            raise DomainError(
+                "this server was not booted from a config file; "
+                'POST {"config": {...}} instead'
+            )
+        return load_serving_config(self._config_path)
+
+    def _apply(self, new: ServingConfig, changes: List[ConfigChange]) -> None:
+        """Apply a validated change list. Caller must hold ``self._lock``.
+
+        Dataset sources are materialised *before* any mutation, so a missing
+        or malformed source file rejects the whole reload with the live
+        service untouched.
+        """
+        new_datasets = {dataset.name: dataset for dataset in new.datasets}
+        new_groups = {group.name: group for group in new.groups}
+        loaded: Dict[str, Any] = {}
+        for change in changes:
+            if change.action == "add_dataset":
+                cfg = new_datasets[change.target]
+                loaded[change.target] = _load_dataset_values(cfg, new.base_dir)
+        registry = self._service.registry
+        for change in changes:
+            action = change.action
+            if action == "add_group":
+                cfg = new_groups[change.target]
+                registry.create_group(
+                    cfg.name, cfg.budget, analyst_budgets=cfg.analyst_budgets
+                )
+            elif action == "add_dataset":
+                cfg = new_datasets[change.target]
+                share = cfg.share
+                if share is None:
+                    share = self._pool is not None and self._pool.parallel
+                self._service.register(
+                    cfg.name,
+                    loaded[change.target],
+                    cfg.budget,
+                    group=cfg.group,
+                    analyst_budgets=cfg.analyst_budgets,
+                    share=share,
+                    kinds=cfg.kinds,
+                )
+            elif action == "remove_dataset":
+                registry.unregister(change.target)
+            elif action == "update_kinds":
+                registry.update_kinds(
+                    change.target, new_datasets[change.target].kinds
+                )
+            elif action == "rotate_analyst_budgets":
+                registry.get(change.target).budget.rotate_analyst_budgets(
+                    new_datasets[change.target].analyst_budgets
+                )
+            elif action == "rotate_group_analyst_budgets":
+                registry.group(change.target).rotate_analyst_budgets(
+                    new_groups[change.target].analyst_budgets
+                )
+            elif action == "resize_cache":
+                self._service.cache.resize(new.cache_size)
+            elif action == "update_limits":
+                if self._limiter is not None:
+                    self._limiter.configure(new.limits)
+            elif action == "rotate_admin_token":
+                self._token = _resolve_token(new)
+            else:  # pragma: no cover - the differ only emits the above
+                raise DomainError(f"unknown config change action {action!r}")

@@ -6,10 +6,10 @@ the cached path alive.  This module serves the *same* service from a single
 event loop (pure stdlib: :func:`asyncio.start_server` plus a minimal
 HTTP/1.1 parser — no new dependencies):
 
-* **Fast paths run on the loop.**  Cache hits, sure budget refusals and
-  invalid requests are answered by :meth:`QueryService.peek` — lock-guarded
-  dict lookups, never an estimator run — directly in the event loop, so the
-  hot cached path is one task switch per request.
+* **Fast paths run on the loop.**  Cache hits, sure budget refusals, invalid
+  requests and rate-limit refusals are answered without leaving the event
+  loop (:meth:`QueryService.peek` — lock-guarded dict lookups, never an
+  estimator run), so the hot cached path is one task switch per request.
 * **Cold queries leave the loop.**  A request that needs a fresh release is
   dispatched to a small thread pool via ``run_in_executor`` and flows through
   the untouched admission → coalesce → fan-out → commit pipeline of
@@ -24,6 +24,13 @@ HTTP/1.1 parser — no new dependencies):
   ``Content-Length`` → 400, oversized body → 413 (never read into memory),
   a peer disconnecting mid-request or mid-response is swallowed and counted
   — the log stays traceback-free by construction.
+
+Every response body comes from :mod:`repro.service.wire` (the v1 envelope),
+and the route surface matches the threaded front-end exactly: ``/health``,
+``/datasets``, ``/kinds``, ``/metrics`` (Prometheus text), ``/query``
+(single or batch, with pre-admission per-analyst / per-kind rate limiting),
+``/datasets`` registration, and the authenticated ``/admin`` control plane
+(state / reload / drain; mutating operations run off-loop in the executor).
 
 ``GET /datasets`` reports the front-end counters (requests, loop-answered,
 executor-dispatched, disconnects, malformed) under the ``frontend`` key.
@@ -41,20 +48,13 @@ import json
 import sys
 import threading
 from concurrent.futures import ThreadPoolExecutor
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.exceptions import ReproError
+from repro.service import wire
 from repro.service.executor import QueryService
-from repro.service.http import (
-    DEFAULT_MAX_BODY,
-    _answer_status_code,
-    _internal_error,
-    _invalid_request_document,
-    _kinds_document,
-    _parse_request,
-    _register_response,
-    _too_large_error,
-)
+from repro.service.http import DEFAULT_MAX_BODY
+from repro.service.metrics import PROMETHEUS_CONTENT_TYPE, render_prometheus
 from repro.service.queries import InvalidQueryError
 
 __all__ = [
@@ -68,10 +68,13 @@ _REASONS = {
     200: "OK",
     201: "Created",
     400: "Bad Request",
+    401: "Unauthorized",
     403: "Forbidden",
     404: "Not Found",
     405: "Method Not Allowed",
+    409: "Conflict",
     413: "Payload Too Large",
+    429: "Too Many Requests",
     500: "Internal Server Error",
 }
 
@@ -83,14 +86,11 @@ class _Hangup(Exception):
     """Stop serving this connection (peer gone or framing unrecoverable)."""
 
 
-def _bad_request(message: str) -> Dict[str, Any]:
-    return {"status": "error", "error": "invalid_request", "message": message}
-
-
 class AsyncServiceServer:
     """One event loop serving a :class:`QueryService` over HTTP/1.1.
 
-    Parameters mirror :func:`repro.service.http.make_server`;
+    Parameters mirror :func:`repro.service.http.make_server` (including the
+    ``limiter`` QoS gate and the ``admin`` control plane);
     ``executor_threads`` sizes the pool that runs cold (estimator-executing)
     queries off the loop, and ``keepalive_timeout`` bounds every per-request
     wait — idle time between requests, header/body reads, and response
@@ -108,6 +108,8 @@ class AsyncServiceServer:
         max_body: Optional[int] = DEFAULT_MAX_BODY,
         executor_threads: Optional[int] = None,
         keepalive_timeout: float = 75.0,
+        limiter: Optional[Any] = None,
+        admin: Optional[Any] = None,
     ):
         self.service = service
         self._host = host
@@ -115,6 +117,8 @@ class AsyncServiceServer:
         self.allow_register = allow_register
         self.quiet = quiet
         self.max_body = max_body
+        self.limiter = limiter
+        self.admin = admin
         self._keepalive_timeout = keepalive_timeout
         self._executor = ThreadPoolExecutor(
             max_workers=executor_threads, thread_name_prefix="repro-aio-query"
@@ -209,7 +213,7 @@ class AsyncServiceServer:
             return False
         except ValueError:  # request line beyond the stream's line limit
             self._counters["malformed"] += 1
-            await self._send(writer, 400, _bad_request("request line too long"),
+            await self._send(writer, 400, wire.bad_request("request line too long"),
                              keep_alive=False, log="-")
             return False
         if not request_line.strip():
@@ -217,7 +221,7 @@ class AsyncServiceServer:
         parts = request_line.decode("latin-1").split()
         if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
             self._counters["malformed"] += 1
-            await self._send(writer, 400, _bad_request("unparseable request line"),
+            await self._send(writer, 400, wire.bad_request("unparseable request line"),
                              keep_alive=False, log="-")
             return False
         method, path, version = parts
@@ -231,7 +235,7 @@ class AsyncServiceServer:
             return False
         if headers is None:
             self._counters["malformed"] += 1
-            await self._send(writer, 400, _bad_request("unparseable headers"),
+            await self._send(writer, 400, wire.bad_request("unparseable headers"),
                              keep_alive=False, log=f"{method} {path}")
             return False
         connection = headers.get("connection", "").lower()
@@ -242,15 +246,11 @@ class AsyncServiceServer:
         self._counters["requests"] += 1
         log = f"{method} {path}"
         if method == "GET":
-            return await self._handle_get(path, writer, keep_alive, log)
+            return await self._handle_get(path, headers, writer, keep_alive, log)
         if method == "POST":
             return await self._handle_post(path, headers, reader, writer, keep_alive, log)
-        await self._send(
-            writer, 405,
-            {"status": "error", "error": "method_not_allowed",
-             "message": f"unsupported method {method}"},
-            keep_alive=False, log=log,
-        )
+        await self._send(writer, 405, wire.method_not_allowed(method),
+                         keep_alive=False, log=log)
         return False
 
     async def _read_headers(
@@ -274,37 +274,77 @@ class AsyncServiceServer:
             headers[name.strip().lower()] = value.strip()
         return None  # header block too large
 
+    def _check_rate_limit(self, request) -> Optional[Any]:
+        """The pre-admission QoS gate (see the threaded front-end's twin).
+
+        Runs on the loop — the limiter check is one lock plus arithmetic —
+        and a refusal never touches budget, cache or executor.
+        """
+        if self.limiter is None:
+            return None
+        decision = self.limiter.check(request.analyst, request.query.kind)
+        if decision is not None:
+            self.service.metrics.observe(request.query.kind, "rate_limited", 0.0)
+        return decision
+
     # -- routes ------------------------------------------------------------
     async def _handle_get(
-        self, path: str, writer: asyncio.StreamWriter, keep_alive: bool, log: str
+        self,
+        path: str,
+        headers: Dict[str, str],
+        writer: asyncio.StreamWriter,
+        keep_alive: bool,
+        log: str,
     ) -> bool:
         try:
             if path == "/health":
-                doc: Dict[str, Any] = {
-                    "status": "ok",
-                    "datasets": self.service.registry.names(),
-                }
-                await self._send(writer, 200, doc, keep_alive=keep_alive, log=log)
-            elif path == "/datasets":
-                stats = self.service.stats()
-                stats["frontend"] = self.frontend_stats()
-                await self._send(writer, 200, stats, keep_alive=keep_alive, log=log)
-            elif path == "/kinds":
-                await self._send(writer, 200, _kinds_document(self.service),
+                await self._send(writer, 200, wire.health_document(self.service),
                                  keep_alive=keep_alive, log=log)
-            else:
+            elif path == "/datasets":
                 await self._send(
-                    writer, 404,
-                    {"status": "error", "error": "unknown_path",
-                     "message": f"no route for GET {path}"},
+                    writer, 200,
+                    wire.stats_document(self.service, frontend=self.frontend_stats()),
                     keep_alive=keep_alive, log=log,
                 )
+            elif path == "/kinds":
+                await self._send(writer, 200, wire.kinds_document(self.service),
+                                 keep_alive=keep_alive, log=log)
+            elif path == "/metrics":
+                text = render_prometheus(
+                    self.service,
+                    frontend=self.frontend_stats(),
+                    limiter=self.limiter,
+                )
+                await self._send_raw(
+                    writer, 200, text.encode("utf-8"), PROMETHEUS_CONTENT_TYPE,
+                    keep_alive=keep_alive, log=log,
+                )
+            elif path.startswith("/admin"):
+                code, doc = self._admin_dispatch("GET", path, None, headers)
+                await self._send(writer, code, doc, keep_alive=keep_alive, log=log)
+            else:
+                await self._send(writer, 404, wire.unknown_path("GET", path),
+                                 keep_alive=keep_alive, log=log)
         except (_Hangup, ConnectionError):
             raise
         except Exception as exc:  # noqa: BLE001 - must never leak a traceback
-            await self._send(writer, 500, _internal_error(exc),
+            await self._send(writer, 500, wire.internal_error(exc),
                              keep_alive=keep_alive, log=log)
         return keep_alive
+
+    def _admin_dispatch(
+        self,
+        method: str,
+        path: str,
+        payload: Any,
+        headers: Dict[str, str],
+    ) -> Tuple[int, Dict[str, Any]]:
+        if self.admin is None:
+            return 403, wire.admin_disabled()
+        token = wire.bearer_token(
+            headers.get("authorization"), headers.get("x-admin-token")
+        )
+        return self.admin.handle(method, path, payload, token)
 
     async def _handle_post(
         self,
@@ -326,18 +366,23 @@ class AsyncServiceServer:
             self._counters["malformed"] += 1
             await self._send(
                 writer, 400,
-                _bad_request(
+                wire.bad_request(
                     f"Content-Length must be a non-negative integer, got {raw_length!r}"
                 ),
                 keep_alive=False, log=log,
             )
             return False
         if self.max_body is not None and length > self.max_body:
-            await self._send(writer, 413, _too_large_error(length, self.max_body),
+            await self._send(writer, 413, wire.too_large(length, self.max_body),
                              keep_alive=False, log=log)
             return False
         if length == 0:
-            await self._send(writer, 400, _bad_request("request body is empty"),
+            # An empty POST /admin/reload means "re-read the booted config".
+            if path.startswith("/admin"):
+                return await self._handle_admin_post(
+                    path, None, headers, writer, keep_alive, log
+                )
+            await self._send(writer, 400, wire.bad_request("request body is empty"),
                              keep_alive=keep_alive, log=log)
             return keep_alive
         try:
@@ -354,7 +399,7 @@ class AsyncServiceServer:
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
             await self._send(
                 writer, 400,
-                _bad_request(f"request body is not valid JSON: {exc}"),
+                wire.bad_request(f"request body is not valid JSON: {exc}"),
                 keep_alive=keep_alive, log=log,
             )
             return keep_alive
@@ -363,23 +408,17 @@ class AsyncServiceServer:
         try:
             if path == "/query":
                 if isinstance(payload, dict) and "queries" in payload:
-                    entries = payload["queries"]
-                    if not isinstance(entries, list):
-                        raise InvalidQueryError(
-                            "'queries' must be a list of query objects"
-                        )
-                    requests = [_parse_request(entry) for entry in entries]
-                    self._counters["executed"] += 1
-                    answers = await loop.run_in_executor(
-                        self._executor, self.service.submit_many, requests
-                    )
-                    await self._send(
-                        writer, 200,
-                        {"answers": [answer.to_json() for answer in answers]},
-                        keep_alive=keep_alive, log=log,
-                    )
+                    await self._handle_batch(payload, writer, keep_alive, log, loop)
                 else:
-                    request = _parse_request(payload)
+                    request, deprecated = wire.parse_request(payload)
+                    decision = self._check_rate_limit(request)
+                    if decision is not None:
+                        self._counters["answered_on_loop"] += 1
+                        await self._send(
+                            writer, 429, wire.rate_limited_answer(request, decision),
+                            keep_alive=keep_alive, log=log,
+                        )
+                        return keep_alive
                     answer = self.service.peek(request)
                     if answer is not None:
                         self._counters["answered_on_loop"] += 1
@@ -389,36 +428,94 @@ class AsyncServiceServer:
                             self._executor, self.service.submit, request
                         )
                     await self._send(
-                        writer, _answer_status_code(answer), answer.to_json(),
+                        writer, wire.answer_status_code(answer),
+                        wire.answer_document(answer, deprecated=deprecated),
                         keep_alive=keep_alive, log=log,
                     )
             elif path == "/datasets":
                 if not self.allow_register:
-                    await self._send(
-                        writer, 403,
-                        {"status": "error", "error": "registration_disabled",
-                         "message": "this server does not accept dataset registration"},
-                        keep_alive=keep_alive, log=log,
-                    )
+                    await self._send(writer, 403, wire.registration_disabled(),
+                                     keep_alive=keep_alive, log=log)
                 else:
                     code, doc = await loop.run_in_executor(
-                        self._executor, _register_response, self.service, payload
+                        self._executor, wire.register_response, self.service, payload
                     )
                     await self._send(writer, code, doc, keep_alive=keep_alive, log=log)
-            else:
-                await self._send(
-                    writer, 404,
-                    {"status": "error", "error": "unknown_path",
-                     "message": f"no route for POST {path}"},
-                    keep_alive=keep_alive, log=log,
+            elif path.startswith("/admin"):
+                return await self._handle_admin_post(
+                    path, payload, headers, writer, keep_alive, log
                 )
+            else:
+                await self._send(writer, 404, wire.unknown_path("POST", path),
+                                 keep_alive=keep_alive, log=log)
         except (_Hangup, ConnectionError):
             raise
         except ReproError as exc:
-            await self._send(writer, 400, _invalid_request_document(exc),
+            await self._send(writer, 400, wire.invalid_request(exc),
                              keep_alive=keep_alive, log=log)
         except Exception as exc:  # noqa: BLE001 - must never leak a traceback
-            await self._send(writer, 500, _internal_error(exc),
+            await self._send(writer, 500, wire.internal_error(exc),
+                             keep_alive=keep_alive, log=log)
+        return keep_alive
+
+    async def _handle_batch(
+        self,
+        payload: Dict[str, Any],
+        writer: asyncio.StreamWriter,
+        keep_alive: bool,
+        log: str,
+        loop: asyncio.AbstractEventLoop,
+    ) -> None:
+        entries = payload["queries"]
+        if not isinstance(entries, list):
+            raise InvalidQueryError("'queries' must be a list of query objects")
+        parsed = [wire.parse_request(entry) for entry in entries]
+        docs: List[Optional[Dict[str, Any]]] = [None] * len(parsed)
+        admitted = []
+        for index, (request, deprecated) in enumerate(parsed):
+            decision = self._check_rate_limit(request)
+            if decision is not None:
+                docs[index] = wire.rate_limited_answer(request, decision)
+            else:
+                admitted.append((index, deprecated))
+        self._counters["executed"] += 1
+        answers = await loop.run_in_executor(
+            self._executor,
+            self.service.submit_many,
+            [parsed[index][0] for index, _ in admitted],
+        )
+        for (index, deprecated), answer in zip(admitted, answers):
+            docs[index] = wire.answer_document(answer, deprecated=deprecated)
+        await self._send(writer, 200, wire.answers_document(docs),
+                         keep_alive=keep_alive, log=log)
+
+    async def _handle_admin_post(
+        self,
+        path: str,
+        payload: Any,
+        headers: Dict[str, str],
+        writer: asyncio.StreamWriter,
+        keep_alive: bool,
+        log: str,
+    ) -> bool:
+        try:
+            if self.admin is None:
+                await self._send(writer, 403, wire.admin_disabled(),
+                                 keep_alive=keep_alive, log=log)
+                return keep_alive
+            token = wire.bearer_token(
+                headers.get("authorization"), headers.get("x-admin-token")
+            )
+            # Reloads load dataset sources and take the admin lock: off-loop.
+            loop = asyncio.get_running_loop()
+            code, doc = await loop.run_in_executor(
+                self._executor, self.admin.handle, "POST", path, payload, token
+            )
+            await self._send(writer, code, doc, keep_alive=keep_alive, log=log)
+        except (_Hangup, ConnectionError):
+            raise
+        except Exception as exc:  # noqa: BLE001 - must never leak a traceback
+            await self._send(writer, 500, wire.internal_error(exc),
                              keep_alive=keep_alive, log=log)
         return keep_alive
 
@@ -433,9 +530,22 @@ class AsyncServiceServer:
         log: str,
     ) -> None:
         body = json.dumps(payload).encode("utf-8")
+        await self._send_raw(writer, code, body, "application/json",
+                             keep_alive=keep_alive, log=log)
+
+    async def _send_raw(
+        self,
+        writer: asyncio.StreamWriter,
+        code: int,
+        body: bytes,
+        content_type: str,
+        *,
+        keep_alive: bool,
+        log: str,
+    ) -> None:
         head = (
             f"HTTP/1.1 {code} {_REASONS.get(code, 'OK')}\r\n"
-            "Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
             "\r\n"

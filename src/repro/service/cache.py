@@ -111,14 +111,33 @@ class AnswerCache:
 
     def put(self, key: str, answer: Any) -> None:
         """Store ``answer`` under ``key``, evicting LRU entries if needed."""
-        if self._maxsize == 0:
-            return
         with self._lock:
+            if self._maxsize == 0:
+                return
             self._entries[key] = answer
             self._entries.move_to_end(key)
             while self._maxsize is not None and len(self._entries) > self._maxsize:
                 self._entries.popitem(last=False)
                 self._evictions += 1
+
+    def resize(self, maxsize: Optional[int]) -> int:
+        """Change ``maxsize`` in place, evicting LRU entries down to the new cap.
+
+        The control-plane primitive behind a live ``cache_size`` config
+        change.  ``None`` lifts the bound, ``0`` disables caching (and clears
+        it).  Returns how many entries were evicted; counters are preserved —
+        resizing is an operational act, not a reset.
+        """
+        if maxsize is not None and maxsize < 0:
+            raise DomainError(f"maxsize must be None or >= 0, got {maxsize}")
+        with self._lock:
+            self._maxsize = maxsize
+            evicted = 0
+            while maxsize is not None and len(self._entries) > maxsize:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+                evicted += 1
+            return evicted
 
     def __contains__(self, key: str) -> bool:
         with self._lock:

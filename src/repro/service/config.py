@@ -43,6 +43,19 @@ The TOML grammar (JSON mirrors the same structure)::
     source = "heights.npy"
     group = "clinical"         # draws from the joint group cap
 
+    [admin]                    # optional: enables the live /admin surface
+    token = "change-me"        # shared secret; or token_env = "REPRO_ADMIN_TOKEN"
+
+    [limits]                   # optional: token-bucket QoS (429 pre-admission)
+    analyst_rate = 20.0        # default per-analyst sustained requests/second
+    analyst_burst = 40         # bucket capacity (defaults to max(rate, 1))
+    kind_rate = 100.0          # default per-estimator-kind limit
+    [limits.analysts.alice]    # per-analyst override
+    rate = 2.0
+    burst = 4
+    [limits.kinds.variance]    # per-kind override (keyed on spec.name)
+    rate = 10.0
+
 Inline data (``values = [1.0, 2.0, ...]``) is accepted in place of
 ``source`` — handy for tests and tiny demos.
 
@@ -65,6 +78,7 @@ from repro.exceptions import DomainError
 from repro.service.cache import AnswerCache
 from repro.service.executor import QueryService
 from repro.service.http import DEFAULT_MAX_BODY
+from repro.service.qos import LimitSpec, RateLimiter, RateLimits
 
 try:  # Python 3.11+
     import tomllib as _tomllib
@@ -72,6 +86,7 @@ except ImportError:  # pragma: no cover - exercised on 3.10 only
     _tomllib = None
 
 __all__ = [
+    "AdminConfig",
     "DatasetConfig",
     "GroupConfig",
     "ServingConfig",
@@ -80,6 +95,10 @@ __all__ = [
     "load_serving_config",
     "build_service",
 ]
+
+#: Default environment variable consulted for the admin shared secret when
+#: the config file does not set ``[admin] token=``.
+ADMIN_TOKEN_ENV = "REPRO_ADMIN_TOKEN"
 
 _FRONTENDS = ("threaded", "async")
 
@@ -109,6 +128,19 @@ class DatasetConfig:
 
 
 @dataclass(frozen=True)
+class AdminConfig:
+    """The ``[admin]`` section: shared-secret auth for the live control plane.
+
+    ``token`` is the secret itself; when absent, the environment variable
+    named by ``token_env`` is consulted at boot.  With neither set the
+    ``/admin`` surface answers 403 ``admin_disabled``.
+    """
+
+    token: Optional[str] = None
+    token_env: str = ADMIN_TOKEN_ENV
+
+
+@dataclass(frozen=True)
 class ServingConfig:
     """A validated serving document, ready for :func:`build_service`."""
 
@@ -123,7 +155,10 @@ class ServingConfig:
     max_body: Optional[int] = DEFAULT_MAX_BODY
     allow_register: bool = False
     quiet: bool = False
+    admin: Optional[AdminConfig] = None
+    limits: Optional[RateLimits] = None
     base_dir: Optional[Path] = None  # resolves relative dataset sources
+    source_path: Optional[Path] = None  # the file this config was loaded from
 
 
 # ---------------------------------------------------------------------------
@@ -238,12 +273,97 @@ def _parse_dataset(raw: Any, index: int) -> DatasetConfig:
     )
 
 
+def _parse_admin(raw: Any) -> Optional[AdminConfig]:
+    if raw is None:
+        return None
+    _require(isinstance(raw, Mapping), "[admin] must be a table")
+    unknown = set(raw) - {"token", "token_env"}
+    _require(not unknown, f"[admin] has unknown keys: {sorted(unknown)}")
+    token = raw.get("token")
+    if token is not None:
+        _require(
+            isinstance(token, str) and bool(token),
+            "[admin] token must be a non-empty string",
+        )
+    token_env = raw.get("token_env", ADMIN_TOKEN_ENV)
+    _require(
+        isinstance(token_env, str) and bool(token_env),
+        "[admin] token_env must be a non-empty string",
+    )
+    return AdminConfig(token=token, token_env=token_env)
+
+
+def _parse_limit_spec(raw: Any, where: str) -> LimitSpec:
+    _require(isinstance(raw, Mapping), f"[{where}] must be a table")
+    unknown = set(raw) - {"rate", "burst"}
+    _require(not unknown, f"[{where}] has unknown keys: {sorted(unknown)}")
+    _require("rate" in raw, f"[{where}] needs a rate")
+    return _limit_spec(raw["rate"], raw.get("burst"), where)
+
+
+def _limit_spec(raw_rate: Any, raw_burst: Any, where: str) -> LimitSpec:
+    try:
+        rate = float(raw_rate)
+        burst = max(1.0, rate) if raw_burst is None else float(raw_burst)
+    except (TypeError, ValueError):
+        raise DomainError(
+            f"serving config: [{where}] rate/burst must be numbers"
+        ) from None
+    return LimitSpec(rate=rate, burst=burst)
+
+
+def _parse_limits(raw: Any) -> Optional[RateLimits]:
+    if raw is None:
+        return None
+    _require(isinstance(raw, Mapping), "[limits] must be a table")
+    unknown = set(raw) - {
+        "analyst_rate", "analyst_burst", "kind_rate", "kind_burst",
+        "analysts", "kinds",
+    }
+    _require(not unknown, f"[limits] has unknown keys: {sorted(unknown)}")
+    for default, scope in (("analyst_rate", "analyst"), ("kind_rate", "kind")):
+        _require(
+            default in raw or f"{scope}_burst" not in raw,
+            f"[limits] {scope}_burst needs {default} alongside it",
+        )
+    analyst = (
+        _limit_spec(raw["analyst_rate"], raw.get("analyst_burst"), "limits")
+        if "analyst_rate" in raw
+        else None
+    )
+    kind = (
+        _limit_spec(raw["kind_rate"], raw.get("kind_burst"), "limits")
+        if "kind_rate" in raw
+        else None
+    )
+    overrides: Dict[str, Dict[str, LimitSpec]] = {"analysts": {}, "kinds": {}}
+    for section in ("analysts", "kinds"):
+        table = raw.get(section, {})
+        _require(
+            isinstance(table, Mapping),
+            f"[limits.{section}] must be a table of per-name tables",
+        )
+        for name, spec_raw in table.items():
+            overrides[section][str(name)] = _parse_limit_spec(
+                spec_raw, f"limits.{section}.{name}"
+            )
+    return RateLimits(
+        analyst=analyst,
+        kind=kind,
+        analysts=overrides["analysts"],
+        kinds=overrides["kinds"],
+    )
+
+
 def parse_serving_config(
-    document: Mapping[str, Any], *, base_dir: Optional[Path] = None
+    document: Mapping[str, Any],
+    *,
+    base_dir: Optional[Path] = None,
+    source_path: Optional[Path] = None,
 ) -> ServingConfig:
     """Validate a decoded config document into a :class:`ServingConfig`."""
     _require(isinstance(document, Mapping), "top level must be a table/object")
-    unknown = set(document) - {"service", "groups", "datasets"}
+    unknown = set(document) - {"service", "groups", "datasets", "admin", "limits"}
     _require(not unknown, f"unknown top-level keys: {sorted(unknown)}")
 
     service_raw = document.get("service", {})
@@ -328,7 +448,10 @@ def parse_serving_config(
         max_body=max_body,
         allow_register=bool(service_raw.get("allow_register", False)),
         quiet=bool(service_raw.get("quiet", False)),
+        admin=_parse_admin(document.get("admin")),
+        limits=_parse_limits(document.get("limits")),
         base_dir=base_dir,
+        source_path=source_path,
     )
 
 
@@ -358,7 +481,7 @@ def load_serving_config(path: Any) -> ServingConfig:
         raise DomainError(
             f"serving config must be a .toml or .json file, got {path.name!r}"
         )
-    return parse_serving_config(document, base_dir=path.parent)
+    return parse_serving_config(document, base_dir=path.parent, source_path=path)
 
 
 # ---------------------------------------------------------------------------
@@ -371,12 +494,19 @@ class BuiltService:
 
     ``close()`` releases the registry's shared segments and — only when the
     pool was created here rather than passed in — the engine pool.
+
+    ``limiter`` is the QoS rate limiter (always present; a no-op when the
+    config has no ``[limits]``) and ``admin`` the live control plane
+    (:class:`~repro.service.admin.AdminController`); the front-ends take
+    both so every deployment path shares one wiring.
     """
 
     service: QueryService
     config: ServingConfig
     pool: Any = None
     owns_pool: bool = False
+    limiter: Optional[RateLimiter] = None
+    admin: Any = None
     _closed: bool = field(default=False, repr=False)
 
     def close(self) -> None:
@@ -467,6 +597,14 @@ def build_service(config: ServingConfig, *, pool: Any = None) -> BuiltService:
                 share=share,
                 kinds=dataset.kinds,
             )
+        limiter = RateLimiter(config.limits)
+        # Imported here: repro.service.admin needs this module's parser and
+        # loaders, so the dependency must stay one-way at import time.
+        from repro.service.admin import AdminController
+
+        admin = AdminController(
+            service, config=config, limiter=limiter, pool=pool
+        )
     except BaseException:
         # Release whatever was already built: shared-memory segments of
         # datasets registered before the failure, and the pool if owned.
@@ -475,7 +613,14 @@ def build_service(config: ServingConfig, *, pool: Any = None) -> BuiltService:
         if owns_pool:
             pool.close()
         raise
-    return BuiltService(service=service, config=config, pool=pool, owns_pool=owns_pool)
+    return BuiltService(
+        service=service,
+        config=config,
+        pool=pool,
+        owns_pool=owns_pool,
+        limiter=limiter,
+        admin=admin,
+    )
 
 
 # ---------------------------------------------------------------------------

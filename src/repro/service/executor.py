@@ -45,6 +45,7 @@ import dataclasses
 import hashlib
 import struct
 import threading
+import time
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -59,6 +60,7 @@ from repro.exceptions import (
     ReproError,
 )
 from repro.service.cache import AnswerCache, CacheStats
+from repro.service.metrics import LatencyRecorder
 from repro.service.queries import InvalidQueryError, Query, plan_query
 from repro.service.registry import (
     DatasetRegistry,
@@ -133,6 +135,15 @@ class QueryAnswer:
         if self.query is not None:
             payload["query"] = self.query.to_json()
         return payload
+
+
+def _outcome(answer: QueryAnswer) -> str:
+    """The metrics outcome label: status refined by the zero-cost paths."""
+    if answer.cached:
+        return "cached"
+    if answer.coalesced:
+        return "coalesced"
+    return answer.status
 
 
 class _QueryTrial:
@@ -225,6 +236,11 @@ class QueryService:
     cache:
         Answer cache; defaults to an unbounded :class:`AnswerCache`.  Pass
         ``AnswerCache(maxsize=0)`` to disable caching.
+    metrics:
+        A :class:`~repro.service.metrics.LatencyRecorder` collecting
+        per-kind/per-outcome latency histograms (a fresh one by default);
+        every answered request is observed exactly once — by the submit
+        path, or by :meth:`peek` when it resolves the request itself.
     """
 
     def __init__(
@@ -234,11 +250,13 @@ class QueryService:
         pool=None,
         seed: Optional[int] = None,
         cache: Optional[AnswerCache] = None,
+        metrics: Optional[LatencyRecorder] = None,
     ):
         self.registry = registry if registry is not None else DatasetRegistry()
         self._pool = pool
         self._seed = None if seed is None else int(seed)
         self._cache = cache if cache is not None else AnswerCache()
+        self.metrics = metrics if metrics is not None else LatencyRecorder()
         self._coalesce_lock = threading.Lock()
         self._inflight: Dict[str, _InFlight] = {}
 
@@ -344,6 +362,15 @@ class QueryService:
         is counted here (atomically, by :meth:`AnswerCache.peek`) and a miss
         only once, by :meth:`submit`.
         """
+        started = time.perf_counter()
+        answer = self._peek_inner(request)
+        if answer is not None:
+            self.metrics.observe(
+                answer.kind, _outcome(answer), time.perf_counter() - started
+            )
+        return answer
+
+    def _peek_inner(self, request: QueryRequest) -> Optional[QueryAnswer]:
         prepared = self._prepare(request)
         if not isinstance(prepared, str):
             return prepared
@@ -361,6 +388,9 @@ class QueryService:
         # From here on, outcomes answered by this probe (invalid, refused)
         # count the cache miss themselves — the submission path counts it
         # via its own lookup, and front-end counters must agree.
+        if dataset.draining:
+            self._cache.record_miss()
+            return self._draining(request, key, dataset)
         try:
             plan = plan_query(
                 request.query,
@@ -438,7 +468,44 @@ class QueryService:
             query=request.query,
         )
 
+    def _draining(
+        self, request: QueryRequest, key: str, dataset: RegisteredDataset
+    ) -> QueryAnswer:
+        """Refusal for a draining dataset: no fresh admissions, ledger untouched.
+
+        Cache hits are still served (post-processing costs nothing), so this
+        is only reached after the cache came up empty — stop-admitting,
+        keep-serving semantics for the decommission window.
+        """
+        return QueryAnswer(
+            dataset=request.dataset,
+            kind=request.query.kind,
+            status="refused",
+            key=key,
+            error="draining",
+            message=(
+                f"dataset {request.dataset!r} is draining: new releases are "
+                "not admitted (previously released answers are still served "
+                "from cache)"
+            ),
+            remaining=dataset.budget.remaining,
+            query=request.query,
+        )
+
     def _submit_batch(self, requests: List[QueryRequest]) -> List[QueryAnswer]:
+        """Timed wrapper: answer the batch, then record one observation each.
+
+        Batch entries share the batch's wall-clock elapsed time — the latency
+        a caller of :meth:`submit_many` actually experienced for each answer.
+        """
+        started = time.perf_counter()
+        answers = self._answer_batch(requests)
+        elapsed = time.perf_counter() - started
+        for answer in answers:
+            self.metrics.observe(answer.kind, _outcome(answer), elapsed)
+        return answers
+
+    def _answer_batch(self, requests: List[QueryRequest]) -> List[QueryAnswer]:
         answers: List[Optional[QueryAnswer]] = [None] * len(requests)
         admitted: List[_Admitted] = []
         batch_first: Dict[str, int] = {}  # key -> position of its computing entry
@@ -455,6 +522,9 @@ class QueryService:
             hit = self._cache_lookup(request, key)
             if hit is not None:
                 answers[position] = hit
+                continue
+            if dataset.draining:
+                answers[position] = self._draining(request, key, dataset)
                 continue
             if key in batch_first:
                 duplicates.append((position, key))
@@ -533,8 +603,10 @@ class QueryService:
                 )
             else:
                 # The owner errored before producing an answer; compute it
-                # ourselves (possibly surfacing the same error).
-                answers[position] = self._submit_batch([request])[0]
+                # ourselves (possibly surfacing the same error).  The inner
+                # call keeps the retry inside this batch's single metrics
+                # observation instead of double-counting the request.
+                answers[position] = self._answer_batch([request])[0]
 
         assert all(answer is not None for answer in answers)
         return [answer for answer in answers if answer is not None]

@@ -5,35 +5,50 @@ leans on the service's own locks: budget admission is atomic, identical
 concurrent queries coalesce, and every answer is a structured JSON object —
 a refusal is a *response*, never an exception escaping into the log.
 
+Every response body is built by :mod:`repro.service.wire` (the v1 envelope:
+``"api": 1`` plus a structured ``error`` object), so this module and the
+async front-end cannot drift apart on document shapes.
+
 Protocol
 --------
 ``GET /health``
-    ``{"status": "ok", "datasets": [...names...]}`` — liveness probe.
+    ``{"api": 1, "status": "ok", "datasets": [...names...]}`` — liveness.
 ``GET /datasets``
     Per-dataset budget snapshots (including each dataset's ``kinds``
-    allowlist) plus cache counters (the :meth:`QueryService.stats` document).
+    allowlist and ``draining`` flag) plus cache counters (the
+    :meth:`QueryService.stats` document).
 ``GET /kinds``
     The estimator-spec registry catalogue: every servable kind with its
     typed parameter schema, reservation factor, minimum record count and
     result shape — the authoritative list a client should consult before
     querying.  An unknown ``kind`` in a query is answered with a structured
-    400 whose body carries the same list (``error = "unknown_kind"``).
+    400 whose body carries the same list (``error.code = "unknown_kind"``).
+``GET /metrics``
+    Prometheus text exposition (version 0.0.4): the ``stats()`` counters
+    plus per-kind / per-outcome request-latency histograms.
 ``POST /query``
     Body: a query object —
     ``{"dataset": ..., "kind": ..., "epsilon": ..., "beta": ...,``
-    ``"levels": [...], "analyst": ...}`` — or ``{"queries": [...]}`` with a
-    list of such objects, which is answered as one batch through the
-    service's engine-pool fan-out.  Response: the
-    :meth:`~repro.service.QueryAnswer.to_json` document (or
+    ``"params": {"levels": [...]}, "analyst": ...}`` — or
+    ``{"queries": [...]}`` with a list of such objects, which is answered
+    as one batch through the service's engine-pool fan-out.  (Top-level
+    ``levels`` is deprecated but still accepted; such answers carry a
+    ``"deprecated"`` notice.)  Response: the answer document (or
     ``{"answers": [...]}``).  HTTP status mirrors the outcome: 200 for
     ``ok``/``failed`` (a failed propose-test-release is a valid, budgeted
     DP outcome), 403 for budget refusals, 404 for unknown datasets, 400 for
-    malformed requests.  Batch responses are always 200; inspect each
-    answer's ``status``.
+    malformed requests, 429 for per-analyst/per-kind rate limits (refused
+    *before* admission: the budget ledger is untouched).  Batch responses
+    are always 200; inspect each answer's ``status``.
 ``POST /datasets``
     Registration (only when the server was built with
     ``allow_register=True``): ``{"name": ..., "values": [...],``
     ``"budget": ..., "analyst_budgets": {...}}`` → 201.
+``GET /admin/state`` / ``POST /admin/reload`` / ``POST /admin/drain``
+    The live control plane (:class:`~repro.service.admin.AdminController`),
+    authenticated with ``Authorization: Bearer <token>`` or
+    ``X-Admin-Token``; 403 ``admin_disabled`` when no controller (or no
+    secret) is configured.
 
 Hardening: a missing, non-integer or negative ``Content-Length`` is a clean
 400; a declared body beyond ``max_body`` bytes is answered 413 without
@@ -49,18 +64,15 @@ import json
 import sys
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
-from repro.estimators import kind_catalog
 from repro.exceptions import ReproError
-from repro.service.executor import QueryAnswer, QueryRequest, QueryService
-from repro.service.queries import InvalidQueryError, Query, UnknownQueryKindError
+from repro.service import wire
+from repro.service.executor import QueryService
+from repro.service.metrics import PROMETHEUS_CONTENT_TYPE, render_prometheus
+from repro.service.queries import InvalidQueryError
 
 __all__ = ["DEFAULT_MAX_BODY", "ServiceServer", "make_server", "serve_forever"]
-
-#: answer.status -> HTTP status code for single-query responses.
-_STATUS_CODES = {"ok": 200, "failed": 200, "refused": 403}
-_ERROR_CODES = {"unknown_dataset": 404}
 
 #: Default cap on request body size; oversized posts are answered with 413
 #: instead of being read unbounded into memory.
@@ -88,42 +100,6 @@ class _PayloadTooLarge(Exception):
         self.length = length
 
 
-def _answer_status_code(answer: QueryAnswer) -> int:
-    if answer.status in _STATUS_CODES:
-        return _STATUS_CODES[answer.status]
-    return _ERROR_CODES.get(answer.error or "", 400)
-
-
-def _invalid_request_document(exc: ReproError) -> Dict[str, Any]:
-    """The 400 body for a rejected request (shared by both front-ends).
-
-    An unknown query kind carries the authoritative registered-kind list
-    straight from the registry — never a hardcoded copy that can drift from
-    what the server actually serves.
-    """
-    doc: Dict[str, Any] = {
-        "status": "error",
-        "error": "invalid_request",
-        "message": str(exc),
-    }
-    if isinstance(exc, UnknownQueryKindError):
-        doc["error"] = "unknown_kind"
-        doc["kinds"] = list(exc.kinds)
-    return doc
-
-
-def _kinds_document(service: QueryService) -> Dict[str, Any]:
-    """The ``GET /kinds`` body: the registry catalogue plus dataset allowlists."""
-    return {
-        "status": "ok",
-        "kinds": kind_catalog(),
-        "datasets": {
-            dataset.name: (None if dataset.kinds is None else sorted(dataset.kinds))
-            for dataset in service.registry
-        },
-    }
-
-
 class _Handler(BaseHTTPRequestHandler):
     """Request handler; the service instance hangs off the server object."""
 
@@ -131,12 +107,32 @@ class _Handler(BaseHTTPRequestHandler):
     protocol_version = "HTTP/1.1"
 
     # -- plumbing ----------------------------------------------------------
-    def _send_json(self, code: int, payload: Dict[str, Any]) -> None:
+    def _send_json(
+        self,
+        code: int,
+        payload: Dict[str, Any],
+        *,
+        headers: Optional[Mapping[str, str]] = None,
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
+        self._send_body(code, body, "application/json", headers)
+
+    def _send_text(self, code: int, text: str, content_type: str) -> None:
+        self._send_body(code, text.encode("utf-8"), content_type, None)
+
+    def _send_body(
+        self,
+        code: int,
+        body: bytes,
+        content_type: str,
+        headers: Optional[Mapping[str, str]],
+    ) -> None:
         try:
             self.send_response(code)
-            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(body)))
+            for name, value in (headers or {}).items():
+                self.send_header(name, value)
             if self.close_connection:
                 # Announce the teardown (set by the bad-framing paths before
                 # responding) so keep-alive clients don't pipeline into a FIN.
@@ -150,7 +146,7 @@ class _Handler(BaseHTTPRequestHandler):
             self.server.count_disconnect()
             self.close_connection = True
 
-    def _read_json(self) -> Any:
+    def _read_json(self, *, allow_empty: bool = False) -> Any:
         raw_length = self.headers.get("Content-Length")
         try:
             length = int(raw_length) if raw_length is not None else 0
@@ -175,6 +171,8 @@ class _Handler(BaseHTTPRequestHandler):
             # The client promised `length` bytes and hung up early.
             raise _ClientDisconnect
         if not raw:
+            if allow_empty:
+                return None
             raise InvalidQueryError("request body is empty")
         try:
             return json.loads(raw.decode("utf-8"))
@@ -190,24 +188,35 @@ class _Handler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 - stdlib casing
         try:
             if self.path == "/health":
+                self._send_json(200, wire.health_document(self.server.service))
+            elif self.path == "/datasets":
                 self._send_json(
                     200,
-                    {"status": "ok", "datasets": self.server.service.registry.names()},
+                    wire.stats_document(
+                        self.server.service, frontend=self.server.frontend_stats()
+                    ),
                 )
-            elif self.path == "/datasets":
-                stats = self.server.service.stats()
-                stats["frontend"] = self.server.frontend_stats()
-                self._send_json(200, stats)
             elif self.path == "/kinds":
-                self._send_json(200, _kinds_document(self.server.service))
+                self._send_json(200, wire.kinds_document(self.server.service))
+            elif self.path == "/metrics":
+                self._send_text(
+                    200,
+                    render_prometheus(
+                        self.server.service,
+                        frontend=self.server.frontend_stats(),
+                        limiter=self.server.limiter,
+                    ),
+                    PROMETHEUS_CONTENT_TYPE,
+                )
+            elif self.path.startswith("/admin"):
+                self._handle_admin("GET")
             else:
-                self._send_json(404, {"status": "error", "error": "unknown_path",
-                                      "message": f"no route for GET {self.path}"})
+                self._send_json(404, wire.unknown_path("GET", self.path))
         except _DISCONNECT_ERRORS:
             self.server.count_disconnect()
             self.close_connection = True
         except Exception as exc:  # noqa: BLE001 - must never leak a traceback
-            self._send_json(500, _internal_error(exc))
+            self._send_json(500, wire.internal_error(exc))
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib casing
         try:
@@ -215,9 +224,10 @@ class _Handler(BaseHTTPRequestHandler):
                 self._handle_query()
             elif self.path == "/datasets":
                 self._handle_register()
+            elif self.path.startswith("/admin"):
+                self._handle_admin("POST")
             else:
-                self._send_json(404, {"status": "error", "error": "unknown_path",
-                                      "message": f"no route for POST {self.path}"})
+                self._send_json(404, wire.unknown_path("POST", self.path))
         except _ClientDisconnect:
             self.server.count_disconnect()
             self.close_connection = True
@@ -225,14 +235,31 @@ class _Handler(BaseHTTPRequestHandler):
             # The body was never read, so the connection cannot be reused for
             # keep-alive framing; announce the close, answer, hang up.
             self.close_connection = True
-            self._send_json(413, _too_large_error(exc.length, self.server.max_body))
+            self._send_json(413, wire.too_large(exc.length, self.server.max_body))
         except _DISCONNECT_ERRORS:
             self.server.count_disconnect()
             self.close_connection = True
         except ReproError as exc:
-            self._send_json(400, _invalid_request_document(exc))
+            self._send_json(400, wire.invalid_request(exc))
         except Exception as exc:  # noqa: BLE001 - must never leak a traceback
-            self._send_json(500, _internal_error(exc))
+            self._send_json(500, wire.internal_error(exc))
+
+    def _check_rate_limit(self, request) -> Optional[Any]:
+        """The pre-admission QoS gate: a decision means *refuse with 429*.
+
+        Runs before any budget or cache access, so a 429 costs the ledger
+        nothing; the refusal is still visible in the latency histogram under
+        the ``rate_limited`` outcome (at zero recorded latency).
+        """
+        limiter = self.server.limiter
+        if limiter is None:
+            return None
+        decision = limiter.check(request.analyst, request.query.kind)
+        if decision is not None:
+            self.server.service.metrics.observe(
+                request.query.kind, "rate_limited", 0.0
+            )
+        return decision
 
     def _handle_query(self) -> None:
         payload = self._read_json()
@@ -241,85 +268,57 @@ class _Handler(BaseHTTPRequestHandler):
             entries = payload["queries"]
             if not isinstance(entries, list):
                 raise InvalidQueryError("'queries' must be a list of query objects")
-            requests = [_parse_request(entry) for entry in entries]
-            answers = service.submit_many(requests)
-            self._send_json(200, {"answers": [answer.to_json() for answer in answers]})
+            parsed = [wire.parse_request(entry) for entry in entries]
+            docs: List[Optional[Dict[str, Any]]] = [None] * len(parsed)
+            admitted = []
+            for index, (request, deprecated) in enumerate(parsed):
+                decision = self._check_rate_limit(request)
+                if decision is not None:
+                    docs[index] = wire.rate_limited_answer(request, decision)
+                else:
+                    admitted.append((index, deprecated))
+            answers = service.submit_many(
+                [parsed[index][0] for index, _ in admitted]
+            )
+            for (index, deprecated), answer in zip(admitted, answers):
+                docs[index] = wire.answer_document(answer, deprecated=deprecated)
+            self._send_json(200, wire.answers_document(docs))
             return
-        request = _parse_request(payload)
+        request, deprecated = wire.parse_request(payload)
+        decision = self._check_rate_limit(request)
+        if decision is not None:
+            self._send_json(
+                429,
+                wire.rate_limited_answer(request, decision),
+                headers={"Retry-After": wire.retry_after_header(decision)},
+            )
+            return
         answer = service.submit(request)
-        self._send_json(_answer_status_code(answer), answer.to_json())
+        self._send_json(
+            wire.answer_status_code(answer),
+            wire.answer_document(answer, deprecated=deprecated),
+        )
 
     def _handle_register(self) -> None:
         if not self.server.allow_register:
-            self._send_json(
-                403,
-                {"status": "error", "error": "registration_disabled",
-                 "message": "this server does not accept dataset registration"},
-            )
+            self._send_json(403, wire.registration_disabled())
             return
-        code, doc = _register_response(self.server.service, self._read_json())
+        code, doc = wire.register_response(self.server.service, self._read_json())
         self._send_json(code, doc)
 
-
-def _register_response(service: QueryService, payload: Any) -> Tuple[int, Dict[str, Any]]:
-    """Execute a registration payload; shared by both front-ends.
-
-    Raises :class:`InvalidQueryError` (→ the caller's 400 path) for malformed
-    payloads; returns ``(201, document)`` on success.
-    """
-    if not isinstance(payload, dict):
-        raise InvalidQueryError("registration body must be a JSON object")
-    for field in ("name", "values", "budget"):
-        if field not in payload:
-            raise InvalidQueryError(f"registration is missing the {field!r} field")
-    try:
-        dataset = service.register(
-            str(payload["name"]),
-            payload["values"],
-            float(payload["budget"]),
-            analyst_budgets=payload.get("analyst_budgets"),
-            share=bool(payload.get("share", False)),
+    def _handle_admin(self, method: str) -> None:
+        admin = self.server.admin
+        if admin is None:
+            if method == "POST":
+                self._read_json(allow_empty=True)  # keep keep-alive framing
+            self._send_json(403, wire.admin_disabled())
+            return
+        token = wire.bearer_token(
+            self.headers.get("Authorization"), self.headers.get("X-Admin-Token")
         )
-    except (TypeError, ValueError) as exc:
-        # Non-numeric budgets/values/analyst caps are client errors (the
-        # ReproError cases are already handled by the caller's 400 path).
-        raise InvalidQueryError(f"malformed registration: {exc}") from exc
-    return 201, {"status": "ok", "dataset": dataset.to_json()}
-
-
-def _parse_request(payload: Any) -> QueryRequest:
-    if not isinstance(payload, dict):
-        raise InvalidQueryError(
-            f"each query must be a JSON object, got {type(payload).__name__}"
-        )
-    if "dataset" not in payload:
-        raise InvalidQueryError("query is missing the 'dataset' field")
-    analyst = payload.get("analyst")
-    body = {k: v for k, v in payload.items() if k not in ("dataset", "analyst")}
-    return QueryRequest(
-        dataset=str(payload["dataset"]),
-        query=Query.from_json(body),
-        analyst=None if analyst is None else str(analyst),
-    )
-
-
-def _internal_error(exc: Exception) -> Dict[str, Any]:
-    return {
-        "status": "error",
-        "error": "internal",
-        "message": f"{type(exc).__name__}: {exc}",
-    }
-
-
-def _too_large_error(length: int, max_body: Optional[int]) -> Dict[str, Any]:
-    return {
-        "status": "error",
-        "error": "payload_too_large",
-        "message": (
-            f"request body of {length} bytes exceeds the server's "
-            f"{max_body}-byte limit"
-        ),
-    }
+        payload = self._read_json(allow_empty=True) if method == "POST" else None
+        code, doc = admin.handle(method, self.path, payload, token)
+        self._send_json(code, doc)
 
 
 class ServiceServer(ThreadingHTTPServer):
@@ -338,12 +337,16 @@ class ServiceServer(ThreadingHTTPServer):
         allow_register: bool = False,
         quiet: bool = False,
         max_body: Optional[int] = DEFAULT_MAX_BODY,
+        limiter: Optional[Any] = None,
+        admin: Optional[Any] = None,
     ):
         super().__init__(address, _Handler)
         self.service = service
         self.allow_register = allow_register
         self.quiet = quiet
         self.max_body = max_body
+        self.limiter = limiter
+        self.admin = admin
         self._stats_lock = threading.Lock()
         self._disconnects = 0
 
@@ -396,11 +399,14 @@ def make_server(
     allow_register: bool = False,
     quiet: bool = False,
     max_body: Optional[int] = DEFAULT_MAX_BODY,
+    limiter: Optional[Any] = None,
+    admin: Optional[Any] = None,
 ) -> ServiceServer:
     """Bind a :class:`ServiceServer` (``port=0`` picks an ephemeral port)."""
     return ServiceServer(
         (host, port), service,
         allow_register=allow_register, quiet=quiet, max_body=max_body,
+        limiter=limiter, admin=admin,
     )
 
 

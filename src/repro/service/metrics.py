@@ -1,0 +1,306 @@
+"""Service metrics: latency histograms and Prometheus text exposition.
+
+:class:`LatencyRecorder` collects per-``(kind, outcome)`` latency histograms
+with a single short-lived lock per observation (a bisect into a fixed bucket
+ladder plus three integer/float increments — cheap enough to sit on the hot
+submit path).  Outcomes are the answer statuses (``ok``, ``refused``,
+``invalid``, ``failed``) refined by the zero-cost paths (``cached``,
+``coalesced``) plus the pre-admission ``rate_limited`` refusal, so the
+histogram doubles as the request counter: ``count`` per label pair is the
+number of requests answered with that outcome.
+
+:func:`render_prometheus` turns the recorder plus the service's existing
+:meth:`~repro.service.QueryService.stats` counters into the Prometheus text
+exposition format (version 0.0.4): ``repro_requests_total``,
+``repro_request_latency_seconds`` (cumulative ``_bucket``/``_sum``/
+``_count``), cache and budget gauges per dataset/group, and the front-end
+counters.  Everything is derived from the same snapshots ``GET /datasets``
+reports, so the two views can be cross-checked against each other.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "HistogramSnapshot",
+    "LatencyRecorder",
+    "PROMETHEUS_CONTENT_TYPE",
+    "render_prometheus",
+]
+
+#: Log-spaced latency bucket upper bounds in seconds: sub-millisecond cache
+#: hits through multi-second cold estimator runs.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: The Content-Type ``GET /metrics`` answers with.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+@dataclass(frozen=True)
+class HistogramSnapshot:
+    """One immutable histogram: per-bucket counts (non-cumulative), sum, count.
+
+    ``counts`` has ``len(buckets) + 1`` entries; the last is the overflow
+    bucket (observations above the largest bound, Prometheus ``+Inf``).
+    """
+
+    buckets: Tuple[float, ...]
+    counts: Tuple[int, ...]
+    sum: float
+    count: int
+
+    def cumulative(self) -> List[Tuple[str, int]]:
+        """``(le-label, cumulative count)`` pairs, ending with ``+Inf``."""
+        out: List[Tuple[str, int]] = []
+        running = 0
+        for bound, count in zip(self.buckets, self.counts):
+            running += count
+            out.append((f"{bound:g}", running))
+        out.append(("+Inf", self.count))
+        return out
+
+
+class _Histogram:
+    """Mutable histogram cell (guarded by the recorder's lock)."""
+
+    __slots__ = ("counts", "total", "count")
+
+    def __init__(self, size: int):
+        self.counts = [0] * size
+        self.total = 0.0
+        self.count = 0
+
+
+class LatencyRecorder:
+    """Thread-safe per-``(kind, outcome)`` latency histograms.
+
+    One lock, taken briefly per observation; snapshots copy the counters out
+    under the same lock so an exposition never reads a half-updated cell.
+    """
+
+    def __init__(self, buckets: Tuple[float, ...] = DEFAULT_BUCKETS):
+        self._buckets = tuple(sorted(float(bound) for bound in buckets))
+        self._cells: Dict[Tuple[str, str], _Histogram] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def buckets(self) -> Tuple[float, ...]:
+        return self._buckets
+
+    def observe(self, kind: str, outcome: str, seconds: float) -> None:
+        """Record one request of ``kind`` answered as ``outcome`` in ``seconds``."""
+        seconds = max(float(seconds), 0.0)
+        index = bisect_left(self._buckets, seconds)
+        label = (str(kind), str(outcome))
+        with self._lock:
+            cell = self._cells.get(label)
+            if cell is None:
+                cell = self._cells[label] = _Histogram(len(self._buckets) + 1)
+            cell.counts[index] += 1
+            cell.total += seconds
+            cell.count += 1
+
+    def snapshot(self) -> Dict[Tuple[str, str], HistogramSnapshot]:
+        """Consistent copy of every cell (safe to iterate lock-free)."""
+        with self._lock:
+            return {
+                label: HistogramSnapshot(
+                    buckets=self._buckets,
+                    counts=tuple(cell.counts),
+                    sum=cell.total,
+                    count=cell.count,
+                )
+                for label, cell in self._cells.items()
+            }
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _labels(pairs: Mapping[str, str]) -> str:
+    if not pairs:
+        return ""
+    inner = ",".join(f'{name}="{_escape(value)}"' for name, value in pairs.items())
+    return "{" + inner + "}"
+
+
+def _number(value: Any) -> str:
+    number = float(value)
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+class _Exposition:
+    """Accumulates exposition lines with one HELP/TYPE header per metric."""
+
+    def __init__(self):
+        self._lines: List[str] = []
+        self._declared: set = set()
+
+    def declare(self, name: str, kind: str, help_text: str) -> None:
+        if name not in self._declared:
+            self._declared.add(name)
+            self._lines.append(f"# HELP {name} {help_text}")
+            self._lines.append(f"# TYPE {name} {kind}")
+
+    def sample(self, name: str, labels: Mapping[str, str], value: Any) -> None:
+        self._lines.append(f"{name}{_labels(labels)} {_number(value)}")
+
+    def render(self) -> str:
+        return "\n".join(self._lines) + "\n"
+
+
+def render_prometheus(
+    service: Any,
+    *,
+    frontend: Optional[Mapping[str, Any]] = None,
+    limiter: Optional[Any] = None,
+) -> str:
+    """The ``GET /metrics`` body for one service (plus optional front-end/QoS).
+
+    Derived entirely from the same snapshots ``GET /datasets`` serves —
+    :meth:`QueryService.stats`, the latency recorder, the front-end counter
+    dict and the rate limiter's counters — so tests can parse this text and
+    cross-check it against the JSON view.
+    """
+    out = _Exposition()
+    stats = service.stats()
+
+    out.declare(
+        "repro_requests_total", "counter",
+        "Requests answered, by estimator kind and outcome.",
+    )
+    histograms = service.metrics.snapshot()
+    for (kind, outcome), cell in sorted(histograms.items()):
+        out.sample(
+            "repro_requests_total", {"kind": kind, "outcome": outcome}, cell.count
+        )
+
+    out.declare(
+        "repro_request_latency_seconds", "histogram",
+        "Wall-clock request latency, by estimator kind and outcome.",
+    )
+    for (kind, outcome), cell in sorted(histograms.items()):
+        labels = {"kind": kind, "outcome": outcome}
+        for le, cumulative in cell.cumulative():
+            out.sample(
+                "repro_request_latency_seconds_bucket",
+                {**labels, "le": le},
+                cumulative,
+            )
+        out.sample("repro_request_latency_seconds_sum", labels, cell.sum)
+        out.sample("repro_request_latency_seconds_count", labels, cell.count)
+
+    cache = stats.get("cache", {})
+    for key, metric, kind, help_text in (
+        ("hits", "repro_cache_hits_total", "counter", "Answer-cache hits."),
+        ("misses", "repro_cache_misses_total", "counter", "Answer-cache misses."),
+        ("evictions", "repro_cache_evictions_total", "counter",
+         "Answer-cache LRU evictions."),
+        ("size", "repro_cache_entries", "gauge", "Answers currently cached."),
+    ):
+        if key in cache:
+            out.declare(metric, kind, help_text)
+            out.sample(metric, {}, cache[key])
+
+    out.declare(
+        "repro_budget_capacity_epsilon", "gauge",
+        "Total privacy budget per dataset.",
+    )
+    out.declare(
+        "repro_budget_spent_epsilon", "gauge",
+        "Committed privacy spend per dataset.",
+    )
+    out.declare(
+        "repro_budget_reserved_epsilon", "gauge",
+        "In-flight reserved epsilon per dataset.",
+    )
+    out.declare(
+        "repro_budget_remaining_epsilon", "gauge",
+        "Grantable privacy budget per dataset.",
+    )
+    out.declare(
+        "repro_dataset_records", "gauge", "Records per registered dataset.",
+    )
+    out.declare(
+        "repro_dataset_draining", "gauge",
+        "1 when the dataset is draining (no new admissions), else 0.",
+    )
+    for dataset in stats.get("datasets", []):
+        labels = {"dataset": dataset["name"]}
+        budget = dataset["budget"]
+        out.sample("repro_budget_capacity_epsilon", labels, budget["capacity"])
+        out.sample("repro_budget_spent_epsilon", labels, budget["spent"])
+        out.sample("repro_budget_reserved_epsilon", labels, budget["reserved"])
+        out.sample("repro_budget_remaining_epsilon", labels, budget["remaining"])
+        out.sample("repro_dataset_records", labels, dataset["records"])
+        out.sample(
+            "repro_dataset_draining", labels, 1 if dataset.get("draining") else 0
+        )
+
+    groups = stats.get("groups", {})
+    if groups:
+        out.declare(
+            "repro_group_budget_capacity_epsilon", "gauge",
+            "Joint budget group capacity.",
+        )
+        out.declare(
+            "repro_group_budget_spent_epsilon", "gauge",
+            "Joint budget group committed spend.",
+        )
+        for name, group in sorted(groups.items()):
+            labels = {"group": name}
+            out.sample(
+                "repro_group_budget_capacity_epsilon", labels,
+                group["budget"]["capacity"],
+            )
+            out.sample(
+                "repro_group_budget_spent_epsilon", labels,
+                group["budget"]["spent"],
+            )
+
+    if limiter is not None:
+        qos = limiter.stats()
+        out.declare(
+            "repro_rate_limit_allowed_total", "counter",
+            "Requests admitted by the rate limiter.",
+        )
+        out.declare(
+            "repro_rate_limit_refused_total", "counter",
+            "Requests refused (429) by the rate limiter.",
+        )
+        out.sample("repro_rate_limit_allowed_total", {}, qos["allowed"])
+        out.sample("repro_rate_limit_refused_total", {}, qos["limited"])
+
+    if frontend is not None:
+        flavour = str(frontend.get("frontend", "unknown"))
+        out.declare(
+            "repro_frontend_events_total", "counter",
+            "Front-end protocol counters (disconnects, malformed requests, ...).",
+        )
+        for key, value in sorted(frontend.items()):
+            if key in ("frontend", "max_body") or not isinstance(value, int):
+                continue
+            out.sample(
+                "repro_frontend_events_total",
+                {"frontend": flavour, "event": key},
+                value,
+            )
+
+    out.declare("repro_service_workers", "gauge", "Engine-pool worker count.")
+    out.sample("repro_service_workers", {}, stats.get("workers", 1))
+    return out.render()

@@ -1,0 +1,204 @@
+"""Per-analyst / per-kind QoS: token-bucket rate limiting, pre-admission.
+
+One hot analyst (or one expensive estimator kind) can starve everyone else
+long before any privacy budget runs out — admission is cheap, estimator runs
+are not.  :class:`RateLimiter` puts a classic token bucket in front of the
+service: each applicable scope (the request's analyst, the query's
+registered ``spec.name`` kind) holds a bucket refilled at ``rate`` tokens
+per second up to ``burst``; a request consumes one token from *every*
+applicable bucket atomically, or none at all.
+
+The check runs **before** :meth:`~repro.service.QueryService.peek` /
+:meth:`~repro.service.QueryService.submit`, so a rate-limit refusal provably
+never touches the budget ledger, the answer cache, or the coalescing map —
+it is a pure front-door decision, surfaced as a structured 429 document
+(:func:`repro.service.wire.rate_limited_answer`) with a ``retry_after``
+hint computed from the bucket deficit.
+
+Limits are declarative (:class:`RateLimits`, parsed from the ``[limits]``
+config section) and hot-swappable: :meth:`RateLimiter.configure` replaces
+the limit table and resets the buckets, which is how an ``/admin/reload``
+rotates QoS policy without a restart.  Time comes from an injectable
+monotonic clock so tests can drive refill deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple
+
+from repro.exceptions import DomainError
+
+__all__ = ["LimitSpec", "RateLimits", "RateLimitDecision", "RateLimiter"]
+
+
+@dataclass(frozen=True)
+class LimitSpec:
+    """One bucket shape: sustained ``rate`` tokens/second, ``burst`` capacity."""
+
+    rate: float
+    burst: float
+
+    def __post_init__(self) -> None:
+        if not (self.rate > 0.0):
+            raise DomainError(f"rate limit rate must be > 0, got {self.rate!r}")
+        if not (self.burst >= 1.0):
+            raise DomainError(f"rate limit burst must be >= 1, got {self.burst!r}")
+
+
+@dataclass(frozen=True)
+class RateLimits:
+    """The declarative limit table (the parsed ``[limits]`` config section).
+
+    ``analyst`` / ``kind`` are the default bucket shapes for every analyst /
+    every kind (``None`` disables that dimension); ``analysts`` / ``kinds``
+    override the default per name.  Requests without an analyst share the
+    anonymous bucket (key ``""``) under the default analyst shape.
+    """
+
+    analyst: Optional[LimitSpec] = None
+    kind: Optional[LimitSpec] = None
+    analysts: Mapping[str, LimitSpec] = field(default_factory=dict)
+    kinds: Mapping[str, LimitSpec] = field(default_factory=dict)
+
+    @property
+    def enabled(self) -> bool:
+        return bool(
+            self.analyst is not None
+            or self.kind is not None
+            or self.analysts
+            or self.kinds
+        )
+
+
+@dataclass(frozen=True)
+class RateLimitDecision:
+    """One refusal: which bucket ran dry and when to come back."""
+
+    scope: str  # "analyst" | "kind"
+    key: str
+    retry_after: float
+    rate: float
+    burst: float
+
+
+class _Bucket:
+    """Mutable token bucket (guarded by the limiter's lock)."""
+
+    __slots__ = ("spec", "tokens", "stamp")
+
+    def __init__(self, spec: LimitSpec, now: float):
+        self.spec = spec
+        self.tokens = spec.burst
+        self.stamp = now
+
+
+class RateLimiter:
+    """Atomic consume-from-all-or-none token buckets over a limit table.
+
+    Thread-safe under one lock; a check is a couple of dict lookups and
+    float updates, cheap enough to run on every request.  With no limits
+    configured every check admits immediately.
+    """
+
+    def __init__(
+        self,
+        limits: Optional[RateLimits] = None,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._limits = limits
+        self._analyst_buckets: Dict[str, _Bucket] = {}
+        self._kind_buckets: Dict[str, _Bucket] = {}
+        self._allowed = 0
+        self._limited = 0
+
+    @property
+    def enabled(self) -> bool:
+        with self._lock:
+            return self._limits is not None and self._limits.enabled
+
+    def configure(self, limits: Optional[RateLimits]) -> None:
+        """Replace the limit table (admin reload); buckets start full again."""
+        with self._lock:
+            self._limits = limits
+            self._analyst_buckets.clear()
+            self._kind_buckets.clear()
+
+    def check(
+        self, analyst: Optional[str], kind: str
+    ) -> Optional[RateLimitDecision]:
+        """Admit (``None``) or refuse one request, atomically.
+
+        On admission one token is consumed from each applicable bucket; on
+        refusal nothing is consumed anywhere and the decision names the
+        first-refusing scope with a ``retry_after`` computed from its refill
+        rate.
+        """
+        with self._lock:
+            limits = self._limits
+            if limits is None or not limits.enabled:
+                return None
+            now = self._clock()
+            touched = []
+            analyst_key = "" if analyst is None else str(analyst)
+            spec = limits.analysts.get(analyst_key, limits.analyst)
+            if spec is not None:
+                touched.append(
+                    ("analyst", analyst_key,
+                     self._refill(self._analyst_buckets, analyst_key, spec, now))
+                )
+            spec = limits.kinds.get(kind, limits.kind)
+            if spec is not None:
+                touched.append(
+                    ("kind", str(kind),
+                     self._refill(self._kind_buckets, str(kind), spec, now))
+                )
+            for scope, key, bucket in touched:
+                if bucket.tokens < 1.0:
+                    self._limited += 1
+                    return RateLimitDecision(
+                        scope=scope,
+                        key=key,
+                        retry_after=(1.0 - bucket.tokens) / bucket.spec.rate,
+                        rate=bucket.spec.rate,
+                        burst=bucket.spec.burst,
+                    )
+            for _, _, bucket in touched:
+                bucket.tokens -= 1.0
+            self._allowed += 1
+            return None
+
+    @staticmethod
+    def _refill(
+        table: Dict[str, _Bucket], key: str, spec: LimitSpec, now: float
+    ) -> _Bucket:
+        """Fetch-or-create the bucket for ``key`` and refill it to ``now``.
+
+        Caller must hold ``self._lock``.  A bucket whose spec changed (a
+        reconfigured override) is rebuilt full rather than inheriting a
+        stale balance.
+        """
+        bucket = table.get(key)
+        if bucket is None or bucket.spec != spec:
+            bucket = table[key] = _Bucket(spec, now)
+            return bucket
+        elapsed = max(now - bucket.stamp, 0.0)
+        bucket.tokens = min(spec.burst, bucket.tokens + elapsed * spec.rate)
+        bucket.stamp = now
+        return bucket
+
+    def stats(self) -> Dict[str, Any]:
+        """JSON-safe counters for ``/metrics`` and ``/admin/state``."""
+        with self._lock:
+            return {
+                "enabled": self._limits is not None and self._limits.enabled,
+                "allowed": self._allowed,
+                "limited": self._limited,
+                "analyst_buckets": len(self._analyst_buckets),
+                "kind_buckets": len(self._kind_buckets),
+            }

@@ -193,21 +193,24 @@ class Query:
         return key
 
     def to_json(self) -> Dict[str, Any]:
-        """JSON-safe dict form (inverse of :meth:`from_json`)."""
+        """JSON-safe dict form (inverse of :meth:`from_json`).
+
+        Emits the canonical spelling: every kind parameter — ``levels``
+        included — lives under ``params``.  (The deprecated top-level
+        ``levels`` is still *accepted* by :meth:`from_json` for one
+        release, but never produced.)
+        """
         payload: Dict[str, Any] = {
             "kind": self.kind,
             "epsilon": self.epsilon,
             "beta": self.beta,
         }
-        if self.levels:
-            payload["levels"] = list(self.levels)
-        extra = {
+        params = {
             name: (list(value) if isinstance(value, tuple) else value)
             for name, value in self.params
-            if name != "levels"
         }
-        if extra:
-            payload["params"] = extra
+        if params:
+            payload["params"] = params
         return payload
 
     @classmethod

@@ -167,6 +167,30 @@ class BudgetManager:
                 for name in self._analyst_caps
             }
 
+    def rotate_analyst_budgets(
+        self, analyst_budgets: Optional[Mapping[str, float]]
+    ) -> None:
+        """Replace the per-analyst caps, preserving spend/reservation history.
+
+        The control-plane primitive behind a live ``analyst_budgets`` config
+        change: raising a cap grants headroom immediately, lowering one below
+        the analyst's committed spend refuses their next query without ever
+        forgiving the historical spend, and dropping an analyst lifts their
+        sub-cap (the total budget still binds).  In-flight reservations of a
+        dropped analyst stay counted against the total and release cleanly.
+        """
+        budgets = {
+            str(name): validate_epsilon(cap, name=f"analyst budget {name!r}")
+            for name, cap in dict(analyst_budgets or {}).items()
+        }
+        with self._lock:
+            self._analyst_caps = budgets
+            # Spent/reserved history outlives cap rotation on purpose: a
+            # re-added analyst must not restart from zero spend.
+            for name in budgets:
+                self._analyst_spent.setdefault(name, 0.0)
+                self._analyst_reserved.setdefault(name, 0.0)
+
     # -- the two-phase protocol --------------------------------------------
     def _admission_error(self, amount: float, analyst: Optional[str]) -> Optional[str]:
         """The refusal message for a claim of ``amount``, or ``None`` if it fits.
@@ -239,7 +263,10 @@ class BudgetManager:
             self._release(reservation)
             if actual > 0.0:
                 self._ledger.charge(label, actual)
-                if reservation.analyst is not None and reservation.analyst in self._analyst_caps:
+                # Keyed on the history dict, not the live caps: a cap rotated
+                # away mid-flight must still see its spend recorded, so a
+                # later re-added cap accounts the analyst exactly.
+                if reservation.analyst is not None and reservation.analyst in self._analyst_spent:
                     self._analyst_spent[reservation.analyst] += actual
         return actual
 
@@ -251,7 +278,7 @@ class BudgetManager:
     def _release(self, reservation: Reservation) -> None:
         """Drop a reservation's hold. Caller must hold ``self._lock``."""
         self._reserved = max(self._reserved - reservation.amount, 0.0)
-        if reservation.analyst is not None and reservation.analyst in self._analyst_caps:
+        if reservation.analyst is not None and reservation.analyst in self._analyst_reserved:
             self._analyst_reserved[reservation.analyst] = max(
                 self._analyst_reserved[reservation.analyst] - reservation.amount, 0.0
             )
@@ -304,6 +331,11 @@ class RegisteredDataset:
         Optional allowlist of the registered estimator kinds this dataset
         serves (``None`` = every registered kind); enforced by the planner
         before any budget is touched.
+    draining:
+        When set (via :meth:`DatasetRegistry.set_draining`, usually through
+        the admin surface) the service stops admitting fresh releases on
+        this dataset — cached answers keep being served — so it can be
+        removed without cutting off clients mid-flight.
     """
 
     name: str
@@ -311,6 +343,7 @@ class RegisteredDataset:
     budget: BudgetManager
     group: Optional[str] = None
     kinds: Optional[Tuple[str, ...]] = None
+    draining: bool = False
 
     @property
     def records(self) -> int:
@@ -333,8 +366,37 @@ class RegisteredDataset:
             "shared": self.shared,
             "group": self.group,
             "kinds": None if self.kinds is None else sorted(self.kinds),
+            "draining": self.draining,
             "budget": self.budget.to_json(),
         }
+
+
+def _validated_kinds(
+    name: str, kinds: Optional[Sequence[str]]
+) -> Optional[Tuple[str, ...]]:
+    """Normalise a ``kinds=`` allowlist, rejecting unknown estimator kinds.
+
+    Shared by registration and the live ``update_kinds`` path so a config
+    typo fails loudly in both — at boot and at reload — never at query time.
+    """
+    if kinds is None:
+        return None
+    from repro.estimators import registered_kinds
+
+    allowed = tuple(dict.fromkeys(str(kind) for kind in kinds))
+    if not allowed:
+        raise DomainError(
+            f"dataset {name!r}: kinds= must name at least one estimator "
+            "kind (omit it to serve every registered kind)"
+        )
+    known = set(registered_kinds())
+    unknown = sorted(set(allowed) - known)
+    if unknown:
+        raise DomainError(
+            f"dataset {name!r}: unknown estimator kind(s) {unknown} "
+            f"(registered: {sorted(known)})"
+        )
+    return allowed
 
 
 class DatasetRegistry:
@@ -431,23 +493,7 @@ class DatasetRegistry:
         name = str(name)
         if not name:
             raise DomainError("dataset name must be non-empty")
-        allowed: Optional[Tuple[str, ...]] = None
-        if kinds is not None:
-            from repro.estimators import registered_kinds
-
-            allowed = tuple(dict.fromkeys(str(kind) for kind in kinds))
-            if not allowed:
-                raise DomainError(
-                    f"dataset {name!r}: kinds= must name at least one estimator "
-                    "kind (omit it to serve every registered kind)"
-                )
-            known = set(registered_kinds())
-            unknown = sorted(set(allowed) - known)
-            if unknown:
-                raise DomainError(
-                    f"dataset {name!r}: unknown estimator kind(s) {unknown} "
-                    f"(registered: {sorted(known)})"
-                )
+        allowed = _validated_kinds(name, kinds)
         if (total_budget is None) == (group is None):
             raise DomainError(
                 f"dataset {name!r} needs exactly one of total_budget= (a private "
@@ -492,6 +538,30 @@ class DatasetRegistry:
                 f"no dataset named {name!r} is registered "
                 f"(registered: {registered or 'none'})"
             )
+        return dataset
+
+    def set_draining(self, name: str, draining: bool = True) -> RegisteredDataset:
+        """Flip a dataset's drain flag: stop admitting, keep serving cache hits.
+
+        The first half of a safe decommission — drain, let in-flight and
+        cached traffic settle, then :meth:`unregister` (the admin differ
+        refuses to remove a dataset that was never drained).
+        """
+        dataset = self.get(name)
+        dataset.draining = bool(draining)
+        return dataset
+
+    def update_kinds(
+        self, name: str, kinds: Optional[Sequence[str]]
+    ) -> RegisteredDataset:
+        """Replace a dataset's ``kinds=`` allowlist (``None`` = every kind).
+
+        Validated exactly like registration, so a reload naming an unknown
+        kind is rejected before anything is applied.  Takes effect on the
+        next admission; queries already past planning are unaffected.
+        """
+        dataset = self.get(name)
+        dataset.kinds = _validated_kinds(name, kinds)
         return dataset
 
     def unregister(self, name: str) -> None:

@@ -1,0 +1,353 @@
+"""The v1 wire envelope: every document both front-ends emit, in one place.
+
+Historically each front-end hand-built its JSON bodies, and the shapes had
+started to drift (the threaded server's 404 body and the async server's were
+assembled in two different modules).  This module is now the single source of
+truth for the serving API:
+
+* Every document carries ``"api": 1`` so clients can detect the envelope
+  version before parsing anything else.
+* Every refusal/error carries a structured ``"error"`` object —
+  ``{"code": ..., "message": ..., "detail": {...}}`` — with a stable
+  machine-readable ``code`` (the string that used to *be* the top-level
+  ``error`` field) and a human-readable ``message``.
+* **Deprecation window**: for one release the old top-level fields that do
+  not collide with the new shape are kept as aliases — ``message`` always,
+  and per-code extras such as the ``kinds`` list of an ``unknown_kind``
+  rejection.  The old top-level ``error`` *string* is the one breaking
+  change (it became the object; read ``error["code"]`` instead).
+* The legacy top-level ``levels`` field on ``POST /query`` bodies is
+  deprecated in favour of the canonical ``params.levels``; it is still
+  accepted, and answers to requests that used it carry a ``"deprecated"``
+  list naming the field and its replacement.
+
+Front-ends must not assemble response dicts inline: new documents get a
+builder here so the two protocol suites cannot drift again.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.estimators import kind_catalog
+from repro.exceptions import ReproError
+from repro.service.executor import QueryAnswer, QueryRequest, QueryService
+from repro.service.queries import InvalidQueryError, Query, UnknownQueryKindError
+
+__all__ = [
+    "API_VERSION",
+    "LEVELS_DEPRECATION",
+    "answer_document",
+    "answers_document",
+    "answer_status_code",
+    "admin_disabled",
+    "bad_request",
+    "bearer_token",
+    "error_document",
+    "health_document",
+    "internal_error",
+    "invalid_request",
+    "kinds_document",
+    "method_not_allowed",
+    "parse_request",
+    "rate_limited_answer",
+    "register_response",
+    "registration_disabled",
+    "stats_document",
+    "too_large",
+    "unknown_path",
+]
+
+#: Version of the response envelope; bump only with a migration window.
+API_VERSION = 1
+
+#: The ``deprecated`` entry emitted for requests using the legacy field.
+LEVELS_DEPRECATION = "levels: send quantile levels as params.levels"
+
+#: answer.status -> HTTP status code for single-query responses.
+_STATUS_CODES = {"ok": 200, "failed": 200, "refused": 403}
+_ERROR_CODES = {"unknown_dataset": 404}
+
+
+def answer_status_code(answer: QueryAnswer) -> int:
+    """HTTP status for one answer (batch responses are always 200)."""
+    if answer.status in _STATUS_CODES:
+        return _STATUS_CODES[answer.status]
+    return _ERROR_CODES.get(answer.error or "", 400)
+
+
+# ---------------------------------------------------------------------------
+# error documents
+
+
+def error_document(
+    code: str,
+    message: str,
+    *,
+    status: str = "error",
+    detail: Optional[Mapping[str, Any]] = None,
+    **legacy: Any,
+) -> Dict[str, Any]:
+    """The uniform error body; ``legacy`` adds one-release top-level aliases."""
+    error: Dict[str, Any] = {"code": code, "message": message}
+    if detail:
+        error["detail"] = dict(detail)
+    doc: Dict[str, Any] = {
+        "api": API_VERSION,
+        "status": status,
+        "error": error,
+        # Deprecated alias (kept one release): read error["message"].
+        "message": message,
+    }
+    doc.update(legacy)
+    return doc
+
+
+def invalid_request(exc: ReproError) -> Dict[str, Any]:
+    """The 400 body for a rejected request (shared by both front-ends).
+
+    An unknown query kind carries the authoritative registered-kind list
+    straight from the registry — never a hardcoded copy that can drift from
+    what the server actually serves.
+    """
+    if isinstance(exc, UnknownQueryKindError):
+        kinds = list(exc.kinds)
+        return error_document(
+            "unknown_kind", str(exc), detail={"kinds": kinds}, kinds=kinds
+        )
+    return error_document("invalid_request", str(exc))
+
+
+def bad_request(message: str) -> Dict[str, Any]:
+    """A framing-level 400 (malformed request line, headers or body)."""
+    return error_document("invalid_request", message)
+
+
+def internal_error(exc: Exception) -> Dict[str, Any]:
+    return error_document("internal", f"{type(exc).__name__}: {exc}")
+
+
+def too_large(length: int, max_body: Optional[int]) -> Dict[str, Any]:
+    return error_document(
+        "payload_too_large",
+        f"request body of {length} bytes exceeds the server's "
+        f"{max_body}-byte limit",
+        detail={"length": length, "max_body": max_body},
+    )
+
+
+def unknown_path(method: str, path: str) -> Dict[str, Any]:
+    return error_document("unknown_path", f"no route for {method} {path}")
+
+
+def method_not_allowed(method: str) -> Dict[str, Any]:
+    return error_document("method_not_allowed", f"unsupported method {method}")
+
+
+def registration_disabled() -> Dict[str, Any]:
+    return error_document(
+        "registration_disabled",
+        "this server does not accept dataset registration",
+    )
+
+
+def admin_disabled() -> Dict[str, Any]:
+    return error_document(
+        "admin_disabled",
+        "the admin surface is disabled: configure [admin] token= or set "
+        "the REPRO_ADMIN_TOKEN environment variable and restart",
+    )
+
+
+# ---------------------------------------------------------------------------
+# answers
+
+
+def answer_document(
+    answer: QueryAnswer, *, deprecated: Sequence[str] = ()
+) -> Dict[str, Any]:
+    """The wire form of one :class:`QueryAnswer` under the v1 envelope.
+
+    The answer fields stay top-level (unchanged from the legacy shape);
+    only the error reporting is restructured into the ``error`` object,
+    with ``message`` kept as a top-level alias for one release.
+    """
+    value: Any = answer.value
+    if isinstance(value, tuple):
+        value = list(value)
+    doc: Dict[str, Any] = {
+        "api": API_VERSION,
+        "dataset": answer.dataset,
+        "kind": answer.kind,
+        "status": answer.status,
+        "key": answer.key,
+        "value": value,
+        "epsilon_charged": answer.epsilon_charged,
+        "cached": answer.cached,
+        "coalesced": answer.coalesced,
+        "remaining": answer.remaining,
+    }
+    if answer.error is not None:
+        doc["error"] = {"code": answer.error, "message": answer.message}
+        doc["message"] = answer.message
+    if answer.query is not None:
+        doc["query"] = answer.query.to_json()
+    if deprecated:
+        doc["deprecated"] = list(deprecated)
+    return doc
+
+
+def answers_document(answer_docs: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """The batch response: per-entry outcomes live in each answer document."""
+    return {"api": API_VERSION, "status": "ok", "answers": answer_docs}
+
+
+def rate_limited_answer(request: QueryRequest, decision: Any) -> Dict[str, Any]:
+    """The structured 429 body for one pre-admission rate-limit refusal.
+
+    Shaped like an answer document (so batch entries stay uniform), with
+    ``error.code = "rate_limited"`` and the retry hint both in
+    ``error.detail`` and as a top-level ``retry_after`` convenience.  The
+    refusal happens *before* admission: the budget ledger is untouched and
+    ``epsilon_charged`` is exactly 0.
+    """
+    retry_after = float(decision.retry_after)
+    message = (
+        f"rate limit exceeded for {decision.scope} {decision.key!r}: "
+        f"retry in {retry_after:.3g}s"
+    )
+    return {
+        "api": API_VERSION,
+        "dataset": request.dataset,
+        "kind": request.query.kind,
+        "status": "refused",
+        "key": "",
+        "value": None,
+        "epsilon_charged": 0.0,
+        "cached": False,
+        "coalesced": False,
+        "remaining": None,
+        "error": {
+            "code": "rate_limited",
+            "message": message,
+            "detail": {
+                "scope": decision.scope,
+                "key": decision.key,
+                "retry_after": retry_after,
+            },
+        },
+        "message": message,
+        "retry_after": retry_after,
+    }
+
+
+def retry_after_header(decision: Any) -> str:
+    """The ``Retry-After`` header value (integral seconds, at least 1)."""
+    return str(max(1, math.ceil(float(decision.retry_after))))
+
+
+# ---------------------------------------------------------------------------
+# informational documents
+
+
+def health_document(service: QueryService) -> Dict[str, Any]:
+    return {
+        "api": API_VERSION,
+        "status": "ok",
+        "datasets": service.registry.names(),
+    }
+
+
+def stats_document(
+    service: QueryService, frontend: Optional[Mapping[str, Any]] = None
+) -> Dict[str, Any]:
+    """The ``GET /datasets`` body: service stats plus front-end counters."""
+    doc: Dict[str, Any] = {"api": API_VERSION, "status": "ok"}
+    doc.update(service.stats())
+    if frontend is not None:
+        doc["frontend"] = dict(frontend)
+    return doc
+
+
+def kinds_document(service: QueryService) -> Dict[str, Any]:
+    """The ``GET /kinds`` body: the registry catalogue plus dataset allowlists."""
+    return {
+        "api": API_VERSION,
+        "status": "ok",
+        "kinds": kind_catalog(),
+        "datasets": {
+            dataset.name: (None if dataset.kinds is None else sorted(dataset.kinds))
+            for dataset in service.registry
+        },
+    }
+
+
+# ---------------------------------------------------------------------------
+# request parsing
+
+
+def parse_request(payload: Any) -> Tuple[QueryRequest, Tuple[str, ...]]:
+    """Decode one query object into a request plus its deprecation notices.
+
+    Accepts the legacy top-level ``levels`` alias (one release) and reports
+    it in the returned notices so the answer can carry ``"deprecated"``.
+    """
+    if not isinstance(payload, dict):
+        raise InvalidQueryError(
+            f"each query must be a JSON object, got {type(payload).__name__}"
+        )
+    if "dataset" not in payload:
+        raise InvalidQueryError("query is missing the 'dataset' field")
+    analyst = payload.get("analyst")
+    body = {k: v for k, v in payload.items() if k not in ("dataset", "analyst")}
+    deprecated: Tuple[str, ...] = ()
+    if "levels" in body:
+        deprecated = (LEVELS_DEPRECATION,)
+    request = QueryRequest(
+        dataset=str(payload["dataset"]),
+        query=Query.from_json(body),
+        analyst=None if analyst is None else str(analyst),
+    )
+    return request, deprecated
+
+
+def bearer_token(
+    authorization: Optional[str], x_admin_token: Optional[str] = None
+) -> Optional[str]:
+    """Extract the admin token from ``Authorization: Bearer`` or ``X-Admin-Token``."""
+    if authorization:
+        scheme, _, value = authorization.partition(" ")
+        if scheme.lower() == "bearer" and value.strip():
+            return value.strip()
+    if x_admin_token:
+        return x_admin_token.strip()
+    return None
+
+
+def register_response(
+    service: QueryService, payload: Any
+) -> Tuple[int, Dict[str, Any]]:
+    """Execute a registration payload; shared by both front-ends.
+
+    Raises :class:`InvalidQueryError` (→ the caller's 400 path) for malformed
+    payloads; returns ``(201, document)`` on success.
+    """
+    if not isinstance(payload, dict):
+        raise InvalidQueryError("registration body must be a JSON object")
+    for field in ("name", "values", "budget"):
+        if field not in payload:
+            raise InvalidQueryError(f"registration is missing the {field!r} field")
+    try:
+        dataset = service.register(
+            str(payload["name"]),
+            payload["values"],
+            float(payload["budget"]),
+            analyst_budgets=payload.get("analyst_budgets"),
+            share=bool(payload.get("share", False)),
+        )
+    except (TypeError, ValueError) as exc:
+        # Non-numeric budgets/values/analyst caps are client errors (the
+        # ReproError cases are already handled by the caller's 400 path).
+        raise InvalidQueryError(f"malformed registration: {exc}") from exc
+    return 201, {"api": API_VERSION, "status": "ok", "dataset": dataset.to_json()}

@@ -1,0 +1,152 @@
+"""Tests for repro.client.ServiceClient against a live threaded server."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.client import ServiceClient
+from repro.exceptions import DomainError
+from repro.service.config import build_service, parse_serving_config
+
+VALUES = [float(v) for v in range(64)]
+
+
+@pytest.fixture
+def live():
+    from repro.service import make_server, serve_forever
+
+    config = parse_serving_config(
+        {
+            "service": {"seed": 3, "quiet": True, "allow_register": True},
+            "datasets": [
+                {
+                    "name": "d", "values": VALUES, "budget": 4.0,
+                    "analyst_budgets": {"capped": 0.1},
+                }
+            ],
+            "admin": {"token": "s3cret"},
+        }
+    )
+    built = build_service(config)
+    server = make_server(
+        built.service, port=0, allow_register=True, quiet=True,
+        limiter=built.limiter, admin=built.admin,
+    )
+    thread = serve_forever(server)
+    yield server
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+    built.close()
+
+
+class TestDataPlane:
+    def test_health_stats_kinds(self, live):
+        client = ServiceClient(live.url)
+        assert client.health()["status"] == "ok"
+        assert client.stats()["datasets"][0]["name"] == "d"
+        assert "mean" in client.kinds()["kinds"]
+
+    def test_query_canonical_params(self, live):
+        client = ServiceClient(live.url)
+        status, doc = client.query(
+            "d", "quantile", epsilon=0.5, params={"levels": [0.5]}
+        )
+        assert status == 200
+        assert doc["status"] == "ok"
+        assert "deprecated" not in doc  # the client speaks canonical v1
+        assert "levels" not in doc["query"]
+
+    def test_query_refusal_returned_not_raised(self, live):
+        client = ServiceClient(live.url)
+        status, doc = client.query("d", "mean", epsilon=99.0)
+        assert status == 403
+        assert doc["status"] == "refused"
+        assert doc["error"]["code"] == "budget_exceeded"
+
+    def test_default_analyst_attached(self, live):
+        # the default analyst rides on every query: "capped" (0.1 sub-budget)
+        # is refused where an uncapped analyst is served
+        client = ServiceClient(live.url, analyst="capped")
+        status, doc = client.query("d", "mean", epsilon=0.4)
+        assert status == 403
+        assert doc["status"] == "refused"
+        status, doc = client.query("d", "mean", epsilon=0.4, analyst="free")
+        assert status == 200 and doc["status"] == "ok"
+
+    def test_batch(self, live):
+        client = ServiceClient(live.url)
+        status, doc = client.query_batch(
+            [
+                {"dataset": "d", "kind": "mean", "epsilon": 0.25},
+                {"dataset": "ghost", "kind": "mean", "epsilon": 0.25},
+            ]
+        )
+        assert status == 200
+        assert [a["status"] for a in doc["answers"]] == ["ok", "invalid"]
+
+    def test_register(self, live):
+        client = ServiceClient(live.url)
+        status, doc = client.register("fresh", list(np.arange(100.0)), 2.0)
+        assert status == 201
+        assert doc["dataset"]["records"] == 100
+        status, doc = client.query("fresh", "mean", epsilon=0.5)
+        assert status == 200 and doc["status"] == "ok"
+
+    def test_metrics_text(self, live):
+        client = ServiceClient(live.url)
+        client.query("d", "mean", epsilon=0.2)
+        text = client.metrics()
+        assert "repro_requests_total" in text
+        assert "# TYPE repro_request_latency_seconds histogram" in text
+
+
+class TestControlPlane:
+    def test_admin_state_requires_token(self, live):
+        assert ServiceClient(live.url).admin_state()[0] == 401
+        status, doc = ServiceClient(live.url, token="s3cret").admin_state()
+        assert status == 200
+        assert doc["admin"]["enabled"] is True
+
+    def test_admin_reload_inline(self, live):
+        client = ServiceClient(live.url, token="s3cret")
+        document = {
+            "service": {"seed": 3, "quiet": True, "allow_register": True},
+            "datasets": [
+                {
+                    "name": "d", "values": VALUES, "budget": 4.0,
+                    "analyst_budgets": {"capped": 0.1},
+                },
+                {"name": "hot", "values": VALUES, "budget": 1.0},
+            ],
+            "admin": {"token": "s3cret"},
+        }
+        status, doc = client.admin_reload(document)
+        assert status == 200
+        assert [c["action"] for c in doc["applied"]] == ["add_dataset"]
+        status, doc = client.query("hot", "mean", epsilon=0.3)
+        assert status == 200 and doc["status"] == "ok"
+        # same document again: provable no-op
+        status, doc = client.admin_reload(document)
+        assert status == 200 and doc["unchanged"] is True
+
+    def test_admin_drain(self, live):
+        client = ServiceClient(live.url, token="s3cret")
+        status, doc = client.admin_drain("d")
+        assert status == 200 and doc["dataset"]["draining"] is True
+        status, doc = client.admin_drain("d", draining=False)
+        assert status == 200 and doc["dataset"]["draining"] is False
+
+
+class TestTransportErrors:
+    def test_unreachable_raises_domain_error(self):
+        client = ServiceClient("http://127.0.0.1:9", timeout=2.0)
+        with pytest.raises(DomainError, match="cannot reach service"):
+            client.health()
+
+    def test_base_url_trailing_slash_normalised(self, live):
+        client = ServiceClient(live.url + "/")
+        assert client.health()["status"] == "ok"

@@ -35,6 +35,14 @@ CASES = [
          "baseline.bounded_laplace_mean over HTTP", "kinds catalogue",
          "answered on the loop"],
     ),
+    (
+        "service_admin_quickstart.py",
+        "4000",
+        ["unchanged reload   : applied=[] (unchanged=True)",
+         "applied ['add_dataset', 'rotate_analyst_budgets']",
+         "error=draining", "applied ['remove_dataset']", "429",
+         "matches JSON stats: True"],
+    ),
 ]
 
 

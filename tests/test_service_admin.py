@@ -1,0 +1,486 @@
+"""Tests for the live control plane (repro.service.admin).
+
+Covers the declarative differ's full change matrix, the rejection paths
+(everything a running process cannot honour), and the AdminController's
+auth + reload + drain flows — including the acceptance property that
+reloading an unchanged config is a provable no-op.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.exceptions import DomainError
+from repro.service.admin import (
+    AdminController,
+    ConfigChange,
+    ReloadRejected,
+    diff_serving_configs,
+)
+from repro.service.config import (
+    build_service,
+    load_serving_config,
+    parse_serving_config,
+)
+
+VALUES = [float(v) for v in range(64)]
+
+
+def make_config(document=None, **overrides):
+    """A small valid config document, parsed; overrides patch the result."""
+    if document is None:
+        document = {
+            "service": {"seed": 7, "quiet": True},
+            "datasets": [{"name": "d", "values": VALUES, "budget": 4.0}],
+        }
+    config = parse_serving_config(document)
+    return dataclasses.replace(config, **overrides) if overrides else config
+
+
+def actions(changes):
+    return [change.action for change in changes]
+
+
+class TestDiffer:
+    def test_unchanged_config_diffs_to_empty(self):
+        old = make_config()
+        new = make_config()
+        assert diff_serving_configs(old, new) == []
+
+    def test_add_dataset_and_group_ordered_group_first(self):
+        old = make_config()
+        new = make_config(
+            {
+                "service": {"seed": 7, "quiet": True},
+                "groups": {"g": {"budget": 3.0}},
+                "datasets": [
+                    {"name": "d", "values": VALUES, "budget": 4.0},
+                    {"name": "e", "values": VALUES, "group": "g"},
+                ],
+            }
+        )
+        changes = diff_serving_configs(old, new)
+        assert actions(changes) == ["add_group", "add_dataset"]
+        assert changes[0].target == "g"
+        assert changes[1].target == "e"
+        assert changes[1].detail["group"] == "g"
+
+    def test_removal_requires_drain(self):
+        old = make_config(
+            {
+                "service": {"seed": 7, "quiet": True},
+                "datasets": [
+                    {"name": "d", "values": VALUES, "budget": 4.0},
+                    {"name": "e", "values": VALUES, "budget": 1.0},
+                ],
+            }
+        )
+        new = make_config()
+        with pytest.raises(ReloadRejected) as excinfo:
+            diff_serving_configs(old, new)
+        assert any("draining" in problem for problem in excinfo.value.problems)
+        changes = diff_serving_configs(old, new, draining=("e",))
+        assert actions(changes) == ["remove_dataset"]
+        assert changes[0].target == "e"
+
+    def test_restart_fields_rejected_all_problems_listed(self):
+        old = make_config()
+        new = make_config(
+            {
+                "service": {"seed": 8, "workers": 3, "quiet": True},
+                "datasets": [{"name": "d", "values": VALUES, "budget": 9.0}],
+            }
+        )
+        with pytest.raises(ReloadRejected) as excinfo:
+            diff_serving_configs(old, new)
+        problems = "\n".join(excinfo.value.problems)
+        # one round-trip reports every problem, not just the first
+        assert len(excinfo.value.problems) == 3
+        assert "seed" in problems and "workers" in problems and "budget=" in problems
+
+    def test_frozen_dataset_fields_rejected(self):
+        old = make_config()
+        for patch in (
+            {"values": [float(v) for v in range(32)]},
+            {"budget": 5.0},
+        ):
+            document = {
+                "service": {"seed": 7, "quiet": True},
+                "datasets": [dict({"name": "d", "values": VALUES, "budget": 4.0}, **patch)],
+            }
+            with pytest.raises(ReloadRejected):
+                diff_serving_configs(old, make_config(document))
+
+    def test_group_removal_and_budget_change_rejected(self):
+        base = {
+            "service": {"seed": 7, "quiet": True},
+            "groups": {"g": {"budget": 3.0}},
+            "datasets": [{"name": "d", "values": VALUES, "group": "g"}],
+        }
+        old = make_config(base)
+        resized = dict(base, groups={"g": {"budget": 6.0}})
+        with pytest.raises(ReloadRejected) as excinfo:
+            diff_serving_configs(old, make_config(resized))
+        assert "joint budget" in excinfo.value.problems[0]
+
+    def test_update_kinds_and_rotate_budgets(self):
+        base = {
+            "service": {"seed": 7, "quiet": True},
+            "datasets": [{"name": "d", "values": VALUES, "budget": 4.0}],
+        }
+        old = make_config(base)
+        new = make_config(
+            {
+                "service": {"seed": 7, "quiet": True},
+                "datasets": [
+                    {
+                        "name": "d",
+                        "values": VALUES,
+                        "budget": 4.0,
+                        "kinds": ["mean"],
+                        "analyst_budgets": {"alice": 1.0},
+                    }
+                ],
+            }
+        )
+        changes = diff_serving_configs(old, new)
+        assert sorted(actions(changes)) == ["rotate_analyst_budgets", "update_kinds"]
+        by_action = {change.action: change for change in changes}
+        assert by_action["update_kinds"].detail["kinds"] == ["mean"]
+        assert by_action["rotate_analyst_budgets"].detail["analysts"] == ["alice"]
+
+    def test_cache_limits_and_token_changes(self):
+        old = make_config()
+        new = make_config(
+            {
+                "service": {"seed": 7, "quiet": True, "cache_size": 16},
+                "datasets": [{"name": "d", "values": VALUES, "budget": 4.0}],
+                "admin": {"token": "s3cret"},
+                "limits": {"analyst_rate": 5.0},
+            }
+        )
+        changes = diff_serving_configs(old, new)
+        assert sorted(actions(changes)) == [
+            "resize_cache", "rotate_admin_token", "update_limits",
+        ]
+        # the secret itself never leaks into a change record
+        assert "s3cret" not in json.dumps([c.to_json() for c in changes])
+
+    def test_change_to_json_shape(self):
+        change = ConfigChange("add_dataset", "d", {"budget": 1.0})
+        assert change.to_json() == {
+            "action": "add_dataset", "target": "d", "detail": {"budget": 1.0},
+        }
+
+
+@pytest.fixture
+def built():
+    config = make_config(
+        {
+            "service": {"seed": 7, "quiet": True},
+            "datasets": [{"name": "d", "values": VALUES, "budget": 4.0}],
+            "admin": {"token": "s3cret"},
+        }
+    )
+    service = build_service(config)
+    yield service
+    service.close()
+
+
+class TestControllerAuth:
+    def test_no_token_configured_is_403(self):
+        config = make_config()
+        with build_service(config) as service:
+            code, doc = service.admin.handle("GET", "/admin/state", None, "anything")
+            assert code == 403
+            assert doc["error"]["code"] == "admin_disabled"
+
+    def test_wrong_token_is_401(self, built):
+        code, doc = built.admin.handle("GET", "/admin/state", None, "wrong")
+        assert code == 401
+        assert doc["error"]["code"] == "unauthorized"
+        code, _ = built.admin.handle("GET", "/admin/state", None, None)
+        assert code == 401
+
+    def test_right_token_serves_state(self, built):
+        code, doc = built.admin.handle("GET", "/admin/state", None, "s3cret")
+        assert code == 200
+        assert doc["admin"]["enabled"] is True
+        assert doc["admin"]["reloads"] == 0
+        assert doc["admin"]["draining"] == []
+        assert doc["stats"]["datasets"][0]["name"] == "d"
+
+    def test_env_token_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ADMIN_TOKEN", "from-env")
+        config = make_config()
+        with build_service(config) as service:
+            code, _ = service.admin.handle("GET", "/admin/state", None, "from-env")
+            assert code == 200
+
+
+class TestControllerReload:
+    def test_unchanged_reload_is_a_provable_noop(self, built):
+        before = json.dumps(built.service.stats(), sort_keys=True)
+        document = {
+            "service": {"seed": 7, "quiet": True},
+            "datasets": [{"name": "d", "values": VALUES, "budget": 4.0}],
+            "admin": {"token": "s3cret"},
+        }
+        code, doc = built.admin.handle(
+            "POST", "/admin/reload", {"config": document}, "s3cret"
+        )
+        assert code == 200
+        assert doc["applied"] == []
+        assert doc["unchanged"] is True
+        assert doc["reloads"] == 1
+        assert json.dumps(built.service.stats(), sort_keys=True) == before
+
+    def test_reload_adds_dataset_and_rotates_budget(self, built):
+        document = {
+            "service": {"seed": 7, "quiet": True},
+            "datasets": [
+                {
+                    "name": "d", "values": VALUES, "budget": 4.0,
+                    "analyst_budgets": {"alice": 0.5},
+                },
+                {"name": "fresh", "values": VALUES, "budget": 2.0},
+            ],
+            "admin": {"token": "s3cret"},
+        }
+        code, doc = built.admin.handle(
+            "POST", "/admin/reload", {"config": document}, "s3cret"
+        )
+        assert code == 200
+        applied = {change["action"] for change in doc["applied"]}
+        assert applied == {"add_dataset", "rotate_analyst_budgets"}
+        # the new dataset answers queries without a restart
+        answer = built.service.query("fresh", "mean", epsilon=0.5)
+        assert answer.status == "ok"
+        # the rotated analyst cap is live
+        refused = built.service.query("d", "mean", epsilon=0.6, analyst="alice")
+        assert refused.status == "refused"
+
+    def test_rejected_reload_is_409_with_all_problems(self, built):
+        document = {
+            "service": {"seed": 99, "quiet": True},
+            "datasets": [{"name": "d", "values": VALUES, "budget": 4.0}],
+            "admin": {"token": "s3cret"},
+        }
+        code, doc = built.admin.handle(
+            "POST", "/admin/reload", {"config": document}, "s3cret"
+        )
+        assert code == 409
+        assert doc["error"]["code"] == "reload_rejected"
+        assert any("seed" in p for p in doc["error"]["detail"]["problems"])
+
+    def test_two_phase_apply_aborts_with_service_untouched(self, built):
+        document = {
+            "service": {"seed": 7, "quiet": True},
+            "datasets": [
+                {"name": "d", "values": VALUES, "budget": 4.0},
+                {"name": "ghost", "source": "does-not-exist.npy", "budget": 1.0},
+            ],
+            "admin": {"token": "s3cret"},
+        }
+        code, doc = built.admin.handle(
+            "POST", "/admin/reload", {"config": document}, "s3cret"
+        )
+        assert code == 400
+        assert "does-not-exist" in doc["error"]["message"]
+        assert [d.name for d in built.service.registry] == ["d"]
+
+    def test_malformed_reload_body_is_400(self, built):
+        code, doc = built.admin.handle(
+            "POST", "/admin/reload", {"config": "not a table"}, "s3cret"
+        )
+        assert code == 400
+        code, doc = built.admin.handle(
+            "POST", "/admin/reload", {"something": "else"}, "s3cret"
+        )
+        assert code == 400
+
+    def test_reload_without_file_or_inline_is_400(self, built):
+        code, doc = built.admin.handle("POST", "/admin/reload", None, "s3cret")
+        assert code == 400
+        assert "config file" in doc["error"]["message"]
+
+    def test_empty_reload_rereads_booted_file(self, tmp_path):
+        document = {
+            "service": {"seed": 7, "quiet": True},
+            "datasets": [{"name": "d", "values": VALUES, "budget": 4.0}],
+            "admin": {"token": "s3cret"},
+        }
+        path = tmp_path / "serving.json"
+        path.write_text(json.dumps(document))
+        with build_service(load_serving_config(path)) as service:
+            code, doc = service.admin.handle("POST", "/admin/reload", None, "s3cret")
+            assert code == 200 and doc["unchanged"] is True
+            # edit the file on disk, reload again: the add is applied
+            document["datasets"].append(
+                {"name": "fresh", "values": VALUES, "budget": 1.0}
+            )
+            path.write_text(json.dumps(document))
+            code, doc = service.admin.handle("POST", "/admin/reload", None, "s3cret")
+            assert code == 200
+            assert actions_of(doc) == ["add_dataset"]
+            assert service.service.query("fresh", "mean", epsilon=0.5).status == "ok"
+
+    def test_token_rotation_applies_immediately(self, built):
+        document = {
+            "service": {"seed": 7, "quiet": True},
+            "datasets": [{"name": "d", "values": VALUES, "budget": 4.0}],
+            "admin": {"token": "rotated"},
+        }
+        code, doc = built.admin.handle(
+            "POST", "/admin/reload", {"config": document}, "s3cret"
+        )
+        assert code == 200
+        assert actions_of(doc) == ["rotate_admin_token"]
+        assert built.admin.handle("GET", "/admin/state", None, "s3cret")[0] == 401
+        assert built.admin.handle("GET", "/admin/state", None, "rotated")[0] == 200
+
+
+def actions_of(doc):
+    return [change["action"] for change in doc["applied"]]
+
+
+class TestControllerDrain:
+    def test_drain_then_remove(self, built):
+        code, doc = built.admin.handle(
+            "POST", "/admin/drain", {"dataset": "d"}, "s3cret"
+        )
+        assert code == 200
+        assert doc["dataset"]["draining"] is True
+        _, state = built.admin.handle("GET", "/admin/state", None, "s3cret")
+        assert state["admin"]["draining"] == ["d"]
+
+        # drained datasets serve cached answers but refuse fresh releases
+        refused = built.service.query("d", "mean", epsilon=0.5)
+        assert refused.status == "refused"
+
+        # ...and may now be removed; add a replacement in the same reload
+        document = {
+            "service": {"seed": 7, "quiet": True},
+            "datasets": [{"name": "d2", "values": VALUES, "budget": 2.0}],
+            "admin": {"token": "s3cret"},
+        }
+        code, doc = built.admin.handle(
+            "POST", "/admin/reload", {"config": document}, "s3cret"
+        )
+        assert code == 200
+        assert sorted(actions_of(doc)) == ["add_dataset", "remove_dataset"]
+        assert [d.name for d in built.service.registry] == ["d2"]
+
+    def test_undrain(self, built):
+        built.admin.handle("POST", "/admin/drain", {"dataset": "d"}, "s3cret")
+        code, doc = built.admin.handle(
+            "POST", "/admin/drain", {"dataset": "d", "draining": False}, "s3cret"
+        )
+        assert code == 200 and doc["dataset"]["draining"] is False
+        assert built.service.query("d", "mean", epsilon=0.5).status == "ok"
+
+    def test_drain_unknown_dataset_is_404(self, built):
+        code, doc = built.admin.handle(
+            "POST", "/admin/drain", {"dataset": "ghost"}, "s3cret"
+        )
+        assert code == 404
+        assert doc["error"]["code"] == "unknown_dataset"
+
+    def test_drain_bad_body_is_400(self, built):
+        for payload in (None, {}, {"dataset": "d", "draining": "yes"}):
+            code, _ = built.admin.handle("POST", "/admin/drain", payload, "s3cret")
+            assert code == 400, payload
+
+    def test_unknown_admin_path_is_404(self, built):
+        code, doc = built.admin.handle("GET", "/admin/nope", None, "s3cret")
+        assert code == 404
+        assert doc["error"]["code"] == "unknown_path"
+
+
+class TestHttpAdminSurface:
+    """End-to-end over the threaded front-end (the async twin is covered by CI)."""
+
+    @pytest.fixture
+    def server(self):
+        import urllib.error
+        import urllib.request
+
+        from repro.service import make_server, serve_forever
+
+        config = make_config(
+            {
+                "service": {"seed": 7, "quiet": True},
+                "datasets": [{"name": "d", "values": VALUES, "budget": 4.0}],
+                "admin": {"token": "s3cret"},
+            }
+        )
+        built = build_service(config)
+        http_server = make_server(
+            built.service, port=0, quiet=True,
+            limiter=built.limiter, admin=built.admin,
+        )
+        thread = serve_forever(http_server)
+
+        def call(path, payload=None, token=None, method=None):
+            data = None if payload is None else json.dumps(payload).encode()
+            headers = {"Content-Type": "application/json"}
+            if token is not None:
+                headers["Authorization"] = f"Bearer {token}"
+            request = urllib.request.Request(
+                http_server.url + path, data=data, headers=headers,
+                method=method or ("POST" if data is not None else "GET"),
+            )
+            try:
+                with urllib.request.urlopen(request, timeout=10) as response:
+                    return response.status, json.loads(response.read().decode())
+            except urllib.error.HTTPError as exc:
+                return exc.code, json.loads(exc.read().decode())
+
+        yield call
+        http_server.shutdown()
+        http_server.server_close()
+        thread.join(timeout=5)
+        built.close()
+
+    def test_live_reload_over_http(self, server):
+        status, doc = server("/admin/state", token="s3cret")
+        assert status == 200 and doc["admin"]["enabled"] is True
+
+        status, doc = server("/admin/state", token="wrong")
+        assert status == 401
+
+        document = {
+            "service": {"seed": 7, "quiet": True},
+            "datasets": [
+                {"name": "d", "values": VALUES, "budget": 4.0},
+                {"name": "live", "values": VALUES, "budget": 2.0},
+            ],
+            "admin": {"token": "s3cret"},
+        }
+        status, doc = server("/admin/reload", {"config": document}, token="s3cret")
+        assert status == 200
+        assert actions_of(doc) == ["add_dataset"]
+
+        # the dataset added over HTTP serves queries immediately
+        status, doc = server(
+            "/query", {"dataset": "live", "kind": "mean", "epsilon": 0.5}
+        )
+        assert status == 200 and doc["status"] == "ok"
+
+    def test_drained_dataset_serves_cache_but_refuses_fresh(self, server):
+        query = {"dataset": "d", "kind": "mean", "epsilon": 0.5}
+        status, first = server("/query", query)
+        assert status == 200
+
+        status, doc = server("/admin/drain", {"dataset": "d"}, token="s3cret")
+        assert status == 200
+
+        status, doc = server("/query", query)  # cache hit still served
+        assert status == 200 and doc["cached"] is True and doc["value"] == first["value"]
+
+        status, doc = server("/query", dict(query, epsilon=0.25))  # fresh → refused
+        assert status == 403
+        assert doc["error"]["code"] == "draining"

@@ -128,12 +128,12 @@ class TestRoutesBothFrontends:
         status, refused = _call(
             frontend.url, "/query", {"dataset": "d", "kind": "mean", "epsilon": 50.0}
         )
-        assert status == 403 and refused["error"] == "budget_exceeded"
+        assert status == 403 and refused["error"]["code"] == "budget_exceeded"
 
         status, unknown = _call(
             frontend.url, "/query", {"dataset": "ghost", "kind": "mean", "epsilon": 0.5}
         )
-        assert status == 404 and unknown["error"] == "unknown_dataset"
+        assert status == 404 and unknown["error"]["code"] == "unknown_dataset"
 
     def test_batch_coalesces_duplicates(self, frontend):
         payload = {
@@ -184,7 +184,7 @@ class TestRoutesBothFrontends:
             frontend.url, "/query", {"dataset": "d", "kind": "mode", "epsilon": 0.5}
         )
         assert status == 400
-        assert doc["error"] == "unknown_kind"
+        assert doc["error"]["code"] == "unknown_kind"
         assert doc["kinds"] == registered_kinds()
 
     def test_baseline_kind_roundtrip(self, frontend):
@@ -228,7 +228,7 @@ class TestProtocolEdges:
             (code, _, body), = _read_responses(sock, 1)
         assert code == 413
         doc = json.loads(body)
-        assert doc["error"] == "payload_too_large"
+        assert doc["error"]["code"] == "payload_too_large"
 
     def test_empty_body_is_400(self, frontend):
         status, doc = _call(frontend.url, "/query", method="POST")

@@ -58,7 +58,7 @@ class TestRoutes:
     def test_unknown_path_404(self, server):
         status, doc = _call(server, "/nope")
         assert status == 404
-        assert doc["error"] == "unknown_path"
+        assert doc["error"]["code"] == "unknown_path"
 
     def test_kinds_catalogue(self, server):
         from repro.estimators import registered_kinds
@@ -96,7 +96,7 @@ class TestQueryEndpoint:
         )
         assert status == 403
         assert doc["status"] == "refused"
-        assert doc["error"] == "budget_exceeded"
+        assert doc["error"]["code"] == "budget_exceeded"
         assert doc["epsilon_charged"] == 0.0
 
     def test_unknown_dataset_is_404(self, server):
@@ -104,7 +104,7 @@ class TestQueryEndpoint:
             server, "/query", {"dataset": "ghost", "kind": "mean", "epsilon": 0.5}
         )
         assert status == 404
-        assert doc["error"] == "unknown_dataset"
+        assert doc["error"]["code"] == "unknown_dataset"
 
     def test_malformed_query_is_400(self, server):
         for payload in (
@@ -125,7 +125,7 @@ class TestQueryEndpoint:
             server, "/query", {"dataset": "d", "kind": "mode", "epsilon": 0.5}
         )
         assert status == 400
-        assert doc["error"] == "unknown_kind"
+        assert doc["error"]["code"] == "unknown_kind"
         assert doc["kinds"] == registered_kinds()
 
     def test_baseline_kind_served_with_params(self, server):
@@ -218,7 +218,7 @@ class TestRegistration:
                 http_server, "/datasets", {"name": "x", "values": [1.0] * 20, "budget": 1.0}
             )
             assert status == 403
-            assert doc["error"] == "registration_disabled"
+            assert doc["error"]["code"] == "registration_disabled"
         finally:
             http_server.shutdown()
             http_server.server_close()

@@ -1,0 +1,218 @@
+"""Tests for the latency recorder and the Prometheus exposition.
+
+The exposition tests parse the rendered text with a naive Prometheus
+text-format parser (samples + HELP/TYPE headers) and cross-check every value
+against the JSON ``stats()`` view the same snapshots feed — the two
+monitoring surfaces must never disagree.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Tuple
+
+import numpy as np
+import pytest
+
+from repro.service import QueryService
+from repro.service.metrics import (
+    DEFAULT_BUCKETS,
+    LatencyRecorder,
+    render_prometheus,
+)
+
+_SAMPLE = re.compile(r'^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(\S+)$')
+
+
+def parse_prometheus(text: str) -> Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float]:
+    """Naive text-format 0.0.4 parser: {(name, sorted labels): value}.
+
+    Validates the structural contract along the way: every sample line must
+    parse, and every metric family must carry HELP and TYPE headers.
+    """
+    samples: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float] = {}
+    helped, typed = set(), set()
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            helped.add(line.split()[2])
+            continue
+        if line.startswith("# TYPE "):
+            typed.add(line.split()[2])
+            continue
+        assert not line.startswith("#"), f"unknown comment line: {line!r}"
+        match = _SAMPLE.match(line)
+        assert match, f"unparseable sample line: {line!r}"
+        name, raw_labels, raw_value = match.groups()
+        labels = []
+        if raw_labels:
+            for part in raw_labels[1:-1].split(","):
+                key, _, value = part.partition("=")
+                assert value.startswith('"') and value.endswith('"'), line
+                labels.append((key, value[1:-1]))
+        key = (name, tuple(sorted(labels)))
+        assert key not in samples, f"duplicate sample: {key}"
+        samples[key] = float(raw_value)
+    for name in {name for name, _ in samples}:
+        family = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in typed:
+                family = name[: -len(suffix)]
+        assert family in helped, f"{family} has samples but no HELP"
+        assert family in typed, f"{family} has samples but no TYPE"
+    return samples
+
+
+def sample(samples, name, **labels) -> float:
+    return samples[(name, tuple(sorted(labels.items())))]
+
+
+class TestLatencyRecorder:
+    def test_observe_and_snapshot(self):
+        recorder = LatencyRecorder()
+        recorder.observe("mean", "ok", 0.002)
+        recorder.observe("mean", "ok", 0.3)
+        recorder.observe("mean", "cached", 0.0001)
+        snap = recorder.snapshot()
+        cell = snap[("mean", "ok")]
+        assert cell.count == 2
+        assert cell.sum == pytest.approx(0.302)
+        assert sum(cell.counts) == 2
+        assert snap[("mean", "cached")].count == 1
+
+    def test_cumulative_ends_at_total(self):
+        recorder = LatencyRecorder()
+        for seconds in (0.0001, 0.004, 0.04, 99.0):
+            recorder.observe("k", "ok", seconds)
+        cumulative = recorder.snapshot()[("k", "ok")].cumulative()
+        assert cumulative[-1] == ("+Inf", 4)
+        counts = [count for _, count in cumulative]
+        assert counts == sorted(counts)  # cumulative is monotone
+        assert len(cumulative) == len(DEFAULT_BUCKETS) + 1
+
+    def test_overflow_bucket(self):
+        recorder = LatencyRecorder(buckets=(0.1, 1.0))
+        recorder.observe("k", "ok", 5.0)
+        cell = recorder.snapshot()[("k", "ok")]
+        assert cell.counts == (0, 0, 1)
+
+    def test_negative_clamped(self):
+        recorder = LatencyRecorder()
+        recorder.observe("k", "ok", -1.0)
+        assert recorder.snapshot()[("k", "ok")].sum == 0.0
+
+
+class TestExposition:
+    @pytest.fixture
+    def service(self):
+        svc = QueryService(seed=11)
+        svc.registry.create_group("g", 4.0)
+        svc.register("d", np.random.default_rng(0).normal(0.0, 1.0, 4_000), 2.0)
+        svc.register("e", np.random.default_rng(1).normal(0.0, 1.0, 4_000), None, group="g")
+        return svc
+
+    def test_cross_checks_against_stats(self, service):
+        service.query("d", "mean", epsilon=0.5)
+        service.query("d", "mean", epsilon=0.5)  # cached
+        service.query("e", "variance", epsilon=0.5)
+        service.query("d", "mean", epsilon=99.0)  # refused
+
+        samples = parse_prometheus(render_prometheus(service))
+        stats = service.stats()
+
+        # request counters match the recorder-by-outcome view
+        assert sample(samples, "repro_requests_total", kind="mean", outcome="ok") == 1
+        assert sample(samples, "repro_requests_total", kind="mean", outcome="cached") == 1
+        assert sample(samples, "repro_requests_total", kind="mean", outcome="refused") == 1
+        assert sample(samples, "repro_requests_total", kind="variance", outcome="ok") == 1
+
+        # cache counters equal the JSON view bit for bit
+        assert sample(samples, "repro_cache_hits_total") == stats["cache"]["hits"]
+        assert sample(samples, "repro_cache_misses_total") == stats["cache"]["misses"]
+        assert sample(samples, "repro_cache_entries") == stats["cache"]["size"]
+
+        # per-dataset budget gauges equal the JSON snapshots
+        by_name = {entry["name"]: entry for entry in stats["datasets"]}
+        for name in ("d", "e"):
+            budget = by_name[name]["budget"]
+            assert sample(samples, "repro_budget_capacity_epsilon", dataset=name) \
+                == budget["capacity"]
+            assert sample(samples, "repro_budget_spent_epsilon", dataset=name) \
+                == pytest.approx(budget["spent"])
+            assert sample(samples, "repro_budget_remaining_epsilon", dataset=name) \
+                == pytest.approx(budget["remaining"])
+            assert sample(samples, "repro_dataset_records", dataset=name) \
+                == by_name[name]["records"]
+            assert sample(samples, "repro_dataset_draining", dataset=name) == 0
+
+        # group gauges
+        assert sample(samples, "repro_group_budget_capacity_epsilon", group="g") == 4.0
+        assert sample(samples, "repro_group_budget_spent_epsilon", group="g") \
+            == pytest.approx(stats["groups"]["g"]["budget"]["spent"])
+
+    def test_histogram_invariants(self, service):
+        service.query("d", "mean", epsilon=0.5)
+        samples = parse_prometheus(render_prometheus(service))
+        labels = dict(kind="mean", outcome="ok")
+        count = sample(samples, "repro_request_latency_seconds_count", **labels)
+        assert count == 1
+        assert sample(
+            samples, "repro_request_latency_seconds_bucket", le="+Inf", **labels
+        ) == count
+        assert sample(samples, "repro_request_latency_seconds_sum", **labels) >= 0.0
+
+    def test_draining_flag_exported(self, service):
+        service.registry.set_draining("d")
+        samples = parse_prometheus(render_prometheus(service))
+        assert sample(samples, "repro_dataset_draining", dataset="d") == 1
+
+    def test_frontend_and_limiter_sections(self, service):
+        from repro.service.qos import LimitSpec, RateLimiter, RateLimits
+
+        limiter = RateLimiter(RateLimits(analyst=LimitSpec(rate=1.0, burst=1.0)))
+        limiter.check(None, "mean")
+        limiter.check(None, "mean")
+        text = render_prometheus(
+            service,
+            frontend={"frontend": "async", "requests": 7, "max_body": 1024},
+            limiter=limiter,
+        )
+        samples = parse_prometheus(text)
+        assert sample(
+            samples, "repro_frontend_events_total", frontend="async", event="requests"
+        ) == 7
+        assert ("repro_frontend_events_total", (("event", "max_body"), ("frontend", "async"))) \
+            not in samples
+        assert sample(samples, "repro_rate_limit_allowed_total") == 1
+        assert sample(samples, "repro_rate_limit_refused_total") == 1
+
+    def test_label_escaping(self):
+        svc = QueryService(seed=1)
+        svc.register("d", np.random.default_rng(0).normal(0.0, 1.0, 64), 1.0)
+        svc.metrics.observe('we"ird\nkind', "ok", 0.001)
+        samples = parse_prometheus(render_prometheus(svc))
+        assert any(name == "repro_requests_total" for name, _ in samples)
+
+
+class TestHttpScrape:
+    def test_metrics_endpoint_parses_and_cross_checks(self):
+        from repro.service import make_server, serve_forever
+        import urllib.request
+
+        service = QueryService(seed=2)
+        service.register("d", np.random.default_rng(0).normal(0.0, 1.0, 4_000), 2.0)
+        server = make_server(service, port=0, quiet=True)
+        thread = serve_forever(server)
+        try:
+            service.query("d", "mean", epsilon=0.5)
+            with urllib.request.urlopen(server.url + "/metrics", timeout=10) as resp:
+                assert resp.status == 200
+                assert resp.headers["Content-Type"].startswith("text/plain")
+                samples = parse_prometheus(resp.read().decode("utf-8"))
+            assert sample(samples, "repro_requests_total", kind="mean", outcome="ok") == 1
+            assert sample(samples, "repro_service_workers") == service.stats()["workers"]
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)

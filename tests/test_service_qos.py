@@ -1,0 +1,232 @@
+"""Tests for token-bucket QoS rate limiting (repro.service.qos).
+
+The limiter's clock is injectable, so every refill path is driven
+deterministically; the HTTP-level tests prove the headline property — a 429
+is decided *before* admission and leaves the budget ledger bit-for-bit
+unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DomainError
+from repro.service.qos import LimitSpec, RateLimitDecision, RateLimiter, RateLimits
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestLimitSpec:
+    def test_validates(self):
+        with pytest.raises(DomainError):
+            LimitSpec(rate=0.0, burst=1.0)
+        with pytest.raises(DomainError):
+            LimitSpec(rate=1.0, burst=0.5)
+
+    def test_limits_enabled(self):
+        assert not RateLimits().enabled
+        assert RateLimits(analyst=LimitSpec(rate=1.0, burst=1.0)).enabled
+        assert RateLimits(kinds={"mean": LimitSpec(rate=1.0, burst=1.0)}).enabled
+
+
+class TestRateLimiter:
+    def test_disabled_admits_everything(self):
+        limiter = RateLimiter(None)
+        assert limiter.check("alice", "mean") is None
+        assert not limiter.enabled
+        assert limiter.stats()["allowed"] == 0  # disabled checks aren't counted
+
+    def test_burst_then_refusal_then_refill(self):
+        clock = FakeClock()
+        limiter = RateLimiter(
+            RateLimits(analyst=LimitSpec(rate=2.0, burst=2.0)), clock=clock
+        )
+        assert limiter.check("alice", "mean") is None
+        assert limiter.check("alice", "mean") is None
+        decision = limiter.check("alice", "mean")
+        assert isinstance(decision, RateLimitDecision)
+        assert decision.scope == "analyst" and decision.key == "alice"
+        # bucket empty: one token refills in 1/rate seconds
+        assert decision.retry_after == pytest.approx(0.5)
+        clock.advance(0.5)
+        assert limiter.check("alice", "mean") is None
+        stats = limiter.stats()
+        assert stats["allowed"] == 3 and stats["limited"] == 1
+
+    def test_buckets_are_per_analyst(self):
+        clock = FakeClock()
+        limiter = RateLimiter(
+            RateLimits(analyst=LimitSpec(rate=1.0, burst=1.0)), clock=clock
+        )
+        assert limiter.check("alice", "mean") is None
+        assert limiter.check("bob", "mean") is None  # bob has his own bucket
+        assert limiter.check("alice", "mean") is not None
+
+    def test_anonymous_analysts_share_one_bucket(self):
+        clock = FakeClock()
+        limiter = RateLimiter(
+            RateLimits(analyst=LimitSpec(rate=1.0, burst=1.0)), clock=clock
+        )
+        assert limiter.check(None, "mean") is None
+        decision = limiter.check(None, "variance")
+        assert decision is not None and decision.key == ""
+
+    def test_per_name_override_beats_default(self):
+        clock = FakeClock()
+        limiter = RateLimiter(
+            RateLimits(
+                analyst=LimitSpec(rate=100.0, burst=100.0),
+                analysts={"greedy": LimitSpec(rate=1.0, burst=1.0)},
+            ),
+            clock=clock,
+        )
+        assert limiter.check("greedy", "mean") is None
+        assert limiter.check("greedy", "mean") is not None
+        for _ in range(50):
+            assert limiter.check("polite", "mean") is None
+
+    def test_kind_scope(self):
+        clock = FakeClock()
+        limiter = RateLimiter(
+            RateLimits(kinds={"variance": LimitSpec(rate=1.0, burst=1.0)}),
+            clock=clock,
+        )
+        assert limiter.check("a", "mean") is None  # mean is unlimited
+        assert limiter.check("a", "variance") is None
+        decision = limiter.check("b", "variance")  # kind bucket spans analysts
+        assert decision is not None and decision.scope == "kind"
+        assert decision.key == "variance"
+
+    def test_all_or_none_consumption(self):
+        clock = FakeClock()
+        limiter = RateLimiter(
+            RateLimits(
+                analyst=LimitSpec(rate=1.0, burst=5.0),
+                kind=LimitSpec(rate=1.0, burst=1.0),
+            ),
+            clock=clock,
+        )
+        assert limiter.check("alice", "mean") is None
+        # kind bucket is dry; the analyst bucket must NOT be debited
+        for _ in range(3):
+            decision = limiter.check("alice", "mean")
+            assert decision is not None and decision.scope == "kind"
+        clock.advance(1.0)  # kind bucket refills one token
+        # analyst bucket still has 4 tokens: the refusals consumed nothing
+        assert limiter.check("alice", "mean") is None
+
+    def test_refill_caps_at_burst(self):
+        clock = FakeClock()
+        limiter = RateLimiter(
+            RateLimits(analyst=LimitSpec(rate=10.0, burst=2.0)), clock=clock
+        )
+        assert limiter.check("a", "mean") is None
+        clock.advance(1_000.0)
+        assert limiter.check("a", "mean") is None
+        assert limiter.check("a", "mean") is None
+        assert limiter.check("a", "mean") is not None  # burst, not rate*elapsed
+
+    def test_configure_swaps_limits_and_resets(self):
+        clock = FakeClock()
+        limiter = RateLimiter(
+            RateLimits(analyst=LimitSpec(rate=1.0, burst=1.0)), clock=clock
+        )
+        assert limiter.check("a", "mean") is None
+        assert limiter.check("a", "mean") is not None
+        limiter.configure(RateLimits(analyst=LimitSpec(rate=1.0, burst=2.0)))
+        assert limiter.check("a", "mean") is None  # fresh full bucket
+        limiter.configure(None)
+        for _ in range(10):
+            assert limiter.check("a", "mean") is None
+
+
+class TestHttp429:
+    """The acceptance property: a 429 never touches the budget ledger."""
+
+    @pytest.fixture
+    def server(self):
+        from repro.service import QueryService, make_server, serve_forever
+
+        service = QueryService(seed=13)
+        service.register(
+            "d", np.random.default_rng(1).normal(50.0, 5.0, 10_000), 5.0,
+            analyst_budgets={"bursty": 2.0},
+        )
+        limiter = RateLimiter(
+            RateLimits(analysts={"bursty": LimitSpec(rate=0.001, burst=1.0)})
+        )
+        http_server = make_server(service, port=0, quiet=True, limiter=limiter)
+        thread = serve_forever(http_server)
+        yield http_server
+        http_server.shutdown()
+        http_server.server_close()
+        thread.join(timeout=5)
+
+    def _call(self, server, payload):
+        request = urllib.request.Request(
+            server.url + "/query",
+            data=json.dumps(payload).encode(),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=10) as response:
+                return response.status, json.loads(response.read().decode()), response.headers
+        except urllib.error.HTTPError as exc:
+            return exc.code, json.loads(exc.read().decode()), exc.headers
+
+    def test_429_leaves_ledger_bit_identical(self, server):
+        query = {"dataset": "d", "kind": "mean", "epsilon": 0.5, "analyst": "bursty"}
+        status, doc, _ = self._call(server, query)
+        assert status == 200 and doc["status"] == "ok"
+
+        # bit-for-bit budget snapshot before the refused request
+        before = json.dumps(server.service.stats()["datasets"], sort_keys=True)
+        status, doc, headers = self._call(server, dict(query, epsilon=0.25))
+        assert status == 429
+        assert doc["status"] == "refused"
+        assert doc["error"]["code"] == "rate_limited"
+        assert doc["error"]["detail"]["scope"] == "analyst"
+        assert doc["epsilon_charged"] == 0.0
+        assert int(headers["Retry-After"]) >= 1
+        after = json.dumps(server.service.stats()["datasets"], sort_keys=True)
+        assert before == after
+
+    def test_batch_mixes_429_and_answers(self, server):
+        batch = {
+            "queries": [
+                {"dataset": "d", "kind": "mean", "epsilon": 0.5},
+                {"dataset": "d", "kind": "mean", "epsilon": 0.5, "analyst": "bursty"},
+                {"dataset": "d", "kind": "mean", "epsilon": 0.5, "analyst": "bursty"},
+            ]
+        }
+        status, doc, _ = self._call(server, batch)
+        assert status == 200
+        outcomes = [
+            (entry["status"], (entry.get("error") or {}).get("code"))
+            for entry in doc["answers"]
+        ]
+        assert outcomes[0] == ("ok", None)
+        assert outcomes[1][0] in ("ok", "refused")  # first bursty call admitted
+        assert outcomes[2] == ("refused", "rate_limited")
+
+    def test_rate_limited_outcome_in_metrics(self, server):
+        query = {"dataset": "d", "kind": "mean", "epsilon": 0.5, "analyst": "bursty"}
+        self._call(server, query)
+        self._call(server, query)
+        snapshot = server.service.metrics.snapshot()
+        assert snapshot[("mean", "rate_limited")].count >= 1

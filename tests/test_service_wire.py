@@ -1,0 +1,161 @@
+"""Tests for the v1 wire envelope (repro.service.wire)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.service import QueryService, wire
+from repro.service.queries import InvalidQueryError, Query, UnknownQueryKindError
+
+
+@pytest.fixture
+def service():
+    svc = QueryService(seed=5)
+    svc.register("d", np.random.default_rng(0).normal(10.0, 2.0, 5_000), 3.0)
+    return svc
+
+
+class TestErrorDocuments:
+    def test_uniform_shape(self):
+        doc = wire.error_document("boom", "it broke", detail={"x": 1})
+        assert doc["api"] == wire.API_VERSION
+        assert doc["status"] == "error"
+        assert doc["error"] == {"code": "boom", "message": "it broke", "detail": {"x": 1}}
+        # one-release alias
+        assert doc["message"] == "it broke"
+
+    def test_detail_omitted_when_empty(self):
+        doc = wire.error_document("boom", "it broke")
+        assert "detail" not in doc["error"]
+
+    def test_unknown_kind_carries_catalogue(self):
+        exc = UnknownQueryKindError("nope", kinds=("mean", "variance"))
+        doc = wire.invalid_request(exc)
+        assert doc["error"]["code"] == "unknown_kind"
+        assert doc["error"]["detail"]["kinds"] == ["mean", "variance"]
+        # legacy top-level alias kept one release
+        assert doc["kinds"] == ["mean", "variance"]
+
+    def test_invalid_request_generic(self):
+        doc = wire.invalid_request(InvalidQueryError("bad"))
+        assert doc["error"]["code"] == "invalid_request"
+
+    def test_builders_have_stable_codes(self):
+        assert wire.bad_request("x")["error"]["code"] == "invalid_request"
+        assert wire.internal_error(ValueError("x"))["error"]["code"] == "internal"
+        assert wire.too_large(10, 5)["error"]["code"] == "payload_too_large"
+        assert wire.unknown_path("GET", "/x")["error"]["code"] == "unknown_path"
+        assert wire.method_not_allowed("PUT")["error"]["code"] == "method_not_allowed"
+        assert wire.registration_disabled()["error"]["code"] == "registration_disabled"
+        assert wire.admin_disabled()["error"]["code"] == "admin_disabled"
+
+
+class TestAnswerDocuments:
+    def test_ok_answer(self, service):
+        answer = service.query("d", "mean", epsilon=0.5)
+        doc = wire.answer_document(answer)
+        assert doc["api"] == wire.API_VERSION
+        assert doc["status"] == "ok"
+        assert doc["value"] == pytest.approx(answer.value)
+        assert "error" not in doc
+        assert "deprecated" not in doc
+        # query echo is canonical: no top-level levels field
+        assert "levels" not in doc["query"]
+
+    def test_refusal_error_object(self, service):
+        answer = service.query("d", "mean", epsilon=99.0)
+        doc = wire.answer_document(answer)
+        assert doc["status"] == "refused"
+        assert doc["error"]["code"] == "budget_exceeded"
+        assert doc["message"] == doc["error"]["message"]
+        assert wire.answer_status_code(answer) == 403
+
+    def test_deprecated_notice_threaded_through(self, service):
+        answer = service.query("d", "mean", epsilon=0.25)
+        doc = wire.answer_document(answer, deprecated=(wire.LEVELS_DEPRECATION,))
+        assert doc["deprecated"] == [wire.LEVELS_DEPRECATION]
+
+    def test_batch_document(self):
+        doc = wire.answers_document([{"status": "ok"}])
+        assert doc["api"] == wire.API_VERSION
+        assert doc["status"] == "ok"
+        assert doc["answers"] == [{"status": "ok"}]
+
+
+class TestParseRequest:
+    def test_canonical_params_levels(self):
+        request, deprecated = wire.parse_request(
+            {"dataset": "d", "kind": "quantile", "epsilon": 0.5,
+             "params": {"levels": [0.5]}}
+        )
+        assert request.query.levels == (0.5,)
+        assert deprecated == ()
+
+    def test_legacy_levels_flagged(self):
+        request, deprecated = wire.parse_request(
+            {"dataset": "d", "kind": "quantile", "epsilon": 0.5, "levels": [0.5]}
+        )
+        assert request.query.levels == (0.5,)
+        assert deprecated == (wire.LEVELS_DEPRECATION,)
+
+    def test_both_spellings_agree_on_canonical_key(self):
+        legacy, _ = wire.parse_request(
+            {"dataset": "d", "kind": "quantile", "epsilon": 0.5, "levels": [0.5]}
+        )
+        canonical, _ = wire.parse_request(
+            {"dataset": "d", "kind": "quantile", "epsilon": 0.5,
+             "params": {"levels": [0.5]}}
+        )
+        assert legacy.query.canonical_key("d") == canonical.query.canonical_key("d")
+
+    def test_missing_dataset(self):
+        with pytest.raises(InvalidQueryError):
+            wire.parse_request({"kind": "mean", "epsilon": 0.5})
+
+
+class TestRateLimitedAnswer:
+    def test_shape(self):
+        from repro.service.executor import QueryRequest
+        from repro.service.qos import RateLimitDecision
+
+        request = QueryRequest(
+            dataset="d", query=Query.from_json({"kind": "mean", "epsilon": 0.5})
+        )
+        decision = RateLimitDecision(
+            scope="analyst", key="alice", retry_after=0.4, rate=2.0, burst=2.0
+        )
+        doc = wire.rate_limited_answer(request, decision)
+        assert doc["status"] == "refused"
+        assert doc["error"]["code"] == "rate_limited"
+        assert doc["error"]["detail"] == {
+            "scope": "analyst", "key": "alice", "retry_after": 0.4,
+        }
+        assert doc["retry_after"] == 0.4
+        assert doc["epsilon_charged"] == 0.0
+        assert wire.retry_after_header(decision) == "1"
+
+
+class TestBearerToken:
+    def test_bearer(self):
+        assert wire.bearer_token("Bearer s3cret") == "s3cret"
+        assert wire.bearer_token("bearer  s3cret ") == "s3cret"
+
+    def test_x_admin_token_fallback(self):
+        assert wire.bearer_token(None, "tok") == "tok"
+        assert wire.bearer_token("Basic abc", "tok") == "tok"
+
+    def test_absent(self):
+        assert wire.bearer_token(None, None) is None
+        assert wire.bearer_token("Bearer ", "") is None
+
+
+class TestInfoDocuments:
+    def test_health_and_stats_and_kinds(self, service):
+        assert wire.health_document(service)["datasets"] == ["d"]
+        stats = wire.stats_document(service, frontend={"frontend": "x"})
+        assert stats["api"] == wire.API_VERSION
+        assert stats["frontend"] == {"frontend": "x"}
+        kinds = wire.kinds_document(service)
+        assert "mean" in kinds["kinds"]
+        assert kinds["datasets"] == {"d": None}
