@@ -16,7 +16,12 @@ use.  The life cycle:
    refuse, then remove it in a follow-up reload,
 5. burst past a rate limit and get structured 429s that never touch the
    privacy ledger,
-6. scrape ``/metrics`` and cross-check a counter against the JSON stats.
+6. scrape ``/metrics`` and cross-check a counter against the JSON stats,
+7. follow one query end-to-end by trace id (client-supplied, echoed on the
+   answer, inspectable via ``/debug/traces`` with per-stage spans),
+8. after shutdown, verify the hash-chained audit trail and replay it to
+   the exact epsilon every budget ledger reported — the privacy history is
+   tamper-evident and reproducible offline.
 
 Run as::
 
@@ -27,16 +32,19 @@ from __future__ import annotations
 
 import copy
 import sys
+import tempfile
+from pathlib import Path
 
 import numpy as np
 
 from repro.client import ServiceClient
+from repro.obs import replay_spend, verify_audit_log
 from repro.service import build_service, make_server, parse_serving_config, serve_forever
 
 TOKEN = "quickstart-secret"
 
 
-def config_document(n_records: int) -> dict:
+def config_document(n_records: int, audit_log: Path) -> dict:
     rng = np.random.default_rng(23)
     return {
         "service": {"seed": 2023, "port": 0, "quiet": True},
@@ -49,24 +57,45 @@ def config_document(n_records: int) -> dict:
         ],
         "admin": {"token": TOKEN},
         "limits": {"analysts": {"burster": {"rate": 0.001, "burst": 2}}},
+        "observability": {"trace_ring": 64, "audit_log": str(audit_log)},
     }
 
 
 def main(n_records: int = 30_000) -> None:
-    document = config_document(n_records)
-    config = parse_serving_config(document)
-    with build_service(config) as built:
-        server = make_server(
-            built.service, port=0, quiet=True,
-            limiter=built.limiter, admin=built.admin,
-        )
-        thread = serve_forever(server)
-        try:
-            drive(server.url, document)
-        finally:
-            server.shutdown()
-            server.server_close()
-            thread.join(timeout=5)
+    with tempfile.TemporaryDirectory() as tmp:
+        audit_log = Path(tmp) / "audit.jsonl"
+        document = config_document(n_records, audit_log)
+        config = parse_serving_config(document)
+        with build_service(config) as built:
+            server = make_server(
+                built.service, port=0, quiet=True,
+                limiter=built.limiter, admin=built.admin,
+            )
+            thread = serve_forever(server)
+            try:
+                drive(server.url, document)
+                ledgers = {
+                    dataset.name: dataset.budget.to_json()["spent"]
+                    for dataset in built.service.registry
+                }
+            finally:
+                server.shutdown()
+                server.server_close()
+                thread.join(timeout=5)
+        # build_service closed the audit log on exit; audit it offline.
+        audit_offline(audit_log, ledgers)
+
+
+def audit_offline(audit_log: Path, ledgers: dict) -> None:
+    records, final_hash = verify_audit_log(audit_log)
+    print(f"\n=== Audit trail (offline, server down) ===")
+    print(f"chain verified     : {records} records, final hash "
+          f"{final_hash[:16]}… (any flipped byte would fail here)")
+    report = replay_spend(audit_log)
+    for name, spent in sorted(ledgers.items()):
+        replayed = report["owners"].get(f"dataset:{name}", {}).get("spent", 0.0)
+        print(f"replayed spend     : dataset {name}: {replayed!r} epsilon "
+              f"== live ledger: {replayed == spent}")
 
 
 def drive(url: str, document: dict) -> None:
@@ -140,6 +169,23 @@ def drive(url: str, document: dict) -> None:
     print(f"admin state        : reloads={state['admin']['reloads']}, "
           f"changes_applied={state['admin']['changes_applied']}, "
           f"rate limited={state['limits']['limited']}")
+
+    # 6. Tracing: supply a trace id, get it echoed, inspect every stage.
+    print("\n=== Tracing ===")
+    status, doc = client.query("latency_ms", "variance", epsilon=0.4,
+                               trace_id="quickstart-trace")
+    print(f"traced query       : status={doc['status']} "
+          f"trace={doc['trace']} (echoed from X-Repro-Trace-Id)")
+    _, found = client.trace("quickstart-trace")
+    stages = " -> ".join(span["name"] for span in found["trace"]["spans"])
+    print(f"stages             : {stages}")
+    engine = next(s for s in found["trace"]["spans"] if s["name"] == "engine")
+    print(f"engine fan-out     : {engine['detail']['cells']} cell(s), "
+          f"per-cell ms {engine['detail']['per_cell_ms']}")
+    _, listing = client.traces()
+    print(f"trace ring         : {listing['tracing']['held']} held of "
+          f"{listing['tracing']['ring']}, "
+          f"{listing['tracing']['recorded']} recorded")
 
 
 if __name__ == "__main__":

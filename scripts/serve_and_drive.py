@@ -26,9 +26,17 @@ queries covering every interesting outcome:
   answers served, fresh releases 403, drained dataset then removed),
 * per-analyst token-bucket rate limiting: a burst that draws structured
   429s while the budget ledger stays bit-for-bit unchanged,
+* the observability surface: every answer echoes a trace id, a
+  client-supplied ``X-Repro-Trace-Id`` round-trips into ``/debug/traces``
+  and the ``repro trace`` CLI, a live reload drops the slow-query
+  threshold to zero and the next query appears in the slow-query log,
+  and ``repro audit spend --url`` replays the hash-chained audit trail to
+  the server's live ledger totals bit-for-bit,
 * raw-socket protocol probes: garbage / negative ``Content-Length`` (400),
   an oversized declared body (413), pipelined keep-alive requests, and a
-  mid-request disconnect (counted in the front-end stats, not crashed on).
+  mid-request disconnect (counted in the front-end stats, not crashed on),
+* offline audit forensics after shutdown: ``repro audit verify`` accepts
+  the intact chain and rejects a copy with a single flipped byte.
 
 Fails (exit 1) if any expectation is violated or if the server log contains
 a stack trace.  Run from the repo root::
@@ -67,14 +75,14 @@ def check(condition: bool, message: str) -> None:
 
 
 def call(url: str, path: str, payload=None, timeout: float = 30.0,
-         token=None, method=None):
+         token=None, method=None, headers=None):
     """POST/GET JSON; returns (http_status, decoded_body)."""
     if method is None:
         method = "POST" if payload is not None else "GET"
     data = None
     if method == "POST":
         data = b"" if payload is None else json.dumps(payload).encode()
-    headers = {"Content-Type": "application/json"}
+    headers = {"Content-Type": "application/json", **(headers or {})}
     if token is not None:
         headers["Authorization"] = f"Bearer {token}"
     request = urllib.request.Request(url + path, data=data, headers=headers,
@@ -99,7 +107,8 @@ def error_code(body) -> str:
     return error.get("code", "") if isinstance(error, dict) else str(error)
 
 
-def write_deployment(tmp: Path, budget: float, frontend: str, records: int = 5000) -> Path:
+def write_deployment(tmp: Path, budget: float, frontend: str, audit_log: Path,
+                     records: int = 5000) -> Path:
     """Write the CSV + NPY sources and the multi-dataset serving config."""
     generator = random.Random(7)
     with open(tmp / "data.csv", "w", newline="") as handle:
@@ -137,6 +146,15 @@ def write_deployment(tmp: Path, budget: float, frontend: str, records: int = 500
         ],
         "admin": {"token": ADMIN_TOKEN},
         "limits": {"analysts": {"burster": {"rate": 0.001, "burst": 2}}},
+        # Tracing on from boot; the slow-query threshold starts high (the
+        # observability phase hot-drops it to 0.0 via /admin/reload) and the
+        # audit trail covers the server's whole lifetime so the replay
+        # cross-check can account for every commit.
+        "observability": {
+            "trace_ring": 512,
+            "slow_query_ms": 60_000.0,
+            "audit_log": str(audit_log),
+        },
     }
     config = tmp / "serving.json"
     config.write_text(json.dumps(document, indent=2))
@@ -405,6 +423,114 @@ def drive_metrics(url: str) -> None:
     print(f"/metrics scraped: {len(samples)} samples cross-checked")
 
 
+def run_cli(*argv: str) -> subprocess.CompletedProcess:
+    """Run `repro <argv>` as a subprocess (inherits PYTHONPATH=src)."""
+    return subprocess.run([sys.executable, "-m", "repro", *argv],
+                          capture_output=True, text=True, timeout=60)
+
+
+def drive_observability(url: str, config_path: Path, document: dict,
+                        server_log: Path, audit_log: Path) -> None:
+    """Tracing + audit trail: echo, /debug/traces, slow log, exact replay.
+
+    Must run while every dataset that ever spent budget is still registered —
+    the ``repro audit spend --url`` cross-check reconciles the full replay
+    against the live ledgers, so it precedes the control-plane phase that
+    removes a spent dataset.
+    """
+    # A client-supplied trace id is honoured and echoed on the answer.
+    trace_id = "ci-trace-0001"
+    status, body = call(url, "/query",
+                        {"dataset": "demo", "kind": "mean", "epsilon": 0.0131},
+                        headers={"X-Repro-Trace-Id": trace_id})
+    check(status == 200 and body.get("trace") == trace_id,
+          f"trace id not echoed: HTTP {status} {body}")
+
+    # Minted ids: every answer carries one even without the header.
+    status, body = call(url, "/query",
+                        {"dataset": "demo", "kind": "mean", "epsilon": 0.0132})
+    check(status == 200 and len(body.get("trace", "")) == 16,
+          f"no minted trace id on answer: {body}")
+    # ...including error documents.
+    status, body = call(url, "/query", {"dataset": "demo", "epsilon": 0.1})
+    check(status == 400 and len(body.get("trace", "")) == 16,
+          f"400 document carries no trace id: HTTP {status} {body}")
+
+    # The trace is inspectable over HTTP with per-stage spans.
+    status, body = call(url, f"/debug/traces/{trace_id}")
+    check(status == 200, f"GET /debug/traces/{trace_id} gave HTTP {status}")
+    spans = [span["name"] for span in body.get("trace", {}).get("spans", [])]
+    for name in ("parse", "admission", "engine", "commit", "serialize"):
+        check(name in spans, f"span {name!r} missing from {spans}")
+    status, body = call(url, "/debug/traces")
+    check(status == 200 and body.get("tracing", {}).get("recorded", 0) > 0,
+          f"/debug/traces listing failed: HTTP {status} {body}")
+
+    # The CLI sees the same trace.
+    listing = run_cli("trace", "--url", url)
+    check(listing.returncode == 0 and trace_id in listing.stdout,
+          f"`repro trace` listing failed: {listing.stdout}{listing.stderr}")
+    single = run_cli("trace", trace_id, "--url", url)
+    check(single.returncode == 0 and '"engine"' in single.stdout,
+          f"`repro trace {trace_id}` failed: {single.stdout}{single.stderr}")
+
+    # Hot-drop the slow-query threshold to 0.0 through a live reload; the
+    # very next query must land in the slow-query log.
+    slow_document = json.loads(json.dumps(document))
+    slow_document["observability"]["slow_query_ms"] = 0.0
+    config_path.write_text(json.dumps(slow_document, indent=2))
+    status, body = call(url, "/admin/reload", token=ADMIN_TOKEN, method="POST")
+    applied = [change["action"] for change in body.get("applied", [])]
+    check(status == 200 and applied == ["update_observability"],
+          f"slow-threshold reload applied {applied}: HTTP {status} {body}")
+    slow_id = "ci-slow-0001"
+    status, body = call(url, "/query",
+                        {"dataset": "demo", "kind": "mean", "epsilon": 0.0133},
+                        headers={"X-Repro-Trace-Id": slow_id})
+    check(status == 200, f"slow-logged query failed: HTTP {status} {body}")
+    deadline = time.time() + 5.0
+    logged = False
+    while time.time() < deadline and not logged:
+        logged = f"slow query trace={slow_id} " in server_log.read_text()
+        if not logged:
+            time.sleep(0.1)
+    check(logged, f"no slow-query line for trace={slow_id} in the server log")
+    # Restore the booted threshold so later phases see a quiet log and the
+    # control-plane no-op-reload check still holds.
+    config_path.write_text(json.dumps(document, indent=2))
+    status, body = call(url, "/admin/reload", token=ADMIN_TOKEN, method="POST")
+    applied = [change["action"] for change in body.get("applied", [])]
+    check(status == 200 and applied == ["update_observability"],
+          f"slow-threshold restore applied {applied}: HTTP {status} {body}")
+
+    # The audit trail replays to the live ledgers bit-for-bit.
+    spend = run_cli("audit", "spend", str(audit_log), "--url", url)
+    check(spend.returncode == 0 and "cross_check=ok" in spend.stdout,
+          f"audit replay cross-check failed:\n{spend.stdout}{spend.stderr}")
+    print("observability: trace echo, /debug/traces, CLI, slow-query log, "
+          "and bit-exact audit replay all passed")
+
+
+def audit_offline_checks(audit_log: Path, tmp: Path) -> None:
+    """Post-shutdown forensics: the chain verifies; one flipped byte fails."""
+    verify = run_cli("audit", "verify", str(audit_log))
+    check(verify.returncode == 0 and "chain=ok" in verify.stdout,
+          f"audit verify failed:\n{verify.stdout}{verify.stderr}")
+
+    raw = bytearray(audit_log.read_bytes())
+    target = raw.find(b'"epsilon":')
+    check(target >= 0, "no epsilon field found in the audit log")
+    flip = target + len(b'"epsilon":') + 2
+    raw[flip] = ord("9") if raw[flip] != ord("9") else ord("7")
+    tampered = tmp / "tampered.jsonl"
+    tampered.write_bytes(bytes(raw))
+    forged = run_cli("audit", "verify", str(tampered))
+    check(forged.returncode == 1 and "tampered" in forged.stderr,
+          f"flipped byte not detected: rc={forged.returncode} "
+          f"{forged.stdout}{forged.stderr}")
+    print("audit forensics: intact chain verifies; a flipped byte is detected")
+
+
 def drive_control_plane(url: str, config_path: Path, document: dict) -> None:
     """Authenticated /admin: no-op reload, live add + rotate, drain + remove."""
     status, body = call(url, "/admin/state")
@@ -580,12 +706,23 @@ def main() -> int:
     parser.add_argument("--budget", type=float, default=3.0)
     parser.add_argument("--frontend", choices=["threaded", "async"],
                         default="threaded")
+    parser.add_argument("--audit-log", type=Path, default=None,
+                        help="where to write the audit trail (default: inside "
+                             "the temp dir; point it somewhere durable to "
+                             "keep the chain as a CI artifact)")
     args = parser.parse_args()
 
     with tempfile.TemporaryDirectory() as tmp:
         tmp_path = Path(tmp)
         log_path = tmp_path / "server.log"
-        config, document = write_deployment(tmp_path, args.budget, args.frontend)
+        if args.audit_log is not None:
+            audit_log = args.audit_log.resolve()
+            audit_log.parent.mkdir(parents=True, exist_ok=True)
+            audit_log.unlink(missing_ok=True)  # a stale chain would not verify
+        else:
+            audit_log = tmp_path / "audit.jsonl"
+        config, document = write_deployment(tmp_path, args.budget,
+                                            args.frontend, audit_log)
         process, log_handle, url = start_server(config, log_path)
         try:
             check(url is not None, f"server never came up:\n{log_path.read_text()}")
@@ -595,6 +732,7 @@ def main() -> int:
                 drive_baseline_kinds(url)
                 drive_joint_group(url)
                 drive_metrics(url)
+                drive_observability(url, config, document, log_path, audit_log)
                 drive_control_plane(url, config, document)
                 drive_rate_limit(url)
                 drive_protocol_probes(url, args.frontend)
@@ -610,6 +748,7 @@ def main() -> int:
         check("Traceback" not in log_text,
               f"server log contains a stack trace:\n{log_text}")
         check(process.returncode == 0, f"server exited with {process.returncode}")
+        audit_offline_checks(audit_log, tmp_path)
         print("--- server log (tail) ---")
         print("\n".join(log_text.splitlines()[-25:]))
 

@@ -42,11 +42,24 @@ directly on the event loop.  ``query`` is the matching client::
     python -m repro query mean --url http://127.0.0.1:8080 \
         --dataset salary --epsilon 0.5
 
+``trace`` and ``audit`` are the observability companions (:mod:`repro.obs`):
+``trace`` lists or fetches the pipeline-stage traces a running server keeps
+in its ring (``GET /debug/traces``), ``audit verify`` recomputes a service's
+hash-chained privacy audit log and fails on any tampered byte, and ``audit
+spend`` replays it into per-budget-owner epsilon totals — optionally
+cross-checked bit-for-bit against the live ledgers with ``--url``::
+
+    python -m repro trace --url http://127.0.0.1:8080
+    python -m repro trace 4f6d2a9c1b7e3508 --url http://127.0.0.1:8080
+    python -m repro audit verify audit.jsonl
+    python -m repro audit spend audit.jsonl --url http://127.0.0.1:8080
+
 ``lint`` statically checks sources against the project's own invariants
 (:mod:`repro.lint`): REP001 no global-RNG calls, REP002 lock discipline,
 REP003 reserve→commit budget pairing, REP004 estimator-spec explicitness,
-REP005 front-end exception containment.  Exit code 0 means clean, 1 means
-findings, 2 means internal/usage error::
+REP005 front-end exception containment, REP006 audit-trail coverage of
+budget and cache touch-points.  Exit code 0 means clean, 1 means findings,
+2 means internal/usage error::
 
     python -m repro lint src
     python -m repro lint src --select REP002 REP003
@@ -318,6 +331,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="drain only: clear the drain flag instead of setting it",
     )
     admin.add_argument(
+        "--timeout", type=float, default=30.0, help="HTTP timeout in seconds"
+    )
+
+    trace = subparsers.add_parser(
+        "trace",
+        help="inspect recorded query traces on a running 'repro serve' "
+             "instance (GET /debug/traces)",
+    )
+    trace.add_argument(
+        "trace_id", nargs="?", default=None, metavar="TRACE_ID",
+        help="Trace id to fetch (omit to list the most recent traces)",
+    )
+    trace.add_argument("--url", required=True, help="Service base URL")
+    trace.add_argument(
+        "--timeout", type=float, default=30.0, help="HTTP timeout in seconds"
+    )
+
+    audit = subparsers.add_parser(
+        "audit",
+        help="verify or replay a service's hash-chained privacy audit log",
+    )
+    audit.add_argument(
+        "action", choices=("verify", "spend"),
+        help="verify: recompute the hash chain and fail on any tamper; "
+             "spend: replay committed epsilon per budget owner, analyst and "
+             "kind",
+    )
+    audit.add_argument("log", type=Path, help="Path to the audit JSONL file")
+    audit.add_argument(
+        "--url", default=None,
+        help="spend only: cross-check the replayed owner totals against the "
+             "live service's GET /datasets ledgers (exact float equality; "
+             "the log must cover the server's current lifetime)",
+    )
+    audit.add_argument(
         "--timeout", type=float, default=30.0, help="HTTP timeout in seconds"
     )
 
@@ -785,6 +833,104 @@ def _run_admin(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_trace(args: argparse.Namespace) -> int:
+    """``repro trace [TRACE_ID]``: list or fetch recorded query traces."""
+    from repro.client import ServiceClient
+
+    client = ServiceClient(args.url, timeout=args.timeout)
+    if args.trace_id is None:
+        code, document = client.traces()
+        if code != 200:
+            print(f"error: HTTP {code}: {_error_code(document)}", file=sys.stderr)
+            return 2
+        tracing = document.get("tracing", {})
+        print(
+            f"ring={tracing.get('ring')} held={tracing.get('held')} "
+            f"recorded={tracing.get('recorded')} "
+            f"slow_queries={tracing.get('slow_queries')}"
+        )
+        for entry in document.get("traces", ()):
+            meta = entry.get("meta", {})
+            label = " ".join(f"{k}={v}" for k, v in sorted(meta.items()))
+            print(
+                f"{entry['trace']}  {entry.get('duration_ms', 0.0):.3f}ms  "
+                f"spans={len(entry.get('spans', ()))}  {label}"
+            )
+        return 0
+    code, document = client.trace(args.trace_id)
+    if code != 200:
+        print(f"error: HTTP {code}: {_error_code(document)}", file=sys.stderr)
+        return 2
+    print(json.dumps(document.get("trace", document), indent=2, sort_keys=True))
+    return 0
+
+
+def _run_audit(args: argparse.Namespace) -> int:
+    """``repro audit verify|spend``: exit 0 clean, 1 tamper/mismatch."""
+    from repro.obs import AuditChainError, replay_spend, verify_audit_log
+
+    if args.action == "verify":
+        try:
+            count, final_hash = verify_audit_log(args.log)
+        except AuditChainError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        print(f"records={count}")
+        print(f"final_hash={final_hash}")
+        print("chain=ok")
+        return 0
+
+    # spend — replay walks the same verified chain, so tampering fails here too.
+    try:
+        report = replay_spend(args.log)
+    except AuditChainError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(f"records={report['records']}")
+    for owner in sorted(report["owners"]):
+        entry = report["owners"][owner]
+        print(f"{owner} spent={entry['spent']!r}")
+        for analyst in sorted(entry["analysts"]):
+            print(f"{owner} analyst={analyst} spent={entry['analysts'][analyst]!r}")
+    for kind in sorted(report["kinds"]):
+        print(f"kind={kind} spent={report['kinds'][kind]!r}")
+    if args.url is None:
+        return 0
+
+    from repro.client import ServiceClient
+
+    stats = ServiceClient(args.url, timeout=args.timeout).stats()
+    live = {}
+    for dataset in stats.get("datasets", ()):
+        if dataset.get("group") is None:
+            live[f"dataset:{dataset['name']}"] = dataset["budget"]["spent"]
+    for name, group in stats.get("groups", {}).items():
+        live[f"group:{name}"] = group["budget"]["spent"]
+    mismatches = []
+    for owner in sorted(report["owners"]):
+        replayed = report["owners"][owner]["spent"]
+        if owner not in live:
+            mismatches.append(
+                f"{owner}: replay spent={replayed!r} but the live service "
+                "has no such budget"
+            )
+        elif live[owner] != replayed:
+            mismatches.append(
+                f"{owner}: replay={replayed!r} live={live[owner]!r}"
+            )
+    for owner in sorted(live):
+        if owner not in report["owners"] and live[owner] > 0.0:
+            mismatches.append(
+                f"{owner}: live spent={live[owner]!r} absent from the audit log"
+            )
+    if mismatches:
+        for line in mismatches:
+            print(f"mismatch: {line}", file=sys.stderr)
+        return 1
+    print(f"cross_check=ok owners={len(report['owners'])}")
+    return 0
+
+
 def _run_lint(args: argparse.Namespace) -> int:
     """``repro lint``: exit 0 clean, 1 findings, 2 internal/usage error."""
     from repro.lint import lint_paths, render_json_text, render_text
@@ -815,6 +961,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _run_query_client(args)
         if args.command == "admin":
             return _run_admin(args)
+        if args.command == "trace":
+            return _run_trace(args)
+        if args.command == "audit":
+            return _run_audit(args)
         if args.command == "kinds":
             return _run_kinds(args)
         if args.command == "lint":

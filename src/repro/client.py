@@ -65,6 +65,7 @@ class ServiceClient:
         payload: Optional[Any] = None,
         *,
         method: Optional[str] = None,
+        headers: Optional[Mapping[str, str]] = None,
     ) -> Tuple[int, Dict[str, Any]]:
         """One JSON round-trip: ``(HTTP status, parsed document)``.
 
@@ -72,7 +73,7 @@ class ServiceClient:
         under ``/admin``), GET otherwise.  Structured non-2xx bodies are
         returned, not raised.
         """
-        status, body = self._request(path, payload, method)
+        status, body = self._request(path, payload, method, headers)
         try:
             document = json.loads(body.decode("utf-8"))
         except (ValueError, UnicodeDecodeError):
@@ -84,11 +85,15 @@ class ServiceClient:
 
     def call_text(self, path: str) -> Tuple[int, str]:
         """GET a plain-text resource (``/metrics``): ``(status, text)``."""
-        status, body = self._request(path, None, "GET")
+        status, body = self._request(path, None, "GET", None)
         return status, body.decode("utf-8")
 
     def _request(
-        self, path: str, payload: Optional[Any], method: Optional[str]
+        self,
+        path: str,
+        payload: Optional[Any],
+        method: Optional[str],
+        extra_headers: Optional[Mapping[str, str]] = None,
     ) -> Tuple[int, bytes]:
         import urllib.error
         import urllib.request
@@ -102,6 +107,8 @@ class ServiceClient:
             headers["Content-Type"] = "application/json"
         if self.token is not None and path.startswith("/admin"):
             headers["Authorization"] = f"Bearer {self.token}"
+        if extra_headers:
+            headers.update(extra_headers)
         request = urllib.request.Request(
             self.url + path, data=data, headers=headers, method=method
         )
@@ -143,12 +150,15 @@ class ServiceClient:
         beta: Optional[float] = None,
         params: Optional[Mapping[str, Any]] = None,
         analyst: Optional[str] = None,
+        trace_id: Optional[str] = None,
     ) -> Tuple[int, Dict[str, Any]]:
         """Submit one query; returns ``(status, answer document)``.
 
         Kind-specific parameters (quantile ``levels``, baseline bounds, ...)
         go in ``params`` — the canonical spelling; this client never emits
-        the deprecated top-level ``levels`` field.
+        the deprecated top-level ``levels`` field.  ``trace_id`` propagates a
+        caller-minted id via ``X-Repro-Trace-Id``; the server echoes the
+        effective id in the answer's ``trace`` field when tracing is on.
         """
         payload: Dict[str, Any] = {
             "dataset": dataset,
@@ -162,13 +172,31 @@ class ServiceClient:
         analyst = analyst if analyst is not None else self.analyst
         if analyst is not None:
             payload["analyst"] = analyst
-        return self.call("/query", payload)
+        headers = {"X-Repro-Trace-Id": trace_id} if trace_id else None
+        return self.call("/query", payload, headers=headers)
 
     def query_batch(
-        self, queries: Sequence[Mapping[str, Any]]
+        self,
+        queries: Sequence[Mapping[str, Any]],
+        *,
+        trace_id: Optional[str] = None,
     ) -> Tuple[int, Dict[str, Any]]:
         """Submit a batch; per-entry outcomes live in ``document["answers"]``."""
-        return self.call("/query", {"queries": list(queries)})
+        headers = {"X-Repro-Trace-Id": trace_id} if trace_id else None
+        return self.call("/query", {"queries": list(queries)}, headers=headers)
+
+    # -- observability ------------------------------------------------------
+    def traces(self) -> Tuple[int, Dict[str, Any]]:
+        """The recent-traces document from ``GET /debug/traces``.
+
+        404 with ``error.code == "tracing_disabled"`` when the server has no
+        trace ring configured.
+        """
+        return self.call("/debug/traces")
+
+    def trace(self, trace_id: str) -> Tuple[int, Dict[str, Any]]:
+        """One recorded trace by id (404 when unknown or already evicted)."""
+        return self.call(f"/debug/traces/{trace_id}")
 
     def register(
         self,

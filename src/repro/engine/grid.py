@@ -31,6 +31,7 @@ way and can serve further calls.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Type
 
@@ -181,6 +182,7 @@ def run_grid(
     workers: Optional[int] = 1,
     pool=None,
     allow_cell_failures: bool = False,
+    profile: Optional[Dict[int, float]] = None,
 ) -> GridResult:
     """Execute every cell of a parameter grid, fanning spans across one pool.
 
@@ -200,6 +202,13 @@ def run_grid(
         When ``True``, a cell whose batch aborts becomes a
         :class:`CellFailure` record and the remaining cells still run;
         otherwise the earliest failing cell's exception propagates.
+    profile:
+        Optional mutable dict receiving per-cell wall-clock seconds
+        (``profile[position] += elapsed``, summed over the cell's spans).
+        On the pool path this is the sum of dispatch-to-result times of the
+        cell's spans, so overlapping spans may sum past the call's own wall
+        clock.  Purely observational: never consulted for scheduling, and
+        by the determinism contract it cannot affect any result.
     """
     from repro.engine.pool import EnginePool, Span, default_chunk_size
 
@@ -252,15 +261,24 @@ def run_grid(
     if active is None or not active.parallel:
         # Serial reference path (also the nested / no-fork degradation).
         for position, cell in enumerate(cells):
+            started = time.perf_counter()
             try:
                 outputs = [
                     execute_span(cell.trial_fn, catches[position], 0, seed_arrays[position])
                 ]
             except Exception as exc:
+                if profile is not None:
+                    profile[position] = profile.get(position, 0.0) + (
+                        time.perf_counter() - started
+                    )
                 if not allow_cell_failures:
                     raise
                 record_cell_error(position, exc)
                 continue
+            if profile is not None:
+                profile[position] = profile.get(position, 0.0) + (
+                    time.perf_counter() - started
+                )
             batches[position] = _assemble(cell, outputs, workers=1)
         used = 1
     else:
@@ -278,16 +296,23 @@ def run_grid(
                         seeds=seed_arrays[position][start : start + chunk],
                     )
                 )
+        span_profile: Optional[List[Tuple[int, float]]] = (
+            [] if profile is not None else None
+        )
         try:
             outputs, errors = active.execute_spans(
                 [cell.trial_fn for cell in cells],
                 catches,
                 spans,
                 fail_fast=not allow_cell_failures,
+                profile=span_profile,
             )
         finally:
             if ephemeral is not None:
                 ephemeral.close()
+        if profile is not None and span_profile is not None:
+            for job, seconds in span_profile:
+                profile[job] = profile.get(job, 0.0) + seconds
 
         # Attribute span errors to cells; each cell's earliest erroring span
         # (smallest start) carries the exception the serial path would raise.

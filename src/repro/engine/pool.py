@@ -37,6 +37,7 @@ import multiprocessing as mp
 import os
 import pickle
 import threading
+import time
 from collections import deque
 from dataclasses import dataclass
 from multiprocessing.connection import Connection, wait
@@ -239,6 +240,7 @@ class EnginePool:
         catches: Sequence[Tuple[type, ...]],
         spans: Sequence[Span],
         fail_fast: bool = False,
+        profile: Optional[List[Tuple[int, float]]] = None,
     ) -> Tuple[List[Optional[tuple]], Dict[int, BaseException]]:
         """Execute ``spans`` across the workers; the pool's low-level entry.
 
@@ -256,11 +258,18 @@ class EnginePool:
         concurrently, which one's exception the caller ends up raising can
         then depend on scheduling — acceptable, since every span result was
         about to be discarded.
+
+        ``profile`` is the observability hook: when a list is given, one
+        ``(job, seconds)`` pair is appended per span that produced a result
+        or error — wall clock around the in-process ``execute_span`` call
+        for parent-fallback spans, dispatch-to-result time for spans run in
+        a worker.  The hook is timing-only; it is never consulted for
+        scheduling and cannot change any output.
         """
         with self._lock:
-            return self._execute_spans_locked(fns, catches, spans, fail_fast)
+            return self._execute_spans_locked(fns, catches, spans, fail_fast, profile)
 
-    def _execute_spans_locked(self, fns, catches, spans, fail_fast=False):
+    def _execute_spans_locked(self, fns, catches, spans, fail_fast=False, profile=None):
         """Dispatch-loop body. Caller must hold ``self._lock``."""
         from repro.engine.core import execute_span
 
@@ -276,12 +285,15 @@ class EnginePool:
 
         def run_in_parent(span_id: int) -> None:
             span = spans[span_id]
+            started = time.perf_counter()
             try:
                 outputs[span_id] = execute_span(
                     fns[span.job], catches[span.job], span.start, span.seeds
                 )
             except BaseException as exc:  # noqa: BLE001 - recorded per span
                 errors[span_id] = exc
+            if profile is not None:
+                profile.append((span.job, time.perf_counter() - started))
 
         # Spans whose function cannot cross the pipe run in-process up front
         # (identical results by the determinism contract).
@@ -309,7 +321,7 @@ class EnginePool:
             handle.conn.send(
                 ("span", span_id, token, catches[span.job], span.start, span.seeds)
             )
-            inflight[handle.conn] = (handle, span_id)
+            inflight[handle.conn] = (handle, span_id, time.perf_counter())
 
         try:
             while parallel_ids or inflight:
@@ -320,7 +332,7 @@ class EnginePool:
                 if not inflight:
                     continue
                 for conn in wait(list(inflight)):
-                    handle, span_id = inflight.pop(conn)
+                    handle, span_id, dispatched = inflight.pop(conn)
                     try:
                         message = conn.recv()
                     except EOFError:
@@ -329,6 +341,11 @@ class EnginePool:
                             f"executing trials {spans[span_id].start}.."
                         ) from None
                     tag = message[0]
+                    if tag in ("ok", "err") and profile is not None:
+                        # fnerr spans re-run in the parent, which times itself.
+                        profile.append(
+                            (spans[span_id].job, time.perf_counter() - dispatched)
+                        )
                     if tag == "ok":
                         outputs[message[1]] = message[2]
                     elif tag == "err":

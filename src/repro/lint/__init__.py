@@ -11,6 +11,7 @@ REP002    lock discipline — self-lock classes guard their shared state
 REP003    reserve→commit pairing — no leaked budget reservations
 REP004    estimator specs declare reservation/min_records/param bounds
 REP005    front-end handlers contain exceptions to error documents
+REP006    budget/cache touch-points emit (or reach) an audit event
 REP000    (pseudo-rule) file does not parse
 ========  ==============================================================
 
@@ -26,6 +27,7 @@ from repro.lint.base import ModuleContext, Rule, parse_suppressions
 from repro.lint.findings import Finding, PARSE_RULE_ID, SEVERITIES
 from repro.lint.rules_concurrency import LockDisciplineRule, ReserveCommitRule
 from repro.lint.rules_determinism import GlobalRngRule
+from repro.lint.rules_observability import AuditCoverageRule
 from repro.lint.rules_service import EstimatorSpecRule, FrontEndContainmentRule
 from repro.lint.runner import (
     DEFAULT_RULES,
@@ -38,6 +40,7 @@ from repro.lint.runner import (
 )
 
 __all__ = [
+    "AuditCoverageRule",
     "DEFAULT_RULES",
     "EstimatorSpecRule",
     "Finding",

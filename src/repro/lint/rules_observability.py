@@ -1,0 +1,129 @@
+"""REP006 — audit-trail coverage of budget and cache touch-points.
+
+The privacy audit log (:mod:`repro.obs.audit`) is only tamper-*evident* for
+events that were written in the first place: a code path that charges the
+budget ledger or serves a cached answer without emitting an audit record is
+invisible to ``repro audit verify`` and breaks the replay's
+bit-for-bit-ledger guarantee silently.  This rule pins that invariant in the
+service layer: any function under ``repro/service/`` that
+
+* **mutates a privacy budget** — calls ``reserve``/``commit``/``cancel`` on
+  a receiver whose dotted path mentions ``budget`` — or
+* **serves from the answer cache** — calls ``get``/``peek`` on a receiver
+  whose dotted path mentions ``cache``
+
+must emit an audit event itself or reach (directly or transitively through
+same-module helpers) a call whose dotted name mentions ``audit`` —
+``self._audit_event(...)``, ``audit.record(...)`` and
+``wire.audit_rate_limit(...)`` all qualify.
+
+``budget.peek`` is deliberately out of scope: it is a zero-side-effect
+admission probe that neither charges the ledger nor releases an answer.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Set, Tuple
+
+from repro.lint.base import ModuleContext, Rule, dotted_name
+from repro.lint.findings import Finding
+
+__all__ = ["AuditCoverageRule"]
+
+_FunctionNode = (ast.FunctionDef, ast.AsyncFunctionDef)
+_ScopeNode = _FunctionNode + (ast.Lambda,)
+
+
+def _body_nodes(function: ast.AST) -> Iterator[ast.AST]:
+    """The nodes belonging to ``function`` itself, not to nested defs."""
+    stack = list(ast.iter_child_nodes(function))
+    while stack:
+        node = stack.pop()
+        yield node
+        if not isinstance(node, _ScopeNode):
+            stack.extend(ast.iter_child_nodes(node))
+
+
+class _FunctionInfo:
+    __slots__ = ("node", "touches", "audits", "callees")
+
+    def __init__(self, node: ast.AST):
+        self.node = node
+        #: ``(call node, what, dotted call)`` per budget/cache touch.
+        self.touches: List[Tuple[ast.AST, str, str]] = []
+        self.audits = False
+        self.callees: Set[str] = set()
+
+
+class AuditCoverageRule(Rule):
+    rule_id = "REP006"
+    description = (
+        "service functions that mutate a privacy budget or serve from the "
+        "answer cache must emit (or reach) an audit event"
+    )
+
+    #: Only the serving layer is in scope; estimators and the engine never
+    #: see budgets or caches.
+    _SCOPE = "repro/service/"
+    _BUDGET_MUTATORS = frozenset({"reserve", "commit", "cancel"})
+    _CACHE_SERVERS = frozenset({"get", "peek"})
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if self._SCOPE not in module.posix_display:
+            return
+        infos: Dict[str, _FunctionInfo] = {}
+        for node in ast.walk(module.tree):
+            if isinstance(node, _FunctionNode):
+                # Same-name collisions (methods of sibling classes) merge into
+                # one conservative entry; the fixpoint only widens reachability.
+                info = infos.setdefault(node.name, _FunctionInfo(node))
+                self._analyse(node, info)
+
+        reaches = {name: info.audits for name, info in infos.items()}
+        changed = True
+        while changed:
+            changed = False
+            for name, info in infos.items():
+                if reaches[name]:
+                    continue
+                if any(reaches.get(callee, False) for callee in info.callees):
+                    reaches[name] = True
+                    changed = True
+
+        for name in sorted(infos):
+            info = infos[name]
+            if reaches[name]:
+                continue
+            for call, what, label in info.touches:
+                yield self.finding(
+                    module,
+                    call,
+                    f"'{name}' touches the {what} ({label}) but never emits "
+                    "an audit event (directly or via a helper in this "
+                    "module); unaudited privacy events cannot be verified "
+                    "or replayed",
+                )
+
+    def _analyse(self, function: ast.AST, info: _FunctionInfo) -> None:
+        for node in _body_nodes(function):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            segments = name.split(".")
+            if any("audit" in segment.lower() for segment in segments):
+                info.audits = True
+                continue
+            tail = segments[-1]
+            receiver = segments[:-1]
+            if tail in self._BUDGET_MUTATORS and any(
+                "budget" in segment.lower() for segment in receiver
+            ):
+                info.touches.append((node, "privacy budget", f"{name}()"))
+            elif tail in self._CACHE_SERVERS and any(
+                "cache" in segment.lower() for segment in receiver
+            ):
+                info.touches.append((node, "answer cache", f"{name}()"))
+            info.callees.add(tail)

@@ -24,6 +24,7 @@ from repro.lint.base import ModuleContext, Rule
 from repro.lint.findings import Finding, PARSE_RULE_ID
 from repro.lint.rules_concurrency import LockDisciplineRule, ReserveCommitRule
 from repro.lint.rules_determinism import GlobalRngRule
+from repro.lint.rules_observability import AuditCoverageRule
 from repro.lint.rules_service import EstimatorSpecRule, FrontEndContainmentRule
 
 __all__ = [
@@ -39,13 +40,14 @@ REPORT_VERSION = 1
 
 
 def default_rules() -> List[Rule]:
-    """Fresh instances of the full ruleset, REP001..REP005."""
+    """Fresh instances of the full ruleset, REP001..REP006."""
     return [
         GlobalRngRule(),
         LockDisciplineRule(),
         ReserveCommitRule(),
         EstimatorSpecRule(),
         FrontEndContainmentRule(),
+        AuditCoverageRule(),
     ]
 
 

@@ -1,0 +1,53 @@
+"""``repro.obs`` — observability for the private-query service.
+
+The two questions an operator of a privacy system asks first are *what
+happened to this one query?* and *where, exactly, did every unit of epsilon
+go?*  This package answers both without touching the answer path:
+
+* :mod:`repro.obs.trace` — end-to-end request tracing.  Every HTTP request
+  gets a trace id (minted at the front-end, or accepted from an
+  ``X-Repro-Trace-Id`` header) and a :class:`Trace` that collects monotonic
+  spans at each pipeline stage — parse, rate check, cache lookup, admission,
+  coalesce, engine fan-out (per-cell timings via the
+  :class:`repro.engine.EnginePool` profiling hook), commit, serialise.
+  Finished traces land in a bounded in-memory ring
+  (:class:`TraceRecorder`), are inspectable via ``GET /debug/traces`` and
+  ``repro trace <id>``, and anything slower than the configured threshold
+  is emitted to the slow-query log.  Trace ids come from
+  :func:`os.urandom`, never from the seeded RNG tree, so tracing cannot
+  perturb the bit-for-bit determinism contract.
+
+* :mod:`repro.obs.audit` — a tamper-evident privacy audit trail.  Every
+  privacy-relevant event (reserve, commit, cancel, refusal, zero-spend
+  cache hit, rate limit, drain, admin reload, dataset add/remove) appends
+  one JSONL record hash-chained to its predecessor (:class:`AuditLog`).
+  ``repro audit verify`` proves the chain intact; ``repro audit spend``
+  replays the log and reproduces every :class:`BudgetManager` ledger total
+  bit-for-bit — the log *is* the ledger, independently recomputable.
+
+Both are wired through the ``[observability]`` serving-config section
+(:class:`repro.service.ObservabilityConfig`) and surfaced as per-analyst /
+per-kind epsilon-spent gauges on ``GET /metrics`` and in ``stats()``.
+"""
+
+from repro.obs.audit import (
+    AuditChainError,
+    AuditLog,
+    AuditRecord,
+    replay_spend,
+    verify_audit_log,
+)
+from repro.obs.trace import Span, Trace, TraceRecorder, mint_trace_id, span
+
+__all__ = [
+    "AuditChainError",
+    "AuditLog",
+    "AuditRecord",
+    "replay_spend",
+    "verify_audit_log",
+    "Span",
+    "Trace",
+    "TraceRecorder",
+    "mint_trace_id",
+    "span",
+]

@@ -32,7 +32,14 @@ mean / variance / quantile / IQR / multivariate mean plus every adapted
   per-kind **token-bucket rate limits** (:mod:`repro.service.qos`, 429
   before any budget is touched) and a **Prometheus** ``GET /metrics``
   exposition (:mod:`repro.service.metrics`) with per-kind latency
-  histograms (``repro admin reload|drain|stats``).
+  histograms (``repro admin reload|drain|stats``);
+* carries **end-to-end observability** (:mod:`repro.obs`): a trace id per
+  request with pipeline-stage spans (``GET /debug/traces``,
+  ``repro trace <id>``, slow-query log), a hash-chained tamper-evident
+  privacy **audit trail** whose replay reproduces every ledger total
+  bit-for-bit (``repro audit verify|spend``), and per-analyst / per-kind
+  epsilon-spent gauges on ``/metrics`` (``[observability]`` config
+  section).
 
 Under a fixed service ``seed`` every answer is bit-for-bit identical for
 ``workers=1`` and ``workers=N`` — each query's randomness is derived from
@@ -86,6 +93,7 @@ from repro.service.config import (
     BuiltService,
     DatasetConfig,
     GroupConfig,
+    ObservabilityConfig,
     ServingConfig,
     build_service,
     load_serving_config,
@@ -133,6 +141,7 @@ __all__ = [
     "BuiltService",
     "DatasetConfig",
     "GroupConfig",
+    "ObservabilityConfig",
     "ServingConfig",
     "build_service",
     "load_serving_config",

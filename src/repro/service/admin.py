@@ -230,6 +230,30 @@ def diff_serving_configs(
     if old.admin != new.admin:
         # The token itself must never appear in a response document.
         changes.append(ConfigChange("rotate_admin_token"))
+    if old.observability != new.observability:
+        old_obs, new_obs = old.observability, new.observability
+        old_audit = None if old_obs is None else old_obs.audit_log
+        new_audit = None if new_obs is None else new_obs.audit_log
+        if old_audit != new_audit:
+            # The hash chain is bound to its file; silently re-pointing it
+            # mid-flight would fork the verifiable history.
+            problems.append(
+                "[observability] audit_log changed "
+                f"({old_audit!r} -> {new_audit!r}); the audit chain is bound "
+                "to its file — changing the path requires a restart"
+            )
+        else:
+            changes.append(
+                ConfigChange(
+                    "update_observability", None,
+                    {
+                        "trace_ring": 0 if new_obs is None else new_obs.trace_ring,
+                        "slow_query_ms": (
+                            None if new_obs is None else new_obs.slow_query_ms
+                        ),
+                    },
+                )
+            )
     if problems:
         raise ReloadRejected(problems)
     return changes
@@ -381,6 +405,16 @@ class AdminController:
                 )
                 self._applied += len(changes)
             self._reloads += 1
+            self._audit(
+                "admin_reload",
+                applied=[change.action for change in changes],
+                unchanged=not changes,
+                source=(
+                    "inline"
+                    if isinstance(payload, Mapping) and "config" in payload
+                    else "file"
+                ),
+            )
             return {
                 "api": wire.API_VERSION,
                 "status": "ok",
@@ -392,6 +426,7 @@ class AdminController:
     def drain(self, name: str, draining: bool = True) -> Dict[str, Any]:
         """Flip one dataset's drain flag; returns its fresh snapshot."""
         dataset = self._service.registry.set_draining(name, draining)
+        self._audit("drain", dataset=name, draining=draining)
         return {
             "api": wire.API_VERSION,
             "status": "ok",
@@ -399,6 +434,12 @@ class AdminController:
         }
 
     # -- internals -----------------------------------------------------------
+    def _audit(self, event: str, **fields: Any) -> None:
+        """Record a control-plane event on the service audit trail, if any."""
+        audit = self._service.audit
+        if audit is not None:
+            audit.record(event, **fields)
+
     def _handle_drain(self, payload: Any) -> Tuple[int, Dict[str, Any]]:
         if not isinstance(payload, Mapping) or "dataset" not in payload:
             return 400, wire.error_document(
@@ -476,8 +517,15 @@ class AdminController:
                     share=share,
                     kinds=cfg.kinds,
                 )
+                self._audit(
+                    "dataset_add",
+                    dataset=cfg.name,
+                    epsilon=cfg.budget,
+                    group=cfg.group,
+                )
             elif action == "remove_dataset":
                 registry.unregister(change.target)
+                self._audit("dataset_remove", dataset=change.target)
             elif action == "update_kinds":
                 registry.update_kinds(
                     change.target, new_datasets[change.target].kinds
@@ -497,5 +545,29 @@ class AdminController:
                     self._limiter.configure(new.limits)
             elif action == "rotate_admin_token":
                 self._token = _resolve_token(new)
+            elif action == "update_observability":
+                self._apply_observability(new.observability)
             else:  # pragma: no cover - the differ only emits the above
                 raise DomainError(f"unknown config change action {action!r}")
+
+    def _apply_observability(self, obs: Optional[Any]) -> None:
+        """Hot-swap the trace ring / slow-query threshold on the live service.
+
+        Tracing is purely additive state, so it may be enabled, resized, or
+        switched off live; only the audit log path is restart-bound (the
+        differ rejects that before this runs).
+        """
+        ring = 0 if obs is None else obs.trace_ring
+        slow = None if obs is None else obs.slow_query_ms
+        if ring <= 0:
+            self._service.tracer = None
+            return
+        tracer = self._service.tracer
+        if tracer is None:
+            from repro.obs import TraceRecorder
+
+            self._service.tracer = TraceRecorder(ring, slow_query_ms=slow)
+        elif slow is None:
+            tracer.configure(ring=ring, slow_query_enabled=False)
+        else:
+            tracer.configure(ring=ring, slow_query_ms=slow)

@@ -29,7 +29,9 @@ Every response body comes from :mod:`repro.service.wire` (the v1 envelope),
 and the route surface matches the threaded front-end exactly: ``/health``,
 ``/datasets``, ``/kinds``, ``/metrics`` (Prometheus text), ``/query``
 (single or batch, with pre-admission per-analyst / per-kind rate limiting),
-``/datasets`` registration, and the authenticated ``/admin`` control plane
+``/debug/traces`` (the observability ring; traced ``/query`` responses echo
+their ``"trace"`` id, honouring ``X-Repro-Trace-Id``), ``/datasets``
+registration, and the authenticated ``/admin`` control plane
 (state / reload / drain; mutating operations run off-loop in the executor).
 
 ``GET /datasets`` reports the front-end counters (requests, loop-answered,
@@ -48,9 +50,11 @@ import json
 import sys
 import threading
 from concurrent.futures import ThreadPoolExecutor
+from functools import partial
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.exceptions import ReproError
+from repro.obs import span as obs_span
 from repro.service import wire
 from repro.service.executor import QueryService
 from repro.service.http import DEFAULT_MAX_BODY
@@ -285,6 +289,7 @@ class AsyncServiceServer:
         decision = self.limiter.check(request.analyst, request.query.kind)
         if decision is not None:
             self.service.metrics.observe(request.query.kind, "rate_limited", 0.0)
+            wire.audit_rate_limit(self.service, request, decision)
         return decision
 
     # -- routes ------------------------------------------------------------
@@ -319,6 +324,19 @@ class AsyncServiceServer:
                     writer, 200, text.encode("utf-8"), PROMETHEUS_CONTENT_TYPE,
                     keep_alive=keep_alive, log=log,
                 )
+            elif path == "/debug/traces" or path.startswith("/debug/traces/"):
+                tracer = self.service.tracer
+                if tracer is None:
+                    await self._send(writer, 404, wire.tracing_disabled(),
+                                     keep_alive=keep_alive, log=log)
+                elif path == "/debug/traces":
+                    await self._send(writer, 200, wire.traces_document(tracer),
+                                     keep_alive=keep_alive, log=log)
+                else:
+                    code, doc = wire.trace_document(
+                        tracer, path[len("/debug/traces/"):]
+                    )
+                    await self._send(writer, code, doc, keep_alive=keep_alive, log=log)
             elif path.startswith("/admin"):
                 code, doc = self._admin_dispatch("GET", path, None, headers)
                 await self._send(writer, code, doc, keep_alive=keep_alive, log=log)
@@ -407,31 +425,9 @@ class AsyncServiceServer:
         loop = asyncio.get_running_loop()
         try:
             if path == "/query":
-                if isinstance(payload, dict) and "queries" in payload:
-                    await self._handle_batch(payload, writer, keep_alive, log, loop)
-                else:
-                    request, deprecated = wire.parse_request(payload)
-                    decision = self._check_rate_limit(request)
-                    if decision is not None:
-                        self._counters["answered_on_loop"] += 1
-                        await self._send(
-                            writer, 429, wire.rate_limited_answer(request, decision),
-                            keep_alive=keep_alive, log=log,
-                        )
-                        return keep_alive
-                    answer = self.service.peek(request)
-                    if answer is not None:
-                        self._counters["answered_on_loop"] += 1
-                    else:
-                        self._counters["executed"] += 1
-                        answer = await loop.run_in_executor(
-                            self._executor, self.service.submit, request
-                        )
-                    await self._send(
-                        writer, wire.answer_status_code(answer),
-                        wire.answer_document(answer, deprecated=deprecated),
-                        keep_alive=keep_alive, log=log,
-                    )
+                return await self._handle_query(
+                    payload, headers, writer, keep_alive, log, loop
+                )
             elif path == "/datasets":
                 if not self.allow_register:
                     await self._send(writer, 403, wire.registration_disabled(),
@@ -458,36 +454,121 @@ class AsyncServiceServer:
                              keep_alive=keep_alive, log=log)
         return keep_alive
 
-    async def _handle_batch(
+    async def _handle_query(
         self,
-        payload: Dict[str, Any],
+        payload: Any,
+        headers: Dict[str, str],
         writer: asyncio.StreamWriter,
         keep_alive: bool,
         log: str,
         loop: asyncio.AbstractEventLoop,
-    ) -> None:
+    ) -> bool:
+        """Answer ``POST /query`` under one per-request trace.
+
+        The trace is opened on the loop, handed *sequentially* to the
+        executor thread for cold queries (never touched by two threads at
+        once), and finished here whatever the outcome — including the 400
+        path, so invalid requests echo their trace id like any other.  It is
+        finished *before* the response bytes leave, so a client that reads
+        the echoed trace id can immediately inspect it via
+        ``GET /debug/traces/<id>``.
+        """
+        tracer = self.service.tracer
+        trace = None
+        if tracer is not None:
+            trace = tracer.start(headers.get("x-repro-trace-id"), frontend="async")
+        trace_id = trace.trace_id if trace is not None else None
+        try:
+            if isinstance(payload, dict) and "queries" in payload:
+                status, document = await self._handle_batch(payload, loop, trace)
+            else:
+                with obs_span(trace, "parse"):
+                    request, deprecated = wire.parse_request(payload)
+                if trace is not None:
+                    trace.annotate(
+                        dataset=request.dataset,
+                        kind=request.query.kind,
+                        analyst=request.analyst,
+                    )
+                with obs_span(trace, "rate_check") as info:
+                    decision = self._check_rate_limit(request)
+                    info["limited"] = decision is not None
+                if decision is not None:
+                    self._counters["answered_on_loop"] += 1
+                    if trace is not None:
+                        trace.annotate(status="rate_limited")
+                    status, document = 429, wire.with_trace(
+                        wire.rate_limited_answer(request, decision), trace_id
+                    )
+                else:
+                    answer = self.service.peek(request, trace=trace)
+                    if answer is not None:
+                        self._counters["answered_on_loop"] += 1
+                    else:
+                        self._counters["executed"] += 1
+                        answer = await loop.run_in_executor(
+                            self._executor,
+                            partial(self.service.submit, request, trace=trace),
+                        )
+                    if trace is not None:
+                        trace.annotate(status=answer.status, cached=answer.cached)
+                    with obs_span(trace, "serialize"):
+                        document = wire.with_trace(
+                            wire.answer_document(answer, deprecated=deprecated),
+                            trace_id,
+                        )
+                    status = wire.answer_status_code(answer)
+        except (_Hangup, ConnectionError):
+            raise
+        except ReproError as exc:
+            if trace is not None:
+                trace.annotate(status="invalid")
+            status, document = 400, wire.with_trace(
+                wire.invalid_request(exc), trace_id
+            )
+        finally:
+            if tracer is not None and trace is not None:
+                tracer.finish(trace)
+        await self._send(writer, status, document, keep_alive=keep_alive, log=log)
+        return keep_alive
+
+    async def _handle_batch(
+        self,
+        payload: Dict[str, Any],
+        loop: asyncio.AbstractEventLoop,
+        trace: Optional[Any] = None,
+    ) -> Tuple[int, Dict[str, Any]]:
+        trace_id = trace.trace_id if trace is not None else None
         entries = payload["queries"]
         if not isinstance(entries, list):
             raise InvalidQueryError("'queries' must be a list of query objects")
-        parsed = [wire.parse_request(entry) for entry in entries]
+        with obs_span(trace, "parse", queries=len(entries)):
+            parsed = [wire.parse_request(entry) for entry in entries]
+        if trace is not None:
+            trace.annotate(queries=len(parsed))
         docs: List[Optional[Dict[str, Any]]] = [None] * len(parsed)
         admitted = []
-        for index, (request, deprecated) in enumerate(parsed):
-            decision = self._check_rate_limit(request)
-            if decision is not None:
-                docs[index] = wire.rate_limited_answer(request, decision)
-            else:
-                admitted.append((index, deprecated))
+        with obs_span(trace, "rate_check"):
+            for index, (request, deprecated) in enumerate(parsed):
+                decision = self._check_rate_limit(request)
+                if decision is not None:
+                    docs[index] = wire.rate_limited_answer(request, decision)
+                else:
+                    admitted.append((index, deprecated))
         self._counters["executed"] += 1
         answers = await loop.run_in_executor(
             self._executor,
-            self.service.submit_many,
-            [parsed[index][0] for index, _ in admitted],
+            partial(
+                self.service.submit_many,
+                [parsed[index][0] for index, _ in admitted],
+                trace=trace,
+            ),
         )
-        for (index, deprecated), answer in zip(admitted, answers):
-            docs[index] = wire.answer_document(answer, deprecated=deprecated)
-        await self._send(writer, 200, wire.answers_document(docs),
-                         keep_alive=keep_alive, log=log)
+        with obs_span(trace, "serialize"):
+            for (index, deprecated), answer in zip(admitted, answers):
+                docs[index] = wire.answer_document(answer, deprecated=deprecated)
+            document = wire.with_trace(wire.answers_document(docs), trace_id)
+        return 200, document
 
     async def _handle_admin_post(
         self,

@@ -56,6 +56,13 @@ The TOML grammar (JSON mirrors the same structure)::
     [limits.kinds.variance]    # per-kind override (keyed on spec.name)
     rate = 10.0
 
+    [observability]            # optional: tracing + the privacy audit trail
+    trace_ring = 256           # finished traces kept for GET /debug/traces
+                               # (0 disables tracing entirely)
+    slow_query_ms = 250.0      # slow-query log threshold (omit = off)
+    audit_log = "audit.jsonl"  # hash-chained JSONL audit trail, relative to
+                               # the config file (omit = no audit log)
+
 Inline data (``values = [1.0, 2.0, ...]``) is accepted in place of
 ``source`` — handy for tests and tiny demos.
 
@@ -89,6 +96,7 @@ __all__ = [
     "AdminConfig",
     "DatasetConfig",
     "GroupConfig",
+    "ObservabilityConfig",
     "ServingConfig",
     "BuiltService",
     "parse_serving_config",
@@ -141,6 +149,23 @@ class AdminConfig:
 
 
 @dataclass(frozen=True)
+class ObservabilityConfig:
+    """The ``[observability]`` section: tracing + the privacy audit trail.
+
+    ``trace_ring`` caps the in-memory ring of finished traces served by
+    ``GET /debug/traces`` (0 disables tracing); ``slow_query_ms`` — when
+    set — logs any trace at least that slow; ``audit_log`` names the
+    hash-chained JSONL audit-trail file (relative paths resolve against the
+    config file's directory).  Ring size and threshold are live-serviceable
+    over ``/admin/reload``; the audit log path is restart-only.
+    """
+
+    trace_ring: int = 256
+    slow_query_ms: Optional[float] = None
+    audit_log: Optional[str] = None
+
+
+@dataclass(frozen=True)
 class ServingConfig:
     """A validated serving document, ready for :func:`build_service`."""
 
@@ -157,6 +182,7 @@ class ServingConfig:
     quiet: bool = False
     admin: Optional[AdminConfig] = None
     limits: Optional[RateLimits] = None
+    observability: Optional[ObservabilityConfig] = None
     base_dir: Optional[Path] = None  # resolves relative dataset sources
     source_path: Optional[Path] = None  # the file this config was loaded from
 
@@ -355,6 +381,47 @@ def _parse_limits(raw: Any) -> Optional[RateLimits]:
     )
 
 
+def _parse_observability(raw: Any) -> Optional[ObservabilityConfig]:
+    if raw is None:
+        return None
+    _require(isinstance(raw, Mapping), "[observability] must be a table")
+    unknown = set(raw) - {"trace_ring", "slow_query_ms", "audit_log"}
+    _require(not unknown, f"[observability] has unknown keys: {sorted(unknown)}")
+    try:
+        trace_ring = int(raw.get("trace_ring", 256))
+    except (TypeError, ValueError):
+        raise DomainError(
+            "serving config: [observability] trace_ring must be an integer"
+        ) from None
+    _require(
+        trace_ring >= 0,
+        f"[observability] trace_ring must be >= 0, got {trace_ring}",
+    )
+    slow_query_ms = raw.get("slow_query_ms")
+    if slow_query_ms is not None:
+        try:
+            slow_query_ms = float(slow_query_ms)
+        except (TypeError, ValueError):
+            raise DomainError(
+                "serving config: [observability] slow_query_ms must be a number"
+            ) from None
+        _require(
+            slow_query_ms >= 0,
+            f"[observability] slow_query_ms must be >= 0, got {slow_query_ms}",
+        )
+    audit_log = raw.get("audit_log")
+    if audit_log is not None:
+        _require(
+            isinstance(audit_log, str) and bool(audit_log),
+            "[observability] audit_log must be a non-empty path string",
+        )
+    return ObservabilityConfig(
+        trace_ring=trace_ring,
+        slow_query_ms=slow_query_ms,
+        audit_log=audit_log,
+    )
+
+
 def parse_serving_config(
     document: Mapping[str, Any],
     *,
@@ -363,7 +430,9 @@ def parse_serving_config(
 ) -> ServingConfig:
     """Validate a decoded config document into a :class:`ServingConfig`."""
     _require(isinstance(document, Mapping), "top level must be a table/object")
-    unknown = set(document) - {"service", "groups", "datasets", "admin", "limits"}
+    unknown = set(document) - {
+        "service", "groups", "datasets", "admin", "limits", "observability",
+    }
     _require(not unknown, f"unknown top-level keys: {sorted(unknown)}")
 
     service_raw = document.get("service", {})
@@ -450,6 +519,7 @@ def parse_serving_config(
         quiet=bool(service_raw.get("quiet", False)),
         admin=_parse_admin(document.get("admin")),
         limits=_parse_limits(document.get("limits")),
+        observability=_parse_observability(document.get("observability")),
         base_dir=base_dir,
         source_path=source_path,
     )
@@ -498,7 +568,9 @@ class BuiltService:
     ``limiter`` is the QoS rate limiter (always present; a no-op when the
     config has no ``[limits]``) and ``admin`` the live control plane
     (:class:`~repro.service.admin.AdminController`); the front-ends take
-    both so every deployment path shares one wiring.
+    both so every deployment path shares one wiring.  ``tracer`` and
+    ``audit`` mirror ``service.tracer`` / ``service.audit`` (both ``None``
+    without an ``[observability]`` section); the audit log is closed here.
     """
 
     service: QueryService
@@ -507,6 +579,8 @@ class BuiltService:
     owns_pool: bool = False
     limiter: Optional[RateLimiter] = None
     admin: Any = None
+    tracer: Any = None
+    audit: Any = None
     _closed: bool = field(default=False, repr=False)
 
     def close(self) -> None:
@@ -514,6 +588,8 @@ class BuiltService:
             return
         self._closed = True
         self.service.registry.close()
+        if self.audit is not None:
+            self.audit.close()
         if self.owns_pool and self.pool is not None:
             self.pool.close()
 
@@ -573,11 +649,28 @@ def build_service(config: ServingConfig, *, pool: Any = None) -> BuiltService:
         pool = EnginePool(config.workers)
         owns_pool = True
     service = None
+    tracer = None
+    audit = None
     try:
+        if config.observability is not None:
+            from repro.obs import AuditLog, TraceRecorder
+
+            obs = config.observability
+            if obs.trace_ring > 0:
+                tracer = TraceRecorder(
+                    obs.trace_ring, slow_query_ms=obs.slow_query_ms
+                )
+            if obs.audit_log is not None:
+                audit_path = Path(obs.audit_log)
+                if not audit_path.is_absolute() and config.base_dir is not None:
+                    audit_path = config.base_dir / audit_path
+                audit = AuditLog(audit_path)
         service = QueryService(
             pool=pool,
             seed=config.seed,
             cache=AnswerCache(maxsize=config.cache_size),
+            tracer=tracer,
+            audit=audit,
         )
         for group in config.groups:
             service.registry.create_group(
@@ -607,9 +700,12 @@ def build_service(config: ServingConfig, *, pool: Any = None) -> BuiltService:
         )
     except BaseException:
         # Release whatever was already built: shared-memory segments of
-        # datasets registered before the failure, and the pool if owned.
+        # datasets registered before the failure, the audit log handle, and
+        # the pool if owned.
         if service is not None:
             service.registry.close()
+        if audit is not None:
+            audit.close()
         if owns_pool:
             pool.close()
         raise
@@ -620,6 +716,8 @@ def build_service(config: ServingConfig, *, pool: Any = None) -> BuiltService:
         owns_pool=owns_pool,
         limiter=limiter,
         admin=admin,
+        tracer=tracer,
+        audit=audit,
     )
 
 

@@ -59,6 +59,8 @@ from repro.exceptions import (
     InsufficientDataError,
     ReproError,
 )
+from repro.obs import AuditLog, Trace, TraceRecorder
+from repro.obs import span as obs_span
 from repro.service.cache import AnswerCache, CacheStats
 from repro.service.metrics import LatencyRecorder
 from repro.service.queries import InvalidQueryError, Query, plan_query
@@ -241,6 +243,16 @@ class QueryService:
         per-kind/per-outcome latency histograms (a fresh one by default);
         every answered request is observed exactly once — by the submit
         path, or by :meth:`peek` when it resolves the request itself.
+    tracer:
+        A :class:`~repro.obs.TraceRecorder` collecting per-request traces
+        (``None`` disables tracing).  Front-ends read it off the service,
+        open a :class:`~repro.obs.Trace` per request and thread it through
+        ``peek``/``submit`` via the keyword-only ``trace`` parameter; the
+        executor only records spans into whatever trace it is handed.
+    audit:
+        An :class:`~repro.obs.AuditLog`; when set, every privacy-relevant
+        decision (reserve, commit, cancel, refusal, zero-spend cache hit)
+        appends one hash-chained record.  ``None`` disables auditing.
     """
 
     def __init__(
@@ -251,14 +263,21 @@ class QueryService:
         seed: Optional[int] = None,
         cache: Optional[AnswerCache] = None,
         metrics: Optional[LatencyRecorder] = None,
+        tracer: Optional[TraceRecorder] = None,
+        audit: Optional[AuditLog] = None,
     ):
         self.registry = registry if registry is not None else DatasetRegistry()
         self._pool = pool
         self._seed = None if seed is None else int(seed)
         self._cache = cache if cache is not None else AnswerCache()
         self.metrics = metrics if metrics is not None else LatencyRecorder()
+        self.tracer = tracer
+        self.audit = audit
         self._coalesce_lock = threading.Lock()
         self._inflight: Dict[str, _InFlight] = {}
+        self._spend_lock = threading.Lock()
+        self._kind_spend: Dict[str, float] = {}
+        self._analyst_spend: Dict[str, float] = {}
 
     # -- registration convenience ------------------------------------------
     def register(self, name: str, data: Any, total_budget: float, **kwargs):
@@ -299,19 +318,51 @@ class QueryService:
         sequence = np.random.SeedSequence(entropy)
         return int(sequence.generate_state(1, np.uint64)[0] % (2**63 - 1))
 
-    # -- submission API ----------------------------------------------------
-    def submit(self, request: QueryRequest) -> QueryAnswer:
-        """Answer one request, coalescing with concurrent identical requests."""
-        return self._submit_batch([request])[0]
+    # -- observability -----------------------------------------------------
+    def _audit_event(self, event: str, **fields: Any) -> None:
+        """Append one privacy event to the audit log; no-op when unconfigured.
 
-    def submit_many(self, requests: Sequence[QueryRequest]) -> List[QueryAnswer]:
+        Emission sites sit in the same thread as (and immediately after) the
+        budget mutation they describe, so replaying the log reproduces the
+        ledger totals in commit order (``repro audit spend``).
+        """
+        if self.audit is not None:
+            self.audit.record(event, **fields)
+
+    def _record_spend(self, kind: str, analyst: Optional[str], actual: float) -> None:
+        """Fold one committed spend into the service-wide gauges.
+
+        Mirrors :meth:`BudgetManager.commit`: only a strictly positive
+        measured spend counts, so these counters stay bit-for-bit consistent
+        with the ledgers they summarise (per kind, and per analyst across
+        every dataset — the ledger itself only tracks capped analysts).
+        """
+        if not actual > 0.0:
+            return
+        with self._spend_lock:
+            self._kind_spend[kind] = self._kind_spend.get(kind, 0.0) + actual
+            if analyst is not None:
+                self._analyst_spend[analyst] = (
+                    self._analyst_spend.get(analyst, 0.0) + actual
+                )
+
+    # -- submission API ----------------------------------------------------
+    def submit(
+        self, request: QueryRequest, *, trace: Optional[Trace] = None
+    ) -> QueryAnswer:
+        """Answer one request, coalescing with concurrent identical requests."""
+        return self._submit_batch([request], trace=trace)[0]
+
+    def submit_many(
+        self, requests: Sequence[QueryRequest], *, trace: Optional[Trace] = None
+    ) -> List[QueryAnswer]:
         """Answer a batch, fanning distinct queries across the engine pool.
 
         Intra-batch duplicates are computed once and shared, and both the
         single and batch paths coalesce with identical queries already in
         flight on other threads; answers come back in submission order.
         """
-        return self._submit_batch(list(requests))
+        return self._submit_batch(list(requests), trace=trace)
 
     def query(
         self,
@@ -344,7 +395,9 @@ class QueryService:
             )
         return self.submit(QueryRequest(dataset=dataset, query=query, analyst=analyst))
 
-    def peek(self, request: QueryRequest) -> Optional[QueryAnswer]:
+    def peek(
+        self, request: QueryRequest, *, trace: Optional[Trace] = None
+    ) -> Optional[QueryAnswer]:
         """Answer ``request`` without executing an estimator, if possible.
 
         Returns the structured answer for the outcomes that need no engine
@@ -363,21 +416,32 @@ class QueryService:
         only once, by :meth:`submit`.
         """
         started = time.perf_counter()
-        answer = self._peek_inner(request)
+        answer = self._peek_inner(request, trace=trace)
         if answer is not None:
             self.metrics.observe(
                 answer.kind, _outcome(answer), time.perf_counter() - started
             )
         return answer
 
-    def _peek_inner(self, request: QueryRequest) -> Optional[QueryAnswer]:
+    def _peek_inner(
+        self, request: QueryRequest, *, trace: Optional[Trace] = None
+    ) -> Optional[QueryAnswer]:
         prepared = self._prepare(request)
         if not isinstance(prepared, str):
             return prepared
         key = prepared
         dataset = self.registry.get(request.dataset)
-        stored = self._cache.peek(key)
+        with obs_span(trace, "cache_lookup") as info:
+            stored = self._cache.peek(key)
+            info["hit"] = stored is not None
         if stored is not None:
+            self._audit_event(
+                "cache_hit",
+                dataset=request.dataset,
+                kind=request.query.kind,
+                key=key,
+                analyst=request.analyst,
+            )
             return dataclasses.replace(
                 stored,
                 cached=True,
@@ -407,7 +471,9 @@ class QueryService:
         with self._coalesce_lock:
             if key in self._inflight:
                 return None  # submit will coalesce: cheaper than any refusal
-        refusal = dataset.budget.peek(plan.reserve_epsilon, analyst=request.analyst)
+        with obs_span(trace, "admission_probe") as info:
+            refusal = dataset.budget.peek(plan.reserve_epsilon, analyst=request.analyst)
+            info["refused"] = refusal is not None
         if refusal is not None:
             self._cache.record_miss()
             return self._refused(request, key, refusal, dataset)
@@ -434,6 +500,13 @@ class QueryService:
         stored = self._cache.get(key)
         if stored is None:
             return None
+        self._audit_event(
+            "cache_hit",
+            dataset=request.dataset,
+            kind=request.query.kind,
+            key=key,
+            analyst=request.analyst,
+        )
         return dataclasses.replace(
             stored,
             cached=True,
@@ -456,7 +529,19 @@ class QueryService:
     def _refused(
         self, request: QueryRequest, key: str, message: str, dataset: RegisteredDataset
     ) -> QueryAnswer:
-        """The structured refusal document (one shape for submit and peek)."""
+        """The structured refusal document (one shape for submit and peek).
+
+        Every budget refusal the service serves is built here, so this is
+        also the single audit-emission point for the ``refuse`` event.
+        """
+        self._audit_event(
+            "refuse",
+            dataset=request.dataset,
+            kind=request.query.kind,
+            key=key,
+            analyst=request.analyst,
+            reason="budget_exceeded",
+        )
         return QueryAnswer(
             dataset=request.dataset,
             kind=request.query.kind,
@@ -477,6 +562,14 @@ class QueryService:
         is only reached after the cache came up empty — stop-admitting,
         keep-serving semantics for the decommission window.
         """
+        self._audit_event(
+            "refuse",
+            dataset=request.dataset,
+            kind=request.query.kind,
+            key=key,
+            analyst=request.analyst,
+            reason="draining",
+        )
         return QueryAnswer(
             dataset=request.dataset,
             kind=request.query.kind,
@@ -492,88 +585,112 @@ class QueryService:
             query=request.query,
         )
 
-    def _submit_batch(self, requests: List[QueryRequest]) -> List[QueryAnswer]:
+    def _submit_batch(
+        self, requests: List[QueryRequest], *, trace: Optional[Trace] = None
+    ) -> List[QueryAnswer]:
         """Timed wrapper: answer the batch, then record one observation each.
 
         Batch entries share the batch's wall-clock elapsed time — the latency
         a caller of :meth:`submit_many` actually experienced for each answer.
         """
         started = time.perf_counter()
-        answers = self._answer_batch(requests)
+        answers = self._answer_batch(requests, trace=trace)
         elapsed = time.perf_counter() - started
         for answer in answers:
             self.metrics.observe(answer.kind, _outcome(answer), elapsed)
         return answers
 
-    def _answer_batch(self, requests: List[QueryRequest]) -> List[QueryAnswer]:
+    def _answer_batch(
+        self, requests: List[QueryRequest], *, trace: Optional[Trace] = None
+    ) -> List[QueryAnswer]:
         answers: List[Optional[QueryAnswer]] = [None] * len(requests)
         admitted: List[_Admitted] = []
         batch_first: Dict[str, int] = {}  # key -> position of its computing entry
         duplicates: List[Tuple[int, str]] = []
         waiting: List[Tuple[int, QueryRequest, _InFlight]] = []
 
-        for position, request in enumerate(requests):
-            prepared = self._prepare(request)
-            if not isinstance(prepared, str):
-                answers[position] = prepared
-                continue
-            key = prepared
-            dataset = self.registry.get(request.dataset)
-            hit = self._cache_lookup(request, key)
-            if hit is not None:
-                answers[position] = hit
-                continue
-            if dataset.draining:
-                answers[position] = self._draining(request, key, dataset)
-                continue
-            if key in batch_first:
-                duplicates.append((position, key))
-                continue
-            try:
-                plan = plan_query(
-                    request.query,
-                    records=dataset.records,
-                    dimension=dataset.dimension,
-                    allowed=dataset.kinds,
-                )
-            except InvalidQueryError as exc:
-                answers[position] = self._invalid(request, key, "invalid_query", exc)
-                continue
-            except InsufficientDataError as exc:
-                answers[position] = self._invalid(request, key, "insufficient_data", exc)
-                continue
-            # Coalesce with an identical query already computing on another
-            # thread, else reserve budget and claim the key — atomically, so
-            # two threads can never both admit (and both charge) one release.
-            with self._coalesce_lock:
-                flight = self._inflight.get(key)
-                if flight is not None:
-                    waiting.append((position, request, flight))
+        with obs_span(trace, "admission", requests=len(requests)) as admission_info:
+            for position, request in enumerate(requests):
+                prepared = self._prepare(request)
+                if not isinstance(prepared, str):
+                    answers[position] = prepared
+                    continue
+                key = prepared
+                dataset = self.registry.get(request.dataset)
+                hit = self._cache_lookup(request, key)
+                if hit is not None:
+                    answers[position] = hit
+                    continue
+                if dataset.draining:
+                    answers[position] = self._draining(request, key, dataset)
+                    continue
+                if key in batch_first:
+                    duplicates.append((position, key))
                     continue
                 try:
-                    reservation = dataset.budget.reserve(
-                        plan.reserve_epsilon, analyst=request.analyst
+                    plan = plan_query(
+                        request.query,
+                        records=dataset.records,
+                        dimension=dataset.dimension,
+                        allowed=dataset.kinds,
                     )
-                except BudgetExceededError as exc:
-                    answers[position] = self._refused(request, key, str(exc), dataset)
+                except InvalidQueryError as exc:
+                    answers[position] = self._invalid(request, key, "invalid_query", exc)
                     continue
-                flight = _InFlight()
-                self._inflight[key] = flight
-            admitted.append(
-                _Admitted(
-                    position=position,
-                    request=request,
-                    dataset=dataset,
-                    key=key,
-                    reservation=reservation,
-                    flight=flight,
+                except InsufficientDataError as exc:
+                    answers[position] = self._invalid(
+                        request, key, "insufficient_data", exc
+                    )
+                    continue
+                # Coalesce with an identical query already computing on another
+                # thread, else reserve budget and claim the key — atomically, so
+                # two threads can never both admit (and both charge) one release.
+                # The audit writes (refuse / reserve) happen after the lock is
+                # dropped: appending to the log is file I/O and must not extend
+                # the admission critical section.
+                with self._coalesce_lock:
+                    flight = self._inflight.get(key)
+                    if flight is not None:
+                        waiting.append((position, request, flight))
+                        continue
+                    try:
+                        reservation = dataset.budget.reserve(
+                            plan.reserve_epsilon, analyst=request.analyst
+                        )
+                    except BudgetExceededError as exc:
+                        refusal = str(exc)
+                    else:
+                        refusal = None
+                        flight = _InFlight()
+                        self._inflight[key] = flight
+                if refusal is not None:
+                    answers[position] = self._refused(request, key, refusal, dataset)
+                    continue
+                admitted.append(
+                    _Admitted(
+                        position=position,
+                        request=request,
+                        dataset=dataset,
+                        key=key,
+                        reservation=reservation,
+                        flight=flight,
+                    )
                 )
-            )
-            batch_first[key] = position
+                batch_first[key] = position
+                self._audit_event(
+                    "reserve",
+                    budget=dataset.budget_owner,
+                    dataset=request.dataset,
+                    kind=request.query.kind,
+                    key=key,
+                    epsilon=plan.reserve_epsilon,
+                    analyst=request.analyst,
+                )
+            admission_info["admitted"] = len(admitted)
 
         if admitted:
             try:
-                self._execute_admitted(admitted, answers)
+                self._execute_admitted(admitted, answers, trace=trace)
             finally:
                 # Publish outcomes (None if execution raised) and release the
                 # keys, whatever happened — a waiter must never block forever.
@@ -593,26 +710,35 @@ class QueryService:
 
         # Waiters block only after this batch's own events are set, so two
         # batches waiting on each other's keys cannot deadlock.
-        for position, request, flight in waiting:
-            flight.event.wait()
-            if flight.answer is not None:
-                # Sharing an already-released answer is post-processing:
-                # zero marginal epsilon for the waiter.
-                answers[position] = dataclasses.replace(
-                    flight.answer, coalesced=True, epsilon_charged=0.0
-                )
-            else:
-                # The owner errored before producing an answer; compute it
-                # ourselves (possibly surfacing the same error).  The inner
-                # call keeps the retry inside this batch's single metrics
-                # observation instead of double-counting the request.
-                answers[position] = self._answer_batch([request])[0]
+        if waiting:
+            with obs_span(trace, "coalesce", waiters=len(waiting)):
+                for position, request, flight in waiting:
+                    flight.event.wait()
+                    if flight.answer is not None:
+                        # Sharing an already-released answer is post-processing:
+                        # zero marginal epsilon for the waiter.
+                        answers[position] = dataclasses.replace(
+                            flight.answer, coalesced=True, epsilon_charged=0.0
+                        )
+                    else:
+                        # The owner errored before producing an answer; compute
+                        # it ourselves (possibly surfacing the same error).  The
+                        # inner call keeps the retry inside this batch's single
+                        # metrics observation instead of double-counting the
+                        # request.
+                        answers[position] = self._answer_batch(
+                            [request], trace=trace
+                        )[0]
 
         assert all(answer is not None for answer in answers)
         return [answer for answer in answers if answer is not None]
 
     def _execute_admitted(
-        self, admitted: List[_Admitted], answers: List[Optional[QueryAnswer]]
+        self,
+        admitted: List[_Admitted],
+        answers: List[Optional[QueryAnswer]],
+        *,
+        trace: Optional[Trace] = None,
     ) -> None:
         """Run every admitted query through the engine, then commit spends."""
         cells = [
@@ -624,20 +750,50 @@ class QueryService:
             )
             for index, entry in enumerate(admitted)
         ]
+        # Per-cell wall-clock only when a trace wants it: the profile hook
+        # observes timings without touching scheduling or results.
+        profile: Optional[Dict[int, float]] = {} if trace is not None else None
         try:
-            grid = run_grid(cells, pool=self._pool, workers=1)
+            with obs_span(trace, "engine", cells=len(cells)) as engine_info:
+                grid = run_grid(cells, pool=self._pool, workers=1, profile=profile)
+                if profile:
+                    engine_info["per_cell_ms"] = {
+                        entry.key: round(profile.get(index, 0.0) * 1000.0, 3)
+                        for index, entry in enumerate(admitted)
+                    }
         except BaseException:
             # Infrastructure failure before any estimator result came back:
             # no release happened, so the reservations are simply returned.
             for entry in admitted:
                 entry.dataset.budget.cancel(entry.reservation)
+                self._audit_event(
+                    "cancel",
+                    budget=entry.dataset.budget_owner,
+                    dataset=entry.request.dataset,
+                    kind=entry.request.query.kind,
+                    key=entry.key,
+                    epsilon=entry.reservation.amount,
+                    analyst=entry.request.analyst,
+                )
             raise
 
         for index, entry in enumerate(admitted):
             status, value, spent, message = grid[index].results[0]
-            actual = entry.dataset.budget.commit(
-                entry.reservation, spent, label=entry.key
+            with obs_span(trace, "commit", key=entry.key):
+                actual = entry.dataset.budget.commit(
+                    entry.reservation, spent, label=entry.key
+                )
+            self._audit_event(
+                "commit",
+                budget=entry.dataset.budget_owner,
+                dataset=entry.request.dataset,
+                kind=entry.request.query.kind,
+                key=entry.key,
+                epsilon=actual,
+                analyst=entry.request.analyst,
+                status=status,
             )
+            self._record_spend(entry.request.query.kind, entry.request.analyst, actual)
             if status == "ok":
                 answer = QueryAnswer(
                     dataset=entry.request.dataset,
@@ -665,12 +821,31 @@ class QueryService:
             answers[entry.position] = answer
 
     # -- introspection -----------------------------------------------------
+    def spend_snapshot(self) -> Dict[str, Dict[str, float]]:
+        """Committed-epsilon totals per estimator kind and per analyst.
+
+        One consistent snapshot (taken under the spend lock) feeds both the
+        ``stats()`` document and the ``/metrics`` gauges, so the two surfaces
+        can never disagree.
+        """
+        with self._spend_lock:
+            return {
+                "kinds": dict(sorted(self._kind_spend.items())),
+                "analysts": dict(sorted(self._analyst_spend.items())),
+            }
+
     def stats(self) -> Dict[str, Any]:
         """JSON-safe snapshot: datasets, budgets, joint groups, cache counters."""
-        return {
+        document: Dict[str, Any] = {
             "datasets": [dataset.to_json() for dataset in self.registry],
             "groups": self.registry.groups_json(),
             "cache": self._cache.stats.to_json(),
             "workers": self.workers,
             "seed": self._seed,
+            "spend": self.spend_snapshot(),
         }
+        if self.tracer is not None:
+            document["traces"] = self.tracer.stats()
+        if self.audit is not None:
+            document["audit"] = self.audit.stats()
+        return document

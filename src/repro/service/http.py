@@ -25,7 +25,14 @@ Protocol
     400 whose body carries the same list (``error.code = "unknown_kind"``).
 ``GET /metrics``
     Prometheus text exposition (version 0.0.4): the ``stats()`` counters
-    plus per-kind / per-outcome request-latency histograms.
+    plus per-kind / per-outcome request-latency histograms and — when
+    observability is on — per-kind / per-analyst epsilon-spent gauges.
+``GET /debug/traces`` / ``GET /debug/traces/<id>``
+    Recent request traces from the bounded in-memory ring, newest first
+    (404 ``tracing_disabled`` without an ``[observability]`` tracer).  A
+    traced ``POST /query`` response echoes its ``"trace"`` id — minted per
+    request, or honoured from an ``X-Repro-Trace-Id`` header — for lookup
+    here or via ``repro trace <id>``.
 ``POST /query``
     Body: a query object —
     ``{"dataset": ..., "kind": ..., "epsilon": ..., "beta": ...,``
@@ -67,6 +74,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from repro.exceptions import ReproError
+from repro.obs import span as obs_span
 from repro.service import wire
 from repro.service.executor import QueryService
 from repro.service.metrics import PROMETHEUS_CONTENT_TYPE, render_prometheus
@@ -208,6 +216,8 @@ class _Handler(BaseHTTPRequestHandler):
                     ),
                     PROMETHEUS_CONTENT_TYPE,
                 )
+            elif self.path == "/debug/traces" or self.path.startswith("/debug/traces/"):
+                self._handle_traces()
             elif self.path.startswith("/admin"):
                 self._handle_admin("GET")
             else:
@@ -259,45 +269,109 @@ class _Handler(BaseHTTPRequestHandler):
             self.server.service.metrics.observe(
                 request.query.kind, "rate_limited", 0.0
             )
+            wire.audit_rate_limit(self.server.service, request, decision)
         return decision
 
     def _handle_query(self) -> None:
-        payload = self._read_json()
+        """Open (and always finish) the per-request trace around the answer path.
+
+        The trace is finished *before* the response bytes leave, so a client
+        that reads the echoed trace id off the answer can immediately inspect
+        it via ``GET /debug/traces/<id>`` — there is no window where the
+        answer is visible but its trace is not.
+        """
+        tracer = self.server.service.tracer
+        trace = None
+        if tracer is not None:
+            trace = tracer.start(
+                self.headers.get("X-Repro-Trace-Id"), frontend="threaded"
+            )
+        headers: Optional[Dict[str, str]] = None
+        try:
+            status, document, headers = self._answer_query(trace)
+        except ReproError as exc:
+            # Answered here (not in do_POST) so the 400 document can echo the
+            # trace id like every other traced response.
+            if trace is not None:
+                trace.annotate(status="invalid")
+            status, document = 400, wire.with_trace(
+                wire.invalid_request(exc),
+                trace.trace_id if trace is not None else None,
+            )
+        finally:
+            if tracer is not None and trace is not None:
+                tracer.finish(trace)
+        self._send_json(status, document, headers=headers)
+
+    def _answer_query(self, trace) -> Tuple[int, Dict[str, Any], Optional[Dict[str, str]]]:
         service = self.server.service
+        trace_id = trace.trace_id if trace is not None else None
+        with obs_span(trace, "read_body"):
+            payload = self._read_json()
         if isinstance(payload, dict) and "queries" in payload:
             entries = payload["queries"]
             if not isinstance(entries, list):
                 raise InvalidQueryError("'queries' must be a list of query objects")
-            parsed = [wire.parse_request(entry) for entry in entries]
+            with obs_span(trace, "parse", queries=len(entries)):
+                parsed = [wire.parse_request(entry) for entry in entries]
+            if trace is not None:
+                trace.annotate(queries=len(parsed))
             docs: List[Optional[Dict[str, Any]]] = [None] * len(parsed)
             admitted = []
-            for index, (request, deprecated) in enumerate(parsed):
-                decision = self._check_rate_limit(request)
-                if decision is not None:
-                    docs[index] = wire.rate_limited_answer(request, decision)
-                else:
-                    admitted.append((index, deprecated))
+            with obs_span(trace, "rate_check"):
+                for index, (request, deprecated) in enumerate(parsed):
+                    decision = self._check_rate_limit(request)
+                    if decision is not None:
+                        docs[index] = wire.rate_limited_answer(request, decision)
+                    else:
+                        admitted.append((index, deprecated))
             answers = service.submit_many(
-                [parsed[index][0] for index, _ in admitted]
+                [parsed[index][0] for index, _ in admitted], trace=trace
             )
-            for (index, deprecated), answer in zip(admitted, answers):
-                docs[index] = wire.answer_document(answer, deprecated=deprecated)
-            self._send_json(200, wire.answers_document(docs))
-            return
-        request, deprecated = wire.parse_request(payload)
-        decision = self._check_rate_limit(request)
+            with obs_span(trace, "serialize"):
+                for (index, deprecated), answer in zip(admitted, answers):
+                    docs[index] = wire.answer_document(answer, deprecated=deprecated)
+                document = wire.with_trace(wire.answers_document(docs), trace_id)
+            return 200, document, None
+        with obs_span(trace, "parse"):
+            request, deprecated = wire.parse_request(payload)
+        if trace is not None:
+            trace.annotate(
+                dataset=request.dataset,
+                kind=request.query.kind,
+                analyst=request.analyst,
+            )
+        with obs_span(trace, "rate_check") as info:
+            decision = self._check_rate_limit(request)
+            info["limited"] = decision is not None
         if decision is not None:
-            self._send_json(
+            if trace is not None:
+                trace.annotate(status="rate_limited")
+            return (
                 429,
-                wire.rate_limited_answer(request, decision),
-                headers={"Retry-After": wire.retry_after_header(decision)},
+                wire.with_trace(wire.rate_limited_answer(request, decision), trace_id),
+                {"Retry-After": wire.retry_after_header(decision)},
             )
+        answer = service.submit(request, trace=trace)
+        if trace is not None:
+            trace.annotate(status=answer.status, cached=answer.cached)
+        with obs_span(trace, "serialize"):
+            document = wire.with_trace(
+                wire.answer_document(answer, deprecated=deprecated), trace_id
+            )
+        return wire.answer_status_code(answer), document, None
+
+    def _handle_traces(self) -> None:
+        tracer = self.server.service.tracer
+        if tracer is None:
+            self._send_json(404, wire.tracing_disabled())
             return
-        answer = service.submit(request)
-        self._send_json(
-            wire.answer_status_code(answer),
-            wire.answer_document(answer, deprecated=deprecated),
-        )
+        if self.path == "/debug/traces":
+            self._send_json(200, wire.traces_document(tracer))
+            return
+        trace_id = self.path[len("/debug/traces/"):]
+        code, doc = wire.trace_document(tracer, trace_id)
+        self._send_json(code, doc)
 
     def _handle_register(self) -> None:
         if not self.server.allow_register:

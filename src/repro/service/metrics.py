@@ -13,9 +13,12 @@ number of requests answered with that outcome.
 :meth:`~repro.service.QueryService.stats` counters into the Prometheus text
 exposition format (version 0.0.4): ``repro_requests_total``,
 ``repro_request_latency_seconds`` (cumulative ``_bucket``/``_sum``/
-``_count``), cache and budget gauges per dataset/group, and the front-end
-counters.  Everything is derived from the same snapshots ``GET /datasets``
-reports, so the two views can be cross-checked against each other.
+``_count``), cache and budget gauges per dataset/group, per-kind and
+per-analyst epsilon-spent gauges (``repro_kind_spent_epsilon``,
+``repro_analyst_spent_epsilon``), trace/audit counters when observability
+is configured, and the front-end counters.  Everything is derived from the
+same snapshots ``GET /datasets`` reports, so the two views can be
+cross-checked against each other.
 """
 
 from __future__ import annotations
@@ -272,6 +275,44 @@ def render_prometheus(
                 "repro_group_budget_spent_epsilon", labels,
                 group["budget"]["spent"],
             )
+
+    spend = stats.get("spend", {})
+    kinds = spend.get("kinds", {})
+    if kinds:
+        out.declare(
+            "repro_kind_spent_epsilon", "gauge",
+            "Committed privacy spend per estimator kind (service lifetime).",
+        )
+        for kind, value in sorted(kinds.items()):
+            out.sample("repro_kind_spent_epsilon", {"kind": kind}, value)
+    analysts = spend.get("analysts", {})
+    if analysts:
+        out.declare(
+            "repro_analyst_spent_epsilon", "gauge",
+            "Committed privacy spend per analyst (service lifetime).",
+        )
+        for analyst, value in sorted(analysts.items()):
+            out.sample("repro_analyst_spent_epsilon", {"analyst": analyst}, value)
+
+    traces = stats.get("traces")
+    if traces is not None:
+        out.declare(
+            "repro_traces_recorded_total", "counter",
+            "Query traces recorded (the ring may have evicted older ones).",
+        )
+        out.sample("repro_traces_recorded_total", {}, traces["recorded"])
+        out.declare(
+            "repro_slow_queries_total", "counter",
+            "Traces that exceeded the slow-query threshold.",
+        )
+        out.sample("repro_slow_queries_total", {}, traces["slow_queries"])
+    audit = stats.get("audit")
+    if audit is not None:
+        out.declare(
+            "repro_audit_records_total", "counter",
+            "Records appended to the hash-chained privacy audit log.",
+        )
+        out.sample("repro_audit_records_total", {}, audit["records"])
 
     if limiter is not None:
         qos = limiter.stats()

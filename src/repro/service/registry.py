@@ -358,6 +358,19 @@ class RegisteredDataset:
     def shared(self) -> bool:
         return isinstance(self.data, SharedArray)
 
+    @property
+    def budget_owner(self) -> str:
+        """The stable identity of this dataset's ledger for the audit trail.
+
+        ``group:<name>`` for joint-group members (whose spends share one
+        :class:`BudgetManager`), ``dataset:<name>`` for private budgets —
+        the key ``repro audit spend`` replays totals under, matching how
+        ``GET /datasets`` reports the same ledgers.
+        """
+        if self.group is not None:
+            return f"group:{self.group}"
+        return f"dataset:{self.name}"
+
     def to_json(self) -> Dict[str, Any]:
         return {
             "name": self.name,

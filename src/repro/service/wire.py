@@ -42,6 +42,7 @@ __all__ = [
     "answers_document",
     "answer_status_code",
     "admin_disabled",
+    "audit_rate_limit",
     "bad_request",
     "bearer_token",
     "error_document",
@@ -56,7 +57,11 @@ __all__ = [
     "registration_disabled",
     "stats_document",
     "too_large",
+    "trace_document",
+    "traces_document",
+    "tracing_disabled",
     "unknown_path",
+    "with_trace",
 ]
 
 #: Version of the response envelope; bump only with a migration window.
@@ -247,6 +252,25 @@ def retry_after_header(decision: Any) -> str:
     return str(max(1, math.ceil(float(decision.retry_after))))
 
 
+def audit_rate_limit(service: QueryService, request: QueryRequest, decision: Any) -> None:
+    """Audit one pre-admission 429 (shared by both front-ends).
+
+    A rate-limit refusal never touches a ledger, but it is still a
+    privacy-relevant *decision* about an analyst's request stream, so it
+    joins the hash chain alongside reserve/commit/refuse.
+    """
+    if service.audit is not None:
+        service.audit.record(
+            "rate_limit",
+            dataset=request.dataset,
+            kind=request.query.kind,
+            analyst=request.analyst,
+            scope=decision.scope,
+            bucket=decision.key,
+            retry_after=float(decision.retry_after),
+        )
+
+
 # ---------------------------------------------------------------------------
 # informational documents
 
@@ -281,6 +305,51 @@ def kinds_document(service: QueryService) -> Dict[str, Any]:
             for dataset in service.registry
         },
     }
+
+
+def with_trace(document: Dict[str, Any], trace_id: Optional[str]) -> Dict[str, Any]:
+    """Echo the request's trace id into a response document (in place).
+
+    Every v1 response of a traced request carries ``"trace": <id>`` so a
+    client can quote the id back at ``GET /debug/traces/<id>`` or
+    ``repro trace <id>``.  With tracing disabled (``trace_id=None``) the
+    document is returned untouched — the wire shape without observability
+    stays byte-identical to previous releases.
+    """
+    if trace_id is not None:
+        document["trace"] = trace_id
+    return document
+
+
+def traces_document(tracer: Any, limit: int = 50) -> Dict[str, Any]:
+    """The ``GET /debug/traces`` body: recorder counters plus recent traces."""
+    return {
+        "api": API_VERSION,
+        "status": "ok",
+        "tracing": tracer.stats(),
+        "traces": tracer.recent(limit),
+    }
+
+
+def trace_document(tracer: Any, trace_id: str) -> Tuple[int, Dict[str, Any]]:
+    """The ``GET /debug/traces/<id>`` response: one trace, or a 404."""
+    found = tracer.get(trace_id)
+    if found is None:
+        return 404, error_document(
+            "unknown_trace",
+            f"no finished trace {trace_id!r} in the ring "
+            "(evicted, still in flight, or never started)",
+        )
+    return 200, {"api": API_VERSION, "status": "ok", "trace": found}
+
+
+def tracing_disabled() -> Dict[str, Any]:
+    """The 404 body for ``/debug/traces`` on a server without a tracer."""
+    return error_document(
+        "tracing_disabled",
+        "tracing is disabled: configure [observability] trace_ring= "
+        "and restart (or reload)",
+    )
 
 
 # ---------------------------------------------------------------------------

@@ -11,6 +11,7 @@ from pathlib import Path
 import pytest
 
 from repro.lint import (
+    AuditCoverageRule,
     EstimatorSpecRule,
     FrontEndContainmentRule,
     GlobalRngRule,
@@ -462,6 +463,93 @@ class TestFrontEndContainment:
 
 
 # ---------------------------------------------------------------------------
+# REP006 — audit-trail coverage of budget/cache touch-points
+# ---------------------------------------------------------------------------
+class TestAuditCoverage:
+    def test_unaudited_commit_flagged(self):
+        findings = run_rule(
+            AuditCoverageRule(),
+            """\
+            class Service:
+                def settle(self, entry):
+                    return entry.dataset.budget.commit(entry.reservation, 0.5)
+            """,
+            display="src/repro/service/executor.py",
+        )
+        assert [f.rule_id for f in findings] == ["REP006"]
+        assert findings[0].line == 3
+        assert "privacy budget" in findings[0].message
+
+    def test_direct_audit_call_clean(self):
+        findings = run_rule(
+            AuditCoverageRule(),
+            """\
+            class Service:
+                def settle(self, entry):
+                    actual = entry.dataset.budget.commit(entry.reservation, 0.5)
+                    self._audit_event("commit", epsilon=actual)
+                    return actual
+            """,
+            display="src/repro/service/executor.py",
+        )
+        assert findings == []
+
+    def test_transitive_helper_audit_clean(self):
+        findings = run_rule(
+            AuditCoverageRule(),
+            """\
+            class Service:
+                def settle(self, entry):
+                    actual = entry.dataset.budget.commit(entry.reservation, 0.5)
+                    self._finish(actual)
+                    return actual
+
+                def _finish(self, actual):
+                    self.audit.record("commit", epsilon=actual)
+            """,
+            display="src/repro/service/executor.py",
+        )
+        assert findings == []
+
+    def test_unaudited_cache_hit_flagged(self):
+        findings = run_rule(
+            AuditCoverageRule(),
+            """\
+            class Service:
+                def lookup(self, key):
+                    return self._cache.get(key)
+            """,
+            display="src/repro/service/executor.py",
+        )
+        assert [f.rule_id for f in findings] == ["REP006"]
+        assert "answer cache" in findings[0].message
+
+    def test_budget_peek_probe_exempt(self):
+        findings = run_rule(
+            AuditCoverageRule(),
+            """\
+            class Service:
+                def probe(self, dataset, epsilon):
+                    return dataset.budget.peek(epsilon)
+            """,
+            display="src/repro/service/executor.py",
+        )
+        assert findings == []
+
+    def test_out_of_scope_file_ignored(self):
+        findings = run_rule(
+            AuditCoverageRule(),
+            """\
+            class Pool:
+                def settle(self, entry):
+                    return entry.dataset.budget.commit(entry.reservation, 0.5)
+            """,
+            display="src/repro/engine/pool.py",
+        )
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
 # Injected-violation sweep: one scratch module per rule, correct id + line.
 # ---------------------------------------------------------------------------
 INJECTED = [
@@ -502,6 +590,12 @@ INJECTED = [
         "class H:\n    def do_GET(self):\n        self.route()\n",
         2,
     ),
+    (
+        "REP006",
+        AuditCoverageRule(),
+        "class S:\n    def settle(self, d, r):\n        return d.budget.commit(r, 0.5)\n",
+        3,
+    ),
 ]
 
 
@@ -509,7 +603,10 @@ INJECTED = [
     "rule_id,rule,source,line", INJECTED, ids=[case[0] for case in INJECTED]
 )
 def test_injected_violation_caught_with_id_file_line(rule_id, rule, source, line, tmp_path):
-    display = "src/repro/service/http.py" if rule_id == "REP005" else "scratch/mod.py"
+    display = {
+        "REP005": "src/repro/service/http.py",
+        "REP006": "src/repro/service/executor.py",
+    }.get(rule_id, "scratch/mod.py")
     findings = run_rule(rule, source, display=display)
     assert findings, f"{rule_id} fixture produced no findings"
     assert findings[0].rule_id == rule_id
