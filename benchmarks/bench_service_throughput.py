@@ -17,7 +17,16 @@ A second experiment (``ESTIMATOR_REGISTRY``) measures the same cold/cached
 split for an adapted ``baseline.*`` kind served through the estimator-spec
 registry, so the perf trajectory covers the pluggable-kind surface too.
 
-A third experiment (``SERVICE_FRONTENDS``) compares the two HTTP
+A third experiment (``SERVICE_COLD``) isolates the dataset-sketch refactor:
+the same distinct cold queries (a dwork-lei-heavy mix at n=100k, every kind
+re-sorting per query before the refactor) are run against one registration
+with sketches (the default) and one with ``sketches=False`` — the latter is
+exactly the pre-refactor execution path.  Answers are asserted bit-for-bit
+identical and the sketch-backed cold path must clear >= 10x the no-sketch
+QPS; a third row charges the one-time registration cost to the sketch side
+to show the amortisation is immediate.
+
+A fourth experiment (``SERVICE_FRONTENDS``) compares the two HTTP
 front-ends on that cached fast path over real sockets: the same keep-alive
 query stream is driven at 16 / 64 / 256 concurrent connections against the
 thread-per-connection server and the asyncio server.  The asyncio front-end
@@ -225,6 +234,98 @@ def test_estimator_registry_throughput(run_once, reporter):
     assert cached_qps >= 10.0 * cold_qps, (
         f"cached baseline path ({cached_qps:.0f} q/s) should dwarf the cold "
         f"path ({cold_qps:.0f} q/s)"
+    )
+
+
+# ---------------------------------------------------------------------------
+# dataset sketches: sketch-backed vs pre-refactor cold path at n=100k
+
+COLD_N = 100_000
+COLD_SPEEDUP_FLOOR = 10.0
+
+
+def _cold_requests() -> list:
+    """A dwork-lei-heavy cold mix: every kind re-sorted per query pre-refactor."""
+    requests = []
+    for index in range(2):
+        requests.append(QueryRequest("d", Query("iqr", 0.31 + 0.01 * index)))
+    for index in range(2):
+        requests.append(
+            QueryRequest("d", Query("quantile", 0.41 + 0.01 * index, levels=(0.5, 0.9)))
+        )
+    for index in range(8):
+        requests.append(
+            QueryRequest("d", Query("baseline.dwork_lei_iqr", 0.51 + 0.01 * index))
+        )
+    return requests
+
+
+def test_cold_path_sketch_speedup(run_once, reporter):
+    """Sketch-backed cold QPS vs the pre-refactor path, answers bit-for-bit.
+
+    ``sketches=False`` registration stores the bare array and every query
+    re-derives its sorted representation from scratch — exactly the execution
+    path before the :class:`repro.dataview.DatasetView` refactor.  The default
+    registration materialises the declared sketches once; the per-query seed
+    derivation is untouched, so the answers must match bit for bit and the
+    only difference is wall-clock.
+    """
+
+    def run():
+        data = np.random.default_rng(SEED).normal(250.0, 40.0, size=COLD_N)
+        requests = _cold_requests()
+
+        plain = QueryService(seed=SEED, cache=AnswerCache(maxsize=0))
+        plain.register("d", data, TOTAL_BUDGET, sketches=False)
+        start = time.perf_counter()
+        plain_answers = plain.submit_many(requests)
+        plain_seconds = time.perf_counter() - start
+
+        sketched = QueryService(seed=SEED, cache=AnswerCache(maxsize=0))
+        start = time.perf_counter()
+        sketched.register("d", data, TOTAL_BUDGET)
+        register_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        sketched_answers = sketched.submit_many(requests)
+        sketched_seconds = time.perf_counter() - start
+
+        # The refactor's contract: sketches change wall-clock only.
+        assert all(a.ok for a in plain_answers)
+        assert [
+            (a.key, a.value, a.epsilon_charged) for a in plain_answers
+        ] == [(a.key, a.value, a.epsilon_charged) for a in sketched_answers]
+
+        count = len(requests)
+        amortised = register_seconds + sketched_seconds
+        return [
+            ["cold-no-sketch", count, plain_seconds,
+             count / plain_seconds, 1.0],
+            ["cold-sketch", count, sketched_seconds,
+             count / sketched_seconds, plain_seconds / sketched_seconds],
+            ["cold-sketch+registration", count, amortised,
+             count / amortised, plain_seconds / amortised],
+        ]
+
+    rows = run_once(run)
+    headers = ["mode", "queries", "seconds", "queries/sec", "speedup vs no-sketch"]
+    reporter(
+        "SERVICE_COLD",
+        render_experiment_header(
+            "SERVICE_COLD",
+            "Cold-path QPS at n=100k: registration-time sketches vs per-query sorts",
+        )
+        + "\n"
+        + format_table(headers, rows),
+        headers=headers,
+        rows=rows,
+    )
+
+    # Acceptance floor for the sketch refactor (in practice ~20x on this mix).
+    speedup = rows[1][4]
+    assert speedup >= COLD_SPEEDUP_FLOOR, (
+        f"sketch-backed cold path ({rows[1][3]:.1f} q/s) should be >= "
+        f"{COLD_SPEEDUP_FLOOR:.0f}x the no-sketch path ({rows[0][3]:.1f} q/s); "
+        f"got {speedup:.1f}x"
     )
 
 

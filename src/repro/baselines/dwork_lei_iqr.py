@@ -31,6 +31,7 @@ import numpy as np
 from repro._rng import RngLike, resolve_rng
 from repro.accounting import validate_epsilon
 from repro.baselines.base import BaselineEstimator
+from repro.dataview import DatasetView
 from repro.exceptions import InsufficientDataError, MechanismError, PrivacyParameterError
 
 __all__ = ["DworkLeiIQR"]
@@ -58,7 +59,13 @@ class DworkLeiIQR(BaselineEstimator):
         return float(sorted_data[high_rank] - sorted_data[low_rank])
 
     def _distance_to_instability(self, sorted_data: np.ndarray, scale: float) -> int:
-        """Smallest t such that moving the quartile ranks by t changes the dyadic scale."""
+        """Smallest t such that moving the quartile ranks by t changes the dyadic scale.
+
+        Reference implementation: an explicit scan over the shift ``t``.
+        Plain-array callers take this path so the pre-refactor execution is
+        preserved exactly; the sketch path uses the vectorised equivalent
+        below (same comparisons, same result — pinned by tests).
+        """
         n = sorted_data.size
         for t in range(1, n // 4):
             widened = self._empirical_iqr(sorted_data, shift_low=-t, shift_high=t)
@@ -67,10 +74,47 @@ class DworkLeiIQR(BaselineEstimator):
                 return t - 1
         return n // 4
 
+    def _distance_to_instability_vectorised(
+        self, sorted_data: np.ndarray, scale: float
+    ) -> int:
+        """Vectorised twin of :meth:`_distance_to_instability`.
+
+        Evaluates every shift's widened/narrowed IQR in one indexed pass and
+        returns the first hit; the comparisons (including the literal
+        ``0.5 * scale * 0.5`` expression) are identical float operations, so
+        the result matches the scan bit-for-bit.
+        """
+        n = sorted_data.size
+        shifts = np.arange(1, n // 4)
+        if shifts.size == 0:
+            return n // 4
+        low_base = n // 4 - 1
+        high_base = (3 * n) // 4 - 1
+        widened = (
+            sorted_data[np.clip(high_base + shifts, 0, n - 1)]
+            - sorted_data[np.clip(low_base - shifts, 0, n - 1)]
+        )
+        narrowed = (
+            sorted_data[np.clip(high_base - shifts, 0, n - 1)]
+            - sorted_data[np.clip(low_base + shifts, 0, n - 1)]
+        )
+        hits = (widened > 2.0 * scale) | (narrowed <= 0.5 * scale * 0.5)
+        first = int(np.argmax(hits))
+        if not hits[first]:
+            return n // 4
+        return int(shifts[first]) - 1
+
     def estimate(self, values: Sequence[float], epsilon: float, rng: RngLike = None) -> float:
         """Release the IQR or raise :class:`MechanismError` if the PTR test fails."""
         epsilon = validate_epsilon(epsilon)
-        data = np.sort(np.asarray(values, dtype=float))
+        # Sketch fast path: a DatasetView's ``sorted`` sketch replaces the
+        # per-call full sort, and the instability scan runs vectorised.
+        # Plain arrays keep the exact legacy execution.
+        view = values if isinstance(values, DatasetView) else None
+        if view is not None:
+            data = view.sorted_values
+        else:
+            data = np.sort(np.asarray(values, dtype=float))
         if data.size < 8:
             raise InsufficientDataError("need at least 8 samples")
         generator = resolve_rng(rng)
@@ -81,7 +125,10 @@ class DworkLeiIQR(BaselineEstimator):
             raise MechanismError("empirical IQR is zero; PTR cannot certify stability")
         scale = 2.0 ** math.ceil(math.log2(sample_iqr))
 
-        distance = self._distance_to_instability(data, scale)
+        if view is not None:
+            distance = self._distance_to_instability_vectorised(data, scale)
+        else:
+            distance = self._distance_to_instability(data, scale)
         noisy_distance = distance + generator.laplace(scale=1.0 / (epsilon / 2.0))
         if noisy_distance < math.log(1.0 / self.delta) / (epsilon / 2.0):
             raise MechanismError(

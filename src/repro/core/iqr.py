@@ -18,6 +18,7 @@ import numpy as np
 from repro._rng import RngLike, resolve_rng
 from repro.accounting import PrivacyLedger, validate_beta, validate_epsilon
 from repro.core.iqr_lower_bound import IQRLowerBoundResult, estimate_iqr_lower_bound
+from repro.dataview import DatasetView
 from repro.empirical.quantile import EmpiricalQuantileResult, estimate_empirical_quantile
 from repro.exceptions import InsufficientDataError
 
@@ -80,6 +81,11 @@ def estimate_iqr(
     generator = resolve_rng(rng)
     n = data.size
 
+    # A DatasetView threads through to the quantile releases so their sort /
+    # grid work comes off the shared sketches; the lower-bound search keeps
+    # the raw array (its permutation subsampling is per-query by design).
+    view = values if isinstance(values, DatasetView) else None
+
     if bucket_size is None:
         iqr_lb = estimate_iqr_lower_bound(
             data,
@@ -104,7 +110,7 @@ def estimate_iqr(
     tau_high = min(n, (3 * n) // 4)
 
     lower = estimate_empirical_quantile(
-        data,
+        view if view is not None else data,
         tau_low,
         epsilon / 3.0,
         beta / 6.0,
@@ -114,7 +120,7 @@ def estimate_iqr(
         label=f"{label}.lower_quartile",
     )
     upper = estimate_empirical_quantile(
-        data,
+        view if view is not None else data,
         tau_high,
         epsilon / 3.0,
         beta / 6.0,
@@ -124,7 +130,7 @@ def estimate_iqr(
         label=f"{label}.upper_quartile",
     )
 
-    sorted_data = np.sort(data)
+    sorted_data = view.sorted_values if view is not None else np.sort(data)
     sample_iqr = float(sorted_data[tau_high - 1] - sorted_data[tau_low - 1])
 
     return IQRResult(

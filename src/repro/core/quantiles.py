@@ -22,6 +22,7 @@ import numpy as np
 from repro._rng import RngLike, resolve_rng
 from repro.accounting import PrivacyLedger, validate_beta, validate_epsilon
 from repro.core.iqr_lower_bound import IQRLowerBoundResult, estimate_iqr_lower_bound
+from repro.dataview import DatasetView
 from repro.empirical.quantile import EmpiricalQuantileResult, estimate_empirical_quantile
 from repro.exceptions import DomainError, InsufficientDataError
 
@@ -107,6 +108,10 @@ def estimate_quantiles(
     generator = resolve_rng(rng)
     n = data.size
 
+    # Thread a DatasetView through to the per-level releases (sketch reuse);
+    # the lower-bound search keeps the raw array (per-query permutation).
+    view = values if isinstance(values, DatasetView) else None
+
     if bucket_size is None:
         iqr_lb = estimate_iqr_lower_bound(
             data,
@@ -137,7 +142,7 @@ def estimate_quantiles(
         tau = int(min(max(round(q * n), 1), n))
         results.append(
             estimate_empirical_quantile(
-                data,
+                view if view is not None else data,
                 tau,
                 epsilon_each,
                 beta_each,

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro._rng import RngLike, resolve_rng
 from repro.accounting import PrivacyLedger, validate_beta, validate_epsilon
+from repro.dataview import DatasetView
 from repro.domain import Grid
 from repro.empirical.range_finder import RangeResult, estimate_range
 from repro.exceptions import DomainError, InsufficientDataError
@@ -101,9 +102,15 @@ def estimate_empirical_quantile(
 
     grid = Grid(bucket_size)
 
+    # Sketch fast path: a DatasetView's ``sorted`` sketch replaces every full
+    # sort below — grid snapping and clipping are monotone, so the snapped /
+    # clipped sketch is the sorted version of what the plain path computes
+    # and all mechanism inputs are bit-for-bit identical.
+    view = values if isinstance(values, DatasetView) else None
+
     # 4/5 of the budget finds the range, 1/5 pays for the quantile release.
     range_result = estimate_range(
-        data,
+        values if view is not None else data,
         4.0 * epsilon / 5.0,
         beta / 2.0,
         generator,
@@ -112,7 +119,10 @@ def estimate_empirical_quantile(
         label=f"{label}.range",
     )
 
-    grid_values = grid.to_grid(data).astype(float)
+    if view is not None:
+        grid_values = grid.to_grid(view.sorted_values).astype(float)
+    else:
+        grid_values = grid.to_grid(data).astype(float)
     clipped = np.clip(grid_values, range_result.grid_low, range_result.grid_high)
     grid_estimate = finite_domain_quantile(
         clipped,
@@ -124,10 +134,11 @@ def estimate_empirical_quantile(
         generator,
         ledger=ledger,
         label=f"{label}.quantile",
+        assume_sorted=view is not None,
     )
     estimate = grid.from_grid_scalar(grid_estimate)
 
-    sorted_data = np.sort(data)
+    sorted_data = view.sorted_values if view is not None else np.sort(data)
     return EmpiricalQuantileResult(
         value=float(estimate),
         tau=tau,

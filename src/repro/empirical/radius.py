@@ -21,6 +21,7 @@ import numpy as np
 
 from repro._rng import RngLike, resolve_rng
 from repro.accounting import PrivacyLedger, validate_beta, validate_epsilon
+from repro.dataview import DatasetView
 from repro.domain import Grid
 from repro.exceptions import InsufficientDataError
 from repro.mechanisms.sparse_vector import DEFAULT_MAX_QUERIES, sparse_vector
@@ -88,6 +89,7 @@ def estimate_radius(
     ledger: Optional[PrivacyLedger] = None,
     max_queries: int = DEFAULT_MAX_QUERIES,
     label: str = "radius",
+    sorted_abs: Optional[np.ndarray] = None,
 ) -> RadiusResult:
     """Privately estimate ``rad(D)`` over the (discretized) unbounded domain.
 
@@ -95,12 +97,21 @@ def estimate_radius(
     ----------
     values:
         The dataset ``D`` (integers, or reals when ``bucket_size`` is set).
+        A :class:`~repro.dataview.DatasetView` carrying the ``sorted_abs``
+        sketch skips the per-call grid conversion and sort: ``|rint(x/b)| ==
+        rint(|x|/b)`` and rounding is monotone, so snapping the sketch yields
+        exactly the sorted absolute grid values the plain path computes.
     epsilon, beta:
         Privacy budget and failure probability for this call.
     bucket_size:
         Discretization bucket ``b``; use 1.0 for integer data.
     ledger:
         Optional ledger that records a spend of ``epsilon``.
+    sorted_abs:
+        Precomputed ``np.sort(np.abs(grid.to_grid(values)).astype(float))``
+        — callers that already hold the sorted absolute *grid* values (e.g.
+        derived from a dataset sketch) pass it here to skip both the grid
+        conversion and the sort.  Results are bit-for-bit identical.
 
     Returns
     -------
@@ -117,8 +128,14 @@ def estimate_radius(
     generator = resolve_rng(rng)
 
     grid = Grid(bucket_size)
-    grid_values = grid.to_grid(data)
-    abs_sorted = np.sort(np.abs(grid_values).astype(float))
+    if sorted_abs is None and isinstance(values, DatasetView):
+        sorted_abs = grid.to_grid(values.sorted_abs).astype(float)
+    if sorted_abs is not None:
+        grid_values = None
+        abs_sorted = np.asarray(sorted_abs, dtype=float)
+    else:
+        grid_values = grid.to_grid(data)
+        abs_sorted = np.sort(np.abs(grid_values).astype(float))
     n = data.size
 
     threshold = n - (6.0 / epsilon) * math.log(2.0 / beta)
@@ -138,7 +155,12 @@ def estimate_radius(
         grid_radius = 2 ** (result.index - 2)
     radius = grid.from_grid_scalar(grid_radius)
 
-    covered = int(np.count_nonzero(np.abs(grid_values) <= grid_radius))
+    if grid_values is None:
+        # Count of |x| <= r over the sorted absolute values; identical to the
+        # count_nonzero below on the same multiset.
+        covered = int(np.searchsorted(abs_sorted, float(grid_radius), side="right"))
+    else:
+        covered = int(np.count_nonzero(np.abs(grid_values) <= grid_radius))
     return RadiusResult(
         radius=radius,
         grid_radius=int(grid_radius),

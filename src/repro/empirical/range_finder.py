@@ -24,6 +24,7 @@ import numpy as np
 
 from repro._rng import RngLike, resolve_rng
 from repro.accounting import PrivacyLedger, validate_beta, validate_epsilon
+from repro.dataview import DatasetView
 from repro.domain import Grid
 from repro.empirical.radius import RadiusResult, estimate_radius
 from repro.exceptions import InsufficientDataError
@@ -31,6 +32,22 @@ from repro.mechanisms.exponential import finite_domain_quantile
 from repro.mechanisms.sparse_vector import DEFAULT_MAX_QUERIES
 
 __all__ = ["RangeResult", "estimate_range"]
+
+
+def _merge_sorted(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Merge two ascending arrays into one (equal to ``np.sort(concat)``).
+
+    Scatter positions come from cross-``searchsorted``: every element of
+    ``a`` lands before the equal elements of ``b`` and vice versa, which is a
+    bijection onto the output slots.  For float arrays of exact values (ties
+    are bit-identical) the result is bitwise equal to sorting the
+    concatenation, at the cost of two binary-search passes instead of a full
+    sort.
+    """
+    out = np.empty(a.size + b.size, dtype=np.result_type(a, b))
+    out[np.searchsorted(b, a, side="left") + np.arange(a.size)] = a
+    out[np.searchsorted(a, b, side="right") + np.arange(b.size)] = b
+    return out
 
 
 @dataclass(frozen=True)
@@ -104,12 +121,26 @@ def estimate_range(
     generator = resolve_rng(rng)
 
     grid = Grid(bucket_size)
-    grid_values = grid.to_grid(data).astype(float)
     n = data.size
+
+    # Sketch fast path: with a DatasetView carrying the ``sorted`` and
+    # ``sorted_abs`` sketches, every representation below is derived from the
+    # sketches by monotone transforms (grid snapping, clipping, shifting) —
+    # identical multisets, already in sorted order — so the per-call full
+    # sorts and grid conversions of the plain path disappear while every
+    # mechanism sees bit-for-bit identical inputs.
+    view = values if isinstance(values, DatasetView) else None
+    if view is not None:
+        grid_sorted = grid.to_grid(view.sorted_values).astype(float)
+        abs_grid_sorted = grid.to_grid(view.sorted_abs).astype(float)
+        grid_values = None
+    else:
+        grid_sorted = abs_grid_sorted = None
+        grid_values = grid.to_grid(data).astype(float)
 
     # Step 1: private radius of the raw (discretized) data, eps/8 of the budget.
     radius_first = estimate_radius(
-        grid_values,
+        grid_sorted if grid_values is None else grid_values,
         epsilon / 8.0,
         beta / 3.0,
         generator,
@@ -117,11 +148,13 @@ def estimate_range(
         ledger=ledger,
         max_queries=max_queries,
         label=f"{label}.radius_first",
+        sorted_abs=abs_grid_sorted,
     )
     rad1 = radius_first.grid_radius
 
     # Step 2: private median over the finite domain Z ∩ [-rad1, rad1], eps/8.
-    clipped = np.clip(grid_values, -rad1, rad1)
+    # Clipping is monotone, so the clipped sketch stays sorted.
+    clipped = np.clip(grid_sorted if grid_values is None else grid_values, -rad1, rad1)
     median_rank = max(1, n // 2)
     grid_center = finite_domain_quantile(
         clipped,
@@ -133,10 +166,22 @@ def estimate_range(
         generator,
         ledger=ledger,
         label=f"{label}.median",
+        assume_sorted=grid_values is None,
     )
 
     # Step 3: re-centre and estimate the radius again, 3 eps/4 of the budget.
-    recentred = grid_values - grid_center
+    if grid_values is None:
+        # Shifting preserves order; the sorted absolute values of the
+        # recentred data are the merge of the negated negative part
+        # (reversed) with the non-negative part.
+        recentred = grid_sorted - grid_center
+        negatives = int(np.searchsorted(recentred, 0.0, side="left"))
+        recentred_abs = _merge_sorted(
+            -recentred[:negatives][::-1], recentred[negatives:]
+        )
+    else:
+        recentred = grid_values - grid_center
+        recentred_abs = None
     radius_recentred = estimate_radius(
         recentred,
         3.0 * epsilon / 4.0,
@@ -146,6 +191,7 @@ def estimate_range(
         ledger=ledger,
         max_queries=max_queries,
         label=f"{label}.radius_recentred",
+        sorted_abs=recentred_abs,
     )
     rad2 = radius_recentred.grid_radius
 
@@ -154,7 +200,14 @@ def estimate_range(
     low = grid.from_grid_scalar(grid_low)
     high = grid.from_grid_scalar(grid_high)
 
-    inside = int(np.count_nonzero((data >= low) & (data <= high)))
+    if view is not None:
+        sorted_data = view.sorted_values
+        inside = int(
+            np.searchsorted(sorted_data, high, side="right")
+            - np.searchsorted(sorted_data, low, side="left")
+        )
+    else:
+        inside = int(np.count_nonzero((data >= low) & (data <= high)))
     return RangeResult(
         low=low,
         high=high,

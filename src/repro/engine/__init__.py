@@ -31,7 +31,13 @@ E1–E16 benchmark drivers.
 from repro.engine.core import BatchResult, TrialFailure, TrialFn, execute_span, run_batch
 from repro.engine.grid import CellFailure, GridCell, GridResult, run_grid
 from repro.engine.pool import EnginePool
-from repro.engine.shm import SharedArray, as_shared, unlink_all
+from repro.engine.shm import (
+    SharedArray,
+    as_shared,
+    share_view,
+    unlink_all,
+    view_segments,
+)
 
 __all__ = [
     "BatchResult",
@@ -46,5 +52,7 @@ __all__ = [
     "EnginePool",
     "SharedArray",
     "as_shared",
+    "share_view",
     "unlink_all",
+    "view_segments",
 ]

@@ -24,6 +24,16 @@ Protocol
 ``SharedArray`` implements ``__array__``, ``__len__`` and ``__getitem__`` so
 it can be handed directly to the estimators (which call ``np.asarray`` on
 their input) without copying.
+
+Sketch hand-off
+---------------
+:func:`share_view` re-homes a :class:`~repro.dataview.DatasetView` — the raw
+data *and* every materialised sketch — into shared segments.  A view pickles
+its sketches along with its base, so once shared, fanning a sketch-backed
+dataset out across an :class:`~repro.engine.EnginePool` ships only segment
+names: workers attach to the registration-time sketches instead of
+re-sorting the data per process.  :func:`view_segments` enumerates the
+segments a view holds so the owner can :func:`unlink_all` of them.
 """
 
 from __future__ import annotations
@@ -34,7 +44,7 @@ from typing import Dict, Iterable, Tuple
 
 import numpy as np
 
-__all__ = ["SharedArray", "as_shared", "unlink_all"]
+__all__ = ["SharedArray", "as_shared", "share_view", "unlink_all", "view_segments"]
 
 #: Process-local cache of attached segments, so repeated unpickling of the
 #: same dataset in one worker maps the segment once and keeps it alive.
@@ -187,3 +197,30 @@ def unlink_all(arrays: Iterable[SharedArray]) -> None:
     for array in arrays:
         if isinstance(array, SharedArray):
             array.unlink()
+
+
+def share_view(view: "DatasetView") -> "DatasetView":
+    """Re-home a :class:`~repro.dataview.DatasetView` in shared memory.
+
+    The base array and every *materialised* sketch are copied into their own
+    segments (parts already shared pass through untouched); sketches are
+    never recomputed.  The returned view pickles by segment names only, so
+    engine-pool workers map the registration-time sketches instead of
+    re-deriving them.  The caller owns the segments — release them with
+    :func:`view_segments` + :func:`unlink_all`.
+    """
+    from repro.dataview import DatasetView
+
+    return DatasetView(
+        as_shared(view.base),
+        {name: as_shared(sketch) for name, sketch in view.sketches().items()},
+    )
+
+
+def view_segments(view: "DatasetView") -> list:
+    """Every storage object a view holds (base first, then sketches).
+
+    Feed to :func:`unlink_all`, which skips any part that is not actually a
+    :class:`SharedArray`.
+    """
+    return [view.base, *view.sketches().values()]

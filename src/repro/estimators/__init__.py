@@ -31,6 +31,14 @@ Adding a new servable statistic is one decorator::
 
 and the kind is immediately queryable over HTTP, refusable by budget,
 cacheable, grid-sweepable and listed by ``repro query``/``GET /kinds``.
+
+A spec may additionally declare ``needs=("sorted", ...)`` — dataset sketches
+the runner reads off the :class:`~repro.dataview.DatasetView` it receives
+instead of recomputing per query (the registry materialises declared
+sketches once at dataset registration), and ``batchable=False`` to opt out
+of the executor's grouped same-kind execution.  Runners that ignore the
+view entirely keep working: a ``DatasetView`` is array-like, so plain-array
+code sees the raw values unchanged.
 Register custom kinds at import time (or before an engine pool's first
 parallel call): pool workers rebuild the registry by import, so a kind
 registered after the workers forked is served on the serial path but
@@ -38,6 +46,7 @@ answered ``failed`` on the pooled path (see
 :mod:`repro.estimators.registry`).
 """
 
+from repro.dataview import SKETCH_KINDS, DatasetView, as_view
 from repro.estimators.registry import (
     UnknownKindError,
     get_estimator,
@@ -58,6 +67,9 @@ import repro.estimators.baselines as _baseline_module  # noqa: E402
 from repro.estimators.baselines import baseline_kind_name, register_baseline
 
 __all__ = [
+    "DatasetView",
+    "SKETCH_KINDS",
+    "as_view",
     "EstimatorSpec",
     "ParamField",
     "ParamValidationError",

@@ -61,6 +61,7 @@ def register_baseline(
     *,
     params: Tuple[ParamField, ...] = (),
     min_records: int = 8,
+    needs: Tuple[str, ...] = (),
     description: Optional[str] = None,
     replace: bool = False,
 ) -> EstimatorSpec:
@@ -69,6 +70,9 @@ def register_baseline(
     ``params`` mirror the constructor keywords; validation constructs a
     throwaway instance so assumption errors (missing/inconsistent bounds)
     surface as :class:`ParamValidationError` *before* any budget is touched.
+    ``needs`` declares the dataset sketches the class's ``estimate`` reads
+    off a :class:`~repro.dataview.DatasetView` (e.g. ``("sorted",)`` for
+    Dwork-Lei, whose per-call sort dominated its cold cost).
     """
     if cls.privacy not in ("pure", "approx"):
         raise ParamValidationError(
@@ -103,6 +107,7 @@ def register_baseline(
         params=tuple(params),
         scalar=True,
         dimension="univariate",
+        needs=tuple(needs),
         check=check,
         description=description
         if description is not None
@@ -217,6 +222,7 @@ register_baseline(
 
 register_baseline(
     DworkLeiIQR,
+    needs=("sorted",),
     params=(
         # The upper bound is a serving policy, not a mechanism constraint:
         # the budget ledger tracks epsilon only, and per-release deltas add

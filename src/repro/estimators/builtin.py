@@ -10,6 +10,13 @@ attained when sub-sampling amplification degenerates (``eps >= 1``) in its
 paired radius probe; every other estimator never exceeds its nominal
 epsilon.  Variance needs paired halves, hence twice the base minimum record
 count.
+
+The quantile-based kinds (``iqr``, ``quantile``) declare sketch ``needs`` —
+their runners read the dataset's cached ``sorted`` / ``sorted_abs`` sketches
+through a :class:`~repro.dataview.DatasetView` instead of re-sorting per
+query.  The mean/variance kinds keep ``needs=()``: their subsampling and
+paired-halves permutations are per-query randomness that no shared sketch
+can replace without changing answers.
 """
 
 from __future__ import annotations
@@ -54,6 +61,7 @@ def _run_variance(data, generator, ledger, *, epsilon, beta):
     "iqr",
     reservation=1.0,
     min_records=8,
+    needs=("sorted", "sorted_abs"),
     description="Universal pure-DP interquartile range (Algorithm 10)",
 )
 def _run_iqr(data, generator, ledger, *, epsilon, beta):
@@ -65,6 +73,7 @@ def _run_iqr(data, generator, ledger, *, epsilon, beta):
     reservation=1.0,
     min_records=8,
     scalar=False,
+    needs=("sorted", "sorted_abs"),
     params=(
         ParamField(
             "levels",

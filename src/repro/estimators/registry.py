@@ -77,6 +77,8 @@ def register_estimator(
     params: Tuple[ParamField, ...] = (),
     scalar: bool = True,
     dimension: str = "univariate",
+    needs: Tuple[str, ...] = (),
+    batchable: bool = True,
     check: Optional[Callable[[Dict[str, Any]], None]] = None,
     description: str = "",
     extra: Optional[Mapping[str, Any]] = None,
@@ -98,6 +100,8 @@ def register_estimator(
                 params=tuple(params),
                 scalar=scalar,
                 dimension=dimension,
+                needs=tuple(needs),
+                batchable=batchable,
                 check=check,
                 description=description,
                 extra=dict(extra or {}),

@@ -27,6 +27,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Mapping, Optional, Tuple
 
+from repro.dataview import validate_needs
 from repro.exceptions import DomainError
 
 __all__ = ["ParamField", "EstimatorSpec", "ParamValidationError"]
@@ -193,6 +194,19 @@ class EstimatorSpec:
         ``True`` for a float result, ``False`` for a tuple of floats.
     dimension:
         ``"univariate"`` (1-D datasets) or ``"multivariate"`` ((n, d)).
+    needs:
+        Declarative sketch requirements (subset of
+        :data:`repro.dataview.SKETCH_KINDS`, e.g. ``("sorted",)``).  The
+        service registry materialises the union of the declared needs once
+        at dataset registration and runners receive a
+        :class:`~repro.dataview.DatasetView` carrying them; runners must
+        treat the sketch as *the* sorting site (lint rule REP007) and must
+        produce bit-for-bit identical answers on plain arrays.
+    batchable:
+        Whether the executor may group admitted same-kind queries against
+        one dataset into a single vectorized engine cell (default).  Kinds
+        whose runner keeps per-query process state can opt out; they fall
+        back to one cell per query.
     check:
         Optional cross-parameter validation hook run on the canonical
         parameter dict (e.g. ``sigma_min <= sigma_max``); raise
@@ -211,6 +225,8 @@ class EstimatorSpec:
     params: Tuple[ParamField, ...] = ()
     scalar: bool = True
     dimension: str = "univariate"
+    needs: Tuple[str, ...] = ()
+    batchable: bool = True
     check: Optional[Callable[[Dict[str, Any]], None]] = field(
         default=None, repr=False, compare=False
     )
@@ -234,6 +250,11 @@ class EstimatorSpec:
                 f"spec {self.name!r}: dimension must be 'univariate' or "
                 f"'multivariate', got {self.dimension!r}"
             )
+        object.__setattr__(
+            self,
+            "needs",
+            validate_needs(self.needs, where=f"spec {self.name!r}"),
+        )
         names = [param.name for param in self.params]
         duplicates = sorted({n for n in names if names.count(n) > 1})
         if duplicates:
@@ -328,6 +349,8 @@ class EstimatorSpec:
             "min_records": self.min_records,
             "scalar": self.scalar,
             "dimension": self.dimension,
+            "needs": list(self.needs),
+            "batchable": self.batchable,
             "description": self.description,
             "params": {param.name: param.to_json() for param in self.params},
         }

@@ -12,6 +12,7 @@ REP003    reserve→commit pairing — no leaked budget reservations
 REP004    estimator specs declare reservation/min_records/param bounds
 REP005    front-end handlers contain exceptions to error documents
 REP006    budget/cache touch-points emit (or reach) an audit event
+REP007    needs=("sorted",) runners must not re-sort their data argument
 REP000    (pseudo-rule) file does not parse
 ========  ==============================================================
 
@@ -28,7 +29,11 @@ from repro.lint.findings import Finding, PARSE_RULE_ID, SEVERITIES
 from repro.lint.rules_concurrency import LockDisciplineRule, ReserveCommitRule
 from repro.lint.rules_determinism import GlobalRngRule
 from repro.lint.rules_observability import AuditCoverageRule
-from repro.lint.rules_service import EstimatorSpecRule, FrontEndContainmentRule
+from repro.lint.rules_service import (
+    EstimatorSpecRule,
+    FrontEndContainmentRule,
+    SketchContractRule,
+)
 from repro.lint.runner import (
     DEFAULT_RULES,
     LintResult,
@@ -53,6 +58,7 @@ __all__ = [
     "ReserveCommitRule",
     "Rule",
     "SEVERITIES",
+    "SketchContractRule",
     "default_rules",
     "lint_paths",
     "parse_suppressions",

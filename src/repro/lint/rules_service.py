@@ -1,4 +1,4 @@
-"""REP004 / REP005 — estimator-spec conformance and front-end containment.
+"""REP004 / REP005 / REP007 — estimator-spec and front-end conformance.
 
 **REP004** makes the budget-relevant parts of an estimator spec explicit at
 the registration site.  ``EstimatorSpec`` has defaults (``reservation=1.0``,
@@ -19,6 +19,14 @@ its body in a broad ``except`` that maps the failure to a structured error
 document.  An uncaught exception in a handler thread kills the connection
 with a raw traceback — and in the threaded server, leaks the failure mode to
 the client instead of the audit log.
+
+**REP007** enforces the sketch contract: a runner registered with
+``needs=("sorted", ...)`` promised the service it reads the dataset's cached
+sorted sketch, so the registry pays for that sort exactly once at
+registration time.  A ``np.sort(data)`` (or in-place ``data.sort()``) on the
+runner's data argument silently re-pays the n·log n per query — the
+declaration and the body disagree, and the cold-path speedup the
+declaration bought is lost.
 """
 
 from __future__ import annotations
@@ -29,7 +37,7 @@ from typing import Iterator, Optional, Tuple
 from repro.lint.base import ModuleContext, Rule, dotted_name
 from repro.lint.findings import Finding
 
-__all__ = ["EstimatorSpecRule", "FrontEndContainmentRule"]
+__all__ = ["EstimatorSpecRule", "FrontEndContainmentRule", "SketchContractRule"]
 
 _FunctionNode = (ast.FunctionDef, ast.AsyncFunctionDef)
 
@@ -111,6 +119,91 @@ class EstimatorSpecRule(Rule):
             if kw.arg == name and isinstance(kw.value, ast.Constant):
                 return kw.value.value
         return None
+
+
+class SketchContractRule(Rule):
+    rule_id = "REP007"
+    description = (
+        "runners declaring needs=('sorted', ...) must read the cached "
+        "sketch instead of re-sorting their data argument"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, _FunctionNode):
+                continue
+            if not self._declares_sorted(node):
+                continue
+            param = self._data_param(node)
+            if param is not None:
+                yield from self._check_body(module, node, param)
+
+    @staticmethod
+    def _declares_sorted(function: ast.AST) -> bool:
+        """``@register_estimator(..., needs=(...'sorted'...))`` on this def?"""
+        for decorator in function.decorator_list:
+            if not isinstance(decorator, ast.Call):
+                continue
+            name = dotted_name(decorator.func)
+            if name is None or name.rsplit(".", 1)[-1] != "register_estimator":
+                continue
+            for kw in decorator.keywords:
+                if kw.arg != "needs" or not isinstance(
+                    kw.value, (ast.Tuple, ast.List)
+                ):
+                    continue
+                for element in kw.value.elts:
+                    if (
+                        isinstance(element, ast.Constant)
+                        and element.value == "sorted"
+                    ):
+                        return True
+        return False
+
+    @staticmethod
+    def _data_param(function: ast.AST) -> Optional[str]:
+        """The runner's data argument: its first positional parameter."""
+        args = function.args
+        ordered = list(args.posonlyargs) + list(args.args)
+        return ordered[0].arg if ordered else None
+
+    def _check_body(
+        self, module: ModuleContext, function: ast.AST, param: str
+    ) -> Iterator[Finding]:
+        for node in ast.walk(function):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None or not name.endswith(".sort"):
+                continue
+            prefix = name[: -len(".sort")]
+            if prefix in ("np", "numpy"):
+                operands = list(node.args) + [kw.value for kw in node.keywords]
+                if any(self._references(operand, param) for operand in operands):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"runner declares needs=('sorted', ...) but re-sorts "
+                        f"its data argument '{param}' with {name}(); read the "
+                        "DatasetView's cached sketch (.sorted_values) the "
+                        "declaration already paid for",
+                    )
+            elif prefix == param or prefix.startswith(param + "."):
+                yield self.finding(
+                    module,
+                    node,
+                    f"runner declares needs=('sorted', ...) but calls "
+                    f"{name}() on its data argument; datasets are immutable "
+                    "inputs — read the DatasetView's cached sketch "
+                    "(.sorted_values) instead",
+                )
+
+    @staticmethod
+    def _references(expr: ast.AST, param: str) -> bool:
+        return any(
+            isinstance(node, ast.Name) and node.id == param
+            for node in ast.walk(expr)
+        )
 
 
 class FrontEndContainmentRule(Rule):

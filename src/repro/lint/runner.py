@@ -25,7 +25,11 @@ from repro.lint.findings import Finding, PARSE_RULE_ID
 from repro.lint.rules_concurrency import LockDisciplineRule, ReserveCommitRule
 from repro.lint.rules_determinism import GlobalRngRule
 from repro.lint.rules_observability import AuditCoverageRule
-from repro.lint.rules_service import EstimatorSpecRule, FrontEndContainmentRule
+from repro.lint.rules_service import (
+    EstimatorSpecRule,
+    FrontEndContainmentRule,
+    SketchContractRule,
+)
 
 __all__ = [
     "DEFAULT_RULES",
@@ -40,7 +44,7 @@ REPORT_VERSION = 1
 
 
 def default_rules() -> List[Rule]:
-    """Fresh instances of the full ruleset, REP001..REP006."""
+    """Fresh instances of the full ruleset, REP001..REP007."""
     return [
         GlobalRngRule(),
         LockDisciplineRule(),
@@ -48,6 +52,7 @@ def default_rules() -> List[Rule]:
         EstimatorSpecRule(),
         FrontEndContainmentRule(),
         AuditCoverageRule(),
+        SketchContractRule(),
     ]
 
 

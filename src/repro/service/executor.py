@@ -16,10 +16,14 @@ Request life cycle
    atomically reserves the query's worst-case spend; refusal is a structured
    ``refused`` answer with the ledger untouched.
 4. **Execute** — admitted queries of one :meth:`QueryService.submit_many`
-   batch become one-trial :class:`~repro.engine.GridCell`\\ s fanned out over
-   the shared :class:`~repro.engine.EnginePool` (serial in-process when no
-   pool is configured).  Registered-with-``share=True`` datasets cross to the
-   workers as :class:`~repro.engine.SharedArray` segment names, not copies.
+   batch become :class:`~repro.engine.GridCell`\\ s fanned out over the
+   shared :class:`~repro.engine.EnginePool` (serial in-process when no pool
+   is configured).  Same-kind queries on one dataset are grouped into a
+   single vectorized cell when the kind's spec is ``batchable`` (per-query
+   cells otherwise), so a sketch-backed dataset serves its cached sketches
+   to the whole group in one pass.  Registered-with-``share=True`` datasets
+   — sketches included — cross to the workers as
+   :class:`~repro.engine.SharedArray` segment names, not copies.
 5. **Commit** — the epsilon the estimator's own ledger actually recorded is
    committed against the budget (reservations are exact upper bounds), and
    successful answers enter the cache.
@@ -198,6 +202,62 @@ class _QueryTrial:
         return ("ok", value, ledger.total_epsilon, None)
 
 
+class _QueryGroupTrial:
+    """Engine trial body for a group of same-kind queries on one dataset.
+
+    ``submit_many`` groups admitted queries that share ``(dataset, kind)`` —
+    when the kind's spec is ``batchable`` — into one grid cell: the spec is
+    resolved once and every member runs against the same dataset object in
+    one pass, so a sketch-backed dataset crosses the pipe (or the serial
+    path) once per group and its cached sketches serve the whole group.
+    Kinds registered with ``batchable=False`` keep per-query cells.
+
+    Determinism is preserved exactly: each member's generator is derived
+    from its own ``(service seed, canonical key)`` base seed precisely the
+    way the engine seeds a singleton one-trial cell —
+    ``default_rng(int(spawn_seeds(base_seed, 1)[0]))`` — so every answer is
+    bit-for-bit identical to what per-query cells produce, under any
+    grouping layout and any worker count.
+    """
+
+    def __init__(self, data: Any, kind: str, members: List[Tuple[Query, int]]):
+        self.data = data
+        self.kind = kind
+        self.members = members  # [(query, base seed), ...] in admission order
+
+    def __call__(self, index: int, generator: np.random.Generator):
+        from repro.estimators import UnknownKindError, get_estimator
+
+        try:
+            spec = get_estimator(self.kind)
+        except UnknownKindError as exc:
+            message = (
+                f"{exc} in this worker process: kinds registered after the "
+                "engine pool forked are invisible to its workers — register "
+                "custom kinds at import time or before the pool's first "
+                "parallel call"
+            )
+            return [("failed", None, 0.0, message) for _ in self.members]
+        outcomes = []
+        for query, base_seed in self.members:
+            ledger = PrivacyLedger()
+            member_rng = np.random.default_rng(int(spawn_seeds(base_seed, 1)[0]))
+            try:
+                value = spec.run(
+                    self.data,
+                    member_rng,
+                    ledger,
+                    epsilon=query.epsilon,
+                    beta=query.beta,
+                    **query.params_dict,
+                )
+            except ReproError as exc:
+                outcomes.append(("failed", None, ledger.total_epsilon, str(exc)))
+            else:
+                outcomes.append(("ok", value, ledger.total_epsilon, None))
+        return outcomes
+
+
 class _InFlight:
     """Rendezvous for threads coalescing on one canonical key."""
 
@@ -361,6 +421,10 @@ class QueryService:
         Intra-batch duplicates are computed once and shared, and both the
         single and batch paths coalesce with identical queries already in
         flight on other threads; answers come back in submission order.
+        Admitted same-kind queries on one dataset execute as one grouped
+        cell (unless the kind opts out via ``batchable=False``) with
+        per-query generators still derived from ``(seed, canonical key)`` —
+        grouping never changes an answer.
         """
         return self._submit_batch(list(requests), trace=trace)
 
@@ -740,16 +804,57 @@ class QueryService:
         *,
         trace: Optional[Trace] = None,
     ) -> None:
-        """Run every admitted query through the engine, then commit spends."""
-        cells = [
-            GridCell(
-                trial_fn=_QueryTrial(entry.dataset.data, entry.request.query),
-                trials=1,
-                rng=self._query_seed(entry.key),
-                key=index,
-            )
-            for index, entry in enumerate(admitted)
-        ]
+        """Run every admitted query through the engine, then commit spends.
+
+        Admitted queries sharing ``(dataset, kind)`` are grouped into one
+        :class:`_QueryGroupTrial` cell when the kind is ``batchable`` (one
+        vectorized pass per group; see the class docstring for the exact
+        per-member seed derivation).  Singleton groups and opted-out kinds
+        run as classic per-query :class:`_QueryTrial` cells.
+        """
+        from repro.estimators import get_estimator
+
+        groups: Dict[Tuple[str, str], List[int]] = {}
+        for index, entry in enumerate(admitted):
+            group_key = (entry.request.dataset, entry.request.query.kind)
+            groups.setdefault(group_key, []).append(index)
+
+        cells: List[GridCell] = []
+        # admitted index -> (cell index, member index within a group or None)
+        locator: List[Tuple[int, Optional[int]]] = [(0, None)] * len(admitted)
+        for (_, kind), members in groups.items():
+            # plan_query validated every admitted kind in this process, so
+            # the spec lookup cannot fail here (worker-side registry drift is
+            # still handled inside the trial bodies).
+            if len(members) > 1 and get_estimator(kind).batchable:
+                entries = [admitted[i] for i in members]
+                cell = GridCell(
+                    trial_fn=_QueryGroupTrial(
+                        entries[0].dataset.data,
+                        kind,
+                        [
+                            (e.request.query, self._query_seed(e.key))
+                            for e in entries
+                        ],
+                    ),
+                    trials=1,
+                    rng=0,  # unused: members derive their own generators
+                    key=len(cells),
+                )
+                for member, i in enumerate(members):
+                    locator[i] = (len(cells), member)
+                cells.append(cell)
+            else:
+                for i in members:
+                    entry = admitted[i]
+                    cell = GridCell(
+                        trial_fn=_QueryTrial(entry.dataset.data, entry.request.query),
+                        trials=1,
+                        rng=self._query_seed(entry.key),
+                        key=len(cells),
+                    )
+                    locator[i] = (len(cells), None)
+                    cells.append(cell)
         # Per-cell wall-clock only when a trace wants it: the profile hook
         # observes timings without touching scheduling or results.
         profile: Optional[Dict[int, float]] = {} if trace is not None else None
@@ -757,8 +862,11 @@ class QueryService:
             with obs_span(trace, "engine", cells=len(cells)) as engine_info:
                 grid = run_grid(cells, pool=self._pool, workers=1, profile=profile)
                 if profile:
+                    # Group members share their group's wall-clock time.
                     engine_info["per_cell_ms"] = {
-                        entry.key: round(profile.get(index, 0.0) * 1000.0, 3)
+                        entry.key: round(
+                            profile.get(locator[index][0], 0.0) * 1000.0, 3
+                        )
                         for index, entry in enumerate(admitted)
                     }
         except BaseException:
@@ -778,7 +886,11 @@ class QueryService:
             raise
 
         for index, entry in enumerate(admitted):
-            status, value, spent, message = grid[index].results[0]
+            cell_index, member = locator[index]
+            outcome = grid[cell_index].results[0]
+            status, value, spent, message = (
+                outcome if member is None else outcome[member]
+            )
             with obs_span(trace, "commit", key=entry.key):
                 actual = entry.dataset.budget.commit(
                     entry.reservation, spent, label=entry.key

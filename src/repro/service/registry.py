@@ -26,6 +26,16 @@ data is copied once into a :class:`~repro.engine.SharedArray` segment, so
 fanning queries out across an :class:`~repro.engine.EnginePool` ships only
 the segment name instead of pickling the array into every worker.
 
+Registration is also where dataset **sketches** are paid for: unless
+``sketches=False``, a 1-D dataset is stored as a
+:class:`~repro.dataview.DatasetView` whose sketch cache is materialised once
+from the union of ``EstimatorSpec.needs`` over the kinds the dataset serves.
+Every cold query then reads the registration-time sorted/absolute-sorted
+copies instead of re-deriving them, and ``share=True`` puts the sketches in
+shared memory alongside the data so pool workers attach rather than
+recompute.  The memory cost is visible in ``to_json()`` (and hence
+``GET /datasets`` / ``stats()``) under ``"sketches"``.
+
 **Joint budget groups** extend the same semantics across datasets: a group
 created with :meth:`DatasetRegistry.create_group` owns one
 :class:`BudgetManager`, and every dataset registered with ``group=`` draws
@@ -43,7 +53,8 @@ from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.accounting import PrivacyLedger, validate_epsilon
-from repro.engine import SharedArray
+from repro.dataview import SKETCH_KINDS, DatasetView
+from repro.engine import SharedArray, share_view, unlink_all, view_segments
 from repro.exceptions import BudgetExceededError, DomainError, InsufficientDataError
 
 __all__ = [
@@ -319,7 +330,10 @@ class RegisteredDataset:
         Registry key (the name clients address queries to).
     data:
         The records: a 1-D array for univariate statistics or an ``(n, d)``
-        array for the multivariate estimators; possibly a
+        array for the multivariate estimators.  Usually a
+        :class:`~repro.dataview.DatasetView` carrying registration-time
+        sketches (``sketches=True``); the view's base — or ``data`` itself
+        under ``sketches=False`` — may be a
         :class:`~repro.engine.SharedArray` (``share=True`` registration).
     budget:
         The dataset's :class:`BudgetManager` — private to the dataset, or
@@ -355,8 +369,14 @@ class RegisteredDataset:
         return int(shape[1]) if len(shape) > 1 else 1
 
     @property
+    def view(self) -> Optional[DatasetView]:
+        """The dataset's :class:`DatasetView`, or ``None`` (``sketches=False``)."""
+        return self.data if isinstance(self.data, DatasetView) else None
+
+    @property
     def shared(self) -> bool:
-        return isinstance(self.data, SharedArray)
+        storage = self.data.base if isinstance(self.data, DatasetView) else self.data
+        return isinstance(storage, SharedArray)
 
     @property
     def budget_owner(self) -> str:
@@ -372,6 +392,16 @@ class RegisteredDataset:
         return f"dataset:{self.name}"
 
     def to_json(self) -> Dict[str, Any]:
+        view = self.view
+        if view is None:
+            sketches: Optional[Dict[str, Any]] = None
+        else:
+            footprint = view.sketch_footprint()
+            sketches = {
+                "names": list(footprint),
+                "nbytes": footprint,
+                "total_nbytes": view.sketch_nbytes(),
+            }
         return {
             "name": self.name,
             "records": self.records,
@@ -379,9 +409,34 @@ class RegisteredDataset:
             "shared": self.shared,
             "group": self.group,
             "kinds": None if self.kinds is None else sorted(self.kinds),
+            "sketches": sketches,
             "draining": self.draining,
             "budget": self.budget.to_json(),
         }
+
+
+def _declared_needs(kinds: Optional[Tuple[str, ...]]) -> Tuple[str, ...]:
+    """Union of ``EstimatorSpec.needs`` over the kinds a dataset serves.
+
+    ``None`` (no allowlist) unions over every registered kind.  The result
+    keeps :data:`SKETCH_KINDS` order so footprints and hand-offs are stable.
+    """
+    from repro.estimators import get_estimator, iter_estimators
+
+    if kinds is None:
+        specs = list(iter_estimators())
+    else:
+        specs = [get_estimator(kind) for kind in kinds]
+    needed = {name for spec in specs for name in spec.needs}
+    return tuple(name for name in SKETCH_KINDS if name in needed)
+
+
+def _release_storage(data: Any) -> None:
+    """Unlink whatever shared segments ``data`` holds (no-op for ndarrays)."""
+    if isinstance(data, DatasetView):
+        unlink_all(view_segments(data))
+    elif isinstance(data, SharedArray):
+        data.unlink()
 
 
 def _validated_kinds(
@@ -491,6 +546,7 @@ class DatasetRegistry:
         analyst_budgets: Optional[Mapping[str, float]] = None,
         share: bool = False,
         kinds: Optional[Sequence[str]] = None,
+        sketches: bool = True,
     ) -> RegisteredDataset:
         """Register ``data`` under ``name`` with a finite total privacy budget.
 
@@ -502,6 +558,15 @@ class DatasetRegistry:
         to an allowlist of registered estimator kinds (default: serve every
         registered kind); unknown names are rejected here so a config typo
         fails at boot, not at query time.
+
+        ``sketches=True`` (the default) stores 1-D data as a
+        :class:`~repro.dataview.DatasetView` and materialises, once, the
+        union of the sketches declared (``EstimatorSpec.needs``) by the kinds
+        this dataset serves; every cold query then reuses them, bit-for-bit
+        identically to the sketch-free path.  With ``share=True`` the
+        sketches are re-homed into shared segments alongside the data.  Pass
+        ``sketches=False`` to store the bare array (no registration-time
+        cost, per-query re-derivation — the pre-sketch behaviour).
         """
         name = str(name)
         if not name:
@@ -531,13 +596,20 @@ class DatasetRegistry:
         if not np.all(np.isfinite(array)):
             raise DomainError(f"dataset {name!r} contains non-finite values")
         stored: Any = SharedArray.from_array(array) if share else array
+        if sketches and array.ndim == 1:
+            needed = _declared_needs(allowed)
+            view = DatasetView(stored).precompute(needed)
+            if share and needed:
+                # Re-home the sketches next to the data: pool workers attach
+                # to the registration-time copies instead of re-sorting.
+                view = share_view(view)
+            stored = view
         dataset = RegisteredDataset(
             name=name, data=stored, budget=manager, group=group, kinds=allowed
         )
         with self._lock:
             if name in self._datasets:
-                if isinstance(stored, SharedArray):
-                    stored.unlink()
+                _release_storage(stored)
                 raise DomainError(f"dataset {name!r} is already registered")
             self._datasets[name] = dataset
         return dataset
@@ -583,8 +655,7 @@ class DatasetRegistry:
             dataset = self._datasets.pop(name, None)
         if dataset is None:
             raise UnknownDatasetError(f"no dataset named {name!r} is registered")
-        if isinstance(dataset.data, SharedArray):
-            dataset.data.unlink()
+        _release_storage(dataset.data)
 
     def names(self) -> List[str]:
         with self._lock:
@@ -609,8 +680,7 @@ class DatasetRegistry:
             datasets, self._datasets = list(self._datasets.values()), {}
             self._groups = {}
         for dataset in datasets:
-            if isinstance(dataset.data, SharedArray):
-                dataset.data.unlink()
+            _release_storage(dataset.data)
 
     def __enter__(self) -> "DatasetRegistry":
         return self

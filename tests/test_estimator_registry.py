@@ -10,6 +10,11 @@ Three families of checks:
   committed ledger spend, a dataset below ``min_records`` is refused before
   any spend, and answers are bit-for-bit identical for ``workers=1`` and
   ``workers=N``.
+* **Sketch-path conformance** — for every registered kind, answers are
+  bit-for-bit identical whether the dataset carries registration-time
+  sketches (``sketches=True``, the default) or is the bare pre-refactor
+  array, serially and across a 4-worker pool, and whether same-kind queries
+  execute grouped (one ``submit_many`` cell) or as singletons.
 * **Registry mechanics** — registration, duplicate rejection, unregistration
   and the unknown-kind error carrying the authoritative kind list.
 """
@@ -63,6 +68,13 @@ def spec(request) -> EstimatorSpec:
 @pytest.fixture(scope="module")
 def pool():
     with EnginePool(POOL_WORKERS) as pool:
+        yield pool
+
+
+@pytest.fixture(scope="module")
+def pool4():
+    """Wider pool for the sketch-parity sweep (the workers=4 pin)."""
+    with EnginePool(4) as pool:
         yield pool
 
 
@@ -141,6 +153,110 @@ class TestSpecConformance:
                 service.registry.close()
 
         assert answers(False) == answers(True)
+
+
+class TestSketchPathConformance:
+    """The DatasetView/sketch refactor is invisible in answers.
+
+    ``sketches=False`` registration is the exact pre-refactor execution
+    path, so equality here pins the whole sketch machinery — registration-
+    time materialisation, estimator fast paths, grouped execution, and the
+    shared-memory sketch hand-off — to bit-for-bit behavioural neutrality.
+    """
+
+    def _answers(self, spec, data, *, sketches, pool=None, share=False):
+        service = QueryService(seed=424, pool=pool)
+        service.register("d", data, 100.0, sketches=sketches, share=share)
+        requests = [
+            QueryRequest(dataset="d", query=_query_for(spec, epsilon=eps))
+            for eps in (0.3, 0.5, 0.7)
+        ]
+        try:
+            return [
+                (a.status, a.value, a.epsilon_charged, a.key, a.message)
+                for a in service.submit_many(requests)
+            ]
+        finally:
+            service.registry.close()
+
+    def test_sketch_parity_every_kind_serial_and_pooled(self, spec, pool4):
+        """sketches on == sketches off, at workers=1 and workers=4."""
+        data = _dataset_for(spec, 512)
+        legacy = self._answers(spec, data, sketches=False)
+        assert self._answers(spec, data, sketches=True) == legacy
+        assert (
+            self._answers(spec, data, sketches=True, pool=pool4, share=True)
+            == legacy
+        )
+
+    def test_declared_sketches_materialised_at_registration(self):
+        service = QueryService(seed=1)
+        dataset = service.register(
+            "d", np.random.default_rng(0).normal(size=256), 10.0
+        )
+        view = dataset.view
+        assert view is not None
+        for kind in ("iqr", "quantile", "baseline.dwork_lei_iqr"):
+            for need in get_estimator(kind).needs:
+                assert view.has(need), (kind, need)
+        np.testing.assert_array_equal(view.sorted_values, np.sort(view.raw))
+        doc = dataset.to_json()
+        assert doc["sketches"]["total_nbytes"] == view.sketch_nbytes() > 0
+        assert doc["sketches"]["names"] == list(view.sketch_footprint())
+
+    def test_grouped_matches_singleton_submission(self):
+        """submit_many groups same-kind queries; answers must not change."""
+        data = _dataset_for(get_estimator("iqr"), 512)
+        requests = [
+            QueryRequest(dataset="d", query=Query(kind=kind, epsilon=eps))
+            for kind in ("iqr", "mean", "baseline.dwork_lei_iqr")
+            for eps in (0.3, 0.5, 0.7)
+        ]
+
+        def answers(batched):
+            service = QueryService(seed=77)
+            service.register("d", data, 100.0)
+            produced = (
+                service.submit_many(requests)
+                if batched
+                else [service.submit(r) for r in requests]
+            )
+            return [(a.status, a.value, a.epsilon_charged) for a in produced]
+
+        assert answers(True) == answers(False)
+
+    def test_batchable_false_kind_runs_per_query(self):
+        """Kinds opting out of grouping still answer identically in a batch."""
+
+        @register_estimator(
+            "test.unbatchable", reservation=1.0, min_records=4, batchable=False
+        )
+        def run_unbatchable(data, generator, ledger, *, epsilon, beta):
+            ledger.charge("test.unbatchable", epsilon)
+            return float(np.mean(np.asarray(data)) + generator.normal(0.0, 1.0))
+
+        try:
+            assert not get_estimator("test.unbatchable").batchable
+            requests = [
+                QueryRequest(
+                    dataset="d", query=Query(kind="test.unbatchable", epsilon=eps)
+                )
+                for eps in (0.3, 0.5, 0.7)
+            ]
+
+            def answers(batched):
+                service = QueryService(seed=31)
+                service.register("d", np.arange(64.0), 100.0)
+                produced = (
+                    service.submit_many(requests)
+                    if batched
+                    else [service.submit(r) for r in requests]
+                )
+                return [(a.status, a.value, a.epsilon_charged) for a in produced]
+
+            assert answers(True) == answers(False)
+        finally:
+            unregister("test.unbatchable")
 
 
 class TestRegistryMechanics:

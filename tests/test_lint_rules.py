@@ -18,6 +18,7 @@ from repro.lint import (
     LockDisciplineRule,
     ModuleContext,
     ReserveCommitRule,
+    SketchContractRule,
 )
 
 
@@ -550,6 +551,105 @@ class TestAuditCoverage:
 
 
 # ---------------------------------------------------------------------------
+# REP007 — sketch contract: needs=("sorted",) runners must not re-sort
+# ---------------------------------------------------------------------------
+class TestSketchContract:
+    def test_np_sort_on_data_argument_flagged(self):
+        findings = run_rule(
+            SketchContractRule(),
+            """\
+            import numpy as np
+            from repro.estimators import register_estimator
+
+            @register_estimator("k", reservation=1.0, min_records=8,
+                                needs=("sorted",))
+            def run_k(data, generator, ledger, *, epsilon, beta):
+                ordered = np.sort(np.asarray(data, dtype=float))
+                return float(ordered[0])
+            """,
+        )
+        assert [f.rule_id for f in findings] == ["REP007"]
+        assert lines_of(findings) == [7]
+
+    def test_inplace_sort_on_data_argument_flagged(self):
+        findings = run_rule(
+            SketchContractRule(),
+            """\
+            from repro.estimators import register_estimator
+
+            @register_estimator("k", reservation=1.0, min_records=8,
+                                needs=("sorted", "sorted_abs"))
+            def run_k(data, generator, ledger, *, epsilon, beta):
+                data.sort()
+                return float(data[0])
+            """,
+        )
+        assert [f.rule_id for f in findings] == ["REP007"]
+        assert lines_of(findings) == [6]
+
+    def test_sketch_reading_runner_passes(self):
+        findings = run_rule(
+            SketchContractRule(),
+            """\
+            import numpy as np
+            from repro.estimators import register_estimator
+
+            @register_estimator("k", reservation=1.0, min_records=8,
+                                needs=("sorted",))
+            def run_k(data, generator, ledger, *, epsilon, beta):
+                ordered = data.sorted_values
+                return float(ordered[0])
+            """,
+        )
+        assert findings == []
+
+    def test_sorting_other_arrays_passes(self):
+        findings = run_rule(
+            SketchContractRule(),
+            """\
+            import numpy as np
+            from repro.estimators import register_estimator
+
+            @register_estimator("k", reservation=1.0, min_records=8,
+                                needs=("sorted",))
+            def run_k(data, generator, ledger, *, epsilon, beta):
+                noise = generator.standard_normal(8)
+                return float(np.sort(noise)[0])
+            """,
+        )
+        assert findings == []
+
+    def test_runner_without_needs_may_sort(self):
+        findings = run_rule(
+            SketchContractRule(),
+            """\
+            import numpy as np
+            from repro.estimators import register_estimator
+
+            @register_estimator("k", reservation=1.0, min_records=8)
+            def run_k(data, generator, ledger, *, epsilon, beta):
+                return float(np.sort(data)[0])
+            """,
+        )
+        assert findings == []
+
+    def test_moments_only_needs_may_sort(self):
+        findings = run_rule(
+            SketchContractRule(),
+            """\
+            import numpy as np
+            from repro.estimators import register_estimator
+
+            @register_estimator("k", reservation=1.0, min_records=8,
+                                needs=("moments",))
+            def run_k(data, generator, ledger, *, epsilon, beta):
+                return float(np.sort(data)[0])
+            """,
+        )
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
 # Injected-violation sweep: one scratch module per rule, correct id + line.
 # ---------------------------------------------------------------------------
 INJECTED = [
@@ -595,6 +695,19 @@ INJECTED = [
         AuditCoverageRule(),
         "class S:\n    def settle(self, d, r):\n        return d.budget.commit(r, 0.5)\n",
         3,
+    ),
+    (
+        "REP007",
+        SketchContractRule(),
+        (
+            "import numpy as np\n"
+            "from repro.estimators import register_estimator\n"
+            "@register_estimator('k', reservation=1.0, min_records=8,\n"
+            "                    needs=('sorted',))\n"
+            "def run_k(data, generator, ledger, *, epsilon, beta):\n"
+            "    return float(np.sort(data)[0])\n"
+        ),
+        6,
     ),
 ]
 

@@ -261,18 +261,34 @@ class TestDatasetRegistry:
         with DatasetRegistry() as registry:
             dataset = registry.register("s", np.arange(64.0), 1.0, share=True)
             assert dataset.shared
+            assert isinstance(dataset.data.base, SharedArray)
+            # Declared sketches ride the shared hand-off too.
+            for sketch in dataset.data.sketches().values():
+                assert isinstance(sketch, SharedArray)
+            np.testing.assert_array_equal(np.asarray(dataset.data), np.arange(64.0))
+
+    def test_shared_registration_without_sketches_stores_bare_segment(self):
+        with DatasetRegistry() as registry:
+            dataset = registry.register(
+                "s", np.arange(64.0), 1.0, share=True, sketches=False
+            )
+            assert dataset.shared
             assert isinstance(dataset.data, SharedArray)
             np.testing.assert_array_equal(np.asarray(dataset.data), np.arange(64.0))
 
     def test_close_unlinks_shared_segments(self):
         registry = DatasetRegistry()
         dataset = registry.register("s", np.arange(16.0), 1.0, share=True)
-        name = dataset.data.name
+        names = [dataset.data.base.name] + [
+            sketch.name for sketch in dataset.data.sketches().values()
+        ]
+        assert len(names) > 1  # base plus at least one sketch segment
         registry.close()
         from multiprocessing import shared_memory
 
-        with pytest.raises(FileNotFoundError):
-            shared_memory.SharedMemory(name=name)
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
 
     def test_unregister(self):
         with DatasetRegistry() as registry:
