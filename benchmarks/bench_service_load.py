@@ -1,0 +1,354 @@
+"""SERVICE_LOAD / CLUSTER_SCALING — open-loop load and shard scale-out.
+
+**SERVICE_LOAD** drives one threaded ``repro serve`` front-end with an
+*open-loop* workload: thousands of simulated analysts whose queries are
+drawn from a catalogue under a zipfian popularity skew (a handful of hot
+queries absorb most of the traffic — the regime the answer cache exists
+for), arrivals scheduled on a fixed clock rather than after the previous
+response (so queueing delay is *measured*, not hidden), a small slice of
+over-budget queries mixed in so the refusal path runs under load.
+Reported: achieved QPS, p50/p95/p99 latency from *scheduled arrival* to
+completion, cache-hit share, refusal rate.
+
+**CLUSTER_SCALING** boots a real 4-shard ``repro compose`` cluster
+(coordinator + shards + router as separate processes) and replays the same
+batched cache-warm workload against the router and against a single-process
+server: the cluster must sustain >= 2x the single-process cached QPS.  The
+workload is batched (``BATCH`` queries per POST over ~16 keep-alive
+connections) because a single query per round-trip measures connection
+handling, not the tier — batches amortise the router's parse/route cost and
+let the shards' four GILs work in parallel.  The >= 2x floor is asserted on
+machines with >= 4 cores (the CI cluster job); on smaller boxes the numbers
+are still reported but a scale-out floor would be fiction — four shards
+cannot beat one process on one core.
+
+Emits ``results/service_load.json`` and ``results/cluster_scaling.json``.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.bench import format_table, render_experiment_header
+from repro.service import QueryService, make_server, serve_forever
+
+SEED = 20230401
+N = 4_000
+TOTAL_BUDGET = 400.0
+
+# -- SERVICE_LOAD shape ------------------------------------------------------
+ANALYSTS = 2_000
+CATALOGUE = 48          # distinct queries analysts can ask
+ZIPF_S = 1.1            # popularity skew exponent
+REQUESTS = 1_200        # total scheduled arrivals
+CONNECTIONS = 16        # keep-alive worker connections
+OFFERED_QPS = 600.0     # open-loop arrival rate
+REFUSAL_SHARE = 24      # every k-th catalogue entry is over-budget
+
+# -- CLUSTER_SCALING shape ---------------------------------------------------
+SHARDS = 4
+BATCH = 12              # queries per POST
+BATCHES_PER_WORKER = 24
+
+
+def _dataset(seed=3):
+    return np.random.default_rng(seed).normal(120.0, 15.0, N)
+
+
+def _percentile(values, q):
+    return float(np.percentile(np.asarray(values, dtype=float), q))
+
+
+class _Worker(threading.Thread):
+    """One keep-alive connection draining its slice of the arrival schedule."""
+
+    def __init__(self, host, port, jobs, start_at, results, lock):
+        super().__init__(daemon=True)
+        self.host, self.port = host, port
+        self.jobs = jobs              # [(arrival_offset, payload), ...]
+        self.start_at = start_at
+        self.results = results
+        self.lock = lock
+
+    def run(self):
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=30)
+        local = []
+        try:
+            for offset, payload in self.jobs:
+                # open loop: wait for the scheduled arrival, never for the
+                # previous response beyond what the connection forces
+                delay = (self.start_at + offset) - time.perf_counter()
+                if delay > 0:
+                    time.sleep(delay)
+                body = json.dumps(payload).encode()
+                conn.request(
+                    "POST", "/query", body,
+                    {"Content-Type": "application/json"},
+                )
+                response = conn.getresponse()
+                document = json.loads(response.read())
+                finished = time.perf_counter()
+                local.append(
+                    (finished - (self.start_at + offset), response.status, document)
+                )
+        finally:
+            conn.close()
+        with self.lock:
+            self.results.extend(local)
+
+
+def _drive_open_loop(host, port, payloads, offered_qps, connections):
+    """Schedule ``payloads`` at ``offered_qps`` over ``connections`` workers."""
+    schedule = [
+        (index / offered_qps, payload) for index, payload in enumerate(payloads)
+    ]
+    slices = [schedule[k::connections] for k in range(connections)]
+    results, lock = [], threading.Lock()
+    start_at = time.perf_counter() + 0.25  # let every worker reach its loop
+    workers = [
+        _Worker(host, port, jobs, start_at, results, lock) for jobs in slices
+    ]
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join(timeout=120)
+    elapsed = time.perf_counter() - (start_at + schedule[0][0])
+    return results, elapsed
+
+
+def _zipf_catalogue(rng):
+    """(payload, hot_rank) pairs drawn with zipfian popularity."""
+    kinds = ("mean", "variance", "iqr", "quantile")
+    catalogue = []
+    for rank in range(CATALOGUE):
+        kind = kinds[rank % len(kinds)]
+        payload = {
+            "dataset": "d",
+            "kind": kind,
+            # over-budget slice: deterministic refusals under load
+            "epsilon": 500.0 if rank % REFUSAL_SHARE == REFUSAL_SHARE - 1
+            else round(0.05 + 0.002 * rank, 4),
+        }
+        if kind == "quantile":
+            payload["params"] = {"levels": [0.25, 0.5, 0.9]}
+        catalogue.append(payload)
+    weights = 1.0 / np.arange(1, CATALOGUE + 1) ** ZIPF_S
+    weights /= weights.sum()
+    draws = rng.choice(CATALOGUE, size=REQUESTS, p=weights)
+    payloads = []
+    for draw in draws:
+        payload = dict(catalogue[draw])
+        payload["analyst"] = f"analyst{rng.integers(ANALYSTS)}"
+        payloads.append(payload)
+    return payloads
+
+
+def test_service_load(run_once, reporter):
+    def run():
+        service = QueryService(seed=SEED)
+        service.register("d", _dataset(), TOTAL_BUDGET)
+        server = make_server(service, quiet=True)
+        serve_forever(server)
+        host, port = server.server_address[:2]
+        try:
+            rng = np.random.default_rng(SEED)
+            payloads = _zipf_catalogue(rng)
+            results, elapsed = _drive_open_loop(
+                host, port, payloads, OFFERED_QPS, CONNECTIONS
+            )
+        finally:
+            server.shutdown()
+            server.server_close()
+
+        assert len(results) == REQUESTS, "open-loop drive lost requests"
+        latencies = [latency for latency, _, _ in results]
+        refused = sum(1 for _, status, _ in results if status == 403)
+        cached = sum(
+            1 for _, status, doc in results
+            if status == 200 and doc.get("cached")
+        )
+        ok = sum(1 for _, status, _ in results if status == 200)
+        assert ok + refused == REQUESTS, "unexpected non-200/403 outcome"
+        assert refused > 0, "the over-budget slice should refuse under load"
+        row = [
+            ANALYSTS, REQUESTS, OFFERED_QPS,
+            REQUESTS / elapsed,
+            _percentile(latencies, 50) * 1e3,
+            _percentile(latencies, 95) * 1e3,
+            _percentile(latencies, 99) * 1e3,
+            cached / REQUESTS,
+            refused / REQUESTS,
+        ]
+        return [row]
+
+    rows = run_once(run)
+    headers = [
+        "analysts", "requests", "offered q/s", "achieved q/s",
+        "p50 ms", "p95 ms", "p99 ms", "cache-hit rate", "refusal rate",
+    ]
+    table = format_table(headers, rows)
+    reporter(
+        "SERVICE_LOAD",
+        render_experiment_header(
+            "SERVICE_LOAD",
+            "Open-loop zipfian analyst load against one threaded front-end",
+        )
+        + "\n"
+        + table,
+        headers=headers,
+        rows=rows,
+    )
+    # sanity floors only — absolute numbers belong to the JSON record
+    assert 0.0 < rows[0][8] < 0.5, "refusal-rate slice out of expected band"
+    assert rows[0][7] > 0.5, "zipfian skew should make most requests cache hits"
+
+
+# ---------------------------------------------------------------------------
+# CLUSTER_SCALING
+# ---------------------------------------------------------------------------
+
+
+def _write_cluster_config(directory: Path) -> Path:
+    np.save(directory / "load.npy", _dataset())
+    config = {
+        "service": {"seed": SEED, "cache_size": 512, "workers": 1},
+        "datasets": [
+            {"name": "d", "source": "load.npy", "budget": TOTAL_BUDGET},
+        ],
+        "cluster": {"shards": SHARDS},
+    }
+    path = directory / "cluster.json"
+    path.write_text(json.dumps(config, indent=2) + "\n")
+    return path
+
+
+def _batches():
+    """A cache-warm batched workload: every batch repeats the same catalogue."""
+    kinds = ("mean", "variance", "iqr", "quantile")
+    queries = []
+    for index in range(BATCH):
+        kind = kinds[index % len(kinds)]
+        entry = {
+            "dataset": "d", "kind": kind,
+            "epsilon": round(0.05 + 0.003 * index, 4),
+        }
+        if kind == "quantile":
+            entry["params"] = {"levels": [0.25, 0.5, 0.9]}
+        queries.append(entry)
+    return {"queries": queries}
+
+
+def _drive_batched(host, port, connections=16):
+    """Closed-loop batched hammer; returns (queries/sec, sample document)."""
+    payload = json.dumps(_batches()).encode()
+    sample = {}
+
+    def warm():
+        conn = http.client.HTTPConnection(host, port, timeout=30)
+        try:
+            conn.request("POST", "/query", payload,
+                         {"Content-Type": "application/json"})
+            document = json.loads(conn.getresponse().read())
+        finally:
+            conn.close()
+        return document
+
+    sample = warm()  # release once: everything after this is cache hits
+    barrier = threading.Barrier(connections + 1)
+    done = []
+    lock = threading.Lock()
+
+    def hammer():
+        conn = http.client.HTTPConnection(host, port, timeout=30)
+        try:
+            barrier.wait()
+            count = 0
+            for _ in range(BATCHES_PER_WORKER):
+                conn.request("POST", "/query", payload,
+                             {"Content-Type": "application/json"})
+                response = conn.getresponse()
+                document = json.loads(response.read())
+                assert response.status == 200
+                count += len(document["answers"])
+        finally:
+            conn.close()
+        with lock:
+            done.append(count)
+
+    workers = [threading.Thread(target=hammer, daemon=True)
+               for _ in range(connections)]
+    for worker in workers:
+        worker.start()
+    barrier.wait()
+    start = time.perf_counter()
+    for worker in workers:
+        worker.join(timeout=300)
+    elapsed = time.perf_counter() - start
+    return sum(done) / elapsed, sample
+
+
+def test_cluster_scaling(run_once, reporter, tmp_path):
+    from repro.cluster.compose import compose_up
+
+    def run():
+        # single process first: same seed, same dataset, same workload
+        service = QueryService(seed=SEED)
+        service.register("d", _dataset(), TOTAL_BUDGET)
+        server = make_server(service, quiet=True)
+        serve_forever(server)
+        try:
+            single_qps, single_sample = _drive_batched(
+                *server.server_address[:2]
+            )
+        finally:
+            server.shutdown()
+            server.server_close()
+
+        config_path = _write_cluster_config(tmp_path)
+        with compose_up(config_path, tmp_path / "deploy") as handle:
+            cluster_qps, cluster_sample = _drive_batched(
+                handle.plan.host, handle.plan.router_port
+            )
+
+        # parity before performance: the tiers must agree bit-for-bit
+        for mine, theirs in zip(
+            single_sample["answers"], cluster_sample["answers"]
+        ):
+            assert mine["value"] == theirs["value"], (mine, theirs)
+            assert mine["key"] == theirs["key"]
+
+        return [
+            ["single-process", 1, single_qps, 1.0],
+            [f"cluster ({SHARDS} shards)", SHARDS, cluster_qps,
+             cluster_qps / single_qps],
+        ]
+
+    rows = run_once(run)
+    headers = ["tier", "processes", "cached queries/sec", "speedup"]
+    table = format_table(headers, rows)
+    cores = os.cpu_count() or 1
+    reporter(
+        "CLUSTER_SCALING",
+        render_experiment_header(
+            "CLUSTER_SCALING",
+            f"Batched cache-warm QPS: router + {SHARDS} shards vs one process "
+            f"(cpu_count={cores})",
+        )
+        + "\n"
+        + table,
+        headers=headers,
+        rows=rows,
+    )
+    if cores >= 4:
+        speedup = rows[1][3]
+        assert speedup >= 2.0, (
+            f"4-shard cluster sustained only {speedup:.2f}x the "
+            "single-process cached QPS (floor: 2x)"
+        )

@@ -86,7 +86,7 @@ from repro.exceptions import (
 
 #: Kept in sync with ``pyproject.toml``; the CLI's ``--version`` prefers the
 #: installed distribution metadata and falls back to this.
-__version__ = "0.8.0"
+__version__ = "0.9.0"
 
 __all__ = [
     "__version__",

@@ -58,8 +58,9 @@ cross-checked bit-for-bit against the live ledgers with ``--url``::
 (:mod:`repro.lint`): REP001 no global-RNG calls, REP002 lock discipline,
 REP003 reserve→commit budget pairing, REP004 estimator-spec explicitness,
 REP005 front-end exception containment, REP006 audit-trail coverage of
-budget and cache touch-points.  Exit code 0 means clean, 1 means findings,
-2 means internal/usage error::
+budget and cache touch-points, REP007 sorted-input contract, REP008 cluster
+budget isolation (only the coordinator owns a BudgetManager).  Exit code 0
+means clean, 1 means findings, 2 means internal/usage error::
 
     python -m repro lint src
     python -m repro lint src --select REP002 REP003
@@ -270,6 +271,44 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="Suppress per-request access logging"
     )
 
+    compose = subparsers.add_parser(
+        "compose",
+        help="boot, inspect or tear down a sharded serving tier (router + "
+             "shard replicas + budget coordinator) from one [cluster] config",
+    )
+    compose.add_argument(
+        "--config", type=Path, default=None, metavar="FILE",
+        help="Serving config with a [cluster] section (required for "
+             "--up/--generate)",
+    )
+    compose.add_argument(
+        "--dir", type=Path, default=Path("compose"), metavar="DIR",
+        help="Compose directory: generated configs, logs and state.json "
+             "(default: ./compose)",
+    )
+    compose.add_argument(
+        "--shards", type=int, default=None,
+        help="Override the config's [cluster] shards= replica count",
+    )
+    action = compose.add_mutually_exclusive_group(required=True)
+    action.add_argument(
+        "--up", action="store_true",
+        help="Generate the deployment and boot coordinator, shards and "
+             "router; blocks until every process answers, then returns",
+    )
+    action.add_argument(
+        "--down", action="store_true",
+        help="Stop every process recorded in DIR/state.json",
+    )
+    action.add_argument(
+        "--ps", action="store_true",
+        help="Report the composed processes and their liveness",
+    )
+    action.add_argument(
+        "--generate", action="store_true",
+        help="Only write the per-shard configs and router plan into DIR",
+    )
+
     client = subparsers.add_parser(
         "query", help="send one query to a running 'repro serve' instance"
     )
@@ -372,7 +411,7 @@ def build_parser() -> argparse.ArgumentParser:
     lint = subparsers.add_parser(
         "lint",
         help="statically check sources against the repro invariants "
-             "(REP001..REP005: determinism, lock discipline, budget pairing)",
+             "(REP001..REP008: determinism, lock discipline, budget pairing)",
     )
     lint.add_argument(
         "paths", nargs="*", metavar="PATH",
@@ -715,6 +754,49 @@ def _run_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_compose(args: argparse.Namespace) -> int:
+    """``repro compose --up/--down/--ps/--generate`` (the sharded tier)."""
+    from repro.cluster.compose import compose_down, compose_ps, compose_up, generate_plan
+
+    if args.generate or args.up:
+        if args.config is None:
+            raise DomainError("compose --up/--generate needs --config FILE")
+        if args.generate:
+            plan = generate_plan(args.config, args.dir, shards=args.shards)
+            print(f"generated {plan.shards} shard config(s) in {plan.directory}")
+            print(f"router plan: {plan.router_plan}")
+            return 0
+        handle = compose_up(args.config, args.dir, shards=args.shards)
+        print(f"cluster up: {handle.plan.shards} shard(s)")
+        print(f"router: {handle.router_url}")
+        print(
+            f"coordinator: {handle.plan.host}:{handle.plan.coordinator_port}"
+        )
+        for index in range(handle.plan.shards):
+            print(f"shard{index}: {handle.shard_url(index)}")
+        print(f"state: {handle.plan.directory / 'state.json'}")
+        return 0
+    if args.down:
+        stopped = compose_down(args.dir)
+        if stopped == 0:
+            print(f"nothing to stop: no state.json under {args.dir}")
+        else:
+            print(f"stopped {stopped} process(es)")
+        return 0
+    report = compose_ps(args.dir)
+    if not report:
+        print(f"no composed cluster under {args.dir}")
+        return 1
+    exit_code = 0
+    for entry in report:
+        status = "up" if entry["alive"] else "dead"
+        if not entry["alive"]:
+            exit_code = 1
+        address = entry["address"] or "-"
+        print(f"{entry['name']:<12} pid={entry['pid']:<8} {address:<22} {status}")
+    return exit_code
+
+
 def _parse_query_params(entries: Sequence[str]) -> dict:
     """Decode repeatable ``--param NAME=VALUE`` flags into a params object.
 
@@ -785,14 +867,17 @@ def _run_query_client(args: argparse.Namespace) -> int:
             print(f"value={value:.6g}")
         print(f"cached={'yes' if document.get('cached') else 'no'}")
     if document.get("error"):
+        error = document["error"]
         print(f"error={_error_code(document)}")
-        print(f"message={document.get('message', '')}")
+        message = (
+            error.get("message", "") if isinstance(error, dict)
+            else document.get("message", "")
+        )
+        print(f"message={message}")
     if document.get("epsilon_charged") is not None:
         print(f"epsilon_charged={document['epsilon_charged']:.6g}")
     if document.get("remaining") is not None:
         print(f"remaining={document['remaining']:.6g}")
-    for notice in document.get("deprecated", ()):
-        print(f"deprecated: {notice}", file=sys.stderr)
     return {"ok": 0, "refused": 3, "failed": 4}.get(status, 2)
 
 
@@ -957,6 +1042,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     try:
         if args.command == "serve":
             return _run_serve(args)
+        if args.command == "compose":
+            return _run_compose(args)
         if args.command == "query":
             return _run_query_client(args)
         if args.command == "admin":

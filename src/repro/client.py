@@ -155,8 +155,8 @@ class ServiceClient:
         """Submit one query; returns ``(status, answer document)``.
 
         Kind-specific parameters (quantile ``levels``, baseline bounds, ...)
-        go in ``params`` — the canonical spelling; this client never emits
-        the deprecated top-level ``levels`` field.  ``trace_id`` propagates a
+        go in ``params`` — the only spelling the wire accepts now that the
+        legacy top-level ``levels`` alias is gone.  ``trace_id`` propagates a
         caller-minted id via ``X-Repro-Trace-Id``; the server echoes the
         effective id in the answer's ``trace`` field when tracing is on.
         """

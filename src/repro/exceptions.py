@@ -17,6 +17,7 @@ __all__ = [
     "DomainError",
     "AssumptionRequiredError",
     "EngineError",
+    "CoordinatorUnavailableError",
 ]
 
 
@@ -56,6 +57,17 @@ class EngineError(ReproError, RuntimeError):
     reused, or when trial results cannot cross the process boundary.  Never
     raised for ordinary trial failures — those propagate as the trial's own
     exception or are captured as ``TrialFailure`` records.
+    """
+
+
+class CoordinatorUnavailableError(ReproError, ConnectionError):
+    """The cluster budget coordinator cannot be reached.
+
+    Raised by the coordinator RPC client when the transport fails (connection
+    refused, reset, or timed out) after its single reconnect attempt.  Shard
+    front-ends map this to a structured ``coordinator_unavailable`` answer:
+    a joint budget whose owner is unreachable must refuse to admit spend, not
+    fall back to a shard-local ledger that would silently double-count.
     """
 
 

@@ -13,6 +13,7 @@ REP004    estimator specs declare reservation/min_records/param bounds
 REP005    front-end handlers contain exceptions to error documents
 REP006    budget/cache touch-points emit (or reach) an audit event
 REP007    needs=("sorted",) runners must not re-sort their data argument
+REP008    cluster tier never constructs/mutates a BudgetManager directly
 REP000    (pseudo-rule) file does not parse
 ========  ==============================================================
 
@@ -26,6 +27,7 @@ append an instance in :func:`~repro.lint.runner.default_rules`.
 
 from repro.lint.base import ModuleContext, Rule, parse_suppressions
 from repro.lint.findings import Finding, PARSE_RULE_ID, SEVERITIES
+from repro.lint.rules_cluster import ClusterBudgetIsolationRule
 from repro.lint.rules_concurrency import LockDisciplineRule, ReserveCommitRule
 from repro.lint.rules_determinism import GlobalRngRule
 from repro.lint.rules_observability import AuditCoverageRule
@@ -46,6 +48,7 @@ from repro.lint.runner import (
 
 __all__ = [
     "AuditCoverageRule",
+    "ClusterBudgetIsolationRule",
     "DEFAULT_RULES",
     "EstimatorSpecRule",
     "Finding",

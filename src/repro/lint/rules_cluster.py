@@ -1,0 +1,94 @@
+"""REP008: the cluster tier must not own or drive budget ledgers.
+
+In a ``repro.cluster`` deployment exactly one process — the budget
+coordinator — holds the :class:`~repro.service.registry.BudgetManager` for
+every joint budget group; shards reach it through the line-delimited RPC
+and the router holds no budget at all.  A second ledger anywhere in the
+tier would silently fork the accounting: two processes could each admit
+against their own copy of "remaining" and jointly overspend the cap the
+operator configured.
+
+REP008 therefore bans, in any module under ``repro/cluster/`` except
+``coordinator.py`` (the one legitimate owner):
+
+* constructing a ``BudgetManager`` (any call whose final name segment is
+  exactly ``BudgetManager``);
+* importing ``BudgetManager`` from :mod:`repro.service.registry` or
+  :mod:`repro.service` (the import is the gateway to the constructor);
+* calling the ledger-mutating protocol methods — ``.reserve(...)``,
+  ``.commit(...)``, ``.cancel(...)``, ``.rotate_analyst_budgets(...)`` —
+  as *attribute* calls.  The RPC client's string ops
+  (``client.call("reserve", ...)``) are the sanctioned spelling: they
+  land in the coordinator, under its lock, against the one real ledger.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.base import ModuleContext, Rule, dotted_name
+from repro.lint.findings import Finding
+
+__all__ = ["ClusterBudgetIsolationRule"]
+
+#: Attribute calls that move a ledger (the BudgetManager mutation protocol).
+_MUTATORS = frozenset({"reserve", "commit", "cancel", "rotate_analyst_budgets"})
+
+#: Modules whose ``BudgetManager`` export is the real (local-ledger) class.
+_LEDGER_MODULES = frozenset({"repro.service.registry", "repro.service"})
+
+
+class ClusterBudgetIsolationRule(Rule):
+    """Only the coordinator may construct or mutate a ``BudgetManager``."""
+
+    rule_id = "REP008"
+    description = (
+        "code under repro/cluster/ (except coordinator.py) must not "
+        "construct or mutate a BudgetManager — the coordinator owns the "
+        "only ledger"
+    )
+
+    def _in_scope(self, module: ModuleContext) -> bool:
+        display = module.posix_display
+        return "repro/cluster/" in display and not display.endswith(
+            "/coordinator.py"
+        )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if not self._in_scope(module):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom):
+                if node.module in _LEDGER_MODULES:
+                    for alias in node.names:
+                        if alias.name == "BudgetManager":
+                            yield self.finding(
+                                module, node,
+                                "cluster code imports BudgetManager from "
+                                f"{node.module}: only the coordinator process "
+                                "may hold a group ledger — speak to it over "
+                                "the RPC client instead",
+                            )
+            elif isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name is not None and name.split(".")[-1] == "BudgetManager":
+                    yield self.finding(
+                        module, node,
+                        f"cluster code constructs {name}(...): a second "
+                        "ledger in the tier forks the accounting and can "
+                        "jointly overspend the cap — the coordinator owns "
+                        "the only BudgetManager",
+                    )
+                elif (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _MUTATORS
+                ):
+                    yield self.finding(
+                        module, node,
+                        f"cluster code calls .{node.func.attr}(...) — a "
+                        "ledger-mutating BudgetManager protocol method; "
+                        "route it through the coordinator RPC "
+                        f'(client.call("{node.func.attr}", ...)) so '
+                        "reserve→commit stays atomic cluster-wide",
+                    )

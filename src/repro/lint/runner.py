@@ -22,6 +22,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 from repro.exceptions import DomainError
 from repro.lint.base import ModuleContext, Rule
 from repro.lint.findings import Finding, PARSE_RULE_ID
+from repro.lint.rules_cluster import ClusterBudgetIsolationRule
 from repro.lint.rules_concurrency import LockDisciplineRule, ReserveCommitRule
 from repro.lint.rules_determinism import GlobalRngRule
 from repro.lint.rules_observability import AuditCoverageRule
@@ -44,7 +45,7 @@ REPORT_VERSION = 1
 
 
 def default_rules() -> List[Rule]:
-    """Fresh instances of the full ruleset, REP001..REP007."""
+    """Fresh instances of the full ruleset, REP001..REP008."""
     return [
         GlobalRngRule(),
         LockDisciplineRule(),
@@ -53,6 +54,7 @@ def default_rules() -> List[Rule]:
         FrontEndContainmentRule(),
         AuditCoverageRule(),
         SketchContractRule(),
+        ClusterBudgetIsolationRule(),
     ]
 
 

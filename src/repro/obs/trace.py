@@ -10,6 +10,13 @@ thread at a time (the async front-end hands the same trace from the event
 loop to the executor thread *sequentially*), so span recording itself is
 lock-free.
 
+Under the sharded tier the same id spans processes: the cluster router
+opens its own trace for ``POST /query`` and forwards the id to the owning
+shard via ``X-Repro-Trace-Id``, where the shard's front-end accepts it and
+records its admission/execution spans against it — so one trace id queried
+at ``/debug/traces/<id>`` on router and shard tells the whole cross-process
+story (routing spans here, execution spans there).
+
 Determinism: trace ids are drawn from :func:`os.urandom` — deliberately
 outside the seeded ``repro._rng`` tree — and nothing in this module ever
 feeds a seed, so answers with tracing enabled are bit-for-bit identical to

@@ -73,6 +73,7 @@ from repro.service.registry import (
     BudgetManager,
     DatasetRegistry,
     RegisteredDataset,
+    RemoteBudgetManager,
     Reservation,
     UnknownDatasetError,
 )
@@ -91,6 +92,7 @@ from repro.service.aio import (
 from repro.service.config import (
     AdminConfig,
     BuiltService,
+    ClusterConfig,
     DatasetConfig,
     GroupConfig,
     ObservabilityConfig,
@@ -124,6 +126,7 @@ __all__ = [
     "InvalidQueryError",
     "UnknownQueryKindError",
     "BudgetManager",
+    "RemoteBudgetManager",
     "Reservation",
     "DatasetRegistry",
     "RegisteredDataset",
@@ -139,6 +142,7 @@ __all__ = [
     "serve_async",
     "start_async_server",
     "BuiltService",
+    "ClusterConfig",
     "DatasetConfig",
     "GroupConfig",
     "ObservabilityConfig",

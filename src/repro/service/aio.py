@@ -483,7 +483,7 @@ class AsyncServiceServer:
                 status, document = await self._handle_batch(payload, loop, trace)
             else:
                 with obs_span(trace, "parse"):
-                    request, deprecated = wire.parse_request(payload)
+                    request = wire.parse_request(payload)
                 if trace is not None:
                     trace.annotate(
                         dataset=request.dataset,
@@ -514,8 +514,7 @@ class AsyncServiceServer:
                         trace.annotate(status=answer.status, cached=answer.cached)
                     with obs_span(trace, "serialize"):
                         document = wire.with_trace(
-                            wire.answer_document(answer, deprecated=deprecated),
-                            trace_id,
+                            wire.answer_document(answer), trace_id
                         )
                     status = wire.answer_status_code(answer)
         except (_Hangup, ConnectionError):
@@ -549,24 +548,24 @@ class AsyncServiceServer:
         docs: List[Optional[Dict[str, Any]]] = [None] * len(parsed)
         admitted = []
         with obs_span(trace, "rate_check"):
-            for index, (request, deprecated) in enumerate(parsed):
+            for index, request in enumerate(parsed):
                 decision = self._check_rate_limit(request)
                 if decision is not None:
                     docs[index] = wire.rate_limited_answer(request, decision)
                 else:
-                    admitted.append((index, deprecated))
+                    admitted.append(index)
         self._counters["executed"] += 1
         answers = await loop.run_in_executor(
             self._executor,
             partial(
                 self.service.submit_many,
-                [parsed[index][0] for index, _ in admitted],
+                [parsed[index] for index in admitted],
                 trace=trace,
             ),
         )
         with obs_span(trace, "serialize"):
-            for (index, deprecated), answer in zip(admitted, answers):
-                docs[index] = wire.answer_document(answer, deprecated=deprecated)
+            for index, answer in zip(admitted, answers):
+                docs[index] = wire.answer_document(answer)
             document = wire.with_trace(wire.answers_document(docs), trace_id)
         return 200, document
 

@@ -63,6 +63,14 @@ The TOML grammar (JSON mirrors the same structure)::
     audit_log = "audit.jsonl"  # hash-chained JSONL audit trail, relative to
                                # the config file (omit = no audit log)
 
+    [cluster]                  # optional: the sharded tier (repro compose)
+    shards = 4                 # replica count behind the router
+    router_port = 8080         # router listen port (0 = allocate free)
+    coordinator_port = 0       # budget-coordinator RPC port (0 = allocate)
+    shard_base_port = 0        # first shard port, +1 per shard (0 = allocate)
+                               # (shard_index= and coordinator= appear only in
+                               # the per-shard configs `repro compose` emits)
+
 Inline data (``values = [1.0, 2.0, ...]``) is accepted in place of
 ``source`` — handy for tests and tiny demos.
 
@@ -94,6 +102,7 @@ except ImportError:  # pragma: no cover - exercised on 3.10 only
 
 __all__ = [
     "AdminConfig",
+    "ClusterConfig",
     "DatasetConfig",
     "GroupConfig",
     "ObservabilityConfig",
@@ -101,6 +110,8 @@ __all__ = [
     "BuiltService",
     "parse_serving_config",
     "load_serving_config",
+    "load_serving_document",
+    "shard_document",
     "build_service",
 ]
 
@@ -166,6 +177,30 @@ class ObservabilityConfig:
 
 
 @dataclass(frozen=True)
+class ClusterConfig:
+    """The ``[cluster]`` section: the sharded serving tier (``repro compose``).
+
+    In the *source* config (what an operator writes), ``shards`` sizes the
+    tier and the ``*_port`` knobs pin listening ports (0 = allocate a free
+    one at compose time).  In the *generated* per-shard configs
+    (:func:`shard_document`), ``shard_index`` identifies the replica and
+    ``coordinator`` carries the budget-coordinator endpoint — its presence
+    is what makes :func:`build_service` install a
+    :class:`~repro.service.registry.RemoteBudgetManager` proxy for every
+    joint budget group instead of a shard-local ledger.  Private-budget
+    datasets never involve the coordinator: the router pins them to one
+    shard, whose local manager stays authoritative.
+    """
+
+    shards: int = 1
+    coordinator: Optional[str] = None  # "host:port"; set in generated configs
+    coordinator_port: int = 0
+    router_port: int = 0
+    shard_base_port: int = 0
+    shard_index: Optional[int] = None
+
+
+@dataclass(frozen=True)
 class ServingConfig:
     """A validated serving document, ready for :func:`build_service`."""
 
@@ -183,6 +218,7 @@ class ServingConfig:
     admin: Optional[AdminConfig] = None
     limits: Optional[RateLimits] = None
     observability: Optional[ObservabilityConfig] = None
+    cluster: Optional[ClusterConfig] = None
     base_dir: Optional[Path] = None  # resolves relative dataset sources
     source_path: Optional[Path] = None  # the file this config was loaded from
 
@@ -422,6 +458,64 @@ def _parse_observability(raw: Any) -> Optional[ObservabilityConfig]:
     )
 
 
+def _parse_port(raw: Any, where: str) -> int:
+    try:
+        port = int(raw)
+    except (TypeError, ValueError):
+        raise DomainError(f"serving config: {where} must be an integer") from None
+    _require(0 <= port <= 65535, f"{where} must be in [0, 65535], got {port}")
+    return port
+
+
+def _parse_cluster(raw: Any) -> Optional[ClusterConfig]:
+    if raw is None:
+        return None
+    _require(isinstance(raw, Mapping), "[cluster] must be a table")
+    unknown = set(raw) - {
+        "shards", "coordinator", "coordinator_port", "router_port",
+        "shard_base_port", "shard_index",
+    }
+    _require(not unknown, f"[cluster] has unknown keys: {sorted(unknown)}")
+    try:
+        shards = int(raw.get("shards", 1))
+    except (TypeError, ValueError):
+        raise DomainError(
+            "serving config: [cluster] shards must be an integer"
+        ) from None
+    _require(shards >= 1, f"[cluster] shards must be >= 1, got {shards}")
+    coordinator = raw.get("coordinator")
+    if coordinator is not None:
+        _require(
+            isinstance(coordinator, str) and ":" in coordinator,
+            "[cluster] coordinator must be a 'host:port' string",
+        )
+        _parse_port(coordinator.rpartition(":")[2], "[cluster] coordinator port")
+    shard_index = raw.get("shard_index")
+    if shard_index is not None:
+        try:
+            shard_index = int(shard_index)
+        except (TypeError, ValueError):
+            raise DomainError(
+                "serving config: [cluster] shard_index must be an integer"
+            ) from None
+        _require(
+            0 <= shard_index < shards,
+            f"[cluster] shard_index must be in [0, {shards}), got {shard_index}",
+        )
+    return ClusterConfig(
+        shards=shards,
+        coordinator=coordinator,
+        coordinator_port=_parse_port(
+            raw.get("coordinator_port", 0), "[cluster] coordinator_port"
+        ),
+        router_port=_parse_port(raw.get("router_port", 0), "[cluster] router_port"),
+        shard_base_port=_parse_port(
+            raw.get("shard_base_port", 0), "[cluster] shard_base_port"
+        ),
+        shard_index=shard_index,
+    )
+
+
 def parse_serving_config(
     document: Mapping[str, Any],
     *,
@@ -432,6 +526,7 @@ def parse_serving_config(
     _require(isinstance(document, Mapping), "top level must be a table/object")
     unknown = set(document) - {
         "service", "groups", "datasets", "admin", "limits", "observability",
+        "cluster",
     }
     _require(not unknown, f"unknown top-level keys: {sorted(unknown)}")
 
@@ -520,13 +615,19 @@ def parse_serving_config(
         admin=_parse_admin(document.get("admin")),
         limits=_parse_limits(document.get("limits")),
         observability=_parse_observability(document.get("observability")),
+        cluster=_parse_cluster(document.get("cluster")),
         base_dir=base_dir,
         source_path=source_path,
     )
 
 
-def load_serving_config(path: Any) -> ServingConfig:
-    """Read and validate a ``.toml`` or ``.json`` serving config file."""
+def load_serving_document(path: Any) -> Dict[str, Any]:
+    """Read a ``.toml`` or ``.json`` config file into its raw document.
+
+    No validation beyond decoding — :func:`load_serving_config` is the
+    validating loader.  ``repro compose`` uses the raw document as the
+    template it derives per-shard configs from (:func:`shard_document`).
+    """
     path = Path(path)
     if not path.exists():
         raise DomainError(f"serving config not found: {path}")
@@ -551,7 +652,79 @@ def load_serving_config(path: Any) -> ServingConfig:
         raise DomainError(
             f"serving config must be a .toml or .json file, got {path.name!r}"
         )
+    if not isinstance(document, dict):
+        raise DomainError(f"serving config {path}: top level must be a table/object")
+    return document
+
+
+def load_serving_config(path: Any) -> ServingConfig:
+    """Read and validate a ``.toml`` or ``.json`` serving config file."""
+    path = Path(path)
+    document = load_serving_document(path)
     return parse_serving_config(document, base_dir=path.parent, source_path=path)
+
+
+def shard_document(
+    document: Mapping[str, Any],
+    *,
+    shard_index: int,
+    shard_port: int,
+    coordinator: str,
+    base_dir: Optional[Path] = None,
+) -> Dict[str, Any]:
+    """Derive one shard replica's serving document from a cluster template.
+
+    Pure data transformation (``repro compose --generate`` writes the result
+    as JSON): the shard keeps the template's datasets, groups, limits and —
+    crucially — its ``seed``, so every replica derives identical per-query
+    randomness and the tier answers bit-for-bit like a single process.  What
+    changes per shard:
+
+    * ``service.port`` → this shard's allocated port;
+    * ``cluster.shard_index`` / ``cluster.coordinator`` → identity and the
+      budget-coordinator endpoint (which switches joint groups to
+      :class:`~repro.service.registry.RemoteBudgetManager` at boot);
+    * ``observability.audit_log`` → a per-shard file (``audit.jsonl`` →
+      ``audit.shard0.jsonl``): each hash chain has exactly one writer;
+    * relative dataset ``source`` paths → absolute (the generated file lives
+      in the compose directory, not next to the template).
+
+    Requires an explicit ``service.seed``: without one each process would
+    seed from entropy and answers would diverge across replicas.
+    """
+    import copy
+
+    shard = copy.deepcopy(dict(document))
+    service_raw = dict(shard.get("service", {}))
+    if service_raw.get("seed") is None:
+        raise DomainError(
+            "serving config: a [cluster] deployment needs an explicit "
+            "[service] seed= — replicas must share one seed to answer "
+            "identically"
+        )
+    service_raw["port"] = int(shard_port)
+    shard["service"] = service_raw
+    cluster_raw = dict(shard.get("cluster", {}))
+    cluster_raw["shard_index"] = int(shard_index)
+    cluster_raw["coordinator"] = str(coordinator)
+    shard["cluster"] = cluster_raw
+    obs_raw = shard.get("observability")
+    if isinstance(obs_raw, Mapping) and obs_raw.get("audit_log"):
+        obs_raw = dict(obs_raw)
+        audit = Path(str(obs_raw["audit_log"]))
+        obs_raw["audit_log"] = str(
+            audit.with_suffix(f".shard{shard_index}{audit.suffix}")
+        )
+        shard["observability"] = obs_raw
+    if base_dir is not None:
+        datasets_raw = shard.get("datasets")
+        if isinstance(datasets_raw, list):
+            for entry in datasets_raw:
+                if isinstance(entry, dict) and entry.get("source"):
+                    source = Path(str(entry["source"]))
+                    if not source.is_absolute():
+                        entry["source"] = str((Path(base_dir) / source).resolve())
+    return shard
 
 
 # ---------------------------------------------------------------------------
@@ -581,6 +754,7 @@ class BuiltService:
     admin: Any = None
     tracer: Any = None
     audit: Any = None
+    coordinator: Any = None  # CoordinatorClient when [cluster] names one
     _closed: bool = field(default=False, repr=False)
 
     def close(self) -> None:
@@ -590,6 +764,8 @@ class BuiltService:
         self.service.registry.close()
         if self.audit is not None:
             self.audit.close()
+        if self.coordinator is not None:
+            self.coordinator.close()
         if self.owns_pool and self.pool is not None:
             self.pool.close()
 
@@ -651,6 +827,7 @@ def build_service(config: ServingConfig, *, pool: Any = None) -> BuiltService:
     service = None
     tracer = None
     audit = None
+    coordinator = None
     try:
         if config.observability is not None:
             from repro.obs import AuditLog, TraceRecorder
@@ -672,10 +849,34 @@ def build_service(config: ServingConfig, *, pool: Any = None) -> BuiltService:
             tracer=tracer,
             audit=audit,
         )
-        for group in config.groups:
-            service.registry.create_group(
-                group.name, group.budget, analyst_budgets=group.analyst_budgets
-            )
+        if (
+            config.cluster is not None
+            and config.cluster.coordinator is not None
+            and config.groups
+        ):
+            # A shard of a cluster: joint budget groups live in the budget
+            # coordinator, so every group gets a RemoteBudgetManager proxy
+            # instead of a shard-local ledger.  The proxy's constructor
+            # issues the idempotent "create" RPC, which also verifies every
+            # replica boots the group with the same cap.
+            from repro.cluster.rpc import CoordinatorClient
+            from repro.service.registry import RemoteBudgetManager
+
+            host, _, port = config.cluster.coordinator.rpartition(":")
+            coordinator = CoordinatorClient(host or "127.0.0.1", int(port))
+            for group in config.groups:
+                manager = RemoteBudgetManager(
+                    f"group:{group.name}",
+                    coordinator,
+                    capacity=group.budget,
+                    analyst_budgets=group.analyst_budgets,
+                )
+                service.registry.create_group(group.name, group.budget, manager=manager)
+        else:
+            for group in config.groups:
+                service.registry.create_group(
+                    group.name, group.budget, analyst_budgets=group.analyst_budgets
+                )
         for dataset in config.datasets:
             values = _load_dataset_values(dataset, config.base_dir)
             share = dataset.share
@@ -706,6 +907,8 @@ def build_service(config: ServingConfig, *, pool: Any = None) -> BuiltService:
             service.registry.close()
         if audit is not None:
             audit.close()
+        if coordinator is not None:
+            coordinator.close()
         if owns_pool:
             pool.close()
         raise
@@ -718,6 +921,7 @@ def build_service(config: ServingConfig, *, pool: Any = None) -> BuiltService:
         admin=admin,
         tracer=tracer,
         audit=audit,
+        coordinator=coordinator,
     )
 
 

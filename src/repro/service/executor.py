@@ -60,6 +60,7 @@ from repro.accounting import PrivacyLedger
 from repro.engine import GridCell, run_grid
 from repro.exceptions import (
     BudgetExceededError,
+    CoordinatorUnavailableError,
     InsufficientDataError,
     ReproError,
 )
@@ -536,7 +537,14 @@ class QueryService:
             if key in self._inflight:
                 return None  # submit will coalesce: cheaper than any refusal
         with obs_span(trace, "admission_probe") as info:
-            refusal = dataset.budget.peek(plan.reserve_epsilon, analyst=request.analyst)
+            try:
+                refusal = dataset.budget.peek(
+                    plan.reserve_epsilon, analyst=request.analyst
+                )
+            except CoordinatorUnavailableError as exc:
+                self._cache.record_miss()
+                info["refused"] = True
+                return self._unavailable(request, key, str(exc))
             info["refused"] = refusal is not None
         if refusal is not None:
             self._cache.record_miss()
@@ -614,6 +622,32 @@ class QueryService:
             error="budget_exceeded",
             message=message,
             remaining=dataset.budget.remaining,
+            query=request.query,
+        )
+
+    def _unavailable(self, request: QueryRequest, key: str, message: str) -> QueryAnswer:
+        """A structured coordinator-outage answer: nothing charged or observed.
+
+        A joint budget group whose coordinator is unreachable must not admit
+        spend (any shard-local fallback ledger would double-count the group
+        cluster-wide), so the query fails cleanly — zero epsilon, ledger
+        untouched — and the outage joins the audit chain as a decision.
+        """
+        self._audit_event(
+            "refuse",
+            dataset=request.dataset,
+            kind=request.query.kind,
+            key=key,
+            analyst=request.analyst,
+            reason="coordinator_unavailable",
+        )
+        return QueryAnswer(
+            dataset=request.dataset,
+            kind=request.query.kind,
+            status="failed",
+            key=key,
+            error="coordinator_unavailable",
+            message=message,
             query=request.query,
         )
 
@@ -717,16 +751,21 @@ class QueryService:
                     if flight is not None:
                         waiting.append((position, request, flight))
                         continue
+                    refusal = outage = None
                     try:
                         reservation = dataset.budget.reserve(
                             plan.reserve_epsilon, analyst=request.analyst
                         )
                     except BudgetExceededError as exc:
                         refusal = str(exc)
+                    except CoordinatorUnavailableError as exc:
+                        outage = str(exc)
                     else:
-                        refusal = None
                         flight = _InFlight()
                         self._inflight[key] = flight
+                if outage is not None:
+                    answers[position] = self._unavailable(request, key, outage)
+                    continue
                 if refusal is not None:
                     answers[position] = self._refused(request, key, refusal, dataset)
                     continue
@@ -873,7 +912,14 @@ class QueryService:
             # Infrastructure failure before any estimator result came back:
             # no release happened, so the reservations are simply returned.
             for entry in admitted:
-                entry.dataset.budget.cancel(entry.reservation)
+                try:
+                    entry.dataset.budget.cancel(entry.reservation)
+                except CoordinatorUnavailableError:
+                    # The coordinator holds the reservation; unreachable
+                    # means it stays held (conservative: the joint cap can
+                    # only under-admit, never over-spend).  Keep releasing
+                    # the remaining entries.
+                    continue
                 self._audit_event(
                     "cancel",
                     budget=entry.dataset.budget_owner,
@@ -892,9 +938,20 @@ class QueryService:
                 outcome if member is None else outcome[member]
             )
             with obs_span(trace, "commit", key=entry.key):
-                actual = entry.dataset.budget.commit(
-                    entry.reservation, spent, label=entry.key
-                )
+                try:
+                    actual = entry.dataset.budget.commit(
+                        entry.reservation, spent, label=entry.key
+                    )
+                except CoordinatorUnavailableError as exc:
+                    # The release already happened but its spend could not
+                    # be committed: the coordinator keeps the (larger)
+                    # reservation held, so the joint cap stays safe, and
+                    # the answer reports the outage instead of the value —
+                    # an uncommitted release must not be served or cached.
+                    answers[entry.position] = self._unavailable(
+                        entry.request, entry.key, str(exc)
+                    )
+                    continue
             self._audit_event(
                 "commit",
                 budget=entry.dataset.budget_owner,

@@ -38,15 +38,17 @@ Protocol
     ``{"dataset": ..., "kind": ..., "epsilon": ..., "beta": ...,``
     ``"params": {"levels": [...]}, "analyst": ...}`` — or
     ``{"queries": [...]}`` with a list of such objects, which is answered
-    as one batch through the service's engine-pool fan-out.  (Top-level
-    ``levels`` is deprecated but still accepted; such answers carry a
-    ``"deprecated"`` notice.)  Response: the answer document (or
-    ``{"answers": [...]}``).  HTTP status mirrors the outcome: 200 for
-    ``ok``/``failed`` (a failed propose-test-release is a valid, budgeted
-    DP outcome), 403 for budget refusals, 404 for unknown datasets, 400 for
-    malformed requests, 429 for per-analyst/per-kind rate limits (refused
-    *before* admission: the budget ledger is untouched).  Batch responses
-    are always 200; inspect each answer's ``status``.
+    as one batch through the service's engine-pool fan-out.  (Kind
+    parameters live under ``params`` only; the legacy top-level ``levels``
+    alias is gone with its deprecation window.)  Response: the answer
+    document (or ``{"answers": [...]}``).  HTTP status mirrors the
+    outcome: 200 for ``ok``/``failed`` (a failed propose-test-release is a
+    valid, budgeted DP outcome), 403 for budget refusals, 404 for unknown
+    datasets, 400 for malformed requests, 429 for per-analyst/per-kind
+    rate limits (refused *before* admission: the budget ledger is
+    untouched), 503 ``coordinator_unavailable`` when the dataset draws on
+    a cluster joint budget whose coordinator is unreachable.  Batch
+    responses are always 200; inspect each answer's ``status``.
 ``POST /datasets``
     Registration (only when the server was built with
     ``allow_register=True``): ``{"name": ..., "values": [...],``
@@ -319,22 +321,22 @@ class _Handler(BaseHTTPRequestHandler):
             docs: List[Optional[Dict[str, Any]]] = [None] * len(parsed)
             admitted = []
             with obs_span(trace, "rate_check"):
-                for index, (request, deprecated) in enumerate(parsed):
+                for index, request in enumerate(parsed):
                     decision = self._check_rate_limit(request)
                     if decision is not None:
                         docs[index] = wire.rate_limited_answer(request, decision)
                     else:
-                        admitted.append((index, deprecated))
+                        admitted.append(index)
             answers = service.submit_many(
-                [parsed[index][0] for index, _ in admitted], trace=trace
+                [parsed[index] for index in admitted], trace=trace
             )
             with obs_span(trace, "serialize"):
-                for (index, deprecated), answer in zip(admitted, answers):
-                    docs[index] = wire.answer_document(answer, deprecated=deprecated)
+                for index, answer in zip(admitted, answers):
+                    docs[index] = wire.answer_document(answer)
                 document = wire.with_trace(wire.answers_document(docs), trace_id)
             return 200, document, None
         with obs_span(trace, "parse"):
-            request, deprecated = wire.parse_request(payload)
+            request = wire.parse_request(payload)
         if trace is not None:
             trace.annotate(
                 dataset=request.dataset,
@@ -356,9 +358,7 @@ class _Handler(BaseHTTPRequestHandler):
         if trace is not None:
             trace.annotate(status=answer.status, cached=answer.cached)
         with obs_span(trace, "serialize"):
-            document = wire.with_trace(
-                wire.answer_document(answer, deprecated=deprecated), trace_id
-            )
+            document = wire.with_trace(wire.answer_document(answer), trace_id)
         return wire.answer_status_code(answer), document, None
 
     def _handle_traces(self) -> None:

@@ -116,9 +116,11 @@ class Query:
     epsilon, beta:
         Privacy budget and failure probability of the release.
     levels:
-        Legacy alias for the ``levels`` param of ``quantile`` queries (kept
-        for wire compatibility); after construction it always mirrors
+        Python-level convenience alias for the ``levels`` param of
+        ``quantile`` queries; after construction it always mirrors
         ``params``' canonical ``levels`` entry (empty tuple when absent).
+        The *wire* no longer accepts a top-level ``levels`` field —
+        :meth:`from_json` takes it only inside ``params``.
     params:
         The kind's typed parameters.  Accepts a mapping (or ``(name, value)``
         pairs) at construction; stored canonically as a sorted tuple of
@@ -196,9 +198,7 @@ class Query:
         """JSON-safe dict form (inverse of :meth:`from_json`).
 
         Emits the canonical spelling: every kind parameter — ``levels``
-        included — lives under ``params``.  (The deprecated top-level
-        ``levels`` is still *accepted* by :meth:`from_json` for one
-        release, but never produced.)
+        included — lives under ``params``.
         """
         payload: Dict[str, Any] = {
             "kind": self.kind,
@@ -220,16 +220,15 @@ class Query:
             raise InvalidQueryError(
                 f"query must be a JSON object, got {type(payload).__name__}"
             )
-        unknown = set(payload) - {"kind", "epsilon", "beta", "levels", "params"}
+        unknown = set(payload) - {"kind", "epsilon", "beta", "params"}
         if unknown:
+            # Includes the legacy top-level "levels" alias, removed after
+            # its one-release deprecation window: levels go in params.
             raise InvalidQueryError(f"unknown query fields: {sorted(unknown)}")
         if "kind" not in payload:
             raise InvalidQueryError("query is missing the 'kind' field")
         if "epsilon" not in payload:
             raise InvalidQueryError("query is missing the 'epsilon' field")
-        levels = payload.get("levels", ())
-        if isinstance(levels, (str, bytes)) or not isinstance(levels, Sequence):
-            raise InvalidQueryError(f"levels must be a list of numbers, got {levels!r}")
         params = payload.get("params", {})
         if not isinstance(params, Mapping):
             raise InvalidQueryError(
@@ -240,7 +239,6 @@ class Query:
                 kind=str(payload["kind"]),
                 epsilon=float(payload["epsilon"]),
                 beta=float(payload.get("beta", 1.0 / 3.0)),
-                levels=tuple(float(level) for level in levels),
                 params=tuple(dict(params).items()),
             )
         except InvalidQueryError:

@@ -59,6 +59,7 @@ from repro.exceptions import BudgetExceededError, DomainError, InsufficientDataE
 
 __all__ = [
     "BudgetManager",
+    "RemoteBudgetManager",
     "Reservation",
     "DatasetRegistry",
     "RegisteredDataset",
@@ -320,6 +321,137 @@ class BudgetManager:
             }
 
 
+class RemoteBudgetManager:
+    """A coordinator-owned budget, speaking the :class:`BudgetManager` contract.
+
+    In a ``repro.cluster`` deployment every joint budget group spans
+    shards, so its ledger lives in the coordinator process and each shard
+    holds this proxy instead of a local manager.  The proxy satisfies the
+    exact surface the executor, admin plane and metrics renderer consume —
+    ``peek`` / ``reserve`` / ``commit`` / ``cancel``, the introspection
+    properties, ``analyst_*`` and ``to_json`` — by delegating each call to
+    one RPC round-trip (see :mod:`repro.cluster.coordinator`).  Semantics
+    are those of the coordinator's own :class:`BudgetManager` under its
+    lock, which is what makes reserve→commit atomic cluster-wide.
+
+    Transport failures surface as
+    :class:`~repro.exceptions.CoordinatorUnavailableError`; the executor
+    maps them to structured ``coordinator_unavailable`` refusals rather
+    than ever falling back to a shard-local ledger (which would silently
+    double-count joint spend).
+
+    The ``client`` is duck-typed (anything with ``call(op, **fields)``,
+    usually :class:`repro.cluster.rpc.CoordinatorClient`) so this module
+    never imports ``repro.cluster``.
+    """
+
+    def __init__(
+        self,
+        owner: str,
+        client: Any,
+        *,
+        capacity: float,
+        analyst_budgets: Optional[Mapping[str, float]] = None,
+    ):
+        self._owner = str(owner)
+        self._client = client
+        self._capacity = validate_epsilon(capacity, name="capacity")
+        caps = {
+            str(name): validate_epsilon(cap, name=f"analyst budget {name!r}")
+            for name, cap in dict(analyst_budgets or {}).items()
+        }
+        client.call(
+            "create",
+            owner=self._owner,
+            capacity=self._capacity,
+            analyst_budgets=caps,
+        )
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def owner(self) -> str:
+        """The coordinator-side ledger name (e.g. ``group:pilot``)."""
+        return self._owner
+
+    @property
+    def capacity(self) -> float:
+        return self._capacity
+
+    def _snapshot(self) -> Dict[str, Any]:
+        return self._client.call("snapshot", owner=self._owner)["budget"]
+
+    @property
+    def spent(self) -> float:
+        return float(self._snapshot()["spent"])
+
+    @property
+    def reserved(self) -> float:
+        return float(self._snapshot()["reserved"])
+
+    @property
+    def remaining(self) -> float:
+        return float(self._snapshot()["remaining"])
+
+    def analyst_remaining(self, analyst: str) -> Optional[float]:
+        response = self._client.call(
+            "analyst_remaining", owner=self._owner, analyst=str(analyst)
+        )
+        remaining = response.get("remaining")
+        return None if remaining is None else float(remaining)
+
+    def analyst_budgets(self) -> Dict[str, Dict[str, float]]:
+        snapshot = self._snapshot()["analysts"]
+        return {
+            name: {
+                "capacity": float(entry["capacity"]),
+                "spent": float(entry["spent"]),
+                "reserved": float(
+                    entry.get(
+                        "reserved",
+                        entry["capacity"] - entry["spent"] - entry["remaining"],
+                    )
+                ),
+            }
+            for name, entry in snapshot.items()
+        }
+
+    def rotate_analyst_budgets(
+        self, analyst_budgets: Optional[Mapping[str, float]]
+    ) -> None:
+        caps = {
+            str(name): validate_epsilon(cap, name=f"analyst budget {name!r}")
+            for name, cap in dict(analyst_budgets or {}).items()
+        }
+        self._client.call("rotate", owner=self._owner, analyst_budgets=caps)
+
+    # -- the two-phase protocol --------------------------------------------
+    def peek(self, amount: float, *, analyst: Optional[str] = None) -> Optional[str]:
+        amount = validate_epsilon(amount, name="reservation")
+        response = self._client.call(
+            "peek", owner=self._owner, amount=amount, analyst=analyst
+        )
+        return response.get("refusal")
+
+    def reserve(self, amount: float, *, analyst: Optional[str] = None) -> Reservation:
+        amount = validate_epsilon(amount, name="reservation")
+        response = self._client.call(
+            "reserve", owner=self._owner, amount=amount, analyst=analyst
+        )
+        return Reservation(amount=amount, analyst=analyst, token=int(response["token"]))
+
+    def commit(self, reservation: Reservation, actual: float, *, label: str) -> float:
+        response = self._client.call(
+            "commit", token=reservation.token, actual=float(actual), label=str(label)
+        )
+        return float(response["charged"])
+
+    def cancel(self, reservation: Reservation) -> None:
+        self._client.call("cancel", token=reservation.token)
+
+    def to_json(self) -> Dict[str, Any]:
+        return self._snapshot()
+
+
 @dataclass
 class RegisteredDataset:
     """One dataset under service management.
@@ -489,6 +621,7 @@ class DatasetRegistry:
         capacity: float,
         *,
         analyst_budgets: Optional[Mapping[str, float]] = None,
+        manager: Optional[Any] = None,
     ) -> BudgetManager:
         """Create a joint budget group: one cap shared by its member datasets.
 
@@ -496,11 +629,24 @@ class DatasetRegistry:
         the members simply run them against one shared manager, so a query on
         any member draws the group down for all of them, and exhausting the
         cap refuses queries on every member with the group ledger unchanged.
+
+        ``manager`` installs a pre-built manager under the group name
+        instead of constructing a local :class:`BudgetManager` — this is
+        how a cluster shard mounts the coordinator-owned ledger (a
+        :class:`RemoteBudgetManager`) so that joint admission stays atomic
+        across shards.  ``analyst_budgets`` belongs to whoever built the
+        manager in that case and must be left unset.
         """
         name = str(name)
         if not name:
             raise DomainError("budget group name must be non-empty")
-        manager = BudgetManager(capacity, analyst_budgets=analyst_budgets)
+        if manager is None:
+            manager = BudgetManager(capacity, analyst_budgets=analyst_budgets)
+        elif analyst_budgets is not None:
+            raise DomainError(
+                f"budget group {name!r}: analyst_budgets= belongs to the "
+                "supplied manager= and must not be passed alongside it"
+            )
         with self._lock:
             if name in self._groups:
                 raise DomainError(f"budget group {name!r} already exists")

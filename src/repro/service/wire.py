@@ -10,16 +10,17 @@ truth for the serving API:
 * Every refusal/error carries a structured ``"error"`` object —
   ``{"code": ..., "message": ..., "detail": {...}}`` — with a stable
   machine-readable ``code`` (the string that used to *be* the top-level
-  ``error`` field) and a human-readable ``message``.
-* **Deprecation window**: for one release the old top-level fields that do
-  not collide with the new shape are kept as aliases — ``message`` always,
-  and per-code extras such as the ``kinds`` list of an ``unknown_kind``
-  rejection.  The old top-level ``error`` *string* is the one breaking
-  change (it became the object; read ``error["code"]`` instead).
-* The legacy top-level ``levels`` field on ``POST /query`` bodies is
-  deprecated in favour of the canonical ``params.levels``; it is still
-  accepted, and answers to requests that used it carry a ``"deprecated"``
-  list naming the field and its replacement.
+  ``error`` field) and a human-readable ``message``.  The one-release
+  deprecation window of the restructuring is over: the top-level
+  ``message`` / ``kinds`` aliases are gone (read ``error["message"]`` and
+  ``error["detail"]["kinds"]``), and the legacy top-level ``levels`` field
+  on ``POST /query`` bodies is rejected like any other unknown field —
+  quantile levels go in ``params.levels``.
+* The cluster tier adds two error codes on top of the single-process set:
+  ``shard_unavailable`` (the router could not reach the shard owning a
+  request's route key) and ``coordinator_unavailable`` (a shard could not
+  reach the budget coordinator that owns a joint group's ledger).  Both
+  map to HTTP 503 and charge nothing.
 
 Front-ends must not assemble response dicts inline: new documents get a
 builder here so the two protocol suites cannot drift again.
@@ -28,7 +29,7 @@ builder here so the two protocol suites cannot drift again.
 from __future__ import annotations
 
 import math
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from repro.estimators import kind_catalog
 from repro.exceptions import ReproError
@@ -37,7 +38,6 @@ from repro.service.queries import InvalidQueryError, Query, UnknownQueryKindErro
 
 __all__ = [
     "API_VERSION",
-    "LEVELS_DEPRECATION",
     "answer_document",
     "answers_document",
     "answer_status_code",
@@ -45,6 +45,7 @@ __all__ = [
     "audit_rate_limit",
     "bad_request",
     "bearer_token",
+    "coordinator_unavailable",
     "error_document",
     "health_document",
     "internal_error",
@@ -55,6 +56,8 @@ __all__ = [
     "rate_limited_answer",
     "register_response",
     "registration_disabled",
+    "shard_unavailable",
+    "shard_unavailable_answer",
     "stats_document",
     "too_large",
     "trace_document",
@@ -67,19 +70,20 @@ __all__ = [
 #: Version of the response envelope; bump only with a migration window.
 API_VERSION = 1
 
-#: The ``deprecated`` entry emitted for requests using the legacy field.
-LEVELS_DEPRECATION = "levels: send quantile levels as params.levels"
-
 #: answer.status -> HTTP status code for single-query responses.
 _STATUS_CODES = {"ok": 200, "failed": 200, "refused": 403}
-_ERROR_CODES = {"unknown_dataset": 404}
+#: answer.error codes that override the status mapping.
+_ERROR_CODES = {"unknown_dataset": 404, "coordinator_unavailable": 503}
 
 
 def answer_status_code(answer: QueryAnswer) -> int:
     """HTTP status for one answer (batch responses are always 200)."""
+    code = _ERROR_CODES.get(answer.error or "")
+    if code is not None:
+        return code
     if answer.status in _STATUS_CODES:
         return _STATUS_CODES[answer.status]
-    return _ERROR_CODES.get(answer.error or "", 400)
+    return 400
 
 
 # ---------------------------------------------------------------------------
@@ -92,21 +96,12 @@ def error_document(
     *,
     status: str = "error",
     detail: Optional[Mapping[str, Any]] = None,
-    **legacy: Any,
 ) -> Dict[str, Any]:
-    """The uniform error body; ``legacy`` adds one-release top-level aliases."""
+    """The uniform error body: everything lives in the ``error`` object."""
     error: Dict[str, Any] = {"code": code, "message": message}
     if detail:
         error["detail"] = dict(detail)
-    doc: Dict[str, Any] = {
-        "api": API_VERSION,
-        "status": status,
-        "error": error,
-        # Deprecated alias (kept one release): read error["message"].
-        "message": message,
-    }
-    doc.update(legacy)
-    return doc
+    return {"api": API_VERSION, "status": status, "error": error}
 
 
 def invalid_request(exc: ReproError) -> Dict[str, Any]:
@@ -117,9 +112,8 @@ def invalid_request(exc: ReproError) -> Dict[str, Any]:
     what the server actually serves.
     """
     if isinstance(exc, UnknownQueryKindError):
-        kinds = list(exc.kinds)
         return error_document(
-            "unknown_kind", str(exc), detail={"kinds": kinds}, kinds=kinds
+            "unknown_kind", str(exc), detail={"kinds": list(exc.kinds)}
         )
     return error_document("invalid_request", str(exc))
 
@@ -157,6 +151,64 @@ def registration_disabled() -> Dict[str, Any]:
     )
 
 
+def shard_unavailable(shard: Any, detail: str) -> Dict[str, Any]:
+    """The router's 503 body when a request's owning shard is unreachable.
+
+    Routing is deterministic (consistent hash on the route key), so the
+    router never silently retries elsewhere: answering from a different
+    shard would be bit-for-bit identical for the value, but the owning
+    shard's cache and any pinned private ledger live only there.
+    """
+    return error_document(
+        "shard_unavailable",
+        f"shard {shard} is unavailable: {detail}",
+        detail={"shard": shard},
+    )
+
+
+def shard_unavailable_answer(
+    dataset: Optional[str], kind: Optional[str], shard: Any, detail: str
+) -> Dict[str, Any]:
+    """A batch entry whose owning shard was unreachable (answer-shaped).
+
+    Mirrors :func:`rate_limited_answer` so batch responses stay uniform:
+    the entry is a failed answer with ``error.code = "shard_unavailable"``
+    and exactly zero epsilon charged.
+    """
+    message = f"shard {shard} is unavailable: {detail}"
+    return {
+        "api": API_VERSION,
+        "dataset": dataset,
+        "kind": kind,
+        "status": "failed",
+        "key": "",
+        "value": None,
+        "epsilon_charged": 0.0,
+        "cached": False,
+        "coalesced": False,
+        "remaining": None,
+        "error": {
+            "code": "shard_unavailable",
+            "message": message,
+            "detail": {"shard": shard},
+        },
+    }
+
+
+def coordinator_unavailable(detail: str) -> Dict[str, Any]:
+    """The 503 body when the budget coordinator cannot be reached.
+
+    A joint group whose ledger owner is down must refuse to admit spend —
+    falling back to any shard-local ledger would double-count the group
+    cluster-wide — so the query is refused with nothing charged and
+    nothing observed.
+    """
+    return error_document(
+        "coordinator_unavailable",
+        f"budget coordinator unavailable: {detail}",
+    )
+
+
 def admin_disabled() -> Dict[str, Any]:
     return error_document(
         "admin_disabled",
@@ -169,14 +221,11 @@ def admin_disabled() -> Dict[str, Any]:
 # answers
 
 
-def answer_document(
-    answer: QueryAnswer, *, deprecated: Sequence[str] = ()
-) -> Dict[str, Any]:
+def answer_document(answer: QueryAnswer) -> Dict[str, Any]:
     """The wire form of one :class:`QueryAnswer` under the v1 envelope.
 
     The answer fields stay top-level (unchanged from the legacy shape);
-    only the error reporting is restructured into the ``error`` object,
-    with ``message`` kept as a top-level alias for one release.
+    error reporting lives in the structured ``error`` object.
     """
     value: Any = answer.value
     if isinstance(value, tuple):
@@ -195,11 +244,8 @@ def answer_document(
     }
     if answer.error is not None:
         doc["error"] = {"code": answer.error, "message": answer.message}
-        doc["message"] = answer.message
     if answer.query is not None:
         doc["query"] = answer.query.to_json()
-    if deprecated:
-        doc["deprecated"] = list(deprecated)
     return doc
 
 
@@ -242,7 +288,6 @@ def rate_limited_answer(request: QueryRequest, decision: Any) -> Dict[str, Any]:
                 "retry_after": retry_after,
             },
         },
-        "message": message,
         "retry_after": retry_after,
     }
 
@@ -356,11 +401,12 @@ def tracing_disabled() -> Dict[str, Any]:
 # request parsing
 
 
-def parse_request(payload: Any) -> Tuple[QueryRequest, Tuple[str, ...]]:
-    """Decode one query object into a request plus its deprecation notices.
+def parse_request(payload: Any) -> QueryRequest:
+    """Decode one query object into a :class:`QueryRequest`.
 
-    Accepts the legacy top-level ``levels`` alias (one release) and reports
-    it in the returned notices so the answer can carry ``"deprecated"``.
+    Only the canonical v1 fields are accepted; the legacy top-level
+    ``levels`` alias (removed after its one-release deprecation window) is
+    rejected by :meth:`Query.from_json` like any other unknown field.
     """
     if not isinstance(payload, dict):
         raise InvalidQueryError(
@@ -370,15 +416,11 @@ def parse_request(payload: Any) -> Tuple[QueryRequest, Tuple[str, ...]]:
         raise InvalidQueryError("query is missing the 'dataset' field")
     analyst = payload.get("analyst")
     body = {k: v for k, v in payload.items() if k not in ("dataset", "analyst")}
-    deprecated: Tuple[str, ...] = ()
-    if "levels" in body:
-        deprecated = (LEVELS_DEPRECATION,)
-    request = QueryRequest(
+    return QueryRequest(
         dataset=str(payload["dataset"]),
         query=Query.from_json(body),
         analyst=None if analyst is None else str(analyst),
     )
-    return request, deprecated
 
 
 def bearer_token(

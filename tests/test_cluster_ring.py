@@ -1,0 +1,135 @@
+"""Stability properties of the consistent-hash ring (repro.cluster.ring).
+
+The cluster's routing correctness rests on two arithmetic facts about the
+ring — adding a shard steals only ~1/(N+1) of the keyspace, and every
+stolen key lands on the new shard; removing a shard never re-homes a key
+it did not own.  Both are asserted here over a real workload-shaped
+keyspace, because the router relies on them for cache locality (scale-out
+must not blow away every shard's cache) and for pinned-dataset ledger
+correctness (a private ledger must never silently migrate).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.ring import HashRing, route_key
+
+#: A realistic routed keyspace: dataset x kind spread.
+KEYS = [
+    f"dataset{d}|{kind}"
+    for d in range(40)
+    for kind in ("mean", "variance", "iqr", "quantile", "multivariate_mean")
+] + [f"pinned{d}" for d in range(50)]
+
+
+def owners(ring, keys=KEYS):
+    return {key: ring.owner(key) for key in keys}
+
+
+class TestMembership:
+    def test_duplicate_add_rejected(self):
+        ring = HashRing([0, 1])
+        with pytest.raises(ValueError):
+            ring.add(1)
+
+    def test_remove_unknown_rejected(self):
+        ring = HashRing([0, 1])
+        with pytest.raises(ValueError):
+            ring.remove(7)
+
+    def test_empty_ring_cannot_route(self):
+        with pytest.raises(ValueError):
+            HashRing().owner("k")
+
+    def test_nodes_and_len(self):
+        ring = HashRing([0, 1, 2])
+        assert ring.nodes == frozenset({0, 1, 2})
+        assert len(ring) == 3 and 2 in ring and 9 not in ring
+
+
+class TestDeterminism:
+    def test_ownership_is_stable_across_instances(self):
+        # SHA-1, not the per-process salted hash(): two independent rings
+        # (router and compose planner in different processes) must agree.
+        assert owners(HashRing([0, 1, 2, 3])) == owners(HashRing([3, 2, 1, 0]))
+
+    def test_all_nodes_receive_load(self):
+        spread = owners(HashRing([0, 1, 2, 3])).values()
+        assert set(spread) == {0, 1, 2, 3}
+
+
+class TestScaleOut:
+    @pytest.mark.parametrize("n", [2, 4, 8])
+    def test_adding_a_shard_remaps_about_one_over_n_plus_one(self, n):
+        before = owners(HashRing(range(n)))
+        after_ring = HashRing(range(n))
+        after_ring.add(n)
+        after = owners(after_ring)
+        moved = [key for key in KEYS if before[key] != after[key]]
+        expected = len(KEYS) / (n + 1)
+        # Generous tolerance: 64 virtual replicas keep the arc sizes close
+        # to uniform, but they are still random-ish SHA-1 points.
+        assert 0.4 * expected <= len(moved) <= 1.9 * expected, (
+            f"adding shard {n} to {n} shards moved {len(moved)} of "
+            f"{len(KEYS)} keys (expected ~{expected:.0f})"
+        )
+
+    @pytest.mark.parametrize("n", [2, 4, 8])
+    def test_every_moved_key_moves_to_the_new_shard(self, n):
+        before = owners(HashRing(range(n)))
+        grown = HashRing(range(n))
+        grown.add(n)
+        for key, owner in owners(grown).items():
+            if owner != before[key]:
+                assert owner == n, (
+                    f"{key} moved {before[key]}->{owner}, not to the new "
+                    f"shard {n}: an old shard stole another old shard's arc"
+                )
+
+
+class TestScaleIn:
+    @pytest.mark.parametrize("n", [3, 4, 8])
+    def test_removal_never_rehomes_surviving_keys(self, n):
+        full = HashRing(range(n))
+        before = owners(full)
+        for removed in range(n):
+            shrunk = HashRing(range(n))
+            shrunk.remove(removed)
+            after = owners(shrunk)
+            for key in KEYS:
+                if before[key] != removed:
+                    assert after[key] == before[key], (
+                        f"removing shard {removed} re-homed {key} "
+                        f"{before[key]}->{after[key]} although shard "
+                        f"{removed} never owned it"
+                    )
+
+    def test_orphaned_keys_redistribute_across_survivors(self):
+        full = HashRing(range(4))
+        before = owners(full)
+        shrunk = HashRing(range(4))
+        shrunk.remove(0)
+        after = owners(shrunk)
+        orphans = [key for key in KEYS if before[key] == 0]
+        assert orphans, "shard 0 owned nothing — keyspace fixture too small"
+        for key in orphans:
+            assert after[key] != 0
+
+
+class TestRouteKey:
+    def test_group_members_spread_per_kind(self):
+        assert route_key("salaries", "mean") == "salaries|mean"
+        assert route_key("salaries", "iqr") == "salaries|iqr"
+
+    def test_pinned_datasets_hash_on_name_alone(self):
+        # every kind of a private-budget dataset must land on one shard:
+        # its BudgetManager is shard-local and must see all of its spend
+        assert route_key("salaries", "mean", pinned=("salaries",)) == "salaries"
+        assert route_key("salaries", "iqr", pinned=("salaries",)) == "salaries"
+
+    def test_missing_kind_falls_back_to_dataset(self):
+        # malformed payloads still route deterministically (the owning
+        # shard, not the router, produces the 400)
+        assert route_key("salaries", None) == "salaries"
+        assert route_key("salaries", "") == "salaries"

@@ -12,6 +12,7 @@ import pytest
 
 from repro.lint import (
     AuditCoverageRule,
+    ClusterBudgetIsolationRule,
     EstimatorSpecRule,
     FrontEndContainmentRule,
     GlobalRngRule,
@@ -650,6 +651,89 @@ class TestSketchContract:
 
 
 # ---------------------------------------------------------------------------
+# REP008 — cluster budget isolation
+# ---------------------------------------------------------------------------
+class TestClusterBudgetIsolation:
+    CLUSTER = "src/repro/cluster/router.py"
+
+    def test_constructor_flagged_in_cluster_module(self):
+        findings = run_rule(
+            ClusterBudgetIsolationRule(),
+            "from repro.service.registry import BudgetManager\n"
+            "ledger = BudgetManager(10.0)\n",
+            display=self.CLUSTER,
+        )
+        assert [f.rule_id for f in findings] == ["REP008", "REP008"]
+        assert lines_of(findings) == [1, 2]  # import and constructor
+
+    def test_dotted_constructor_flagged(self):
+        findings = run_rule(
+            ClusterBudgetIsolationRule(),
+            "import repro.service.registry as registry\n"
+            "ledger = registry.BudgetManager(10.0)\n",
+            display=self.CLUSTER,
+        )
+        assert lines_of(findings) == [2]
+
+    def test_mutating_protocol_calls_flagged(self):
+        findings = run_rule(
+            ClusterBudgetIsolationRule(),
+            "def admit(manager):\n"
+            "    r = manager.reserve(1.0)\n"
+            "    manager.commit(r, 0.5, label='q')\n"
+            "    manager.cancel(r)\n"
+            "    manager.rotate_analyst_budgets({})\n",
+            display=self.CLUSTER,
+        )
+        assert [f.rule_id for f in findings] == ["REP008"] * 4
+        assert lines_of(findings) == [2, 3, 4, 5]
+
+    def test_coordinator_module_exempt(self):
+        findings = run_rule(
+            ClusterBudgetIsolationRule(),
+            "from repro.service.registry import BudgetManager\n"
+            "ledger = BudgetManager(10.0)\n"
+            "r = ledger.reserve(1.0)\n",
+            display="src/repro/cluster/coordinator.py",
+        )
+        assert findings == []
+
+    def test_out_of_scope_modules_exempt(self):
+        source = (
+            "from repro.service.registry import BudgetManager\n"
+            "ledger = BudgetManager(10.0)\n"
+            "ledger.reserve(1.0)\n"
+        )
+        for display in (
+            "src/repro/service/registry.py",
+            "src/repro/service/config.py",
+            "tests/test_cluster_router.py",
+        ):
+            assert run_rule(
+                ClusterBudgetIsolationRule(), source, display=display
+            ) == []
+
+    def test_rpc_string_ops_pass(self):
+        findings = run_rule(
+            ClusterBudgetIsolationRule(),
+            "def admit(client):\n"
+            "    return client.call('reserve', group='g', amount=1.0)\n",
+            display=self.CLUSTER,
+        )
+        assert findings == []
+
+    def test_real_cluster_sources_clean(self):
+        rule = ClusterBudgetIsolationRule()
+        root = Path(__file__).resolve().parent.parent
+        for path in sorted((root / "src/repro/cluster").glob("*.py")):
+            display = path.relative_to(root).as_posix()
+            module = ModuleContext.from_source(
+                path.read_text(encoding="utf-8"), path, display
+            )
+            assert list(rule.check(module)) == [], display
+
+
+# ---------------------------------------------------------------------------
 # Injected-violation sweep: one scratch module per rule, correct id + line.
 # ---------------------------------------------------------------------------
 INJECTED = [
@@ -709,6 +793,12 @@ INJECTED = [
         ),
         6,
     ),
+    (
+        "REP008",
+        ClusterBudgetIsolationRule(),
+        "def boot():\n    from repro.service.registry import BudgetManager\n",
+        2,
+    ),
 ]
 
 
@@ -719,6 +809,7 @@ def test_injected_violation_caught_with_id_file_line(rule_id, rule, source, line
     display = {
         "REP005": "src/repro/service/http.py",
         "REP006": "src/repro/service/executor.py",
+        "REP008": "src/repro/cluster/router.py",
     }.get(rule_id, "scratch/mod.py")
     findings = run_rule(rule, source, display=display)
     assert findings, f"{rule_id} fixture produced no findings"

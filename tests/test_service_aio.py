@@ -185,7 +185,9 @@ class TestRoutesBothFrontends:
         )
         assert status == 400
         assert doc["error"]["code"] == "unknown_kind"
-        assert doc["kinds"] == registered_kinds()
+        assert doc["error"]["detail"]["kinds"] == registered_kinds()
+        # the legacy top-level alias is gone
+        assert "kinds" not in doc
 
     def test_baseline_kind_roundtrip(self, frontend):
         status, doc = _call(
@@ -233,7 +235,7 @@ class TestProtocolEdges:
     def test_empty_body_is_400(self, frontend):
         status, doc = _call(frontend.url, "/query", method="POST")
         assert status == 400
-        assert "empty" in doc["message"]
+        assert "empty" in doc["error"]["message"]
 
     def test_invalid_json_is_400(self, frontend):
         with socket.create_connection(frontend.address, timeout=5) as sock:
@@ -307,7 +309,8 @@ class TestFrontendParity:
         stream = [
             {"dataset": "d", "kind": "mean", "epsilon": 0.4},
             {"dataset": "d", "kind": "variance", "epsilon": 0.3},
-            {"dataset": "d", "kind": "quantile", "epsilon": 0.3, "levels": [0.5, 0.9]},
+            {"dataset": "d", "kind": "quantile", "epsilon": 0.3,
+             "params": {"levels": [0.5, 0.9]}},
             {"dataset": "d", "kind": "mean", "epsilon": 0.4},  # cache hit
             {"dataset": "d", "kind": "iqr", "epsilon": 0.5},
             {"dataset": "d", "kind": "mean", "epsilon": 50.0},  # refusal

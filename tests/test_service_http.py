@@ -126,7 +126,9 @@ class TestQueryEndpoint:
         )
         assert status == 400
         assert doc["error"]["code"] == "unknown_kind"
-        assert doc["kinds"] == registered_kinds()
+        assert doc["error"]["detail"]["kinds"] == registered_kinds()
+        # the legacy top-level alias is gone
+        assert "kinds" not in doc
 
     def test_baseline_kind_served_with_params(self, server):
         status, doc = _call(
@@ -155,7 +157,8 @@ class TestQueryEndpoint:
             {"dataset": "d", "kind": "baseline.coinpress_mean", "epsilon": 0.5},
         )
         assert status == 400
-        assert "radius" in doc["message"] or "requires" in doc["message"]
+        message = doc["error"]["message"]
+        assert "radius" in message or "requires" in message
 
     def test_invalid_json_is_400_not_traceback(self, server):
         request = urllib.request.Request(
@@ -169,7 +172,8 @@ class TestQueryEndpoint:
         _, doc = _call(
             server,
             "/query",
-            {"dataset": "d", "kind": "quantile", "epsilon": 0.5, "levels": [0.25, 0.75]},
+            {"dataset": "d", "kind": "quantile", "epsilon": 0.5,
+             "params": {"levels": [0.25, 0.75]}},
         )
         assert doc["status"] == "ok"
         assert isinstance(doc["value"], list) and len(doc["value"]) == 2

@@ -161,20 +161,16 @@ class TestJsonRoundTrip:
         assert dict(query.params)["radius"] == 50.0
 
     def test_levels_accepted_inside_params(self):
-        via_alias = Query.from_json(
-            {"kind": "quantile", "epsilon": 0.5, "levels": [0.5]}
-        )
-        via_params = Query.from_json(
+        query = Query.from_json(
             {"kind": "quantile", "epsilon": 0.5, "params": {"levels": [0.5]}}
         )
-        assert via_alias == via_params
-        assert via_alias.canonical_key("d") == via_params.canonical_key("d")
+        assert query.levels == (0.5,)
 
-    def test_conflicting_levels_spellings_rejected(self):
-        with pytest.raises(InvalidQueryError):
+    def test_legacy_top_level_levels_rejected(self):
+        # the one-release alias is gone: "levels" is an unknown field now
+        with pytest.raises(InvalidQueryError, match="levels"):
             Query.from_json(
-                {"kind": "quantile", "epsilon": 0.5, "levels": [0.5],
-                 "params": {"levels": [0.9]}}
+                {"kind": "quantile", "epsilon": 0.5, "levels": [0.5]}
             )
 
     def test_missing_fields_rejected(self):
@@ -193,7 +189,10 @@ class TestJsonRoundTrip:
 
     def test_levels_must_be_a_list(self):
         with pytest.raises(InvalidQueryError):
-            Query.from_json({"kind": "quantile", "epsilon": 0.5, "levels": "0.5"})
+            Query.from_json(
+                {"kind": "quantile", "epsilon": 0.5,
+                 "params": {"levels": "0.5"}}
+            )
 
 
 class TestPlanner:

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.service import QueryService, wire
+from repro.service import QueryAnswer, QueryService, wire
 from repro.service.queries import InvalidQueryError, Query, UnknownQueryKindError
 
 
@@ -22,8 +22,8 @@ class TestErrorDocuments:
         assert doc["api"] == wire.API_VERSION
         assert doc["status"] == "error"
         assert doc["error"] == {"code": "boom", "message": "it broke", "detail": {"x": 1}}
-        # one-release alias
-        assert doc["message"] == "it broke"
+        # the one-release top-level aliases are gone: error.* is the shape
+        assert "message" not in doc
 
     def test_detail_omitted_when_empty(self):
         doc = wire.error_document("boom", "it broke")
@@ -34,8 +34,8 @@ class TestErrorDocuments:
         doc = wire.invalid_request(exc)
         assert doc["error"]["code"] == "unknown_kind"
         assert doc["error"]["detail"]["kinds"] == ["mean", "variance"]
-        # legacy top-level alias kept one release
-        assert doc["kinds"] == ["mean", "variance"]
+        # legacy top-level alias removed after its deprecation window
+        assert "kinds" not in doc
 
     def test_invalid_request_generic(self):
         doc = wire.invalid_request(InvalidQueryError("bad"))
@@ -68,13 +68,8 @@ class TestAnswerDocuments:
         doc = wire.answer_document(answer)
         assert doc["status"] == "refused"
         assert doc["error"]["code"] == "budget_exceeded"
-        assert doc["message"] == doc["error"]["message"]
+        assert "message" not in doc
         assert wire.answer_status_code(answer) == 403
-
-    def test_deprecated_notice_threaded_through(self, service):
-        answer = service.query("d", "mean", epsilon=0.25)
-        doc = wire.answer_document(answer, deprecated=(wire.LEVELS_DEPRECATION,))
-        assert doc["deprecated"] == [wire.LEVELS_DEPRECATION]
 
     def test_batch_document(self):
         doc = wire.answers_document([{"status": "ok"}])
@@ -85,33 +80,56 @@ class TestAnswerDocuments:
 
 class TestParseRequest:
     def test_canonical_params_levels(self):
-        request, deprecated = wire.parse_request(
+        request = wire.parse_request(
             {"dataset": "d", "kind": "quantile", "epsilon": 0.5,
              "params": {"levels": [0.5]}}
         )
         assert request.query.levels == (0.5,)
-        assert deprecated == ()
 
-    def test_legacy_levels_flagged(self):
-        request, deprecated = wire.parse_request(
-            {"dataset": "d", "kind": "quantile", "epsilon": 0.5, "levels": [0.5]}
-        )
-        assert request.query.levels == (0.5,)
-        assert deprecated == (wire.LEVELS_DEPRECATION,)
-
-    def test_both_spellings_agree_on_canonical_key(self):
-        legacy, _ = wire.parse_request(
-            {"dataset": "d", "kind": "quantile", "epsilon": 0.5, "levels": [0.5]}
-        )
-        canonical, _ = wire.parse_request(
-            {"dataset": "d", "kind": "quantile", "epsilon": 0.5,
-             "params": {"levels": [0.5]}}
-        )
-        assert legacy.query.canonical_key("d") == canonical.query.canonical_key("d")
+    def test_legacy_top_level_levels_rejected(self):
+        # the one-release alias is gone: unknown top-level fields are errors
+        with pytest.raises(InvalidQueryError):
+            wire.parse_request(
+                {"dataset": "d", "kind": "quantile", "epsilon": 0.5,
+                 "levels": [0.5]}
+            )
 
     def test_missing_dataset(self):
         with pytest.raises(InvalidQueryError):
             wire.parse_request({"kind": "mean", "epsilon": 0.5})
+
+
+class TestClusterErrorDocuments:
+    def test_shard_unavailable(self):
+        doc = wire.shard_unavailable(2, "connection refused")
+        assert doc["api"] == wire.API_VERSION
+        assert doc["status"] == "error"
+        assert doc["error"]["code"] == "shard_unavailable"
+        assert doc["error"]["detail"]["shard"] == 2
+        assert "connection refused" in doc["error"]["message"]
+
+    def test_shard_unavailable_answer_entry(self):
+        entry = wire.shard_unavailable_answer("d", "mean", 1, "timed out")
+        # answer-shaped so batch responses stay uniform per entry
+        assert entry["status"] == "failed"
+        assert entry["dataset"] == "d"
+        assert entry["kind"] == "mean"
+        assert entry["error"]["code"] == "shard_unavailable"
+        assert entry["error"]["detail"]["shard"] == 1
+        assert entry["epsilon_charged"] == 0.0
+
+    def test_coordinator_unavailable_maps_to_503(self):
+        doc = wire.coordinator_unavailable("rpc timeout")
+        assert doc["error"]["code"] == "coordinator_unavailable"
+        # a refusal caused by a dead coordinator charges nothing and maps
+        # to 503 through the answer-status override table
+        answer = QueryAnswer(
+            dataset="d", kind="mean", status="failed", key="", value=None,
+            epsilon_charged=0.0, cached=False, coalesced=False,
+            remaining=None, error="coordinator_unavailable",
+            message="budget coordinator unavailable: rpc timeout",
+        )
+        assert wire.answer_status_code(answer) == 503
 
 
 class TestRateLimitedAnswer:
